@@ -1,0 +1,62 @@
+//! Algebra evaluation errors.
+
+use std::fmt;
+
+/// Errors raised while validating or evaluating an algebra expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgebraError {
+    /// A scanned relation is not in the catalog.
+    UnknownRelation(String),
+    /// A binary set operator got inputs of different arities.
+    ArityMismatch {
+        /// Operator name for the message.
+        op: &'static str,
+        /// Left arity.
+        left: usize,
+        /// Right arity.
+        right: usize,
+    },
+    /// A column reference exceeds the input arity.
+    PositionOutOfRange {
+        /// Operator name for the message.
+        op: &'static str,
+        /// Offending 0-based position.
+        position: usize,
+        /// Input arity.
+        arity: usize,
+    },
+    /// Underlying storage error.
+    Storage(gq_storage::StorageError),
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            AlgebraError::ArityMismatch { op, left, right } => {
+                write!(f, "{op}: arity mismatch ({left} vs {right})")
+            }
+            AlgebraError::PositionOutOfRange {
+                op,
+                position,
+                arity,
+            } => write!(f, "{op}: position {position} out of range for arity {arity}"),
+            AlgebraError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AlgebraError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<gq_storage::StorageError> for AlgebraError {
+    fn from(e: gq_storage::StorageError) -> Self {
+        AlgebraError::Storage(e)
+    }
+}

@@ -1,0 +1,155 @@
+//! Cardinality estimation — the cost-model direction §4 leaves open.
+//!
+//! "An algebraic translation basically relying on a unique operator give
+//! rise to simplifying the cost estimation model. Further research should
+//! be devoted to investigating this issue." This module provides the
+//! simple textbook estimator such a model starts from: base cardinalities
+//! from the catalog, fixed selectivity factors for predicates, containment
+//! assumptions for joins. The improved translator uses it to order
+//! producers (smallest build side first); tests check only *monotonicity*
+//! properties, not absolute accuracy.
+
+use crate::{AlgebraExpr, Predicate};
+use gq_storage::Database;
+
+/// Default selectivity of an equality predicate.
+const EQ_SELECTIVITY: f64 = 0.1;
+/// Default selectivity of an inequality/range predicate.
+const RANGE_SELECTIVITY: f64 = 0.4;
+/// Assumed number of distinct values per join column when unknown.
+const DISTINCT_GUESS: f64 = 10.0;
+
+/// Estimated output cardinality of a plan. Unknown relations estimate to 0.
+pub fn estimate(e: &AlgebraExpr, db: &Database) -> f64 {
+    match e {
+        AlgebraExpr::Relation(name) => db
+            .relation(name)
+            .map(|r| r.len() as f64)
+            .unwrap_or(0.0),
+        AlgebraExpr::Literal(r) => r.len() as f64,
+        AlgebraExpr::Select { input, predicate } => {
+            estimate(input, db) * predicate_selectivity(predicate)
+        }
+        AlgebraExpr::Project { input, .. } => {
+            // projection with dedup: assume mild reduction
+            estimate(input, db) * 0.8
+        }
+        AlgebraExpr::GroupCount { input, group } => {
+            if group.is_empty() {
+                1.0
+            } else {
+                estimate(input, db) * 0.5
+            }
+        }
+        AlgebraExpr::Product { left, right } => estimate(left, db) * estimate(right, db),
+        AlgebraExpr::Join { left, right, on } => {
+            let l = estimate(left, db);
+            let r = estimate(right, db);
+            if on.is_empty() {
+                l * r
+            } else {
+                // containment assumption: |L ⋈ R| ≈ |L|·|R| / max distinct
+                l * r / DISTINCT_GUESS.max(1.0)
+            }
+        }
+        AlgebraExpr::SemiJoin { left, .. } => estimate(left, db) * 0.5,
+        AlgebraExpr::ComplementJoin { left, .. } => estimate(left, db) * 0.5,
+        AlgebraExpr::Division { left, .. } => estimate(left, db) * 0.1,
+        AlgebraExpr::Union { left, right } => estimate(left, db) + estimate(right, db),
+        AlgebraExpr::Difference { left, .. } => estimate(left, db) * 0.5,
+        AlgebraExpr::LeftOuterJoin { left, right, .. } => {
+            // preserved side dominates; matches can fan out
+            estimate(left, db).max(estimate(left, db) * estimate(right, db) / DISTINCT_GUESS)
+        }
+        AlgebraExpr::ConstrainedOuterJoin { left, .. } => estimate(left, db),
+    }
+}
+
+/// Selectivity factor of a predicate.
+fn predicate_selectivity(p: &Predicate) -> f64 {
+    use gq_calculus::CompareOp;
+    match p {
+        Predicate::Cmp { op, .. } => match op {
+            CompareOp::Eq => EQ_SELECTIVITY,
+            CompareOp::Ne => 1.0 - EQ_SELECTIVITY,
+            _ => RANGE_SELECTIVITY,
+        },
+        Predicate::IsNull(_) | Predicate::NotNull(_) => 0.5,
+        Predicate::And(a, b) => predicate_selectivity(a) * predicate_selectivity(b),
+        Predicate::Or(a, b) => {
+            let (sa, sb) = (predicate_selectivity(a), predicate_selectivity(b));
+            (sa + sb - sa * sb).min(1.0)
+        }
+        Predicate::Not(a) => 1.0 - predicate_selectivity(a),
+        Predicate::True => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gq_calculus::CompareOp;
+    use gq_storage::{tuple, Schema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_relation("big", Schema::anonymous(2)).unwrap();
+        db.create_relation("small", Schema::anonymous(2)).unwrap();
+        for i in 0..100 {
+            db.insert("big", tuple![i, i]).unwrap();
+        }
+        for i in 0..5 {
+            db.insert("small", tuple![i, i]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn base_cardinalities() {
+        let db = db();
+        assert_eq!(estimate(&AlgebraExpr::relation("big"), &db), 100.0);
+        assert_eq!(estimate(&AlgebraExpr::relation("small"), &db), 5.0);
+        assert_eq!(estimate(&AlgebraExpr::relation("ghost"), &db), 0.0);
+    }
+
+    #[test]
+    fn selection_shrinks() {
+        let db = db();
+        let scan = AlgebraExpr::relation("big");
+        let sel = scan.clone().select(Predicate::col_const(0, CompareOp::Eq, 3));
+        assert!(estimate(&sel, &db) < estimate(&scan, &db));
+    }
+
+    #[test]
+    fn product_larger_than_join() {
+        let db = db();
+        let prod = AlgebraExpr::relation("big").product(AlgebraExpr::relation("small"));
+        let join = AlgebraExpr::relation("big").join(AlgebraExpr::relation("small"), vec![(0, 0)]);
+        assert!(estimate(&prod, &db) > estimate(&join, &db));
+        assert_eq!(estimate(&prod, &db), 500.0);
+    }
+
+    #[test]
+    fn semi_and_marker_joins_bounded_by_left() {
+        let db = db();
+        let left = AlgebraExpr::relation("big");
+        let semi = left.clone().semi_join(AlgebraExpr::relation("small"), vec![(0, 0)]);
+        assert!(estimate(&semi, &db) <= estimate(&left, &db));
+        let marked = AlgebraExpr::relation("big").constrained_outer_join(
+            AlgebraExpr::relation("small"),
+            vec![(0, 0)],
+            crate::Constraint::none(),
+        );
+        assert_eq!(estimate(&marked, &db), 100.0);
+    }
+
+    #[test]
+    fn predicate_selectivities_compose() {
+        let eq = Predicate::col_const(0, CompareOp::Eq, 1);
+        let both = Predicate::And(Box::new(eq.clone()), Box::new(eq.clone()));
+        assert!(predicate_selectivity(&both) < predicate_selectivity(&eq));
+        let either = Predicate::Or(Box::new(eq.clone()), Box::new(eq.clone()));
+        assert!(predicate_selectivity(&either) >= predicate_selectivity(&eq));
+        assert!(predicate_selectivity(&either) <= 1.0);
+    }
+}

@@ -1,0 +1,730 @@
+//! The pipelined (pull-based) evaluator.
+//!
+//! Evaluation is iterator-based: every operator exposes a tuple stream, so
+//! a consumer that stops early (the non-emptiness test of §3.2, a LIMIT)
+//! does not force full materialization of the probe side. Build sides of
+//! join-family operators and both inputs of division are materialized, as
+//! any hash-based implementation must.
+//!
+//! The evaluator accumulates [`ExecStats`] so the paper's operation-count
+//! claims (relations searched once, no unnecessary tuple accesses, no
+//! cartesian blow-up) can be checked by tests and reported by benches.
+
+use crate::{AlgebraError, AlgebraExpr, ExecStats, IndexCache, Operand, Predicate};
+use gq_storage::{Database, Relation, Tuple, Value};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+/// A boxed tuple stream.
+pub type TupleIter<'e> = Box<dyn Iterator<Item = Tuple> + 'e>;
+
+/// The physical algorithm used by the full equi-join.
+///
+/// All variants of the paper's join family default to hashing; sort-merge
+/// is provided as the classical alternative (and compared by the ablation
+/// bench). Semi-, complement- and marker-joins always probe (hash or
+/// cached index) — their build side is a key set either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinAlgorithm {
+    /// Build a hash index on the right side, stream the left (default).
+    #[default]
+    Hash,
+    /// Materialize and sort both sides on the join key, then merge.
+    SortMerge,
+}
+
+/// Compute the output arity of an expression without evaluating it,
+/// validating column references along the way.
+pub fn arity_of(e: &AlgebraExpr, db: &Database) -> Result<usize, AlgebraError> {
+    match e {
+        AlgebraExpr::Relation(name) => Ok(db
+            .relation(name)
+            .map_err(|_| AlgebraError::UnknownRelation(name.clone()))?
+            .arity()),
+        AlgebraExpr::Literal(r) => Ok(r.arity()),
+        AlgebraExpr::Select { input, predicate } => {
+            let a = arity_of(input, db)?;
+            if let Some(m) = predicate.max_col() {
+                if m >= a {
+                    return Err(AlgebraError::PositionOutOfRange {
+                        op: "select",
+                        position: m,
+                        arity: a,
+                    });
+                }
+            }
+            Ok(a)
+        }
+        AlgebraExpr::Project { input, positions } => {
+            let a = arity_of(input, db)?;
+            for &p in positions {
+                if p >= a {
+                    return Err(AlgebraError::PositionOutOfRange {
+                        op: "project",
+                        position: p,
+                        arity: a,
+                    });
+                }
+            }
+            Ok(positions.len())
+        }
+        AlgebraExpr::GroupCount { input, group } => {
+            let a = arity_of(input, db)?;
+            for &g in group {
+                if g >= a {
+                    return Err(AlgebraError::PositionOutOfRange {
+                        op: "group-count",
+                        position: g,
+                        arity: a,
+                    });
+                }
+            }
+            Ok(group.len() + 1)
+        }
+        AlgebraExpr::Product { left, right } => Ok(arity_of(left, db)? + arity_of(right, db)?),
+        AlgebraExpr::Join { left, right, on } => {
+            let (l, r) = (arity_of(left, db)?, arity_of(right, db)?);
+            check_on("join", on, l, r)?;
+            Ok(l + r)
+        }
+        AlgebraExpr::SemiJoin { left, right, on } => {
+            let (l, r) = (arity_of(left, db)?, arity_of(right, db)?);
+            check_on("semi-join", on, l, r)?;
+            Ok(l)
+        }
+        AlgebraExpr::ComplementJoin { left, right, on } => {
+            let (l, r) = (arity_of(left, db)?, arity_of(right, db)?);
+            check_on("complement-join", on, l, r)?;
+            Ok(l)
+        }
+        AlgebraExpr::Division { left, right, on } => {
+            let (l, r) = (arity_of(left, db)?, arity_of(right, db)?);
+            check_on("division", on, l, r)?;
+            Ok(l - on.len())
+        }
+        AlgebraExpr::Union { left, right } => {
+            let (l, r) = (arity_of(left, db)?, arity_of(right, db)?);
+            if l != r {
+                return Err(AlgebraError::ArityMismatch {
+                    op: "union",
+                    left: l,
+                    right: r,
+                });
+            }
+            Ok(l)
+        }
+        AlgebraExpr::Difference { left, right } => {
+            let (l, r) = (arity_of(left, db)?, arity_of(right, db)?);
+            if l != r {
+                return Err(AlgebraError::ArityMismatch {
+                    op: "difference",
+                    left: l,
+                    right: r,
+                });
+            }
+            Ok(l)
+        }
+        AlgebraExpr::LeftOuterJoin { left, right, on } => {
+            let (l, r) = (arity_of(left, db)?, arity_of(right, db)?);
+            check_on("outer-join", on, l, r)?;
+            Ok(l + r)
+        }
+        AlgebraExpr::ConstrainedOuterJoin {
+            left,
+            right,
+            on,
+            constraint,
+        } => {
+            let (l, r) = (arity_of(left, db)?, arity_of(right, db)?);
+            check_on("constrained-outer-join", on, l, r)?;
+            for &(c, _) in &constraint.tests {
+                if c >= l {
+                    return Err(AlgebraError::PositionOutOfRange {
+                        op: "constrained-outer-join",
+                        position: c,
+                        arity: l,
+                    });
+                }
+            }
+            Ok(l + 1)
+        }
+    }
+}
+
+fn check_on(
+    op: &'static str,
+    on: &[(usize, usize)],
+    left: usize,
+    right: usize,
+) -> Result<(), AlgebraError> {
+    for &(l, r) in on {
+        if l >= left {
+            return Err(AlgebraError::PositionOutOfRange {
+                op,
+                position: l,
+                arity: left,
+            });
+        }
+        if r >= right {
+            return Err(AlgebraError::PositionOutOfRange {
+                op,
+                position: r,
+                arity: right,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The plan evaluator: holds the database and a shared stats accumulator.
+pub struct Evaluator<'db> {
+    db: &'db Database,
+    stats: Rc<RefCell<ExecStats>>,
+    /// Shared-subplan cache (§2.2: "answers to common subexpressions …
+    /// can be shared procedurally"): materialized results keyed by a
+    /// structural fingerprint. `None` disables sharing.
+    memo: Option<RefCell<HashMap<String, Rc<Vec<Tuple>>>>>,
+    /// Cross-query base-relation index cache (probe side of join-family
+    /// operators whose build side is a plain relation scan).
+    index_cache: Option<&'db IndexCache>,
+    /// Physical algorithm for the full equi-join.
+    join_algorithm: JoinAlgorithm,
+}
+
+impl<'db> Evaluator<'db> {
+    /// Create an evaluator over a database (no subplan sharing).
+    pub fn new(db: &'db Database) -> Self {
+        Evaluator {
+            db,
+            stats: Rc::new(RefCell::new(ExecStats::new())),
+            memo: None,
+            index_cache: None,
+            join_algorithm: JoinAlgorithm::default(),
+        }
+    }
+
+    /// Select the physical equi-join algorithm.
+    pub fn with_join_algorithm(mut self, algorithm: JoinAlgorithm) -> Self {
+        self.join_algorithm = algorithm;
+        self
+    }
+
+    /// Attach a persistent base-relation index cache: semi-joins,
+    /// complement-joins and constrained outer-joins whose build side is a
+    /// direct relation scan probe the cached
+    /// [`HashIndex`](gq_storage::HashIndex) instead of rebuilding a key
+    /// set. The cache must be cleared by the caller on database mutation.
+    pub fn with_index_cache(mut self, cache: &'db IndexCache) -> Self {
+        self.index_cache = Some(cache);
+        self
+    }
+
+    /// Create an evaluator that caches materialized subplans, so a build
+    /// side appearing several times in a plan (e.g. the σ(lecture)
+    /// subplan duplicated by the division guard, or a range shared by the
+    /// disjuncts of Rules 12–14) is evaluated once. Subtrees containing
+    /// inline literal relations are not cached (their rendering is not a
+    /// reliable identity).
+    pub fn with_sharing(db: &'db Database) -> Self {
+        Evaluator {
+            db,
+            stats: Rc::new(RefCell::new(ExecStats::new())),
+            memo: Some(RefCell::new(HashMap::new())),
+            index_cache: None,
+            join_algorithm: JoinAlgorithm::default(),
+        }
+    }
+
+    /// Snapshot of the accumulated statistics.
+    pub fn stats(&self) -> ExecStats {
+        self.stats.borrow().clone()
+    }
+
+    /// Reset the statistics to zero.
+    pub fn reset_stats(&self) {
+        *self.stats.borrow_mut() = ExecStats::new();
+    }
+
+    /// Evaluate to a materialized relation.
+    pub fn eval(&self, e: &AlgebraExpr) -> Result<Relation, AlgebraError> {
+        let arity = arity_of(e, self.db)?;
+        let mut out = Relation::intermediate(arity);
+        for t in self.stream(e)? {
+            out.insert(t)?;
+        }
+        self.stats.borrow_mut().tuples_emitted += out.len();
+        Ok(out)
+    }
+
+    /// Evaluate, stopping after at most `limit` result tuples.
+    pub fn eval_limit(&self, e: &AlgebraExpr, limit: usize) -> Result<Relation, AlgebraError> {
+        let arity = arity_of(e, self.db)?;
+        let mut out = Relation::intermediate(arity);
+        for t in self.stream(e)? {
+            out.insert(t)?;
+            if out.len() >= limit {
+                break;
+            }
+        }
+        self.stats.borrow_mut().tuples_emitted += out.len();
+        Ok(out)
+    }
+
+    /// The non-emptiness test of §3.2: pull a single tuple and stop.
+    pub fn is_nonempty(&self, e: &AlgebraExpr) -> Result<bool, AlgebraError> {
+        arity_of(e, self.db)?;
+        Ok(self.stream(e)?.next().is_some())
+    }
+
+    /// Materialize a sub-expression (build sides, division inputs),
+    /// recording the intermediate size. With sharing enabled, repeated
+    /// subplans are answered from the cache.
+    fn materialize(&self, e: &AlgebraExpr) -> Result<Vec<Tuple>, AlgebraError> {
+        let key = match &self.memo {
+            Some(memo) if !contains_literal(e) => {
+                let key = e.to_string();
+                if let Some(hit) = memo.borrow().get(&key) {
+                    self.stats.borrow_mut().memo_hits += 1;
+                    return Ok(hit.as_ref().clone());
+                }
+                Some(key)
+            }
+            _ => None,
+        };
+        let tuples: Vec<Tuple> = self.stream(e)?.collect();
+        self.stats.borrow_mut().record_intermediate(tuples.len());
+        if let (Some(memo), Some(key)) = (&self.memo, key) {
+            memo.borrow_mut().insert(key, Rc::new(tuples.clone()));
+        }
+        Ok(tuples)
+    }
+
+    /// Build a tuple stream for an expression. Validation of column
+    /// references is assumed done (via [`arity_of`] from the public entry
+    /// points).
+    pub fn stream<'e>(&'e self, e: &'e AlgebraExpr) -> Result<TupleIter<'e>, AlgebraError> {
+        self.stats.borrow_mut().operators_evaluated += 1;
+        match e {
+            AlgebraExpr::Relation(name) => {
+                let rel = self
+                    .db
+                    .relation(name)
+                    .map_err(|_| AlgebraError::UnknownRelation(name.clone()))?;
+                let stats = self.stats.clone();
+                stats.borrow_mut().base_scans += 1;
+                Ok(Box::new(rel.iter().cloned().inspect(move |_| {
+                    stats.borrow_mut().base_tuples_read += 1;
+                })))
+            }
+            AlgebraExpr::Literal(r) => {
+                let stats = self.stats.clone();
+                stats.borrow_mut().base_scans += 1;
+                Ok(Box::new(r.iter().cloned().inspect(move |_| {
+                    stats.borrow_mut().base_tuples_read += 1;
+                })))
+            }
+            AlgebraExpr::Select { input, predicate } => {
+                let input = self.stream(input)?;
+                let stats = self.stats.clone();
+                Ok(Box::new(input.filter(move |t| {
+                    eval_predicate(predicate, t, &mut stats.borrow_mut())
+                })))
+            }
+            AlgebraExpr::Project { input, positions } => {
+                let input = self.stream(input)?;
+                let mut seen: HashSet<Tuple> = HashSet::new();
+                Ok(Box::new(input.filter_map(move |t| {
+                    let p = t.project(positions);
+                    if seen.insert(p.clone()) {
+                        Some(p)
+                    } else {
+                        None
+                    }
+                })))
+            }
+            AlgebraExpr::GroupCount { input, group } => {
+                let tuples = self.materialize(input)?;
+                let mut counts: HashMap<Tuple, i64> = HashMap::new();
+                let mut order: Vec<Tuple> = Vec::new();
+                for t in &tuples {
+                    let key = t.project(group);
+                    let entry = counts.entry(key.clone()).or_insert_with(|| {
+                        order.push(key);
+                        0
+                    });
+                    *entry += 1;
+                    self.stats.borrow_mut().comparisons += 1;
+                }
+                Ok(Box::new(order.into_iter().map(move |k| {
+                    let n = counts[&k];
+                    k.extended_with(Value::Int(n))
+                })))
+            }
+            AlgebraExpr::Product { left, right } => {
+                let right_tuples = self.materialize(right)?;
+                let left = self.stream(left)?;
+                let stats = self.stats.clone();
+                Ok(Box::new(left.flat_map(move |l| {
+                    stats.borrow_mut().comparisons += right_tuples.len();
+                    right_tuples
+                        .iter()
+                        .map(|r| l.concat(r))
+                        .collect::<Vec<_>>()
+                })))
+            }
+            AlgebraExpr::Join { left, right, on } => {
+                if self.join_algorithm == JoinAlgorithm::SortMerge {
+                    return self.sort_merge_join(left, right, on);
+                }
+                // Cached-index fast path when the build side is a base
+                // relation scan.
+                if let (Some(cache), AlgebraExpr::Relation(name)) = (self.index_cache, &**right) {
+                    let right_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+                    let stats = self.stats.clone();
+                    let idx = cache
+                        .get_or_build(self.db, name, &right_cols, |len| {
+                            let mut s = stats.borrow_mut();
+                            s.base_scans += 1;
+                            s.base_tuples_read += len;
+                        })
+                        .map_err(AlgebraError::Storage)?;
+                    let rel = self
+                        .db
+                        .relation(name)
+                        .map_err(|_| AlgebraError::UnknownRelation(name.clone()))?;
+                    let left = self.stream(left)?;
+                    let left_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+                    return Ok(Box::new(left.flat_map(move |l| {
+                        let mut s = stats.borrow_mut();
+                        s.probes += 1;
+                        let matches = idx.probe(&l, &left_cols);
+                        s.comparisons += matches.len().max(1);
+                        drop(s);
+                        matches
+                            .iter()
+                            .map(|&rid| l.concat(&rel.tuples()[rid]))
+                            .collect::<Vec<_>>()
+                    })));
+                }
+                let right_tuples = self.materialize(right)?;
+                let index = build_index(&right_tuples, on.iter().map(|&(_, r)| r));
+                let left = self.stream(left)?;
+                let stats = self.stats.clone();
+                let left_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+                Ok(Box::new(left.flat_map(move |l| {
+                    let key = key_of(&l, &left_cols);
+                    let mut s = stats.borrow_mut();
+                    s.probes += 1;
+                    let matches = index.get(&key).map(Vec::as_slice).unwrap_or(&[]);
+                    s.comparisons += matches.len().max(1);
+                    drop(s);
+                    matches
+                        .iter()
+                        .map(|&rid| l.concat(&right_tuples[rid]))
+                        .collect::<Vec<_>>()
+                })))
+            }
+            AlgebraExpr::SemiJoin { left, right, on } => {
+                let probe = self.build_probe(right, on)?;
+                let left = self.stream(left)?;
+                let stats = self.stats.clone();
+                let left_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+                Ok(Box::new(left.filter(move |l| {
+                    let mut s = stats.borrow_mut();
+                    s.probes += 1;
+                    s.comparisons += 1;
+                    probe.contains(l, &left_cols)
+                })))
+            }
+            AlgebraExpr::ComplementJoin { left, right, on } => {
+                let probe = self.build_probe(right, on)?;
+                let left = self.stream(left)?;
+                let stats = self.stats.clone();
+                let left_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+                Ok(Box::new(left.filter(move |l| {
+                    let mut s = stats.borrow_mut();
+                    s.probes += 1;
+                    s.comparisons += 1;
+                    !probe.contains(l, &left_cols)
+                })))
+            }
+            AlgebraExpr::Division { left, right, on } => {
+                let result = self.eval_division(left, right, on)?;
+                Ok(Box::new(result.into_iter()))
+            }
+            AlgebraExpr::Union { left, right } => {
+                let left = self.stream(left)?;
+                let right = self.stream(right)?;
+                let mut seen: HashSet<Tuple> = HashSet::new();
+                Ok(Box::new(left.chain(right).filter(move |t| seen.insert(t.clone()))))
+            }
+            AlgebraExpr::Difference { left, right } => {
+                let right_tuples = self.materialize(right)?;
+                let keys: HashSet<Tuple> = right_tuples.into_iter().collect();
+                let left = self.stream(left)?;
+                let stats = self.stats.clone();
+                Ok(Box::new(left.filter(move |t| {
+                    stats.borrow_mut().comparisons += 1;
+                    !keys.contains(t)
+                })))
+            }
+            AlgebraExpr::LeftOuterJoin { left, right, on } => {
+                let right_tuples = self.materialize(right)?;
+                let right_arity = right_tuples.first().map(Tuple::arity);
+                let index = build_index(&right_tuples, on.iter().map(|&(_, r)| r));
+                let left = self.stream(left)?;
+                let stats = self.stats.clone();
+                let left_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+                // The right arity is needed for ∅-padding even when the
+                // right side is empty; recover it statically in that case.
+                let pad_arity = match right_arity {
+                    Some(a) => a,
+                    None => arity_of(right, self.db)?,
+                };
+                Ok(Box::new(left.flat_map(move |l| {
+                    let key = key_of(&l, &left_cols);
+                    let mut s = stats.borrow_mut();
+                    s.probes += 1;
+                    let matches = index.get(&key).map(Vec::as_slice).unwrap_or(&[]);
+                    s.comparisons += matches.len().max(1);
+                    drop(s);
+                    if matches.is_empty() {
+                        let nulls = Tuple::new(vec![Value::Null; pad_arity]);
+                        vec![l.concat(&nulls)]
+                    } else {
+                        matches
+                            .iter()
+                            .map(|&rid| l.concat(&right_tuples[rid]))
+                            .collect()
+                    }
+                })))
+            }
+            AlgebraExpr::ConstrainedOuterJoin {
+                left,
+                right,
+                on,
+                constraint,
+            } => {
+                let probe = self.build_probe(right, on)?;
+                let left = self.stream(left)?;
+                let stats = self.stats.clone();
+                let left_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+                let constraint = constraint.clone();
+                Ok(Box::new(left.map(move |l| {
+                    let marker = if constraint.satisfied_by(&l) {
+                        let mut s = stats.borrow_mut();
+                        s.probes += 1;
+                        s.comparisons += 1;
+                        if probe.contains(&l, &left_cols) {
+                            Value::Matched
+                        } else {
+                            Value::Null
+                        }
+                    } else {
+                        // Definition 7, third set: no probe performed.
+                        Value::Null
+                    };
+                    l.extended_with(marker)
+                })))
+            }
+        }
+    }
+
+    /// Build the probe structure for the right side of a
+    /// semi/complement/constrained-outer join: a cached [`HashIndex`] when
+    /// the right side is a base relation scan and a cache is attached, a
+    /// freshly materialized key set otherwise.
+    fn build_probe(
+        &self,
+        right: &AlgebraExpr,
+        on: &[(usize, usize)],
+    ) -> Result<ProbeSide, AlgebraError> {
+        let right_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+        if let (Some(cache), AlgebraExpr::Relation(name)) = (self.index_cache, right) {
+            let stats = self.stats.clone();
+            let idx = cache
+                .get_or_build(self.db, name, &right_cols, |len| {
+                    let mut s = stats.borrow_mut();
+                    s.base_scans += 1;
+                    s.base_tuples_read += len;
+                })
+                .map_err(AlgebraError::Storage)?;
+            return Ok(ProbeSide::Index(idx));
+        }
+        let tuples = self.materialize(right)?;
+        Ok(ProbeSide::Keys(
+            tuples.iter().map(|t| key_of(t, &right_cols)).collect(),
+        ))
+    }
+
+    /// Classical sort-merge equi-join: materialize and sort both inputs on
+    /// the join key, sweep both runs in lockstep, emit the cross product of
+    /// each matching key group.
+    fn sort_merge_join(
+        &self,
+        left: &AlgebraExpr,
+        right: &AlgebraExpr,
+        on: &[(usize, usize)],
+    ) -> Result<TupleIter<'_>, AlgebraError> {
+        let left_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+        let right_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+        let mut lt = self.materialize(left)?;
+        let mut rt = self.materialize(right)?;
+        lt.sort_by(|a, b| key_of(a, &left_cols).cmp(&key_of(b, &left_cols)));
+        rt.sort_by(|a, b| key_of(a, &right_cols).cmp(&key_of(b, &right_cols)));
+        // Charge the comparisons of both sort passes (n log n each).
+        {
+            let mut s = self.stats.borrow_mut();
+            let charge = |n: usize| {
+                if n > 1 {
+                    n * usize::BITS.saturating_sub(n.leading_zeros()) as usize
+                } else {
+                    0
+                }
+            };
+            s.comparisons += charge(lt.len()) + charge(rt.len());
+        }
+        let mut out: Vec<Tuple> = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < lt.len() && j < rt.len() {
+            self.stats.borrow_mut().comparisons += 1;
+            let lk = key_of(&lt[i], &left_cols);
+            let rk = key_of(&rt[j], &right_cols);
+            match lk.cmp(&rk) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    // group boundaries
+                    let i_end = (i..lt.len())
+                        .find(|&k| key_of(&lt[k], &left_cols) != lk)
+                        .unwrap_or(lt.len());
+                    let j_end = (j..rt.len())
+                        .find(|&k| key_of(&rt[k], &right_cols) != rk)
+                        .unwrap_or(rt.len());
+                    for l in &lt[i..i_end] {
+                        for r in &rt[j..j_end] {
+                            self.stats.borrow_mut().comparisons += 1;
+                            out.push(l.concat(r));
+                        }
+                    }
+                    i = i_end;
+                    j = j_end;
+                }
+            }
+        }
+        Ok(Box::new(out.into_iter()))
+    }
+
+    fn eval_division(
+        &self,
+        left: &AlgebraExpr,
+        right: &AlgebraExpr,
+        on: &[(usize, usize)],
+    ) -> Result<Vec<Tuple>, AlgebraError> {
+        let left_arity = arity_of(left, self.db)?;
+        let match_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+        let right_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+        let kept_cols: Vec<usize> =
+            (0..left_arity).filter(|c| !match_cols.contains(c)).collect();
+
+        let right_tuples = self.materialize(right)?;
+        let divisor: HashSet<Vec<Value>> =
+            right_tuples.iter().map(|t| key_of(t, &right_cols)).collect();
+
+        let left_tuples = self.materialize(left)?;
+        let mut groups: HashMap<Tuple, HashSet<Vec<Value>>> = HashMap::new();
+        let mut order: Vec<Tuple> = Vec::new();
+        for t in &left_tuples {
+            let key = t.project(&kept_cols);
+            let val = key_of(t, &match_cols);
+            let entry = groups.entry(key.clone()).or_insert_with(|| {
+                order.push(key);
+                HashSet::new()
+            });
+            entry.insert(val);
+            self.stats.borrow_mut().comparisons += 1;
+        }
+        let mut out = Vec::new();
+        for key in order {
+            let group = &groups[&key];
+            self.stats.borrow_mut().comparisons += divisor.len();
+            if divisor.iter().all(|d| group.contains(d)) {
+                out.push(key);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The probe structure of a join-family build side.
+enum ProbeSide {
+    /// Freshly materialized key set.
+    Keys(HashSet<Vec<Value>>),
+    /// A cached base-relation index.
+    Index(Rc<gq_storage::HashIndex>),
+}
+
+impl ProbeSide {
+    fn contains(&self, tuple: &Tuple, probe_cols: &[usize]) -> bool {
+        match self {
+            ProbeSide::Keys(keys) => keys.contains(&key_of(tuple, probe_cols)),
+            ProbeSide::Index(idx) => idx.contains_key_of(tuple, probe_cols),
+        }
+    }
+}
+
+/// Does the plan contain an inline literal relation (whose rendering is
+/// not a reliable cache identity)?
+fn contains_literal(e: &AlgebraExpr) -> bool {
+    matches!(e, AlgebraExpr::Literal(_)) || e.children().iter().any(|c| contains_literal(c))
+}
+
+fn key_of(t: &Tuple, cols: &[usize]) -> Vec<Value> {
+    cols.iter().map(|&c| t[c].clone()).collect()
+}
+
+fn build_index(
+    tuples: &[Tuple],
+    cols: impl Iterator<Item = usize>,
+) -> HashMap<Vec<Value>, Vec<usize>> {
+    let cols: Vec<usize> = cols.collect();
+    let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for (rid, t) in tuples.iter().enumerate() {
+        index.entry(key_of(t, &cols)).or_default().push(rid);
+    }
+    index
+}
+
+/// Evaluate a selection predicate on a tuple, counting one comparison per
+/// leaf test performed (short-circuiting, like the paper's pipelined
+/// filters).
+pub fn eval_predicate(p: &Predicate, t: &Tuple, stats: &mut ExecStats) -> bool {
+    match p {
+        Predicate::Cmp { left, op, right } => {
+            stats.comparisons += 1;
+            let l = operand_value(left, t);
+            let r = operand_value(right, t);
+            op.eval(l, r)
+        }
+        Predicate::IsNull(c) => {
+            stats.comparisons += 1;
+            t[*c].is_null()
+        }
+        Predicate::NotNull(c) => {
+            stats.comparisons += 1;
+            !t[*c].is_null()
+        }
+        Predicate::And(a, b) => eval_predicate(a, t, stats) && eval_predicate(b, t, stats),
+        Predicate::Or(a, b) => eval_predicate(a, t, stats) || eval_predicate(b, t, stats),
+        Predicate::Not(inner) => !eval_predicate(inner, t, stats),
+        Predicate::True => true,
+    }
+}
+
+fn operand_value<'t>(o: &'t Operand, t: &'t Tuple) -> &'t Value {
+    match o {
+        Operand::Col(c) => &t[*c],
+        Operand::Const(v) => v,
+    }
+}

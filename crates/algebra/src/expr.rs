@@ -1,0 +1,709 @@
+//! The extended relational algebra of the paper.
+//!
+//! Classical operators (selection, projection, product, join, semi-join,
+//! division, union, difference) plus the paper's two additions:
+//!
+//! * the **complement-join** `P ⊼_conj Q` (Definition 6) — the tuples of P
+//!   with *no* join partner in Q; generalizes set difference
+//!   (Proposition 3);
+//! * the **constrained outer-join** `P ⟖^const_comp Q` (Definition 7) — a
+//!   unidirectional outer-join that extends each P-tuple with one marker
+//!   column (`⊥` matched / `∅` unmatched) and only probes Q for tuples
+//!   satisfying `const`, a conjunction of `= ∅` / `≠ ∅` tests on earlier
+//!   marker columns.
+//!
+//! All operators are positional (0-based; the paper's π₁ is `positions=[0]`).
+
+use gq_calculus::CompareOp;
+use gq_storage::{Relation, Value};
+use std::fmt;
+
+/// An operand of a selection predicate: a column or a constant.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Operand {
+    /// 0-based attribute position.
+    Col(usize),
+    /// A constant value.
+    Const(Value),
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Col(i) => write!(f, "#{i}"),
+            Operand::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A selection predicate over a single tuple.
+///
+/// Comparisons use plain two-valued logic on [`Value`]s; the outer-join
+/// markers are tested with the dedicated [`Predicate::IsNull`] /
+/// [`Predicate::NotNull`] forms (the paper's `i = ∅` / `i ≠ ∅`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Predicate {
+    /// `left op right`.
+    Cmp {
+        /// Left operand.
+        left: Operand,
+        /// Comparison operator.
+        op: CompareOp,
+        /// Right operand.
+        right: Operand,
+    },
+    /// `#col = ∅`.
+    IsNull(usize),
+    /// `#col ≠ ∅`.
+    NotNull(usize),
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+    /// Always true.
+    True,
+}
+
+impl Predicate {
+    /// `#col op constant`.
+    pub fn col_const(col: usize, op: CompareOp, v: impl Into<Value>) -> Predicate {
+        Predicate::Cmp {
+            left: Operand::Col(col),
+            op,
+            right: Operand::Const(v.into()),
+        }
+    }
+
+    /// `#a op #b`.
+    pub fn col_col(a: usize, op: CompareOp, b: usize) -> Predicate {
+        Predicate::Cmp {
+            left: Operand::Col(a),
+            op,
+            right: Operand::Col(b),
+        }
+    }
+
+    /// Conjunction of a list (True for the empty list).
+    pub fn and_all(ps: Vec<Predicate>) -> Predicate {
+        ps.into_iter()
+            .reduce(|a, b| Predicate::And(Box::new(a), Box::new(b)))
+            .unwrap_or(Predicate::True)
+    }
+
+    /// Disjunction of a non-empty list.
+    pub fn or_all(ps: Vec<Predicate>) -> Predicate {
+        ps.into_iter()
+            .reduce(|a, b| Predicate::Or(Box::new(a), Box::new(b)))
+            .expect("or_all of empty list")
+    }
+
+    /// Largest column index referenced, if any — used for arity validation.
+    pub fn max_col(&self) -> Option<usize> {
+        match self {
+            Predicate::Cmp { left, right, .. } => {
+                let l = match left {
+                    Operand::Col(i) => Some(*i),
+                    _ => None,
+                };
+                let r = match right {
+                    Operand::Col(i) => Some(*i),
+                    _ => None,
+                };
+                l.max(r)
+            }
+            Predicate::IsNull(i) | Predicate::NotNull(i) => Some(*i),
+            Predicate::And(a, b) | Predicate::Or(a, b) => a.max_col().max(b.max_col()),
+            Predicate::Not(p) => p.max_col(),
+            Predicate::True => None,
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Cmp { left, op, right } => write!(f, "{left}{op}{right}"),
+            Predicate::IsNull(i) => write!(f, "#{i}=∅"),
+            Predicate::NotNull(i) => write!(f, "#{i}≠∅"),
+            Predicate::And(a, b) => write!(f, "({a} ∧ {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} ∨ {b})"),
+            Predicate::Not(p) => write!(f, "¬{p}"),
+            Predicate::True => write!(f, "true"),
+        }
+    }
+}
+
+/// Equality pairs for join-family operators: `(left_col, right_col)`.
+pub type JoinOn = Vec<(usize, usize)>;
+
+/// A marker-column constraint of a constrained outer-join (Definition 7):
+/// a conjunction of `column = ∅` (`must_be_null = true`) or `column ≠ ∅`
+/// tests on the left operand.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Constraint {
+    /// `(column, must_be_null)` conjuncts.
+    pub tests: Vec<(usize, bool)>,
+}
+
+impl Constraint {
+    /// The empty (always-true) constraint.
+    pub fn none() -> Constraint {
+        Constraint::default()
+    }
+
+    /// A single-test constraint.
+    pub fn single(col: usize, must_be_null: bool) -> Constraint {
+        Constraint {
+            tests: vec![(col, must_be_null)],
+        }
+    }
+
+    /// True iff the tuple satisfies every test.
+    pub fn satisfied_by(&self, t: &gq_storage::Tuple) -> bool {
+        self.tests
+            .iter()
+            .all(|&(c, null)| t[c].is_null() == null)
+    }
+
+    /// True iff there are no tests.
+    pub fn is_empty(&self) -> bool {
+        self.tests.is_empty()
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (c, null)) in self.tests.iter().enumerate() {
+            if i > 0 {
+                write!(f, "∧")?;
+            }
+            write!(f, "#{c}{}∅", if *null { "=" } else { "≠" })?;
+        }
+        Ok(())
+    }
+}
+
+/// A relational algebra expression.
+#[derive(Clone, PartialEq, Debug)]
+pub enum AlgebraExpr {
+    /// Scan a catalog relation by name.
+    Relation(String),
+    /// An inline literal relation (tests, small constants).
+    Literal(Relation),
+    /// σ: keep tuples satisfying the predicate.
+    Select {
+        /// Input expression.
+        input: Box<AlgebraExpr>,
+        /// Filter predicate.
+        predicate: Predicate,
+    },
+    /// π: project onto positions (duplicates removed — set semantics).
+    Project {
+        /// Input expression.
+        input: Box<AlgebraExpr>,
+        /// 0-based output positions.
+        positions: Vec<usize>,
+    },
+    /// ×: cartesian product.
+    Product {
+        /// Left input.
+        left: Box<AlgebraExpr>,
+        /// Right input.
+        right: Box<AlgebraExpr>,
+    },
+    /// ⋈: equi-join; output is left ++ right.
+    Join {
+        /// Left input.
+        left: Box<AlgebraExpr>,
+        /// Right input.
+        right: Box<AlgebraExpr>,
+        /// Equality pairs.
+        on: JoinOn,
+    },
+    /// ⋉: semi-join; left tuples with at least one partner.
+    SemiJoin {
+        /// Left input.
+        left: Box<AlgebraExpr>,
+        /// Right input.
+        right: Box<AlgebraExpr>,
+        /// Equality pairs.
+        on: JoinOn,
+    },
+    /// ⊼: complement-join (Definition 6); left tuples with *no* partner.
+    ComplementJoin {
+        /// Left input.
+        left: Box<AlgebraExpr>,
+        /// Right input.
+        right: Box<AlgebraExpr>,
+        /// Equality pairs.
+        on: JoinOn,
+    },
+    /// ÷: division. Output columns are the left columns *not* matched;
+    /// a tuple is emitted iff it combines with **every** right tuple
+    /// (projected to the matched columns) into a left tuple.
+    Division {
+        /// Dividend.
+        left: Box<AlgebraExpr>,
+        /// Divisor.
+        right: Box<AlgebraExpr>,
+        /// `(left_col, right_col)` pairs matched against the divisor.
+        on: JoinOn,
+    },
+    /// ∪: set union (same arity).
+    Union {
+        /// Left input.
+        left: Box<AlgebraExpr>,
+        /// Right input.
+        right: Box<AlgebraExpr>,
+    },
+    /// −: set difference (same arity).
+    Difference {
+        /// Left input.
+        left: Box<AlgebraExpr>,
+        /// Right input.
+        right: Box<AlgebraExpr>,
+    },
+    /// ⟖: unidirectional (left) outer-join [LP 76] — output left ++ right,
+    /// with unmatched left tuples padded with ∅.
+    LeftOuterJoin {
+        /// Left (preserved) input.
+        left: Box<AlgebraExpr>,
+        /// Right input.
+        right: Box<AlgebraExpr>,
+        /// Equality pairs.
+        on: JoinOn,
+    },
+    /// γcount: group by the given columns and append the group cardinality
+    /// as an integer column. Not part of the paper's algebra — provided for
+    /// the *Quel-style aggregate baseline* its introduction criticizes
+    /// ("one has to pose a query comparing the numbers of tuples
+    /// satisfying Q and P, respectively").
+    GroupCount {
+        /// Input expression.
+        input: Box<AlgebraExpr>,
+        /// 0-based grouping columns (empty = one global count row).
+        group: Vec<usize>,
+    },
+    /// ⟖ᶜ: constrained outer-join (Definition 7) — output is left extended
+    /// with ONE marker column: `⊥` if the tuple satisfies `constraint` and
+    /// has a partner, `∅` otherwise. Tuples failing `constraint` are not
+    /// probed against the right side at all.
+    ConstrainedOuterJoin {
+        /// Left (preserved) input.
+        left: Box<AlgebraExpr>,
+        /// Right input.
+        right: Box<AlgebraExpr>,
+        /// Equality pairs.
+        on: JoinOn,
+        /// Marker-column constraint gating the probe.
+        constraint: Constraint,
+    },
+}
+
+impl AlgebraExpr {
+    /// Scan a named relation.
+    pub fn relation(name: impl Into<String>) -> AlgebraExpr {
+        AlgebraExpr::Relation(name.into())
+    }
+
+    /// σ.
+    pub fn select(self, predicate: Predicate) -> AlgebraExpr {
+        AlgebraExpr::Select {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    /// π.
+    pub fn project(self, positions: Vec<usize>) -> AlgebraExpr {
+        AlgebraExpr::Project {
+            input: Box::new(self),
+            positions,
+        }
+    }
+
+    /// ×.
+    pub fn product(self, right: AlgebraExpr) -> AlgebraExpr {
+        AlgebraExpr::Product {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
+    }
+
+    /// ⋈.
+    pub fn join(self, right: AlgebraExpr, on: JoinOn) -> AlgebraExpr {
+        AlgebraExpr::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            on,
+        }
+    }
+
+    /// ⋉.
+    pub fn semi_join(self, right: AlgebraExpr, on: JoinOn) -> AlgebraExpr {
+        AlgebraExpr::SemiJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            on,
+        }
+    }
+
+    /// ⊼ (Definition 6).
+    ///
+    /// ```
+    /// use gq_algebra::{AlgebraExpr, Evaluator};
+    /// use gq_storage::{tuple, Database, Schema};
+    ///
+    /// let mut db = Database::new();
+    /// db.create_relation("member", Schema::new(vec!["person", "dept"]).unwrap()).unwrap();
+    /// db.create_relation("skill", Schema::new(vec!["person", "topic"]).unwrap()).unwrap();
+    /// db.insert("member", tuple!["ann", "cs"]).unwrap();
+    /// db.insert("member", tuple!["bob", "cs"]).unwrap();
+    /// db.insert("skill", tuple!["ann", "db"]).unwrap();
+    ///
+    /// // §3.1's Q₂: member(x,z) ∧ ¬skill(x,db) — one operator, no
+    /// // join-plus-difference detour.
+    /// let plan = AlgebraExpr::relation("member")
+    ///     .complement_join(AlgebraExpr::relation("skill"), vec![(0, 0)]);
+    /// let out = Evaluator::new(&db).eval(&plan).unwrap();
+    /// assert_eq!(out.sorted_tuples(), vec![tuple!["bob", "cs"]]);
+    /// ```
+    pub fn complement_join(self, right: AlgebraExpr, on: JoinOn) -> AlgebraExpr {
+        AlgebraExpr::ComplementJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            on,
+        }
+    }
+
+    /// ÷.
+    pub fn divide(self, right: AlgebraExpr, on: JoinOn) -> AlgebraExpr {
+        AlgebraExpr::Division {
+            left: Box::new(self),
+            right: Box::new(right),
+            on,
+        }
+    }
+
+    /// ∪.
+    pub fn union(self, right: AlgebraExpr) -> AlgebraExpr {
+        AlgebraExpr::Union {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
+    }
+
+    /// −.
+    pub fn difference(self, right: AlgebraExpr) -> AlgebraExpr {
+        AlgebraExpr::Difference {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
+    }
+
+    /// ⟖ (unidirectional outer-join).
+    pub fn left_outer_join(self, right: AlgebraExpr, on: JoinOn) -> AlgebraExpr {
+        AlgebraExpr::LeftOuterJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            on,
+        }
+    }
+
+    /// γcount (group-by count; the Quel-baseline aggregate).
+    pub fn group_count(self, group: Vec<usize>) -> AlgebraExpr {
+        AlgebraExpr::GroupCount {
+            input: Box::new(self),
+            group,
+        }
+    }
+
+    /// ⟖ᶜ (constrained outer-join, Definition 7).
+    ///
+    /// ```
+    /// use gq_algebra::{AlgebraExpr, Constraint, Evaluator, Predicate};
+    /// use gq_storage::{tuple, Database, Schema};
+    ///
+    /// let mut db = Database::new();
+    /// for (name, vals) in [("p", vec!["a", "b", "c", "d"]),
+    ///                      ("t", vec!["a", "b", "e"]),
+    ///                      ("u", vec!["a", "c", "f"])] {
+    ///     db.create_relation(name, Schema::new(vec!["v"]).unwrap()).unwrap();
+    ///     for v in vals { db.insert(name, tuple![v]).unwrap(); }
+    /// }
+    ///
+    /// // Figure 3's Q₁: P(x) ∧ (T(x) ∨ U(x)) — the second probe is gated
+    /// // so tuples already matched in T skip U entirely.
+    /// let plan = AlgebraExpr::relation("p")
+    ///     .constrained_outer_join(AlgebraExpr::relation("t"), vec![(0, 0)], Constraint::none())
+    ///     .constrained_outer_join(AlgebraExpr::relation("u"), vec![(0, 0)],
+    ///                             Constraint::single(1, true))
+    ///     .select(Predicate::Or(Box::new(Predicate::NotNull(1)),
+    ///                           Box::new(Predicate::NotNull(2))))
+    ///     .project(vec![0]);
+    /// let out = Evaluator::new(&db).eval(&plan).unwrap();
+    /// assert_eq!(out.sorted_tuples(), vec![tuple!["a"], tuple!["b"], tuple!["c"]]);
+    /// ```
+    pub fn constrained_outer_join(
+        self,
+        right: AlgebraExpr,
+        on: JoinOn,
+        constraint: Constraint,
+    ) -> AlgebraExpr {
+        AlgebraExpr::ConstrainedOuterJoin {
+            left: Box::new(self),
+            right: Box::new(right),
+            on,
+            constraint,
+        }
+    }
+
+    /// Immediate children.
+    pub fn children(&self) -> Vec<&AlgebraExpr> {
+        match self {
+            AlgebraExpr::Relation(_) | AlgebraExpr::Literal(_) => vec![],
+            AlgebraExpr::Select { input, .. }
+            | AlgebraExpr::Project { input, .. }
+            | AlgebraExpr::GroupCount { input, .. } => {
+                vec![input]
+            }
+            AlgebraExpr::Product { left, right }
+            | AlgebraExpr::Join { left, right, .. }
+            | AlgebraExpr::SemiJoin { left, right, .. }
+            | AlgebraExpr::ComplementJoin { left, right, .. }
+            | AlgebraExpr::Division { left, right, .. }
+            | AlgebraExpr::Union { left, right }
+            | AlgebraExpr::Difference { left, right }
+            | AlgebraExpr::LeftOuterJoin { left, right, .. }
+            | AlgebraExpr::ConstrainedOuterJoin { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// Number of operator nodes.
+    pub fn node_count(&self) -> usize {
+        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+    }
+
+    /// Does the plan contain a division operator? (Claim C3: the improved
+    /// translation needs division only in Proposition 4 case 5.)
+    pub fn uses_division(&self) -> bool {
+        matches!(self, AlgebraExpr::Division { .. })
+            || self.children().iter().any(|c| c.uses_division())
+    }
+
+    /// Does the plan contain a cartesian product? (Claim C2.)
+    pub fn uses_product(&self) -> bool {
+        matches!(self, AlgebraExpr::Product { .. })
+            || self.children().iter().any(|c| c.uses_product())
+    }
+
+    /// Render the plan as an indented tree (for EXPLAIN output).
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        let line: String = match self {
+            AlgebraExpr::Relation(n) => format!("scan {n}"),
+            AlgebraExpr::Literal(r) => format!("literal ({} rows)", r.len()),
+            AlgebraExpr::Select { predicate, .. } => format!("σ [{predicate}]"),
+            AlgebraExpr::Project { positions, .. } => format!("π {positions:?}"),
+            AlgebraExpr::GroupCount { group, .. } => format!("γcount group={group:?}"),
+            AlgebraExpr::Product { .. } => "× product".into(),
+            AlgebraExpr::Join { on, .. } => format!("⋈ join on {on:?}"),
+            AlgebraExpr::SemiJoin { on, .. } => format!("⋉ semi-join on {on:?}"),
+            AlgebraExpr::ComplementJoin { on, .. } => format!("⊼ complement-join on {on:?}"),
+            AlgebraExpr::Division { on, .. } => format!("÷ division on {on:?}"),
+            AlgebraExpr::Union { .. } => "∪ union".into(),
+            AlgebraExpr::Difference { .. } => "− difference".into(),
+            AlgebraExpr::LeftOuterJoin { on, .. } => format!("⟖ outer-join on {on:?}"),
+            AlgebraExpr::ConstrainedOuterJoin { on, constraint, .. } => {
+                if constraint.is_empty() {
+                    format!("⟖ᶜ marker-join on {on:?}")
+                } else {
+                    format!("⟖ᶜ marker-join on {on:?} gate {constraint}")
+                }
+            }
+        };
+        writeln!(out, "{pad}{line}").expect("string write");
+        for c in self.children() {
+            c.render_into(out, depth + 1);
+        }
+    }
+
+    /// Names of scanned base relations, with multiplicity, in plan order.
+    /// (Claim C1: each range relation is searched only once.)
+    pub fn scanned_relations(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a AlgebraExpr, out: &mut Vec<&'a str>) {
+            if let AlgebraExpr::Relation(n) = e {
+                out.push(n);
+            }
+            for c in e.children() {
+                walk(c, out);
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+}
+
+fn write_on(f: &mut fmt::Formatter<'_>, on: &JoinOn) -> fmt::Result {
+    for (i, (l, r)) in on.iter().enumerate() {
+        if i > 0 {
+            write!(f, "∧")?;
+        }
+        write!(f, "{l}={r}")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for AlgebraExpr {
+    /// Single-line rendering in the paper's notation.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraExpr::Relation(n) => write!(f, "{n}"),
+            AlgebraExpr::Literal(r) => {
+                if r.name().is_empty() {
+                    write!(f, "<lit:{}>", r.len())
+                } else {
+                    write!(f, "{}", r.name())
+                }
+            }
+            AlgebraExpr::Select { input, predicate } => write!(f, "σ[{predicate}]({input})"),
+            AlgebraExpr::Project { input, positions } => {
+                write!(f, "π[")?;
+                for (i, p) in positions.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, "]({input})")
+            }
+            AlgebraExpr::GroupCount { input, group } => {
+                write!(f, "γcount[")?;
+                for (i, g) in group.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, "]({input})")
+            }
+            AlgebraExpr::Product { left, right } => write!(f, "({left} × {right})"),
+            AlgebraExpr::Join { left, right, on } => {
+                write!(f, "({left} ⋈[")?;
+                write_on(f, on)?;
+                write!(f, "] {right})")
+            }
+            AlgebraExpr::SemiJoin { left, right, on } => {
+                write!(f, "({left} ⋉[")?;
+                write_on(f, on)?;
+                write!(f, "] {right})")
+            }
+            AlgebraExpr::ComplementJoin { left, right, on } => {
+                write!(f, "({left} ⊼[")?;
+                write_on(f, on)?;
+                write!(f, "] {right})")
+            }
+            AlgebraExpr::Division { left, right, on } => {
+                write!(f, "({left} ÷[")?;
+                write_on(f, on)?;
+                write!(f, "] {right})")
+            }
+            AlgebraExpr::Union { left, right } => write!(f, "({left} ∪ {right})"),
+            AlgebraExpr::Difference { left, right } => write!(f, "({left} − {right})"),
+            AlgebraExpr::LeftOuterJoin { left, right, on } => {
+                write!(f, "({left} ⟖[")?;
+                write_on(f, on)?;
+                write!(f, "] {right})")
+            }
+            AlgebraExpr::ConstrainedOuterJoin {
+                left,
+                right,
+                on,
+                constraint,
+            } => {
+                write!(f, "({left} ⟖")?;
+                if !constraint.is_empty() {
+                    write!(f, "{{{constraint}}}")?;
+                }
+                write!(f, "[")?;
+                write_on(f, on)?;
+                write!(f, "] {right})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_display() {
+        let e = AlgebraExpr::relation("member")
+            .complement_join(
+                AlgebraExpr::relation("skill")
+                    .select(Predicate::col_const(1, CompareOp::Eq, "db"))
+                    .project(vec![0]),
+                vec![(0, 0)],
+            );
+        assert_eq!(
+            e.to_string(),
+            "(member ⊼[0=0] π[0](σ[#1=db](skill)))"
+        );
+    }
+
+    #[test]
+    fn division_detection() {
+        let d = AlgebraExpr::relation("g").divide(AlgebraExpr::relation("t"), vec![(2, 0)]);
+        assert!(d.uses_division());
+        assert!(!AlgebraExpr::relation("g").uses_division());
+    }
+
+    #[test]
+    fn product_detection_and_scans() {
+        let e = AlgebraExpr::relation("a")
+            .product(AlgebraExpr::relation("b"))
+            .join(AlgebraExpr::relation("a"), vec![(0, 0)]);
+        assert!(e.uses_product());
+        assert_eq!(e.scanned_relations(), vec!["a", "b", "a"]);
+    }
+
+    #[test]
+    fn predicate_helpers() {
+        let p = Predicate::and_all(vec![
+            Predicate::col_const(0, CompareOp::Ne, "cs"),
+            Predicate::NotNull(2),
+        ]);
+        assert_eq!(p.max_col(), Some(2));
+        assert_eq!(p.to_string(), "(#0≠cs ∧ #2≠∅)");
+        assert_eq!(Predicate::and_all(vec![]), Predicate::True);
+    }
+
+    #[test]
+    fn constraint_satisfaction() {
+        use gq_storage::{Tuple, Value};
+        let c = Constraint {
+            tests: vec![(1, true), (2, false)],
+        };
+        let t = Tuple::new(vec![Value::str("a"), Value::Null, Value::Matched]);
+        assert!(c.satisfied_by(&t));
+        let u = Tuple::new(vec![Value::str("a"), Value::Matched, Value::Matched]);
+        assert!(!c.satisfied_by(&u));
+    }
+
+    #[test]
+    fn node_count() {
+        let e = AlgebraExpr::relation("a").select(Predicate::True).project(vec![0]);
+        assert_eq!(e.node_count(), 3);
+    }
+}

@@ -1,0 +1,110 @@
+//! A cross-query cache of hash indexes over base relations.
+//!
+//! Join-family operators whose build side is a *base relation scan* can
+//! probe a persistent [`HashIndex`](gq_storage::HashIndex) instead of
+//! rebuilding a key set per query. The cache is owned by the caller
+//! (typically the engine), shared by every [`Evaluator`](crate::Evaluator)
+//! created with [`Evaluator::with_index_cache`](crate::Evaluator), and
+//! must be [cleared](IndexCache::clear) whenever the database is mutated.
+
+use gq_storage::{Database, HashIndex};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Cache key: relation name + build columns.
+type Key = (String, Vec<usize>);
+
+/// A registry of base-relation hash indexes.
+#[derive(Debug, Default)]
+pub struct IndexCache {
+    inner: RefCell<HashMap<Key, Rc<HashIndex>>>,
+}
+
+impl IndexCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        IndexCache::default()
+    }
+
+    /// The index on `relation`'s `cols`, building (and recording the build
+    /// cost via `on_build`) only on first use.
+    pub fn get_or_build(
+        &self,
+        db: &Database,
+        relation: &str,
+        cols: &[usize],
+        on_build: impl FnOnce(usize),
+    ) -> Result<Rc<HashIndex>, gq_storage::StorageError> {
+        let key = (relation.to_string(), cols.to_vec());
+        if let Some(idx) = self.inner.borrow().get(&key) {
+            return Ok(idx.clone());
+        }
+        let rel = db.relation(relation)?;
+        rel.validate_positions(cols)?;
+        let idx = Rc::new(HashIndex::build(rel, cols));
+        on_build(rel.len());
+        self.inner.borrow_mut().insert(key, idx.clone());
+        Ok(idx)
+    }
+
+    /// Number of cached indexes.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+
+    /// Drop every cached index (call after any database mutation).
+    pub fn clear(&self) {
+        self.inner.borrow_mut().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gq_storage::{tuple, Schema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_relation("r", Schema::anonymous(2)).unwrap();
+        db.insert("r", tuple![1, 10]).unwrap();
+        db.insert("r", tuple![2, 20]).unwrap();
+        db
+    }
+
+    #[test]
+    fn builds_once_per_key() {
+        let db = db();
+        let cache = IndexCache::new();
+        let mut builds = 0;
+        let a = cache.get_or_build(&db, "r", &[0], |_| builds += 1).unwrap();
+        let b = cache.get_or_build(&db, "r", &[0], |_| builds += 1).unwrap();
+        assert!(Rc::ptr_eq(&a, &b));
+        assert_eq!(builds, 1);
+        // different columns → different index
+        cache.get_or_build(&db, "r", &[1], |_| builds += 1).unwrap();
+        assert_eq!(builds, 2);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn clear_invalidates() {
+        let db = db();
+        let cache = IndexCache::new();
+        cache.get_or_build(&db, "r", &[0], |_| {}).unwrap();
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let cache = IndexCache::new();
+        assert!(cache.get_or_build(&db(), "ghost", &[0], |_| {}).is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! # gq-algebra — the paper's extended relational algebra
+//!
+//! Operators and a pipelined evaluator for the relational algebra of Bry
+//! (SIGMOD 1989), including the paper's two new operators:
+//!
+//! * the **complement-join** ([`AlgebraExpr::ComplementJoin`], Definition 6)
+//!   — `P ⊼ Q`, the P-tuples with no join partner in Q, generalizing set
+//!   difference (Proposition 3);
+//! * the **constrained outer-join**
+//!   ([`AlgebraExpr::ConstrainedOuterJoin`], Definition 7) — a
+//!   marker-producing unidirectional outer-join that skips probing for
+//!   tuples already decided by earlier disjuncts (Proposition 5);
+//!
+//! plus the **non-emptiness test** with boolean connectives ([`BoolExpr`],
+//! §3.2) for closed queries, and [`ExecStats`] instrumentation backing the
+//! paper's operation-count claims.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod boolean;
+mod error;
+mod estimate;
+mod eval;
+mod expr;
+mod index_cache;
+mod optimize;
+mod stats;
+
+#[cfg(test)]
+mod eval_tests;
+#[cfg(test)]
+mod outerjoin_laws;
+#[cfg(test)]
+mod prop3_tests;
+
+pub use boolean::BoolExpr;
+pub use error::AlgebraError;
+pub use estimate::estimate;
+pub use eval::{arity_of, eval_predicate, Evaluator, JoinAlgorithm, TupleIter};
+pub use index_cache::IndexCache;
+pub use expr::{AlgebraExpr, Constraint, JoinOn, Operand, Predicate};
+pub use optimize::optimize;
+pub use stats::ExecStats;

@@ -1,0 +1,150 @@
+//! Property tests of outer-join manipulation laws.
+//!
+//! §3.3 notes that the "manipulation rules for outer-joins … given in
+//! [RR 84]" apply to constrained outer-joins as well. These tests verify
+//! the laws the translator's correctness rests on, over random relations:
+//!
+//! * selection on preserved-side columns commutes with a (constrained)
+//!   outer-join;
+//! * unconstrained marker joins commute (modulo marker-column order);
+//! * probe-gating constraints change markers but never the σ(∨)-filtered
+//!   answer (the disjuncts they skip are already decided);
+//! * the marker chain agrees with the union-of-semi-joins semantics for
+//!   every negation pattern (Proposition 5 at the algebra level).
+
+use crate::{AlgebraExpr, Constraint, Evaluator, Predicate};
+use gq_calculus::CompareOp;
+use gq_storage::{Database, Schema, Tuple, Value};
+use proptest::prelude::*;
+
+fn arb_unary(max: usize) -> impl Strategy<Value = Vec<i64>> {
+    prop::collection::vec(0i64..12, 0..max)
+}
+
+fn load_db(p: &[i64], t: &[i64], u: &[i64]) -> Database {
+    let mut db = Database::new();
+    for (name, rows) in [("p", p), ("t", t), ("u", u)] {
+        db.create_relation(name, Schema::anonymous(1)).unwrap();
+        for &v in rows {
+            let _ = db.insert(name, Tuple::new(vec![Value::Int(v)]));
+        }
+    }
+    db
+}
+
+proptest! {
+    /// σ over preserved-side columns commutes with ⟖ᶜ.
+    #[test]
+    fn selection_commutes_with_marker_join(
+        p in arb_unary(25), t in arb_unary(25), threshold in 0i64..12,
+    ) {
+        let db = load_db(&p, &t, &[]);
+        let pred = Predicate::col_const(0, CompareOp::Lt, threshold);
+        let a = AlgebraExpr::relation("p")
+            .constrained_outer_join(AlgebraExpr::relation("t"), vec![(0, 0)], Constraint::none())
+            .select(pred.clone());
+        let b = AlgebraExpr::relation("p")
+            .select(pred)
+            .constrained_outer_join(AlgebraExpr::relation("t"), vec![(0, 0)], Constraint::none());
+        let ev = Evaluator::new(&db);
+        let ra = ev.eval(&a).unwrap();
+        let rb = ev.eval(&b).unwrap();
+        prop_assert!(ra.set_eq(&rb));
+    }
+
+    /// Unconstrained marker joins commute modulo marker column order.
+    #[test]
+    fn unconstrained_marker_joins_commute(
+        p in arb_unary(25), t in arb_unary(25), u in arb_unary(25),
+    ) {
+        let db = load_db(&p, &t, &u);
+        let tu = AlgebraExpr::relation("p")
+            .constrained_outer_join(AlgebraExpr::relation("t"), vec![(0, 0)], Constraint::none())
+            .constrained_outer_join(AlgebraExpr::relation("u"), vec![(0, 0)], Constraint::none());
+        let ut = AlgebraExpr::relation("p")
+            .constrained_outer_join(AlgebraExpr::relation("u"), vec![(0, 0)], Constraint::none())
+            .constrained_outer_join(AlgebraExpr::relation("t"), vec![(0, 0)], Constraint::none())
+            .project(vec![0, 2, 1]); // swap marker columns back
+        let ev = Evaluator::new(&db);
+        let a = ev.eval(&tu).unwrap();
+        let b = ev.eval(&ut).unwrap();
+        prop_assert!(a.set_eq(&b));
+    }
+
+    /// Probe-gating never changes the filtered answer: for the positive
+    /// 2-disjunct chain, σ[m1≠∅ ∨ m2≠∅] over the constrained chain equals
+    /// the same selection over the unconstrained chain.
+    #[test]
+    fn gating_preserves_filtered_answer(
+        p in arb_unary(30), t in arb_unary(30), u in arb_unary(30),
+    ) {
+        let db = load_db(&p, &t, &u);
+        let sigma = Predicate::Or(
+            Box::new(Predicate::NotNull(1)),
+            Box::new(Predicate::NotNull(2)),
+        );
+        let gated = AlgebraExpr::relation("p")
+            .constrained_outer_join(AlgebraExpr::relation("t"), vec![(0, 0)], Constraint::none())
+            .constrained_outer_join(
+                AlgebraExpr::relation("u"),
+                vec![(0, 0)],
+                Constraint::single(1, true),
+            )
+            .select(sigma.clone())
+            .project(vec![0]);
+        let ungated = AlgebraExpr::relation("p")
+            .constrained_outer_join(AlgebraExpr::relation("t"), vec![(0, 0)], Constraint::none())
+            .constrained_outer_join(AlgebraExpr::relation("u"), vec![(0, 0)], Constraint::none())
+            .select(sigma)
+            .project(vec![0]);
+        let ev = Evaluator::new(&db);
+        let a = ev.eval(&gated).unwrap();
+        let b = ev.eval(&ungated).unwrap();
+        prop_assert!(a.set_eq(&b));
+        // …and the gated chain never probes more.
+        let ev_g = Evaluator::new(&db);
+        ev_g.eval(&gated).unwrap();
+        let ev_u = Evaluator::new(&db);
+        ev_u.eval(&ungated).unwrap();
+        prop_assert!(ev_g.stats().probes <= ev_u.stats().probes);
+    }
+
+    /// Proposition 5 at the algebra level, for every negation pattern of
+    /// two disjuncts: the marker chain with Λᵢ-adjusted σ equals the
+    /// direct per-tuple evaluation of `p(x) ∧ (Λ₁t(x) ∨ Λ₂u(x))`.
+    #[test]
+    fn prop5_matches_oracle_all_negation_patterns(
+        p in arb_unary(30), t in arb_unary(30), u in arb_unary(30),
+        neg1 in any::<bool>(), neg2 in any::<bool>(),
+    ) {
+        let db = load_db(&p, &t, &u);
+        // const(1) per the paper: positive first disjunct → probe u only
+        // when marker1 = ∅; negated first disjunct → only when ≠ ∅.
+        let gate = Constraint::single(1, !neg1);
+        let m1 = if neg1 { Predicate::IsNull(1) } else { Predicate::NotNull(1) };
+        let m2 = if neg2 { Predicate::IsNull(2) } else { Predicate::NotNull(2) };
+        let plan = AlgebraExpr::relation("p")
+            .constrained_outer_join(AlgebraExpr::relation("t"), vec![(0, 0)], Constraint::none())
+            .constrained_outer_join(AlgebraExpr::relation("u"), vec![(0, 0)], gate)
+            .select(Predicate::Or(Box::new(m1), Box::new(m2)))
+            .project(vec![0]);
+        let ev = Evaluator::new(&db);
+        let got = ev.eval(&plan).unwrap();
+        // oracle
+        let t_set: std::collections::HashSet<i64> = t.iter().copied().collect();
+        let u_set: std::collections::HashSet<i64> = u.iter().copied().collect();
+        let mut p_sorted: Vec<i64> = p.clone();
+        p_sorted.sort();
+        p_sorted.dedup();
+        for &v in &p_sorted {
+            let d1 = t_set.contains(&v) != neg1;
+            let d2 = u_set.contains(&v) != neg2;
+            let expected = d1 || d2;
+            let actual = got.contains(&Tuple::new(vec![Value::Int(v)]));
+            prop_assert_eq!(actual, expected, "value {} (neg1={}, neg2={})", v, neg1, neg2);
+        }
+        prop_assert_eq!(got.len(), p_sorted.iter().filter(|&&v| {
+            (t_set.contains(&v) != neg1) || (u_set.contains(&v) != neg2)
+        }).count());
+    }
+}

@@ -1,0 +1,119 @@
+//! Execution statistics.
+//!
+//! The paper's efficiency claims are about *operation counts*, not
+//! wall-clock time on 1989 hardware: how often each relation is searched,
+//! how many tuples are accessed, how many tuple comparisons are performed,
+//! and how large intermediate results grow. Every physical operator reports
+//! into this accumulator so benches can verify the claims directly.
+
+use std::fmt;
+
+/// Counters accumulated during plan evaluation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Tuples read from *base* relations (each scan of a base relation
+    /// counts its cardinality — claim C1 is about this number).
+    pub base_tuples_read: usize,
+    /// Number of base-relation scans performed.
+    pub base_scans: usize,
+    /// Tuple comparisons: one per candidate pair examined by a join-family
+    /// operator, per predicate evaluation, and per set-membership test.
+    pub comparisons: usize,
+    /// Hash-index probes performed by join-family operators.
+    pub probes: usize,
+    /// Tuples emitted by all operators (including the final result).
+    pub tuples_emitted: usize,
+    /// Total tuples materialized into intermediate results.
+    pub intermediate_tuples: usize,
+    /// Cardinality of the largest single intermediate result.
+    pub max_intermediate: usize,
+    /// Number of operator evaluations.
+    pub operators_evaluated: usize,
+    /// Materializations answered from the shared-subplan cache
+    /// (see `Evaluator::with_sharing`).
+    pub memo_hits: usize,
+}
+
+impl ExecStats {
+    /// Fresh (all-zero) stats.
+    pub fn new() -> Self {
+        ExecStats::default()
+    }
+
+    /// Record the materialization of an intermediate result of `n` tuples.
+    pub fn record_intermediate(&mut self, n: usize) {
+        self.intermediate_tuples += n;
+        self.max_intermediate = self.max_intermediate.max(n);
+    }
+
+    /// Merge another stats record into this one (max fields use max).
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.base_tuples_read += other.base_tuples_read;
+        self.base_scans += other.base_scans;
+        self.comparisons += other.comparisons;
+        self.probes += other.probes;
+        self.tuples_emitted += other.tuples_emitted;
+        self.intermediate_tuples += other.intermediate_tuples;
+        self.max_intermediate = self.max_intermediate.max(other.max_intermediate);
+        self.operators_evaluated += other.operators_evaluated;
+        self.memo_hits += other.memo_hits;
+    }
+}
+
+impl fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scans={} base_reads={} probes={} comparisons={} emitted={} intermediates={} max_intermediate={} memo_hits={}",
+            self.base_scans,
+            self.base_tuples_read,
+            self.probes,
+            self.comparisons,
+            self.tuples_emitted,
+            self.intermediate_tuples,
+            self.max_intermediate,
+            self.memo_hits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_intermediate_tracks_max() {
+        let mut s = ExecStats::new();
+        s.record_intermediate(10);
+        s.record_intermediate(3);
+        assert_eq!(s.intermediate_tuples, 13);
+        assert_eq!(s.max_intermediate, 10);
+    }
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = ExecStats {
+            base_tuples_read: 5,
+            max_intermediate: 7,
+            ..ExecStats::new()
+        };
+        let b = ExecStats {
+            base_tuples_read: 3,
+            max_intermediate: 2,
+            comparisons: 9,
+            ..ExecStats::new()
+        };
+        a.merge(&b);
+        assert_eq!(a.base_tuples_read, 8);
+        assert_eq!(a.max_intermediate, 7);
+        assert_eq!(a.comparisons, 9);
+    }
+
+    #[test]
+    fn display_mentions_all_counters() {
+        let s = ExecStats::new().to_string();
+        for key in ["scans", "probes", "comparisons", "max_intermediate"] {
+            assert!(s.contains(key));
+        }
+    }
+}

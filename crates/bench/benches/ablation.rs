@@ -1,0 +1,151 @@
+//! E-ABL: ablations of the design choices DESIGN.md calls out.
+//!
+//! * **Division vs complement-join ∀** — the paper keeps division for
+//!   Proposition 4 case 5 but notes it can be "rewritten in terms of
+//!   difference or complement-join"; both plans are measured.
+//! * **Plan optimizer on/off** — selection pushdown and product-to-join
+//!   conversion applied to classical plans (where they recover part of the
+//!   cartesian blow-up) and to improved plans (already push-down-shaped,
+//!   so the effect should be ≈0).
+//! * **Shared-subplan cache on/off** — the division plan's duplicated
+//!   σ(lecture) build side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gq_algebra::Evaluator;
+use gq_calculus::parse;
+use gq_core::{EngineOptions, QueryEngine, Strategy};
+use gq_rewrite::canonicalize;
+use gq_bench::quel_all_d0_plan;
+use gq_translate::{DivisionMode, ImprovedTranslator};
+use gq_workload::{university, UniversityScale};
+
+const FORALL_QUERY: &str = "student(x) & (forall y. lecture(y,\"d0\") -> attends(x,y))";
+
+fn bench_division_modes(c: &mut Criterion) {
+    for n in [500usize, 5000] {
+        let mut scale = UniversityScale::of_size(n);
+        scale.completionist_rate = 0.1;
+        let db = university(&scale);
+        let canonical = canonicalize(&parse(FORALL_QUERY).unwrap()).unwrap();
+        let mut group = c.benchmark_group(format!("ablation_division/n={n}"));
+        for (label, mode) in [
+            ("divide", DivisionMode::Divide),
+            ("complement-join", DivisionMode::ComplementJoin),
+        ] {
+            let tr = ImprovedTranslator::new(&db).with_division_mode(mode);
+            let (_, plan) = tr.translate_open(&canonical).unwrap();
+            group.bench_with_input(BenchmarkId::new(label, "forall"), &plan, |b, plan| {
+                b.iter(|| Evaluator::new(&db).eval(plan).unwrap().len())
+            });
+        }
+        // The Quel-style aggregate baseline the paper's introduction
+        // criticizes ("compute intermediate results — aggregates — that
+        // are in principle not needed").
+        let quel = quel_all_d0_plan();
+        group.bench_with_input(BenchmarkId::new("quel-counting", "forall"), &quel, |b, plan| {
+            b.iter(|| Evaluator::new(&db).eval(plan).unwrap().len())
+        });
+        group.finish();
+    }
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let e = QueryEngine::new(university(&UniversityScale::of_size(150)));
+    let mut group = c.benchmark_group("ablation_optimizer");
+    group.sample_size(15);
+    for (label, strategy) in [
+        ("classical", Strategy::Classical),
+        ("improved", Strategy::Improved),
+    ] {
+        for (opt_label, optimize) in [("raw", false), ("optimized", true)] {
+            let options = EngineOptions {
+                optimize,
+                ..EngineOptions::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(label, opt_label),
+                &options,
+                |b, options| {
+                    b.iter(|| {
+                        e.query_with_options(FORALL_QUERY, strategy, *options)
+                            .unwrap()
+                            .len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_sharing(c: &mut Criterion) {
+    let e = QueryEngine::new(university(&UniversityScale::of_size(2000)));
+    let mut group = c.benchmark_group("ablation_sharing");
+    for (label, share) in [("no-sharing", false), ("sharing", true)] {
+        let options = EngineOptions {
+            share_subplans: share,
+            ..EngineOptions::default()
+        };
+        group.bench_with_input(BenchmarkId::new(label, "forall"), &options, |b, options| {
+            b.iter(|| {
+                e.query_with_options(FORALL_QUERY, Strategy::Improved, *options)
+                    .unwrap()
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_base_indexes(c: &mut Criterion) {
+    let e = QueryEngine::new(university(&UniversityScale::of_size(3000)));
+    let text = "student(x) & !(exists y. attends(x,y) & lecture(y,\"d1\"))";
+    let mut group = c.benchmark_group("ablation_base_indexes");
+    for (label, use_base_indexes) in [("no-index", false), ("cached-index", true)] {
+        let options = EngineOptions {
+            use_base_indexes,
+            ..EngineOptions::default()
+        };
+        // warm the cache outside the measurement
+        e.query_with_options(text, Strategy::Improved, options).unwrap();
+        group.bench_with_input(BenchmarkId::new(label, "neg-subquery"), &options, |b, options| {
+            b.iter(|| {
+                e.query_with_options(text, Strategy::Improved, *options)
+                    .unwrap()
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_join_algorithms(c: &mut Criterion) {
+    use gq_algebra::{AlgebraExpr, JoinAlgorithm};
+    let db = university(&UniversityScale::of_size(5000));
+    let plan = AlgebraExpr::relation("attends")
+        .join(AlgebraExpr::relation("enrolled"), vec![(0, 0)])
+        .project(vec![0, 1, 3]);
+    let mut group = c.benchmark_group("ablation_join_algorithm");
+    for (label, algo) in [("hash", JoinAlgorithm::Hash), ("sort-merge", JoinAlgorithm::SortMerge)] {
+        group.bench_with_input(BenchmarkId::new(label, "attends⋈enrolled"), &algo, |b, algo| {
+            b.iter(|| {
+                Evaluator::new(&db)
+                    .with_join_algorithm(*algo)
+                    .eval(&plan)
+                    .unwrap()
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_division_modes,
+    bench_optimizer,
+    bench_sharing,
+    bench_base_indexes,
+    bench_join_algorithms
+);
+criterion_main!(benches);

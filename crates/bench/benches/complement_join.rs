@@ -1,0 +1,29 @@
+//! E-P3: the complement-join (Definition 6) vs the conventional
+//! join-plus-difference plan for the §3.1 query
+//! `member(x,z) ∧ ¬skill(x,db)`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gq_algebra::Evaluator;
+use gq_bench::{conventional_member_not_skill, improved_member_not_skill};
+use gq_workload::{university, UniversityScale};
+
+fn bench_complement_join(c: &mut Criterion) {
+    for n in [200usize, 2000, 10_000] {
+        let db = university(&UniversityScale::of_size(n));
+        let improved = improved_member_not_skill();
+        let conventional = conventional_member_not_skill();
+        let mut group = c.benchmark_group(format!("complement_join/n={n}"));
+        group.bench_with_input(BenchmarkId::new("improved", "⊼"), &db, |b, db| {
+            b.iter(|| Evaluator::new(db).eval(&improved).unwrap().len())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("conventional", "⋈+−"),
+            &db,
+            |b, db| b.iter(|| Evaluator::new(db).eval(&conventional).unwrap().len()),
+        );
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_complement_join);
+criterion_main!(benches);

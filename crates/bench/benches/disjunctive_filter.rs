@@ -1,0 +1,77 @@
+//! E-FIG3 / E-FIG4 / E-P5: disjunctive filters.
+//!
+//! `p(x) ∧ (t1(x) ∨ … ∨ tn(x))` over the scaled Figure 2–4 database,
+//! three ways:
+//!
+//! * constrained outer-joins (Proposition 5 — the paper's method),
+//! * the conventional union of semi-joins,
+//! * the full engine (parse → canonicalize → translate → evaluate).
+//!
+//! Sweeps |P| and the number of disjuncts n; the constrained chain probes
+//! each tᵢ only for tuples undecided by t₁…tᵢ₋₁.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gq_algebra::Evaluator;
+use gq_bench::{disjunctive_filter_text, outer_join_disjunctive_filter, union_disjunctive_filter};
+use gq_core::QueryEngine;
+use gq_workload::{ptu, PtuScale};
+
+fn bench_disjunctive(c: &mut Criterion) {
+    for p in [1000usize, 10_000] {
+        for n in [2usize, 4, 8] {
+            let db = ptu(&PtuScale {
+                p,
+                filters: n,
+                coverage: 0.3,
+                seed: 11,
+            });
+            let outer = outer_join_disjunctive_filter(n);
+            let union = union_disjunctive_filter(n);
+            let engine = QueryEngine::new(db.clone());
+            let text = disjunctive_filter_text(n);
+
+            let mut group = c.benchmark_group(format!("disjunctive/p={p},n={n}"));
+            group.bench_with_input(
+                BenchmarkId::new("constrained-outer-join", "prop5"),
+                &db,
+                |b, db| b.iter(|| Evaluator::new(db).eval(&outer).unwrap().len()),
+            );
+            group.bench_with_input(BenchmarkId::new("union-of-semijoins", "conv"), &db, |b, db| {
+                b.iter(|| Evaluator::new(db).eval(&union).unwrap().len())
+            });
+            group.bench_with_input(BenchmarkId::new("full-engine", "improved"), &text, |b, text| {
+                b.iter(|| engine.query(text).unwrap().len())
+            });
+            group.finish();
+        }
+    }
+}
+
+/// Figure 4 variant with a negated first disjunct: p(x) ∧ (¬t1(x) ∨ t2(x)).
+fn bench_negated_disjunct(c: &mut Criterion) {
+    for p in [1000usize, 10_000] {
+        let db = ptu(&PtuScale {
+            p,
+            filters: 2,
+            coverage: 0.3,
+            seed: 13,
+        });
+        let engine = QueryEngine::new(db);
+        let mut group = c.benchmark_group(format!("disjunctive_negated/p={p}"));
+        group.bench_function("fig4-improved", |b| {
+            b.iter(|| engine.query("p(x) & (!t1(x) | t2(x))").unwrap().len())
+        });
+        group.bench_function("fig4-nested-loop", |b| {
+            b.iter(|| {
+                engine
+                    .query_with("p(x) & (!t1(x) | t2(x))", gq_core::Strategy::NestedLoop)
+                    .unwrap()
+                    .len()
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_disjunctive, bench_negated_disjunct);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! E-EMPTY: the non-emptiness test of §3.2.
+//!
+//! A closed existential query evaluated (a) through the boolean plan with
+//! the pipelined short-circuit test and (b) by fully materializing the
+//! underlying expression and checking its cardinality. The short-circuit
+//! version stops at the first witness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gq_algebra::{BoolExpr, Evaluator};
+use gq_calculus::parse;
+use gq_rewrite::canonicalize;
+use gq_translate::ImprovedTranslator;
+use gq_workload::{university, UniversityScale};
+
+const WITNESS_RICH: &str = "exists x. student(x) & (exists y. attends(x,y))";
+const WITNESS_RARE: &str =
+    "exists x. student(x) & makes(x,\"PhD\") & skill(x,\"db\") & speaks(x,\"lang0\")";
+
+fn bench_emptiness(c: &mut Criterion) {
+    for n in [1000usize, 10_000] {
+        let db = university(&UniversityScale::of_size(n));
+        let tr = ImprovedTranslator::new(&db);
+        let mut group = c.benchmark_group(format!("emptiness/n={n}"));
+        for (label, text) in [("witness-rich", WITNESS_RICH), ("witness-rare", WITNESS_RARE)] {
+            let canonical = canonicalize(&parse(text).unwrap()).unwrap();
+            let plan = tr.translate_closed(&canonical).unwrap();
+            // Extract the tested expression for the full-materialization
+            // variant.
+            let inner = plan.algebra_exprs()[0].clone();
+            group.bench_with_input(
+                BenchmarkId::new(label, "short-circuit"),
+                &plan,
+                |b, plan| b.iter(|| plan.eval(&Evaluator::new(&db)).unwrap()),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(label, "full-materialize"),
+                &inner,
+                |b, inner| b.iter(|| !Evaluator::new(&db).eval(inner).unwrap().is_empty()),
+            );
+        }
+        group.finish();
+    }
+}
+
+/// §3.2's boolean combination: conjunction of two closed tests, evaluated
+/// with connective-level short-circuiting.
+fn bench_boolean_combination(c: &mut Criterion) {
+    let db = university(&UniversityScale::of_size(2000));
+    let tr = ImprovedTranslator::new(&db);
+    let text = "(exists x. student(x) & (forall y. lecture(y,\"d0\") -> attends(x,y))) \
+                & (forall z1. student(z1) -> exists z2. attends(z1,z2))";
+    let canonical = canonicalize(&parse(text).unwrap()).unwrap();
+    let plan = tr.translate_closed(&canonical).unwrap();
+    c.bench_function("emptiness/boolean-combination", |b| {
+        b.iter(|| plan.eval(&Evaluator::new(&db)).unwrap())
+    });
+    // A false first conjunct short-circuits the whole conjunction.
+    let false_first = BoolExpr::and(BoolExpr::Const(false), plan.clone());
+    c.bench_function("emptiness/short-circuit-false-first", |b| {
+        b.iter(|| false_first.eval(&Evaluator::new(&db)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_emptiness, bench_boolean_combination);
+criterion_main!(benches);

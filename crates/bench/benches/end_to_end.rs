@@ -1,0 +1,42 @@
+//! E-E2E: the headline comparison (claim C7) — the full paper-derived
+//! query suite under all three strategies on the university database.
+//!
+//! The classical strategy runs only at the small scale (its cartesian
+//! products make larger scales pointless — which is itself the result).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gq_bench::E2E_SUITE;
+use gq_core::{QueryEngine, Strategy};
+use gq_workload::{university, UniversityScale};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    for n in [200usize, 2000] {
+        let mut scale = UniversityScale::of_size(n);
+        scale.completionist_rate = 0.1;
+        let e = QueryEngine::new(university(&scale));
+        let mut group = c.benchmark_group(format!("e2e/n={n}"));
+        group.sample_size(15);
+        for (label, text) in E2E_SUITE {
+            for strategy in [Strategy::Improved, Strategy::NestedLoop] {
+                group.bench_with_input(
+                    BenchmarkId::new(*label, strategy.name()),
+                    text,
+                    |b, text| b.iter(|| e.query_with(text, strategy).unwrap().len()),
+                );
+            }
+            if n <= 200 {
+                group.bench_with_input(
+                    BenchmarkId::new(*label, Strategy::Classical.name()),
+                    text,
+                    |b, text| {
+                        b.iter(|| e.query_with(text, Strategy::Classical).unwrap().len())
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

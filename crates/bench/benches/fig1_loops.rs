@@ -1,0 +1,52 @@
+//! E-FIG1: the Figure 1 loop algorithms vs the algebraic strategies.
+//!
+//! Closed existential (1a), closed universal (1b) and open (1c) queries
+//! over the university database at two scales, under the nested-loop
+//! interpreter and the improved algebraic translation (plus the classical
+//! translation at the small scale, where its products stay feasible).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gq_core::{QueryEngine, Strategy};
+use gq_workload::{university, UniversityScale};
+
+const CLOSED_EXISTENTIAL: &str =
+    "exists x. student(x) & (exists y. attends(x,y) & lecture(y,\"d0\"))";
+const CLOSED_UNIVERSAL: &str = "forall x. student(x) -> exists d. enrolled(x,d)";
+const OPEN_QUERY: &str = "student(x) & (exists y. attends(x,y) & lecture(y,\"d0\"))";
+
+fn engine(n: usize) -> QueryEngine {
+    let mut scale = UniversityScale::of_size(n);
+    scale.completionist_rate = 0.1;
+    QueryEngine::new(university(&scale))
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    for n in [100usize, 1000] {
+        let e = engine(n);
+        let mut group = c.benchmark_group(format!("fig1/n={n}"));
+        for (label, text) in [
+            ("1a-closed-exists", CLOSED_EXISTENTIAL),
+            ("1b-closed-forall", CLOSED_UNIVERSAL),
+            ("1c-open", OPEN_QUERY),
+        ] {
+            for strategy in [Strategy::Improved, Strategy::NestedLoop] {
+                group.bench_with_input(
+                    BenchmarkId::new(label, strategy.name()),
+                    &text,
+                    |b, text| b.iter(|| e.query_with(text, strategy).unwrap().len()),
+                );
+            }
+            if n <= 100 {
+                group.bench_with_input(
+                    BenchmarkId::new(label, Strategy::Classical.name()),
+                    &text,
+                    |b, text| b.iter(|| e.query_with(text, Strategy::Classical).unwrap().len()),
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

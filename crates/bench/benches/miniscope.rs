@@ -1,0 +1,51 @@
+//! E-MINI: the §2.2 miniscope effect.
+//!
+//! The prenex-style Q₁ re-evaluates `¬enrolled(x,d0)` once per (student ×
+//! d0-lecture) pair under the nested-loop interpreter; the canonical
+//! (miniscope) form checks it once per student. Also measures the
+//! normalization cost itself (it is negligible next to evaluation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gq_bench::{MINISCOPE_Q1, MINISCOPE_Q2};
+use gq_calculus::parse;
+use gq_pipeline::PipelineEvaluator;
+use gq_rewrite::canonicalize;
+use gq_workload::{university, UniversityScale};
+
+fn bench_miniscope(c: &mut Criterion) {
+    for n in [300usize, 3000] {
+        let mut scale = UniversityScale::of_size(n);
+        scale.completionist_rate = 0.4;
+        scale.depts = 3; // many d0 lectures: the redundancy is per (student × lecture)
+        let db = university(&scale);
+        let q1 = parse(MINISCOPE_Q1).unwrap();
+        let q2 = parse(MINISCOPE_Q2).unwrap();
+        let q1_canonical = canonicalize(&q1).unwrap();
+
+        let mut group = c.benchmark_group(format!("miniscope/n={n}"));
+        group.bench_with_input(BenchmarkId::new("q1-raw", "nested-loop"), &db, |b, db| {
+            b.iter(|| PipelineEvaluator::new(db).eval_open(&q1).unwrap().1.len())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("q1-canonicalized", "nested-loop"),
+            &db,
+            |b, db| b.iter(|| PipelineEvaluator::new(db).eval_open(&q1_canonical).unwrap().1.len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("q2-hand-miniscoped", "nested-loop"),
+            &db,
+            |b, db| b.iter(|| PipelineEvaluator::new(db).eval_open(&q2).unwrap().1.len()),
+        );
+        group.finish();
+    }
+}
+
+fn bench_normalization_cost(c: &mut Criterion) {
+    let q1 = parse(MINISCOPE_Q1).unwrap();
+    c.bench_function("miniscope/normalization-only", |b| {
+        b.iter(|| canonicalize(&q1).unwrap().size())
+    });
+}
+
+criterion_group!(benches, bench_miniscope, bench_normalization_cost);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E-PF: the §2.3 producer/filter forms.
+//!
+//! * Q₁/Q₃: producer disjunction distributed (Rules 12–14), filter
+//!   disjunction kept — measured against the fully-distributed Q₂ form
+//!   that searches the producers twice;
+//! * Q₄/Q₅: disjunction kept inside the range (filter) vs moved out
+//!   (professor searched twice).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gq_core::QueryEngine;
+use gq_workload::{university, UniversityScale};
+
+const Q1_COMPACT: &str = "exists x. ((student(x) & makes(x,\"PhD\")) | prof(x)) \
+     & (speaks(x,\"lang0\") | speaks(x,\"lang1\"))";
+const Q2_DISTRIBUTED: &str = "(exists x1. ((student(x1) & makes(x1,\"PhD\")) | prof(x1)) & speaks(x1,\"lang0\")) \
+     | (exists x2. ((student(x2) & makes(x2,\"PhD\")) | prof(x2)) & speaks(x2,\"lang1\"))";
+const Q4_COMPACT: &str = "exists x. prof(x) & (member(x,\"d0\") | skill(x,\"math\")) & speaks(x,\"lang0\")";
+const Q5_DISTRIBUTED: &str = "(exists x1. prof(x1) & member(x1,\"d0\") & speaks(x1,\"lang0\")) \
+     | (exists x2. prof(x2) & skill(x2,\"math\") & speaks(x2,\"lang0\"))";
+
+fn bench_producer_filter(c: &mut Criterion) {
+    for n in [500usize, 5000] {
+        let e = QueryEngine::new(university(&UniversityScale::of_size(n)));
+        let mut group = c.benchmark_group(format!("producer_filter/n={n}"));
+        for (label, text) in [
+            ("q1-compact", Q1_COMPACT),
+            ("q2-distributed", Q2_DISTRIBUTED),
+            ("q4-compact", Q4_COMPACT),
+            ("q5-distributed", Q5_DISTRIBUTED),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, "improved"), &text, |b, text| {
+                b.iter(|| e.query(text).unwrap().is_true())
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_producer_filter);
+criterion_main!(benches);

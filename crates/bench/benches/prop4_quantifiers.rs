@@ -1,0 +1,41 @@
+//! E-P4: the six Proposition 4 translation shapes, improved vs classical
+//! vs nested-loop, over the generic p/q/r/s database.
+//!
+//! Only case 5 may use division in the improved plans; the classical
+//! translation divides for every universal and products for every
+//! variable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gq_bench::PROP4_QUERIES;
+use gq_core::{QueryEngine, Strategy};
+use gq_workload::generic;
+
+fn bench_prop4(c: &mut Criterion) {
+    for (domain, rows) in [(50usize, 200usize), (200, 2000)] {
+        let e = QueryEngine::new(generic(domain, rows, 7));
+        let mut group = c.benchmark_group(format!("prop4/domain={domain},rows={rows}"));
+        group.sample_size(20);
+        for (label, text) in PROP4_QUERIES {
+            for strategy in [Strategy::Improved, Strategy::NestedLoop] {
+                group.bench_with_input(
+                    BenchmarkId::new(*label, strategy.name()),
+                    text,
+                    |b, text| b.iter(|| e.query_with(text, strategy).unwrap().len()),
+                );
+            }
+            // The classical translation's product of ranges is quadratic in
+            // the domain — keep it to the small configuration.
+            if domain <= 50 {
+                group.bench_with_input(
+                    BenchmarkId::new(*label, Strategy::Classical.name()),
+                    text,
+                    |b, text| b.iter(|| e.query_with(text, Strategy::Classical).unwrap().len()),
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_prop4);
+criterion_main!(benches);

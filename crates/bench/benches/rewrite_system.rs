@@ -1,0 +1,52 @@
+//! E-REWR: normalization throughput (Propositions 1–2 in practice).
+//!
+//! Canonicalization of the rewrite corpus — deterministic and
+//! random-order — plus parsing for scale. The paper's phase 1 must be
+//! cheap relative to evaluation; this bench quantifies it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gq_bench::REWRITE_CORPUS;
+use gq_calculus::parse;
+use gq_rewrite::{canonicalize, canonicalize_random};
+
+fn bench_rewrite(c: &mut Criterion) {
+    let formulas: Vec<_> = REWRITE_CORPUS.iter().map(|t| parse(t).unwrap()).collect();
+
+    let mut group = c.benchmark_group("rewrite");
+    group.bench_function("canonicalize-corpus", |b| {
+        b.iter(|| {
+            formulas
+                .iter()
+                .map(|f| canonicalize(f).unwrap().size())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("canonicalize-random-order", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            formulas
+                .iter()
+                .map(|f| canonicalize_random(f, seed).unwrap().size())
+                .sum::<usize>()
+        })
+    });
+    for (i, text) in REWRITE_CORPUS.iter().enumerate() {
+        let f = parse(text).unwrap();
+        group.bench_with_input(BenchmarkId::new("single", i), &f, |b, f| {
+            b.iter(|| canonicalize(f).unwrap().size())
+        });
+    }
+    group.bench_function("parse-corpus", |b| {
+        b.iter(|| {
+            REWRITE_CORPUS
+                .iter()
+                .map(|t| parse(t).unwrap().size())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rewrite);
+criterion_main!(benches);

@@ -1,0 +1,221 @@
+//! Atoms and comparisons — the leaves of calculus formulas.
+
+use crate::{Term, Var};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A relational atom `R(t₁,…,tₙ)`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    /// Relation (or view) name.
+    pub relation: String,
+    /// Argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Build an atom.
+    pub fn new(relation: impl Into<String>, terms: Vec<Term>) -> Self {
+        Atom {
+            relation: relation.into(),
+            terms,
+        }
+    }
+
+    /// Arity of the atom.
+    pub fn arity(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// The set of variables occurring in the atom.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        self.terms.iter().filter_map(Term::as_var).cloned().collect()
+    }
+
+    /// True iff `v` occurs in the atom.
+    pub fn mentions(&self, v: &Var) -> bool {
+        self.terms.iter().any(|t| t.as_var() == Some(v))
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Comparison operators for built-in predicates like `y ≠ cs`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum CompareOp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Ne,
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+}
+
+impl CompareOp {
+    /// The operator satisfied exactly when `self` is not — used when a
+    /// negation is pushed into a comparison.
+    pub fn negated(self) -> CompareOp {
+        match self {
+            CompareOp::Eq => CompareOp::Ne,
+            CompareOp::Ne => CompareOp::Eq,
+            CompareOp::Lt => CompareOp::Ge,
+            CompareOp::Le => CompareOp::Gt,
+            CompareOp::Gt => CompareOp::Le,
+            CompareOp::Ge => CompareOp::Lt,
+        }
+    }
+
+    /// The operator with swapped operands: `a op b` ⇔ `b op.flipped() a`.
+    pub fn flipped(self) -> CompareOp {
+        match self {
+            CompareOp::Eq => CompareOp::Eq,
+            CompareOp::Ne => CompareOp::Ne,
+            CompareOp::Lt => CompareOp::Gt,
+            CompareOp::Le => CompareOp::Ge,
+            CompareOp::Gt => CompareOp::Lt,
+            CompareOp::Ge => CompareOp::Le,
+        }
+    }
+
+    /// Evaluate the operator on two ordered operands.
+    pub fn eval<T: Ord>(self, a: &T, b: &T) -> bool {
+        match self {
+            CompareOp::Eq => a == b,
+            CompareOp::Ne => a != b,
+            CompareOp::Lt => a < b,
+            CompareOp::Le => a <= b,
+            CompareOp::Gt => a > b,
+            CompareOp::Ge => a >= b,
+        }
+    }
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CompareOp::Eq => "=",
+            CompareOp::Ne => "≠",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "≤",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => "≥",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A comparison `t₁ op t₂` between terms.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Comparison {
+    /// Left operand.
+    pub left: Term,
+    /// Operator.
+    pub op: CompareOp,
+    /// Right operand.
+    pub right: Term,
+}
+
+impl Comparison {
+    /// Build a comparison.
+    pub fn new(left: Term, op: CompareOp, right: Term) -> Self {
+        Comparison { left, op, right }
+    }
+
+    /// Variables occurring in the comparison.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        self.left
+            .as_var()
+            .into_iter()
+            .chain(self.right.as_var())
+            .cloned()
+            .collect()
+    }
+
+    /// True iff `v` occurs in the comparison.
+    pub fn mentions(&self, v: &Var) -> bool {
+        self.left.as_var() == Some(v) || self.right.as_var() == Some(v)
+    }
+}
+
+impl fmt::Debug for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.left, self.op, self.right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atom_vars_dedup() {
+        let a = Atom::new(
+            "p",
+            vec![Term::var("x"), Term::constant("c"), Term::var("x")],
+        );
+        assert_eq!(a.vars().len(), 1);
+        assert!(a.mentions(&Var::new("x")));
+        assert!(!a.mentions(&Var::new("y")));
+    }
+
+    #[test]
+    fn compare_op_negation_is_involutive() {
+        for op in [
+            CompareOp::Eq,
+            CompareOp::Ne,
+            CompareOp::Lt,
+            CompareOp::Le,
+            CompareOp::Gt,
+            CompareOp::Ge,
+        ] {
+            assert_eq!(op.negated().negated(), op);
+            assert_eq!(op.flipped().flipped(), op);
+        }
+    }
+
+    #[test]
+    fn compare_op_eval() {
+        assert!(CompareOp::Lt.eval(&1, &2));
+        assert!(!CompareOp::Ge.eval(&1, &2));
+        assert!(CompareOp::Ne.eval(&1, &2));
+        // negated op evaluates to the complement
+        assert_eq!(CompareOp::Le.eval(&2, &2), !CompareOp::Le.negated().eval(&2, &2));
+    }
+
+    #[test]
+    fn display_forms() {
+        let a = Atom::new("enrolled", vec![Term::var("x"), Term::constant("cs")]);
+        assert_eq!(a.to_string(), "enrolled(x,\"cs\")");
+        let c = Comparison::new(Term::var("y"), CompareOp::Ne, Term::constant("cs"));
+        assert_eq!(c.to_string(), "y ≠ \"cs\"");
+    }
+}

@@ -1,0 +1,270 @@
+//! Formulas of the domain relational calculus.
+
+use crate::{Atom, Comparison, Var};
+use std::fmt;
+
+/// A formula of the (untyped) domain relational calculus of the paper.
+///
+/// Conventions, following §1 "Definitions and Notations":
+///
+/// * Conjunction and disjunction are binary; `∃x₁…xₙ` / `∀x₁…xₙ` are
+///   quantifier *blocks* over a set of variables whose internal order is
+///   irrelevant.
+/// * The connective `⇒` is meant to be "used only for expressing ranges"
+///   (the range of a universal quantifier). It is accepted anywhere in the
+///   input but eliminated everywhere else during normalization, as the
+///   paper prescribes: `F₁ ⇒ F₂` becomes `¬F₁ ∨ F₂` and `F₁ ⇔ F₂` becomes
+///   `(¬F₁ ∨ F₂) ∧ (¬F₂ ∨ F₁)`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Formula {
+    /// Relational atom `R(t₁,…,tₙ)`.
+    Atom(Atom),
+    /// Built-in comparison `t₁ op t₂`.
+    Compare(Comparison),
+    /// Negation `¬F`.
+    Not(Box<Formula>),
+    /// Conjunction `F₁ ∧ F₂`.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction `F₁ ∨ F₂`.
+    Or(Box<Formula>, Box<Formula>),
+    /// Implication `F₁ ⇒ F₂` (range notation for universal quantification).
+    Implies(Box<Formula>, Box<Formula>),
+    /// Equivalence `F₁ ⇔ F₂` (input sugar, eliminated by normalization).
+    Iff(Box<Formula>, Box<Formula>),
+    /// Existential block `∃x₁…xₙ F`. The variable list is non-empty.
+    Exists(Vec<Var>, Box<Formula>),
+    /// Universal block `∀x₁…xₙ F`. The variable list is non-empty.
+    Forall(Vec<Var>, Box<Formula>),
+}
+
+impl Formula {
+    /// Atom constructor.
+    pub fn atom(relation: impl Into<String>, terms: Vec<crate::Term>) -> Formula {
+        Formula::Atom(Atom::new(relation, terms))
+    }
+
+    /// Comparison constructor.
+    pub fn compare(left: crate::Term, op: crate::CompareOp, right: crate::Term) -> Formula {
+        Formula::Compare(Comparison::new(left, op, right))
+    }
+
+    /// `¬F`.
+    #[allow(clippy::should_implement_trait)] // constructor, not an operator impl
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Box::new(f))
+    }
+
+    /// `F₁ ∧ F₂`.
+    pub fn and(a: Formula, b: Formula) -> Formula {
+        Formula::And(Box::new(a), Box::new(b))
+    }
+
+    /// Left-associated conjunction of one or more formulas.
+    pub fn and_all(fs: Vec<Formula>) -> Formula {
+        let mut it = fs.into_iter();
+        let first = it.next().expect("and_all of no formulas");
+        it.fold(first, Formula::and)
+    }
+
+    /// `F₁ ∨ F₂`.
+    pub fn or(a: Formula, b: Formula) -> Formula {
+        Formula::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Left-associated disjunction of one or more formulas.
+    pub fn or_all(fs: Vec<Formula>) -> Formula {
+        let mut it = fs.into_iter();
+        let first = it.next().expect("or_all of no formulas");
+        it.fold(first, Formula::or)
+    }
+
+    /// `F₁ ⇒ F₂`.
+    pub fn implies(a: Formula, b: Formula) -> Formula {
+        Formula::Implies(Box::new(a), Box::new(b))
+    }
+
+    /// `F₁ ⇔ F₂`.
+    pub fn iff(a: Formula, b: Formula) -> Formula {
+        Formula::Iff(Box::new(a), Box::new(b))
+    }
+
+    /// `∃x₁…xₙ F`. Panics if `vars` is empty (a zero-variable quantifier is
+    /// meaningless; Rule 6 removes them during rewriting instead).
+    pub fn exists(vars: Vec<Var>, f: Formula) -> Formula {
+        assert!(!vars.is_empty(), "empty existential block");
+        Formula::Exists(vars, Box::new(f))
+    }
+
+    /// Shorthand: `∃x F` with a single variable by name.
+    pub fn exists1(var: impl AsRef<str>, f: Formula) -> Formula {
+        Formula::exists(vec![Var::new(var)], f)
+    }
+
+    /// `∀x₁…xₙ F`. Panics if `vars` is empty.
+    pub fn forall(vars: Vec<Var>, f: Formula) -> Formula {
+        assert!(!vars.is_empty(), "empty universal block");
+        Formula::Forall(vars, Box::new(f))
+    }
+
+    /// Shorthand: `∀x F` with a single variable by name.
+    pub fn forall1(var: impl AsRef<str>, f: Formula) -> Formula {
+        Formula::forall(vec![Var::new(var)], f)
+    }
+
+    /// Immediate subformulas.
+    pub fn children(&self) -> Vec<&Formula> {
+        match self {
+            Formula::Atom(_) | Formula::Compare(_) => vec![],
+            Formula::Not(f) | Formula::Exists(_, f) | Formula::Forall(_, f) => vec![f],
+            Formula::And(a, b)
+            | Formula::Or(a, b)
+            | Formula::Implies(a, b)
+            | Formula::Iff(a, b) => vec![a, b],
+        }
+    }
+
+    /// Total number of nodes (connectives + leaves) — a size measure used
+    /// by the rewriting engine's progress accounting.
+    pub fn size(&self) -> usize {
+        1 + self.children().iter().map(|c| c.size()).sum::<usize>()
+    }
+
+    /// Number of quantifier blocks (∃ or ∀).
+    pub fn quantifier_count(&self) -> usize {
+        let here = matches!(self, Formula::Exists(..) | Formula::Forall(..)) as usize;
+        here + self
+            .children()
+            .iter()
+            .map(|c| c.quantifier_count())
+            .sum::<usize>()
+    }
+
+    /// Number of universal quantifier blocks.
+    pub fn universal_count(&self) -> usize {
+        let here = matches!(self, Formula::Forall(..)) as usize;
+        here + self
+            .children()
+            .iter()
+            .map(|c| c.universal_count())
+            .sum::<usize>()
+    }
+
+    /// True iff the formula contains no quantifiers.
+    pub fn is_quantifier_free(&self) -> bool {
+        self.quantifier_count() == 0
+    }
+
+    /// Apply `f` to every subformula (preorder), short-circuiting when `f`
+    /// returns `true`. Returns whether any call returned `true`.
+    pub fn any_subformula(&self, f: &mut impl FnMut(&Formula) -> bool) -> bool {
+        if f(self) {
+            return true;
+        }
+        self.children().iter().any(|c| c.any_subformula(f))
+    }
+
+    /// All atoms of the formula, preorder.
+    pub fn atoms(&self) -> Vec<&Atom> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms<'a>(&'a self, out: &mut Vec<&'a Atom>) {
+        match self {
+            Formula::Atom(a) => out.push(a),
+            Formula::Compare(_) => {}
+            _ => {
+                for c in self.children() {
+                    c.collect_atoms(out);
+                }
+            }
+        }
+    }
+
+    /// Names of all relations mentioned by the formula, deduplicated, in
+    /// first-occurrence order.
+    pub fn relation_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = Vec::new();
+        for a in self.atoms() {
+            if !names.contains(&a.relation.as_str()) {
+                names.push(&a.relation);
+            }
+        }
+        names
+    }
+}
+
+impl fmt::Debug for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Term;
+
+    fn p(v: &str) -> Formula {
+        Formula::atom("p", vec![Term::var(v)])
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let f = Formula::exists1("x", Formula::and(p("x"), Formula::not(p("x"))));
+        // exists + and + p + not + p
+        assert_eq!(f.size(), 5);
+    }
+
+    #[test]
+    fn quantifier_counting() {
+        let f = Formula::exists1(
+            "x",
+            Formula::and(p("x"), Formula::forall1("y", Formula::implies(p("y"), p("y")))),
+        );
+        assert_eq!(f.quantifier_count(), 2);
+        assert_eq!(f.universal_count(), 1);
+        assert!(!f.is_quantifier_free());
+        assert!(p("x").is_quantifier_free());
+    }
+
+    #[test]
+    fn and_all_or_all_fold_left() {
+        let f = Formula::and_all(vec![p("x"), p("y"), p("z")]);
+        match &f {
+            Formula::And(a, _) => assert!(matches!(**a, Formula::And(..))),
+            _ => panic!("expected And"),
+        }
+        let g = Formula::or_all(vec![p("x")]);
+        assert_eq!(g, p("x"));
+    }
+
+    #[test]
+    fn atoms_and_relations() {
+        let f = Formula::and(
+            Formula::atom("q", vec![Term::var("x")]),
+            Formula::or(p("x"), Formula::atom("q", vec![Term::var("y")])),
+        );
+        assert_eq!(f.atoms().len(), 3);
+        assert_eq!(f.relation_names(), vec!["q", "p"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty existential block")]
+    fn empty_quantifier_block_panics() {
+        Formula::exists(vec![], p("x"));
+    }
+
+    #[test]
+    fn any_subformula_short_circuits() {
+        let f = Formula::and(p("x"), p("y"));
+        let mut calls = 0;
+        let found = f.any_subformula(&mut |g| {
+            calls += 1;
+            matches!(g, Formula::And(..))
+        });
+        assert!(found);
+        assert_eq!(calls, 1);
+    }
+}

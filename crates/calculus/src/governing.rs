@@ -1,0 +1,333 @@
+//! The governing relationship between quantified variables (§1).
+//!
+//! "Intuitively, x governs y iff moving the quantification of y out of the
+//! scope of x could compromise logical equivalence." The miniscope rules 10
+//! and 11 consult this relationship in their side condition (†).
+//!
+//! Definition (§1): a quantified variable x *directly governs* y iff
+//! 1. y is quantified within the scope of x,
+//! 2. the quantification of y follows immediately that of x,
+//! 3. the scope of x contains an atom in which both x and y — or a
+//!    variable governed by y — occur,
+//! 4. x and y have distinct quantifiers.
+//!
+//! *Governs* is the transitive closure of *directly governs*. Condition 3
+//! makes the definition recursive; we compute it by fixpoint iteration.
+
+use crate::{Formula, Var};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One quantifier block occurrence in the formula tree.
+#[derive(Debug)]
+struct Block {
+    kind: Kind,
+    vars: Vec<Var>,
+    parent: Option<usize>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Exists,
+    Forall,
+}
+
+/// An atom occurrence: its variables and the innermost enclosing block.
+#[derive(Debug)]
+struct AtomOcc {
+    vars: BTreeSet<Var>,
+    /// Innermost enclosing block id, if any (chain to root via parents).
+    block: Option<usize>,
+}
+
+/// The governing relationship of a formula.
+///
+/// Assumes bound variables are standardized apart (each variable bound at
+/// most once). [`Formula::standardize_apart`] establishes the invariant; if
+/// it is violated, the first binding occurrence of a name wins.
+#[derive(Debug, Clone)]
+pub struct Governing {
+    pairs: BTreeSet<(Var, Var)>,
+}
+
+impl Governing {
+    /// Compute the governing relationship of `formula`.
+    pub fn of(formula: &Formula) -> Governing {
+        let mut blocks = Vec::new();
+        let mut atoms = Vec::new();
+        collect(formula, None, &mut blocks, &mut atoms);
+
+        // Map each variable to its block (first binding wins).
+        let mut var_block: BTreeMap<Var, usize> = BTreeMap::new();
+        for (i, b) in blocks.iter().enumerate() {
+            for v in &b.vars {
+                var_block.entry(v.clone()).or_insert(i);
+            }
+        }
+
+        // Candidate pairs: y's block is an immediate quantifier child of
+        // x's block (conditions 1, 2) with distinct quantifiers (4).
+        let mut candidates: Vec<(Var, Var, usize)> = Vec::new(); // (x, y, x's block)
+        for (yi, yb) in blocks.iter().enumerate() {
+            let Some(xi) = yb.parent else { continue };
+            if blocks[xi].kind == blocks[yi].kind {
+                continue;
+            }
+            for x in &blocks[xi].vars {
+                for y in &yb.vars {
+                    candidates.push((x.clone(), y.clone(), xi));
+                }
+            }
+        }
+
+        // Atoms within the scope of each block: atom.block chain contains it.
+        let in_scope = |atom: &AtomOcc, block: usize| -> bool {
+            let mut b = atom.block;
+            while let Some(i) = b {
+                if i == block {
+                    return true;
+                }
+                b = blocks[i].parent;
+            }
+            false
+        };
+
+        // Fixpoint on condition 3 + transitive closure.
+        let mut direct: BTreeSet<(Var, Var)> = BTreeSet::new();
+        let mut governs: BTreeSet<(Var, Var)> = BTreeSet::new();
+        loop {
+            let mut changed = false;
+            for (x, y, bx) in &candidates {
+                if direct.contains(&(x.clone(), y.clone())) {
+                    continue;
+                }
+                let cond3 = atoms.iter().any(|a| {
+                    in_scope(a, *bx)
+                        && a.vars.contains(x)
+                        && (a.vars.contains(y)
+                            || a.vars
+                                .iter()
+                                .any(|z| governs.contains(&(y.clone(), z.clone()))))
+                });
+                if cond3 {
+                    direct.insert((x.clone(), y.clone()));
+                    changed = true;
+                }
+            }
+            let closed = transitive_closure(&direct);
+            if closed != governs {
+                governs = closed;
+                changed = true;
+            }
+            if !changed {
+                break;
+            }
+        }
+        Governing { pairs: governs }
+    }
+
+    /// True iff `x` governs `y`.
+    pub fn governs(&self, x: &Var, y: &Var) -> bool {
+        self.pairs.contains(&(x.clone(), y.clone()))
+    }
+
+    /// All variables governed by at least one of `xs`.
+    pub fn governed_by_any<'a>(&self, xs: impl IntoIterator<Item = &'a Var>) -> BTreeSet<Var> {
+        let xs: BTreeSet<&Var> = xs.into_iter().collect();
+        self.pairs
+            .iter()
+            .filter(|(x, _)| xs.contains(x))
+            .map(|(_, y)| y.clone())
+            .collect()
+    }
+
+    /// All (governor, governed) pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = &(Var, Var)> {
+        self.pairs.iter()
+    }
+}
+
+fn transitive_closure(direct: &BTreeSet<(Var, Var)>) -> BTreeSet<(Var, Var)> {
+    let mut closed = direct.clone();
+    loop {
+        let mut additions = Vec::new();
+        for (x, z) in &closed {
+            for (z2, y) in &closed {
+                if z == z2 && !closed.contains(&(x.clone(), y.clone())) {
+                    additions.push((x.clone(), y.clone()));
+                }
+            }
+        }
+        if additions.is_empty() {
+            return closed;
+        }
+        closed.extend(additions);
+    }
+}
+
+fn collect(
+    f: &Formula,
+    enclosing: Option<usize>,
+    blocks: &mut Vec<Block>,
+    atoms: &mut Vec<AtomOcc>,
+) {
+    match f {
+        Formula::Atom(a) => atoms.push(AtomOcc {
+            vars: a.vars(),
+            block: enclosing,
+        }),
+        Formula::Compare(c) => atoms.push(AtomOcc {
+            vars: c.vars(),
+            block: enclosing,
+        }),
+        Formula::Exists(vs, body) | Formula::Forall(vs, body) => {
+            let kind = if matches!(f, Formula::Exists(..)) {
+                Kind::Exists
+            } else {
+                Kind::Forall
+            };
+            blocks.push(Block {
+                kind,
+                vars: vs.clone(),
+                parent: enclosing,
+            });
+            let id = blocks.len() - 1;
+            collect(body, Some(id), blocks, atoms);
+        }
+        _ => {
+            for c in f.children() {
+                collect(c, enclosing, blocks, atoms);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Term;
+
+    fn v(s: &str) -> Var {
+        Var::new(s)
+    }
+    fn at(r: &str, vs: &[&str]) -> Formula {
+        Formula::atom(r, vs.iter().map(Term::var).collect())
+    }
+    fn at_c(r: &str, vs: &[&str], c: &str) -> Formula {
+        let mut terms: Vec<Term> = vs.iter().map(Term::var).collect();
+        terms.push(Term::constant(c));
+        Formula::atom(r, terms)
+    }
+
+    /// The paper's §1 example:
+    /// ∃x { student(x) ∧ [∀y lecture(y,db) ⇒ attends(x,y)]
+    ///              ∧ [∀z1 student(z1) ⇒ ∃z2 attends(z1,z2)] }
+    /// "x governs y but none of the zi's".
+    fn paper_example() -> Formula {
+        Formula::exists1(
+            "x",
+            Formula::and(
+                Formula::and(
+                    at("student", &["x"]),
+                    Formula::forall1(
+                        "y",
+                        Formula::implies(at_c("lecture", &["y"], "db"), at("attends", &["x", "y"])),
+                    ),
+                ),
+                Formula::forall1(
+                    "z1",
+                    Formula::implies(
+                        at("student", &["z1"]),
+                        Formula::exists1("z2", at("attends", &["z1", "z2"])),
+                    ),
+                ),
+            ),
+        )
+    }
+
+    #[test]
+    fn paper_example_governs() {
+        let g = Governing::of(&paper_example());
+        assert!(g.governs(&v("x"), &v("y")));
+        assert!(!g.governs(&v("x"), &v("z1")));
+        assert!(!g.governs(&v("x"), &v("z2")));
+        // z1 governs z2 via attends(z1,z2)
+        assert!(g.governs(&v("z1"), &v("z2")));
+    }
+
+    #[test]
+    fn same_kind_blocks_do_not_govern() {
+        // ∃x p(x) ∧ ∃y q(x,y): nested existentials — condition 4 fails
+        let f = Formula::exists1(
+            "x",
+            Formula::and(at("p", &["x"]), Formula::exists1("y", at("q", &["x", "y"]))),
+        );
+        let g = Governing::of(&f);
+        assert!(!g.governs(&v("x"), &v("y")));
+    }
+
+    #[test]
+    fn no_shared_atom_no_governing() {
+        // ∃x p(x) ∧ ∀y q(y): no atom mentions both
+        let f = Formula::exists1(
+            "x",
+            Formula::and(at("p", &["x"]), Formula::forall1("y", at("q", &["y"]))),
+        );
+        let g = Governing::of(&f);
+        assert!(!g.governs(&v("x"), &v("y")));
+    }
+
+    #[test]
+    fn f5_example_x_governs_y() {
+        // F5: ∃x p(x) ∧ [∀y ¬q(y) ∨ r(x,y)] — x governs y (r(x,y))
+        let f = Formula::exists1(
+            "x",
+            Formula::and(
+                at("p", &["x"]),
+                Formula::forall1(
+                    "y",
+                    Formula::or(Formula::not(at("q", &["y"])), at("r", &["x", "y"])),
+                ),
+            ),
+        );
+        let g = Governing::of(&f);
+        assert!(g.governs(&v("x"), &v("y")));
+    }
+
+    #[test]
+    fn indirect_governing_through_condition3() {
+        // ∃x r(x) ∧ ∀y (s(y) ⇒ ∃z (t(y,z) ∧ u(x,z)))
+        // y governs z? y∀ parent of z∃, distinct kinds, atom t(y,z) → yes.
+        // x governs y? atom with x and (y or var governed by y i.e. z):
+        // u(x,z) qualifies → yes, via the recursive part of condition 3.
+        let f = Formula::exists1(
+            "x",
+            Formula::and(
+                at("r", &["x"]),
+                Formula::forall1(
+                    "y",
+                    Formula::implies(
+                        at("s", &["y"]),
+                        Formula::exists1(
+                            "z",
+                            Formula::and(at("t", &["y", "z"]), at("u", &["x", "z"])),
+                        ),
+                    ),
+                ),
+            ),
+        );
+        let g = Governing::of(&f);
+        assert!(g.governs(&v("y"), &v("z")));
+        assert!(g.governs(&v("x"), &v("y")));
+    }
+
+    #[test]
+    fn non_immediate_quantification_not_direct_but_transitive() {
+        let g = Governing::of(&paper_example());
+        // z2 is not an immediate child of x's block (z1 intervenes), and
+        // x does not govern z1, so x must not govern z2 transitively either.
+        assert!(!g.governs(&v("x"), &v("z2")));
+        let governed = g.governed_by_any([&v("x"), &v("z1")].into_iter().cloned().collect::<Vec<_>>().iter());
+        assert!(governed.contains(&v("y")));
+        assert!(governed.contains(&v("z2")));
+    }
+}

@@ -1,0 +1,41 @@
+//! # gq-calculus — domain relational calculus
+//!
+//! The query language of the reproduction of Bry (SIGMOD 1989): formulas of
+//! an untyped domain relational calculus with quantifier blocks, plus the
+//! logical analyses the paper's normalization relies on —
+//!
+//! * free/bound variables, substitution, alpha-equivalence ([`Formula`]),
+//! * subformula polarity ([`Polarity`], §1),
+//! * the *governing* relationship between quantified variables
+//!   ([`Governing`], §1) used by the miniscope rules' side condition (†),
+//! * *ranges* (Definition 1) and the producer/filter split (Definition 5)
+//!   ([`is_range_for`], [`split_producer_filter`]),
+//! * *restricted quantifications* (Definition 2) and *restricted variables*
+//!   (Definition 3) ([`check_restricted_closed`], [`check_restricted_open`]),
+//! * a text [`parser`](parse) and a pretty-printer using the paper's symbols.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod atom;
+mod formula;
+mod governing;
+mod parser;
+mod polarity;
+mod printer;
+mod range;
+mod restricted;
+#[cfg(test)]
+mod roundtrip_tests;
+mod term;
+mod vars;
+
+pub use atom::{Atom, CompareOp, Comparison};
+pub use formula::Formula;
+pub use governing::Governing;
+pub use parser::{parse, ParseError};
+pub use polarity::Polarity;
+pub use range::{flatten_and, is_range_for, split_producer_filter, ProducerFilter};
+pub use restricted::{check_restricted_closed, check_restricted_open, RestrictionError};
+pub use term::{Term, Var};
+pub use vars::NameGen;

@@ -1,0 +1,554 @@
+//! A small text syntax for calculus queries.
+//!
+//! Grammar (ASCII forms on the left, the paper's symbols also accepted):
+//!
+//! ```text
+//! formula  := iff
+//! iff      := imp ( ("<->" | "⇔") imp )*
+//! imp      := or ( ("->" | "⇒") imp )?            -- right associative
+//! or       := and ( ("|" | "∨") and )*
+//! and      := unary ( ("&" | "∧") unary )*
+//! unary    := ("!" | "¬" | "not") unary
+//!           | ("exists" | "∃") vars ("." | ":") formula    -- maximal scope
+//!           | ("forall" | "∀") vars ("." | ":") formula
+//!           | primary
+//! primary  := "(" formula ")" | atom | comparison
+//! atom     := ident "(" term ("," term)* ")"
+//! compare  := term ("=" | "!=" | "≠" | "<" | "<=" | ">" | ">=") term
+//! term     := ident              -- a variable
+//!           | "string literal"   -- a constant
+//!           | integer            -- a constant
+//! vars     := ident ("," ident)*
+//! ```
+//!
+//! Unquoted identifiers in term position are always *variables*; constants
+//! must be quoted strings or integers, so `enrolled(x, "cs")` is the
+//! paper's `enrolled(x, cs)`. The prefix `_v` is reserved for generated
+//! variables and rejected.
+
+use crate::{CompareOp, Formula, Term, Var};
+use std::fmt;
+
+/// A parse error with byte position and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input.
+    pub position: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a formula from text.
+///
+/// ```
+/// use gq_calculus::parse;
+///
+/// let f = parse("exists x. student(x) & !enrolled(x, \"cs\")").unwrap();
+/// assert!(f.is_closed());
+/// assert_eq!(f.to_string(), "∃x (student(x) ∧ ¬enrolled(x,\"cs\"))");
+///
+/// // the paper's symbols work too
+/// let g = parse("∀y lecture(y,\"db\") ⇒ attends(x,y)").unwrap();
+/// assert_eq!(g.free_vars().len(), 1);
+/// ```
+pub fn parse(input: &str) -> Result<Formula, ParseError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let f = p.formula()?;
+    if p.pos < p.tokens.len() {
+        return Err(p.err_here("unexpected trailing input"));
+    }
+    Ok(f)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Amp,
+    Pipe,
+    Bang,
+    Arrow,
+    DArrow,
+    Exists,
+    Forall,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+fn lex(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    // Track byte offsets for error messages.
+    let mut byte = 0;
+    macro_rules! push {
+        ($t:expr, $n:expr) => {{
+            out.push((byte, $t));
+            for k in 0..$n {
+                byte += bytes[i + k].len_utf8();
+            }
+            i += $n;
+        }};
+    }
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                byte += c.len_utf8();
+                i += 1;
+            }
+            '(' => push!(Tok::LParen, 1),
+            ')' => push!(Tok::RParen, 1),
+            ',' => push!(Tok::Comma, 1),
+            '.' | ':' => push!(Tok::Dot, 1),
+            '&' | '∧' => push!(Tok::Amp, 1),
+            '|' | '∨' => push!(Tok::Pipe, 1),
+            '¬' => push!(Tok::Bang, 1),
+            '∃' => push!(Tok::Exists, 1),
+            '∀' => push!(Tok::Forall, 1),
+            '≠' => push!(Tok::Ne, 1),
+            '≤' => push!(Tok::Le, 1),
+            '≥' => push!(Tok::Ge, 1),
+            '⇒' => push!(Tok::Arrow, 1),
+            '⇔' => push!(Tok::DArrow, 1),
+            '=' => push!(Tok::Eq, 1),
+            '!' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    push!(Tok::Ne, 2)
+                } else {
+                    push!(Tok::Bang, 1)
+                }
+            }
+            '<' => match bytes.get(i + 1) {
+                Some('-') if bytes.get(i + 2) == Some(&'>') => push!(Tok::DArrow, 3),
+                Some('=') => push!(Tok::Le, 2),
+                Some('>') => push!(Tok::Ne, 2),
+                _ => push!(Tok::Lt, 1),
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    push!(Tok::Ge, 2)
+                } else {
+                    push!(Tok::Gt, 1)
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&'>') {
+                    push!(Tok::Arrow, 2)
+                } else if bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+                    let (n, len) = lex_int(&bytes[i..]);
+                    push!(Tok::Int(n), len)
+                } else {
+                    return Err(ParseError {
+                        position: byte,
+                        message: "unexpected `-`".into(),
+                    });
+                }
+            }
+            '"' => {
+                let mut j = i + 1;
+                let mut s = String::new();
+                while j < bytes.len() && bytes[j] != '"' {
+                    s.push(bytes[j]);
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(ParseError {
+                        position: byte,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                let len = j + 1 - i;
+                push!(Tok::Str(s), len);
+            }
+            c if c.is_ascii_digit() => {
+                let (n, len) = lex_int(&bytes[i..]);
+                push!(Tok::Int(n), len)
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                let mut s = String::new();
+                while j < bytes.len()
+                    && (bytes[j].is_alphanumeric() || bytes[j] == '_' || bytes[j] == '-')
+                {
+                    // A `-` only continues an identifier if followed by an
+                    // alphanumeric (so `cs-lecture` lexes as one name but
+                    // `p(x)->q(x)` still finds its arrow).
+                    if bytes[j] == '-' && !bytes.get(j + 1).is_some_and(|c| c.is_alphanumeric()) {
+                        break;
+                    }
+                    s.push(bytes[j]);
+                    j += 1;
+                }
+                let len = j - i;
+                let tok = match s.as_str() {
+                    "exists" => Tok::Exists,
+                    "forall" => Tok::Forall,
+                    "not" => Tok::Bang,
+                    "and" => Tok::Amp,
+                    "or" => Tok::Pipe,
+                    _ => Tok::Ident(s),
+                };
+                push!(tok, len);
+            }
+            _ => {
+                return Err(ParseError {
+                    position: byte,
+                    message: format!("unexpected character `{c}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn lex_int(chars: &[char]) -> (i64, usize) {
+    let mut j = 0;
+    let neg = chars[0] == '-';
+    if neg {
+        j = 1;
+    }
+    let mut n: i64 = 0;
+    while j < chars.len() && chars[j].is_ascii_digit() {
+        n = n * 10 + (chars[j] as i64 - '0' as i64);
+        j += 1;
+    }
+    (if neg { -n } else { n }, j)
+}
+
+struct Parser {
+    tokens: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Tok, what: &str) -> Result<(), ParseError> {
+        if self.eat(&t) {
+            Ok(())
+        } else {
+            Err(self.err_here(&format!("expected {what}")))
+        }
+    }
+
+    fn err_here(&self, message: &str) -> ParseError {
+        let position = self
+            .tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|(b, _)| *b)
+            .unwrap_or(0);
+        ParseError {
+            position,
+            message: message.to_string(),
+        }
+    }
+
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        let mut f = self.imp()?;
+        while self.eat(&Tok::DArrow) {
+            let g = self.imp()?;
+            f = Formula::iff(f, g);
+        }
+        Ok(f)
+    }
+
+    fn imp(&mut self) -> Result<Formula, ParseError> {
+        let f = self.or()?;
+        if self.eat(&Tok::Arrow) {
+            let g = self.imp()?;
+            Ok(Formula::implies(f, g))
+        } else {
+            Ok(f)
+        }
+    }
+
+    fn or(&mut self) -> Result<Formula, ParseError> {
+        let mut f = self.and()?;
+        while self.eat(&Tok::Pipe) {
+            let g = self.and()?;
+            f = Formula::or(f, g);
+        }
+        Ok(f)
+    }
+
+    fn and(&mut self) -> Result<Formula, ParseError> {
+        let mut f = self.unary()?;
+        while self.eat(&Tok::Amp) {
+            let g = self.unary()?;
+            f = Formula::and(f, g);
+        }
+        Ok(f)
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        match self.peek() {
+            Some(Tok::Bang) => {
+                self.pos += 1;
+                Ok(Formula::not(self.unary()?))
+            }
+            Some(Tok::Exists) | Some(Tok::Forall) => {
+                let is_exists = matches!(self.peek(), Some(Tok::Exists));
+                self.pos += 1;
+                let vars = self.var_list()?;
+                // '.' / ':' after the variable list is optional before '('.
+                let _ = self.eat(&Tok::Dot);
+                let body = self.formula()?;
+                Ok(if is_exists {
+                    Formula::exists(vars, body)
+                } else {
+                    Formula::forall(vars, body)
+                })
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn var_list(&mut self) -> Result<Vec<Var>, ParseError> {
+        let mut vars = Vec::new();
+        #[allow(clippy::while_let_loop)] // multiple distinct exits below
+        loop {
+            let Some(Tok::Ident(name)) = self.peek() else {
+                break;
+            };
+            let name = name.clone();
+            if name.starts_with("_v") {
+                return Err(self.err_here("identifier prefix `_v` is reserved"));
+            }
+            self.pos += 1;
+            vars.push(Var::new(name));
+            if self.eat(&Tok::Comma) {
+                // An explicit comma promises another variable (or the
+                // terminator, ending the list on the next iteration).
+                continue;
+            }
+            // Space-separated continuation: another identifier continues
+            // the list only if it does not start an atom (ident + `(`) —
+            // that would be the quantifier body with the dot omitted.
+            match self.peek() {
+                Some(Tok::Ident(_))
+                    if self
+                        .tokens
+                        .get(self.pos + 1)
+                        .map(|(_, t)| t != &Tok::LParen)
+                        .unwrap_or(true) =>
+                {
+                    continue;
+                }
+                _ => break,
+            }
+        }
+        if vars.is_empty() {
+            return Err(self.err_here("expected at least one quantified variable"));
+        }
+        Ok(vars)
+    }
+
+    fn primary(&mut self) -> Result<Formula, ParseError> {
+        match self.next() {
+            Some(Tok::LParen) => {
+                let f = self.formula()?;
+                self.expect(Tok::RParen, "`)`")?;
+                Ok(f)
+            }
+            Some(Tok::Ident(name)) => {
+                if self.peek() == Some(&Tok::LParen) {
+                    self.pos += 1;
+                    let mut terms = Vec::new();
+                    if self.peek() != Some(&Tok::RParen) {
+                        loop {
+                            terms.push(self.term()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen, "`)` closing the atom")?;
+                    Ok(Formula::atom(name, terms))
+                } else {
+                    // A bare identifier must be the left side of a comparison.
+                    if name.starts_with("_v") {
+                        return Err(self.err_here("identifier prefix `_v` is reserved"));
+                    }
+                    let left = Term::var(name);
+                    self.comparison(left)
+                }
+            }
+            Some(Tok::Str(s)) => {
+                let left = Term::constant(s);
+                self.comparison(left)
+            }
+            Some(Tok::Int(n)) => {
+                let left = Term::constant(n);
+                self.comparison(left)
+            }
+            _ => Err(self.err_here("expected a formula")),
+        }
+    }
+
+    fn comparison(&mut self, left: Term) -> Result<Formula, ParseError> {
+        let op = match self.next() {
+            Some(Tok::Eq) => CompareOp::Eq,
+            Some(Tok::Ne) => CompareOp::Ne,
+            Some(Tok::Lt) => CompareOp::Lt,
+            Some(Tok::Le) => CompareOp::Le,
+            Some(Tok::Gt) => CompareOp::Gt,
+            Some(Tok::Ge) => CompareOp::Ge,
+            _ => return Err(self.err_here("expected a comparison operator")),
+        };
+        let right = self.term()?;
+        Ok(Formula::compare(left, op, right))
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(name)) => {
+                if name.starts_with("_v") {
+                    return Err(self.err_here("identifier prefix `_v` is reserved"));
+                }
+                Ok(Term::var(name))
+            }
+            Some(Tok::Str(s)) => Ok(Term::constant(s)),
+            Some(Tok::Int(n)) => Ok(Term::constant(n)),
+            _ => Err(self.err_here("expected a term")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_atoms_and_connectives() {
+        let f = parse("p(x) & (q(x) | r(x))").unwrap();
+        assert_eq!(f.to_string(), "p(x) ∧ (q(x) ∨ r(x))");
+    }
+
+    #[test]
+    fn parses_quantifiers_with_maximal_scope() {
+        let f = parse("exists x. p(x) & q(x)").unwrap();
+        assert_eq!(f.to_string(), "∃x (p(x) ∧ q(x))");
+        let g = parse("forall x,y. p(x,y) -> q(y)").unwrap();
+        assert_eq!(g.to_string(), "∀x,y (p(x,y) ⇒ q(y))");
+    }
+
+    #[test]
+    fn parses_unicode_symbols() {
+        let f = parse("∃x (p(x) ∧ ¬q(x))").unwrap();
+        assert_eq!(f.to_string(), "∃x (p(x) ∧ ¬q(x))");
+        let g = parse("∀y lecture(y,\"db\") ⇒ attends(x,y)").unwrap();
+        assert_eq!(g.to_string(), "∀y (lecture(y,\"db\") ⇒ attends(x,y))");
+    }
+
+    #[test]
+    fn string_and_int_constants() {
+        let f = parse("enrolled(x, \"cs\") & age(x, 30)").unwrap();
+        assert_eq!(f.to_string(), "enrolled(x,\"cs\") ∧ age(x,30)");
+    }
+
+    #[test]
+    fn comparisons() {
+        let f = parse("y != \"cs\" & n >= 3").unwrap();
+        assert_eq!(f.to_string(), "y ≠ \"cs\" ∧ n ≥ 3");
+        let g = parse("x = y").unwrap();
+        assert_eq!(g.to_string(), "x = y");
+    }
+
+    #[test]
+    fn hyphenated_relation_names() {
+        let f = parse("cs-lecture(y)").unwrap();
+        assert_eq!(f.to_string(), "cs-lecture(y)");
+        // and the arrow still lexes
+        let g = parse("p(x) -> q(x)").unwrap();
+        assert_eq!(g.to_string(), "p(x) ⇒ q(x)");
+    }
+
+    #[test]
+    fn implication_right_associative() {
+        let f = parse("p(x) -> q(x) -> r(x)").unwrap();
+        // right-associative, so no parentheses are needed on the right
+        assert_eq!(f.to_string(), "p(x) ⇒ q(x) ⇒ r(x)");
+        assert!(matches!(&f, Formula::Implies(_, b) if matches!(**b, Formula::Implies(..))));
+    }
+
+    #[test]
+    fn round_trip_paper_query_q1() {
+        // §2.2 Q1
+        let text = "exists x. student(x) & (forall y. cs-lecture(y) -> attends(x,y) & !enrolled(x,\"cs\"))";
+        let f = parse(text).unwrap();
+        assert_eq!(f.quantifier_count(), 2);
+        assert!(f.is_closed());
+    }
+
+    #[test]
+    fn reserved_prefix_rejected() {
+        assert!(parse("p(_v1)").is_err());
+        assert!(parse("exists _v0. p(_v0)").is_err());
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let e = parse("p(x) &").unwrap_err();
+        assert!(e.position >= 5);
+        assert!(parse("p(x").is_err());
+        assert!(parse("p(x))").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn iff_desugars_later_not_in_parser() {
+        let f = parse("p(x) <-> q(x)").unwrap();
+        assert!(matches!(f, Formula::Iff(..)));
+    }
+
+    #[test]
+    fn space_separated_quantifier_vars() {
+        let f = parse("exists x y. q(x,y)").unwrap();
+        assert_eq!(f.to_string(), "∃x,y q(x,y)");
+    }
+
+    #[test]
+    fn empty_atom_argument_list() {
+        let f = parse("flag()").unwrap();
+        assert_eq!(f.to_string(), "flag()");
+    }
+}

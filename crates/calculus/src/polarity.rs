@@ -1,0 +1,124 @@
+//! Polarity of subformulas.
+//!
+//! §1: "A subformula A has *positive polarity* in a formula F if A is
+//! embedded in zero or in an even number of negations in F (the left hand
+//! side of an implication being considered as an implicit negation)."
+//! Subformulas of an equivalence occur with *both* polarities.
+
+use crate::Formula;
+
+/// The polarity of a subformula occurrence.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Polarity {
+    /// Even number of (explicit or implicit) negations.
+    Positive,
+    /// Odd number of negations.
+    Negative,
+    /// Under an equivalence: occurs with both polarities.
+    Both,
+}
+
+impl Polarity {
+    /// The polarity after passing through one negation.
+    pub fn flip(self) -> Polarity {
+        match self {
+            Polarity::Positive => Polarity::Negative,
+            Polarity::Negative => Polarity::Positive,
+            Polarity::Both => Polarity::Both,
+        }
+    }
+}
+
+impl Formula {
+    /// Visit every subformula together with its polarity (preorder; the
+    /// whole formula is visited with `start` polarity).
+    pub fn for_each_with_polarity(
+        &self,
+        start: Polarity,
+        f: &mut impl FnMut(&Formula, Polarity),
+    ) {
+        f(self, start);
+        match self {
+            Formula::Atom(_) | Formula::Compare(_) => {}
+            Formula::Not(g) => g.for_each_with_polarity(start.flip(), f),
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.for_each_with_polarity(start, f);
+                b.for_each_with_polarity(start, f);
+            }
+            Formula::Implies(a, b) => {
+                a.for_each_with_polarity(start.flip(), f);
+                b.for_each_with_polarity(start, f);
+            }
+            Formula::Iff(a, b) => {
+                a.for_each_with_polarity(Polarity::Both, f);
+                b.for_each_with_polarity(Polarity::Both, f);
+            }
+            Formula::Exists(_, g) | Formula::Forall(_, g) => {
+                g.for_each_with_polarity(start, f);
+            }
+        }
+    }
+
+    /// Polarities with which a syntactically equal subformula occurs in
+    /// `self` (a subformula may occur several times).
+    pub fn polarities_of(&self, sub: &Formula) -> Vec<Polarity> {
+        let mut out = Vec::new();
+        self.for_each_with_polarity(Polarity::Positive, &mut |g, p| {
+            if g == sub {
+                out.push(p);
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Term;
+
+    fn p(v: &str) -> Formula {
+        Formula::atom("p", vec![Term::var(v)])
+    }
+    fn q(v: &str) -> Formula {
+        Formula::atom("q", vec![Term::var(v)])
+    }
+
+    #[test]
+    fn negation_flips() {
+        let f = Formula::not(Formula::not(p("x")));
+        assert_eq!(f.polarities_of(&p("x")), vec![Polarity::Positive]);
+        let g = Formula::not(p("x"));
+        assert_eq!(g.polarities_of(&p("x")), vec![Polarity::Negative]);
+    }
+
+    #[test]
+    fn implication_lhs_is_implicit_negation() {
+        let f = Formula::implies(p("x"), q("x"));
+        assert_eq!(f.polarities_of(&p("x")), vec![Polarity::Negative]);
+        assert_eq!(f.polarities_of(&q("x")), vec![Polarity::Positive]);
+    }
+
+    #[test]
+    fn iff_gives_both() {
+        let f = Formula::iff(p("x"), q("x"));
+        assert_eq!(f.polarities_of(&p("x")), vec![Polarity::Both]);
+    }
+
+    #[test]
+    fn quantifiers_preserve_polarity() {
+        let f = Formula::not(Formula::forall1("x", Formula::implies(p("x"), q("x"))));
+        // p(x): under ¬ then lhs of ⇒ → positive again
+        assert_eq!(f.polarities_of(&p("x")), vec![Polarity::Positive]);
+        assert_eq!(f.polarities_of(&q("x")), vec![Polarity::Negative]);
+    }
+
+    #[test]
+    fn multiple_occurrences_reported() {
+        let f = Formula::and(p("x"), Formula::not(p("x")));
+        assert_eq!(
+            f.polarities_of(&p("x")),
+            vec![Polarity::Positive, Polarity::Negative]
+        );
+    }
+}

@@ -1,0 +1,153 @@
+//! Pretty-printing of formulas (the `Display` impl).
+//!
+//! Output uses the paper's symbols (∃ ∀ ∧ ∨ ¬ ⇒ ⇔) with minimal
+//! parentheses. Precedence, loosest to tightest: ⇔, ⇒, ∨, ∧, ¬/quantifiers.
+
+use crate::Formula;
+use std::fmt;
+
+#[derive(Clone, Copy, PartialEq, PartialOrd)]
+enum Prec {
+    Iff = 0,
+    Implies = 1,
+    Or = 2,
+    And = 3,
+    Unary = 4,
+}
+
+fn prec(f: &Formula) -> Prec {
+    match f {
+        // Quantifiers parse with maximal scope, so an embedded quantified
+        // subformula must always be parenthesized.
+        Formula::Exists(..) | Formula::Forall(..) => Prec::Iff,
+        Formula::Iff(..) => Prec::Iff,
+        Formula::Implies(..) => Prec::Implies,
+        Formula::Or(..) => Prec::Or,
+        Formula::And(..) => Prec::And,
+        _ => Prec::Unary,
+    }
+}
+
+fn write_prec(f: &Formula, min: Prec, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let need_parens = (prec(f) as u8) < (min as u8);
+    if need_parens {
+        write!(out, "(")?;
+    }
+    match f {
+        Formula::Atom(a) => write!(out, "{a}")?,
+        Formula::Compare(c) => write!(out, "{c}")?,
+        Formula::Not(g) => {
+            write!(out, "¬")?;
+            write_prec(g, Prec::Unary, out)?;
+        }
+        Formula::And(a, b) => {
+            // ∧ is printed left-associatively: a right-nested conjunction
+            // is parenthesized so parsing rebuilds the exact tree.
+            write_prec(a, Prec::And, out)?;
+            write!(out, " ∧ ")?;
+            write_prec(b, Prec::Unary, out)?;
+        }
+        Formula::Or(a, b) => {
+            write_prec(a, Prec::Or, out)?;
+            write!(out, " ∨ ")?;
+            write_prec(b, Prec::And, out)?;
+        }
+        Formula::Implies(a, b) => {
+            // ⇒ is right-associative and non-chaining; parenthesize a
+            // nested implication on the left.
+            write_prec(a, Prec::Or, out)?;
+            write!(out, " ⇒ ")?;
+            write_prec(b, Prec::Implies, out)?;
+        }
+        Formula::Iff(a, b) => {
+            write_prec(a, Prec::Implies, out)?;
+            write!(out, " ⇔ ")?;
+            write_prec(b, Prec::Implies, out)?;
+        }
+        Formula::Exists(vs, g) | Formula::Forall(vs, g) => {
+            let symbol = if matches!(f, Formula::Exists(..)) {
+                "∃"
+            } else {
+                "∀"
+            };
+            write!(out, "{symbol}")?;
+            for (i, v) in vs.iter().enumerate() {
+                if i > 0 {
+                    write!(out, ",")?;
+                }
+                write!(out, "{v}")?;
+            }
+            write!(out, " ")?;
+            // A comparison body starting with a bare variable would be
+            // ambiguous with the space-separated variable list
+            // (`∀x z1 ≥ c`); parenthesize comparisons.
+            if matches!(**g, Formula::Compare(_)) {
+                write!(out, "(")?;
+                write_prec(g, Prec::Iff, out)?;
+                write!(out, ")")?;
+            } else {
+                write_prec(g, Prec::Unary, out)?;
+            }
+        }
+    }
+    if need_parens {
+        write!(out, ")")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_prec(self, Prec::Iff, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Term;
+
+    fn p(v: &str) -> Formula {
+        Formula::atom("p", vec![Term::var(v)])
+    }
+    fn q(v: &str) -> Formula {
+        Formula::atom("q", vec![Term::var(v)])
+    }
+
+    #[test]
+    fn atoms_and_connectives() {
+        let f = Formula::and(p("x"), Formula::or(q("x"), p("y")));
+        assert_eq!(f.to_string(), "p(x) ∧ (q(x) ∨ p(y))");
+    }
+
+    #[test]
+    fn no_redundant_parens_for_and_chain() {
+        let f = Formula::and(Formula::and(p("x"), q("x")), p("y"));
+        assert_eq!(f.to_string(), "p(x) ∧ q(x) ∧ p(y)");
+    }
+
+    #[test]
+    fn quantifier_blocks() {
+        let f = Formula::exists(
+            vec!["x".into(), "y".into()],
+            Formula::and(p("x"), q("y")),
+        );
+        assert_eq!(f.to_string(), "∃x,y (p(x) ∧ q(y))");
+    }
+
+    #[test]
+    fn negation_parenthesizes_compounds() {
+        let f = Formula::not(Formula::and(p("x"), q("x")));
+        assert_eq!(f.to_string(), "¬(p(x) ∧ q(x))");
+        let g = Formula::not(p("x"));
+        assert_eq!(g.to_string(), "¬p(x)");
+    }
+
+    #[test]
+    fn implication_and_iff() {
+        let f = Formula::forall1("y", Formula::implies(p("y"), q("y")));
+        assert_eq!(f.to_string(), "∀y (p(y) ⇒ q(y))");
+        let g = Formula::iff(p("x"), q("x"));
+        assert_eq!(g.to_string(), "p(x) ⇔ q(x)");
+    }
+}

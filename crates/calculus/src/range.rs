@@ -1,0 +1,341 @@
+//! Ranges (Definition 1) and the producer/filter split (Definition 5).
+//!
+//! A *range* `R[x₁,…,xₙ]` is a subformula that can, by itself, produce all
+//! candidate bindings for the variables `x₁,…,xₙ` — the logical counterpart
+//! of a variable declaration. Definition 1 builds ranges from atoms (1),
+//! conjunctions of ranges (2), disjunctions of ranges over the same
+//! variables (3), ranges with attached filter formulas (4), and existential
+//! projections of ranges (5).
+//!
+//! Two deliberate generalizations over the letter of Definition 1, both
+//! semantically sound (they only produce domain-independent producers) and
+//! both needed for the paper's own examples:
+//!
+//! * atoms may contain constants and repeated variables (the paper uses
+//!   `lecture(y,db)` as a range for `y`);
+//! * recognition is relative to a set of *outer* variables that are already
+//!   bound by enclosing quantifiers; these act as constants (Proposition 4
+//!   case 2b uses `T(y,z)` as the range for `z` under an outer `y`).
+
+use crate::{Formula, Var};
+use std::collections::BTreeSet;
+
+/// Free variables of `f` that are not in `outer` (outer variables are bound
+/// by enclosing quantifiers and act as constants).
+fn inner_free(f: &Formula, outer: &BTreeSet<Var>) -> BTreeSet<Var> {
+    f.free_vars().difference(outer).cloned().collect()
+}
+
+/// Is `f` a range for exactly the variable set `target`, with `outer`
+/// variables treated as constants? (Definition 1.)
+pub fn is_range_for(f: &Formula, target: &BTreeSet<Var>, outer: &BTreeSet<Var>) -> bool {
+    if target.is_empty() {
+        return false;
+    }
+    if &inner_free(f, outer) != target {
+        return false;
+    }
+    match f {
+        // Condition 1 (generalized): a positive atom whose (non-outer)
+        // variables are exactly the target.
+        Formula::Atom(_) => true,
+        // Conditions 2 and 4, generalized over the binary tree shape:
+        // flatten the conjunction, split into producer conjuncts (ranges
+        // for their own variables) and filter conjuncts; the producers
+        // must cover the target.
+        Formula::And(..) => split_producer_filter(f, target, outer).is_some(),
+        // Condition 3: both disjuncts are ranges for the same variables.
+        Formula::Or(a, b) => is_range_for(a, target, outer) && is_range_for(b, target, outer),
+        // Condition 5: existential projection of a range.
+        Formula::Exists(ys, r) => {
+            if ys.iter().any(|y| target.contains(y) || outer.contains(y)) {
+                return false;
+            }
+            let mut wider = target.clone();
+            wider.extend(ys.iter().cloned());
+            is_range_for(r, &wider, outer)
+        }
+        _ => false,
+    }
+}
+
+/// The producer/filter decomposition of a conjunctive formula (Definition 5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProducerFilter {
+    /// Conjuncts that together form a range for the target variables.
+    pub producers: Vec<Formula>,
+    /// Remaining conjuncts: evaluated as tests over produced bindings.
+    /// May mention outer variables.
+    pub filters: Vec<Formula>,
+}
+
+impl ProducerFilter {
+    /// Reassemble `producers` as a single range formula (left-assoc ∧).
+    pub fn producer_formula(&self) -> Formula {
+        Formula::and_all(self.producers.clone())
+    }
+
+    /// Reassemble `filters` as a single formula, if any.
+    pub fn filter_formula(&self) -> Option<Formula> {
+        if self.filters.is_empty() {
+            None
+        } else {
+            Some(Formula::and_all(self.filters.clone()))
+        }
+    }
+}
+
+/// Flatten nested conjunctions into a conjunct list (left-to-right).
+pub fn flatten_and(f: &Formula) -> Vec<&Formula> {
+    let mut out = Vec::new();
+    fn walk<'a>(f: &'a Formula, out: &mut Vec<&'a Formula>) {
+        if let Formula::And(a, b) = f {
+            walk(a, out);
+            walk(b, out);
+        } else {
+            out.push(f);
+        }
+    }
+    walk(f, &mut out);
+    out
+}
+
+/// Split a (possibly conjunctive) formula into producers and filters with
+/// respect to `target` (Definition 5): producer conjuncts are ranges for
+/// their own non-outer variables and must jointly cover `target`; all other
+/// conjuncts are filters. Returns `None` if the producers cannot cover the
+/// target — the quantification is then not *restricted* in the sense of
+/// Definition 2.
+///
+/// The paper leaves the producer choice to a cost model (§2.3: "no choice
+/// strategy is described here"); our deterministic strategy follows the
+/// paper's stated *preference*: disjunctions are kept in filters whenever
+/// the non-disjunctive conjuncts already cover the quantified variables
+/// (so they can be evaluated with constrained outer-joins, §3.3), and a
+/// disjunctive conjunct is promoted to producer only when needed for
+/// coverage (it is then distributed out by Rules 12–14).
+pub fn split_producer_filter(
+    f: &Formula,
+    target: &BTreeSet<Var>,
+    outer: &BTreeSet<Var>,
+) -> Option<ProducerFilter> {
+    let conjuncts = flatten_and(f);
+    let mut producers: Vec<Option<Formula>> = vec![None; conjuncts.len()];
+    let mut covered: BTreeSet<Var> = BTreeSet::new();
+    // Pass 1: non-disjunctive range conjuncts become producers.
+    for (i, c) in conjuncts.iter().enumerate() {
+        if matches!(c, Formula::Or(..)) {
+            continue;
+        }
+        let vars = inner_free(c, outer);
+        if !vars.is_empty() && vars.is_subset(target) && is_range_for(c, &vars, outer) {
+            covered.extend(vars.iter().cloned());
+            producers[i] = Some((*c).clone());
+        }
+    }
+    // Pass 2: promote disjunctive range conjuncts only if they add coverage.
+    for (i, c) in conjuncts.iter().enumerate() {
+        if covered == *target {
+            break;
+        }
+        if !matches!(c, Formula::Or(..)) {
+            continue;
+        }
+        let vars = inner_free(c, outer);
+        if vars.is_empty() || !vars.is_subset(target) || vars.is_subset(&covered) {
+            continue;
+        }
+        if is_range_for(c, &vars, outer) {
+            covered.extend(vars.iter().cloned());
+            producers[i] = Some((*c).clone());
+        }
+    }
+    if &covered != target {
+        return None;
+    }
+    let mut prods = Vec::new();
+    let mut filters = Vec::new();
+    for (i, c) in conjuncts.iter().enumerate() {
+        match producers[i].take() {
+            Some(p) => prods.push(p),
+            None => filters.push((*c).clone()),
+        }
+    }
+    Some(ProducerFilter {
+        producers: prods,
+        filters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Term;
+
+    fn vs(names: &[&str]) -> BTreeSet<Var> {
+        names.iter().map(Var::new).collect()
+    }
+    fn at(r: &str, args: &[&str]) -> Formula {
+        Formula::atom(r, args.iter().map(Term::var).collect())
+    }
+
+    #[test]
+    fn atom_is_range_for_its_vars() {
+        let f = at("member", &["x", "z"]);
+        assert!(is_range_for(&f, &vs(&["x", "z"]), &vs(&[])));
+        assert!(!is_range_for(&f, &vs(&["x"]), &vs(&[])));
+        // with z outer it is a range for x alone
+        assert!(is_range_for(&f, &vs(&["x"]), &vs(&["z"])));
+    }
+
+    #[test]
+    fn atom_with_constant_is_range() {
+        // lecture(y, "db") is a range for y (the paper's cs-lecture example)
+        let f = Formula::atom("lecture", vec![Term::var("y"), Term::constant("db")]);
+        assert!(is_range_for(&f, &vs(&["y"]), &vs(&[])));
+    }
+
+    #[test]
+    fn negation_is_not_a_range() {
+        let f = Formula::not(at("p", &["x"]));
+        assert!(!is_range_for(&f, &vs(&["x"]), &vs(&[])));
+    }
+
+    #[test]
+    fn conjunction_of_ranges_covers_union() {
+        // condition 2: p(x) ∧ q(y) ranges x,y
+        let f = Formula::and(at("p", &["x"]), at("q", &["y"]));
+        assert!(is_range_for(&f, &vs(&["x", "y"]), &vs(&[])));
+    }
+
+    #[test]
+    fn range_with_filter_condition4() {
+        // professor(x) ∧ (member(x,cs) ∨ skill(x,math)) — producer + filter.
+        // Here the disjunction happens to be a range too (both disjuncts
+        // over exactly {x}), so it is recognized either way.
+        let disj = Formula::or(
+            Formula::atom("member", vec![Term::var("x"), Term::constant("cs")]),
+            Formula::atom("skill", vec![Term::var("x"), Term::constant("math")]),
+        );
+        let f = Formula::and(at("professor", &["x"]), disj);
+        assert!(is_range_for(&f, &vs(&["x"]), &vs(&[])));
+        // With a genuinely non-range filter (a negation):
+        let f2 = Formula::and(at("professor", &["x"]), Formula::not(at("dean", &["x"])));
+        assert!(is_range_for(&f2, &vs(&["x"]), &vs(&[])));
+    }
+
+    #[test]
+    fn disjunction_must_cover_same_vars() {
+        // (r(x1) ∨ s(x2)) is NOT a range for {x1,x2} — the paper's
+        // rejected query F1 (§2.1, after Definition 2).
+        let f = Formula::or(at("r", &["x1"]), at("s", &["x2"]));
+        assert!(!is_range_for(&f, &vs(&["x1", "x2"]), &vs(&[])));
+    }
+
+    #[test]
+    fn disjunction_of_ranges_same_vars_ok() {
+        // (student(x) ∧ makes(x,PhD)) ∨ prof(x) — the §2.3 producer
+        let f = Formula::or(
+            Formula::and(
+                at("student", &["x"]),
+                Formula::atom("makes", vec![Term::var("x"), Term::constant("PhD")]),
+            ),
+            at("prof", &["x"]),
+        );
+        assert!(is_range_for(&f, &vs(&["x"]), &vs(&[])));
+    }
+
+    #[test]
+    fn existential_projection_condition5() {
+        // ∃yz p(x,y,z) is a range for x
+        let f = Formula::exists(vec![Var::new("y"), Var::new("z")], at("p", &["x", "y", "z"]));
+        assert!(is_range_for(&f, &vs(&["x"]), &vs(&[])));
+        assert!(!is_range_for(&f, &vs(&["x", "y"]), &vs(&[])));
+    }
+
+    #[test]
+    fn split_finds_producers_and_filters() {
+        // member(x,z) ∧ ¬skill(x,db): producer member, filter ¬skill
+        let f = Formula::and(
+            at("member", &["x", "z"]),
+            Formula::not(Formula::atom(
+                "skill",
+                vec![Term::var("x"), Term::constant("db")],
+            )),
+        );
+        let pf = split_producer_filter(&f, &vs(&["x", "z"]), &vs(&[])).unwrap();
+        assert_eq!(pf.producers.len(), 1);
+        assert_eq!(pf.filters.len(), 1);
+        assert_eq!(pf.producer_formula(), at("member", &["x", "z"]));
+    }
+
+    #[test]
+    fn split_fails_when_uncovered() {
+        // ¬p(x): no producer can bind x
+        let f = Formula::not(at("p", &["x"]));
+        assert!(split_producer_filter(&f, &vs(&["x"]), &vs(&[])).is_none());
+    }
+
+    #[test]
+    fn split_with_outer_variable_filter() {
+        // range for z under outer x: member(x,z) where x outer? No — here:
+        // lecture(z) ∧ attends(x,z) with x outer: both conjuncts are
+        // ranges for z relative to outer {x}; both become producers.
+        let f = Formula::and(at("lecture", &["z"]), at("attends", &["x", "z"]));
+        let pf = split_producer_filter(&f, &vs(&["z"]), &vs(&["x"])).unwrap();
+        assert_eq!(pf.producers.len(), 2);
+        assert!(pf.filters.is_empty());
+    }
+
+    #[test]
+    fn disjunctive_conjunct_kept_as_filter_when_covered() {
+        // §2.3 Q₄: professor(x) ∧ (member(x,cs) ∨ skill(x,math)) ∧ speaks(x,fr):
+        // professor covers x, so the disjunction stays a filter.
+        let disj = Formula::or(
+            Formula::atom("member", vec![Term::var("x"), Term::constant("cs")]),
+            Formula::atom("skill", vec![Term::var("x"), Term::constant("math")]),
+        );
+        let f = Formula::and(
+            Formula::and(at("professor", &["x"]), disj.clone()),
+            Formula::atom("speaks", vec![Term::var("x"), Term::constant("french")]),
+        );
+        let pf = split_producer_filter(&f, &vs(&["x"]), &vs(&[])).unwrap();
+        // professor and speaks are both (atomic) producers; the essential
+        // point is that the disjunction is kept as a filter.
+        assert_eq!(pf.producers.len(), 2);
+        assert_eq!(pf.filters, vec![disj]);
+    }
+
+    #[test]
+    fn disjunctive_conjunct_promoted_when_needed() {
+        // §2.3 Q₁: [(student ∧ makes) ∨ prof] ∧ (speaks ∨ speaks): only the
+        // first disjunction can produce x; the second stays a filter.
+        let producer = Formula::or(
+            Formula::and(
+                at("student", &["x"]),
+                Formula::atom("makes", vec![Term::var("x"), Term::constant("PhD")]),
+            ),
+            at("prof", &["x"]),
+        );
+        let filter = Formula::or(
+            Formula::atom("speaks", vec![Term::var("x"), Term::constant("french")]),
+            Formula::atom("speaks", vec![Term::var("x"), Term::constant("german")]),
+        );
+        let f = Formula::and(producer.clone(), filter.clone());
+        let pf = split_producer_filter(&f, &vs(&["x"]), &vs(&[])).unwrap();
+        assert_eq!(pf.producers, vec![producer]);
+        assert_eq!(pf.filters, vec![filter]);
+    }
+
+    #[test]
+    fn flatten_and_order() {
+        let f = Formula::and(
+            Formula::and(at("a", &["x"]), at("b", &["x"])),
+            at("c", &["x"]),
+        );
+        let c = flatten_and(&f);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c[0], &at("a", &["x"]));
+        assert_eq!(c[2], &at("c", &["x"]));
+    }
+}

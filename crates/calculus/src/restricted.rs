@@ -1,0 +1,296 @@
+//! Restricted quantifications and restricted variables (Definitions 2 & 3).
+//!
+//! These are the paper's syntactic safety classes: a query is evaluable
+//! under negation-as-failure only if every quantifier comes with a range
+//! and every free variable is range-restricted. Queries outside the class
+//! (like the paper's rejected `∃x₁x₂ (r(x₁) ∨ s(x₂)) ∧ ¬p(x₁,x₂)`) are
+//! reported with a typed error.
+
+use crate::range::{is_range_for, split_producer_filter};
+use crate::{Formula, Var};
+use std::collections::BTreeSet;
+
+/// Why a formula fails to be restricted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestrictionError {
+    /// An existential block whose body provides no range covering the
+    /// quantified variables.
+    UnrestrictedExistential {
+        /// The quantified variables.
+        vars: Vec<Var>,
+        /// Rendering of the offending subformula.
+        subformula: String,
+    },
+    /// A universal block not of the form `∀x̄ ¬R` or `∀x̄ R ⇒ F`.
+    UnrestrictedUniversal {
+        /// The quantified variables.
+        vars: Vec<Var>,
+        /// Rendering of the offending subformula.
+        subformula: String,
+    },
+    /// A formula expected to be closed has free variables.
+    NotClosed {
+        /// The free variables found.
+        free: Vec<Var>,
+    },
+    /// The disjuncts of an open query restrict different variable sets
+    /// (Definition 3 requires both sides of `∨` to restrict the same set).
+    MismatchedDisjuncts {
+        /// Variables of the left disjunct.
+        left: Vec<Var>,
+        /// Variables of the right disjunct.
+        right: Vec<Var>,
+    },
+}
+
+impl std::fmt::Display for RestrictionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestrictionError::UnrestrictedExistential { vars, subformula } => write!(
+                f,
+                "existential quantification of {} has no covering range in `{subformula}`",
+                render_vars(vars)
+            ),
+            RestrictionError::UnrestrictedUniversal { vars, subformula } => write!(
+                f,
+                "universal quantification of {} is not of the form ∀x̄ ¬R or ∀x̄ R ⇒ F in `{subformula}`",
+                render_vars(vars)
+            ),
+            RestrictionError::NotClosed { free } => {
+                write!(f, "formula is not closed; free variables: {}", render_vars(free))
+            }
+            RestrictionError::MismatchedDisjuncts { left, right } => write!(
+                f,
+                "open disjunction restricts different variables: {} vs {}",
+                render_vars(left),
+                render_vars(right)
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RestrictionError {}
+
+fn render_vars(vs: &[Var]) -> String {
+    let names: Vec<&str> = vs.iter().map(Var::name).collect();
+    names.join(", ")
+}
+
+/// Check Definition 2: `f` is a *closed formula with restricted
+/// quantifications*.
+pub fn check_restricted_closed(f: &Formula) -> Result<(), RestrictionError> {
+    let free = f.free_vars();
+    if !free.is_empty() {
+        return Err(RestrictionError::NotClosed {
+            free: free.into_iter().collect(),
+        });
+    }
+    check_quantifications(f, &BTreeSet::new())
+}
+
+/// Check Definition 3: `f` is an *open formula with restricted variables*.
+/// Returns the restricted variable set (the free variables).
+pub fn check_restricted_open(f: &Formula) -> Result<BTreeSet<Var>, RestrictionError> {
+    // Definition 3 case 2: a disjunction of open formulas restricting the
+    // same variables.
+    if let Formula::Or(a, b) = f {
+        if !a.free_vars().is_empty() || !b.free_vars().is_empty() {
+            let lv = check_restricted_open(a)?;
+            let rv = check_restricted_open(b)?;
+            if lv != rv {
+                return Err(RestrictionError::MismatchedDisjuncts {
+                    left: lv.into_iter().collect(),
+                    right: rv.into_iter().collect(),
+                });
+            }
+            return Ok(lv);
+        }
+    }
+    let free = f.free_vars();
+    if free.is_empty() {
+        check_restricted_closed(f)?;
+        return Ok(free);
+    }
+    // Definition 3 case 1: the existential closure must be a closed formula
+    // with restricted quantifications.
+    let closure = Formula::exists(free.iter().cloned().collect(), f.clone());
+    check_restricted_closed(&closure)?;
+    Ok(free)
+}
+
+/// Walk the formula checking every quantifier block against the allowed
+/// forms of Definition 2, with `outer` the variables bound by enclosing
+/// quantifiers (they act as constants for range recognition).
+fn check_quantifications(f: &Formula, outer: &BTreeSet<Var>) -> Result<(), RestrictionError> {
+    match f {
+        Formula::Exists(vars, body) => {
+            let target: BTreeSet<Var> = vars.iter().cloned().collect();
+            // Allowed forms: ∃x̄ R[x̄]  or  ∃x̄ R[x̄] ∧ F.
+            if split_producer_filter(body, &target, outer).is_none() {
+                return Err(RestrictionError::UnrestrictedExistential {
+                    vars: vars.clone(),
+                    subformula: f.to_string(),
+                });
+            }
+            let mut inner = outer.clone();
+            inner.extend(vars.iter().cloned());
+            check_quantifications(body, &inner)
+        }
+        Formula::Forall(vars, body) => {
+            let target: BTreeSet<Var> = vars.iter().cloned().collect();
+            let ok = match &**body {
+                // ∀x̄ ¬R[x̄]
+                Formula::Not(r) => is_range_for(r, &target, outer),
+                // ∀x̄ R[x̄] ⇒ F — the range side may itself carry filters
+                // (Definition 1 condition 4), e.g. ∀y (lect(y) ∧ hard(y)) ⇒ F.
+                Formula::Implies(r, _) => split_producer_filter(r, &target, outer).is_some(),
+                _ => false,
+            };
+            if !ok {
+                return Err(RestrictionError::UnrestrictedUniversal {
+                    vars: vars.clone(),
+                    subformula: f.to_string(),
+                });
+            }
+            let mut inner = outer.clone();
+            inner.extend(vars.iter().cloned());
+            check_quantifications(body, &inner)
+        }
+        _ => {
+            for c in f.children() {
+                check_quantifications(c, outer)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Term;
+
+    fn at(r: &str, args: &[&str]) -> Formula {
+        Formula::atom(r, args.iter().map(Term::var).collect())
+    }
+
+    #[test]
+    fn paper_rejected_query_f1() {
+        // F1: ∃x1x2 [r(x1) ∨ s(x2)] ∧ ¬p(x1,x2) — rejected by Definition 2
+        let f = Formula::exists(
+            vec![Var::new("x1"), Var::new("x2")],
+            Formula::and(
+                Formula::or(at("r", &["x1"]), at("s", &["x2"])),
+                Formula::not(at("p", &["x1", "x2"])),
+            ),
+        );
+        assert!(matches!(
+            check_restricted_closed(&f),
+            Err(RestrictionError::UnrestrictedExistential { .. })
+        ));
+    }
+
+    #[test]
+    fn simple_closed_existential_ok() {
+        let f = Formula::exists1(
+            "x",
+            Formula::and(at("p", &["x"]), Formula::not(at("q", &["x"]))),
+        );
+        assert!(check_restricted_closed(&f).is_ok());
+    }
+
+    #[test]
+    fn closed_universal_forms() {
+        // ∀x p(x) ⇒ q(x): ok
+        let f = Formula::forall1("x", Formula::implies(at("p", &["x"]), at("q", &["x"])));
+        assert!(check_restricted_closed(&f).is_ok());
+        // ∀x ¬p(x): ok
+        let g = Formula::forall1("x", Formula::not(at("p", &["x"])));
+        assert!(check_restricted_closed(&g).is_ok());
+        // ∀x q(x): not an allowed form
+        let h = Formula::forall1("x", at("q", &["x"]));
+        assert!(matches!(
+            check_restricted_closed(&h),
+            Err(RestrictionError::UnrestrictedUniversal { .. })
+        ));
+    }
+
+    #[test]
+    fn open_formula_returns_free_vars() {
+        // member(x,z) ∧ ¬skill(x,db)
+        let f = Formula::and(
+            at("member", &["x", "z"]),
+            Formula::not(Formula::atom(
+                "skill",
+                vec![Term::var("x"), Term::constant("db")],
+            )),
+        );
+        let vars = check_restricted_open(&f).unwrap();
+        assert_eq!(vars.len(), 2);
+    }
+
+    #[test]
+    fn open_disjunction_must_match_vars() {
+        let f = Formula::or(at("p", &["x"]), at("q", &["y"]));
+        assert!(matches!(
+            check_restricted_open(&f),
+            Err(RestrictionError::MismatchedDisjuncts { .. })
+        ));
+        let g = Formula::or(at("p", &["x"]), at("q", &["x"]));
+        assert!(check_restricted_open(&g).is_ok());
+    }
+
+    #[test]
+    fn not_closed_is_reported() {
+        let f = at("p", &["x"]);
+        assert!(matches!(
+            check_restricted_closed(&f),
+            Err(RestrictionError::NotClosed { .. })
+        ));
+    }
+
+    #[test]
+    fn nested_quantifiers_with_outer_ranges() {
+        // ∃y R(x,y) ∧ ∃z (T(y,z) ∧ ¬G(x,y,z)) closed over x too:
+        // Proposition 4 case 2b shape.
+        let f = Formula::exists1(
+            "x",
+            Formula::and(
+                at("dom", &["x"]),
+                Formula::exists1(
+                    "y",
+                    Formula::and(
+                        at("r", &["x", "y"]),
+                        Formula::exists1(
+                            "z",
+                            Formula::and(
+                                at("t", &["y", "z"]),
+                                Formula::not(at("g", &["x", "y", "z"])),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        );
+        assert!(check_restricted_closed(&f).is_ok());
+    }
+
+    #[test]
+    fn universal_with_filtered_range() {
+        // ∀y (lecture(y) ∧ hard(y)) ⇒ attends(x,y), under ∃x student(x) ∧ …
+        let f = Formula::exists1(
+            "x",
+            Formula::and(
+                at("student", &["x"]),
+                Formula::forall1(
+                    "y",
+                    Formula::implies(
+                        Formula::and(at("lecture", &["y"]), at("hard", &["y"])),
+                        at("attends", &["x", "y"]),
+                    ),
+                ),
+            ),
+        );
+        assert!(check_restricted_closed(&f).is_ok());
+    }
+}

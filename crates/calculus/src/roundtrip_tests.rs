@@ -1,0 +1,98 @@
+//! Printer/parser round-trip property tests: `parse(f.to_string())` is
+//! alpha-equivalent (indeed equal, since printing preserves names) to `f`
+//! for arbitrarily generated formulas.
+
+#![cfg(test)]
+
+use crate::{parse, CompareOp, Formula, Term};
+use proptest::prelude::*;
+
+fn arb_var() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("x".to_string()),
+        Just("y".to_string()),
+        Just("z1".to_string()),
+        Just("long_name".to_string()),
+    ]
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        arb_var().prop_map(Term::var),
+        any::<i64>().prop_map(Term::constant),
+        // no spaces: the whitespace test pads token boundaries only
+        "[a-z][a-z0-9_-]{0,6}".prop_map(Term::constant),
+    ]
+}
+
+fn arb_atom() -> impl Strategy<Value = Formula> {
+    (
+        prop_oneof![Just("p"), Just("q"), Just("cs-lecture"), Just("r_2")],
+        prop::collection::vec(arb_term(), 0..4),
+    )
+        .prop_map(|(name, terms)| Formula::atom(name, terms))
+}
+
+fn arb_compare() -> impl Strategy<Value = Formula> {
+    (
+        arb_term(),
+        prop_oneof![
+            Just(CompareOp::Eq),
+            Just(CompareOp::Ne),
+            Just(CompareOp::Lt),
+            Just(CompareOp::Le),
+            Just(CompareOp::Gt),
+            Just(CompareOp::Ge),
+        ],
+        arb_term(),
+    )
+        .prop_map(|(l, op, r)| Formula::compare(l, op, r))
+}
+
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![arb_atom(), arb_compare()];
+    leaf.prop_recursive(5, 48, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::or(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::implies(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::iff(a, b)),
+            inner.clone().prop_map(Formula::not),
+            (arb_var(), inner.clone()).prop_map(|(v, f)| Formula::exists1(v, f)),
+            (arb_var(), inner.clone()).prop_map(|(v, f)| Formula::forall1(v, f)),
+            (arb_var(), arb_var(), inner).prop_filter_map(
+                "distinct block vars",
+                |(a, b, f)| {
+                    if a == b {
+                        None
+                    } else {
+                        Some(Formula::exists(vec![a.as_str().into(), b.as_str().into()], f))
+                    }
+                }
+            ),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Printing then parsing reproduces the formula exactly.
+    #[test]
+    fn print_parse_round_trip(f in arb_formula()) {
+        let text = f.to_string();
+        let parsed = parse(&text)
+            .unwrap_or_else(|e| panic!("reparse failed on `{text}`: {e}"));
+        prop_assert_eq!(&parsed, &f, "round trip through `{}`", text);
+    }
+
+    /// Parsing is insensitive to surrounding and doubled whitespace
+    /// (inserted only at existing token boundaries, never inside tokens).
+    #[test]
+    fn parse_ignores_whitespace(f in arb_formula()) {
+        let text = f.to_string();
+        let spaced = format!("  {}  ", text.replace(' ', "   "));
+        let parsed = parse(&spaced).unwrap();
+        prop_assert_eq!(parsed, f);
+    }
+}

@@ -1,0 +1,136 @@
+//! Terms of the domain relational calculus: variables and constants.
+
+use gq_storage::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// A domain variable.
+///
+/// Variables are compared by name. Cloning is cheap (shared string), which
+/// matters because the rewriting engine copies formulas freely.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(Arc<str>);
+
+impl Var {
+    /// Create a variable with the given name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Var(Arc::from(name.as_ref()))
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Self {
+        Var::new(s)
+    }
+}
+
+/// A term: a variable or a constant.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A domain variable.
+    Var(Var),
+    /// A constant from the database domain.
+    Const(Value),
+}
+
+impl Term {
+    /// A variable term.
+    pub fn var(name: impl AsRef<str>) -> Self {
+        Term::Var(Var::new(name))
+    }
+
+    /// A constant term.
+    pub fn constant(v: impl Into<Value>) -> Self {
+        Term::Const(v.into())
+    }
+
+    /// The variable, if this term is one.
+    pub fn as_var(&self) -> Option<&Var> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant, if this term is one.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Term::Const(c) => Some(c),
+            Term::Var(_) => None,
+        }
+    }
+
+    /// True iff the term is a variable.
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(Value::Str(s)) => write!(f, "\"{s}\""),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Self {
+        Term::Var(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_equality_by_name() {
+        assert_eq!(Var::new("x"), Var::from("x"));
+        assert_ne!(Var::new("x"), Var::new("y"));
+    }
+
+    #[test]
+    fn term_accessors() {
+        let t = Term::var("x");
+        assert!(t.is_var());
+        assert_eq!(t.as_var().unwrap().name(), "x");
+        assert!(t.as_const().is_none());
+
+        let c = Term::constant("cs");
+        assert!(!c.is_var());
+        assert_eq!(c.as_const(), Some(&Value::str("cs")));
+    }
+
+    #[test]
+    fn display_quotes_string_constants() {
+        assert_eq!(Term::var("x").to_string(), "x");
+        assert_eq!(Term::constant("cs").to_string(), "\"cs\"");
+        assert_eq!(Term::constant(42).to_string(), "42");
+    }
+}

@@ -1,0 +1,444 @@
+//! Variable analyses: free/bound variables, substitution, renaming,
+//! alpha-equivalence.
+
+use crate::{Formula, Term, Var};
+use std::collections::{BTreeSet, HashMap};
+
+impl Formula {
+    /// The set of free variables of the formula.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        match self {
+            Formula::Atom(a) => a.vars(),
+            Formula::Compare(c) => c.vars(),
+            Formula::Not(f) => f.free_vars(),
+            Formula::And(a, b)
+            | Formula::Or(a, b)
+            | Formula::Implies(a, b)
+            | Formula::Iff(a, b) => {
+                let mut s = a.free_vars();
+                s.extend(b.free_vars());
+                s
+            }
+            Formula::Exists(vs, f) | Formula::Forall(vs, f) => {
+                let mut s = f.free_vars();
+                for v in vs {
+                    s.remove(v);
+                }
+                s
+            }
+        }
+    }
+
+    /// True iff the formula has no free variables (a *closed* formula — the
+    /// calculus counterpart of a yes/no query).
+    pub fn is_closed(&self) -> bool {
+        self.free_vars().is_empty()
+    }
+
+    /// All variables bound by some quantifier in the formula.
+    pub fn bound_vars(&self) -> BTreeSet<Var> {
+        let mut s = BTreeSet::new();
+        self.collect_bound(&mut s);
+        s
+    }
+
+    fn collect_bound(&self, out: &mut BTreeSet<Var>) {
+        if let Formula::Exists(vs, _) | Formula::Forall(vs, _) = self {
+            out.extend(vs.iter().cloned());
+        }
+        for c in self.children() {
+            c.collect_bound(out);
+        }
+    }
+
+    /// True iff variable `v` occurs (free or bound) anywhere in the formula.
+    /// This is the "occurs in F" test of Rules 6–9.
+    pub fn mentions_var(&self, v: &Var) -> bool {
+        match self {
+            Formula::Atom(a) => a.mentions(v),
+            Formula::Compare(c) => c.mentions(v),
+            _ => self.children().iter().any(|c| c.mentions_var(v)),
+        }
+    }
+
+    /// Capture-avoiding *free-variable* substitution: replace every free
+    /// occurrence of `v` with term `t`.
+    ///
+    /// Callers must ensure `t`'s variables are not captured by quantifiers
+    /// of `self` (the engine standardizes formulas apart first); a
+    /// `debug_assert` guards this.
+    pub fn substitute(&self, v: &Var, t: &Term) -> Formula {
+        match self {
+            Formula::Atom(a) => {
+                let mut a = a.clone();
+                for term in &mut a.terms {
+                    if term.as_var() == Some(v) {
+                        *term = t.clone();
+                    }
+                }
+                Formula::Atom(a)
+            }
+            Formula::Compare(c) => {
+                let mut c = c.clone();
+                if c.left.as_var() == Some(v) {
+                    c.left = t.clone();
+                }
+                if c.right.as_var() == Some(v) {
+                    c.right = t.clone();
+                }
+                Formula::Compare(c)
+            }
+            Formula::Not(f) => Formula::not(f.substitute(v, t)),
+            Formula::And(a, b) => Formula::and(a.substitute(v, t), b.substitute(v, t)),
+            Formula::Or(a, b) => Formula::or(a.substitute(v, t), b.substitute(v, t)),
+            Formula::Implies(a, b) => Formula::implies(a.substitute(v, t), b.substitute(v, t)),
+            Formula::Iff(a, b) => Formula::iff(a.substitute(v, t), b.substitute(v, t)),
+            Formula::Exists(vs, f) => {
+                if vs.contains(v) {
+                    self.clone() // v is shadowed; no free occurrences below
+                } else {
+                    debug_assert!(
+                        t.as_var().is_none_or(|tv| !vs.contains(tv)),
+                        "substitution would be captured"
+                    );
+                    Formula::exists(vs.clone(), f.substitute(v, t))
+                }
+            }
+            Formula::Forall(vs, f) => {
+                if vs.contains(v) {
+                    self.clone()
+                } else {
+                    debug_assert!(
+                        t.as_var().is_none_or(|tv| !vs.contains(tv)),
+                        "substitution would be captured"
+                    );
+                    Formula::forall(vs.clone(), f.substitute(v, t))
+                }
+            }
+        }
+    }
+
+    /// Rename bound variables so that (a) no variable is quantified twice
+    /// and (b) no bound variable shares a name with a free variable.
+    /// Fresh names are drawn from `gen`.
+    pub fn standardize_apart(&self, gen: &mut NameGen) -> Formula {
+        let mut taken: BTreeSet<Var> = self.free_vars();
+        // Fresh names must avoid every variable of the formula — including
+        // binders deeper than the current walk position, which `taken`
+        // accumulates only as they are visited (a fresh name colliding
+        // with an unvisited inner binder would be captured).
+        let mut forbidden = self.bound_vars();
+        forbidden.extend(taken.iter().cloned());
+        self.rename_bound(&mut taken, &forbidden, gen)
+    }
+
+    /// Rename every bound variable of `self` that collides with `taken`,
+    /// extending `taken` with all binders of the result. Used by rewriting
+    /// rules that duplicate a subformula (Rules 10, 11, 14): the copy's
+    /// binders must not collide with anything in the enclosing formula.
+    pub fn rename_bound_avoiding(&self, taken: &mut BTreeSet<Var>, gen: &mut NameGen) -> Formula {
+        let mut forbidden = self.bound_vars();
+        forbidden.extend(taken.iter().cloned());
+        self.rename_bound(taken, &forbidden, gen)
+    }
+
+    fn rename_bound(
+        &self,
+        taken: &mut BTreeSet<Var>,
+        forbidden: &BTreeSet<Var>,
+        gen: &mut NameGen,
+    ) -> Formula {
+        match self {
+            Formula::Atom(_) | Formula::Compare(_) => self.clone(),
+            Formula::Not(f) => Formula::not(f.rename_bound(taken, forbidden, gen)),
+            Formula::And(a, b) => Formula::and(
+                a.rename_bound(taken, forbidden, gen),
+                b.rename_bound(taken, forbidden, gen),
+            ),
+            Formula::Or(a, b) => Formula::or(
+                a.rename_bound(taken, forbidden, gen),
+                b.rename_bound(taken, forbidden, gen),
+            ),
+            Formula::Implies(a, b) => Formula::implies(
+                a.rename_bound(taken, forbidden, gen),
+                b.rename_bound(taken, forbidden, gen),
+            ),
+            Formula::Iff(a, b) => Formula::iff(
+                a.rename_bound(taken, forbidden, gen),
+                b.rename_bound(taken, forbidden, gen),
+            ),
+            Formula::Exists(vs, f) | Formula::Forall(vs, f) => {
+                let mut body = (**f).clone();
+                let mut new_vs = Vec::with_capacity(vs.len());
+                for v in vs {
+                    if taken.contains(v) {
+                        let fresh = loop {
+                            let c = gen.fresh_like(v, taken);
+                            if !forbidden.contains(&c) {
+                                break c;
+                            }
+                        };
+                        body = body.substitute(v, &Term::Var(fresh.clone()));
+                        taken.insert(fresh.clone());
+                        new_vs.push(fresh);
+                    } else {
+                        taken.insert(v.clone());
+                        new_vs.push(v.clone());
+                    }
+                }
+                let body = body.rename_bound(taken, forbidden, gen);
+                match self {
+                    Formula::Exists(..) => Formula::exists(new_vs, body),
+                    _ => Formula::forall(new_vs, body),
+                }
+            }
+        }
+    }
+
+    /// Alpha-equivalence: equality up to renaming of bound variables and
+    /// reordering within a quantifier block (the paper's `∃x₁…xₙ` blocks
+    /// are order-insensitive).
+    pub fn alpha_eq(&self, other: &Formula) -> bool {
+        self.canonical_rename() == other.canonical_rename()
+    }
+
+    /// Canonical form for alpha-comparison: bound variables renamed to
+    /// `#0, #1, …` in traversal order; quantifier blocks sorted by the first
+    /// occurrence position of each variable in the body.
+    pub fn canonical_rename(&self) -> Formula {
+        let mut counter = 0usize;
+        self.canon(&mut HashMap::new(), &mut counter)
+    }
+
+    fn canon(&self, map: &mut HashMap<Var, Var>, counter: &mut usize) -> Formula {
+        match self {
+            Formula::Atom(a) => {
+                let mut a = a.clone();
+                for t in &mut a.terms {
+                    if let Some(v) = t.as_var() {
+                        if let Some(nv) = map.get(v) {
+                            *t = Term::Var(nv.clone());
+                        }
+                    }
+                }
+                Formula::Atom(a)
+            }
+            Formula::Compare(c) => {
+                let mut c = c.clone();
+                for t in [&mut c.left, &mut c.right] {
+                    if let Some(v) = t.as_var() {
+                        if let Some(nv) = map.get(v) {
+                            *t = Term::Var(nv.clone());
+                        }
+                    }
+                }
+                Formula::Compare(c)
+            }
+            Formula::Not(f) => Formula::not(f.canon(map, counter)),
+            Formula::And(a, b) => Formula::and(a.canon(map, counter), b.canon(map, counter)),
+            Formula::Or(a, b) => Formula::or(a.canon(map, counter), b.canon(map, counter)),
+            Formula::Implies(a, b) => {
+                Formula::implies(a.canon(map, counter), b.canon(map, counter))
+            }
+            Formula::Iff(a, b) => Formula::iff(a.canon(map, counter), b.canon(map, counter)),
+            Formula::Exists(vs, f) | Formula::Forall(vs, f) => {
+                // Sort block variables by first occurrence in the body so
+                // ∃xy F and ∃yx F canonicalize identically.
+                let mut ordered: Vec<Var> = vs.clone();
+                ordered.sort_by_key(|v| f.first_occurrence(v).unwrap_or(usize::MAX));
+                let mut new_vs = Vec::with_capacity(ordered.len());
+                let saved: Vec<(Var, Option<Var>)> = ordered
+                    .iter()
+                    .map(|v| (v.clone(), map.get(v).cloned()))
+                    .collect();
+                for v in &ordered {
+                    let nv = Var::new(format!("#{counter}"));
+                    *counter += 1;
+                    map.insert(v.clone(), nv.clone());
+                    new_vs.push(nv);
+                }
+                let body = f.canon(map, counter);
+                for (v, old) in saved {
+                    match old {
+                        Some(o) => map.insert(v, o),
+                        None => map.remove(&v),
+                    };
+                }
+                match self {
+                    Formula::Exists(..) => Formula::exists(new_vs, body),
+                    _ => Formula::forall(new_vs, body),
+                }
+            }
+        }
+    }
+
+    /// Preorder position of the first *term slot* holding `v`, if any.
+    /// Counting term slots (not just leaves) breaks ties between variables
+    /// that first appear in the same atom, so `∃x,y q(x,y)` and
+    /// `∃y,x q(x,y)` canonicalize identically.
+    fn first_occurrence(&self, v: &Var) -> Option<usize> {
+        fn walk(f: &Formula, v: &Var, pos: &mut usize) -> Option<usize> {
+            match f {
+                Formula::Atom(a) => {
+                    for t in &a.terms {
+                        let here = *pos;
+                        *pos += 1;
+                        if t.as_var() == Some(v) {
+                            return Some(here);
+                        }
+                    }
+                    None
+                }
+                Formula::Compare(c) => {
+                    for t in [&c.left, &c.right] {
+                        let here = *pos;
+                        *pos += 1;
+                        if t.as_var() == Some(v) {
+                            return Some(here);
+                        }
+                    }
+                    None
+                }
+                _ => {
+                    for ch in f.children() {
+                        if let Some(p) = walk(ch, v, pos) {
+                            return Some(p);
+                        }
+                    }
+                    None
+                }
+            }
+        }
+        walk(self, v, &mut 0)
+    }
+}
+
+/// Generator of fresh variable names.
+///
+/// Fresh names use the reserved prefix `_v`; the parser rejects identifiers
+/// with this prefix so generated names can never collide with user names.
+#[derive(Debug, Default, Clone)]
+pub struct NameGen {
+    next: usize,
+}
+
+impl NameGen {
+    /// A generator starting at `_v0`.
+    pub fn new() -> Self {
+        NameGen::default()
+    }
+
+    /// Produce a fresh variable.
+    pub fn fresh(&mut self) -> Var {
+        let v = Var::new(format!("_v{}", self.next));
+        self.next += 1;
+        v
+    }
+
+    /// Produce a fresh variable avoiding the `taken` set. The `like`
+    /// argument is only a readability hint and is currently unused in the
+    /// generated name.
+    pub fn fresh_like(&mut self, _like: &Var, taken: &BTreeSet<Var>) -> Var {
+        loop {
+            let v = self.fresh();
+            if !taken.contains(&v) {
+                return v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Term;
+
+    fn p(v: &str) -> Formula {
+        Formula::atom("p", vec![Term::var(v)])
+    }
+    fn q2(a: &str, b: &str) -> Formula {
+        Formula::atom("q", vec![Term::var(a), Term::var(b)])
+    }
+
+    #[test]
+    fn free_vars_respect_binding() {
+        let f = Formula::exists1("x", q2("x", "y"));
+        let fv = f.free_vars();
+        assert!(fv.contains(&Var::new("y")));
+        assert!(!fv.contains(&Var::new("x")));
+        assert!(!f.is_closed());
+        assert!(Formula::exists(vec![Var::new("x"), Var::new("y")], q2("x", "y")).is_closed());
+    }
+
+    #[test]
+    fn substitute_hits_only_free_occurrences() {
+        // p(x) ∧ ∃x p(x) — only the first x is free
+        let f = Formula::and(p("x"), Formula::exists1("x", p("x")));
+        let g = f.substitute(&Var::new("x"), &Term::constant("c"));
+        assert_eq!(
+            g,
+            Formula::and(
+                Formula::atom("p", vec![Term::constant("c")]),
+                Formula::exists1("x", p("x"))
+            )
+        );
+    }
+
+    #[test]
+    fn standardize_apart_renames_rebinding() {
+        // ∃x p(x) ∧ ∃x p(x): second block must get a fresh name
+        let f = Formula::and(
+            Formula::exists1("x", p("x")),
+            Formula::exists1("x", p("x")),
+        );
+        let g = f.standardize_apart(&mut NameGen::new());
+        let bound = g.bound_vars();
+        assert_eq!(bound.len(), 2);
+        assert!(f.alpha_eq(&g));
+    }
+
+    #[test]
+    fn standardize_apart_avoids_free_names() {
+        // free x outside, bound x inside
+        let f = Formula::and(p("x"), Formula::exists1("x", p("x")));
+        let g = f.standardize_apart(&mut NameGen::new());
+        assert!(!g.bound_vars().contains(&Var::new("x")));
+        assert!(g.free_vars().contains(&Var::new("x")));
+    }
+
+    #[test]
+    fn alpha_eq_block_order_irrelevant() {
+        let f = Formula::exists(vec![Var::new("x"), Var::new("y")], q2("x", "y"));
+        let g = Formula::exists(vec![Var::new("y"), Var::new("x")], q2("x", "y"));
+        assert!(f.alpha_eq(&g));
+    }
+
+    #[test]
+    fn alpha_eq_renaming() {
+        let f = Formula::exists1("x", p("x"));
+        let g = Formula::exists1("z", p("z"));
+        assert!(f.alpha_eq(&g));
+        assert!(!f.alpha_eq(&Formula::exists1("z", Formula::atom("q", vec![Term::var("z")]))));
+    }
+
+    #[test]
+    fn alpha_eq_distinguishes_quantifiers() {
+        let f = Formula::exists1("x", p("x"));
+        let g = Formula::forall1("x", p("x"));
+        assert!(!f.alpha_eq(&g));
+    }
+
+    #[test]
+    fn mentions_var_sees_bound_occurrences() {
+        let f = Formula::exists1("x", p("x"));
+        assert!(f.mentions_var(&Var::new("x")));
+        assert!(!f.mentions_var(&Var::new("y")));
+    }
+
+    #[test]
+    fn namegen_reserved_prefix() {
+        let mut g = NameGen::new();
+        assert_eq!(g.fresh().name(), "_v0");
+        assert_eq!(g.fresh().name(), "_v1");
+    }
+}

@@ -1,0 +1,566 @@
+//! The query engine: parse → normalize → translate → evaluate.
+
+use crate::EngineError;
+use gq_algebra::{Evaluator, ExecStats};
+use gq_calculus::{parse, Formula, Var};
+use gq_pipeline::PipelineEvaluator;
+use gq_rewrite::canonicalize;
+use gq_storage::{Database, Relation, Tuple};
+use gq_translate::{ClassicalTranslator, ImprovedTranslator};
+
+/// The evaluation strategy for a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// The paper's method: canonical form + improved algebraic translation
+    /// (complement-joins, constrained outer-joins, emptiness tests).
+    #[default]
+    Improved,
+    /// The Codd-style classical translation (prenex + cartesian product of
+    /// ranges + divisions). Runs on the *raw* query, as the classical
+    /// methods do.
+    Classical,
+    /// The Fig. 1 one-tuple-at-a-time nested-loop interpreter, over the
+    /// canonical form.
+    NestedLoop,
+}
+
+impl Strategy {
+    /// All strategies, for sweeps.
+    pub const ALL: [Strategy; 3] = [Strategy::Improved, Strategy::Classical, Strategy::NestedLoop];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Improved => "improved",
+            Strategy::Classical => "classical",
+            Strategy::NestedLoop => "nested-loop",
+        }
+    }
+}
+
+/// The result of a query: answer variables, answer relation, and the
+/// execution statistics backing the paper's operation-count claims.
+///
+/// A closed (yes/no) query yields a 0-ary relation holding the empty tuple
+/// iff the answer is *yes* — use [`QueryResult::is_true`].
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Answer variables in column order (empty for closed queries).
+    pub vars: Vec<Var>,
+    /// The answer relation.
+    pub answers: Relation,
+    /// Operation counts accumulated during evaluation.
+    pub stats: ExecStats,
+}
+
+impl QueryResult {
+    /// For closed queries: was the answer yes?
+    pub fn is_true(&self) -> bool {
+        !self.answers.is_empty()
+    }
+
+    /// Number of answers.
+    pub fn len(&self) -> usize {
+        self.answers.len()
+    }
+
+    /// Is the answer set empty?
+    pub fn is_empty(&self) -> bool {
+        self.answers.is_empty()
+    }
+}
+
+/// Evaluation options orthogonal to the [`Strategy`]: post-translation
+/// plan optimization and shared-subplan caching. Both apply to the
+/// algebraic strategies only (the nested-loop interpreter has no plans).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Apply the rule-based plan optimizer (selection/projection pushdown,
+    /// product-to-join conversion) after translation.
+    pub optimize: bool,
+    /// Evaluate repeated subplans once (the §2.2 sharing discussion).
+    pub share_subplans: bool,
+    /// Apply the Domain Closure Assumption (§2.1): quantified or free
+    /// variables without a covering range get an explicit `dom(x)` range
+    /// over the materialized database domain. Requires
+    /// [`QueryEngine::refresh_domain_view`] to have been called.
+    pub domain_closure: bool,
+    /// Probe persistent per-relation hash indexes (built lazily, cached
+    /// across queries, invalidated by [`QueryEngine::db_mut`]).
+    pub use_base_indexes: bool,
+}
+
+/// The query engine over an in-memory database.
+pub struct QueryEngine {
+    db: Database,
+    index_cache: gq_algebra::IndexCache,
+    views: crate::views::ViewRegistry,
+}
+
+impl QueryEngine {
+    /// Wrap a database.
+    pub fn new(db: Database) -> Self {
+        QueryEngine {
+            db,
+            index_cache: gq_algebra::IndexCache::new(),
+            views: crate::views::ViewRegistry::new(),
+        }
+    }
+
+    /// Define a view: a named open query usable as an atom in later
+    /// queries (Definition 1 allows views as ranges). The body's free
+    /// variables, in name order, are the view's columns.
+    pub fn define_view(&mut self, name: impl Into<String>, text: &str) -> Result<(), EngineError> {
+        self.views.define(name, text)
+    }
+
+    /// The registered views.
+    pub fn views(&self) -> &crate::views::ViewRegistry {
+        &self.views
+    }
+
+    /// Borrow the database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutably borrow the database (inserts, new relations). Invalidates
+    /// the base-relation index cache.
+    pub fn db_mut(&mut self) -> &mut Database {
+        self.index_cache.clear();
+        &mut self.db
+    }
+
+    /// (Re)materialize the `dom` view — the unary relation of every value
+    /// in the database (§2.1, Domain Closure Assumption). Call again after
+    /// updates; queries evaluated with
+    /// [`EngineOptions::domain_closure`] use this relation as the implicit
+    /// range of otherwise-unrestricted variables.
+    pub fn refresh_domain_view(&mut self) {
+        let dom = self.db.domain();
+        let mut named = gq_storage::Relation::new("dom", gq_storage::Schema::anonymous(1));
+        for t in dom.iter() {
+            named.insert(t.clone()).expect("unary user values");
+        }
+        self.db.replace_relation(named);
+    }
+
+    /// Parse and evaluate a query with the default (improved) strategy.
+    pub fn query(&self, text: &str) -> Result<QueryResult, EngineError> {
+        self.query_with(text, Strategy::Improved)
+    }
+
+    /// Parse and evaluate a query with an explicit strategy.
+    pub fn query_with(&self, text: &str, strategy: Strategy) -> Result<QueryResult, EngineError> {
+        let formula = parse(text)?;
+        self.eval_formula(&formula, strategy)
+    }
+
+    /// Parse and evaluate with explicit strategy and options.
+    pub fn query_with_options(
+        &self,
+        text: &str,
+        strategy: Strategy,
+        options: EngineOptions,
+    ) -> Result<QueryResult, EngineError> {
+        let formula = parse(text)?;
+        self.eval_formula_with_options(&formula, strategy, options)
+    }
+
+    /// Evaluate an already-parsed formula.
+    pub fn eval_formula(
+        &self,
+        formula: &Formula,
+        strategy: Strategy,
+    ) -> Result<QueryResult, EngineError> {
+        self.eval_formula_with_options(formula, strategy, EngineOptions::default())
+    }
+
+    /// Evaluate an already-parsed formula with explicit options.
+    pub fn eval_formula_with_options(
+        &self,
+        formula: &Formula,
+        strategy: Strategy,
+        options: EngineOptions,
+    ) -> Result<QueryResult, EngineError> {
+        let expanded = self.views.expand(formula)?;
+        let formula = &expanded;
+        let completed;
+        let formula = if options.domain_closure {
+            if !self.db.has_relation("dom") {
+                return Err(EngineError::Storage(
+                    gq_storage::StorageError::UnknownRelation(
+                        "dom (call refresh_domain_view first)".into(),
+                    ),
+                ));
+            }
+            completed = gq_rewrite::restrict_with_domain(formula, "dom");
+            &completed
+        } else {
+            formula
+        };
+        let closed = formula.is_closed();
+        let make_eval = || {
+            let ev = if options.share_subplans {
+                Evaluator::with_sharing(&self.db)
+            } else {
+                Evaluator::new(&self.db)
+            };
+            if options.use_base_indexes {
+                ev.with_index_cache(&self.index_cache)
+            } else {
+                ev
+            }
+        };
+        let tune = |plan: gq_algebra::AlgebraExpr| {
+            if options.optimize {
+                gq_algebra::optimize(&plan)
+            } else {
+                plan
+            }
+        };
+        let tune_bool = |plan: gq_algebra::BoolExpr| {
+            if options.optimize {
+                optimize_bool(&plan)
+            } else {
+                plan
+            }
+        };
+        match strategy {
+            Strategy::Improved => {
+                let canonical = canonicalize(formula)?;
+                let tr =
+                    ImprovedTranslator::new(&self.db).with_cost_ordering(options.optimize);
+                let ev = make_eval();
+                if closed {
+                    let plan = tune_bool(tr.translate_closed(&canonical)?);
+                    let truth = plan.eval(&ev)?;
+                    Ok(QueryResult {
+                        vars: vec![],
+                        answers: nullary(truth),
+                        stats: ev.stats(),
+                    })
+                } else {
+                    let (vars, plan) = tr.translate_open(&canonical)?;
+                    let plan = tune(plan);
+                    let answers = ev.eval(&plan)?;
+                    Ok(QueryResult {
+                        vars,
+                        answers,
+                        stats: ev.stats(),
+                    })
+                }
+            }
+            Strategy::Classical => {
+                let tr = ClassicalTranslator::new(&self.db);
+                let ev = make_eval();
+                if closed {
+                    let plan = tune_bool(tr.translate_closed(formula)?);
+                    let truth = plan.eval(&ev)?;
+                    Ok(QueryResult {
+                        vars: vec![],
+                        answers: nullary(truth),
+                        stats: ev.stats(),
+                    })
+                } else {
+                    let (vars, plan) = tr.translate_open(formula)?;
+                    let plan = tune(plan);
+                    let answers = ev.eval(&plan)?;
+                    Ok(QueryResult {
+                        vars,
+                        answers,
+                        stats: ev.stats(),
+                    })
+                }
+            }
+            Strategy::NestedLoop => {
+                let canonical = canonicalize(formula)?;
+                let ev = PipelineEvaluator::new(&self.db);
+                if closed {
+                    let truth = ev.eval_closed(&canonical)?;
+                    Ok(QueryResult {
+                        vars: vec![],
+                        answers: nullary(truth),
+                        stats: ev.stats(),
+                    })
+                } else {
+                    let (vars, answers) = ev.eval_open(&canonical)?;
+                    Ok(QueryResult {
+                        vars,
+                        answers,
+                        stats: ev.stats(),
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// Optimize every algebra expression inside a boolean plan.
+fn optimize_bool(plan: &gq_algebra::BoolExpr) -> gq_algebra::BoolExpr {
+    use gq_algebra::BoolExpr;
+    match plan {
+        BoolExpr::NonEmpty(e) => BoolExpr::NonEmpty(gq_algebra::optimize(e)),
+        BoolExpr::Empty(e) => BoolExpr::Empty(gq_algebra::optimize(e)),
+        BoolExpr::And(a, b) => BoolExpr::and(optimize_bool(a), optimize_bool(b)),
+        BoolExpr::Or(a, b) => BoolExpr::or(optimize_bool(a), optimize_bool(b)),
+        BoolExpr::Not(a) => BoolExpr::not(optimize_bool(a)),
+        BoolExpr::Const(b) => BoolExpr::Const(*b),
+    }
+}
+
+fn nullary(truth: bool) -> Relation {
+    let mut r = Relation::intermediate(0);
+    if truth {
+        r.insert(Tuple::new(vec![])).expect("0-ary insert");
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gq_storage::{tuple, Schema};
+
+    fn engine() -> QueryEngine {
+        let mut db = Database::new();
+        db.create_relation("p", Schema::new(vec!["a"]).unwrap()).unwrap();
+        db.create_relation("r", Schema::new(vec!["a", "b"]).unwrap()).unwrap();
+        for v in [1, 2, 3] {
+            db.insert("p", tuple![v]).unwrap();
+        }
+        db.insert("r", tuple![1, 10]).unwrap();
+        db.insert("r", tuple![2, 20]).unwrap();
+        QueryEngine::new(db)
+    }
+
+    #[test]
+    fn open_query_all_strategies() {
+        let e = engine();
+        for s in Strategy::ALL {
+            let r = e.query_with("p(x) & (exists y. r(x,y))", s).unwrap();
+            assert_eq!(r.len(), 2, "strategy {}", s.name());
+            assert_eq!(r.vars.len(), 1);
+        }
+    }
+
+    #[test]
+    fn closed_query_all_strategies() {
+        let e = engine();
+        for s in Strategy::ALL {
+            let yes = e.query_with("exists x. p(x) & !(exists y. r(x,y))", s).unwrap();
+            assert!(yes.is_true(), "strategy {}", s.name()); // 3 has no r
+            let no = e
+                .query_with("exists x. p(x) & r(x,99)", s)
+                .unwrap();
+            assert!(!no.is_true(), "strategy {}", s.name());
+        }
+    }
+
+    #[test]
+    fn stats_populated() {
+        let e = engine();
+        let r = e.query("p(x)").unwrap();
+        assert!(r.stats.base_tuples_read >= 3);
+        assert_eq!(r.stats.base_scans, 1);
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let e = engine();
+        assert!(matches!(e.query("p(x"), Err(EngineError::Parse(_))));
+    }
+
+    #[test]
+    fn unrestricted_query_rejected() {
+        let e = engine();
+        assert!(matches!(
+            e.query("!p(x)"),
+            Err(EngineError::Translate(_))
+        ));
+    }
+
+    #[test]
+    fn db_mutation_through_engine() {
+        let mut e = engine();
+        e.db_mut().insert("p", tuple![4]).unwrap();
+        assert_eq!(e.query("p(x)").unwrap().len(), 4);
+    }
+}
+
+#[cfg(test)]
+mod option_tests {
+    use super::*;
+    use gq_storage::{tuple, Schema};
+
+    fn engine() -> QueryEngine {
+        let mut db = Database::new();
+        db.create_relation("p", Schema::new(vec!["a"]).unwrap()).unwrap();
+        db.create_relation("q", Schema::new(vec!["a"]).unwrap()).unwrap();
+        db.create_relation("r", Schema::new(vec!["a", "b"]).unwrap()).unwrap();
+        for v in 0..10 {
+            db.insert("p", tuple![v]).unwrap();
+            if v % 2 == 0 {
+                db.insert("q", tuple![v]).unwrap();
+            }
+            db.insert("r", tuple![v, (v * 3) % 10]).unwrap();
+        }
+        QueryEngine::new(db)
+    }
+
+    const QUERIES: &[&str] = &[
+        "p(x) & !q(x)",
+        "p(x) & (forall y. q(y) -> r(x,y))",
+        "p(x) & (q(x) | (exists y. r(x,y) & q(y)))",
+        "exists x. p(x) & !(exists y. r(x,y) & !q(y))",
+    ];
+
+    #[test]
+    fn options_preserve_answers() {
+        let e = engine();
+        for text in QUERIES {
+            let baseline = e.query(text).unwrap();
+            for optimize in [false, true] {
+                for share_subplans in [false, true] {
+                    let options = EngineOptions {
+                        optimize,
+                        share_subplans,
+                        ..EngineOptions::default()
+                    };
+                    for strategy in [Strategy::Improved, Strategy::Classical] {
+                        let r = e.query_with_options(text, strategy, options).unwrap();
+                        assert!(
+                            baseline.answers.set_eq(&r.answers),
+                            "`{text}` with {options:?} under {}",
+                            strategy.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimizer_reduces_classical_reads() {
+        let e = engine();
+        let text = "p(x) & (exists y. r(x,y) & q(y))";
+        let raw = e
+            .query_with_options(text, Strategy::Classical, EngineOptions::default())
+            .unwrap();
+        let opt = e
+            .query_with_options(
+                text,
+                Strategy::Classical,
+                EngineOptions {
+                    optimize: true,
+                    ..EngineOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(raw.answers.set_eq(&opt.answers));
+        assert!(
+            opt.stats.max_intermediate <= raw.stats.max_intermediate,
+            "optimizer should not grow intermediates: {} vs {}",
+            opt.stats.max_intermediate,
+            raw.stats.max_intermediate
+        );
+    }
+
+    #[test]
+    fn base_indexes_preserve_answers_and_save_reads() {
+        let e = engine();
+        let text = "p(x) & !(exists y. r(x,y) & q(y))";
+        let plain = e.query(text).unwrap();
+        let opts = EngineOptions {
+            use_base_indexes: true,
+            ..EngineOptions::default()
+        };
+        // warm the cache, then measure
+        e.query_with_options(text, Strategy::Improved, opts).unwrap();
+        let cached = e.query_with_options(text, Strategy::Improved, opts).unwrap();
+        assert!(plain.answers.set_eq(&cached.answers));
+        assert!(
+            cached.stats.base_tuples_read < plain.stats.base_tuples_read,
+            "warm run should read less: {} vs {}",
+            cached.stats.base_tuples_read,
+            plain.stats.base_tuples_read
+        );
+    }
+
+    #[test]
+    fn db_mut_invalidates_index_cache() {
+        use gq_storage::tuple;
+        let mut e = engine();
+        let opts = EngineOptions {
+            use_base_indexes: true,
+            ..EngineOptions::default()
+        };
+        let before = e
+            .query_with_options("p(x) & q(x)", Strategy::Improved, opts)
+            .unwrap();
+        e.db_mut().insert("q", tuple![1]).unwrap(); // 1 was odd → not in q
+        let after = e
+            .query_with_options("p(x) & q(x)", Strategy::Improved, opts)
+            .unwrap();
+        assert_eq!(after.len(), before.len() + 1, "stale index not invalidated");
+    }
+
+    #[test]
+    fn domain_closure_enables_negation_only_queries() {
+        let mut e = engine();
+        e.refresh_domain_view();
+        let options = EngineOptions {
+            domain_closure: true,
+            ..EngineOptions::default()
+        };
+        // ¬q(x) alone is unrestricted; under domain closure it ranges over
+        // every database value (§2.1).
+        let r = e
+            .query_with_options("!q(x)", Strategy::Improved, options)
+            .unwrap();
+        // domain = {0..9}; q holds of evens → odds are the answers
+        assert_eq!(r.len(), 5);
+        // ∀x p(x) (no range) also works under closure: p holds of every
+        // value 0..9, which is exactly the database domain here → true.
+        let all_p = e
+            .query_with_options("forall x. p(x)", Strategy::Improved, options)
+            .unwrap();
+        assert!(all_p.is_true());
+        // A universal that genuinely fails: q only holds of the evens.
+        let all_q = e
+            .query_with_options("forall x. q(x)", Strategy::Improved, options)
+            .unwrap();
+        assert!(!all_q.is_true());
+    }
+
+    #[test]
+    fn domain_closure_requires_view() {
+        let e = engine();
+        let options = EngineOptions {
+            domain_closure: true,
+            ..EngineOptions::default()
+        };
+        assert!(e
+            .query_with_options("!q(x)", Strategy::Improved, options)
+            .is_err());
+    }
+
+    #[test]
+    fn sharing_hits_on_division_plan() {
+        let e = engine();
+        let text = "p(x) & (forall y. q(y) -> r(x,y))";
+        let r = e
+            .query_with_options(
+                text,
+                Strategy::Improved,
+                EngineOptions {
+                    share_subplans: true,
+                    ..EngineOptions::default()
+                },
+            )
+            .unwrap();
+        // The division plan materializes π(q) twice (divisor + vacuous
+        // guard); with sharing the second is a cache hit.
+        assert!(r.stats.memo_hits >= 1, "stats: {}", r.stats);
+    }
+}

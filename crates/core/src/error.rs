@@ -1,0 +1,95 @@
+//! Engine errors: a single error type over the whole stack.
+
+use std::fmt;
+
+/// Any error the query engine can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Query text failed to parse.
+    Parse(gq_calculus::ParseError),
+    /// Normalization failed (step budget — indicates a bug, see
+    /// Proposition 1).
+    Rewrite(gq_rewrite::RewriteError),
+    /// The query is not restricted / not translatable.
+    Translate(gq_translate::TranslateError),
+    /// Plan evaluation failed.
+    Algebra(gq_algebra::AlgebraError),
+    /// Nested-loop evaluation failed.
+    Pipeline(gq_pipeline::PipelineError),
+    /// Storage-level failure.
+    Storage(gq_storage::StorageError),
+    /// A named constraint was registered twice.
+    DuplicateConstraint(String),
+    /// Lookup of an unknown constraint.
+    UnknownConstraint(String),
+    /// View definition or expansion failure.
+    View(crate::views::ViewError),
+    /// An integrity constraint must be a closed formula.
+    ConstraintNotClosed {
+        /// Constraint name.
+        name: String,
+        /// Free variables found.
+        free: Vec<String>,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse(e) => write!(f, "{e}"),
+            EngineError::Rewrite(e) => write!(f, "{e}"),
+            EngineError::Translate(e) => write!(f, "{e}"),
+            EngineError::Algebra(e) => write!(f, "{e}"),
+            EngineError::Pipeline(e) => write!(f, "{e}"),
+            EngineError::Storage(e) => write!(f, "{e}"),
+            EngineError::View(e) => write!(f, "{e}"),
+            EngineError::DuplicateConstraint(n) => {
+                write!(f, "constraint `{n}` already registered")
+            }
+            EngineError::UnknownConstraint(n) => write!(f, "unknown constraint `{n}`"),
+            EngineError::ConstraintNotClosed { name, free } => write!(
+                f,
+                "constraint `{name}` must be closed; free variables: {}",
+                free.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<gq_calculus::ParseError> for EngineError {
+    fn from(e: gq_calculus::ParseError) -> Self {
+        EngineError::Parse(e)
+    }
+}
+impl From<gq_rewrite::RewriteError> for EngineError {
+    fn from(e: gq_rewrite::RewriteError) -> Self {
+        EngineError::Rewrite(e)
+    }
+}
+impl From<gq_translate::TranslateError> for EngineError {
+    fn from(e: gq_translate::TranslateError) -> Self {
+        EngineError::Translate(e)
+    }
+}
+impl From<gq_algebra::AlgebraError> for EngineError {
+    fn from(e: gq_algebra::AlgebraError) -> Self {
+        EngineError::Algebra(e)
+    }
+}
+impl From<gq_pipeline::PipelineError> for EngineError {
+    fn from(e: gq_pipeline::PipelineError) -> Self {
+        EngineError::Pipeline(e)
+    }
+}
+impl From<gq_storage::StorageError> for EngineError {
+    fn from(e: gq_storage::StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+impl From<crate::views::ViewError> for EngineError {
+    fn from(e: crate::views::ViewError) -> Self {
+        EngineError::View(e)
+    }
+}

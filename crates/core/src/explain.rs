@@ -1,0 +1,127 @@
+//! EXPLAIN: render the full processing pipeline of a query.
+
+use crate::{EngineError, QueryEngine};
+use gq_calculus::parse;
+use gq_rewrite::{canonicalize_traced, is_miniscope};
+use gq_translate::{ClassicalTranslator, ImprovedTranslator};
+
+impl QueryEngine {
+    /// Render the two-phase processing of a query: the canonical form with
+    /// its rule-application trace (§2), the improved algebraic plan (§3),
+    /// and the classical baseline plan for comparison.
+    pub fn explain(&self, text: &str) -> Result<String, EngineError> {
+        use std::fmt::Write;
+        let parsed = parse(text)?;
+        let formula = self.views().expand(&parsed)?;
+        let mut out = String::new();
+        writeln!(out, "query: {parsed}").unwrap();
+        if formula != parsed {
+            writeln!(out, "after view expansion: {formula}").unwrap();
+        }
+
+        let (canonical, trace) = canonicalize_traced(&formula)?;
+        writeln!(out, "\n== phase 1: normalization (§2) ==").unwrap();
+        if trace.steps.is_empty() {
+            writeln!(out, "already canonical").unwrap();
+        } else {
+            write!(out, "{trace}").unwrap();
+        }
+        writeln!(out, "canonical: {canonical}").unwrap();
+        writeln!(
+            out,
+            "miniscope (Def. 4): {}",
+            if is_miniscope(&canonical) { "yes" } else { "no" }
+        )
+        .unwrap();
+
+        writeln!(out, "\n== phase 2: improved translation (§3) ==").unwrap();
+        let improved = ImprovedTranslator::new(self.db());
+        if canonical.is_closed() {
+            match improved.translate_closed(&canonical) {
+                Ok(plan) => {
+                    writeln!(out, "boolean plan: {plan}").unwrap();
+                    writeln!(out, "uses division: {}", plan.uses_division()).unwrap();
+                    writeln!(out, "uses cartesian product: {}", plan.uses_product()).unwrap();
+                }
+                Err(e) => writeln!(out, "not translatable: {e}").unwrap(),
+            }
+        } else {
+            match improved.translate_open(&canonical) {
+                Ok((vars, plan)) => {
+                    let names: Vec<&str> = vars.iter().map(|v| v.name()).collect();
+                    writeln!(out, "answer variables: {}", names.join(", ")).unwrap();
+                    writeln!(out, "plan: {plan}").unwrap();
+                    writeln!(out, "plan tree:\n{}", plan.render_tree()).unwrap();
+                    writeln!(
+                        out,
+                        "estimated cardinality: {:.0}",
+                        gq_algebra::estimate(&plan, self.db())
+                    )
+                    .unwrap();
+                    writeln!(out, "uses division: {}", plan.uses_division()).unwrap();
+                    writeln!(out, "uses cartesian product: {}", plan.uses_product()).unwrap();
+                }
+                Err(e) => writeln!(out, "not translatable: {e}").unwrap(),
+            }
+        }
+
+        writeln!(out, "\n== baseline: classical translation [COD 72] ==").unwrap();
+        let classical = ClassicalTranslator::new(self.db());
+        if formula.is_closed() {
+            match classical.translate_closed(&formula) {
+                Ok(plan) => {
+                    writeln!(out, "boolean plan: {plan}").unwrap();
+                    writeln!(out, "uses division: {}", plan.uses_division()).unwrap();
+                    writeln!(out, "uses cartesian product: {}", plan.uses_product()).unwrap();
+                }
+                Err(e) => writeln!(out, "not translatable: {e}").unwrap(),
+            }
+        } else {
+            match classical.translate_open(&formula) {
+                Ok((_, plan)) => {
+                    writeln!(out, "plan: {plan}").unwrap();
+                    writeln!(out, "uses division: {}", plan.uses_division()).unwrap();
+                    writeln!(out, "uses cartesian product: {}", plan.uses_product()).unwrap();
+                }
+                Err(e) => writeln!(out, "not translatable: {e}").unwrap(),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gq_storage::{tuple, Database, Schema};
+
+    #[test]
+    fn explain_shows_both_phases() {
+        let mut db = Database::new();
+        db.create_relation("student", Schema::new(vec!["n"]).unwrap()).unwrap();
+        db.create_relation("attends", Schema::new(vec!["s", "l"]).unwrap()).unwrap();
+        db.create_relation("lecture", Schema::new(vec!["l", "d"]).unwrap()).unwrap();
+        db.insert("student", tuple!["ann"]).unwrap();
+        let engine = QueryEngine::new(db);
+        let text =
+            "student(x) & (forall y. lecture(y,\"cs\") -> attends(x,y))";
+        let explained = engine.explain(text).unwrap();
+        assert!(explained.contains("phase 1"));
+        assert!(explained.contains("canonical:"));
+        assert!(explained.contains("R4"), "rule trace expected: {explained}");
+        assert!(explained.contains("phase 2"));
+        assert!(explained.contains("÷"), "division expected: {explained}");
+        assert!(explained.contains("classical"));
+        assert!(explained.contains("×"), "classical product expected");
+    }
+
+    #[test]
+    fn explain_closed_query() {
+        let mut db = Database::new();
+        db.create_relation("p", Schema::new(vec!["a"]).unwrap()).unwrap();
+        db.insert("p", tuple![1]).unwrap();
+        let engine = QueryEngine::new(db);
+        let explained = engine.explain("exists x. p(x)").unwrap();
+        assert!(explained.contains("≠ ∅"), "emptiness test expected: {explained}");
+    }
+}

@@ -1,0 +1,327 @@
+//! Views: named open queries usable as atoms.
+//!
+//! Definition 1 allows a range to be "a relation or a view", and the
+//! paper's motivation includes "evaluating sophisticated views". Views are
+//! expanded at the *formula* level — an atom `v(t₁,…,tₙ)` whose name is a
+//! registered view is replaced by the view's body with its answer
+//! variables substituted by the atom's terms (bound variables renamed
+//! apart) — so every strategy (improved, classical, nested-loop) evaluates
+//! them identically, and views can use quantifiers, negation and other
+//! views freely.
+
+use crate::EngineError;
+use gq_calculus::{check_restricted_open, parse, Formula, NameGen, Term, Var};
+use std::collections::BTreeMap;
+
+/// A registry of named views.
+#[derive(Debug, Default)]
+pub struct ViewRegistry {
+    views: BTreeMap<String, View>,
+}
+
+/// One view: an open formula plus its answer variables (in name order —
+/// the view's "column" order).
+#[derive(Debug, Clone)]
+pub struct View {
+    /// View name.
+    pub name: String,
+    /// Answer variables, name order.
+    pub params: Vec<Var>,
+    /// The defining open formula.
+    pub body: Formula,
+}
+
+/// View-specific errors, folded into [`EngineError`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViewError {
+    /// A view atom used the wrong number of arguments.
+    ArityMismatch {
+        /// View name.
+        view: String,
+        /// Number of parameters of the view.
+        expected: usize,
+        /// Number of arguments in the atom.
+        actual: usize,
+    },
+    /// View expansion exceeded the nesting limit — a definition cycle.
+    Cycle {
+        /// The view detected on the cycle.
+        view: String,
+    },
+    /// A view with this name already exists.
+    Duplicate(String),
+    /// A view body must be an open (answer-producing) formula.
+    ClosedBody(String),
+}
+
+impl std::fmt::Display for ViewError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViewError::ArityMismatch {
+                view,
+                expected,
+                actual,
+            } => write!(f, "view `{view}` has {expected} parameters, used with {actual}"),
+            ViewError::Cycle { view } => write!(f, "cyclic view definition involving `{view}`"),
+            ViewError::Duplicate(v) => write!(f, "view `{v}` already defined"),
+            ViewError::ClosedBody(v) => {
+                write!(f, "view `{v}` must be an open formula (it has no free variables)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ViewError {}
+
+/// Expansion nesting limit (cycle backstop).
+const MAX_DEPTH: usize = 32;
+
+impl ViewRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ViewRegistry::default()
+    }
+
+    /// Define a view from query text. The body must be an open, restricted
+    /// formula; its free variables (name order) become the view's columns.
+    pub fn define(&mut self, name: impl Into<String>, text: &str) -> Result<(), EngineError> {
+        let name = name.into();
+        if self.views.contains_key(&name) {
+            return Err(EngineError::View(ViewError::Duplicate(name)));
+        }
+        let body = parse(text)?;
+        let params: Vec<Var> = body.free_vars().into_iter().collect();
+        if params.is_empty() {
+            return Err(EngineError::View(ViewError::ClosedBody(name)));
+        }
+        // The body itself must be restricted (views are ranges).
+        check_restricted_open(&body).map_err(gq_translate::TranslateError::from)?;
+        self.views.insert(
+            name.clone(),
+            View {
+                name,
+                params,
+                body,
+            },
+        );
+        Ok(())
+    }
+
+    /// Registered views in name order.
+    pub fn views(&self) -> impl Iterator<Item = &View> {
+        self.views.values()
+    }
+
+    /// Is `name` a view?
+    pub fn contains(&self, name: &str) -> bool {
+        self.views.contains_key(name)
+    }
+
+    /// Expand every view atom in `f`, recursively.
+    pub fn expand(&self, f: &Formula) -> Result<Formula, ViewError> {
+        if self.views.is_empty() {
+            return Ok(f.clone());
+        }
+        let mut gen = NameGen::new();
+        self.expand_depth(f, 0, &mut gen)
+    }
+
+    fn expand_depth(
+        &self,
+        f: &Formula,
+        depth: usize,
+        gen: &mut NameGen,
+    ) -> Result<Formula, ViewError> {
+        match f {
+            Formula::Atom(a) => match self.views.get(&a.relation) {
+                None => Ok(f.clone()),
+                Some(view) => {
+                    if depth >= MAX_DEPTH {
+                        return Err(ViewError::Cycle {
+                            view: view.name.clone(),
+                        });
+                    }
+                    if a.terms.len() != view.params.len() {
+                        return Err(ViewError::ArityMismatch {
+                            view: view.name.clone(),
+                            expected: view.params.len(),
+                            actual: a.terms.len(),
+                        });
+                    }
+                    // Rename the body apart from everything (fresh bound
+                    // vars AND fresh parameter names), then substitute the
+                    // atom's terms for the parameters.
+                    let mut taken = view.body.free_vars();
+                    taken.extend(view.body.bound_vars());
+                    for t in &a.terms {
+                        if let Some(v) = t.as_var() {
+                            taken.insert(v.clone());
+                        }
+                    }
+                    let mut body = view.body.rename_bound_avoiding(&mut taken, gen);
+                    // Substitute parameters via fresh intermediates to
+                    // avoid clashes between old and new names.
+                    let intermediates: Vec<Var> =
+                        view.params.iter().map(|_| gen.fresh()).collect();
+                    for (p, tmp) in view.params.iter().zip(&intermediates) {
+                        body = body.substitute(p, &Term::Var(tmp.clone()));
+                    }
+                    for (tmp, t) in intermediates.iter().zip(&a.terms) {
+                        body = body.substitute(tmp, t);
+                    }
+                    // Equate repeated variables / apply constants happens
+                    // naturally through substitution; recurse for nested
+                    // views.
+                    self.expand_depth(&body, depth + 1, gen)
+                }
+            },
+            Formula::Compare(_) => Ok(f.clone()),
+            Formula::Not(g) => Ok(Formula::not(self.expand_depth(g, depth, gen)?)),
+            Formula::And(a, b) => Ok(Formula::and(
+                self.expand_depth(a, depth, gen)?,
+                self.expand_depth(b, depth, gen)?,
+            )),
+            Formula::Or(a, b) => Ok(Formula::or(
+                self.expand_depth(a, depth, gen)?,
+                self.expand_depth(b, depth, gen)?,
+            )),
+            Formula::Implies(a, b) => Ok(Formula::implies(
+                self.expand_depth(a, depth, gen)?,
+                self.expand_depth(b, depth, gen)?,
+            )),
+            Formula::Iff(a, b) => Ok(Formula::iff(
+                self.expand_depth(a, depth, gen)?,
+                self.expand_depth(b, depth, gen)?,
+            )),
+            Formula::Exists(vs, g) => Ok(Formula::exists(
+                vs.clone(),
+                self.expand_depth(g, depth, gen)?,
+            )),
+            Formula::Forall(vs, g) => Ok(Formula::forall(
+                vs.clone(),
+                self.expand_depth(g, depth, gen)?,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{EngineError, QueryEngine, Strategy};
+    use gq_storage::{tuple, Database, Schema};
+
+    fn engine() -> QueryEngine {
+        let mut db = Database::new();
+        db.create_relation("student", Schema::new(vec!["name"]).unwrap()).unwrap();
+        db.create_relation("lecture", Schema::new(vec!["name", "dept"]).unwrap()).unwrap();
+        db.create_relation("attends", Schema::new(vec!["s", "l"]).unwrap()).unwrap();
+        for s in ["ann", "bob", "eve"] {
+            db.insert("student", tuple![s]).unwrap();
+        }
+        for (l, d) in [("db", "cs"), ("os", "cs"), ("alg", "math")] {
+            db.insert("lecture", tuple![l, d]).unwrap();
+        }
+        for (s, l) in [("ann", "db"), ("ann", "os"), ("bob", "db"), ("eve", "alg")] {
+            db.insert("attends", tuple![s, l]).unwrap();
+        }
+        QueryEngine::new(db)
+    }
+
+    #[test]
+    fn simple_view_as_range() {
+        let mut e = engine();
+        // columns in name order: l (lecture), s (student)
+        e.define_view("cs_attendance", "attends(s,l) & lecture(l,\"cs\")").unwrap();
+        let r = e.query("cs_attendance(y, x)").unwrap();
+        assert_eq!(r.len(), 3);
+        // view used as a producer with a constant argument
+        let r2 = e.query("student(x) & cs_attendance(\"db\", x)").unwrap();
+        assert_eq!(r2.len(), 2); // ann, bob
+    }
+
+    #[test]
+    fn quantified_view_body() {
+        let mut e = engine();
+        // "busy student": attends at least two distinct lectures
+        e.define_view(
+            "busy",
+            "student(b) & (exists l1, l2. attends(b,l1) & attends(b,l2) & l1 != l2)",
+        )
+        .unwrap();
+        let r = e.query("busy(x)").unwrap();
+        assert_eq!(r.answers.sorted_tuples(), vec![tuple!["ann"]]);
+        // negated view atom
+        let r2 = e.query("student(x) & !busy(x)").unwrap();
+        assert_eq!(r2.len(), 2);
+    }
+
+    #[test]
+    fn views_of_views() {
+        let mut e = engine();
+        e.define_view("cs_lecture", "lecture(l,\"cs\")").unwrap();
+        e.define_view(
+            "cs_completionist",
+            "student(c) & (forall l. cs_lecture(l) -> attends(c,l))",
+        )
+        .unwrap();
+        let r = e.query("cs_completionist(x)").unwrap();
+        assert_eq!(r.answers.sorted_tuples(), vec![tuple!["ann"]]);
+    }
+
+    #[test]
+    fn views_agree_across_strategies() {
+        let mut e = engine();
+        e.define_view("cs_lecture", "lecture(l,\"cs\")").unwrap();
+        let q = "student(x) & !(exists y. cs_lecture(y) & !attends(x,y))";
+        let answers: Vec<_> = Strategy::ALL
+            .iter()
+            .map(|&s| e.query_with(q, s).unwrap().answers)
+            .collect();
+        assert!(answers[0].set_eq(&answers[1]));
+        assert!(answers[0].set_eq(&answers[2]));
+        assert_eq!(answers[0].sorted_tuples(), vec![tuple!["ann"]]);
+    }
+
+    #[test]
+    fn view_errors() {
+        let mut e = engine();
+        e.define_view("v", "student(x)").unwrap();
+        // duplicate
+        assert!(matches!(
+            e.define_view("v", "student(y)"),
+            Err(EngineError::View(super::ViewError::Duplicate(_)))
+        ));
+        // arity mismatch at use
+        assert!(matches!(
+            e.query("v(x, y)"),
+            Err(EngineError::View(super::ViewError::ArityMismatch { .. }))
+        ));
+        // closed body rejected
+        assert!(matches!(
+            e.define_view("w", "exists x. student(x)"),
+            Err(EngineError::View(super::ViewError::ClosedBody(_)))
+        ));
+    }
+
+    #[test]
+    fn cyclic_views_detected() {
+        let mut e = engine();
+        // mutual recursion: a uses b (not yet defined → treated as base
+        // relation), then b uses a → expansion cycles.
+        e.define_view("a", "student(x) & b(x)").unwrap();
+        e.define_view("b", "student(x) & a(x)").unwrap();
+        assert!(matches!(
+            e.query("a(x)"),
+            Err(EngineError::View(super::ViewError::Cycle { .. }))
+        ));
+    }
+
+    #[test]
+    fn view_with_repeated_argument() {
+        let mut e = engine();
+        e.define_view("pair", "attends(s,l)").unwrap();
+        // pair(x,x): student whose name equals a lecture name — none.
+        let r = e.query("student(x) & pair(x,x)").unwrap();
+        assert!(r.is_empty());
+    }
+}

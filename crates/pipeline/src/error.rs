@@ -1,0 +1,54 @@
+//! Pipeline-evaluator errors.
+
+use std::fmt;
+
+/// Errors raised by the nested-loop (Fig. 1) evaluator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// An atom references a relation missing from the catalog.
+    UnknownRelation(String),
+    /// An atom's arity differs from the stored relation's.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Stored arity.
+        expected: usize,
+        /// Atom arity.
+        actual: usize,
+    },
+    /// A quantification or free variable has no covering range — the loop
+    /// algorithms cannot enumerate its bindings.
+    Unrestricted(String),
+    /// A subformula was evaluated with an unbound variable where a ground
+    /// value was required (negations, comparisons, universal bodies).
+    UnboundVariable {
+        /// The variable.
+        var: String,
+        /// Rendering of the subformula.
+        context: String,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            PipelineError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "atom over `{relation}` has arity {actual}, relation has {expected}"
+            ),
+            PipelineError::Unrestricted(s) => {
+                write!(f, "no range covers the variables of `{s}`")
+            }
+            PipelineError::UnboundVariable { var, context } => {
+                write!(f, "variable `{var}` unbound in `{context}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}

@@ -1,0 +1,423 @@
+//! The nested-loop evaluator of Figure 1.
+//!
+//! A direct one-tuple-at-a-time interpreter of calculus queries:
+//!
+//! * closed existential queries — Fig. 1(a): loop over the range, stop at
+//!   the first binding satisfying the rest;
+//! * closed universal queries — Fig. 1(b): loop over the range, stop at the
+//!   first counterexample;
+//! * open queries — Fig. 1(c): loop over the range, collect the bindings
+//!   satisfying the rest.
+//!
+//! "The algorithms of Fig. 1 process multiple quantifications with nested
+//! loop programs, the loop nesting reflecting the quantifier nesting. All
+//! operations are pipelined and performed one tuple at a time." This is the
+//! baseline the paper's algebraic method is measured against.
+//!
+//! Instrumentation conventions (deliberately *generous* to the baseline —
+//! see DESIGN.md): producer scans count one `base_tuples_read` per tuple
+//! examined; ground membership tests are index-based (one probe + one
+//! comparison) rather than linear scans. The baseline's inefficiency comes
+//! from re-evaluating inner subqueries once per outer binding — exactly the
+//! effect the paper targets — not from an artificially dumb storage layer.
+
+use crate::PipelineError;
+use gq_algebra::ExecStats;
+use gq_calculus::{split_producer_filter, Comparison, Formula, Term, Var};
+use gq_storage::{Database, Relation, Tuple, Value};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A variable binding environment.
+pub type Env = BTreeMap<Var, Value>;
+
+/// The Fig. 1 evaluator.
+pub struct PipelineEvaluator<'db> {
+    db: &'db Database,
+    stats: RefCell<ExecStats>,
+}
+
+/// Iteration control: keep looping or stop early (answer decided).
+enum Flow {
+    Continue,
+    Stop,
+}
+
+impl<'db> PipelineEvaluator<'db> {
+    /// Create an evaluator over a database.
+    pub fn new(db: &'db Database) -> Self {
+        PipelineEvaluator {
+            db,
+            stats: RefCell::new(ExecStats::new()),
+        }
+    }
+
+    /// Snapshot of the accumulated statistics.
+    pub fn stats(&self) -> ExecStats {
+        self.stats.borrow().clone()
+    }
+
+    /// Reset the statistics.
+    pub fn reset_stats(&self) {
+        *self.stats.borrow_mut() = ExecStats::new();
+    }
+
+    /// Evaluate a closed (yes/no) query — Fig. 1(a)/(b) at the top level.
+    pub fn eval_closed(&self, f: &Formula) -> Result<bool, PipelineError> {
+        let free = f.free_vars();
+        if let Some(v) = free.iter().next() {
+            return Err(PipelineError::UnboundVariable {
+                var: v.name().to_string(),
+                context: f.to_string(),
+            });
+        }
+        let mut env = Env::new();
+        self.eval(f, &mut env)
+    }
+
+    /// Evaluate an open query — Fig. 1(c). Returns the answer variables in
+    /// name order and the relation of their bindings.
+    pub fn eval_open(&self, f: &Formula) -> Result<(Vec<Var>, Relation), PipelineError> {
+        let free: Vec<Var> = f.free_vars().into_iter().collect();
+        if free.is_empty() {
+            // Degenerate: a closed query yields the 0-ary relation
+            // ({()} for true, {} for false).
+            let mut rel = Relation::intermediate(0);
+            if self.eval_closed(f)? {
+                rel.insert(Tuple::new(vec![])).expect("0-ary");
+            }
+            return Ok((free, rel));
+        }
+        let mut rel = Relation::intermediate(free.len());
+        let mut env = Env::new();
+        self.collect_open(f, &free, &mut env, &mut rel)?;
+        self.stats.borrow_mut().tuples_emitted += rel.len();
+        Ok((free, rel))
+    }
+
+    fn collect_open(
+        &self,
+        f: &Formula,
+        free: &[Var],
+        env: &mut Env,
+        out: &mut Relation,
+    ) -> Result<(), PipelineError> {
+        // Definition 3 case 2: a disjunction of open formulas over the same
+        // variables — evaluate both sides into the same set.
+        if let Formula::Or(a, b) = f {
+            if !a.free_vars().is_empty() {
+                self.collect_open(a, free, env, out)?;
+                self.collect_open(b, free, env, out)?;
+                return Ok(());
+            }
+        }
+        let target: BTreeSet<Var> = free.iter().cloned().collect();
+        let outer: BTreeSet<Var> = env.keys().cloned().collect();
+        let Some(pf) = split_producer_filter(f, &target, &outer) else {
+            return Err(PipelineError::Unrestricted(f.to_string()));
+        };
+        let producers: Vec<&Formula> = pf.producers.iter().collect();
+        self.iterate(&producers, env, &mut |this, env| {
+            for filt in &pf.filters {
+                if !this.eval(filt, env)? {
+                    return Ok(Flow::Continue);
+                }
+            }
+            let tuple: Tuple = free
+                .iter()
+                .map(|v| env.get(v).expect("producer bound all").clone())
+                .collect();
+            let _ = out.insert(tuple);
+            Ok(Flow::Continue)
+        })?;
+        Ok(())
+    }
+
+    /// Evaluate a formula that is closed under `env`.
+    fn eval(&self, f: &Formula, env: &mut Env) -> Result<bool, PipelineError> {
+        match f {
+            Formula::Atom(_) => self.ground_atom(f, env),
+            Formula::Compare(c) => self.compare(c, env),
+            Formula::Not(g) => Ok(!self.eval(g, env)?),
+            Formula::And(a, b) => Ok(self.eval(a, env)? && self.eval(b, env)?),
+            Formula::Or(a, b) => Ok(self.eval(a, env)? || self.eval(b, env)?),
+            Formula::Implies(a, b) => Ok(!self.eval(a, env)? || self.eval(b, env)?),
+            Formula::Iff(a, b) => Ok(self.eval(a, env)? == self.eval(b, env)?),
+            // Fig. 1(a): value := false; loop while value ≠ true.
+            Formula::Exists(vs, body) => {
+                let target: BTreeSet<Var> = vs.iter().cloned().collect();
+                let outer: BTreeSet<Var> = env.keys().cloned().collect();
+                let Some(pf) = split_producer_filter(body, &target, &outer) else {
+                    return Err(PipelineError::Unrestricted(f.to_string()));
+                };
+                let producers: Vec<&Formula> = pf.producers.iter().collect();
+                let mut value = false;
+                self.iterate(&producers, env, &mut |this, env| {
+                    let mut ok = true;
+                    for filt in &pf.filters {
+                        if !this.eval(filt, env)? {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        value = true;
+                        Ok(Flow::Stop)
+                    } else {
+                        Ok(Flow::Continue)
+                    }
+                })?;
+                Ok(value)
+            }
+            // Fig. 1(b): value := true; loop while value ≠ false.
+            Formula::Forall(vs, body) => {
+                let target: BTreeSet<Var> = vs.iter().cloned().collect();
+                let outer: BTreeSet<Var> = env.keys().cloned().collect();
+                match &**body {
+                    // ∀x̄ ¬R: true iff R has no binding.
+                    Formula::Not(r) => {
+                        let Some(pf) = split_producer_filter(r, &target, &outer) else {
+                            return Err(PipelineError::Unrestricted(f.to_string()));
+                        };
+                        let producers: Vec<&Formula> = pf.producers.iter().collect();
+                        let mut value = true;
+                        self.iterate(&producers, env, &mut |this, env| {
+                            for filt in &pf.filters {
+                                if !this.eval(filt, env)? {
+                                    return Ok(Flow::Continue);
+                                }
+                            }
+                            value = false;
+                            Ok(Flow::Stop)
+                        })?;
+                        Ok(value)
+                    }
+                    // ∀x̄ R ⇒ F: loop over R, stop at first F-counterexample.
+                    Formula::Implies(r, inner) => {
+                        let Some(pf) = split_producer_filter(r, &target, &outer) else {
+                            return Err(PipelineError::Unrestricted(f.to_string()));
+                        };
+                        let producers: Vec<&Formula> = pf.producers.iter().collect();
+                        let mut value = true;
+                        self.iterate(&producers, env, &mut |this, env| {
+                            for filt in &pf.filters {
+                                if !this.eval(filt, env)? {
+                                    return Ok(Flow::Continue);
+                                }
+                            }
+                            if this.eval(inner, env)? {
+                                Ok(Flow::Continue)
+                            } else {
+                                value = false;
+                                Ok(Flow::Stop)
+                            }
+                        })?;
+                        Ok(value)
+                    }
+                    _ => Err(PipelineError::Unrestricted(f.to_string())),
+                }
+            }
+        }
+    }
+
+    /// Enumerate the bindings of a producer list by nested loops,
+    /// calling `cb` for each complete binding. Bindings added at each level
+    /// are undone on the way out.
+    fn iterate(
+        &self,
+        producers: &[&Formula],
+        env: &mut Env,
+        cb: &mut dyn FnMut(&Self, &mut Env) -> Result<Flow, PipelineError>,
+    ) -> Result<Flow, PipelineError> {
+        let Some((first, rest)) = producers.split_first() else {
+            return cb(self, env);
+        };
+        match first {
+            Formula::Atom(a) => {
+                let rel = self
+                    .db
+                    .relation(&a.relation)
+                    .map_err(|_| PipelineError::UnknownRelation(a.relation.clone()))?;
+                if rel.arity() != a.arity() {
+                    return Err(PipelineError::ArityMismatch {
+                        relation: a.relation.clone(),
+                        expected: rel.arity(),
+                        actual: a.arity(),
+                    });
+                }
+                self.stats.borrow_mut().base_scans += 1;
+                for t in rel.iter() {
+                    self.stats.borrow_mut().base_tuples_read += 1;
+                    let mut bound_here: Vec<Var> = Vec::new();
+                    if self.match_atom(&a.terms, t, env, &mut bound_here) {
+                        let flow = self.iterate(rest, env, cb)?;
+                        for v in &bound_here {
+                            env.remove(v);
+                        }
+                        if matches!(flow, Flow::Stop) {
+                            return Ok(Flow::Stop);
+                        }
+                    } else {
+                        for v in &bound_here {
+                            env.remove(v);
+                        }
+                    }
+                }
+                Ok(Flow::Continue)
+            }
+            Formula::And(x, y) => {
+                // A composite range (Definition 1 conditions 2/4): enumerate
+                // its own producers first, with its filters as guards, then
+                // the remaining outer producers. Re-splitting here orders
+                // sub-producers before sub-filters regardless of the
+                // syntactic order (`F ∧ R` is accepted as well as `R ∧ F`).
+                let outer: BTreeSet<Var> = env.keys().cloned().collect();
+                let vars: BTreeSet<Var> = first
+                    .free_vars()
+                    .difference(&outer)
+                    .cloned()
+                    .collect();
+                let pf = split_producer_filter(first, &vars, &outer);
+                match &pf {
+                    Some(pf) => {
+                        let mut inner: Vec<&Formula> = pf.producers.iter().collect();
+                        inner.extend(pf.filters.iter());
+                        inner.extend_from_slice(rest);
+                        self.iterate(&inner, env, cb)
+                    }
+                    None => {
+                        let mut inner: Vec<&Formula> = vec![x, y];
+                        inner.extend_from_slice(rest);
+                        self.iterate(&inner, env, cb)
+                    }
+                }
+            }
+            Formula::Or(x, y) => {
+                // Range disjunction: both branches enumerated (duplicates
+                // are deduplicated by the consumer's set semantics).
+                let mut left: Vec<&Formula> = vec![x];
+                left.extend_from_slice(rest);
+                if matches!(self.iterate(&left, env, cb)?, Flow::Stop) {
+                    return Ok(Flow::Stop);
+                }
+                let mut right: Vec<&Formula> = vec![y];
+                right.extend_from_slice(rest);
+                self.iterate(&right, env, cb)
+            }
+            Formula::Exists(_, r) => {
+                // Projection range (Definition 1 condition 5): enumerate the
+                // wider range; the extra variables are scoped to this level.
+                let mut inner: Vec<&Formula> = vec![r];
+                inner.extend_from_slice(rest);
+                let before: BTreeSet<Var> = env.keys().cloned().collect();
+                let flow = self.iterate(&inner, env, cb)?;
+                let added: Vec<Var> = env
+                    .keys()
+                    .filter(|k| !before.contains(*k))
+                    .cloned()
+                    .collect();
+                for v in added {
+                    env.remove(&v);
+                }
+                Ok(flow)
+            }
+            // A non-range conjunct in producer position acts as a filter
+            // guard at this nesting level.
+            other => {
+                if self.eval(other, env)? {
+                    self.iterate(rest, env, cb)
+                } else {
+                    Ok(Flow::Continue)
+                }
+            }
+        }
+    }
+
+    /// Try to match atom terms against a stored tuple, binding unbound
+    /// variables into `env` (recorded in `bound_here` for undo).
+    fn match_atom(
+        &self,
+        terms: &[Term],
+        tuple: &Tuple,
+        env: &mut Env,
+        bound_here: &mut Vec<Var>,
+    ) -> bool {
+        for (i, term) in terms.iter().enumerate() {
+            let actual = &tuple[i];
+            match term {
+                Term::Const(c) => {
+                    self.stats.borrow_mut().comparisons += 1;
+                    if c != actual {
+                        return false;
+                    }
+                }
+                Term::Var(v) => match env.get(v) {
+                    Some(bound) => {
+                        self.stats.borrow_mut().comparisons += 1;
+                        if bound != actual {
+                            return false;
+                        }
+                    }
+                    None => {
+                        env.insert(v.clone(), actual.clone());
+                        bound_here.push(v.clone());
+                    }
+                },
+            }
+        }
+        true
+    }
+
+    /// Ground atom membership test (index-based; see module docs).
+    fn ground_atom(&self, f: &Formula, env: &Env) -> Result<bool, PipelineError> {
+        let Formula::Atom(a) = f else { unreachable!() };
+        let rel = self
+            .db
+            .relation(&a.relation)
+            .map_err(|_| PipelineError::UnknownRelation(a.relation.clone()))?;
+        if rel.arity() != a.arity() {
+            return Err(PipelineError::ArityMismatch {
+                relation: a.relation.clone(),
+                expected: rel.arity(),
+                actual: a.arity(),
+            });
+        }
+        let mut values = Vec::with_capacity(a.terms.len());
+        for t in &a.terms {
+            match t {
+                Term::Const(c) => values.push(c.clone()),
+                Term::Var(v) => match env.get(v) {
+                    Some(val) => values.push(val.clone()),
+                    None => {
+                        return Err(PipelineError::UnboundVariable {
+                            var: v.name().to_string(),
+                            context: f.to_string(),
+                        })
+                    }
+                },
+            }
+        }
+        let mut s = self.stats.borrow_mut();
+        s.probes += 1;
+        s.comparisons += 1;
+        Ok(rel.contains(&Tuple::new(values)))
+    }
+
+    fn compare(&self, c: &Comparison, env: &Env) -> Result<bool, PipelineError> {
+        let value_of = |t: &Term| -> Result<Value, PipelineError> {
+            match t {
+                Term::Const(v) => Ok(v.clone()),
+                Term::Var(v) => env.get(v).cloned().ok_or_else(|| {
+                    PipelineError::UnboundVariable {
+                        var: v.name().to_string(),
+                        context: c.to_string(),
+                    }
+                }),
+            }
+        };
+        let l = value_of(&c.left)?;
+        let r = value_of(&c.right)?;
+        self.stats.borrow_mut().comparisons += 1;
+        Ok(c.op.eval(&l, &r))
+    }
+}

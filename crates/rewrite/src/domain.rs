@@ -1,0 +1,168 @@
+//! Domain-closure restriction (§2.1).
+//!
+//! "Under [the Closed World Assumption] the evaluation of non-ground
+//! queries with negative polarities is only possible if domains of values
+//! are specified for all variables. … A query ¬p(x₁,…,xₙ) is in
+//! consequence equivalent to dom(x₁) ∧ … ∧ dom(xₙ) ∧ ¬p(x₁,…,xₙ) where
+//! the view `dom` describes the database domain."
+//!
+//! [`restrict_with_domain`] performs that completion syntactically: free
+//! variables and quantified variables not covered by a range get an
+//! explicit `dom(x)` conjunct, turning any (domain-independent-by-intent)
+//! query into a formula with restricted variables and quantifications.
+//! The result is exact under the Domain Closure Assumption the paper
+//! adopts.
+
+use gq_calculus::{split_producer_filter, Formula, Term, Var};
+use std::collections::BTreeSet;
+
+/// Add `dom(x)` ranges (using the relation named `dom_name`) wherever a
+/// quantified block or the free variables lack a covering range.
+/// Already-restricted subformulas are left untouched.
+pub fn restrict_with_domain(f: &Formula, dom_name: &str) -> Formula {
+    let free = f.free_vars();
+    let completed = walk(f, &free, dom_name);
+    // Free variables: ensure the top level covers them too.
+    let outer = BTreeSet::new();
+    if free.is_empty() || split_producer_filter(&completed, &free, &outer).is_some() {
+        completed
+    } else {
+        let doms: Vec<Formula> = free
+            .iter()
+            .map(|v| Formula::atom(dom_name, vec![Term::Var(v.clone())]))
+            .collect();
+        Formula::and(Formula::and_all(doms), completed)
+    }
+}
+
+fn walk(f: &Formula, outer: &BTreeSet<Var>, dom_name: &str) -> Formula {
+    match f {
+        Formula::Exists(vs, body) => {
+            let mut inner_outer = outer.clone();
+            inner_outer.extend(vs.iter().cloned());
+            let body = walk(body, &inner_outer, dom_name);
+            let target: BTreeSet<Var> = vs.iter().cloned().collect();
+            if split_producer_filter(&body, &target, outer).is_some() {
+                Formula::exists(vs.clone(), body)
+            } else {
+                let doms: Vec<Formula> = vs
+                    .iter()
+                    .map(|v| Formula::atom(dom_name, vec![Term::Var(v.clone())]))
+                    .collect();
+                Formula::exists(vs.clone(), Formula::and(Formula::and_all(doms), body))
+            }
+        }
+        Formula::Forall(vs, body) => {
+            let mut inner_outer = outer.clone();
+            inner_outer.extend(vs.iter().cloned());
+            let target: BTreeSet<Var> = vs.iter().cloned().collect();
+            match &**body {
+                // Already-restricted forms stay as they are (their inner
+                // parts are completed recursively).
+                Formula::Implies(r, g) if split_producer_filter(r, &target, outer).is_some() => {
+                    Formula::forall(
+                        vs.clone(),
+                        Formula::implies(
+                            (**r).clone(),
+                            walk(g, &inner_outer, dom_name),
+                        ),
+                    )
+                }
+                Formula::Not(r) if split_producer_filter(r, &target, outer).is_some() => {
+                    f.clone()
+                }
+                // Otherwise: ∀x̄ F ≡ ∀x̄ dom(x̄) ⇒ F.
+                other => {
+                    let doms: Vec<Formula> = vs
+                        .iter()
+                        .map(|v| Formula::atom(dom_name, vec![Term::Var(v.clone())]))
+                        .collect();
+                    Formula::forall(
+                        vs.clone(),
+                        Formula::implies(
+                            Formula::and_all(doms),
+                            walk(other, &inner_outer, dom_name),
+                        ),
+                    )
+                }
+            }
+        }
+        Formula::Not(g) => Formula::not(walk(g, outer, dom_name)),
+        Formula::And(a, b) => Formula::and(walk(a, outer, dom_name), walk(b, outer, dom_name)),
+        Formula::Or(a, b) => Formula::or(walk(a, outer, dom_name), walk(b, outer, dom_name)),
+        Formula::Implies(a, b) => {
+            Formula::implies(walk(a, outer, dom_name), walk(b, outer, dom_name))
+        }
+        Formula::Iff(a, b) => Formula::iff(walk(a, outer, dom_name), walk(b, outer, dom_name)),
+        leaf => leaf.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gq_calculus::{check_restricted_closed, check_restricted_open, parse};
+
+    #[test]
+    fn negated_open_query_gets_dom_range() {
+        let f = parse("!p(x)").unwrap();
+        let g = restrict_with_domain(&f, "dom");
+        assert_eq!(g.to_string(), "dom(x) ∧ ¬p(x)");
+        assert!(check_restricted_open(&g).is_ok());
+    }
+
+    #[test]
+    fn multi_variable_negation() {
+        let f = parse("!p(x,y)").unwrap();
+        let g = restrict_with_domain(&f, "dom");
+        assert!(check_restricted_open(&g).is_ok());
+        assert_eq!(g.to_string(), "dom(x) ∧ dom(y) ∧ ¬p(x,y)");
+    }
+
+    #[test]
+    fn restricted_queries_untouched() {
+        for text in [
+            "p(x) & !q(x)",
+            "exists x. p(x) & !q(x)",
+            "forall x. p(x) -> q(x)",
+        ] {
+            let f = parse(text).unwrap();
+            let g = restrict_with_domain(&f, "dom");
+            assert_eq!(f, g, "on {text}");
+        }
+    }
+
+    #[test]
+    fn unranged_universal_gets_dom() {
+        let f = parse("forall x. p(x)").unwrap();
+        let g = restrict_with_domain(&f, "dom");
+        assert_eq!(g.to_string(), "∀x (dom(x) ⇒ p(x))");
+        assert!(check_restricted_closed(&g).is_ok());
+    }
+
+    #[test]
+    fn unranged_existential_gets_dom() {
+        let f = parse("exists x. !p(x)").unwrap();
+        let g = restrict_with_domain(&f, "dom");
+        assert_eq!(g.to_string(), "∃x (dom(x) ∧ ¬p(x))");
+        assert!(check_restricted_closed(&g).is_ok());
+    }
+
+    #[test]
+    fn nested_partial_restriction() {
+        // outer ∃ restricted, inner ∀ not
+        let f = parse("exists x. p(x) & (forall y. r(x,y))").unwrap();
+        let g = restrict_with_domain(&f, "dom");
+        assert!(check_restricted_closed(&g).is_ok());
+        assert!(g.to_string().contains("dom(y)"));
+        assert!(!g.to_string().contains("dom(x)"));
+    }
+
+    #[test]
+    fn disjunction_with_unrestricted_side() {
+        // the paper's rejected F₁ becomes restricted after completion
+        let f = parse("exists x1, x2. (r(x1) | s(x2)) & !p(x1,x2)").unwrap();
+        let g = restrict_with_domain(&f, "dom");
+        assert!(check_restricted_closed(&g).is_ok(), "{g}");
+    }
+}

@@ -1,0 +1,236 @@
+//! The rewriting engine: applies Rules 1–14 to a fixpoint.
+//!
+//! The paper proves the rule system noetherian and confluent
+//! (Propositions 1 and 2), so *some* normal form always exists and the
+//! application order does not matter semantically. The engine offers:
+//!
+//! * [`canonicalize`] — deterministic: first applicable rule (in priority
+//!   order) at the first preorder position, until no rule applies;
+//! * [`canonicalize_random`] — a uniformly random applicable (position,
+//!   rule) pair each step, for empirically exercising confluence;
+//! * [`canonicalize_traced`] — deterministic, recording each step.
+//!
+//! Termination is guaranteed by Proposition 1; a step budget converts a
+//! would-be implementation bug into a loud [`RewriteError::BudgetExceeded`]
+//! instead of a hang.
+
+use crate::paths::{forall_parent_vars, get_at, outer_vars_at, replace_at, Path};
+use crate::rules::{try_apply, RuleCtx, RuleId, ALL_RULES};
+use gq_calculus::{Formula, Governing, NameGen, Var};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Default maximum number of rule applications.
+pub const DEFAULT_BUDGET: usize = 20_000;
+
+/// Rewriting failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewriteError {
+    /// The step budget was exhausted — by Proposition 1 this indicates an
+    /// implementation bug, not a property of the input.
+    BudgetExceeded {
+        /// The budget that was exhausted.
+        budget: usize,
+        /// Rendering of the formula when the budget ran out.
+        formula: String,
+    },
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::BudgetExceeded { budget, formula } => write!(
+                f,
+                "rewriting exceeded {budget} steps (bug: the system is noetherian); at `{formula}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+/// One recorded rule application.
+#[derive(Debug, Clone)]
+pub struct TraceStep {
+    /// The rule applied.
+    pub rule: RuleId,
+    /// Path to the rewritten subformula.
+    pub path: Path,
+    /// The subformula before.
+    pub before: String,
+    /// The replacement.
+    pub after: String,
+}
+
+/// A full canonicalization trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Steps in application order.
+    pub steps: Vec<TraceStep>,
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.steps.iter().enumerate() {
+            writeln!(f, "{:>3}. [{}] {}  ⟶  {}", i + 1, s.rule.name(), s.before, s.after)?;
+        }
+        Ok(())
+    }
+}
+
+/// An applicable rule at a position, with its computed replacement.
+struct Application {
+    path: Path,
+    rule: RuleId,
+    replacement: Formula,
+}
+
+/// Collect applicable (position, rule) pairs. With `first_only`, stops at
+/// the first applicable pair in (preorder position, rule priority) order.
+fn applications(root: &Formula, gen: &mut NameGen, first_only: bool) -> Vec<Application> {
+    let governing = Governing::of(root);
+    let free = root.free_vars();
+    let mut all_vars: BTreeSet<Var> = free.clone();
+    all_vars.extend(root.bound_vars());
+    let mut out = Vec::new();
+    let mut stack: Vec<Path> = vec![vec![]];
+    // Preorder traversal by explicit paths (children pushed in reverse so
+    // the left child is visited first).
+    while let Some(path) = stack.pop() {
+        let node = get_at(root, &path).expect("valid path");
+        // Free variables of an open query are bound by the implicit answer
+        // iteration, so range recognition treats them as outer, exactly
+        // like enclosing quantified variables.
+        let mut outer = outer_vars_at(root, &path);
+        outer.extend(free.iter().cloned());
+        let ctx = RuleCtx {
+            outer,
+            governing: &governing,
+            all_vars: all_vars.clone(),
+            forall_vars: forall_parent_vars(root, &path),
+        };
+        for &rule in ALL_RULES {
+            if let Some(replacement) = try_apply(rule, node, &ctx, gen) {
+                // Safety net: a rule whose replacement is alpha-equal to
+                // the node would loop forever; by Proposition 1 this never
+                // happens, but skipping costs little and keeps the budget
+                // error meaningful.
+                if replacement.alpha_eq(node) {
+                    continue;
+                }
+                out.push(Application {
+                    path: path.clone(),
+                    rule,
+                    replacement,
+                });
+                if first_only {
+                    return out;
+                }
+            }
+        }
+        for i in (0..node.children().len()).rev() {
+            let mut p = path.clone();
+            p.push(i);
+            stack.push(p);
+        }
+    }
+    out
+}
+
+fn run(
+    formula: &Formula,
+    budget: usize,
+    mut pick: impl FnMut(&[Application]) -> usize,
+    mut trace: Option<&mut Trace>,
+) -> Result<Formula, RewriteError> {
+    let mut gen = NameGen::new();
+    let mut current = formula.standardize_apart(&mut gen);
+    for _ in 0..budget {
+        let apps = applications(&current, &mut gen, false);
+        if apps.is_empty() {
+            return Ok(current);
+        }
+        let chosen = &apps[pick(&apps)];
+        if let Some(t) = trace.as_deref_mut() {
+            t.steps.push(TraceStep {
+                rule: chosen.rule,
+                path: chosen.path.clone(),
+                before: get_at(&current, &chosen.path).expect("valid").to_string(),
+                after: chosen.replacement.to_string(),
+            });
+        }
+        current = replace_at(&current, &chosen.path, chosen.replacement.clone());
+    }
+    Err(RewriteError::BudgetExceeded {
+        budget,
+        formula: current.to_string(),
+    })
+}
+
+/// Canonicalize deterministically (priority order, first position).
+///
+/// ```
+/// use gq_calculus::parse;
+/// use gq_rewrite::{canonicalize, is_miniscope};
+///
+/// // Rule 4: a ranged universal becomes a negated existential.
+/// let f = parse("forall x. student(x) -> attends(x, \"db\")").unwrap();
+/// let c = canonicalize(&f).unwrap();
+/// assert_eq!(c.to_string(), "¬(∃x (student(x) ∧ ¬attends(x,\"db\")))");
+/// assert!(is_miniscope(&c));
+/// ```
+pub fn canonicalize(formula: &Formula) -> Result<Formula, RewriteError> {
+    canonicalize_with_budget(formula, DEFAULT_BUDGET)
+}
+
+/// Canonicalize deterministically with an explicit step budget.
+pub fn canonicalize_with_budget(
+    formula: &Formula,
+    budget: usize,
+) -> Result<Formula, RewriteError> {
+    // Deterministic mode: only the first application is needed each step.
+    let mut gen = NameGen::new();
+    let mut current = formula.standardize_apart(&mut gen);
+    for _ in 0..budget {
+        let apps = applications(&current, &mut gen, true);
+        match apps.into_iter().next() {
+            None => return Ok(current),
+            Some(app) => {
+                current = replace_at(&current, &app.path, app.replacement);
+            }
+        }
+    }
+    Err(RewriteError::BudgetExceeded {
+        budget,
+        formula: current.to_string(),
+    })
+}
+
+/// Canonicalize, recording every rule application.
+pub fn canonicalize_traced(formula: &Formula) -> Result<(Formula, Trace), RewriteError> {
+    let mut trace = Trace::default();
+    let result = run(formula, DEFAULT_BUDGET, |_| 0, Some(&mut trace))?;
+    Ok((result, trace))
+}
+
+/// Canonicalize applying a uniformly random applicable rule each step
+/// (seeded — used by the confluence experiment E-REWR).
+pub fn canonicalize_random(formula: &Formula, seed: u64) -> Result<Formula, RewriteError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    run(
+        formula,
+        DEFAULT_BUDGET,
+        move |apps| rng.gen_range(0..apps.len()),
+        None,
+    )
+}
+
+/// Is the formula already in canonical form (no rule applicable)?
+pub fn is_canonical(formula: &Formula) -> bool {
+    let mut gen = NameGen::new();
+    // Note: canonical form is defined on standardized-apart formulas.
+    let f = formula.standardize_apart(&mut gen);
+    applications(&f, &mut gen, true).is_empty()
+}

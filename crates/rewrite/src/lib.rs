@@ -1,0 +1,43 @@
+//! # gq-rewrite — normalization into the canonical form (§2)
+//!
+//! The 14-rule rewriting system of Bry (SIGMOD 1989) that standardizes
+//! calculus queries before translation into relational algebra:
+//!
+//! * negation normalization that stops at quantifier boundaries
+//!   (Rules 1–3),
+//! * reduction of universal to (negated) existential quantification
+//!   (Rules 4–5),
+//! * removal of useless quantifiers and variables (Rules 6–7),
+//! * the **miniscope form** — quantifier scopes pushed inwards as far as
+//!   the governing relationship allows (Rules 8–11, Definition 4),
+//! * the **producer/filter** treatment of disjunctions — disjunctions in
+//!   producers are distributed out, disjunctions in filters are kept for
+//!   the constrained-outer-join translation (Rules 12–14, Definition 5).
+//!
+//! The engine applies rules to a fixpoint deterministically
+//! ([`canonicalize`]), with a trace ([`canonicalize_traced`]), or in a
+//! seeded random order ([`canonicalize_random`]) for empirically
+//! exercising the confluence claim of Proposition 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod domain;
+mod engine;
+mod miniscope;
+mod paths;
+mod rules;
+
+#[cfg(test)]
+mod critical_pairs;
+#[cfg(test)]
+mod engine_tests;
+
+pub use domain::restrict_with_domain;
+pub use engine::{
+    canonicalize, canonicalize_random, canonicalize_traced, canonicalize_with_budget,
+    is_canonical, RewriteError, Trace, TraceStep, DEFAULT_BUDGET,
+};
+pub use miniscope::{is_miniscope, miniscope_violation};
+pub use paths::{get_at, outer_vars_at, replace_at, Path};
+pub use rules::{try_apply, RuleCtx, RuleId, ALL_RULES};

@@ -1,0 +1,190 @@
+//! The miniscope form (Definition 4).
+//!
+//! "A formula is in *miniscope form* if and only if none of its quantified
+//! subformulas F contains an atom in which only variables quantified
+//! outside F occur." Canonical formulas are in miniscope form; the checker
+//! here is used by tests and by the E-MINI experiment.
+
+use gq_calculus::{Formula, Var};
+use std::collections::BTreeSet;
+
+/// Is the formula in miniscope form (Definition 4)?
+pub fn is_miniscope(f: &Formula) -> bool {
+    !has_violation(f)
+}
+
+/// Find a violating (quantified-subformula, atom) pair, rendered, if any —
+/// handy for diagnostics in tests.
+pub fn miniscope_violation(f: &Formula) -> Option<(String, String)> {
+    find_violation(f)
+}
+
+fn has_violation(f: &Formula) -> bool {
+    find_violation(f).is_some()
+}
+
+fn find_violation(f: &Formula) -> Option<(String, String)> {
+    match f {
+        Formula::Exists(vs, body) | Formula::Forall(vs, body) => {
+            // Check atoms inside this quantified subformula: an atom
+            // violates if none of its variables are bound at or below this
+            // quantifier (i.e. all its variables come from outside).
+            let mut bound: BTreeSet<Var> = vs.iter().cloned().collect();
+            if let Some(atom) = atom_without_inner_vars(body, &mut bound) {
+                return Some((f.to_string(), atom));
+            }
+            find_violation(body)
+        }
+        _ => {
+            for c in f.children() {
+                if let Some(v) = find_violation(c) {
+                    return Some(v);
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Search `f` for an atom none of whose variables are in `bound`
+/// (accumulating variables bound by quantifiers on the way down).
+fn atom_without_inner_vars(f: &Formula, bound: &mut BTreeSet<Var>) -> Option<String> {
+    match f {
+        Formula::Atom(a) => {
+            if a.vars().is_disjoint(bound) {
+                Some(a.to_string())
+            } else {
+                None
+            }
+        }
+        Formula::Compare(c) => {
+            if c.vars().is_disjoint(bound) {
+                Some(c.to_string())
+            } else {
+                None
+            }
+        }
+        Formula::Exists(vs, body) | Formula::Forall(vs, body) => {
+            let added: Vec<Var> = vs
+                .iter()
+                .filter(|v| !bound.contains(*v))
+                .cloned()
+                .collect();
+            bound.extend(added.iter().cloned());
+            let r = atom_without_inner_vars(body, bound);
+            for v in added {
+                bound.remove(&v);
+            }
+            r
+        }
+        _ => {
+            for c in f.children() {
+                if let Some(a) = atom_without_inner_vars(c, bound) {
+                    return Some(a);
+                }
+            }
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gq_calculus::Term;
+
+    fn at(r: &str, args: &[&str]) -> Formula {
+        Formula::atom(r, args.iter().map(Term::var).collect())
+    }
+
+    #[test]
+    fn paper_q1_is_not_miniscope() {
+        // §2.2 Q₁: ∃x student(x) ∧ ∀y [cs-lecture(y) ⇒ attends(x,y) ∧ ¬enrolled(x,cs)]
+        // — enrolled(x,cs) mentions only x, quantified outside the ∀y.
+        let f = Formula::exists1(
+            "x",
+            Formula::and(
+                at("student", &["x"]),
+                Formula::forall1(
+                    "y",
+                    Formula::implies(
+                        at("cs-lecture", &["y"]),
+                        Formula::and(
+                            at("attends", &["x", "y"]),
+                            Formula::not(Formula::atom(
+                                "enrolled",
+                                vec![Term::var("x"), Term::constant("cs")],
+                            )),
+                        ),
+                    ),
+                ),
+            ),
+        );
+        assert!(!is_miniscope(&f));
+        let (_, atom) = miniscope_violation(&f).unwrap();
+        assert!(atom.contains("enrolled"));
+    }
+
+    #[test]
+    fn paper_q2_is_miniscope() {
+        // §2.2 Q₂: ∃x student(x) ∧ [∀y cs-lecture(y) ⇒ attends(x,y)] ∧ ¬enrolled(x,cs)
+        let f = Formula::exists1(
+            "x",
+            Formula::and(
+                Formula::and(
+                    at("student", &["x"]),
+                    Formula::forall1(
+                        "y",
+                        Formula::implies(at("cs-lecture", &["y"]), at("attends", &["x", "y"])),
+                    ),
+                ),
+                Formula::not(Formula::atom(
+                    "enrolled",
+                    vec![Term::var("x"), Term::constant("cs")],
+                )),
+            ),
+        );
+        assert!(is_miniscope(&f));
+    }
+
+    #[test]
+    fn paper_f5_is_miniscope() {
+        // F₅: ∃x p(x) ∧ [∀y ¬q(y) ∨ r(x,y)] — q(y) mentions the inner y.
+        let f = Formula::exists1(
+            "x",
+            Formula::and(
+                at("p", &["x"]),
+                Formula::forall1(
+                    "y",
+                    Formula::or(Formula::not(at("q", &["y"])), at("r", &["x", "y"])),
+                ),
+            ),
+        );
+        assert!(is_miniscope(&f));
+    }
+
+    #[test]
+    fn f1_with_outer_atom_is_not_miniscope() {
+        // §2.2 F₁: ∃x p(x) ∧ (q(y) ∨ r(x)) — q(y) only mentions free y.
+        let f = Formula::exists1(
+            "x",
+            Formula::and(at("p", &["x"]), Formula::or(at("q", &["y"]), at("r", &["x"]))),
+        );
+        assert!(!is_miniscope(&f));
+    }
+
+    #[test]
+    fn quantifier_free_is_miniscope() {
+        assert!(is_miniscope(&at("p", &["x"])));
+    }
+
+    #[test]
+    fn ground_atom_under_quantifier_violates() {
+        // ∃x p(x) ∧ flag(): flag() can always be moved out.
+        let f = Formula::exists1(
+            "x",
+            Formula::and(at("p", &["x"]), Formula::atom("flag", vec![])),
+        );
+        assert!(!is_miniscope(&f));
+    }
+}

@@ -1,0 +1,142 @@
+//! Tree paths into formulas: addressing, replacement, and context
+//! (enclosing quantified variables) for rule application.
+
+use gq_calculus::{Formula, Var};
+use std::collections::BTreeSet;
+
+/// A path from the root to a subformula: child indices at each step.
+pub type Path = Vec<usize>;
+
+/// The subformula at `path`, if the path is valid.
+pub fn get_at<'a>(f: &'a Formula, path: &[usize]) -> Option<&'a Formula> {
+    let mut cur = f;
+    for &i in path {
+        cur = *cur.children().get(i)?;
+    }
+    Some(cur)
+}
+
+/// Replace the subformula at `path` with `new`, cloning along the spine.
+/// Panics on an invalid path (paths come from the engine's own traversal).
+pub fn replace_at(f: &Formula, path: &[usize], new: Formula) -> Formula {
+    match path.split_first() {
+        None => new,
+        Some((&i, rest)) => {
+            let rebuild = |child: &Formula| replace_at(child, rest, new.clone());
+            match f {
+                Formula::Not(a) => {
+                    assert_eq!(i, 0, "invalid path");
+                    Formula::not(rebuild(a))
+                }
+                Formula::Exists(vs, a) => {
+                    assert_eq!(i, 0, "invalid path");
+                    Formula::exists(vs.clone(), rebuild(a))
+                }
+                Formula::Forall(vs, a) => {
+                    assert_eq!(i, 0, "invalid path");
+                    Formula::forall(vs.clone(), rebuild(a))
+                }
+                Formula::And(a, b) => match i {
+                    0 => Formula::and(rebuild(a), (**b).clone()),
+                    1 => Formula::and((**a).clone(), rebuild(b)),
+                    _ => panic!("invalid path"),
+                },
+                Formula::Or(a, b) => match i {
+                    0 => Formula::or(rebuild(a), (**b).clone()),
+                    1 => Formula::or((**a).clone(), rebuild(b)),
+                    _ => panic!("invalid path"),
+                },
+                Formula::Implies(a, b) => match i {
+                    0 => Formula::implies(rebuild(a), (**b).clone()),
+                    1 => Formula::implies((**a).clone(), rebuild(b)),
+                    _ => panic!("invalid path"),
+                },
+                Formula::Iff(a, b) => match i {
+                    0 => Formula::iff(rebuild(a), (**b).clone()),
+                    1 => Formula::iff((**a).clone(), rebuild(b)),
+                    _ => panic!("invalid path"),
+                },
+                Formula::Atom(_) | Formula::Compare(_) => panic!("invalid path: leaf"),
+            }
+        }
+    }
+}
+
+/// Variables bound by quantifiers *strictly enclosing* the position `path`
+/// (the node at `path` itself does not contribute its own block).
+pub fn outer_vars_at(f: &Formula, path: &[usize]) -> BTreeSet<Var> {
+    let mut out = BTreeSet::new();
+    let mut cur = f;
+    for &i in path {
+        if let Formula::Exists(vs, _) | Formula::Forall(vs, _) = cur {
+            out.extend(vs.iter().cloned());
+        }
+        cur = cur.children()[i];
+    }
+    out
+}
+
+/// If the node at `path` is the direct body of a `Forall`, that block's
+/// variables. Guards the implication-elimination sugar rule (`⇒` under `∀`
+/// is range notation handled by Rule 4) and the range-negation protection
+/// of Rules 1/2 (`∀x̄ ¬R` belongs to Rule 5).
+pub fn forall_parent_vars(f: &Formula, path: &[usize]) -> Option<Vec<Var>> {
+    if path.is_empty() {
+        return None;
+    }
+    let parent = get_at(f, &path[..path.len() - 1]).expect("valid path");
+    match parent {
+        Formula::Forall(vs, _) => Some(vs.clone()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gq_calculus::Term;
+
+    fn p(v: &str) -> Formula {
+        Formula::atom("p", vec![Term::var(v)])
+    }
+
+    #[test]
+    fn get_and_replace_roundtrip() {
+        let f = Formula::exists1("x", Formula::and(p("x"), Formula::not(p("y"))));
+        assert_eq!(get_at(&f, &[0, 1, 0]), Some(&p("y")));
+        let g = replace_at(&f, &[0, 1, 0], p("z"));
+        assert_eq!(get_at(&g, &[0, 1, 0]), Some(&p("z")));
+        // original untouched
+        assert_eq!(get_at(&f, &[0, 1, 0]), Some(&p("y")));
+    }
+
+    #[test]
+    fn replace_at_root() {
+        let f = p("x");
+        assert_eq!(replace_at(&f, &[], p("y")), p("y"));
+    }
+
+    #[test]
+    fn outer_vars_accumulate() {
+        let f = Formula::exists1("x", Formula::forall1("y", Formula::implies(p("y"), p("x"))));
+        let o = outer_vars_at(&f, &[0, 0, 0]);
+        assert!(o.contains(&Var::new("x")) && o.contains(&Var::new("y")));
+        // at the Forall node itself, only x is outer
+        let o2 = outer_vars_at(&f, &[0]);
+        assert!(o2.contains(&Var::new("x")) && !o2.contains(&Var::new("y")));
+    }
+
+    #[test]
+    fn forall_body_detection() {
+        let f = Formula::forall1("y", Formula::implies(p("y"), p("y")));
+        assert_eq!(forall_parent_vars(&f, &[0]), Some(vec![Var::new("y")]));
+        assert_eq!(forall_parent_vars(&f, &[]), None);
+        assert_eq!(forall_parent_vars(&f, &[0, 0]), None);
+    }
+
+    #[test]
+    fn invalid_path_returns_none() {
+        let f = p("x");
+        assert_eq!(get_at(&f, &[0]), None);
+    }
+}

@@ -1,0 +1,438 @@
+//! The rewriting rules of the canonical form (§2, Rules 1–14), plus the two
+//! connective-elimination sugar rules prescribed in §1 ("In other contexts
+//! an expression F₁ ⇒ F₂ is supposed to be written as ¬F₁ ∨ F₂, and
+//! F₁ ⇔ F₂ as (¬F₁ ∨ F₂) ∧ (¬F₂ ∨ F₁)").
+
+use gq_calculus::{
+    flatten_and, split_producer_filter, Formula, Governing, NameGen, Var,
+};
+use std::collections::BTreeSet;
+
+/// Identifier of a rewriting rule. Numbers follow the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, PartialOrd, Ord)]
+pub enum RuleId {
+    /// `¬¬F → F` (Rule 3; first so double negations vanish before pushing).
+    R3DoubleNegation,
+    /// `¬(F₁ ∨ F₂) → ¬F₁ ∧ ¬F₂` (Rule 1).
+    R1NegationOverOr,
+    /// `¬(F₁ ∧ F₂) → ¬F₁ ∨ ¬F₂` (Rule 2).
+    R2NegationOverAnd,
+    /// `F₁ ⇔ F₂ → (¬F₁ ∨ F₂) ∧ (¬F₂ ∨ F₁)` (§1 notation convention).
+    ElimIff,
+    /// `F₁ ⇒ F₂ → ¬F₁ ∨ F₂` outside ∀-range position (§1 convention).
+    ElimImplies,
+    /// `∀x̄ ¬R → ¬(∃x̄ R)` (Rule 5).
+    R5ForallNegRange,
+    /// `∀x̄ R ⇒ F → ¬(∃x̄ R ∧ ¬F)` (Rule 4).
+    R4ForallRange,
+    /// `∃x̄ F → F` when no x̄ occurs in F (Rule 6).
+    R6UselessQuantifier,
+    /// `∃x̄ F → ∃x̄′ F` dropping the x̄ not occurring in F (Rule 7).
+    R7UselessVariables,
+    /// `∃x̄ (F₁ θ F₂) → (∃x̄ F₁) θ F₂` when no x̄ occurs in F₂ (Rule 9).
+    R9MoveRightOut,
+    /// `∃x̄ (F₁ θ F₂) → F₁ θ (∃x̄ F₂)` when no x̄ occurs in F₁ (Rule 8).
+    R8MoveLeftOut,
+    /// `∃x̄ (F₁∨F₂) ∧ F₃ → [∃x̄ F₁∧F₃] ∨ [∃x̄ F₂∧F₃]` under (†) (Rule 10).
+    R10DistributeLeft,
+    /// `∃x̄ F₁ ∧ (F₂∨F₃) → [∃x̄ F₁∧F₂] ∨ [∃x̄ F₁∧F₃]` under (†) (Rule 11).
+    R11DistributeRight,
+    /// Rules 12/13 combined: distribute a *producer* disjunction over the
+    /// rest of a quantifier body (disjunctions in filters are kept).
+    R1213RangeDisjunction,
+    /// `∃x̄ (R₁ ∨ R₂) → (∃x̄ⱼ R₁) ∨ (∃x̄ₖ R₂)` (Rule 14).
+    R14ExistsOverOr,
+}
+
+/// All rules in deterministic priority order.
+pub const ALL_RULES: &[RuleId] = &[
+    RuleId::R3DoubleNegation,
+    RuleId::R1NegationOverOr,
+    RuleId::R2NegationOverAnd,
+    RuleId::ElimIff,
+    RuleId::ElimImplies,
+    RuleId::R5ForallNegRange,
+    RuleId::R4ForallRange,
+    RuleId::R6UselessQuantifier,
+    RuleId::R7UselessVariables,
+    RuleId::R9MoveRightOut,
+    RuleId::R8MoveLeftOut,
+    RuleId::R10DistributeLeft,
+    RuleId::R11DistributeRight,
+    RuleId::R1213RangeDisjunction,
+    RuleId::R14ExistsOverOr,
+];
+
+impl RuleId {
+    /// Short name for traces and EXPLAIN output.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::R3DoubleNegation => "R3:¬¬",
+            RuleId::R1NegationOverOr => "R1:¬∨",
+            RuleId::R2NegationOverAnd => "R2:¬∧",
+            RuleId::ElimIff => "⇔-elim",
+            RuleId::ElimImplies => "⇒-elim",
+            RuleId::R5ForallNegRange => "R5:∀¬R",
+            RuleId::R4ForallRange => "R4:∀R⇒F",
+            RuleId::R6UselessQuantifier => "R6:∃-drop",
+            RuleId::R7UselessVariables => "R7:var-drop",
+            RuleId::R9MoveRightOut => "R9:move-out",
+            RuleId::R8MoveLeftOut => "R8:move-out",
+            RuleId::R10DistributeLeft => "R10:distrib",
+            RuleId::R11DistributeRight => "R11:distrib",
+            RuleId::R1213RangeDisjunction => "R12/13:range-∨",
+            RuleId::R14ExistsOverOr => "R14:∃∨-split",
+        }
+    }
+}
+
+/// Context available to a rule application.
+pub struct RuleCtx<'a> {
+    /// Variables bound by quantifiers enclosing the node.
+    pub outer: BTreeSet<Var>,
+    /// Governing relationship of the *whole* formula (for condition (†)).
+    pub governing: &'a Governing,
+    /// Every variable (free or bound) occurring in the whole formula —
+    /// renamings of duplicated branches must avoid them.
+    pub all_vars: BTreeSet<Var>,
+    /// When this node is the direct body of a `∀`: that block's variables.
+    /// Guards `⇒`-elimination and protects `∀x̄ ¬R` redexes (see
+    /// [`RuleCtx::is_protected_range_negation`]).
+    pub forall_vars: Option<Vec<Var>>,
+}
+
+impl RuleCtx<'_> {
+    /// Is this node the direct body of a `∀`?
+    pub fn is_forall_body(&self) -> bool {
+        self.forall_vars.is_some()
+    }
+
+    /// Is `node` a `¬R` that Rule 5 will consume (the body of a `∀x̄` with
+    /// `R` a range for x̄)? Rules 1/2 must not rewrite it — pushing the
+    /// negation inward would destroy the `∀x̄ ¬R` redex and break the
+    /// confluence of the system (a critical pair the paper's Proposition 2
+    /// glosses over; see DESIGN.md).
+    pub fn is_protected_range_negation(&self, node: &Formula) -> bool {
+        let Some(vs) = &self.forall_vars else {
+            return false;
+        };
+        let Formula::Not(inner) = node else {
+            return false;
+        };
+        let target: BTreeSet<Var> = vs.iter().cloned().collect();
+        let outer: BTreeSet<Var> = self.outer.difference(&target).cloned().collect();
+        split_producer_filter(inner, &target, &outer).is_some()
+    }
+}
+
+/// Try to apply `rule` at `node`. Returns the replacement subformula.
+/// `gen` supplies fresh variables for rules that duplicate subformulas.
+pub fn try_apply(
+    rule: RuleId,
+    node: &Formula,
+    ctx: &RuleCtx<'_>,
+    gen: &mut NameGen,
+) -> Option<Formula> {
+    match rule {
+        RuleId::R3DoubleNegation => match node {
+            Formula::Not(inner) => match &**inner {
+                Formula::Not(f) => Some((**f).clone()),
+                _ => None,
+            },
+            _ => None,
+        },
+        RuleId::R1NegationOverOr => match node {
+            Formula::Not(inner) if !ctx.is_protected_range_negation(node) => match &**inner {
+                Formula::Or(a, b) => Some(Formula::and(
+                    Formula::not((**a).clone()),
+                    Formula::not((**b).clone()),
+                )),
+                _ => None,
+            },
+            _ => None,
+        },
+        RuleId::R2NegationOverAnd => match node {
+            Formula::Not(inner) if !ctx.is_protected_range_negation(node) => match &**inner {
+                Formula::And(a, b) => Some(Formula::or(
+                    Formula::not((**a).clone()),
+                    Formula::not((**b).clone()),
+                )),
+                _ => None,
+            },
+            _ => None,
+        },
+        RuleId::ElimIff => match node {
+            Formula::Iff(a, b) => Some(Formula::and(
+                Formula::or(Formula::not((**a).clone()), (**b).clone()),
+                Formula::or(Formula::not((**b).clone()), (**a).clone()),
+            )),
+            _ => None,
+        },
+        RuleId::ElimImplies => match node {
+            // Under a ∀, the implication is range notation (Rule 4's job).
+            Formula::Implies(a, b) if !ctx.is_forall_body() => Some(Formula::or(
+                Formula::not((**a).clone()),
+                (**b).clone(),
+            )),
+            _ => None,
+        },
+        RuleId::R5ForallNegRange => match node {
+            Formula::Forall(vs, body) => match &**body {
+                Formula::Not(r) => {
+                    let target: BTreeSet<Var> = vs.iter().cloned().collect();
+                    if split_producer_filter(r, &target, &ctx.outer).is_some() {
+                        Some(Formula::not(Formula::exists(vs.clone(), (**r).clone())))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            },
+            _ => None,
+        },
+        RuleId::R4ForallRange => match node {
+            Formula::Forall(vs, body) => match &**body {
+                Formula::Implies(r, f) => {
+                    let target: BTreeSet<Var> = vs.iter().cloned().collect();
+                    if split_producer_filter(r, &target, &ctx.outer).is_some() {
+                        Some(Formula::not(Formula::exists(
+                            vs.clone(),
+                            Formula::and((**r).clone(), Formula::not((**f).clone())),
+                        )))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            },
+            _ => None,
+        },
+        RuleId::R6UselessQuantifier => match node {
+            Formula::Exists(vs, body) => {
+                let free = body.free_vars();
+                if vs.iter().all(|v| !free.contains(v)) {
+                    Some((**body).clone())
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        },
+        RuleId::R7UselessVariables => match node {
+            Formula::Exists(vs, body) => {
+                let free = body.free_vars();
+                let used: Vec<Var> = vs.iter().filter(|v| free.contains(v)).cloned().collect();
+                if used.is_empty() || used.len() == vs.len() {
+                    None
+                } else {
+                    Some(Formula::exists(used, (**body).clone()))
+                }
+            }
+            _ => None,
+        },
+        RuleId::R8MoveLeftOut | RuleId::R9MoveRightOut => match node {
+            Formula::Exists(vs, body) => {
+                let (a, b, is_or) = match &**body {
+                    Formula::And(a, b) => (a, b, false),
+                    Formula::Or(a, b) => (a, b, true),
+                    _ => return None,
+                };
+                let (stay, out, out_is_left) = if rule == RuleId::R8MoveLeftOut {
+                    // none of the x̄ occur in F₁: F₁ moves out (left).
+                    (b, a, true)
+                } else {
+                    (a, b, false)
+                };
+                let out_free = out.free_vars();
+                if vs.iter().any(|v| out_free.contains(v)) {
+                    return None;
+                }
+                // Avoid overlap with Rule 6 (everything would move out).
+                let stay_free = stay.free_vars();
+                if vs.iter().all(|v| !stay_free.contains(v)) {
+                    return None;
+                }
+                let inner = Formula::exists(vs.clone(), (**stay).clone());
+                let (l, r) = if out_is_left {
+                    ((**out).clone(), inner)
+                } else {
+                    (inner, (**out).clone())
+                };
+                Some(if is_or {
+                    Formula::or(l, r)
+                } else {
+                    Formula::and(l, r)
+                })
+            }
+            _ => None,
+        },
+        RuleId::R10DistributeLeft => match node {
+            Formula::Exists(vs, body) => match &**body {
+                Formula::And(or_part, f3) => match &**or_part {
+                    Formula::Or(f1, f2) => distribute(
+                        vs, f1, f2, f3, /*or_on_left=*/ true, ctx, gen,
+                    ),
+                    _ => None,
+                },
+                _ => None,
+            },
+            _ => None,
+        },
+        RuleId::R11DistributeRight => match node {
+            Formula::Exists(vs, body) => match &**body {
+                Formula::And(f1, or_part) => match &**or_part {
+                    Formula::Or(f2, f3) => distribute(
+                        vs, f2, f3, f1, /*or_on_left=*/ false, ctx, gen,
+                    ),
+                    _ => None,
+                },
+                _ => None,
+            },
+            _ => None,
+        },
+        RuleId::R1213RangeDisjunction => match node {
+            Formula::Exists(vs, body) => {
+                // Rules 12/13 distribute a producer disjunction over *other
+                // conjuncts*; a body that is just the disjunction itself is
+                // Rule 14's case.
+                let conjunct_list = flatten_and(body);
+                if conjunct_list.len() < 2 {
+                    return None;
+                }
+                let target: BTreeSet<Var> = vs.iter().cloned().collect();
+                // A conjunct mentioning none of the x̄ belongs outside the
+                // quantifier: Rules 8/9 move it first (mirroring the
+                // overlap guards of Rules 10/11; otherwise distributing it
+                // into both disjuncts diverges from the move-out path).
+                if conjunct_list
+                    .iter()
+                    .any(|c| c.free_vars().is_disjoint(&target))
+                {
+                    return None;
+                }
+                let pf = split_producer_filter(body, &target, &ctx.outer)?;
+                // Find a producer that is a disjunction: Rules 12/13 apply
+                // ("(P₁ ∨ P₂) is not a filter").
+                let disjunctive = pf
+                    .producers
+                    .iter()
+                    .find(|p| matches!(p, Formula::Or(..)))?
+                    .clone();
+                let (p1, p2) = match &disjunctive {
+                    Formula::Or(a, b) => ((**a).clone(), (**b).clone()),
+                    _ => unreachable!(),
+                };
+                // Rebuild the body twice, replacing the disjunctive
+                // conjunct with each disjunct in turn.
+                let conjuncts: Vec<Formula> =
+                    flatten_and(body).into_iter().cloned().collect();
+                let with = |repl: Formula| {
+                    Formula::and_all(
+                        conjuncts
+                            .iter()
+                            .map(|c| {
+                                if *c == disjunctive {
+                                    repl.clone()
+                                } else {
+                                    c.clone()
+                                }
+                            })
+                            .collect(),
+                    )
+                };
+                // Rename binders duplicated into the second disjunct so the
+                // unique-binding invariant survives until Rule 14 splits.
+                let mut taken = ctx.all_vars.clone();
+                let second = with(p2).rename_bound_avoiding(&mut taken, gen);
+                Some(Formula::exists(vs.clone(), Formula::or(with(p1), second)))
+            }
+            _ => None,
+        },
+        RuleId::R14ExistsOverOr => match node {
+            Formula::Exists(vs, body) => match &**body {
+                Formula::Or(f1, f2) => {
+                    let quantify = |f: &Formula| {
+                        let free = f.free_vars();
+                        let used: Vec<Var> =
+                            vs.iter().filter(|v| free.contains(v)).cloned().collect();
+                        if used.is_empty() {
+                            f.clone()
+                        } else {
+                            Formula::exists(used, f.clone())
+                        }
+                    };
+                    let left = quantify(f1);
+                    let mut taken = ctx.all_vars.clone();
+                    let right = quantify(f2).rename_bound_avoiding(&mut taken, gen);
+                    Some(Formula::or(left, right))
+                }
+                _ => None,
+            },
+            _ => None,
+        },
+    }
+}
+
+/// Shared body of Rules 10 and 11: distribute a conjunction over a
+/// disjunction under ∃, guarded by the side condition (†) plus the overlap
+/// guards that keep the system confluent with Rules 8/9 (the quantified
+/// variables must occur in both the disjunction and the other conjunct —
+/// otherwise Rules 8/9 already move one side out wholesale).
+fn distribute(
+    vs: &[Var],
+    d1: &Formula,
+    d2: &Formula,
+    other: &Formula,
+    or_on_left: bool,
+    ctx: &RuleCtx<'_>,
+    gen: &mut NameGen,
+) -> Option<Formula> {
+    let xs: BTreeSet<Var> = vs.iter().cloned().collect();
+    let or_free: BTreeSet<Var> = d1
+        .free_vars()
+        .union(&d2.free_vars())
+        .cloned()
+        .collect();
+    if xs.is_disjoint(&or_free) {
+        return None; // Rule 8/9 territory
+    }
+    if xs.is_disjoint(&other.free_vars()) {
+        return None; // Rule 8/9 territory
+    }
+    // Condition (†): some disjunct contains an atomic subformula in which
+    // none of the x̄ and none of the variables governed by some x̄ occur.
+    let mut blocked: BTreeSet<Var> = xs.clone();
+    blocked.extend(ctx.governing.governed_by_any(vs.iter()));
+    let has_free_atom = |f: &Formula| {
+        let mut found = false;
+        f.any_subformula(&mut |g| {
+            let vars = match g {
+                Formula::Atom(a) => a.vars(),
+                Formula::Compare(c) => c.vars(),
+                _ => return false,
+            };
+            if vars.is_disjoint(&blocked) {
+                found = true;
+                true
+            } else {
+                false
+            }
+        });
+        found
+    };
+    if !has_free_atom(d1) && !has_free_atom(d2) {
+        return None;
+    }
+    let branch = |d: &Formula| {
+        if or_on_left {
+            Formula::and(d.clone(), other.clone())
+        } else {
+            Formula::and(other.clone(), d.clone())
+        }
+    };
+    let left = Formula::exists(vs.to_vec(), branch(d1));
+    let mut taken = ctx.all_vars.clone();
+    let right =
+        Formula::exists(vs.to_vec(), branch(d2)).rename_bound_avoiding(&mut taken, gen);
+    Some(Formula::or(left, right))
+}

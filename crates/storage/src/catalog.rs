@@ -1,0 +1,194 @@
+//! The database catalog: a name → relation mapping.
+
+use crate::{Relation, Schema, StorageError, Tuple};
+use std::collections::BTreeMap;
+
+/// An in-memory database: a catalog of named user relations.
+///
+/// Relations are stored in a `BTreeMap` so iteration (EXPLAIN output, the
+/// `dom` view, dumps) is deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Register an empty relation with the given schema.
+    pub fn create_relation(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+    ) -> Result<(), StorageError> {
+        let name = name.into();
+        if self.relations.contains_key(&name) {
+            return Err(StorageError::RelationExists(name));
+        }
+        self.relations
+            .insert(name.clone(), Relation::new(name, schema));
+        Ok(())
+    }
+
+    /// Register a pre-built relation under its own name.
+    pub fn add_relation(&mut self, relation: Relation) -> Result<(), StorageError> {
+        let name = relation.name().to_string();
+        if self.relations.contains_key(&name) {
+            return Err(StorageError::RelationExists(name));
+        }
+        self.relations.insert(name, relation);
+        Ok(())
+    }
+
+    /// Register or overwrite a relation under its own name (used for
+    /// refreshing materialized views like the `dom` relation).
+    pub fn replace_relation(&mut self, relation: Relation) {
+        self.relations
+            .insert(relation.name().to_string(), relation);
+    }
+
+    /// Insert a tuple into a named relation.
+    pub fn insert(&mut self, relation: &str, t: Tuple) -> Result<bool, StorageError> {
+        self.relations
+            .get_mut(relation)
+            .ok_or_else(|| StorageError::UnknownRelation(relation.to_string()))?
+            .insert(t)
+    }
+
+    /// Remove a tuple from a named relation. Returns whether it was
+    /// present.
+    pub fn remove(&mut self, relation: &str, t: &Tuple) -> Result<bool, StorageError> {
+        Ok(self
+            .relations
+            .get_mut(relation)
+            .ok_or_else(|| StorageError::UnknownRelation(relation.to_string()))?
+            .remove(t))
+    }
+
+    /// Look up a relation.
+    pub fn relation(&self, name: &str) -> Result<&Relation, StorageError> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+    }
+
+    /// True iff the catalog knows this relation.
+    pub fn has_relation(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Iterate over all relations in name order.
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.relations.values()
+    }
+
+    /// All relation names in order.
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// Total number of stored tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// The *database domain* (Domain Closure Assumption, §2.1): the unary
+    /// relation of all values occurring anywhere in the database. The paper
+    /// uses this as the `dom` view when a negated variable has no explicit
+    /// range.
+    pub fn domain(&self) -> Relation {
+        let mut dom = Relation::intermediate(1);
+        for r in self.relations.values() {
+            for t in r.iter() {
+                for v in t.values() {
+                    let _ = dom.insert(Tuple::new(vec![v.clone()]));
+                }
+            }
+        }
+        dom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn create_insert_lookup() {
+        let mut db = Database::new();
+        db.create_relation("student", Schema::new(vec!["name"]).unwrap())
+            .unwrap();
+        db.insert("student", tuple!["anna"]).unwrap();
+        assert_eq!(db.relation("student").unwrap().len(), 1);
+        assert!(db.has_relation("student"));
+        assert!(!db.has_relation("prof"));
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let mut db = Database::new();
+        db.create_relation("r", Schema::anonymous(1)).unwrap();
+        assert!(matches!(
+            db.create_relation("r", Schema::anonymous(2)),
+            Err(StorageError::RelationExists(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let mut db = Database::new();
+        assert!(matches!(
+            db.insert("ghost", tuple![1]),
+            Err(StorageError::UnknownRelation(_))
+        ));
+        assert!(db.relation("ghost").is_err());
+    }
+
+    #[test]
+    fn replace_relation_overwrites() {
+        let mut db = Database::new();
+        db.create_relation("r", Schema::anonymous(1)).unwrap();
+        db.insert("r", tuple![1]).unwrap();
+        let mut fresh = Relation::new("r", Schema::anonymous(1));
+        fresh.insert(tuple![2]).unwrap();
+        db.replace_relation(fresh);
+        assert!(db.relation("r").unwrap().contains(&tuple![2]));
+        assert!(!db.relation("r").unwrap().contains(&tuple![1]));
+    }
+
+    #[test]
+    fn remove_through_catalog() {
+        let mut db = Database::new();
+        db.create_relation("p", Schema::anonymous(1)).unwrap();
+        db.insert("p", tuple![1]).unwrap();
+        assert!(db.remove("p", &tuple![1]).unwrap());
+        assert!(!db.remove("p", &tuple![1]).unwrap());
+        assert!(db.remove("ghost", &tuple![1]).is_err());
+    }
+
+    #[test]
+    fn domain_collects_all_values() {
+        let mut db = Database::new();
+        db.create_relation("p", Schema::anonymous(2)).unwrap();
+        db.insert("p", tuple!["a", 1]).unwrap();
+        db.insert("p", tuple!["b", 1]).unwrap();
+        let dom = db.domain();
+        assert_eq!(dom.len(), 3); // a, b, 1
+        assert!(dom.contains(&tuple![1]));
+    }
+
+    #[test]
+    fn total_tuples_sums() {
+        let mut db = Database::new();
+        db.create_relation("p", Schema::anonymous(1)).unwrap();
+        db.create_relation("q", Schema::anonymous(1)).unwrap();
+        db.insert("p", tuple![1]).unwrap();
+        db.insert("q", tuple![2]).unwrap();
+        db.insert("q", tuple![3]).unwrap();
+        assert_eq!(db.total_tuples(), 3);
+    }
+}

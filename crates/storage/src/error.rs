@@ -1,0 +1,81 @@
+//! Storage-layer errors.
+
+use std::fmt;
+
+/// Errors raised by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A tuple's arity does not match the relation schema.
+    ArityMismatch {
+        /// Relation the insert targeted.
+        relation: String,
+        /// Arity required by the schema.
+        expected: usize,
+        /// Arity of the offending tuple.
+        actual: usize,
+    },
+    /// A user relation may not contain the internal markers `∅`/`⊥`.
+    InternalMarkerInUserRelation {
+        /// Relation the insert targeted.
+        relation: String,
+    },
+    /// Schema declared the same attribute name twice.
+    DuplicateAttribute(String),
+    /// Lookup of an unknown relation in the catalog.
+    UnknownRelation(String),
+    /// A relation with this name already exists in the catalog.
+    RelationExists(String),
+    /// An attribute position is out of range for the schema.
+    PositionOutOfRange {
+        /// 0-based position requested.
+        position: usize,
+        /// Arity of the relation.
+        arity: usize,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "arity mismatch inserting into `{relation}`: schema has {expected} attributes, tuple has {actual}"
+            ),
+            StorageError::InternalMarkerInUserRelation { relation } => write!(
+                f,
+                "internal markers ∅/⊥ are not allowed in user relation `{relation}`"
+            ),
+            StorageError::DuplicateAttribute(a) => {
+                write!(f, "duplicate attribute name `{a}` in schema")
+            }
+            StorageError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            StorageError::RelationExists(r) => write!(f, "relation `{r}` already exists"),
+            StorageError::PositionOutOfRange { position, arity } => write!(
+                f,
+                "attribute position {position} out of range for arity {arity}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_relation() {
+        let e = StorageError::ArityMismatch {
+            relation: "attends".into(),
+            expected: 2,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("attends"));
+        assert!(e.to_string().contains('2') && e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,292 @@
+//! Plain-text persistence for databases.
+//!
+//! A small line-oriented format so example databases and REPL sessions can
+//! be saved and reloaded without external dependencies:
+//!
+//! ```text
+//! # comment
+//! relation student(name)
+//! s"ann"
+//! s"bob"
+//! relation attends(student, lecture)
+//! s"ann"|s"db"
+//! relation ages(name, age)
+//! s"ann"|i23
+//! ```
+//!
+//! Each tuple line holds `|`-separated values: `i<digits>` for integers,
+//! `s"…"` for strings (with `\"`, `\\`, `\n`, `\|` escapes). Only user
+//! values are persisted — the internal `∅`/`⊥` markers never occur in user
+//! relations by construction.
+
+use crate::{Database, Schema, StorageError, Tuple, Value};
+use std::fmt::Write as _;
+
+/// Errors specific to the text format (wrapped with line numbers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistError {
+    /// 1-based line number of the offending input line (0 for EOF).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Serialize a database to the text format.
+pub fn to_text(db: &Database) -> String {
+    let mut out = String::new();
+    for rel in db.relations() {
+        let attrs: Vec<&str> = rel.schema().attributes().collect();
+        writeln!(out, "relation {}({})", rel.name(), attrs.join(", ")).expect("string write");
+        for t in rel.sorted_tuples() {
+            let fields: Vec<String> = t.values().map(encode_value).collect();
+            writeln!(out, "{}", fields.join("|")).expect("string write");
+        }
+    }
+    out
+}
+
+/// Parse a database from the text format.
+pub fn from_text(text: &str) -> Result<Database, PersistError> {
+    let mut db = Database::new();
+    let mut current: Option<String> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("relation ") {
+            let (name, attrs) = parse_header(rest, lineno)?;
+            let schema = Schema::new(attrs).map_err(|e| PersistError {
+                line: lineno,
+                message: e.to_string(),
+            })?;
+            db.create_relation(&name, schema).map_err(|e| PersistError {
+                line: lineno,
+                message: e.to_string(),
+            })?;
+            current = Some(name);
+        } else {
+            let Some(name) = &current else {
+                return Err(PersistError {
+                    line: lineno,
+                    message: "tuple before any `relation` header".into(),
+                });
+            };
+            let tuple = parse_tuple(line, lineno)?;
+            db.insert(name, tuple).map_err(|e| PersistError {
+                line: lineno,
+                message: e.to_string(),
+            })?;
+        }
+    }
+    Ok(db)
+}
+
+/// Save to a file.
+pub fn save(db: &Database, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, to_text(db))
+}
+
+/// Load from a file.
+pub fn load(path: &std::path::Path) -> Result<Database, StorageError> {
+    let text = std::fs::read_to_string(path).map_err(|e| StorageError::UnknownRelation(
+        format!("cannot read {}: {e}", path.display()),
+    ))?;
+    from_text(&text).map_err(|e| StorageError::UnknownRelation(format!(
+        "malformed database file {}: {e}",
+        path.display()
+    )))
+}
+
+fn encode_value(v: &Value) -> String {
+    match v {
+        Value::Int(i) => format!("i{i}"),
+        Value::Str(s) => {
+            let mut out = String::with_capacity(s.len() + 4);
+            out.push_str("s\"");
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '|' => out.push_str("\\|"),
+                    other => out.push(other),
+                }
+            }
+            out.push('"');
+            out
+        }
+        Value::Null | Value::Matched => {
+            unreachable!("user relations never hold internal markers")
+        }
+    }
+}
+
+fn parse_header(rest: &str, line: usize) -> Result<(String, Vec<String>), PersistError> {
+    let err = |message: &str| PersistError {
+        line,
+        message: message.to_string(),
+    };
+    let open = rest.find('(').ok_or_else(|| err("expected `name(attrs…)`"))?;
+    if !rest.trim_end().ends_with(')') {
+        return Err(err("expected closing `)`"));
+    }
+    let name = rest[..open].trim().to_string();
+    if name.is_empty() {
+        return Err(err("empty relation name"));
+    }
+    let inner = rest.trim_end();
+    let inner = &inner[open + 1..inner.len() - 1];
+    let attrs: Vec<String> = if inner.trim().is_empty() {
+        vec![]
+    } else {
+        inner.split(',').map(|a| a.trim().to_string()).collect()
+    };
+    Ok((name, attrs))
+}
+
+fn parse_tuple(line: &str, lineno: usize) -> Result<Tuple, PersistError> {
+    let err = |message: String| PersistError {
+        line: lineno,
+        message,
+    };
+    let mut values = Vec::new();
+    let mut chars = line.chars().peekable();
+    loop {
+        match chars.next() {
+            Some('i') => {
+                let mut num = String::new();
+                if chars.peek() == Some(&'-') {
+                    num.push(chars.next().unwrap());
+                }
+                while chars.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    num.push(chars.next().unwrap());
+                }
+                let n: i64 = num
+                    .parse()
+                    .map_err(|_| err(format!("bad integer `{num}`")))?;
+                values.push(Value::Int(n));
+            }
+            Some('s') => {
+                if chars.next() != Some('"') {
+                    return Err(err("expected `\"` after `s`".into()));
+                }
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\\') => match chars.next() {
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            Some('n') => s.push('\n'),
+                            Some('|') => s.push('|'),
+                            other => {
+                                return Err(err(format!("bad escape `\\{other:?}`")));
+                            }
+                        },
+                        Some('"') => break,
+                        Some(c) => s.push(c),
+                        None => return Err(err("unterminated string".into())),
+                    }
+                }
+                values.push(Value::str(s));
+            }
+            other => {
+                return Err(err(format!("expected `i` or `s`, found {other:?}")));
+            }
+        }
+        match chars.next() {
+            None => break,
+            Some('|') => continue,
+            Some(c) => return Err(err(format!("expected `|` between values, found `{c}`"))),
+        }
+    }
+    Ok(Tuple::new(values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn sample() -> Database {
+        let mut db = Database::new();
+        db.create_relation("student", Schema::new(vec!["name"]).unwrap()).unwrap();
+        db.create_relation("ages", Schema::new(vec!["name", "age"]).unwrap()).unwrap();
+        db.insert("student", tuple!["ann"]).unwrap();
+        db.insert("student", tuple!["bob"]).unwrap();
+        db.insert("ages", tuple!["ann", 23]).unwrap();
+        db.insert("ages", tuple!["bob", -5]).unwrap();
+        db
+    }
+
+    fn dbs_equal(a: &Database, b: &Database) -> bool {
+        let names_a: Vec<&str> = a.relation_names().collect();
+        let names_b: Vec<&str> = b.relation_names().collect();
+        names_a == names_b
+            && names_a.iter().all(|n| {
+                let ra = a.relation(n).unwrap();
+                let rb = b.relation(n).unwrap();
+                ra.set_eq(rb)
+                    && ra.schema() == rb.schema()
+            })
+    }
+
+    #[test]
+    fn round_trip() {
+        let db = sample();
+        let text = to_text(&db);
+        let back = from_text(&text).unwrap();
+        assert!(dbs_equal(&db, &back), "round trip failed:\n{text}");
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let mut db = Database::new();
+        db.create_relation("weird", Schema::anonymous(1)).unwrap();
+        for s in ["a|b", "quote\"inside", "back\\slash", "new\nline", ""] {
+            db.insert("weird", tuple![s]).unwrap();
+        }
+        let back = from_text(&to_text(&db)).unwrap();
+        assert!(dbs_equal(&db, &back));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\n\nrelation p(a)\ni1\n# middle\ni2\n";
+        let db = from_text(text).unwrap();
+        assert_eq!(db.relation("p").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = from_text("i1\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = from_text("relation p(a)\nx9\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = from_text("relation p(a)\ni1|i2\n").unwrap_err();
+        assert_eq!(e.line, 2); // arity mismatch
+        let e = from_text("relation p(a\n").unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let db = sample();
+        let dir = std::env::temp_dir().join("gq_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.gq");
+        save(&db, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert!(dbs_equal(&db, &back));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,315 @@
+//! Relations: named sets of tuples.
+
+use crate::{Schema, StorageError, Tuple, Value};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A relation: a *set* of tuples over a schema.
+///
+/// The paper works in the pure (set-semantics) relational model, so
+/// duplicate inserts are ignored. Tuples are additionally kept in insertion
+/// order, which makes scans deterministic — important for reproducible
+/// benchmarks and for the exact-table tests of Figures 2–4.
+///
+/// A relation is either a *user* relation (created by [`Relation::new`];
+/// the internal outer-join markers `∅`/`⊥` are rejected at insert, per the
+/// paper: "not available in the user language") or an *intermediate* result
+/// (created by [`Relation::intermediate`]; markers allowed).
+#[derive(Clone, Debug)]
+pub struct Relation {
+    name: String,
+    schema: Schema,
+    rows: Vec<Tuple>,
+    seen: HashSet<Tuple>,
+    allow_markers: bool,
+}
+
+impl Relation {
+    /// Create an empty *user* relation.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Relation {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+            seen: HashSet::new(),
+            allow_markers: false,
+        }
+    }
+
+    /// Create an empty *intermediate* relation of the given arity; the
+    /// internal markers `∅`/`⊥` are permitted.
+    pub fn intermediate(arity: usize) -> Self {
+        Relation {
+            name: String::new(),
+            schema: Schema::anonymous(arity),
+            rows: Vec::new(),
+            seen: HashSet::new(),
+            allow_markers: true,
+        }
+    }
+
+    /// Create a user relation and bulk-load tuples, failing on the first
+    /// invalid tuple.
+    pub fn with_tuples(
+        name: impl Into<String>,
+        schema: Schema,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<Self, StorageError> {
+        let mut r = Relation::new(name, schema);
+        for t in tuples {
+            r.insert(t)?;
+        }
+        Ok(r)
+    }
+
+    /// Relation name (empty for intermediates).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// Number of (distinct) tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Insert a tuple. Returns `Ok(true)` if the tuple was new, `Ok(false)`
+    /// if it was already present (set semantics).
+    pub fn insert(&mut self, t: Tuple) -> Result<bool, StorageError> {
+        if t.arity() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                relation: self.name.clone(),
+                expected: self.schema.arity(),
+                actual: t.arity(),
+            });
+        }
+        if !self.allow_markers && !t.is_user_tuple() {
+            return Err(StorageError::InternalMarkerInUserRelation {
+                relation: self.name.clone(),
+            });
+        }
+        if self.seen.contains(&t) {
+            return Ok(false);
+        }
+        self.seen.insert(t.clone());
+        self.rows.push(t);
+        Ok(true)
+    }
+
+    /// Remove a tuple. Returns whether it was present.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        if self.seen.remove(t) {
+            let pos = self.rows.iter().position(|r| r == t).expect("seen implies stored");
+            self.rows.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove every tuple matching the predicate; returns how many were
+    /// removed.
+    pub fn remove_where(&mut self, mut pred: impl FnMut(&Tuple) -> bool) -> usize {
+        let before = self.rows.len();
+        self.rows.retain(|t| {
+            if pred(t) {
+                self.seen.remove(t);
+                false
+            } else {
+                true
+            }
+        });
+        before - self.rows.len()
+    }
+
+    /// Membership test (used by semi-joins and complement-joins when no
+    /// index is built).
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.seen.contains(t)
+    }
+
+    /// Iterate over tuples in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        self.rows.iter()
+    }
+
+    /// Tuples as a slice, insertion order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Tuples sorted lexicographically — canonical order for comparing
+    /// relations irrespective of construction order.
+    pub fn sorted_tuples(&self) -> Vec<Tuple> {
+        let mut v = self.rows.clone();
+        v.sort();
+        v
+    }
+
+    /// Set-equality with another relation (same arity and same tuples,
+    /// order-insensitive).
+    pub fn set_eq(&self, other: &Relation) -> bool {
+        self.arity() == other.arity() && self.seen == other.seen
+    }
+
+    /// Extract the values at `positions` from each tuple as join keys,
+    /// validating positions against the schema.
+    pub fn validate_positions(&self, positions: &[usize]) -> Result<(), StorageError> {
+        for &p in positions {
+            if p >= self.arity() {
+                return Err(StorageError::PositionOutOfRange {
+                    position: p,
+                    arity: self.arity(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.set_eq(other)
+    }
+}
+impl Eq for Relation {}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.name.is_empty() {
+            writeln!(f, "<intermediate>{}", self.schema)?;
+        } else {
+            writeln!(f, "{}{}", self.name, self.schema)?;
+        }
+        for t in self.sorted_tuples() {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a Tuple;
+    type IntoIter = std::slice::Iter<'a, Tuple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.iter()
+    }
+}
+
+/// Build an intermediate unary relation from values — convenient in tests.
+pub fn unary(values: impl IntoIterator<Item = Value>) -> Relation {
+    let mut r = Relation::intermediate(1);
+    for v in values {
+        r.insert(Tuple::new(vec![v])).expect("arity 1");
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn rel2(name: &str) -> Relation {
+        Relation::new(name, Schema::new(vec!["a", "b"]).unwrap())
+    }
+
+    #[test]
+    fn set_semantics_dedup() {
+        let mut r = rel2("r");
+        assert!(r.insert(tuple!["x", 1]).unwrap());
+        assert!(!r.insert(tuple!["x", 1]).unwrap());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn arity_checked_on_insert() {
+        let mut r = rel2("r");
+        let e = r.insert(tuple!["x"]).unwrap_err();
+        assert!(matches!(e, StorageError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn user_relations_reject_markers() {
+        let mut r = rel2("r");
+        let t = tuple!["x"].extended_with(Value::Null);
+        assert!(matches!(
+            r.insert(t),
+            Err(StorageError::InternalMarkerInUserRelation { .. })
+        ));
+    }
+
+    #[test]
+    fn intermediates_accept_markers() {
+        let mut r = Relation::intermediate(2);
+        r.insert(tuple!["x"].extended_with(Value::Matched)).unwrap();
+        r.insert(tuple!["y"].extended_with(Value::Null)).unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn set_eq_ignores_order() {
+        let mut r1 = rel2("r");
+        r1.insert(tuple!["x", 1]).unwrap();
+        r1.insert(tuple!["y", 2]).unwrap();
+        let mut r2 = rel2("s");
+        r2.insert(tuple!["y", 2]).unwrap();
+        r2.insert(tuple!["x", 1]).unwrap();
+        assert!(r1.set_eq(&r2));
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn remove_and_remove_where() {
+        let mut r = rel2("r");
+        r.insert(tuple!["x", 1]).unwrap();
+        r.insert(tuple!["y", 2]).unwrap();
+        r.insert(tuple!["z", 3]).unwrap();
+        assert!(r.remove(&tuple!["y", 2]));
+        assert!(!r.remove(&tuple!["y", 2]));
+        assert_eq!(r.len(), 2);
+        assert!(!r.contains(&tuple!["y", 2]));
+        let removed = r.remove_where(|t| t[1] >= 3.into());
+        assert_eq!(removed, 1);
+        assert_eq!(r.len(), 1);
+        // reinsert after remove works (seen stayed consistent)
+        assert!(r.insert(tuple!["y", 2]).unwrap());
+    }
+
+    #[test]
+    fn contains_and_iter() {
+        let mut r = rel2("r");
+        r.insert(tuple!["x", 1]).unwrap();
+        assert!(r.contains(&tuple!["x", 1]));
+        assert!(!r.contains(&tuple!["x", 2]));
+        assert_eq!(r.iter().count(), 1);
+    }
+
+    #[test]
+    fn position_validation() {
+        let r = rel2("r");
+        assert!(r.validate_positions(&[0, 1]).is_ok());
+        assert!(r.validate_positions(&[2]).is_err());
+    }
+
+    #[test]
+    fn unary_helper() {
+        let r = unary(vec![Value::str("a"), Value::str("b"), Value::str("a")]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.arity(), 1);
+    }
+}

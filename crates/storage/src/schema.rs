@@ -1,0 +1,88 @@
+//! Relation schemas: named attributes over positional storage.
+
+use crate::StorageError;
+use std::fmt;
+
+/// A relation schema: an ordered list of attribute names.
+///
+/// The paper's algebra is positional; names exist for the catalog, the
+/// calculus-to-algebra position resolution, and for readable EXPLAIN output.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Schema {
+    attributes: Vec<String>,
+}
+
+impl Schema {
+    /// Build a schema from attribute names. Names must be unique.
+    pub fn new<S: Into<String>>(attributes: Vec<S>) -> Result<Self, StorageError> {
+        let attributes: Vec<String> = attributes.into_iter().map(Into::into).collect();
+        for (i, a) in attributes.iter().enumerate() {
+            if attributes[..i].contains(a) {
+                return Err(StorageError::DuplicateAttribute(a.clone()));
+            }
+        }
+        Ok(Schema { attributes })
+    }
+
+    /// An anonymous schema of the given arity with attributes `c0..c{n-1}`.
+    pub fn anonymous(arity: usize) -> Self {
+        Schema {
+            attributes: (0..arity).map(|i| format!("c{i}")).collect(),
+        }
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Attribute name at 0-based position `i`.
+    pub fn attribute(&self, i: usize) -> Option<&str> {
+        self.attributes.get(i).map(String::as_str)
+    }
+
+    /// All attribute names in order.
+    pub fn attributes(&self) -> impl Iterator<Item = &str> {
+        self.attributes.iter().map(String::as_str)
+    }
+
+    /// 0-based position of the named attribute.
+    pub fn position_of(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a == name)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({})", self.attributes.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_duplicate_attributes() {
+        assert!(matches!(
+            Schema::new(vec!["a", "b", "a"]),
+            Err(StorageError::DuplicateAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn position_lookup() {
+        let s = Schema::new(vec!["name", "dept"]).unwrap();
+        assert_eq!(s.position_of("dept"), Some(1));
+        assert_eq!(s.position_of("nope"), None);
+        assert_eq!(s.arity(), 2);
+    }
+
+    #[test]
+    fn anonymous_schema_names() {
+        let s = Schema::anonymous(3);
+        assert_eq!(s.attribute(0), Some("c0"));
+        assert_eq!(s.attribute(2), Some("c2"));
+        assert_eq!(s.to_string(), "(c0, c1, c2)");
+    }
+}

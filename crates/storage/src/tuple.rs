@@ -1,0 +1,166 @@
+//! Tuples (rows) of values.
+
+use crate::Value;
+use std::fmt;
+use std::ops::Index;
+
+/// An immutable row of values.
+///
+/// Attribute positions are 1-based in the paper (π₁, σ₂₌c); this type uses
+/// 0-based indexing like the rest of Rust — the translation layer resolves
+/// paper positions to 0-based offsets.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Tuple(Vec<Value>);
+
+impl Tuple {
+    /// Create a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple(values)
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True iff the tuple has no attributes (the 0-ary tuple `()`).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Value at 0-based position `i`, if in range.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.0.get(i)
+    }
+
+    /// Iterate over the values.
+    pub fn values(&self) -> std::slice::Iter<'_, Value> {
+        self.0.iter()
+    }
+
+    /// Borrow the underlying slice.
+    pub fn as_slice(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Consume into the underlying vector.
+    pub fn into_values(self) -> Vec<Value> {
+        self.0
+    }
+
+    /// Project onto the given 0-based positions (π in the paper).
+    ///
+    /// Panics if a position is out of range; the algebra layer validates
+    /// positions against schemas before evaluation.
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple(positions.iter().map(|&i| self.0[i].clone()).collect())
+    }
+
+    /// Concatenate two tuples (used by joins and products).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Tuple(v)
+    }
+
+    /// Append a single value (used by constrained outer-joins, which extend
+    /// the left operand by one marker column).
+    pub fn extended_with(&self, v: Value) -> Tuple {
+        let mut vals = self.0.clone();
+        vals.push(v);
+        Tuple(vals)
+    }
+
+    /// True iff every attribute is a user value (no `∅`/`⊥` markers).
+    pub fn is_user_tuple(&self) -> bool {
+        self.0.iter().all(Value::is_user_value)
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Self {
+        Tuple(v)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Tuple(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Convenience macro for building tuples in tests and examples:
+/// `tuple!["anna", 3]`.
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn project_selects_positions() {
+        let t = tuple!["a", 1, "b"];
+        assert_eq!(t.project(&[2, 0]), tuple!["b", "a"]);
+        assert_eq!(t.project(&[]), Tuple::new(vec![]));
+    }
+
+    #[test]
+    fn concat_appends() {
+        let t = tuple!["a"].concat(&tuple![1, 2]);
+        assert_eq!(t, tuple!["a", 1, 2]);
+        assert_eq!(t.arity(), 3);
+    }
+
+    #[test]
+    fn extended_with_marker() {
+        let t = tuple!["a"].extended_with(Value::Matched);
+        assert_eq!(t.arity(), 2);
+        assert!(t[1].is_matched());
+        assert!(!t.is_user_tuple());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        assert_eq!(tuple!["a", 1].to_string(), "(a,1)");
+        assert_eq!(Tuple::new(vec![]).to_string(), "()");
+    }
+
+    #[test]
+    fn indexing_and_get() {
+        let t = tuple![10, 20];
+        assert_eq!(t[1], Value::int(20));
+        assert_eq!(t.get(2), None);
+    }
+}

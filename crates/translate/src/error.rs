@@ -1,0 +1,60 @@
+//! Translation errors.
+
+use gq_calculus::RestrictionError;
+use std::fmt;
+
+/// Errors raised while translating calculus to algebra.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranslateError {
+    /// The query is not restricted (Definitions 2/3) — no range covers some
+    /// quantified or free variable.
+    Unrestricted(RestrictionError),
+    /// An atom references a relation missing from the catalog.
+    UnknownRelation(String),
+    /// An atom's arity differs from the stored relation's.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Stored arity.
+        expected: usize,
+        /// Atom arity.
+        actual: usize,
+    },
+    /// A subformula shape the translator does not support (reported rather
+    /// than silently mistranslated).
+    Unsupported {
+        /// What was being translated.
+        context: String,
+        /// Rendering of the subformula.
+        subformula: String,
+    },
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::Unrestricted(e) => write!(f, "query is not restricted: {e}"),
+            TranslateError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            TranslateError::ArityMismatch {
+                relation,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "atom over `{relation}` has arity {actual}, relation has {expected}"
+            ),
+            TranslateError::Unsupported {
+                context,
+                subformula,
+            } => write!(f, "unsupported shape while translating {context}: `{subformula}`"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+impl From<RestrictionError> for TranslateError {
+    fn from(e: RestrictionError) -> Self {
+        TranslateError::Unrestricted(e)
+    }
+}

@@ -1,0 +1,139 @@
+//! Column layouts: tracking which variable each column of an intermediate
+//! algebra expression holds.
+//!
+//! The paper's algebra is positional; the translator threads a [`Layout`]
+//! (column → variable) alongside every expression it builds, so joins,
+//! semi-joins and projections can be expressed by variable name and
+//! resolved to positions.
+
+use gq_calculus::Var;
+use std::fmt;
+
+/// The variables carried by the columns of an intermediate result, in
+/// column order. A variable may appear in several columns after a join;
+/// [`Layout::position_of`] returns the first.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Layout {
+    columns: Vec<Var>,
+}
+
+impl Layout {
+    /// Layout with the given columns.
+    pub fn new(columns: Vec<Var>) -> Self {
+        Layout { columns }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Column variables in order.
+    pub fn columns(&self) -> &[Var] {
+        &self.columns
+    }
+
+    /// First column holding `v`.
+    pub fn position_of(&self, v: &Var) -> Option<usize> {
+        self.columns.iter().position(|c| c == v)
+    }
+
+    /// Does the layout carry `v`?
+    pub fn contains(&self, v: &Var) -> bool {
+        self.position_of(v).is_some()
+    }
+
+    /// Do all of `vars` appear?
+    pub fn contains_all<'a>(&self, vars: impl IntoIterator<Item = &'a Var>) -> bool {
+        vars.into_iter().all(|v| self.contains(v))
+    }
+
+    /// Positions of `vars` (first occurrence each); `None` if any missing.
+    pub fn positions_of<'a>(
+        &self,
+        vars: impl IntoIterator<Item = &'a Var>,
+    ) -> Option<Vec<usize>> {
+        vars.into_iter().map(|v| self.position_of(v)).collect()
+    }
+
+    /// The layout after concatenating another layout's columns (join,
+    /// product).
+    pub fn concat(&self, other: &Layout) -> Layout {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.iter().cloned());
+        Layout { columns }
+    }
+
+    /// The layout after projecting onto `vars` in the given order.
+    pub fn project(&self, vars: &[Var]) -> Layout {
+        Layout {
+            columns: vars.to_vec(),
+        }
+    }
+
+    /// Equality pairs `(self_col, other_col)` over the variables shared by
+    /// two layouts (for natural joins).
+    pub fn shared_pairs(&self, other: &Layout) -> Vec<(usize, usize)> {
+        let mut pairs = Vec::new();
+        for (i, v) in self.columns.iter().enumerate() {
+            // first occurrence on our side only
+            if self.columns[..i].contains(v) {
+                continue;
+            }
+            if let Some(j) = other.position_of(v) {
+                pairs.push((i, j));
+            }
+        }
+        pairs
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Var {
+        Var::new(s)
+    }
+
+    #[test]
+    fn positions_and_membership() {
+        let l = Layout::new(vec![v("x"), v("y"), v("x")]);
+        assert_eq!(l.position_of(&v("x")), Some(0));
+        assert_eq!(l.position_of(&v("y")), Some(1));
+        assert!(l.contains(&v("y")));
+        assert!(!l.contains(&v("z")));
+        assert_eq!(l.positions_of([&v("y"), &v("x")]), Some(vec![1, 0]));
+        assert_eq!(l.positions_of([&v("z")]), None);
+    }
+
+    #[test]
+    fn shared_pairs_first_occurrence() {
+        let a = Layout::new(vec![v("x"), v("y")]);
+        let b = Layout::new(vec![v("y"), v("z"), v("x")]);
+        assert_eq!(a.shared_pairs(&b), vec![(0, 2), (1, 0)]);
+    }
+
+    #[test]
+    fn concat_and_project() {
+        let a = Layout::new(vec![v("x")]);
+        let b = Layout::new(vec![v("y")]);
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 2);
+        let p = c.project(&[v("y")]);
+        assert_eq!(p.columns(), &[v("y")]);
+    }
+}

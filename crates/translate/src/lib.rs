@@ -1,0 +1,32 @@
+//! # gq-translate — calculus → algebra translation (§3)
+//!
+//! Two translators from (canonical-form) calculus queries into the extended
+//! relational algebra of `gq-algebra`:
+//!
+//! * [`ImprovedTranslator`] — the paper's contribution: producer/filter
+//!   plans with complement-joins for negation (Definition 6,
+//!   Proposition 4), constrained outer-joins for disjunctive filters
+//!   (Definition 7, Proposition 5), non-emptiness tests for closed queries
+//!   (§3.2), and division only in the single unavoidable case
+//!   (Proposition 4 case 5);
+//! * [`ClassicalTranslator`] — the Codd-style baseline the paper improves
+//!   on: prenex form, a cartesian product of all variable ranges, DNF
+//!   matrix application, projections for ∃ and divisions for ∀.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classical;
+mod error;
+mod improved;
+mod layout;
+
+#[cfg(test)]
+mod equivalence_tests;
+#[cfg(test)]
+mod query_fuzz;
+
+pub use classical::ClassicalTranslator;
+pub use error::TranslateError;
+pub use improved::{DivisionMode, ImprovedTranslator};
+pub use layout::Layout;

@@ -1,0 +1,69 @@
+//! Quickstart: build a small database, ask quantified questions.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use gq_core::{QueryEngine, Strategy};
+use gq_storage::{tuple, Database, Schema};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Build a database.
+    let mut db = Database::new();
+    db.create_relation("student", Schema::new(vec!["name"])?)?;
+    db.create_relation("lecture", Schema::new(vec!["name", "dept"])?)?;
+    db.create_relation("attends", Schema::new(vec!["student", "lecture"])?)?;
+
+    for s in ["ann", "bob", "eve"] {
+        db.insert("student", tuple![s])?;
+    }
+    for (l, d) in [("db", "cs"), ("os", "cs"), ("alg", "math")] {
+        db.insert("lecture", tuple![l, d])?;
+    }
+    for (s, l) in [("ann", "db"), ("ann", "os"), ("bob", "db"), ("eve", "alg")] {
+        db.insert("attends", tuple![s, l])?;
+    }
+
+    let engine = QueryEngine::new(db);
+
+    // 2. An open query: who attends a cs lecture?
+    let result = engine.query("student(x) & (exists y. attends(x,y) & lecture(y,\"cs\"))")?;
+    println!("students attending a cs lecture:");
+    for t in result.answers.sorted_tuples() {
+        println!("  {t}");
+    }
+
+    // 3. A universally quantified query: who attends ALL cs lectures?
+    //    (The paper's division showcase — Proposition 4 case 5.)
+    let result = engine.query("student(x) & (forall y. lecture(y,\"cs\") -> attends(x,y))")?;
+    println!("\nstudents attending ALL cs lectures:");
+    for t in result.answers.sorted_tuples() {
+        println!("  {t}");
+    }
+
+    // 4. A closed (yes/no) query with negation: is there a student
+    //    attending no lecture at all?
+    let result = engine.query("exists x. student(x) & !(exists y. attends(x,y))")?;
+    println!("\nany student attending nothing? {}", result.is_true());
+
+    // 5. The same query under all three strategies, with operation counts.
+    println!("\nstrategy comparison (tuples read / comparisons):");
+    for strategy in Strategy::ALL {
+        let r = engine.query_with(
+            "student(x) & (forall y. lecture(y,\"cs\") -> attends(x,y))",
+            strategy,
+        )?;
+        println!(
+            "  {:<12} answers={} reads={} comparisons={}",
+            strategy.name(),
+            r.len(),
+            r.stats.base_tuples_read,
+            r.stats.comparisons,
+        );
+    }
+
+    // 6. EXPLAIN shows both processing phases of the paper.
+    println!(
+        "\n{}",
+        engine.explain("student(x) & (forall y. lecture(y,\"cs\") -> attends(x,y))")?
+    );
+    Ok(())
+}

@@ -1,0 +1,182 @@
+//! An interactive shell over the query engine.
+//!
+//! ```text
+//! cargo run --example repl
+//! gq> .relation student(name)
+//! gq> .insert student("ann")
+//! gq> .insert student("bob")
+//! gq> .relation attends(student, lecture)
+//! gq> .insert attends("ann", "db")
+//! gq> student(x) & !(exists y. attends(x,y))
+//! (bob)
+//! 1 answer (improved; reads=3 comparisons=3)
+//! gq> .explain exists x. student(x) & attends(x,"db")
+//! gq> .strategy nested-loop
+//! gq> .quit
+//! ```
+//!
+//! Commands: `.relation name(attr, …)`, `.insert name(value, …)`,
+//! `.relations`, `.view name <query>`, `.views`,
+//! `.strategy improved|classical|nested-loop`, `.explain <query>`,
+//! `.load-university <n>`, `.save <file>`, `.load <file>`, `.help`,
+//! `.quit`. Anything else is evaluated as a calculus query.
+
+use gq_core::{QueryEngine, Strategy};
+use gq_storage::{Database, Schema, Tuple, Value};
+use gq_workload::{university, UniversityScale};
+use std::io::{self, BufRead, Write};
+
+struct Repl {
+    engine: QueryEngine,
+    strategy: Strategy,
+}
+
+fn main() {
+    let mut repl = Repl {
+        engine: QueryEngine::new(Database::new()),
+        strategy: Strategy::Improved,
+    };
+    println!("general-queries REPL — .help for commands");
+    let stdin = io::stdin();
+    loop {
+        print!("gq> ");
+        io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ".quit" || line == ".exit" {
+            break;
+        }
+        if let Err(e) = repl.dispatch(line) {
+            println!("error: {e}");
+        }
+    }
+}
+
+impl Repl {
+    fn dispatch(&mut self, line: &str) -> Result<(), Box<dyn std::error::Error>> {
+        if let Some(rest) = line.strip_prefix(".relation ") {
+            let (name, attrs) = parse_signature(rest)?;
+            self.engine
+                .db_mut()
+                .create_relation(name, Schema::new(attrs)?)?;
+            println!("ok");
+        } else if let Some(rest) = line.strip_prefix(".insert ") {
+            let (name, values) = parse_signature(rest)?;
+            let tuple: Tuple = values.into_iter().map(parse_value).collect();
+            let fresh = self.engine.db_mut().insert(&name, tuple)?;
+            println!("{}", if fresh { "inserted" } else { "duplicate (ignored)" });
+        } else if let Some(rest) = line.strip_prefix(".view ") {
+            let rest = rest.trim();
+            let Some((name, query)) = rest.split_once(' ') else {
+                return Err("usage: .view name <query>".into());
+            };
+            self.engine.define_view(name, query.trim())?;
+            println!("view `{name}` defined");
+        } else if line == ".views" {
+            for v in self.engine.views().views() {
+                let params: Vec<&str> = v.params.iter().map(|p| p.name()).collect();
+                println!("{}({}) ≡ {}", v.name, params.join(", "), v.body);
+            }
+        } else if let Some(rest) = line.strip_prefix(".save ") {
+            gq_storage::save(self.engine.db(), std::path::Path::new(rest.trim()))?;
+            println!("saved");
+        } else if let Some(rest) = line.strip_prefix(".load ") {
+            let db = gq_storage::load(std::path::Path::new(rest.trim()))?;
+            println!("loaded {} tuples", db.total_tuples());
+            self.engine = QueryEngine::new(db);
+        } else if line == ".relations" {
+            for r in self.engine.db().relations() {
+                println!("{}{} — {} tuples", r.name(), r.schema(), r.len());
+            }
+        } else if let Some(rest) = line.strip_prefix(".strategy ") {
+            self.strategy = match rest.trim() {
+                "improved" => Strategy::Improved,
+                "classical" => Strategy::Classical,
+                "nested-loop" => Strategy::NestedLoop,
+                other => return Err(format!("unknown strategy `{other}`").into()),
+            };
+            println!("strategy: {}", self.strategy.name());
+        } else if let Some(rest) = line.strip_prefix(".explain ") {
+            println!("{}", self.engine.explain(rest)?);
+        } else if let Some(rest) = line.strip_prefix(".load-university") {
+            let n: usize = rest.trim().parse().unwrap_or(100);
+            self.engine = QueryEngine::new(university(&UniversityScale::of_size(n)));
+            println!(
+                "loaded university with {} students ({} tuples)",
+                n,
+                self.engine.db().total_tuples()
+            );
+        } else if line == ".help" {
+            println!(
+                ".relation name(attr, …)   create a relation\n\
+                 .view name <query>        define a view (usable as an atom)\n\
+                 .views                    list views\n\
+                 .save <file> / .load <file>  persist / restore the database\n\
+                 .insert name(value, …)    insert a tuple (strings quoted, ints bare)\n\
+                 .relations                list relations\n\
+                 .strategy s               improved | classical | nested-loop\n\
+                 .explain <query>          show both processing phases\n\
+                 .load-university <n>      load a generated database\n\
+                 .quit                     exit\n\
+                 anything else             evaluate as a calculus query"
+            );
+        } else if line.starts_with('.') {
+            return Err(format!("unknown command `{line}` (.help)").into());
+        } else {
+            let result = self.engine.query_with(line, self.strategy)?;
+            if result.vars.is_empty() {
+                println!("{}", result.is_true());
+            } else {
+                for t in result.answers.sorted_tuples() {
+                    println!("{t}");
+                }
+                println!(
+                    "{} answer{} ({}; reads={} comparisons={})",
+                    result.len(),
+                    if result.len() == 1 { "" } else { "s" },
+                    self.strategy.name(),
+                    result.stats.base_tuples_read,
+                    result.stats.comparisons,
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parse `name(a, b, c)` into the name and the comma-separated parts.
+fn parse_signature(text: &str) -> Result<(String, Vec<String>), Box<dyn std::error::Error>> {
+    let text = text.trim();
+    let open = text.find('(').ok_or("expected `name(…)`")?;
+    if !text.ends_with(')') {
+        return Err("expected closing `)`".into());
+    }
+    let name = text[..open].trim().to_string();
+    let inner = &text[open + 1..text.len() - 1];
+    let parts: Vec<String> = if inner.trim().is_empty() {
+        vec![]
+    } else {
+        inner.split(',').map(|s| s.trim().to_string()).collect()
+    };
+    Ok((name, parts))
+}
+
+/// `"quoted"` → string, digits → integer, bare word → string.
+fn parse_value(text: String) -> Value {
+    let t = text.trim();
+    if let Some(stripped) = t.strip_prefix('"').and_then(|s| s.strip_suffix('"')) {
+        Value::str(stripped)
+    } else if let Ok(n) = t.parse::<i64>() {
+        Value::Int(n)
+    } else {
+        Value::str(t)
+    }
+}

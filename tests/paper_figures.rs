@@ -1,0 +1,128 @@
+//! Integration reproduction of the paper's figures through the public API.
+//!
+//! * Figure 1 — the loop algorithms (closed ∃, closed ∀, open queries) via
+//!   the nested-loop strategy;
+//! * Figures 2–4 — the P/T/U outer-join example tables, both literally and
+//!   through the full engine on the disjunctive-filter queries Q₁ and Q₂
+//!   of §3.3.
+
+use gq_core::{QueryEngine, Strategy};
+use gq_storage::{tuple, Database, Schema};
+
+/// The exact database of Figure 2.
+fn fig2_engine() -> QueryEngine {
+    let mut db = Database::new();
+    for (name, vals) in [
+        ("p", vec!["a", "b", "c", "d"]),
+        ("t", vec!["a", "b", "e"]),
+        ("u", vec!["a", "c", "f"]),
+    ] {
+        db.create_relation(name, Schema::new(vec!["v"]).unwrap()).unwrap();
+        for v in vals {
+            db.insert(name, tuple![v]).unwrap();
+        }
+    }
+    QueryEngine::new(db)
+}
+
+/// Figure 1(a): closed existential query, all strategies agree.
+#[test]
+fn fig1a_closed_existential() {
+    let e = fig2_engine();
+    for s in Strategy::ALL {
+        assert!(e.query_with("exists x. p(x) & t(x)", s).unwrap().is_true());
+        assert!(!e
+            .query_with("exists x. p(x) & t(x) & u(x) & x != \"a\"", s)
+            .unwrap()
+            .is_true());
+    }
+}
+
+/// Figure 1(b): closed universal query.
+#[test]
+fn fig1b_closed_universal() {
+    let e = fig2_engine();
+    for s in Strategy::ALL {
+        // every t-element that is a p-element is... t contains e ∉ p
+        assert!(!e.query_with("forall x. t(x) -> p(x)", s).unwrap().is_true());
+        // every p∩t element is in t (trivially true)
+        assert!(e
+            .query_with("forall x. (p(x) & t(x)) -> t(x)", s)
+            .unwrap()
+            .is_true());
+    }
+}
+
+/// Figure 1(c): open quantified query.
+#[test]
+fn fig1c_open_query() {
+    let e = fig2_engine();
+    for s in Strategy::ALL {
+        let r = e.query_with("p(x) & (exists y. t(y) & x = y)", s).unwrap();
+        assert_eq!(
+            r.answers.sorted_tuples(),
+            vec![tuple!["a"], tuple!["b"]],
+            "strategy {}",
+            s.name()
+        );
+    }
+}
+
+/// §3.3 Q₁ over Figure 2's data: P(x) ∧ (T(x) ∨ U(x)) = {a,b,c}.
+#[test]
+fn fig3_q1_disjunctive_filter() {
+    let e = fig2_engine();
+    for s in Strategy::ALL {
+        let r = e.query_with("p(x) & (t(x) | u(x))", s).unwrap();
+        assert_eq!(
+            r.answers.sorted_tuples(),
+            vec![tuple!["a"], tuple!["b"], tuple!["c"]],
+            "strategy {}",
+            s.name()
+        );
+    }
+}
+
+/// §3.3/Figure 4 Q₂: P(x) ∧ (¬T(x) ∨ U(x)) = {a,c,d}.
+#[test]
+fn fig4_q2_negated_disjunct() {
+    let e = fig2_engine();
+    for s in Strategy::ALL {
+        let r = e.query_with("p(x) & (!t(x) | u(x))", s).unwrap();
+        assert_eq!(
+            r.answers.sorted_tuples(),
+            vec![tuple!["a"], tuple!["c"], tuple!["d"]],
+            "strategy {}",
+            s.name()
+        );
+    }
+}
+
+/// The improved plan for Q₁ uses constrained outer-joins — P is scanned
+/// once and no union of T and U is built (claim C4).
+#[test]
+fn fig3_q1_improved_plan_shape() {
+    let e = fig2_engine();
+    let r = e.query_with("p(x) & (t(x) | u(x))", Strategy::Improved).unwrap();
+    // p scanned once (4 tuples), t and u each materialized once (3+3+noise)
+    assert_eq!(r.stats.base_scans, 3, "each relation scanned exactly once");
+    assert_eq!(r.stats.base_tuples_read, 10);
+}
+
+/// Probe gating (claim C4c): tuples found in T are not probed against U.
+/// a,b ∈ T → only c,d probe U: 4 probes for T + 2 for U.
+#[test]
+fn fig3_q1_probe_gating() {
+    let e = fig2_engine();
+    let r = e.query_with("p(x) & (t(x) | u(x))", Strategy::Improved).unwrap();
+    assert_eq!(r.stats.probes, 6, "stats: {}", r.stats);
+}
+
+/// Figure 4's gating is inverted for the negated disjunct: only tuples IN
+/// T (failing ¬T) probe U — a,b probe, c,d do not.
+#[test]
+fn fig4_q2_probe_gating() {
+    let e = fig2_engine();
+    let r = e.query_with("p(x) & (!t(x) | u(x))", Strategy::Improved).unwrap();
+    assert_eq!(r.stats.probes, 6, "stats: {}", r.stats);
+}
