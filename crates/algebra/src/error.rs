@@ -40,7 +40,10 @@ impl fmt::Display for AlgebraError {
                 op,
                 position,
                 arity,
-            } => write!(f, "{op}: position {position} out of range for arity {arity}"),
+            } => write!(
+                f,
+                "{op}: position {position} out of range for arity {arity}"
+            ),
             AlgebraError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }

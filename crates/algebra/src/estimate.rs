@@ -22,10 +22,7 @@ const DISTINCT_GUESS: f64 = 10.0;
 /// Estimated output cardinality of a plan. Unknown relations estimate to 0.
 pub fn estimate(e: &AlgebraExpr, db: &Database) -> f64 {
     match e {
-        AlgebraExpr::Relation(name) => db
-            .relation(name)
-            .map(|r| r.len() as f64)
-            .unwrap_or(0.0),
+        AlgebraExpr::Relation(name) => db.relation(name).map(|r| r.len() as f64).unwrap_or(0.0),
         AlgebraExpr::Literal(r) => r.len() as f64,
         AlgebraExpr::Select { input, predicate } => {
             estimate(input, db) * predicate_selectivity(predicate)
@@ -116,7 +113,9 @@ mod tests {
     fn selection_shrinks() {
         let db = db();
         let scan = AlgebraExpr::relation("big");
-        let sel = scan.clone().select(Predicate::col_const(0, CompareOp::Eq, 3));
+        let sel = scan
+            .clone()
+            .select(Predicate::col_const(0, CompareOp::Eq, 3));
         assert!(estimate(&sel, &db) < estimate(&scan, &db));
     }
 
@@ -133,7 +132,9 @@ mod tests {
     fn semi_and_marker_joins_bounded_by_left() {
         let db = db();
         let left = AlgebraExpr::relation("big");
-        let semi = left.clone().semi_join(AlgebraExpr::relation("small"), vec![(0, 0)]);
+        let semi = left
+            .clone()
+            .semi_join(AlgebraExpr::relation("small"), vec![(0, 0)]);
         assert!(estimate(&semi, &db) <= estimate(&left, &db));
         let marked = AlgebraExpr::relation("big").constrained_outer_join(
             AlgebraExpr::relation("small"),

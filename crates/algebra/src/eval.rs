@@ -10,11 +10,13 @@
 //! claims (relations searched once, no unnecessary tuple accesses, no
 //! cartesian blow-up) can be checked by tests and reported by benches.
 
+use crate::profile::PlanProfiler;
 use crate::{AlgebraError, AlgebraExpr, ExecStats, IndexCache, Operand, Predicate};
 use gq_storage::{Database, Relation, Tuple, Value};
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
+use std::time::Instant;
 
 /// A boxed tuple stream.
 pub type TupleIter<'e> = Box<dyn Iterator<Item = Tuple> + 'e>;
@@ -190,6 +192,9 @@ pub struct Evaluator<'db> {
     index_cache: Option<&'db IndexCache>,
     /// Physical algorithm for the full equi-join.
     join_algorithm: JoinAlgorithm,
+    /// Per-node runtime attribution (EXPLAIN ANALYZE). `None` — the
+    /// common case — keeps the hot path free of snapshots and timers.
+    profiler: Option<Rc<PlanProfiler>>,
 }
 
 impl<'db> Evaluator<'db> {
@@ -201,12 +206,22 @@ impl<'db> Evaluator<'db> {
             memo: None,
             index_cache: None,
             join_algorithm: JoinAlgorithm::default(),
+            profiler: None,
         }
     }
 
     /// Select the physical equi-join algorithm.
     pub fn with_join_algorithm(mut self, algorithm: JoinAlgorithm) -> Self {
         self.join_algorithm = algorithm;
+        self
+    }
+
+    /// Attach a per-node profiler (see [`PlanProfiler`]): every stream
+    /// whose expression belongs to the profiled plan is wrapped so stats
+    /// deltas and wall time are attributed to that node. Without a
+    /// profiler the evaluator performs no timing syscalls.
+    pub fn with_profiler(mut self, profiler: Rc<PlanProfiler>) -> Self {
+        self.profiler = Some(profiler);
         self
     }
 
@@ -233,6 +248,7 @@ impl<'db> Evaluator<'db> {
             memo: Some(RefCell::new(HashMap::new())),
             index_cache: None,
             join_algorithm: JoinAlgorithm::default(),
+            profiler: None,
         }
     }
 
@@ -286,6 +302,12 @@ impl<'db> Evaluator<'db> {
                 let key = e.to_string();
                 if let Some(hit) = memo.borrow().get(&key) {
                     self.stats.borrow_mut().memo_hits += 1;
+                    // The subtree never streams: the hit is charged to the
+                    // consumer's window, and the node is annotated so the
+                    // zero-metric subtree is explicable in the trace.
+                    if let Some(p) = &self.profiler {
+                        p.annotate(e, "memo-hit");
+                    }
                     return Ok(hit.as_ref().clone());
                 }
                 Some(key)
@@ -303,7 +325,35 @@ impl<'db> Evaluator<'db> {
     /// Build a tuple stream for an expression. Validation of column
     /// references is assumed done (via [`arity_of`] from the public entry
     /// points).
+    ///
+    /// With a [`PlanProfiler`] attached (and `e` one of its nodes), the
+    /// stream construction and every subsequent pull are bracketed by
+    /// [`ExecStats`] snapshots and a monotonic timer, and the deltas are
+    /// attributed to `e` — inclusively, since child pulls happen inside
+    /// the parent's window; the profiler subtracts children out at
+    /// extraction. Without a profiler this is a single `match None` branch
+    /// on top of the raw stream: no clones, no `Instant::now()`.
     pub fn stream<'e>(&'e self, e: &'e AlgebraExpr) -> Result<TupleIter<'e>, AlgebraError> {
+        let profiler = match &self.profiler {
+            Some(p) if p.tracks(e) => Rc::clone(p),
+            _ => return self.stream_inner(e),
+        };
+        let before = self.stats.borrow().clone();
+        let start = Instant::now();
+        let built = self.stream_inner(e);
+        let setup_ns = start.elapsed().as_nanos() as u64;
+        let setup_delta = self.stats.borrow().diff(&before);
+        profiler.record(e, &setup_delta, setup_ns, 0);
+        Ok(Box::new(InstrumentedIter {
+            inner: built?,
+            node: e,
+            stats: Rc::clone(&self.stats),
+            profiler,
+        }))
+    }
+
+    /// The uninstrumented operator dispatch behind [`Evaluator::stream`].
+    fn stream_inner<'e>(&'e self, e: &'e AlgebraExpr) -> Result<TupleIter<'e>, AlgebraError> {
         self.stats.borrow_mut().operators_evaluated += 1;
         match e {
             AlgebraExpr::Relation(name) => {
@@ -367,10 +417,7 @@ impl<'db> Evaluator<'db> {
                 let stats = self.stats.clone();
                 Ok(Box::new(left.flat_map(move |l| {
                     stats.borrow_mut().comparisons += right_tuples.len();
-                    right_tuples
-                        .iter()
-                        .map(|r| l.concat(r))
-                        .collect::<Vec<_>>()
+                    right_tuples.iter().map(|r| l.concat(r)).collect::<Vec<_>>()
                 })))
             }
             AlgebraExpr::Join { left, right, on } => {
@@ -380,6 +427,9 @@ impl<'db> Evaluator<'db> {
                 // Cached-index fast path when the build side is a base
                 // relation scan.
                 if let (Some(cache), AlgebraExpr::Relation(name)) = (self.index_cache, &**right) {
+                    if let Some(p) = &self.profiler {
+                        p.annotate(right, "cached-index");
+                    }
                     let right_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
                     let stats = self.stats.clone();
                     let idx = cache
@@ -457,7 +507,9 @@ impl<'db> Evaluator<'db> {
                 let left = self.stream(left)?;
                 let right = self.stream(right)?;
                 let mut seen: HashSet<Tuple> = HashSet::new();
-                Ok(Box::new(left.chain(right).filter(move |t| seen.insert(t.clone()))))
+                Ok(Box::new(
+                    left.chain(right).filter(move |t| seen.insert(t.clone())),
+                ))
             }
             AlgebraExpr::Difference { left, right } => {
                 let right_tuples = self.materialize(right)?;
@@ -542,6 +594,9 @@ impl<'db> Evaluator<'db> {
     ) -> Result<ProbeSide, AlgebraError> {
         let right_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
         if let (Some(cache), AlgebraExpr::Relation(name)) = (self.index_cache, right) {
+            if let Some(p) = &self.profiler {
+                p.annotate(right, "cached-index");
+            }
             let stats = self.stats.clone();
             let idx = cache
                 .get_or_build(self.db, name, &right_cols, |len| {
@@ -571,8 +626,8 @@ impl<'db> Evaluator<'db> {
         let right_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
         let mut lt = self.materialize(left)?;
         let mut rt = self.materialize(right)?;
-        lt.sort_by(|a, b| key_of(a, &left_cols).cmp(&key_of(b, &left_cols)));
-        rt.sort_by(|a, b| key_of(a, &right_cols).cmp(&key_of(b, &right_cols)));
+        lt.sort_by_key(|t| key_of(t, &left_cols));
+        rt.sort_by_key(|t| key_of(t, &right_cols));
         // Charge the comparisons of both sort passes (n log n each).
         {
             let mut s = self.stats.borrow_mut();
@@ -625,12 +680,15 @@ impl<'db> Evaluator<'db> {
         let left_arity = arity_of(left, self.db)?;
         let match_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
         let right_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
-        let kept_cols: Vec<usize> =
-            (0..left_arity).filter(|c| !match_cols.contains(c)).collect();
+        let kept_cols: Vec<usize> = (0..left_arity)
+            .filter(|c| !match_cols.contains(c))
+            .collect();
 
         let right_tuples = self.materialize(right)?;
-        let divisor: HashSet<Vec<Value>> =
-            right_tuples.iter().map(|t| key_of(t, &right_cols)).collect();
+        let divisor: HashSet<Vec<Value>> = right_tuples
+            .iter()
+            .map(|t| key_of(t, &right_cols))
+            .collect();
 
         let left_tuples = self.materialize(left)?;
         let mut groups: HashMap<Tuple, HashSet<Vec<Value>>> = HashMap::new();
@@ -654,6 +712,30 @@ impl<'db> Evaluator<'db> {
             }
         }
         Ok(out)
+    }
+}
+
+/// A stream wrapper attributing each pull's stats delta and wall time to
+/// a profiled plan node (see [`Evaluator::with_profiler`]).
+struct InstrumentedIter<'e> {
+    inner: TupleIter<'e>,
+    node: &'e AlgebraExpr,
+    stats: Rc<RefCell<ExecStats>>,
+    profiler: Rc<PlanProfiler>,
+}
+
+impl Iterator for InstrumentedIter<'_> {
+    type Item = Tuple;
+
+    fn next(&mut self) -> Option<Tuple> {
+        let before = self.stats.borrow().clone();
+        let start = Instant::now();
+        let item = self.inner.next();
+        let ns = start.elapsed().as_nanos() as u64;
+        let delta = self.stats.borrow().diff(&before);
+        self.profiler
+            .record(self.node, &delta, ns, item.is_some() as u64);
+        item
     }
 }
 

@@ -13,7 +13,8 @@ fn fig2_db() -> Database {
         ("t", vec!["a", "b", "e"]),
         ("u", vec!["a", "c", "f"]),
     ] {
-        db.create_relation(name, Schema::new(vec!["v"]).unwrap()).unwrap();
+        db.create_relation(name, Schema::new(vec!["v"]).unwrap())
+            .unwrap();
         for v in vals {
             db.insert(name, tuple![v]).unwrap();
         }
@@ -134,11 +135,12 @@ fn complement_join_equals_conventional_plan() {
     let skill_db = AlgebraExpr::relation("skill")
         .select(Predicate::col_const(1, CompareOp::Eq, "db"))
         .project(vec![0]);
-    let improved =
-        AlgebraExpr::relation("member").complement_join(skill_db.clone(), vec![(0, 0)]);
+    let improved = AlgebraExpr::relation("member").complement_join(skill_db.clone(), vec![(0, 0)]);
     let conventional = AlgebraExpr::relation("member")
         .join(
-            AlgebraExpr::relation("member").project(vec![0]).difference(skill_db),
+            AlgebraExpr::relation("member")
+                .project(vec![0])
+                .difference(skill_db),
             vec![(0, 0)],
         )
         .project(vec![0, 1]);
@@ -191,7 +193,8 @@ fn division_by_empty_divisor_returns_all_keys() {
         .unwrap(),
     )
     .unwrap();
-    db.create_relation("lecture", Schema::new(vec!["l"]).unwrap()).unwrap();
+    db.create_relation("lecture", Schema::new(vec!["l"]).unwrap())
+        .unwrap();
     let ev = Evaluator::new(&db);
     let e = AlgebraExpr::relation("attends").divide(AlgebraExpr::relation("lecture"), vec![(1, 0)]);
     let r = ev.eval(&e).unwrap();
@@ -207,7 +210,13 @@ fn union_and_difference() {
         .unwrap();
     assert_eq!(
         sorted(&u),
-        vec![tuple!["a"], tuple!["b"], tuple!["c"], tuple!["e"], tuple!["f"]]
+        vec![
+            tuple!["a"],
+            tuple!["b"],
+            tuple!["c"],
+            tuple!["e"],
+            tuple!["f"]
+        ]
     );
     let d = ev
         .eval(&AlgebraExpr::relation("p").difference(AlgebraExpr::relation("t")))
@@ -331,7 +340,8 @@ fn figure4_negated_disjunct() {
 #[test]
 fn outer_join_with_empty_right_pads_nulls() {
     let mut db = fig2_db();
-    db.create_relation("empty2", Schema::new(vec!["a", "b"]).unwrap()).unwrap();
+    db.create_relation("empty2", Schema::new(vec!["a", "b"]).unwrap())
+        .unwrap();
     let ev = Evaluator::new(&db);
     let e =
         AlgebraExpr::relation("p").left_outer_join(AlgebraExpr::relation("empty2"), vec![(0, 0)]);
@@ -445,7 +455,8 @@ fn literal_relations_evaluate() {
 #[test]
 fn empty_division_dividend() {
     let mut db = Database::new();
-    db.create_relation("g", Schema::new(vec!["x", "z"]).unwrap()).unwrap();
+    db.create_relation("g", Schema::new(vec!["x", "z"]).unwrap())
+        .unwrap();
     db.add_relation(
         Relation::with_tuples("t", Schema::new(vec!["z"]).unwrap(), vec![tuple!["a"]]).unwrap(),
     )
@@ -463,7 +474,11 @@ fn division_multi_column_divisor() {
         Relation::with_tuples(
             "g",
             Schema::new(vec!["x", "a", "b"]).unwrap(),
-            vec![tuple!["k1", 1, 10], tuple!["k1", 2, 20], tuple!["k2", 1, 10]],
+            vec![
+                tuple!["k1", 1, 10],
+                tuple!["k1", 2, 20],
+                tuple!["k2", 1, 10],
+            ],
         )
         .unwrap(),
     )
@@ -561,7 +576,9 @@ fn group_count_basics() {
     let db = sample_db();
     let ev = Evaluator::new(&db);
     // count members per department
-    let e = AlgebraExpr::relation("member").project(vec![1, 0]).group_count(vec![0]);
+    let e = AlgebraExpr::relation("member")
+        .project(vec![1, 0])
+        .group_count(vec![0]);
     let r = ev.eval(&e).unwrap();
     assert_eq!(sorted(&r), vec![tuple!["cs", 2], tuple!["math", 1]]);
     // global count

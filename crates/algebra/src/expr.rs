@@ -162,9 +162,7 @@ impl Constraint {
 
     /// True iff the tuple satisfies every test.
     pub fn satisfied_by(&self, t: &gq_storage::Tuple) -> bool {
-        self.tests
-            .iter()
-            .all(|&(c, null)| t[c].is_null() == null)
+        self.tests.iter().all(|&(c, null)| t[c].is_null() == null)
     }
 
     /// True iff there are no tests.
@@ -483,7 +481,11 @@ impl AlgebraExpr {
 
     /// Number of operator nodes.
     pub fn node_count(&self) -> usize {
-        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
     }
 
     /// Does the plan contain a division operator? (Claim C3: the improved
@@ -506,10 +508,12 @@ impl AlgebraExpr {
         out
     }
 
-    fn render_into(&self, out: &mut String, depth: usize) {
-        use std::fmt::Write;
-        let pad = "  ".repeat(depth);
-        let line: String = match self {
+    /// One-line operator label (the node's line in [`render_tree`]
+    /// output, and the label of its profile entry in EXPLAIN ANALYZE).
+    ///
+    /// [`render_tree`]: AlgebraExpr::render_tree
+    pub fn label(&self) -> String {
+        match self {
             AlgebraExpr::Relation(n) => format!("scan {n}"),
             AlgebraExpr::Literal(r) => format!("literal ({} rows)", r.len()),
             AlgebraExpr::Select { predicate, .. } => format!("σ [{predicate}]"),
@@ -530,8 +534,13 @@ impl AlgebraExpr {
                     format!("⟖ᶜ marker-join on {on:?} gate {constraint}")
                 }
             }
-        };
-        writeln!(out, "{pad}{line}").expect("string write");
+        }
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        use std::fmt::Write;
+        let pad = "  ".repeat(depth);
+        writeln!(out, "{pad}{}", self.label()).expect("string write");
         for c in self.children() {
             c.render_into(out, depth + 1);
         }
@@ -649,17 +658,13 @@ mod tests {
 
     #[test]
     fn builder_and_display() {
-        let e = AlgebraExpr::relation("member")
-            .complement_join(
-                AlgebraExpr::relation("skill")
-                    .select(Predicate::col_const(1, CompareOp::Eq, "db"))
-                    .project(vec![0]),
-                vec![(0, 0)],
-            );
-        assert_eq!(
-            e.to_string(),
-            "(member ⊼[0=0] π[0](σ[#1=db](skill)))"
+        let e = AlgebraExpr::relation("member").complement_join(
+            AlgebraExpr::relation("skill")
+                .select(Predicate::col_const(1, CompareOp::Eq, "db"))
+                .project(vec![0]),
+            vec![(0, 0)],
         );
+        assert_eq!(e.to_string(), "(member ⊼[0=0] π[0](σ[#1=db](skill)))");
     }
 
     #[test]
@@ -703,7 +708,9 @@ mod tests {
 
     #[test]
     fn node_count() {
-        let e = AlgebraExpr::relation("a").select(Predicate::True).project(vec![0]);
+        let e = AlgebraExpr::relation("a")
+            .select(Predicate::True)
+            .project(vec![0]);
         assert_eq!(e.node_count(), 3);
     }
 }

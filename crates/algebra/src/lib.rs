@@ -25,6 +25,7 @@ mod eval;
 mod expr;
 mod index_cache;
 mod optimize;
+mod profile;
 mod stats;
 
 #[cfg(test)]
@@ -38,7 +39,8 @@ pub use boolean::BoolExpr;
 pub use error::AlgebraError;
 pub use estimate::estimate;
 pub use eval::{arity_of, eval_predicate, Evaluator, JoinAlgorithm, TupleIter};
-pub use index_cache::IndexCache;
 pub use expr::{AlgebraExpr, Constraint, JoinOn, Operand, Predicate};
+pub use index_cache::IndexCache;
 pub use optimize::optimize;
+pub use profile::PlanProfiler;
 pub use stats::ExecStats;

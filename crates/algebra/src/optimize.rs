@@ -118,10 +118,7 @@ fn rewrite_node(e: &AlgebraExpr) -> AlgebraExpr {
             predicate: inner_pred,
         } => AlgebraExpr::Select {
             input: inner.clone(),
-            predicate: Predicate::And(
-                Box::new(inner_pred.clone()),
-                Box::new(predicate.clone()),
-            ),
+            predicate: Predicate::And(Box::new(inner_pred.clone()), Box::new(predicate.clone())),
         },
         // σ[p](π[cols](e)) → π[cols](σ[p′](e)) with columns remapped
         AlgebraExpr::Project {
@@ -139,9 +136,7 @@ fn rewrite_node(e: &AlgebraExpr) -> AlgebraExpr {
         },
         // σ over × or ⋈: split the conjunction by side; turn cross-side
         // equalities over a product into join conditions.
-        AlgebraExpr::Product { left, right } => {
-            push_into_binary(predicate, left, right, None)
-        }
+        AlgebraExpr::Product { left, right } => push_into_binary(predicate, left, right, None),
         AlgebraExpr::Join { left, right, on } => {
             push_into_binary(predicate, left, right, Some(on.clone()))
         }
@@ -555,7 +550,9 @@ mod tests {
 
     #[test]
     fn projection_fusion() {
-        let e = AlgebraExpr::relation("r").project(vec![1, 0]).project(vec![1]);
+        let e = AlgebraExpr::relation("r")
+            .project(vec![1, 0])
+            .project(vec![1]);
         let o = optimize(&e);
         match &o {
             AlgebraExpr::Project { input, positions } => {

@@ -46,6 +46,31 @@ impl ExecStats {
         self.max_intermediate = self.max_intermediate.max(n);
     }
 
+    /// Counter deltas since `earlier` (which must be a snapshot of this
+    /// accumulator taken earlier, so every field is `>=` its counterpart).
+    ///
+    /// Used by per-node attribution: snapshot before and after pulling a
+    /// tuple through an operator, and the diff is the work that pull did.
+    /// `max_intermediate` is a high-water mark, not a sum, so the diff
+    /// keeps the current value when it grew and is zero otherwise.
+    pub fn diff(&self, earlier: &ExecStats) -> ExecStats {
+        ExecStats {
+            base_tuples_read: self.base_tuples_read - earlier.base_tuples_read,
+            base_scans: self.base_scans - earlier.base_scans,
+            comparisons: self.comparisons - earlier.comparisons,
+            probes: self.probes - earlier.probes,
+            tuples_emitted: self.tuples_emitted - earlier.tuples_emitted,
+            intermediate_tuples: self.intermediate_tuples - earlier.intermediate_tuples,
+            max_intermediate: if self.max_intermediate > earlier.max_intermediate {
+                self.max_intermediate
+            } else {
+                0
+            },
+            operators_evaluated: self.operators_evaluated - earlier.operators_evaluated,
+            memo_hits: self.memo_hits - earlier.memo_hits,
+        }
+    }
+
     /// Merge another stats record into this one (max fields use max).
     pub fn merge(&mut self, other: &ExecStats) {
         self.base_tuples_read += other.base_tuples_read;
@@ -64,7 +89,7 @@ impl fmt::Display for ExecStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "scans={} base_reads={} probes={} comparisons={} emitted={} intermediates={} max_intermediate={} memo_hits={}",
+            "scans={} base_reads={} probes={} comparisons={} emitted={} intermediates={} max_intermediate={} operators={} memo_hits={}",
             self.base_scans,
             self.base_tuples_read,
             self.probes,
@@ -72,6 +97,7 @@ impl fmt::Display for ExecStats {
             self.tuples_emitted,
             self.intermediate_tuples,
             self.max_intermediate,
+            self.operators_evaluated,
             self.memo_hits
         )
     }
@@ -112,8 +138,74 @@ mod tests {
     #[test]
     fn display_mentions_all_counters() {
         let s = ExecStats::new().to_string();
-        for key in ["scans", "probes", "comparisons", "max_intermediate"] {
+        for key in [
+            "scans",
+            "probes",
+            "comparisons",
+            "max_intermediate",
+            "operators",
+        ] {
             assert!(s.contains(key));
         }
+    }
+
+    #[test]
+    fn diff_subtracts_counters() {
+        let earlier = ExecStats {
+            base_tuples_read: 5,
+            base_scans: 1,
+            comparisons: 10,
+            probes: 2,
+            tuples_emitted: 3,
+            intermediate_tuples: 4,
+            max_intermediate: 4,
+            operators_evaluated: 2,
+            memo_hits: 0,
+        };
+        let mut later = earlier.clone();
+        later.base_tuples_read += 7;
+        later.comparisons += 20;
+        later.probes += 1;
+        later.operators_evaluated += 3;
+        later.memo_hits += 2;
+        let d = later.diff(&earlier);
+        assert_eq!(d.base_tuples_read, 7);
+        assert_eq!(d.base_scans, 0);
+        assert_eq!(d.comparisons, 20);
+        assert_eq!(d.probes, 1);
+        assert_eq!(d.operators_evaluated, 3);
+        assert_eq!(d.memo_hits, 2);
+        assert_eq!(d.max_intermediate, 0, "high-water mark did not move");
+    }
+
+    #[test]
+    fn diff_reports_new_high_water_mark() {
+        let earlier = ExecStats {
+            max_intermediate: 4,
+            ..ExecStats::new()
+        };
+        let later = ExecStats {
+            max_intermediate: 9,
+            ..earlier.clone()
+        };
+        assert_eq!(later.diff(&earlier).max_intermediate, 9);
+    }
+
+    #[test]
+    fn diff_then_merge_roundtrips() {
+        let earlier = ExecStats {
+            comparisons: 3,
+            probes: 1,
+            ..ExecStats::new()
+        };
+        let later = ExecStats {
+            comparisons: 8,
+            probes: 4,
+            tuples_emitted: 2,
+            ..ExecStats::new()
+        };
+        let mut rebuilt = earlier.clone();
+        rebuilt.merge(&later.diff(&earlier));
+        assert_eq!(rebuilt, later);
     }
 }

@@ -12,10 +12,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gq_algebra::Evaluator;
+use gq_bench::quel_all_d0_plan;
 use gq_calculus::parse;
 use gq_core::{EngineOptions, QueryEngine, Strategy};
 use gq_rewrite::canonicalize;
-use gq_bench::quel_all_d0_plan;
 use gq_translate::{DivisionMode, ImprovedTranslator};
 use gq_workload::{university, UniversityScale};
 
@@ -42,9 +42,11 @@ fn bench_division_modes(c: &mut Criterion) {
         // criticizes ("compute intermediate results — aggregates — that
         // are in principle not needed").
         let quel = quel_all_d0_plan();
-        group.bench_with_input(BenchmarkId::new("quel-counting", "forall"), &quel, |b, plan| {
-            b.iter(|| Evaluator::new(&db).eval(plan).unwrap().len())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("quel-counting", "forall"),
+            &quel,
+            |b, plan| b.iter(|| Evaluator::new(&db).eval(plan).unwrap().len()),
+        );
         group.finish();
     }
 }
@@ -107,14 +109,19 @@ fn bench_base_indexes(c: &mut Criterion) {
             ..EngineOptions::default()
         };
         // warm the cache outside the measurement
-        e.query_with_options(text, Strategy::Improved, options).unwrap();
-        group.bench_with_input(BenchmarkId::new(label, "neg-subquery"), &options, |b, options| {
-            b.iter(|| {
-                e.query_with_options(text, Strategy::Improved, *options)
-                    .unwrap()
-                    .len()
-            })
-        });
+        e.query_with_options(text, Strategy::Improved, options)
+            .unwrap();
+        group.bench_with_input(
+            BenchmarkId::new(label, "neg-subquery"),
+            &options,
+            |b, options| {
+                b.iter(|| {
+                    e.query_with_options(text, Strategy::Improved, *options)
+                        .unwrap()
+                        .len()
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -126,16 +133,23 @@ fn bench_join_algorithms(c: &mut Criterion) {
         .join(AlgebraExpr::relation("enrolled"), vec![(0, 0)])
         .project(vec![0, 1, 3]);
     let mut group = c.benchmark_group("ablation_join_algorithm");
-    for (label, algo) in [("hash", JoinAlgorithm::Hash), ("sort-merge", JoinAlgorithm::SortMerge)] {
-        group.bench_with_input(BenchmarkId::new(label, "attends⋈enrolled"), &algo, |b, algo| {
-            b.iter(|| {
-                Evaluator::new(&db)
-                    .with_join_algorithm(*algo)
-                    .eval(&plan)
-                    .unwrap()
-                    .len()
-            })
-        });
+    for (label, algo) in [
+        ("hash", JoinAlgorithm::Hash),
+        ("sort-merge", JoinAlgorithm::SortMerge),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new(label, "attends⋈enrolled"),
+            &algo,
+            |b, algo| {
+                b.iter(|| {
+                    Evaluator::new(&db)
+                        .with_join_algorithm(*algo)
+                        .eval(&plan)
+                        .unwrap()
+                        .len()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -16,11 +16,9 @@ fn bench_complement_join(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("improved", "⊼"), &db, |b, db| {
             b.iter(|| Evaluator::new(db).eval(&improved).unwrap().len())
         });
-        group.bench_with_input(
-            BenchmarkId::new("conventional", "⋈+−"),
-            &db,
-            |b, db| b.iter(|| Evaluator::new(db).eval(&conventional).unwrap().len()),
-        );
+        group.bench_with_input(BenchmarkId::new("conventional", "⋈+−"), &db, |b, db| {
+            b.iter(|| Evaluator::new(db).eval(&conventional).unwrap().len())
+        });
         group.finish();
     }
 }

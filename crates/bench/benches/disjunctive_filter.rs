@@ -36,12 +36,16 @@ fn bench_disjunctive(c: &mut Criterion) {
                 &db,
                 |b, db| b.iter(|| Evaluator::new(db).eval(&outer).unwrap().len()),
             );
-            group.bench_with_input(BenchmarkId::new("union-of-semijoins", "conv"), &db, |b, db| {
-                b.iter(|| Evaluator::new(db).eval(&union).unwrap().len())
-            });
-            group.bench_with_input(BenchmarkId::new("full-engine", "improved"), &text, |b, text| {
-                b.iter(|| engine.query(text).unwrap().len())
-            });
+            group.bench_with_input(
+                BenchmarkId::new("union-of-semijoins", "conv"),
+                &db,
+                |b, db| b.iter(|| Evaluator::new(db).eval(&union).unwrap().len()),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("full-engine", "improved"),
+                &text,
+                |b, text| b.iter(|| engine.query(text).unwrap().len()),
+            );
             group.finish();
         }
     }

@@ -21,7 +21,10 @@ fn bench_emptiness(c: &mut Criterion) {
         let db = university(&UniversityScale::of_size(n));
         let tr = ImprovedTranslator::new(&db);
         let mut group = c.benchmark_group(format!("emptiness/n={n}"));
-        for (label, text) in [("witness-rich", WITNESS_RICH), ("witness-rare", WITNESS_RARE)] {
+        for (label, text) in [
+            ("witness-rich", WITNESS_RICH),
+            ("witness-rare", WITNESS_RARE),
+        ] {
             let canonical = canonicalize(&parse(text).unwrap()).unwrap();
             let plan = tr.translate_closed(&canonical).unwrap();
             // Extract the tested expression for the full-materialization

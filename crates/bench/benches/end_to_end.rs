@@ -28,9 +28,7 @@ fn bench_end_to_end(c: &mut Criterion) {
                 group.bench_with_input(
                     BenchmarkId::new(*label, Strategy::Classical.name()),
                     text,
-                    |b, text| {
-                        b.iter(|| e.query_with(text, Strategy::Classical).unwrap().len())
-                    },
+                    |b, text| b.iter(|| e.query_with(text, Strategy::Classical).unwrap().len()),
                 );
             }
         }

@@ -29,7 +29,15 @@ fn bench_miniscope(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("q1-canonicalized", "nested-loop"),
             &db,
-            |b, db| b.iter(|| PipelineEvaluator::new(db).eval_open(&q1_canonical).unwrap().1.len()),
+            |b, db| {
+                b.iter(|| {
+                    PipelineEvaluator::new(db)
+                        .eval_open(&q1_canonical)
+                        .unwrap()
+                        .1
+                        .len()
+                })
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("q2-hand-miniscoped", "nested-loop"),

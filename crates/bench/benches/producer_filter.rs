@@ -12,9 +12,11 @@ use gq_workload::{university, UniversityScale};
 
 const Q1_COMPACT: &str = "exists x. ((student(x) & makes(x,\"PhD\")) | prof(x)) \
      & (speaks(x,\"lang0\") | speaks(x,\"lang1\"))";
-const Q2_DISTRIBUTED: &str = "(exists x1. ((student(x1) & makes(x1,\"PhD\")) | prof(x1)) & speaks(x1,\"lang0\")) \
+const Q2_DISTRIBUTED: &str =
+    "(exists x1. ((student(x1) & makes(x1,\"PhD\")) | prof(x1)) & speaks(x1,\"lang0\")) \
      | (exists x2. ((student(x2) & makes(x2,\"PhD\")) | prof(x2)) & speaks(x2,\"lang1\"))";
-const Q4_COMPACT: &str = "exists x. prof(x) & (member(x,\"d0\") | skill(x,\"math\")) & speaks(x,\"lang0\")";
+const Q4_COMPACT: &str =
+    "exists x. prof(x) & (member(x,\"d0\") | skill(x,\"math\")) & speaks(x,\"lang0\")";
 const Q5_DISTRIBUTED: &str = "(exists x1. prof(x1) & member(x1,\"d0\") & speaks(x1,\"lang0\")) \
      | (exists x2. prof(x2) & skill(x2,\"math\") & speaks(x2,\"lang0\"))";
 

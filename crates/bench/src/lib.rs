@@ -70,7 +70,9 @@ pub fn conventional_member_not_skill() -> AlgebraExpr {
         .project(vec![0]);
     AlgebraExpr::relation("member")
         .join(
-            AlgebraExpr::relation("member").project(vec![0]).difference(skill_db),
+            AlgebraExpr::relation("member")
+                .project(vec![0])
+                .difference(skill_db),
             vec![(0, 0)],
         )
         .project(vec![0, 1])
@@ -130,9 +132,11 @@ pub fn disjunctive_filter_text(n: usize) -> String {
 /// The §2.2 miniscope pair, prenex-style form (Q1) — stated as an *open*
 /// query so every student is examined (a closed ∃ would stop at the first
 /// witness and hide the redundant-evaluation effect the paper describes) …
-pub const MINISCOPE_Q1: &str = "student(x) & (forall y. lecture(y,\"d0\") -> attends(x,y) & !enrolled(x,\"d0\"))";
+pub const MINISCOPE_Q1: &str =
+    "student(x) & (forall y. lecture(y,\"d0\") -> attends(x,y) & !enrolled(x,\"d0\"))";
 /// … and miniscope form (Q2) over the generated schema.
-pub const MINISCOPE_Q2: &str = "student(x) & (forall y. lecture(y,\"d0\") -> attends(x,y)) & !enrolled(x,\"d0\")";
+pub const MINISCOPE_Q2: &str =
+    "student(x) & (forall y. lecture(y,\"d0\") -> attends(x,y)) & !enrolled(x,\"d0\")";
 
 /// The normalization corpus for the rewrite-system bench (E-REWR).
 pub const REWRITE_CORPUS: &[&str] = &[
@@ -168,12 +172,11 @@ pub fn quel_all_d0_plan() -> AlgebraExpr {
     let per_student = AlgebraExpr::relation("attends")
         .semi_join(d0, vec![(1, 0)])
         .group_count(vec![0]); // [student, k]
-    AlgebraExpr::relation("student")
-        .semi_join(
-            per_student
-                .product(total)
-                .select(Predicate::col_col(1, CompareOp::Eq, 2))
-                .project(vec![0]),
-            vec![(0, 0)],
-        )
+    AlgebraExpr::relation("student").semi_join(
+        per_student
+            .product(total)
+            .select(Predicate::col_col(1, CompareOp::Eq, 2))
+            .project(vec![0]),
+        vec![(0, 0)],
+    )
 }

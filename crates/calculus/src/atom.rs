@@ -29,7 +29,11 @@ impl Atom {
 
     /// The set of variables occurring in the atom.
     pub fn vars(&self) -> BTreeSet<Var> {
-        self.terms.iter().filter_map(Term::as_var).cloned().collect()
+        self.terms
+            .iter()
+            .filter_map(Term::as_var)
+            .cloned()
+            .collect()
     }
 
     /// True iff `v` occurs in the atom.
@@ -208,7 +212,10 @@ mod tests {
         assert!(!CompareOp::Ge.eval(&1, &2));
         assert!(CompareOp::Ne.eval(&1, &2));
         // negated op evaluates to the complement
-        assert_eq!(CompareOp::Le.eval(&2, &2), !CompareOp::Le.negated().eval(&2, &2));
+        assert_eq!(
+            CompareOp::Le.eval(&2, &2),
+            !CompareOp::Le.negated().eval(&2, &2)
+        );
     }
 
     #[test]

@@ -221,7 +221,10 @@ mod tests {
     fn quantifier_counting() {
         let f = Formula::exists1(
             "x",
-            Formula::and(p("x"), Formula::forall1("y", Formula::implies(p("y"), p("y")))),
+            Formula::and(
+                p("x"),
+                Formula::forall1("y", Formula::implies(p("y"), p("y"))),
+            ),
         );
         assert_eq!(f.quantifier_count(), 2);
         assert_eq!(f.universal_count(), 1);

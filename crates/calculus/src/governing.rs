@@ -326,7 +326,13 @@ mod tests {
         // z2 is not an immediate child of x's block (z1 intervenes), and
         // x does not govern z1, so x must not govern z2 transitively either.
         assert!(!g.governs(&v("x"), &v("z2")));
-        let governed = g.governed_by_any([&v("x"), &v("z1")].into_iter().cloned().collect::<Vec<_>>().iter());
+        let governed = g.governed_by_any(
+            [&v("x"), &v("z1")]
+                .into_iter()
+                .cloned()
+                .collect::<Vec<_>>()
+                .iter(),
+        );
         assert!(governed.contains(&v("y")));
         assert!(governed.contains(&v("z2")));
     }

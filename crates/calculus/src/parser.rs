@@ -226,12 +226,22 @@ fn lex_int(chars: &[char]) -> (i64, usize) {
     if neg {
         j = 1;
     }
+    // Accumulate negatively: i64::MIN's magnitude overflows i64 but its
+    // negation does not. Out-of-range literals saturate.
     let mut n: i64 = 0;
     while j < chars.len() && chars[j].is_ascii_digit() {
-        n = n * 10 + (chars[j] as i64 - '0' as i64);
+        let d = chars[j] as i64 - '0' as i64;
+        n = n.saturating_mul(10).saturating_sub(d);
         j += 1;
     }
-    (if neg { -n } else { n }, j)
+    (
+        if neg {
+            n
+        } else {
+            n.checked_neg().unwrap_or(i64::MAX)
+        },
+        j,
+    )
 }
 
 struct Parser {

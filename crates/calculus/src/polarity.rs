@@ -32,11 +32,7 @@ impl Polarity {
 impl Formula {
     /// Visit every subformula together with its polarity (preorder; the
     /// whole formula is visited with `start` polarity).
-    pub fn for_each_with_polarity(
-        &self,
-        start: Polarity,
-        f: &mut impl FnMut(&Formula, Polarity),
-    ) {
+    pub fn for_each_with_polarity(&self, start: Polarity, f: &mut impl FnMut(&Formula, Polarity)) {
         f(self, start);
         match self {
             Formula::Atom(_) | Formula::Compare(_) => {}

@@ -128,10 +128,7 @@ mod tests {
 
     #[test]
     fn quantifier_blocks() {
-        let f = Formula::exists(
-            vec!["x".into(), "y".into()],
-            Formula::and(p("x"), q("y")),
-        );
+        let f = Formula::exists(vec!["x".into(), "y".into()], Formula::and(p("x"), q("y")));
         assert_eq!(f.to_string(), "∃x,y (p(x) ∧ q(y))");
     }
 

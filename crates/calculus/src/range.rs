@@ -248,7 +248,10 @@ mod tests {
     #[test]
     fn existential_projection_condition5() {
         // ∃yz p(x,y,z) is a range for x
-        let f = Formula::exists(vec![Var::new("y"), Var::new("z")], at("p", &["x", "y", "z"]));
+        let f = Formula::exists(
+            vec![Var::new("y"), Var::new("z")],
+            at("p", &["x", "y", "z"]),
+        );
         assert!(is_range_for(&f, &vs(&["x"]), &vs(&[])));
         assert!(!is_range_for(&f, &vs(&["x", "y"]), &vs(&[])));
     }

@@ -60,16 +60,16 @@ fn arb_formula() -> impl Strategy<Value = Formula> {
             inner.clone().prop_map(Formula::not),
             (arb_var(), inner.clone()).prop_map(|(v, f)| Formula::exists1(v, f)),
             (arb_var(), inner.clone()).prop_map(|(v, f)| Formula::forall1(v, f)),
-            (arb_var(), arb_var(), inner).prop_filter_map(
-                "distinct block vars",
-                |(a, b, f)| {
-                    if a == b {
-                        None
-                    } else {
-                        Some(Formula::exists(vec![a.as_str().into(), b.as_str().into()], f))
-                    }
+            (arb_var(), arb_var(), inner).prop_filter_map("distinct block vars", |(a, b, f)| {
+                if a == b {
+                    None
+                } else {
+                    Some(Formula::exists(
+                        vec![a.as_str().into(), b.as_str().into()],
+                        f,
+                    ))
                 }
-            ),
+            }),
         ]
     })
 }

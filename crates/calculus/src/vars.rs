@@ -387,10 +387,7 @@ mod tests {
     #[test]
     fn standardize_apart_renames_rebinding() {
         // ∃x p(x) ∧ ∃x p(x): second block must get a fresh name
-        let f = Formula::and(
-            Formula::exists1("x", p("x")),
-            Formula::exists1("x", p("x")),
-        );
+        let f = Formula::and(Formula::exists1("x", p("x")), Formula::exists1("x", p("x")));
         let g = f.standardize_apart(&mut NameGen::new());
         let bound = g.bound_vars();
         assert_eq!(bound.len(), 2);
@@ -418,7 +415,10 @@ mod tests {
         let f = Formula::exists1("x", p("x"));
         let g = Formula::exists1("z", p("z"));
         assert!(f.alpha_eq(&g));
-        assert!(!f.alpha_eq(&Formula::exists1("z", Formula::atom("q", vec![Term::var("z")]))));
+        assert!(!f.alpha_eq(&Formula::exists1(
+            "z",
+            Formula::atom("q", vec![Term::var("z")])
+        )));
     }
 
     #[test]

@@ -69,11 +69,7 @@ impl ConstraintSet {
     }
 
     /// Check one constraint by name.
-    pub fn check(
-        &self,
-        name: &str,
-        engine: &QueryEngine,
-    ) -> Result<ConstraintReport, EngineError> {
+    pub fn check(&self, name: &str, engine: &QueryEngine) -> Result<ConstraintReport, EngineError> {
         let c = self
             .constraints
             .iter()
@@ -83,10 +79,7 @@ impl ConstraintSet {
     }
 
     /// Check every constraint; reports come back in registration order.
-    pub fn check_all(
-        &self,
-        engine: &QueryEngine,
-    ) -> Result<Vec<ConstraintReport>, EngineError> {
+    pub fn check_all(&self, engine: &QueryEngine) -> Result<Vec<ConstraintReport>, EngineError> {
         self.constraints
             .iter()
             .map(|c| check_one(c, engine))
@@ -146,9 +139,12 @@ mod tests {
 
     fn engine() -> QueryEngine {
         let mut db = Database::new();
-        db.create_relation("employee", Schema::new(vec!["name"]).unwrap()).unwrap();
-        db.create_relation("salary", Schema::new(vec!["name", "amount"]).unwrap()).unwrap();
-        db.create_relation("manager", Schema::new(vec!["name"]).unwrap()).unwrap();
+        db.create_relation("employee", Schema::new(vec!["name"]).unwrap())
+            .unwrap();
+        db.create_relation("salary", Schema::new(vec!["name", "amount"]).unwrap())
+            .unwrap();
+        db.create_relation("manager", Schema::new(vec!["name"]).unwrap())
+            .unwrap();
         for n in ["ann", "bob", "eve"] {
             db.insert("employee", tuple![n]).unwrap();
         }
@@ -164,8 +160,11 @@ mod tests {
     fn satisfied_constraint() {
         let e = engine();
         let mut cs = ConstraintSet::new();
-        cs.add("managers-are-employees", "forall x. manager(x) -> employee(x)")
-            .unwrap();
+        cs.add(
+            "managers-are-employees",
+            "forall x. manager(x) -> employee(x)",
+        )
+        .unwrap();
         let r = cs.check("managers-are-employees", &e).unwrap();
         assert!(r.satisfied);
         assert!(r.witnesses.is_none());
@@ -192,7 +191,8 @@ mod tests {
         let e = engine();
         let mut cs = ConstraintSet::new();
         cs.add("a", "forall x. manager(x) -> employee(x)").unwrap();
-        cs.add("b", "forall x. employee(x) -> exists a. salary(x,a)").unwrap();
+        cs.add("b", "forall x. employee(x) -> exists a. salary(x,a)")
+            .unwrap();
         let reports = cs.check_all(&e).unwrap();
         assert_eq!(reports.len(), 2);
         assert!(reports[0].satisfied && !reports[1].satisfied);
@@ -205,7 +205,8 @@ mod tests {
             cs.add("open", "employee(x)"),
             Err(EngineError::ConstraintNotClosed { .. })
         ));
-        cs.add("c", "forall x. !(manager(x) & !employee(x))").unwrap();
+        cs.add("c", "forall x. !(manager(x) & !employee(x))")
+            .unwrap();
         assert!(matches!(
             cs.add("c", "forall x. !manager(x)"),
             Err(EngineError::DuplicateConstraint(_))
@@ -221,8 +222,11 @@ mod tests {
         let e = engine();
         let mut cs = ConstraintSet::new();
         // "no manager earns 100" — violated by ann.
-        cs.add("no-rich-managers", "!(exists x. manager(x) & salary(x,100))")
-            .unwrap();
+        cs.add(
+            "no-rich-managers",
+            "!(exists x. manager(x) & salary(x,100))",
+        )
+        .unwrap();
         let r = cs.check("no-rich-managers", &e).unwrap();
         assert!(!r.satisfied);
         let (_, w) = r.witnesses.unwrap();

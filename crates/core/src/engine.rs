@@ -1,12 +1,15 @@
 //! The query engine: parse → normalize → translate → evaluate.
 
 use crate::EngineError;
-use gq_algebra::{Evaluator, ExecStats};
+use gq_algebra::{Evaluator, ExecStats, PlanProfiler};
 use gq_calculus::{parse, Formula, Var};
-use gq_pipeline::PipelineEvaluator;
-use gq_rewrite::canonicalize;
+use gq_obs::{QueryTrace, Registry, SpanGuard, TraceBuilder};
+use gq_pipeline::{LoopProfiler, PipelineEvaluator};
+use gq_rewrite::{canonicalize, canonicalize_traced};
 use gq_storage::{Database, Relation, Tuple};
-use gq_translate::{ClassicalTranslator, ImprovedTranslator};
+use gq_translate::{ClassicalTranslator, ImprovedTranslator, PlanShape};
+use std::rc::Rc;
+use std::time::Instant;
 
 /// The evaluation strategy for a query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -26,7 +29,11 @@ pub enum Strategy {
 
 impl Strategy {
     /// All strategies, for sweeps.
-    pub const ALL: [Strategy; 3] = [Strategy::Improved, Strategy::Classical, Strategy::NestedLoop];
+    pub const ALL: [Strategy; 3] = [
+        Strategy::Improved,
+        Strategy::Classical,
+        Strategy::NestedLoop,
+    ];
 
     /// Short display name.
     pub fn name(self) -> &'static str {
@@ -95,6 +102,7 @@ pub struct QueryEngine {
     db: Database,
     index_cache: gq_algebra::IndexCache,
     views: crate::views::ViewRegistry,
+    metrics: Registry,
 }
 
 impl QueryEngine {
@@ -104,7 +112,16 @@ impl QueryEngine {
             db,
             index_cache: gq_algebra::IndexCache::new(),
             views: crate::views::ViewRegistry::new(),
+            metrics: Registry::new(),
         }
+    }
+
+    /// The engine-lifetime metrics registry: per-strategy query counts and
+    /// latency histograms, recorded only while enabled
+    /// ([`Registry::enable`]). Disabled (the default), query evaluation
+    /// performs one relaxed atomic load and no timing syscalls.
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
     }
 
     /// Define a view: a named open query usable as an atom in later
@@ -183,6 +200,93 @@ impl QueryEngine {
         strategy: Strategy,
         options: EngineOptions,
     ) -> Result<QueryResult, EngineError> {
+        self.run(formula, strategy, options, None)
+    }
+
+    /// Parse, execute, and trace a query with the default strategy: the
+    /// result plus a [`QueryTrace`] with phase spans, rewrite/plan-shape
+    /// counters, and the annotated per-node plan tree.
+    pub fn analyze(&self, text: &str) -> Result<(QueryResult, QueryTrace), EngineError> {
+        self.analyze_with_options(text, Strategy::Improved, EngineOptions::default())
+    }
+
+    /// [`QueryEngine::analyze`] with explicit strategy and options.
+    pub fn analyze_with_options(
+        &self,
+        text: &str,
+        strategy: Strategy,
+        options: EngineOptions,
+    ) -> Result<(QueryResult, QueryTrace), EngineError> {
+        let tb = TraceBuilder::new();
+        let parsed = {
+            let _span = tb.span("parse");
+            parse(text)
+        };
+        let result = self.run(&parsed?, strategy, options, Some(&tb))?;
+        Ok((result, tb.finish(text, strategy.name())))
+    }
+
+    /// EXPLAIN ANALYZE: execute the query (default strategy) and render
+    /// the phase timings and the annotated plan tree — per node: actual
+    /// rows, comparisons, probes, elapsed time and its share of the total.
+    pub fn explain_analyze(&self, text: &str) -> Result<String, EngineError> {
+        self.explain_analyze_with_options(text, Strategy::Improved, EngineOptions::default())
+    }
+
+    /// [`QueryEngine::explain_analyze`] with explicit strategy and options.
+    pub fn explain_analyze_with_options(
+        &self,
+        text: &str,
+        strategy: Strategy,
+        options: EngineOptions,
+    ) -> Result<String, EngineError> {
+        let (result, trace) = self.analyze_with_options(text, strategy, options)?;
+        let mut out = trace.render();
+        out.push_str(&format!(
+            "\n== totals ==\n  {} answers, {}\n",
+            result.len(),
+            result.stats
+        ));
+        Ok(out)
+    }
+
+    /// The evaluation pipeline behind both the plain and the analyzing
+    /// entry points. With a [`TraceBuilder`] attached, every phase runs
+    /// under a span, the normalize/translate phases record rule counts and
+    /// plan-shape facts, and evaluation runs with a per-node profiler
+    /// whose annotated tree is attached to the trace. Without one, no
+    /// instrumentation code runs at all.
+    fn run(
+        &self,
+        formula: &Formula,
+        strategy: Strategy,
+        options: EngineOptions,
+        tb: Option<&TraceBuilder>,
+    ) -> Result<QueryResult, EngineError> {
+        let timer = self.metrics.is_enabled().then(Instant::now);
+        let result = self.run_phases(formula, strategy, options, tb);
+        if let Some(start) = timer {
+            self.metrics
+                .incr(&format!("query.count.{}", strategy.name()), 1);
+            self.metrics.observe(
+                &format!("query.latency.{}", strategy.name()),
+                start.elapsed(),
+            );
+            if result.is_err() {
+                self.metrics.incr("query.errors", 1);
+            }
+        }
+        result
+    }
+
+    fn run_phases(
+        &self,
+        formula: &Formula,
+        strategy: Strategy,
+        options: EngineOptions,
+        tb: Option<&TraceBuilder>,
+    ) -> Result<QueryResult, EngineError> {
+        let expand_span = span(tb, "view-expand");
         let expanded = self.views.expand(formula)?;
         let formula = &expanded;
         let completed;
@@ -199,6 +303,7 @@ impl QueryEngine {
         } else {
             formula
         };
+        drop(expand_span);
         let closed = formula.is_closed();
         let make_eval = || {
             let ev = if options.share_subplans {
@@ -228,22 +333,61 @@ impl QueryEngine {
         };
         match strategy {
             Strategy::Improved => {
-                let canonical = canonicalize(formula)?;
-                let tr =
-                    ImprovedTranslator::new(&self.db).with_cost_ordering(options.optimize);
-                let ev = make_eval();
+                let canonical = self.normalize(formula, tb)?;
+                let tr = ImprovedTranslator::new(&self.db).with_cost_ordering(options.optimize);
                 if closed {
-                    let plan = tune_bool(tr.translate_closed(&canonical)?);
-                    let truth = plan.eval(&ev)?;
+                    let plan = {
+                        let _span = span(tb, "translate");
+                        tr.translate_closed(&canonical)?
+                    };
+                    let plan = {
+                        let _span = span(tb, "optimize");
+                        tune_bool(plan)
+                    };
+                    if let Some(t) = tb {
+                        PlanShape::of_roots(plan.algebra_exprs()).record_into(t);
+                    }
+                    let profiler = tb.map(|_| Rc::new(PlanProfiler::new_bool(&plan)));
+                    let mut ev = make_eval();
+                    if let Some(p) = &profiler {
+                        ev = ev.with_profiler(Rc::clone(p));
+                    }
+                    let truth = {
+                        let _span = span(tb, "evaluate");
+                        plan.eval(&ev)?
+                    };
+                    if let (Some(t), Some(p)) = (tb, profiler) {
+                        t.set_plan(p.trace_bool(&plan));
+                    }
                     Ok(QueryResult {
                         vars: vec![],
                         answers: nullary(truth),
                         stats: ev.stats(),
                     })
                 } else {
-                    let (vars, plan) = tr.translate_open(&canonical)?;
-                    let plan = tune(plan);
-                    let answers = ev.eval(&plan)?;
+                    let (vars, plan) = {
+                        let _span = span(tb, "translate");
+                        tr.translate_open(&canonical)?
+                    };
+                    let plan = {
+                        let _span = span(tb, "optimize");
+                        tune(plan)
+                    };
+                    if let Some(t) = tb {
+                        PlanShape::of(&plan).record_into(t);
+                    }
+                    let profiler = tb.map(|_| Rc::new(PlanProfiler::new(&plan)));
+                    let mut ev = make_eval();
+                    if let Some(p) = &profiler {
+                        ev = ev.with_profiler(Rc::clone(p));
+                    }
+                    let answers = {
+                        let _span = span(tb, "evaluate");
+                        ev.eval(&plan)?
+                    };
+                    if let (Some(t), Some(p)) = (tb, profiler) {
+                        t.set_plan(p.trace(&plan));
+                    }
                     Ok(QueryResult {
                         vars,
                         answers,
@@ -253,19 +397,59 @@ impl QueryEngine {
             }
             Strategy::Classical => {
                 let tr = ClassicalTranslator::new(&self.db);
-                let ev = make_eval();
                 if closed {
-                    let plan = tune_bool(tr.translate_closed(formula)?);
-                    let truth = plan.eval(&ev)?;
+                    let plan = {
+                        let _span = span(tb, "translate");
+                        tr.translate_closed(formula)?
+                    };
+                    let plan = {
+                        let _span = span(tb, "optimize");
+                        tune_bool(plan)
+                    };
+                    if let Some(t) = tb {
+                        PlanShape::of_roots(plan.algebra_exprs()).record_into(t);
+                    }
+                    let profiler = tb.map(|_| Rc::new(PlanProfiler::new_bool(&plan)));
+                    let mut ev = make_eval();
+                    if let Some(p) = &profiler {
+                        ev = ev.with_profiler(Rc::clone(p));
+                    }
+                    let truth = {
+                        let _span = span(tb, "evaluate");
+                        plan.eval(&ev)?
+                    };
+                    if let (Some(t), Some(p)) = (tb, profiler) {
+                        t.set_plan(p.trace_bool(&plan));
+                    }
                     Ok(QueryResult {
                         vars: vec![],
                         answers: nullary(truth),
                         stats: ev.stats(),
                     })
                 } else {
-                    let (vars, plan) = tr.translate_open(formula)?;
-                    let plan = tune(plan);
-                    let answers = ev.eval(&plan)?;
+                    let (vars, plan) = {
+                        let _span = span(tb, "translate");
+                        tr.translate_open(formula)?
+                    };
+                    let plan = {
+                        let _span = span(tb, "optimize");
+                        tune(plan)
+                    };
+                    if let Some(t) = tb {
+                        PlanShape::of(&plan).record_into(t);
+                    }
+                    let profiler = tb.map(|_| Rc::new(PlanProfiler::new(&plan)));
+                    let mut ev = make_eval();
+                    if let Some(p) = &profiler {
+                        ev = ev.with_profiler(Rc::clone(p));
+                    }
+                    let answers = {
+                        let _span = span(tb, "evaluate");
+                        ev.eval(&plan)?
+                    };
+                    if let (Some(t), Some(p)) = (tb, profiler) {
+                        t.set_plan(p.trace(&plan));
+                    }
                     Ok(QueryResult {
                         vars,
                         answers,
@@ -274,26 +458,66 @@ impl QueryEngine {
                 }
             }
             Strategy::NestedLoop => {
-                let canonical = canonicalize(formula)?;
-                let ev = PipelineEvaluator::new(&self.db);
-                if closed {
-                    let truth = ev.eval_closed(&canonical)?;
-                    Ok(QueryResult {
+                let canonical = self.normalize(formula, tb)?;
+                let profiler = tb.map(|_| Rc::new(LoopProfiler::new()));
+                let mut ev = PipelineEvaluator::new(&self.db);
+                if let Some(p) = &profiler {
+                    ev = ev.with_profiler(Rc::clone(p));
+                }
+                let result = if closed {
+                    let truth = {
+                        let _span = span(tb, "evaluate");
+                        ev.eval_closed(&canonical)?
+                    };
+                    QueryResult {
                         vars: vec![],
                         answers: nullary(truth),
                         stats: ev.stats(),
-                    })
+                    }
                 } else {
-                    let (vars, answers) = ev.eval_open(&canonical)?;
-                    Ok(QueryResult {
+                    let (vars, answers) = {
+                        let _span = span(tb, "evaluate");
+                        ev.eval_open(&canonical)?
+                    };
+                    QueryResult {
                         vars,
                         answers,
                         stats: ev.stats(),
-                    })
+                    }
+                };
+                if let (Some(t), Some(p)) = (tb, profiler) {
+                    t.set_plan(p.trace());
                 }
+                Ok(result)
             }
         }
     }
+
+    /// Canonicalize under a `normalize` span; when tracing, record the
+    /// per-rule application counts and the total step count as counters.
+    fn normalize(
+        &self,
+        formula: &Formula,
+        tb: Option<&TraceBuilder>,
+    ) -> Result<Formula, EngineError> {
+        let _span = span(tb, "normalize");
+        match tb {
+            None => Ok(canonicalize(formula)?),
+            Some(t) => {
+                let (canonical, trace) = canonicalize_traced(formula)?;
+                t.incr("rewrite.steps", trace.steps.len() as u64);
+                for (rule, n) in trace.rule_counts() {
+                    t.incr(&format!("rewrite.rule.{rule}"), n as u64);
+                }
+                Ok(canonical)
+            }
+        }
+    }
+}
+
+/// Open a span when tracing (no-op otherwise).
+fn span<'a>(tb: Option<&'a TraceBuilder>, name: &str) -> Option<SpanGuard<'a>> {
+    tb.map(|t| t.span(name))
 }
 
 /// Optimize every algebra expression inside a boolean plan.
@@ -324,8 +548,10 @@ mod tests {
 
     fn engine() -> QueryEngine {
         let mut db = Database::new();
-        db.create_relation("p", Schema::new(vec!["a"]).unwrap()).unwrap();
-        db.create_relation("r", Schema::new(vec!["a", "b"]).unwrap()).unwrap();
+        db.create_relation("p", Schema::new(vec!["a"]).unwrap())
+            .unwrap();
+        db.create_relation("r", Schema::new(vec!["a", "b"]).unwrap())
+            .unwrap();
         for v in [1, 2, 3] {
             db.insert("p", tuple![v]).unwrap();
         }
@@ -348,11 +574,11 @@ mod tests {
     fn closed_query_all_strategies() {
         let e = engine();
         for s in Strategy::ALL {
-            let yes = e.query_with("exists x. p(x) & !(exists y. r(x,y))", s).unwrap();
-            assert!(yes.is_true(), "strategy {}", s.name()); // 3 has no r
-            let no = e
-                .query_with("exists x. p(x) & r(x,99)", s)
+            let yes = e
+                .query_with("exists x. p(x) & !(exists y. r(x,y))", s)
                 .unwrap();
+            assert!(yes.is_true(), "strategy {}", s.name()); // 3 has no r
+            let no = e.query_with("exists x. p(x) & r(x,99)", s).unwrap();
             assert!(!no.is_true(), "strategy {}", s.name());
         }
     }
@@ -374,10 +600,7 @@ mod tests {
     #[test]
     fn unrestricted_query_rejected() {
         let e = engine();
-        assert!(matches!(
-            e.query("!p(x)"),
-            Err(EngineError::Translate(_))
-        ));
+        assert!(matches!(e.query("!p(x)"), Err(EngineError::Translate(_))));
     }
 
     #[test]
@@ -395,9 +618,12 @@ mod option_tests {
 
     fn engine() -> QueryEngine {
         let mut db = Database::new();
-        db.create_relation("p", Schema::new(vec!["a"]).unwrap()).unwrap();
-        db.create_relation("q", Schema::new(vec!["a"]).unwrap()).unwrap();
-        db.create_relation("r", Schema::new(vec!["a", "b"]).unwrap()).unwrap();
+        db.create_relation("p", Schema::new(vec!["a"]).unwrap())
+            .unwrap();
+        db.create_relation("q", Schema::new(vec!["a"]).unwrap())
+            .unwrap();
+        db.create_relation("r", Schema::new(vec!["a", "b"]).unwrap())
+            .unwrap();
         for v in 0..10 {
             db.insert("p", tuple![v]).unwrap();
             if v % 2 == 0 {
@@ -476,8 +702,11 @@ mod option_tests {
             ..EngineOptions::default()
         };
         // warm the cache, then measure
-        e.query_with_options(text, Strategy::Improved, opts).unwrap();
-        let cached = e.query_with_options(text, Strategy::Improved, opts).unwrap();
+        e.query_with_options(text, Strategy::Improved, opts)
+            .unwrap();
+        let cached = e
+            .query_with_options(text, Strategy::Improved, opts)
+            .unwrap();
         assert!(plain.answers.set_eq(&cached.answers));
         assert!(
             cached.stats.base_tuples_read < plain.stats.base_tuples_read,

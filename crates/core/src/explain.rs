@@ -30,7 +30,11 @@ impl QueryEngine {
         writeln!(
             out,
             "miniscope (Def. 4): {}",
-            if is_miniscope(&canonical) { "yes" } else { "no" }
+            if is_miniscope(&canonical) {
+                "yes"
+            } else {
+                "no"
+            }
         )
         .unwrap();
 
@@ -98,13 +102,15 @@ mod tests {
     #[test]
     fn explain_shows_both_phases() {
         let mut db = Database::new();
-        db.create_relation("student", Schema::new(vec!["n"]).unwrap()).unwrap();
-        db.create_relation("attends", Schema::new(vec!["s", "l"]).unwrap()).unwrap();
-        db.create_relation("lecture", Schema::new(vec!["l", "d"]).unwrap()).unwrap();
+        db.create_relation("student", Schema::new(vec!["n"]).unwrap())
+            .unwrap();
+        db.create_relation("attends", Schema::new(vec!["s", "l"]).unwrap())
+            .unwrap();
+        db.create_relation("lecture", Schema::new(vec!["l", "d"]).unwrap())
+            .unwrap();
         db.insert("student", tuple!["ann"]).unwrap();
         let engine = QueryEngine::new(db);
-        let text =
-            "student(x) & (forall y. lecture(y,\"cs\") -> attends(x,y))";
+        let text = "student(x) & (forall y. lecture(y,\"cs\") -> attends(x,y))";
         let explained = engine.explain(text).unwrap();
         assert!(explained.contains("phase 1"));
         assert!(explained.contains("canonical:"));
@@ -118,10 +124,14 @@ mod tests {
     #[test]
     fn explain_closed_query() {
         let mut db = Database::new();
-        db.create_relation("p", Schema::new(vec!["a"]).unwrap()).unwrap();
+        db.create_relation("p", Schema::new(vec!["a"]).unwrap())
+            .unwrap();
         db.insert("p", tuple![1]).unwrap();
         let engine = QueryEngine::new(db);
         let explained = engine.explain("exists x. p(x)").unwrap();
-        assert!(explained.contains("≠ ∅"), "emptiness test expected: {explained}");
+        assert!(
+            explained.contains("≠ ∅"),
+            "emptiness test expected: {explained}"
+        );
     }
 }

@@ -61,11 +61,17 @@ impl std::fmt::Display for ViewError {
                 view,
                 expected,
                 actual,
-            } => write!(f, "view `{view}` has {expected} parameters, used with {actual}"),
+            } => write!(
+                f,
+                "view `{view}` has {expected} parameters, used with {actual}"
+            ),
             ViewError::Cycle { view } => write!(f, "cyclic view definition involving `{view}`"),
             ViewError::Duplicate(v) => write!(f, "view `{v}` already defined"),
             ViewError::ClosedBody(v) => {
-                write!(f, "view `{v}` must be an open formula (it has no free variables)")
+                write!(
+                    f,
+                    "view `{v}` must be an open formula (it has no free variables)"
+                )
             }
         }
     }
@@ -96,14 +102,7 @@ impl ViewRegistry {
         }
         // The body itself must be restricted (views are ranges).
         check_restricted_open(&body).map_err(gq_translate::TranslateError::from)?;
-        self.views.insert(
-            name.clone(),
-            View {
-                name,
-                params,
-                body,
-            },
-        );
+        self.views.insert(name.clone(), View { name, params, body });
         Ok(())
     }
 
@@ -161,8 +160,7 @@ impl ViewRegistry {
                     let mut body = view.body.rename_bound_avoiding(&mut taken, gen);
                     // Substitute parameters via fresh intermediates to
                     // avoid clashes between old and new names.
-                    let intermediates: Vec<Var> =
-                        view.params.iter().map(|_| gen.fresh()).collect();
+                    let intermediates: Vec<Var> = view.params.iter().map(|_| gen.fresh()).collect();
                     for (p, tmp) in view.params.iter().zip(&intermediates) {
                         body = body.substitute(p, &Term::Var(tmp.clone()));
                     }
@@ -212,9 +210,12 @@ mod tests {
 
     fn engine() -> QueryEngine {
         let mut db = Database::new();
-        db.create_relation("student", Schema::new(vec!["name"]).unwrap()).unwrap();
-        db.create_relation("lecture", Schema::new(vec!["name", "dept"]).unwrap()).unwrap();
-        db.create_relation("attends", Schema::new(vec!["s", "l"]).unwrap()).unwrap();
+        db.create_relation("student", Schema::new(vec!["name"]).unwrap())
+            .unwrap();
+        db.create_relation("lecture", Schema::new(vec!["name", "dept"]).unwrap())
+            .unwrap();
+        db.create_relation("attends", Schema::new(vec!["s", "l"]).unwrap())
+            .unwrap();
         for s in ["ann", "bob", "eve"] {
             db.insert("student", tuple![s]).unwrap();
         }
@@ -231,7 +232,8 @@ mod tests {
     fn simple_view_as_range() {
         let mut e = engine();
         // columns in name order: l (lecture), s (student)
-        e.define_view("cs_attendance", "attends(s,l) & lecture(l,\"cs\")").unwrap();
+        e.define_view("cs_attendance", "attends(s,l) & lecture(l,\"cs\")")
+            .unwrap();
         let r = e.query("cs_attendance(y, x)").unwrap();
         assert_eq!(r.len(), 3);
         // view used as a producer with a constant argument

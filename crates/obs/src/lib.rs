@@ -1,0 +1,29 @@
+//! # gq-obs — dependency-free observability
+//!
+//! The paper's efficiency claims are about *operation counts*; this crate
+//! is the measurement substrate that attributes those counts (and wall
+//! time) to phases and plan nodes, in the spirit of the Volcano iterator
+//! model's uniform instrumentation boundary:
+//!
+//! * [`TraceBuilder`] / [`QueryTrace`] — per-query hierarchical spans
+//!   (`parse → view-expand → normalize → translate → optimize →
+//!   evaluate`), named counters, plan-shape facts, and an annotated
+//!   [`PlanNodeTrace`] tree with per-node rows/comparisons/probes/time;
+//! * [`Registry`] / [`MetricsSnapshot`] — engine-lifetime counters and
+//!   log₂-bucketed latency [`Histogram`]s behind an `AtomicBool`, so the
+//!   disabled path is one relaxed load and **no timing syscalls**;
+//! * [`Json`] — a hand-rolled JSON writer (the build is offline; no
+//!   serde), used by both snapshot kinds.
+//!
+//! Everything is std-only. Evaluators gate their instrumentation on
+//! `Option`s so tier-1 numbers are unaffected when observability is off.
+
+mod json;
+mod metrics;
+mod trace;
+
+pub use json::Json;
+pub use metrics::{Histogram, MetricsSnapshot, Registry, HISTOGRAM_BUCKETS};
+pub use trace::{
+    fmt_ns, PlanNodeTrace, PlanTotals, QueryTrace, SpanGuard, SpanRecord, TraceBuilder,
+};

@@ -1,0 +1,276 @@
+//! Engine-lifetime metrics: named counters and log-scale latency
+//! histograms behind an `AtomicBool` so the disabled path costs one
+//! relaxed load and no timing syscalls.
+
+use crate::json::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets: bucket `i` holds samples with
+/// `floor(log2(ns)) == i`, covering 1 ns .. ~18 s and beyond.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A log₂-bucketed latency histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+// `Default` is not derivable: std only implements it for arrays of ≤ 32.
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            total_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, d: Duration) {
+        let ns = d.as_nanos().min(u64::MAX as u128) as u64;
+        let bucket = (64 - ns.max(1).leading_zeros() as usize - 1).min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.total_ns)
+    }
+
+    pub fn mean(&self) -> Duration {
+        match self.total_ns.checked_div(self.count) {
+            Some(ns) => Duration::from_nanos(ns),
+            None => Duration::ZERO,
+        }
+    }
+
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Upper bound of the bucket holding the q-quantile sample
+    /// (log₂ resolution: within a factor of two of the true quantile).
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Duration::from_nanos(1u64 << (i + 1).min(63));
+            }
+        }
+        self.max()
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    fn to_json(&self) -> Json {
+        let nonzero: Vec<Json> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                Json::obj()
+                    .field("le_ns", 1u64 << (i + 1).min(63))
+                    .field("count", n)
+            })
+            .collect();
+        Json::obj()
+            .field("count", self.count)
+            .field("total_ns", self.total_ns)
+            .field("mean_ns", self.mean().as_nanos() as u64)
+            .field("p50_ns", self.quantile(0.5).as_nanos() as u64)
+            .field("p99_ns", self.quantile(0.99).as_nanos() as u64)
+            .field("max_ns", self.max_ns)
+            .field("buckets", nonzero)
+    }
+}
+
+/// A point-in-time copy of a [`Registry`]'s contents.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Machine-readable JSON rendering.
+    pub fn to_json(&self) -> Json {
+        let mut counters = Json::obj();
+        for (k, v) in &self.counters {
+            counters = counters.field(k.clone(), *v);
+        }
+        let mut histograms = Json::obj();
+        for (k, h) in &self.histograms {
+            histograms = histograms.field(k.clone(), h.to_json());
+        }
+        Json::obj()
+            .field("counters", counters)
+            .field("histograms", histograms)
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// Named counters + histograms, disabled by default.
+///
+/// The contract callers rely on: when disabled, [`Registry::incr`] and
+/// [`Registry::observe`] are a single relaxed atomic load, and callers are
+/// expected to gate their `Instant::now()` pairs on
+/// [`Registry::is_enabled`] so the disabled path performs no timing
+/// syscalls at all.
+#[derive(Default)]
+pub struct Registry {
+    enabled: AtomicBool,
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Add `n` to a named counter (no-op when disabled).
+    pub fn incr(&self, name: &str, n: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        *inner.counters.entry(name.to_string()).or_default() += n;
+    }
+
+    /// Record a latency sample into a named histogram (no-op when
+    /// disabled — but gate the surrounding `Instant::now()` on
+    /// [`Registry::is_enabled`] too).
+    pub fn observe(&self, name: &str, d: Duration) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(d);
+    }
+
+    /// Copy out the current contents (works even while disabled).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap();
+        MetricsSnapshot {
+            counters: inner.counters.clone(),
+            histograms: inner.histograms.clone(),
+        }
+    }
+
+    /// Zero all metrics.
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.counters.clear();
+        inner.histograms.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let r = Registry::new();
+        r.incr("queries", 1);
+        r.observe("latency", Duration::from_millis(5));
+        let s = r.snapshot();
+        assert!(s.counters.is_empty() && s.histograms.is_empty());
+    }
+
+    #[test]
+    fn enabled_registry_accumulates() {
+        let r = Registry::new();
+        r.enable();
+        r.incr("queries", 1);
+        r.incr("queries", 2);
+        r.observe("latency", Duration::from_micros(10));
+        let s = r.snapshot();
+        assert_eq!(s.counters["queries"], 3);
+        assert_eq!(s.histograms["latency"].count(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_nanos(100)); // bucket ⌊log2 100⌋ = 6
+        h.record(Duration::from_nanos(100));
+        h.record(Duration::from_micros(100)); // ⌊log2 1e5⌋ = 16
+        assert_eq!(h.count(), 3);
+        assert!(h.quantile(0.5) <= Duration::from_nanos(128));
+        assert!(h.quantile(1.0) >= Duration::from_micros(100));
+        assert_eq!(h.max(), Duration::from_micros(100));
+    }
+
+    #[test]
+    fn histogram_merge_sums() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(Duration::from_nanos(10));
+        b.record(Duration::from_nanos(1000));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let r = Registry::new();
+        r.enable();
+        r.incr("x", 7);
+        let json = r.snapshot().to_json().to_string();
+        assert!(json.contains("\"x\": 7"), "{json}");
+    }
+}

@@ -21,12 +21,15 @@
 //! from re-evaluating inner subqueries once per outer binding — exactly the
 //! effect the paper targets — not from an artificially dumb storage layer.
 
+use crate::profile::LoopProfiler;
 use crate::PipelineError;
 use gq_algebra::ExecStats;
 use gq_calculus::{split_producer_filter, Comparison, Formula, Term, Var};
 use gq_storage::{Database, Relation, Tuple, Value};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+use std::time::Instant;
 
 /// A variable binding environment.
 pub type Env = BTreeMap<Var, Value>;
@@ -35,7 +38,13 @@ pub type Env = BTreeMap<Var, Value>;
 pub struct PipelineEvaluator<'db> {
     db: &'db Database,
     stats: RefCell<ExecStats>,
+    /// Per-quantifier-loop attribution; `None` (the default) keeps the
+    /// interpreter free of snapshots and timing syscalls.
+    profiler: Option<Rc<LoopProfiler>>,
 }
+
+/// An open profiling window: stats snapshot + start time.
+type ProfWindow = (ExecStats, Instant);
 
 /// Iteration control: keep looping or stop early (answer decided).
 enum Flow {
@@ -49,7 +58,31 @@ impl<'db> PipelineEvaluator<'db> {
         PipelineEvaluator {
             db,
             stats: RefCell::new(ExecStats::new()),
+            profiler: None,
         }
+    }
+
+    /// Attach a loop profiler: every producer-atom loop becomes a frame
+    /// accumulating iteration counts, stats deltas and wall time (see
+    /// [`LoopProfiler`]).
+    pub fn with_profiler(mut self, profiler: Rc<LoopProfiler>) -> Self {
+        self.profiler = Some(profiler);
+        self
+    }
+
+    /// Open a profiling window (`None` when no profiler is attached, so
+    /// the unprofiled path takes no stats snapshot and no timestamp).
+    fn window(&self) -> Option<ProfWindow> {
+        self.profiler
+            .as_ref()
+            .map(|_| (self.stats.borrow().clone(), Instant::now()))
+    }
+
+    /// Close a window, returning the stats delta and elapsed nanoseconds.
+    fn close_window(&self, w: ProfWindow) -> (ExecStats, u64) {
+        let (before, start) = w;
+        let ns = start.elapsed().as_nanos() as u64;
+        (self.stats.borrow().diff(&before), ns)
     }
 
     /// Snapshot of the accumulated statistics.
@@ -72,7 +105,13 @@ impl<'db> PipelineEvaluator<'db> {
             });
         }
         let mut env = Env::new();
-        self.eval(f, &mut env)
+        let w = self.window();
+        let result = self.eval(f, &mut env);
+        if let (Some(p), Some(w)) = (&self.profiler, w) {
+            let (delta, ns) = self.close_window(w);
+            p.finish_root(&delta, ns, matches!(result, Ok(true)) as u64);
+        }
+        result
     }
 
     /// Evaluate an open query — Fig. 1(c). Returns the answer variables in
@@ -90,7 +129,13 @@ impl<'db> PipelineEvaluator<'db> {
         }
         let mut rel = Relation::intermediate(free.len());
         let mut env = Env::new();
-        self.collect_open(f, &free, &mut env, &mut rel)?;
+        let w = self.window();
+        let result = self.collect_open(f, &free, &mut env, &mut rel);
+        if let (Some(p), Some(w)) = (&self.profiler, w) {
+            let (delta, ns) = self.close_window(w);
+            p.finish_root(&delta, ns, rel.len() as u64);
+        }
+        result?;
         self.stats.borrow_mut().tuples_emitted += rel.len();
         Ok((free, rel))
     }
@@ -234,36 +279,53 @@ impl<'db> PipelineEvaluator<'db> {
         };
         match first {
             Formula::Atom(a) => {
-                let rel = self
-                    .db
-                    .relation(&a.relation)
-                    .map_err(|_| PipelineError::UnknownRelation(a.relation.clone()))?;
-                if rel.arity() != a.arity() {
-                    return Err(PipelineError::ArityMismatch {
-                        relation: a.relation.clone(),
-                        expected: rel.arity(),
-                        actual: a.arity(),
-                    });
-                }
-                self.stats.borrow_mut().base_scans += 1;
-                for t in rel.iter() {
-                    self.stats.borrow_mut().base_tuples_read += 1;
-                    let mut bound_here: Vec<Var> = Vec::new();
-                    if self.match_atom(&a.terms, t, env, &mut bound_here) {
-                        let flow = self.iterate(rest, env, cb)?;
-                        for v in &bound_here {
-                            env.remove(v);
+                // One profiler frame per loop site: re-entries (one run per
+                // enclosing binding) merge, accumulating iterations.
+                let frame = self
+                    .profiler
+                    .as_ref()
+                    .map(|p| (Rc::clone(p), p.enter(&format!("loop {first}"))));
+                let w = self.window();
+                let result = (|| {
+                    let rel = self
+                        .db
+                        .relation(&a.relation)
+                        .map_err(|_| PipelineError::UnknownRelation(a.relation.clone()))?;
+                    if rel.arity() != a.arity() {
+                        return Err(PipelineError::ArityMismatch {
+                            relation: a.relation.clone(),
+                            expected: rel.arity(),
+                            actual: a.arity(),
+                        });
+                    }
+                    self.stats.borrow_mut().base_scans += 1;
+                    for t in rel.iter() {
+                        self.stats.borrow_mut().base_tuples_read += 1;
+                        if let Some((p, idx)) = &frame {
+                            p.iteration(*idx);
                         }
-                        if matches!(flow, Flow::Stop) {
-                            return Ok(Flow::Stop);
-                        }
-                    } else {
-                        for v in &bound_here {
-                            env.remove(v);
+                        let mut bound_here: Vec<Var> = Vec::new();
+                        if self.match_atom(&a.terms, t, env, &mut bound_here) {
+                            let flow = self.iterate(rest, env, cb)?;
+                            for v in &bound_here {
+                                env.remove(v);
+                            }
+                            if matches!(flow, Flow::Stop) {
+                                return Ok(Flow::Stop);
+                            }
+                        } else {
+                            for v in &bound_here {
+                                env.remove(v);
+                            }
                         }
                     }
+                    Ok(Flow::Continue)
+                })();
+                if let (Some((p, idx)), Some(w)) = (frame, w) {
+                    let (delta, ns) = self.close_window(w);
+                    p.exit(idx, &delta, ns);
                 }
-                Ok(Flow::Continue)
+                result
             }
             Formula::And(x, y) => {
                 // A composite range (Definition 1 conditions 2/4): enumerate
@@ -272,11 +334,7 @@ impl<'db> PipelineEvaluator<'db> {
                 // sub-producers before sub-filters regardless of the
                 // syntactic order (`F ∧ R` is accepted as well as `R ∧ F`).
                 let outer: BTreeSet<Var> = env.keys().cloned().collect();
-                let vars: BTreeSet<Var> = first
-                    .free_vars()
-                    .difference(&outer)
-                    .cloned()
-                    .collect();
+                let vars: BTreeSet<Var> = first.free_vars().difference(&outer).cloned().collect();
                 let pf = split_producer_filter(first, &vars, &outer);
                 match &pf {
                     Some(pf) => {
@@ -407,12 +465,13 @@ impl<'db> PipelineEvaluator<'db> {
         let value_of = |t: &Term| -> Result<Value, PipelineError> {
             match t {
                 Term::Const(v) => Ok(v.clone()),
-                Term::Var(v) => env.get(v).cloned().ok_or_else(|| {
-                    PipelineError::UnboundVariable {
+                Term::Var(v) => env
+                    .get(v)
+                    .cloned()
+                    .ok_or_else(|| PipelineError::UnboundVariable {
                         var: v.name().to_string(),
                         context: c.to_string(),
-                    }
-                }),
+                    }),
             }
         };
         let l = value_of(&c.left)?;

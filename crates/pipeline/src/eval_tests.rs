@@ -47,7 +47,11 @@ fn uni_db() -> Database {
         Relation::with_tuples(
             "enrolled",
             Schema::new(vec!["student", "dept"]).unwrap(),
-            vec![tuple!["ann", "math"], tuple!["bob", "cs"], tuple!["eve", "math"]],
+            vec![
+                tuple!["ann", "math"],
+                tuple!["bob", "cs"],
+                tuple!["eve", "math"],
+            ],
         )
         .unwrap(),
     )
@@ -88,9 +92,7 @@ fn closed_universal_with_range() {
     let ev = PipelineEvaluator::new(&db);
     // every student attends something
     assert!(ev
-        .eval_closed(
-            &parse("forall x. student(x) -> exists y. attends(x,y)").unwrap()
-        )
+        .eval_closed(&parse("forall x. student(x) -> exists y. attends(x,y)").unwrap())
         .unwrap());
     // not every student attends db
     assert!(!ev
@@ -169,8 +171,7 @@ fn open_disjunction_unions_answers() {
     let ev = PipelineEvaluator::new(&db);
     let (_, rel) = ev
         .eval_open(
-            &parse("(student(x) & attends(x,\"alg\")) | (student(x) & attends(x,\"os\"))")
-                .unwrap(),
+            &parse("(student(x) & attends(x,\"alg\")) | (student(x) & attends(x,\"os\"))").unwrap(),
         )
         .unwrap();
     assert_eq!(rel.sorted_tuples(), vec![tuple!["ann"], tuple!["eve"]]);
@@ -181,16 +182,10 @@ fn nested_quantifiers() {
     let db = uni_db();
     let ev = PipelineEvaluator::new(&db);
     // is there a student attending all cs lectures?
-    let q = parse(
-        "exists x. student(x) & (forall y. lecture(y,\"cs\") -> attends(x,y))",
-    )
-    .unwrap();
+    let q = parse("exists x. student(x) & (forall y. lecture(y,\"cs\") -> attends(x,y))").unwrap();
     assert!(ev.eval_closed(&q).unwrap());
     // is there a student attending all lectures (any dept)? no
-    let q2 = parse(
-        "exists x. student(x) & (forall y,d. lecture(y,d) -> attends(x,y))",
-    )
-    .unwrap();
+    let q2 = parse("exists x. student(x) & (forall y,d. lecture(y,d) -> attends(x,y))").unwrap();
     assert!(!ev.eval_closed(&q2).unwrap());
 }
 

@@ -17,9 +17,11 @@
 
 mod error;
 mod eval;
+mod profile;
 
 #[cfg(test)]
 mod eval_tests;
 
 pub use error::PipelineError;
 pub use eval::{Env, PipelineEvaluator};
+pub use profile::LoopProfiler;

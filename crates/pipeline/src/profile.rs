@@ -1,0 +1,189 @@
+//! Per-quantifier-loop attribution for the Fig. 1 interpreter.
+//!
+//! The nested-loop baseline has no algebra plan to annotate; its
+//! "operators" are the quantifier loops themselves. A [`LoopProfiler`]
+//! builds a tree of loop frames as the interpreter runs: entering a
+//! producer-atom loop opens (or re-enters) a frame keyed by the atom's
+//! rendering under the current frame, each examined tuple counts one
+//! iteration, and [`ExecStats`] deltas plus wall time are accumulated
+//! inclusively per frame. Re-entries merge — an inner loop that runs once
+//! per outer binding appears as one node whose iteration count is the
+//! total across all re-runs, which is exactly the "inner subqueries are
+//! re-evaluated per outer binding" effect the paper criticizes.
+//!
+//! Extraction ([`LoopProfiler::trace`]) converts inclusive figures to
+//! exclusive ones (subtracting children), so totals over the tree match
+//! the interpreter's flat [`ExecStats`].
+
+use gq_algebra::ExecStats;
+use gq_obs::PlanNodeTrace;
+use std::cell::RefCell;
+
+#[derive(Debug, Default)]
+struct Frame {
+    label: String,
+    iterations: u64,
+    rows_out: u64,
+    inclusive: ExecStats,
+    inclusive_ns: u64,
+    children: Vec<usize>,
+}
+
+/// Accumulates the loop-frame tree of one Fig. 1 evaluation.
+///
+/// Single-threaded, like the interpreter. Attach with
+/// [`PipelineEvaluator::with_profiler`](crate::PipelineEvaluator::with_profiler);
+/// without a profiler the interpreter performs no timing syscalls.
+#[derive(Debug, Default)]
+pub struct LoopProfiler {
+    frames: RefCell<Vec<Frame>>,
+    stack: RefCell<Vec<usize>>,
+}
+
+impl LoopProfiler {
+    /// Fresh profiler with a root frame for the whole evaluation.
+    pub fn new() -> Self {
+        let p = LoopProfiler::default();
+        p.frames.borrow_mut().push(Frame {
+            label: "fig1 interpreter".to_string(),
+            ..Frame::default()
+        });
+        p.stack.borrow_mut().push(0);
+        p
+    }
+
+    /// Enter (or re-enter) the child frame of the current frame with this
+    /// label; returns its index for [`LoopProfiler::exit`].
+    pub(crate) fn enter(&self, label: &str) -> usize {
+        let mut frames = self.frames.borrow_mut();
+        let parent = *self.stack.borrow().last().expect("root frame");
+        let existing = frames[parent]
+            .children
+            .iter()
+            .copied()
+            .find(|&c| frames[c].label == label);
+        let idx = match existing {
+            Some(idx) => idx,
+            None => {
+                let idx = frames.len();
+                frames.push(Frame {
+                    label: label.to_string(),
+                    ..Frame::default()
+                });
+                frames[parent].children.push(idx);
+                idx
+            }
+        };
+        drop(frames);
+        self.stack.borrow_mut().push(idx);
+        idx
+    }
+
+    /// Close a frame opened by [`LoopProfiler::enter`], accumulating its
+    /// inclusive stats delta and wall time.
+    pub(crate) fn exit(&self, idx: usize, delta: &ExecStats, ns: u64) {
+        let popped = self.stack.borrow_mut().pop();
+        debug_assert_eq!(popped, Some(idx), "unbalanced loop frames");
+        let mut frames = self.frames.borrow_mut();
+        frames[idx].inclusive.merge(delta);
+        frames[idx].inclusive_ns += ns;
+    }
+
+    /// Count one loop iteration (tuple examined) on an open frame.
+    pub(crate) fn iteration(&self, idx: usize) {
+        self.frames.borrow_mut()[idx].iterations += 1;
+    }
+
+    /// Accumulate the root's inclusive figures and emitted-row count
+    /// (the root has no enter/exit bracket — the evaluator brackets the
+    /// whole entry point).
+    pub(crate) fn finish_root(&self, delta: &ExecStats, ns: u64, rows: u64) {
+        let mut frames = self.frames.borrow_mut();
+        frames[0].inclusive.merge(delta);
+        frames[0].inclusive_ns += ns;
+        frames[0].rows_out += rows;
+    }
+
+    /// Extract the loop tree with *exclusive* per-node figures, so
+    /// [`PlanNodeTrace::totals`] equals the interpreter's flat stats.
+    pub fn trace(&self) -> PlanNodeTrace {
+        self.node(0)
+    }
+
+    fn node(&self, idx: usize) -> PlanNodeTrace {
+        let frames = self.frames.borrow();
+        let f = &frames[idx];
+        let mut t = PlanNodeTrace::new(f.label.clone());
+        t.iterations = f.iterations;
+        t.rows_out = f.rows_out;
+        let mut child_stats = ExecStats::new();
+        let mut child_ns = 0u64;
+        let children = f.children.clone();
+        let own = f.inclusive.clone();
+        let own_ns = f.inclusive_ns;
+        drop(frames);
+        for c in children {
+            let ct = self.node(c);
+            let frames = self.frames.borrow();
+            child_stats.merge(&frames[c].inclusive);
+            child_ns += frames[c].inclusive_ns;
+            drop(frames);
+            t.children.push(ct);
+        }
+        t.base_reads = own
+            .base_tuples_read
+            .saturating_sub(child_stats.base_tuples_read) as u64;
+        t.comparisons = own.comparisons.saturating_sub(child_stats.comparisons) as u64;
+        t.probes = own.probes.saturating_sub(child_stats.probes) as u64;
+        t.elapsed_ns = own_ns.saturating_sub(child_ns);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_merge_on_reentry() {
+        let p = LoopProfiler::new();
+        for _ in 0..3 {
+            let f = p.enter("loop member(x)");
+            p.iteration(f);
+            p.iteration(f);
+            let mut d = ExecStats::new();
+            d.base_tuples_read = 2;
+            p.exit(f, &d, 10);
+        }
+        let mut root_delta = ExecStats::new();
+        root_delta.base_tuples_read = 6;
+        root_delta.comparisons = 4;
+        p.finish_root(&root_delta, 100, 1);
+        let t = p.trace();
+        assert_eq!(t.children.len(), 1, "re-entries merged into one frame");
+        assert_eq!(t.children[0].iterations, 6);
+        assert_eq!(t.children[0].base_reads, 6);
+        assert_eq!(t.comparisons, 4);
+        assert_eq!(t.base_reads, 0, "child reads excluded from root");
+        assert_eq!(t.totals().base_reads, 6);
+        assert_eq!(t.totals().elapsed_ns, 100);
+    }
+
+    #[test]
+    fn nested_frames_nest_in_trace() {
+        let p = LoopProfiler::new();
+        let outer = p.enter("loop p(x)");
+        let inner = p.enter("loop q(x, y)");
+        p.iteration(inner);
+        p.exit(inner, &ExecStats::new(), 5);
+        p.iteration(outer);
+        p.exit(outer, &ExecStats::new(), 20);
+        p.finish_root(&ExecStats::new(), 30, 0);
+        let t = p.trace();
+        assert_eq!(t.children[0].label, "loop p(x)");
+        assert_eq!(t.children[0].children[0].label, "loop q(x, y)");
+        assert_eq!(t.children[0].children[0].elapsed_ns, 5);
+        assert_eq!(t.children[0].elapsed_ns, 15);
+        assert_eq!(t.elapsed_ns, 10);
+    }
+}

@@ -62,15 +62,10 @@ fn walk(f: &Formula, outer: &BTreeSet<Var>, dom_name: &str) -> Formula {
                 Formula::Implies(r, g) if split_producer_filter(r, &target, outer).is_some() => {
                     Formula::forall(
                         vs.clone(),
-                        Formula::implies(
-                            (**r).clone(),
-                            walk(g, &inner_outer, dom_name),
-                        ),
+                        Formula::implies((**r).clone(), walk(g, &inner_outer, dom_name)),
                     )
                 }
-                Formula::Not(r) if split_producer_filter(r, &target, outer).is_some() => {
-                    f.clone()
-                }
+                Formula::Not(r) if split_producer_filter(r, &target, outer).is_some() => f.clone(),
                 // Otherwise: ∀x̄ F ≡ ∀x̄ dom(x̄) ⇒ F.
                 other => {
                     let doms: Vec<Formula> = vs

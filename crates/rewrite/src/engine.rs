@@ -71,10 +71,34 @@ pub struct Trace {
     pub steps: Vec<TraceStep>,
 }
 
+impl Trace {
+    /// Number of applications of each rule, keyed by rule name, in rule
+    /// order. Observability consumers (EXPLAIN ANALYZE, the metrics
+    /// registry) fold these into per-rule counters.
+    pub fn rule_counts(&self) -> Vec<(&'static str, usize)> {
+        let mut counts: Vec<(&'static str, usize)> = Vec::new();
+        for s in &self.steps {
+            let name = s.rule.name();
+            match counts.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((name, 1)),
+            }
+        }
+        counts
+    }
+}
+
 impl fmt::Display for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (i, s) in self.steps.iter().enumerate() {
-            writeln!(f, "{:>3}. [{}] {}  ⟶  {}", i + 1, s.rule.name(), s.before, s.after)?;
+            writeln!(
+                f,
+                "{:>3}. [{}] {}  ⟶  {}",
+                i + 1,
+                s.rule.name(),
+                s.before,
+                s.after
+            )?;
         }
         Ok(())
     }
@@ -186,10 +210,7 @@ pub fn canonicalize(formula: &Formula) -> Result<Formula, RewriteError> {
 }
 
 /// Canonicalize deterministically with an explicit step budget.
-pub fn canonicalize_with_budget(
-    formula: &Formula,
-    budget: usize,
-) -> Result<Formula, RewriteError> {
+pub fn canonicalize_with_budget(formula: &Formula, budget: usize) -> Result<Formula, RewriteError> {
     // Deterministic mode: only the first application is needed each step.
     let mut gen = NameGen::new();
     let mut current = formula.standardize_apart(&mut gen);

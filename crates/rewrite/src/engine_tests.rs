@@ -211,10 +211,7 @@ fn random_order_confluence_on_paper_examples() {
         let det = canonicalize(&f).unwrap();
         for seed in 0..10u64 {
             let rnd = canonicalize_random(&f, seed).unwrap();
-            assert!(
-                det.alpha_eq(&rnd),
-                "seed {seed} on {text}: {det} vs {rnd}"
-            );
+            assert!(det.alpha_eq(&rnd), "seed {seed} on {text}: {det} vs {rnd}");
         }
     }
 }
@@ -236,8 +233,12 @@ fn arb_formula() -> impl Strategy<Value = Formula> {
             inner.clone().prop_map(Formula::not),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::implies(a, b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::iff(a, b)),
-            inner.clone().prop_map(|f| Formula::exists1("x", Formula::and(parse("p(x)").unwrap(), f))),
-            inner.clone().prop_map(|f| Formula::forall1("y", Formula::implies(parse("s(y)").unwrap(), f))),
+            inner
+                .clone()
+                .prop_map(|f| Formula::exists1("x", Formula::and(parse("p(x)").unwrap(), f))),
+            inner
+                .clone()
+                .prop_map(|f| Formula::forall1("y", Formula::implies(parse("s(y)").unwrap(), f))),
             inner.prop_map(|f| Formula::exists1("y", Formula::and(parse("s(y)").unwrap(), f))),
         ]
     })

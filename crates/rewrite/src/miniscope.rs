@@ -65,11 +65,7 @@ fn atom_without_inner_vars(f: &Formula, bound: &mut BTreeSet<Var>) -> Option<Str
             }
         }
         Formula::Exists(vs, body) | Formula::Forall(vs, body) => {
-            let added: Vec<Var> = vs
-                .iter()
-                .filter(|v| !bound.contains(*v))
-                .cloned()
-                .collect();
+            let added: Vec<Var> = vs.iter().filter(|v| !bound.contains(*v)).cloned().collect();
             bound.extend(added.iter().cloned());
             let r = atom_without_inner_vars(body, bound);
             for v in added {
@@ -168,7 +164,10 @@ mod tests {
         // §2.2 F₁: ∃x p(x) ∧ (q(y) ∨ r(x)) — q(y) only mentions free y.
         let f = Formula::exists1(
             "x",
-            Formula::and(at("p", &["x"]), Formula::or(at("q", &["y"]), at("r", &["x"]))),
+            Formula::and(
+                at("p", &["x"]),
+                Formula::or(at("q", &["y"]), at("r", &["x"])),
+            ),
         );
         assert!(!is_miniscope(&f));
     }

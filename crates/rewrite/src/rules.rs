@@ -3,9 +3,7 @@
 //! an expression F₁ ⇒ F₂ is supposed to be written as ¬F₁ ∨ F₂, and
 //! F₁ ⇔ F₂ as (¬F₁ ∨ F₂) ∧ (¬F₂ ∨ F₁)").
 
-use gq_calculus::{
-    flatten_and, split_producer_filter, Formula, Governing, NameGen, Var,
-};
+use gq_calculus::{flatten_and, split_producer_filter, Formula, Governing, NameGen, Var};
 use std::collections::BTreeSet;
 
 /// Identifier of a rewriting rule. Numbers follow the paper.
@@ -170,10 +168,9 @@ pub fn try_apply(
         },
         RuleId::ElimImplies => match node {
             // Under a ∀, the implication is range notation (Rule 4's job).
-            Formula::Implies(a, b) if !ctx.is_forall_body() => Some(Formula::or(
-                Formula::not((**a).clone()),
-                (**b).clone(),
-            )),
+            Formula::Implies(a, b) if !ctx.is_forall_body() => {
+                Some(Formula::or(Formula::not((**a).clone()), (**b).clone()))
+            }
             _ => None,
         },
         RuleId::R5ForallNegRange => match node {
@@ -269,9 +266,9 @@ pub fn try_apply(
         RuleId::R10DistributeLeft => match node {
             Formula::Exists(vs, body) => match &**body {
                 Formula::And(or_part, f3) => match &**or_part {
-                    Formula::Or(f1, f2) => distribute(
-                        vs, f1, f2, f3, /*or_on_left=*/ true, ctx, gen,
-                    ),
+                    Formula::Or(f1, f2) => {
+                        distribute(vs, f1, f2, f3, /*or_on_left=*/ true, ctx, gen)
+                    }
                     _ => None,
                 },
                 _ => None,
@@ -281,9 +278,9 @@ pub fn try_apply(
         RuleId::R11DistributeRight => match node {
             Formula::Exists(vs, body) => match &**body {
                 Formula::And(f1, or_part) => match &**or_part {
-                    Formula::Or(f2, f3) => distribute(
-                        vs, f2, f3, f1, /*or_on_left=*/ false, ctx, gen,
-                    ),
+                    Formula::Or(f2, f3) => {
+                        distribute(vs, f2, f3, f1, /*or_on_left=*/ false, ctx, gen)
+                    }
                     _ => None,
                 },
                 _ => None,
@@ -324,8 +321,7 @@ pub fn try_apply(
                 };
                 // Rebuild the body twice, replacing the disjunctive
                 // conjunct with each disjunct in turn.
-                let conjuncts: Vec<Formula> =
-                    flatten_and(body).into_iter().cloned().collect();
+                let conjuncts: Vec<Formula> = flatten_and(body).into_iter().cloned().collect();
                 let with = |repl: Formula| {
                     Formula::and_all(
                         conjuncts
@@ -388,11 +384,7 @@ fn distribute(
     gen: &mut NameGen,
 ) -> Option<Formula> {
     let xs: BTreeSet<Var> = vs.iter().cloned().collect();
-    let or_free: BTreeSet<Var> = d1
-        .free_vars()
-        .union(&d2.free_vars())
-        .cloned()
-        .collect();
+    let or_free: BTreeSet<Var> = d1.free_vars().union(&d2.free_vars()).cloned().collect();
     if xs.is_disjoint(&or_free) {
         return None; // Rule 8/9 territory
     }
@@ -432,7 +424,6 @@ fn distribute(
     };
     let left = Formula::exists(vs.to_vec(), branch(d1));
     let mut taken = ctx.all_vars.clone();
-    let right =
-        Formula::exists(vs.to_vec(), branch(d2)).rename_bound_avoiding(&mut taken, gen);
+    let right = Formula::exists(vs.to_vec(), branch(d2)).rename_bound_avoiding(&mut taken, gen);
     Some(Formula::or(left, right))
 }

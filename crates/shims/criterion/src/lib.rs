@@ -1,0 +1,208 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the API subset its benches use: `Criterion`,
+//! `benchmark_group` / `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: a warm-up pass sizes the batch so a
+//! sample takes ≳1 ms, then `sample_size` samples are timed and the median,
+//! minimum and maximum per-iteration times are printed. No statistics
+//! beyond that, no plots, no baselines — enough to compare strategies by
+//! eye and to keep `cargo bench` runnable offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Runs the closure under timing.
+pub struct Bencher {
+    sample_size: usize,
+    /// Median, min, max per-iteration time of the last `iter` call.
+    result: Option<(Duration, Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Time `routine`, batching iterations so one sample is measurable.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and size the batch: aim for ≥1ms per sample.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t0.elapsed() / batch);
+        }
+        samples.sort();
+        self.result = Some((
+            samples[samples.len() / 2],
+            samples[0],
+            samples[samples.len() - 1],
+        ));
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Reduce/raise the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Ignored (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut b);
+        report(&self.name, &id.to_string(), b.result);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.to_string(), b.result);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, id: &str, result: Option<(Duration, Duration, Duration)>) {
+    match result {
+        Some((median, min, max)) => {
+            println!("{group}/{id:<40} median {median:>10.2?}  (min {min:.2?}, max {max:.2?})")
+        }
+        None => println!("{group}/{id:<40} (no measurement)"),
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: 10,
+            result: None,
+        };
+        f(&mut b);
+        report("bench", &id.to_string(), b.result);
+        self
+    }
+}
+
+/// Collect benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// The bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim-selftest");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum", 1000), &1000u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+}

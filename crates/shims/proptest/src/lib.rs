@@ -1,0 +1,514 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the API subset its property tests use: the
+//! [`Strategy`] trait with `prop_map` / `prop_recursive` /
+//! `prop_filter_map`, tuple and range strategies, `Just`, `any`,
+//! `prop::collection::vec`, a character-class regex string strategy, and
+//! the [`proptest!`] / [`prop_oneof!`] / [`prop_assert!`] macros.
+//!
+//! Differences from real proptest: no shrinking, no failure persistence
+//! (the `proptest-regressions` files are ignored), and case generation is
+//! seeded deterministically from the test name so runs are reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// The per-test random source handed to strategies.
+pub struct TestRng(pub StdRng);
+
+impl TestRng {
+    /// Deterministic RNG for a named test case.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(
+            h ^ ((case as u64) << 32 | case as u64),
+        ))
+    }
+}
+
+/// A boxed, clonable strategy: the universal combinator currency here.
+pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        BoxedStrategy(Arc::new(f))
+    }
+}
+
+/// Value-generation strategies (no shrinking).
+pub trait Strategy: Clone + 'static {
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        BoxedStrategy::from_fn(move |rng| self.sample(rng))
+    }
+
+    /// Map generated values.
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| f(self.sample(rng)))
+    }
+
+    /// Keep only values the function maps to `Some`.
+    fn prop_filter_map<U, F>(self, _whence: &'static str, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<U> + 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| {
+            for _ in 0..1000 {
+                if let Some(v) = f(self.sample(rng)) {
+                    return v;
+                }
+            }
+            panic!("prop_filter_map: rejected 1000 candidates ({_whence})")
+        })
+    }
+
+    /// Keep only values satisfying the predicate.
+    fn prop_filter<F>(self, _whence: &'static str, f: F) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        self.prop_filter_map(_whence, move |v| if f(&v) { Some(v) } else { None })
+    }
+
+    /// Recursive strategies: `self` is the leaf; `expand` builds one more
+    /// level from the strategy for the level below. At each level the leaf
+    /// is mixed back in so generated trees have varied depth.
+    fn prop_recursive<F, W>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        expand: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        F: Fn(BoxedStrategy<Self::Value>) -> W,
+        W: Strategy<Value = Self::Value>,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let expanded = expand(current).boxed();
+            let leaf = leaf.clone();
+            current = BoxedStrategy::from_fn(move |rng| {
+                if rng.0.gen_ratio(1, 3) {
+                    leaf.sample(rng)
+                } else {
+                    expanded.sample(rng)
+                }
+            });
+        }
+        current
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone)]
+pub struct Just<T: Clone + 'static>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// Types with a canonical strategy, for [`any`].
+pub trait Arbitrary: Sized + 'static {
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<bool> {
+        BoxedStrategy::from_fn(|rng| rng.0.gen_bool(0.5))
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary() -> BoxedStrategy<i64> {
+        BoxedStrategy::from_fn(|rng| {
+            // Mix edge cases in with uniform values, as real proptest does.
+            match rng.0.gen_range(0u32..8) {
+                0 => 0,
+                1 => 1,
+                2 => -1,
+                3 => i64::MAX,
+                4 => i64::MIN,
+                _ => rng.0.next_raw() as i64,
+            }
+        })
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary() -> BoxedStrategy<u64> {
+        BoxedStrategy::from_fn(|rng| match rng.0.gen_range(0u32..8) {
+            0 => 0,
+            1 => 1,
+            2 => u64::MAX,
+            _ => rng.0.next_raw(),
+        })
+    }
+}
+
+/// The canonical strategy for a type.
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    T::arbitrary()
+}
+
+/// Uniform choice between boxed alternatives (backs [`prop_oneof!`]).
+pub fn one_of<T: 'static>(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+    BoxedStrategy::from_fn(move |rng| {
+        let i = rng.0.gen_range(0..options.len());
+        options[i].sample(rng)
+    })
+}
+
+/// Strings matching a character-class regex: the subset with literal
+/// characters, `[a-z0-9_-]` classes, and `{m,n}` / `?` / `+` / `*`
+/// quantifiers (bounded at 8 for the unbounded ones).
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_char_regex(self)
+            .unwrap_or_else(|| panic!("unsupported regex strategy: {self:?}"));
+        let mut out = String::new();
+        for (chars, min, max) in &pieces {
+            let n = rng.0.gen_range(*min..=*max);
+            for _ in 0..n {
+                out.push(chars[rng.0.gen_range(0..chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+type RegexPiece = (Vec<char>, usize, usize);
+
+/// Parse the supported regex subset into (alternatives, min, max) pieces.
+fn parse_char_regex(pattern: &str) -> Option<Vec<RegexPiece>> {
+    let mut pieces: Vec<RegexPiece> = Vec::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let alternatives: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..].iter().position(|&c| c == ']')? + i;
+                let mut class = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        if lo > hi {
+                            return None;
+                        }
+                        class.extend(lo..=hi);
+                        j += 3;
+                    } else {
+                        class.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                class
+            }
+            '\\' => {
+                let c = *chars.get(i + 1)?;
+                i += 2;
+                vec![c]
+            }
+            ']' | '{' | '}' | '?' | '*' | '+' | '(' | ')' | '|' | '.' => return None,
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        if alternatives.is_empty() {
+            return None;
+        }
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..].iter().position(|&c| c == '}')? + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (lo.parse().ok()?, hi.parse().ok()?),
+                    None => {
+                        let n = body.parse().ok()?;
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        if min > max {
+            return None;
+        }
+        pieces.push((alternatives, min, max));
+    }
+    Some(pieces)
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{BoxedStrategy, Strategy, TestRng};
+    use rand::Rng as _;
+
+    /// Sizes acceptable to [`vec`].
+    pub trait IntoSizeRange {
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self)
+        }
+    }
+
+    /// A vector of values drawn from `element`, with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> BoxedStrategy<Vec<S::Value>> {
+        let (min, max) = size.bounds();
+        BoxedStrategy::from_fn(move |rng: &mut TestRng| {
+            let n = rng.0.gen_range(min..=max);
+            (0..n).map(|_| element.sample(rng)).collect()
+        })
+    }
+}
+
+/// Test-runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// What `use proptest::prelude::*` brings in.
+pub mod prelude {
+    pub use crate::{
+        any, one_of, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+    };
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of proptest's `prelude::prop` module path.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::one_of(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// The test-harness macro: each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` running `cases` deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $( $(#[$attr:meta])* fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::Strategy::sample(&$strategy, &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_strategy_matches_shape() {
+        let mut rng = TestRng::for_case("regex", 0);
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[a-z][a-z0-9_-]{0,6}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive_terminate() {
+        let leaf = prop_oneof![Just(1usize), Just(2usize)];
+        let tree = leaf.prop_recursive(4, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| a + b)
+        });
+        let mut rng = TestRng::for_case("recursive", 3);
+        for _ in 0..100 {
+            let v = tree.sample(&mut rng);
+            assert!(v >= 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn harness_macro_runs(x in 0i64..100, flip in any::<bool>()) {
+            prop_assert!((0..100).contains(&x));
+            let _ = flip;
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn collection_vec_sizes(v in prop::collection::vec(0i64..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| (0..5).contains(&x)));
+        }
+    }
+}

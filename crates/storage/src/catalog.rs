@@ -46,8 +46,7 @@ impl Database {
     /// Register or overwrite a relation under its own name (used for
     /// refreshing materialized views like the `dom` relation).
     pub fn replace_relation(&mut self, relation: Relation) {
-        self.relations
-            .insert(relation.name().to_string(), relation);
+        self.relations.insert(relation.name().to_string(), relation);
     }
 
     /// Insert a tuple into a named relation.

@@ -69,10 +69,11 @@ pub fn from_text(text: &str) -> Result<Database, PersistError> {
                 line: lineno,
                 message: e.to_string(),
             })?;
-            db.create_relation(&name, schema).map_err(|e| PersistError {
-                line: lineno,
-                message: e.to_string(),
-            })?;
+            db.create_relation(&name, schema)
+                .map_err(|e| PersistError {
+                    line: lineno,
+                    message: e.to_string(),
+                })?;
             current = Some(name);
         } else {
             let Some(name) = &current else {
@@ -98,13 +99,12 @@ pub fn save(db: &Database, path: &std::path::Path) -> std::io::Result<()> {
 
 /// Load from a file.
 pub fn load(path: &std::path::Path) -> Result<Database, StorageError> {
-    let text = std::fs::read_to_string(path).map_err(|e| StorageError::UnknownRelation(
-        format!("cannot read {}: {e}", path.display()),
-    ))?;
-    from_text(&text).map_err(|e| StorageError::UnknownRelation(format!(
-        "malformed database file {}: {e}",
-        path.display()
-    )))
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        StorageError::UnknownRelation(format!("cannot read {}: {e}", path.display()))
+    })?;
+    from_text(&text).map_err(|e| {
+        StorageError::UnknownRelation(format!("malformed database file {}: {e}", path.display()))
+    })
 }
 
 fn encode_value(v: &Value) -> String {
@@ -136,7 +136,9 @@ fn parse_header(rest: &str, line: usize) -> Result<(String, Vec<String>), Persis
         line,
         message: message.to_string(),
     };
-    let open = rest.find('(').ok_or_else(|| err("expected `name(attrs…)`"))?;
+    let open = rest
+        .find('(')
+        .ok_or_else(|| err("expected `name(attrs…)`"))?;
     if !rest.trim_end().ends_with(')') {
         return Err(err("expected closing `)`"));
     }
@@ -219,8 +221,10 @@ mod tests {
 
     fn sample() -> Database {
         let mut db = Database::new();
-        db.create_relation("student", Schema::new(vec!["name"]).unwrap()).unwrap();
-        db.create_relation("ages", Schema::new(vec!["name", "age"]).unwrap()).unwrap();
+        db.create_relation("student", Schema::new(vec!["name"]).unwrap())
+            .unwrap();
+        db.create_relation("ages", Schema::new(vec!["name", "age"]).unwrap())
+            .unwrap();
         db.insert("student", tuple!["ann"]).unwrap();
         db.insert("student", tuple!["bob"]).unwrap();
         db.insert("ages", tuple!["ann", 23]).unwrap();
@@ -235,8 +239,7 @@ mod tests {
             && names_a.iter().all(|n| {
                 let ra = a.relation(n).unwrap();
                 let rb = b.relation(n).unwrap();
-                ra.set_eq(rb)
-                    && ra.schema() == rb.schema()
+                ra.set_eq(rb) && ra.schema() == rb.schema()
             })
     }
 

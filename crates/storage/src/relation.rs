@@ -113,7 +113,11 @@ impl Relation {
     /// Remove a tuple. Returns whether it was present.
     pub fn remove(&mut self, t: &Tuple) -> bool {
         if self.seen.remove(t) {
-            let pos = self.rows.iter().position(|r| r == t).expect("seen implies stored");
+            let pos = self
+                .rows
+                .iter()
+                .position(|r| r == t)
+                .expect("seen implies stored");
             self.rows.remove(pos);
             true
         } else {

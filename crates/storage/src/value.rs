@@ -126,12 +126,14 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut vs = [Value::str("b"),
+        let mut vs = [
+            Value::str("b"),
             Value::Null,
             Value::int(3),
             Value::int(-1),
             Value::str("a"),
-            Value::Matched];
+            Value::Matched,
+        ];
         vs.sort();
         // Ints sort before strings before markers (derive order); stable and total.
         assert_eq!(vs[0], Value::int(-1));

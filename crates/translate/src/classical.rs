@@ -21,8 +21,8 @@
 //! the whole database domain; the domain is used otherwise.
 
 use crate::TranslateError;
-use gq_calculus::{Atom, Formula, NameGen, Term, Var};
 use gq_algebra::{AlgebraExpr, BoolExpr, Operand, Predicate};
+use gq_calculus::{Atom, Formula, NameGen, Term, Var};
 use gq_storage::Database;
 use std::collections::BTreeMap;
 
@@ -46,10 +46,7 @@ impl<'db> ClassicalTranslator<'db> {
 
     /// Translate an open query. Returns the answer variables in name order
     /// and a plan whose columns follow that order.
-    pub fn translate_open(
-        &self,
-        f: &Formula,
-    ) -> Result<(Vec<Var>, AlgebraExpr), TranslateError> {
+    pub fn translate_open(&self, f: &Formula) -> Result<(Vec<Var>, AlgebraExpr), TranslateError> {
         let free: Vec<Var> = f.free_vars().into_iter().collect();
         let expr = self.reduce(f, &free)?;
         Ok((free, expr))
@@ -156,8 +153,7 @@ impl<'db> ClassicalTranslator<'db> {
                 if let Formula::Atom(atom) = literal {
                     if let Some(pos) = atom.terms.iter().position(|t| t.as_var() == Some(v)) {
                         self.check_atom(atom)?;
-                        found =
-                            Some(AlgebraExpr::relation(&atom.relation).project(vec![pos]));
+                        found = Some(AlgebraExpr::relation(&atom.relation).project(vec![pos]));
                         break;
                     }
                 }
@@ -252,12 +248,14 @@ impl<'db> ClassicalTranslator<'db> {
                 let operand = |t: &Term| -> Result<Operand, TranslateError> {
                     match t {
                         Term::Const(v) => Ok(Operand::Const(v.clone())),
-                        Term::Var(v) => positions.get(v).map(|&p| Operand::Col(p)).ok_or_else(
-                            || TranslateError::Unsupported {
-                                context: "classical comparison".into(),
-                                subformula: c.to_string(),
-                            },
-                        ),
+                        Term::Var(v) => {
+                            positions.get(v).map(|&p| Operand::Col(p)).ok_or_else(|| {
+                                TranslateError::Unsupported {
+                                    context: "classical comparison".into(),
+                                    subformula: c.to_string(),
+                                }
+                            })
+                        }
                     }
                 };
                 let op = if positive { c.op } else { c.op.negated() };

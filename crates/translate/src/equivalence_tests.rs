@@ -85,11 +85,7 @@ fn uni_db() -> Database {
             vec!["name"],
             vec![vec!["ann"], vec!["bob"], vec!["eve"], vec!["joe"]],
         ),
-        (
-            "prof",
-            vec!["name"],
-            vec![vec!["kim"], vec!["lou"]],
-        ),
+        ("prof", vec!["name"], vec![vec!["kim"], vec!["lou"]]),
         (
             "lecture",
             vec!["name", "dept"],
@@ -141,24 +137,17 @@ fn uni_db() -> Database {
         (
             "member",
             vec!["person", "dept"],
-            vec![
-                vec!["kim", "cs"],
-                vec!["lou", "math"],
-                vec!["ann", "cs"],
-            ],
+            vec![vec!["kim", "cs"], vec!["lou", "math"], vec!["ann", "cs"]],
         ),
         (
             "skill",
             vec!["person", "topic"],
-            vec![
-                vec!["kim", "math"],
-                vec!["ann", "db"],
-                vec!["bob", "db"],
-            ],
+            vec![vec!["kim", "math"], vec!["ann", "db"], vec!["bob", "db"]],
         ),
     ];
     for (name, attrs, rows) in specs {
-        db.create_relation(name, Schema::new(attrs).unwrap()).unwrap();
+        db.create_relation(name, Schema::new(attrs).unwrap())
+            .unwrap();
         for row in rows {
             let t: Tuple = row.iter().map(Value::str).collect();
             db.insert(name, t).unwrap();
@@ -261,9 +250,14 @@ fn prop4_case5_division_plan_is_used() {
     let db = uni_db();
     let raw = parse("student(x) & (forall y. lecture(y,\"cs\") -> attends(x,y))").unwrap();
     let canonical = canonicalize(&raw).unwrap();
-    let (_, plan) = ImprovedTranslator::new(&db).translate_open(&canonical).unwrap();
+    let (_, plan) = ImprovedTranslator::new(&db)
+        .translate_open(&canonical)
+        .unwrap();
     assert!(plan.uses_division(), "expected division in: {plan}");
-    assert!(!plan.uses_product(), "no cartesian product expected: {plan}");
+    assert!(
+        !plan.uses_product(),
+        "no cartesian product expected: {plan}"
+    );
 }
 
 #[test]
@@ -276,9 +270,17 @@ fn prop4_cases_1_to_4_avoid_division() {
         "student(x) & !(exists y. attends(x,y) & !lecture(y,\"cs\"))",
     ] {
         let canonical = canonicalize(&parse(text).unwrap()).unwrap();
-        let (_, plan) = ImprovedTranslator::new(&db).translate_open(&canonical).unwrap();
-        assert!(!plan.uses_division(), "unexpected division for {text}: {plan}");
-        assert!(!plan.uses_product(), "unexpected product for {text}: {plan}");
+        let (_, plan) = ImprovedTranslator::new(&db)
+            .translate_open(&canonical)
+            .unwrap();
+        assert!(
+            !plan.uses_division(),
+            "unexpected division for {text}: {plan}"
+        );
+        assert!(
+            !plan.uses_product(),
+            "unexpected product for {text}: {plan}"
+        );
     }
 }
 
@@ -312,10 +314,7 @@ fn three_way_disjunctive_filter() {
 
 #[test]
 fn disjunctive_filter_with_comparison() {
-    assert_equivalent(
-        &uni_db(),
-        "enrolled(x,d) & (d = \"cs\" | skill(x,\"db\"))",
-    );
+    assert_equivalent(&uni_db(), "enrolled(x,d) & (d = \"cs\" | skill(x,\"db\"))");
 }
 
 #[test]
@@ -387,10 +386,14 @@ fn vacuous_universal_is_true() {
 fn random_db(seed: u64, scale: usize) -> Database {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut db = Database::new();
-    db.create_relation("p", Schema::new(vec!["a"]).unwrap()).unwrap();
-    db.create_relation("q", Schema::new(vec!["a"]).unwrap()).unwrap();
-    db.create_relation("r", Schema::new(vec!["a", "b"]).unwrap()).unwrap();
-    db.create_relation("s", Schema::new(vec!["a", "b"]).unwrap()).unwrap();
+    db.create_relation("p", Schema::new(vec!["a"]).unwrap())
+        .unwrap();
+    db.create_relation("q", Schema::new(vec!["a"]).unwrap())
+        .unwrap();
+    db.create_relation("r", Schema::new(vec!["a", "b"]).unwrap())
+        .unwrap();
+    db.create_relation("s", Schema::new(vec!["a", "b"]).unwrap())
+        .unwrap();
     let n = scale.max(2) as i64;
     for _ in 0..scale {
         let _ = db.insert("p", Tuple::new(vec![Value::Int(rng.gen_range(0..n))]));
@@ -462,10 +465,9 @@ fn division_modes_agree() {
         assert!(results[0].set_eq(&results[1]), "modes differ on `{text}`");
     }
     // And the complement-join mode really is division-free.
-    let canonical = canonicalize(
-        &parse("student(x) & (forall y. lecture(y,\"cs\") -> attends(x,y))").unwrap(),
-    )
-    .unwrap();
+    let canonical =
+        canonicalize(&parse("student(x) & (forall y. lecture(y,\"cs\") -> attends(x,y))").unwrap())
+            .unwrap();
     let tr = ImprovedTranslator::new(&db).with_division_mode(DivisionMode::ComplementJoin);
     let (_, plan) = tr.translate_open(&canonical).unwrap();
     assert!(!plan.uses_division(), "{plan}");
@@ -524,14 +526,16 @@ fn prop5_nary_random_negation_patterns() {
         db.create_relation("p", Schema::anonymous(1)).unwrap();
         let rows = rng.gen_range(3..25usize);
         for i in 0..rows {
-            db.insert("p", Tuple::new(vec![Value::Int(i as i64)])).unwrap();
+            db.insert("p", Tuple::new(vec![Value::Int(i as i64)]))
+                .unwrap();
         }
         for k in 1..=n {
             let name = format!("t{k}");
             db.create_relation(&name, Schema::anonymous(1)).unwrap();
             for i in 0..rows {
                 if rng.gen_bool(0.4) {
-                    db.insert(&name, Tuple::new(vec![Value::Int(i as i64)])).unwrap();
+                    db.insert(&name, Tuple::new(vec![Value::Int(i as i64)]))
+                        .unwrap();
                 }
             }
         }
@@ -575,13 +579,18 @@ fn cost_ordering_preserves_answers() {
         if f.is_closed() {
             continue; // covered by the open cases; closed plumbing identical
         }
-        let (_, plain) = ImprovedTranslator::new(&db).translate_open(&canonical).unwrap();
+        let (_, plain) = ImprovedTranslator::new(&db)
+            .translate_open(&canonical)
+            .unwrap();
         let (_, ordered) = ImprovedTranslator::new(&db)
             .with_cost_ordering(true)
             .translate_open(&canonical)
             .unwrap();
         let a = Evaluator::new(&db).eval(&plain).unwrap();
         let b = Evaluator::new(&db).eval(&ordered).unwrap();
-        assert!(a.set_eq(&b), "seed {seed}: {canonical}\nplain: {plain}\nordered: {ordered}");
+        assert!(
+            a.set_eq(&b),
+            "seed {seed}: {canonical}\nplain: {plain}\nordered: {ordered}"
+        );
     }
 }

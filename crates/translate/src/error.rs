@@ -46,7 +46,10 @@ impl fmt::Display for TranslateError {
             TranslateError::Unsupported {
                 context,
                 subformula,
-            } => write!(f, "unsupported shape while translating {context}: `{subformula}`"),
+            } => write!(
+                f,
+                "unsupported shape while translating {context}: `{subformula}`"
+            ),
         }
     }
 }

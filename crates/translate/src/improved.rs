@@ -29,11 +29,10 @@
 //! guard, which the paper glosses over.
 
 use crate::{Layout, TranslateError};
-use gq_calculus::{
-    check_restricted_open, split_producer_filter, Atom, CompareOp, Comparison,
-    Formula, Term, Var,
-};
 use gq_algebra::{AlgebraExpr, BoolExpr, Constraint, Operand, Predicate};
+use gq_calculus::{
+    check_restricted_open, split_producer_filter, Atom, CompareOp, Comparison, Formula, Term, Var,
+};
 use gq_storage::Database;
 use std::collections::BTreeSet;
 
@@ -114,10 +113,7 @@ impl<'db> ImprovedTranslator<'db> {
     /// Translate an open query (free variables = answer variables, in name
     /// order). The input should be in canonical form; non-canonical but
     /// restricted inputs are handled on a best-effort basis.
-    pub fn translate_open(
-        &self,
-        f: &Formula,
-    ) -> Result<(Vec<Var>, AlgebraExpr), TranslateError> {
+    pub fn translate_open(&self, f: &Formula) -> Result<(Vec<Var>, AlgebraExpr), TranslateError> {
         let free: Vec<Var> = f.free_vars().into_iter().collect();
         if free.is_empty() {
             return Err(TranslateError::Unsupported {
@@ -129,11 +125,7 @@ impl<'db> ImprovedTranslator<'db> {
         Ok((free, expr))
     }
 
-    fn translate_open_aligned(
-        &self,
-        f: &Formula,
-        free: &[Var],
-    ) -> Result<Typed, TranslateError> {
+    fn translate_open_aligned(&self, f: &Formula, free: &[Var]) -> Result<Typed, TranslateError> {
         // Definition 3 case 2: disjunction of open queries → union.
         if let Formula::Or(a, b) = f {
             if !a.free_vars().is_empty() {
@@ -318,12 +310,12 @@ impl<'db> ImprovedTranslator<'db> {
                 let (la, ea) = self.translate_range(a, target, outer)?;
                 let (lb, eb) = self.translate_range(b, target, outer)?;
                 // Align the right branch to the left's column order.
-                let positions = lb
-                    .positions_of(la.columns().iter())
-                    .ok_or_else(|| TranslateError::Unsupported {
+                let positions = lb.positions_of(la.columns().iter()).ok_or_else(|| {
+                    TranslateError::Unsupported {
                         context: "range disjunction (mismatched variables)".into(),
                         subformula: f.to_string(),
-                    })?;
+                    }
+                })?;
                 Ok((la, ea.union(eb.project(positions))))
             }
             Formula::Exists(ys, r) => {
@@ -377,10 +369,7 @@ impl<'db> ImprovedTranslator<'db> {
         for (i, t) in a.terms.iter().enumerate() {
             match t {
                 Term::Const(c) => preds.push(Predicate::col_const(i, CompareOp::Eq, c.clone())),
-                Term::Var(v) => match a.terms[..i]
-                    .iter()
-                    .position(|u| u.as_var() == Some(v))
-                {
+                Term::Var(v) => match a.terms[..i].iter().position(|u| u.as_var() == Some(v)) {
                     Some(first) => preds.push(Predicate::col_col(first, CompareOp::Eq, i)),
                     None => {
                         vars.push(v.clone());
@@ -409,12 +398,10 @@ impl<'db> ImprovedTranslator<'db> {
     ) -> Result<Option<Typed>, TranslateError> {
         let (lay, expr) = ctx;
         match filter {
-            Formula::Compare(c) => {
-                match self.comparison_predicate(c, &lay) {
-                    Some(p) => Ok(Some((lay, expr.select(p)))),
-                    None => Ok(None),
-                }
-            }
+            Formula::Compare(c) => match self.comparison_predicate(c, &lay) {
+                Some(p) => Ok(Some((lay, expr.select(p)))),
+                None => Ok(None),
+            },
             Formula::Or(..) => self.apply_disjunctive_filter((lay, expr), filter, outer),
             // A conjunctive filter (e.g. `¬q(x) ∧ ¬r(x,x)`, produced by
             // De Morgan inside a disjunct): apply each conjunct in turn.
@@ -539,9 +526,7 @@ impl<'db> ImprovedTranslator<'db> {
                 // the subquery's own producers bind them; otherwise the
                 // standalone attempt fails and the caller correlates.
                 let Some(pf) = split_producer_filter(body, &target, &cvars_set) else {
-                    return Err(TranslateError::Unrestricted(
-                        unrestricted_diag(d),
-                    ));
+                    return Err(TranslateError::Unrestricted(unrestricted_diag(d)));
                 };
                 match self.translate_block(&pf.producers, &pf.filters, &cvars_set)? {
                     Some((blay, bexpr)) => {
@@ -549,8 +534,7 @@ impl<'db> ImprovedTranslator<'db> {
                             return Ok(None); // case 2b: needs correlation
                         }
                         let cvars: Vec<Var> = cvars_set.into_iter().collect();
-                        let positions =
-                            blay.positions_of(cvars.iter()).expect("checked above");
+                        let positions = blay.positions_of(cvars.iter()).expect("checked above");
                         Ok(Some(Test::Membership {
                             cvars,
                             expr: bexpr.project(positions),
@@ -589,13 +573,11 @@ impl<'db> ImprovedTranslator<'db> {
                 Formula::Exists(zs, body) => {
                     // Division (Proposition 4 case 5) when sound.
                     let (lay, expr) = ctx;
-                    if let Some(t) =
-                        self.try_division_negated(&lay, zs, body)?
-                    {
+                    if let Some(t) = self.try_division_negated(&lay, zs, body)? {
                         return Ok(Some(apply_test((lay, expr), t, self.division_mode)));
                     }
-                    let matched = self
-                        .correlated_matches((lay.clone(), expr.clone()), zs, body, outer)?;
+                    let matched =
+                        self.correlated_matches((lay.clone(), expr.clone()), zs, body, outer)?;
                     let Some((mlay, mexpr)) = matched else {
                         return Ok(None);
                     };
@@ -604,8 +586,7 @@ impl<'db> ImprovedTranslator<'db> {
                         .expect("context columns preserved");
                     let violators = mexpr.project(positions);
                     // E ⊼ (rows with a witness) on all columns.
-                    let on: Vec<(usize, usize)> =
-                        (0..lay.arity()).map(|i| (i, i)).collect();
+                    let on: Vec<(usize, usize)> = (0..lay.arity()).map(|i| (i, i)).collect();
                     Ok(Some((lay, expr.complement_join(violators, on))))
                 }
                 _ => Ok(None),
@@ -632,8 +613,7 @@ impl<'db> ImprovedTranslator<'db> {
         };
         let mut acc: Typed = (lay, expr);
         for p in &pf.producers {
-            let vars: BTreeSet<Var> =
-                p.free_vars().difference(&ctx_outer).cloned().collect();
+            let vars: BTreeSet<Var> = p.free_vars().difference(&ctx_outer).cloned().collect();
             let t = self.translate_range(p, &vars, &ctx_outer)?;
             acc = join_natural(acc, t);
         }
@@ -671,11 +651,8 @@ impl<'db> ImprovedTranslator<'db> {
             return Ok(None);
         };
         // Divisor uncorrelated with the context?
-        let producer_vars: BTreeSet<Var> = pf
-            .producers
-            .iter()
-            .flat_map(|p| p.free_vars())
-            .collect();
+        let producer_vars: BTreeSet<Var> =
+            pf.producers.iter().flat_map(|p| p.free_vars()).collect();
         if !producer_vars.is_disjoint(&ctx_vars) {
             return Ok(None);
         }
@@ -685,13 +662,16 @@ impl<'db> ImprovedTranslator<'db> {
         if !zs.iter().all(|z| gvars.contains(z)) {
             return Ok(None);
         }
-        let cvars: Vec<Var> = gvars.iter().filter(|v| !target.contains(v)).cloned().collect();
+        let cvars: Vec<Var> = gvars
+            .iter()
+            .filter(|v| !target.contains(v))
+            .cloned()
+            .collect();
         if !lay.contains_all(cvars.iter()) {
             return Ok(None);
         }
         // Build divisor = π_z̄(T-block) and g aligned to [cvars…, z̄…].
-        let Some((dlay, dexpr)) =
-            self.translate_block(&pf.producers, &[], &BTreeSet::new())?
+        let Some((dlay, dexpr)) = self.translate_block(&pf.producers, &[], &BTreeSet::new())?
         else {
             return Ok(None);
         };
@@ -701,7 +681,9 @@ impl<'db> ImprovedTranslator<'db> {
         let divisor = dexpr.project(dpos);
         let (glay, gexpr) = self.translate_atom(g_atom)?;
         let aligned: Vec<Var> = cvars.iter().chain(zs.iter()).cloned().collect();
-        let gpos = glay.positions_of(aligned.iter()).expect("g carries C and z̄");
+        let gpos = glay
+            .positions_of(aligned.iter())
+            .expect("g carries C and z̄");
         Ok(Some(Test::Division {
             cvars,
             g_aligned: gexpr.project(gpos),
@@ -741,7 +723,9 @@ impl<'db> ImprovedTranslator<'db> {
                     None => return Ok(None),
                 },
                 Formula::Not(inner) if matches!(&**inner, Formula::Compare(_)) => {
-                    let Formula::Compare(c) = &**inner else { unreachable!() };
+                    let Formula::Compare(c) = &**inner else {
+                        unreachable!()
+                    };
                     match self.comparison_predicate(c, &lay) {
                         Some(pred) => parts.push(Part::Pred(Predicate::Not(Box::new(pred)))),
                         None => return Ok(None),
@@ -758,11 +742,7 @@ impl<'db> ImprovedTranslator<'db> {
                         };
                         let on: Vec<(usize, usize)> =
                             lpos.into_iter().enumerate().map(|(i, l)| (l, i)).collect();
-                        parts.push(Part::Probe {
-                            on,
-                            test,
-                            positive,
-                        });
+                        parts.push(Part::Probe { on, test, positive });
                     }
                     // Division tests inside disjunctions: fall back to the
                     // union-of-applications plan.
@@ -787,16 +767,9 @@ impl<'db> ImprovedTranslator<'db> {
                     // positive disjunct k → require m_k = ∅ (not yet
                     // satisfied); negated disjunct k → require m_k ≠ ∅.
                     let constraint = Constraint {
-                        tests: marker_cols
-                            .iter()
-                            .map(|&(col, pos)| (col, pos))
-                            .collect(),
+                        tests: marker_cols.iter().map(|&(col, pos)| (col, pos)).collect(),
                     };
-                    chained = chained.constrained_outer_join(
-                        test.clone(),
-                        on.clone(),
-                        constraint,
-                    );
+                    chained = chained.constrained_outer_join(test.clone(), on.clone(), constraint);
                     sigma.push(if *positive {
                         Predicate::NotNull(marker_col)
                     } else {
@@ -881,14 +854,19 @@ fn apply_test(ctx: Typed, test: Test, mode: DivisionMode) -> Typed {
             let lpos = lay
                 .positions_of(cvars.iter())
                 .expect("division vars available in context");
-            let on: Vec<(usize, usize)> =
-                lpos.iter().copied().enumerate().map(|(i, l)| (l, i)).collect();
+            let on: Vec<(usize, usize)> = lpos
+                .iter()
+                .copied()
+                .enumerate()
+                .map(|(i, l)| (l, i))
+                .collect();
             match mode {
                 DivisionMode::Divide => {
                     // quotient = π_C(g ÷ divisor); divide the z̄ columns
                     // (which sit after the C columns in g_aligned).
-                    let dz: Vec<(usize, usize)> =
-                        (0..divisor_arity_of(&divisor, c)).map(|i| (c + i, i)).collect();
+                    let dz: Vec<(usize, usize)> = (0..divisor_arity_of(&divisor, c))
+                        .map(|i| (c + i, i))
+                        .collect();
                     let quotient = g_aligned.divide(divisor.clone(), dz);
                     // E ⋉ quotient, plus all of E when the divisor is
                     // empty (vacuous ∀).

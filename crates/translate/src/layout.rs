@@ -49,10 +49,7 @@ impl Layout {
     }
 
     /// Positions of `vars` (first occurrence each); `None` if any missing.
-    pub fn positions_of<'a>(
-        &self,
-        vars: impl IntoIterator<Item = &'a Var>,
-    ) -> Option<Vec<usize>> {
+    pub fn positions_of<'a>(&self, vars: impl IntoIterator<Item = &'a Var>) -> Option<Vec<usize>> {
         vars.into_iter().map(|v| self.position_of(v)).collect()
     }
 

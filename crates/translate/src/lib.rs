@@ -20,6 +20,7 @@ mod classical;
 mod error;
 mod improved;
 mod layout;
+mod shape;
 
 #[cfg(test)]
 mod equivalence_tests;
@@ -30,3 +31,4 @@ pub use classical::ClassicalTranslator;
 pub use error::TranslateError;
 pub use improved::{DivisionMode, ImprovedTranslator};
 pub use layout::Layout;
+pub use shape::PlanShape;

@@ -28,7 +28,9 @@ fn random_db(rng: &mut StdRng, scale: usize) -> Database {
     for (name, arity) in schema_atoms() {
         db.create_relation(name, Schema::anonymous(arity)).unwrap();
         for _ in 0..scale * arity {
-            let t: Tuple = (0..arity).map(|_| Value::Int(rng.gen_range(0..n))).collect();
+            let t: Tuple = (0..arity)
+                .map(|_| Value::Int(rng.gen_range(0..n)))
+                .collect();
             let _ = db.insert(name, t);
         }
     }
@@ -65,15 +67,29 @@ fn gen_atom(rng: &mut StdRng, vars: &[Var], scale: usize) -> Formula {
 /// `depth`. Filters may be atoms, negated atoms, comparisons, quantified
 /// subqueries (∃/∀ with fresh inner variables), or disjunctions of the
 /// above.
-fn gen_filter(rng: &mut StdRng, avail: &[Var], depth: usize, fresh: &mut usize, scale: usize) -> Formula {
+fn gen_filter(
+    rng: &mut StdRng,
+    avail: &[Var],
+    depth: usize,
+    fresh: &mut usize,
+    scale: usize,
+) -> Formula {
     let v = avail[rng.gen_range(0..avail.len())].clone();
-    let choice = if depth == 0 { rng.gen_range(0..4) } else { rng.gen_range(0..7) };
+    let choice = if depth == 0 {
+        rng.gen_range(0..4)
+    } else {
+        rng.gen_range(0..7)
+    };
     match choice {
         0 => gen_atom(rng, &[v], scale),
         1 => Formula::not(gen_atom(rng, &[v], scale)),
         2 => Formula::compare(
             Term::Var(v),
-            if rng.gen_bool(0.5) { CompareOp::Ne } else { CompareOp::Lt },
+            if rng.gen_bool(0.5) {
+                CompareOp::Ne
+            } else {
+                CompareOp::Lt
+            },
             Term::constant(rng.gen_range(0..scale.max(2) as i64)),
         ),
         3 => {
@@ -178,8 +194,14 @@ mod tests {
             let nl = PipelineEvaluator::new(&db)
                 .eval_closed(&canonical)
                 .unwrap_or_else(|e| panic!("pipeline seed {seed}: {e}\n{canonical}"));
-            assert_eq!(imp, cls, "seed {seed}: improved vs classical\n{f}\n{canonical}");
-            assert_eq!(imp, nl, "seed {seed}: improved vs nested-loop\n{f}\n{canonical}");
+            assert_eq!(
+                imp, cls,
+                "seed {seed}: improved vs classical\n{f}\n{canonical}"
+            );
+            assert_eq!(
+                imp, nl,
+                "seed {seed}: improved vs nested-loop\n{f}\n{canonical}"
+            );
         } else {
             let (_, plan) = ImprovedTranslator::new(&db)
                 .translate_open(&canonical)

@@ -1,0 +1,150 @@
+//! Plan-shape facts: what a translation produced, structurally.
+//!
+//! The paper's claims C2/C3 are *shape* claims — the improved translation
+//! avoids cartesian products everywhere and division in all but one case —
+//! so the observability layer records the operator census of every
+//! translated plan alongside its timings.
+
+use gq_algebra::AlgebraExpr;
+use gq_obs::TraceBuilder;
+
+/// The structural census of one algebra plan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanShape {
+    /// `(operator kind, count)` pairs in first-encounter (preorder) order.
+    pub operator_counts: Vec<(&'static str, usize)>,
+    /// Total operator nodes.
+    pub nodes: usize,
+    /// Does the plan contain a division? (Claim C3.)
+    pub uses_division: bool,
+    /// Does the plan contain a cartesian product? (Claim C2.)
+    pub uses_product: bool,
+}
+
+/// Short kind name of an operator node (stable: used as counter keys).
+fn kind(e: &AlgebraExpr) -> &'static str {
+    match e {
+        AlgebraExpr::Relation(_) => "scan",
+        AlgebraExpr::Literal(_) => "literal",
+        AlgebraExpr::Select { .. } => "select",
+        AlgebraExpr::Project { .. } => "project",
+        AlgebraExpr::GroupCount { .. } => "group-count",
+        AlgebraExpr::Product { .. } => "product",
+        AlgebraExpr::Join { .. } => "join",
+        AlgebraExpr::SemiJoin { .. } => "semi-join",
+        AlgebraExpr::ComplementJoin { .. } => "complement-join",
+        AlgebraExpr::Division { .. } => "division",
+        AlgebraExpr::Union { .. } => "union",
+        AlgebraExpr::Difference { .. } => "difference",
+        AlgebraExpr::LeftOuterJoin { .. } => "outer-join",
+        AlgebraExpr::ConstrainedOuterJoin { .. } => "constrained-outer-join",
+    }
+}
+
+impl PlanShape {
+    /// Take the census of a plan.
+    pub fn of(plan: &AlgebraExpr) -> PlanShape {
+        let mut shape = PlanShape::default();
+        fn walk(e: &AlgebraExpr, shape: &mut PlanShape) {
+            let k = kind(e);
+            match shape.operator_counts.iter_mut().find(|(n, _)| *n == k) {
+                Some((_, c)) => *c += 1,
+                None => shape.operator_counts.push((k, 1)),
+            }
+            shape.nodes += 1;
+            for c in e.children() {
+                walk(c, shape);
+            }
+        }
+        walk(plan, &mut shape);
+        shape.uses_division = plan.uses_division();
+        shape.uses_product = plan.uses_product();
+        shape
+    }
+
+    /// Combined census over several plans — the algebra subplans of a
+    /// closed query's boolean plan
+    /// ([`BoolExpr::algebra_exprs`](gq_algebra::BoolExpr::algebra_exprs)).
+    pub fn of_roots<'a>(roots: impl IntoIterator<Item = &'a AlgebraExpr>) -> PlanShape {
+        let mut combined = PlanShape::default();
+        for root in roots {
+            let s = PlanShape::of(root);
+            for (k, c) in s.operator_counts {
+                match combined.operator_counts.iter_mut().find(|(n, _)| *n == k) {
+                    Some((_, total)) => *total += c,
+                    None => combined.operator_counts.push((k, c)),
+                }
+            }
+            combined.nodes += s.nodes;
+            combined.uses_division |= s.uses_division;
+            combined.uses_product |= s.uses_product;
+        }
+        combined
+    }
+
+    /// Count of one operator kind (0 when absent).
+    pub fn count(&self, kind: &str) -> usize {
+        self.operator_counts
+            .iter()
+            .find(|(n, _)| *n == kind)
+            .map(|&(_, c)| c)
+            .unwrap_or(0)
+    }
+
+    /// Record the census into a trace: `uses_division` / `uses_product` /
+    /// `plan_nodes` as facts, per-operator counts as `plan.op.*` counters.
+    pub fn record_into(&self, tb: &TraceBuilder) {
+        tb.fact("uses_division", self.uses_division);
+        tb.fact("uses_product", self.uses_product);
+        tb.fact("plan_nodes", self.nodes);
+        for &(k, c) in &self.operator_counts {
+            tb.incr(&format!("plan.op.{k}"), c as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(n: &str) -> Box<AlgebraExpr> {
+        Box::new(AlgebraExpr::Relation(n.into()))
+    }
+
+    #[test]
+    fn census_counts_every_node() {
+        let plan = AlgebraExpr::ComplementJoin {
+            left: Box::new(AlgebraExpr::Product {
+                left: scan("p"),
+                right: scan("q"),
+            }),
+            right: scan("r"),
+            on: vec![(0, 0)],
+        };
+        let shape = PlanShape::of(&plan);
+        assert_eq!(shape.nodes, 5);
+        assert_eq!(shape.count("scan"), 3);
+        assert_eq!(shape.count("complement-join"), 1);
+        assert_eq!(shape.count("division"), 0);
+        assert!(shape.uses_product);
+        assert!(!shape.uses_division);
+    }
+
+    #[test]
+    fn record_into_emits_facts_and_counters() {
+        let plan = AlgebraExpr::Division {
+            left: scan("p"),
+            right: scan("q"),
+            on: vec![(1, 0)],
+        };
+        let tb = TraceBuilder::new();
+        PlanShape::of(&plan).record_into(&tb);
+        let t = tb.finish("q", "classical");
+        assert_eq!(t.counters["plan.op.division"], 1);
+        assert_eq!(t.counters["plan.op.scan"], 2);
+        assert!(t
+            .facts
+            .iter()
+            .any(|(k, v)| k == "uses_division" && v == &gq_obs::Json::Bool(true)));
+    }
+}

@@ -84,7 +84,8 @@ pub fn university(scale: &UniversityScale) -> Database {
     let mut rng = StdRng::seed_from_u64(scale.seed);
     let mut db = Database::new();
     let rel = |db: &mut Database, name: &str, attrs: Vec<&str>| {
-        db.create_relation(name, Schema::new(attrs).unwrap()).unwrap();
+        db.create_relation(name, Schema::new(attrs).unwrap())
+            .unwrap();
     };
     rel(&mut db, "student", vec!["name"]);
     rel(&mut db, "prof", vec!["name"]);
@@ -188,16 +189,20 @@ pub struct PtuScale {
 pub fn ptu(scale: &PtuScale) -> Database {
     let mut rng = StdRng::seed_from_u64(scale.seed);
     let mut db = Database::new();
-    db.create_relation("p", Schema::new(vec!["v"]).unwrap()).unwrap();
+    db.create_relation("p", Schema::new(vec!["v"]).unwrap())
+        .unwrap();
     for i in 0..scale.p {
-        db.insert("p", Tuple::new(vec![Value::Int(i as i64)])).unwrap();
+        db.insert("p", Tuple::new(vec![Value::Int(i as i64)]))
+            .unwrap();
     }
     for k in 1..=scale.filters.max(2) {
         let name = format!("t{k}");
-        db.create_relation(&name, Schema::new(vec!["v"]).unwrap()).unwrap();
+        db.create_relation(&name, Schema::new(vec!["v"]).unwrap())
+            .unwrap();
         for i in 0..scale.p {
             if rng.gen_bool(scale.coverage) {
-                db.insert(&name, Tuple::new(vec![Value::Int(i as i64)])).unwrap();
+                db.insert(&name, Tuple::new(vec![Value::Int(i as i64)]))
+                    .unwrap();
             }
         }
         for _ in 0..scale.p / 10 {
@@ -223,10 +228,14 @@ pub fn ptu(scale: &PtuScale) -> Database {
 pub fn generic(domain: usize, rows: usize, seed: u64) -> Database {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut db = Database::new();
-    db.create_relation("p", Schema::new(vec!["a"]).unwrap()).unwrap();
-    db.create_relation("q", Schema::new(vec!["a"]).unwrap()).unwrap();
-    db.create_relation("r", Schema::new(vec!["a", "b"]).unwrap()).unwrap();
-    db.create_relation("s", Schema::new(vec!["a", "b"]).unwrap()).unwrap();
+    db.create_relation("p", Schema::new(vec!["a"]).unwrap())
+        .unwrap();
+    db.create_relation("q", Schema::new(vec!["a"]).unwrap())
+        .unwrap();
+    db.create_relation("r", Schema::new(vec!["a", "b"]).unwrap())
+        .unwrap();
+    db.create_relation("s", Schema::new(vec!["a", "b"]).unwrap())
+        .unwrap();
     let n = domain.max(2) as i64;
     for v in 0..n {
         if rng.gen_bool(0.7) {

@@ -69,7 +69,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "forall m,d. (manager(m,d) & employee(m,d)) -> employee(m,d)",
     )?;
 
-    println!("checking {} constraints…\n", constraints.constraints().len());
+    println!(
+        "checking {} constraints…\n",
+        constraints.constraints().len()
+    );
     for report in constraints.check_all(&engine)? {
         if report.satisfied {
             println!("✓ {}", report.name);

@@ -52,14 +52,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     println!("who has borrowed every sci-fi book?");
-    for t in engine.query("scifi_completionist(x)")?.answers.sorted_tuples() {
+    for t in engine
+        .query("scifi_completionist(x)")?
+        .answers
+        .sorted_tuples()
+    {
         println!("  {t}");
     }
 
     println!("\nactive borrowers holding no classics:");
-    let r = engine.query(
-        "borrower(x) & !(exists b. loan(x,b) & book(b,\"classic\"))",
-    )?;
+    let r = engine.query("borrower(x) & !(exists b. loan(x,b) & book(b,\"classic\"))")?;
     for t in r.answers.sorted_tuples() {
         println!("  {t}");
     }
@@ -100,11 +102,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     // "which database values are not book titles?" — pure negation, only
     // answerable under the Domain Closure Assumption.
-    let r = engine.query_with_options(
-        "!(exists g. book(x,g))",
-        Strategy::Improved,
-        options,
-    )?;
+    let r = engine.query_with_options("!(exists g. book(x,g))", Strategy::Improved, options)?;
     println!(
         "\nvalues that are not book titles (domain closure): {} of {}",
         r.len(),

@@ -18,8 +18,10 @@
 //! Commands: `.relation name(attr, …)`, `.insert name(value, …)`,
 //! `.relations`, `.view name <query>`, `.views`,
 //! `.strategy improved|classical|nested-loop`, `.explain <query>`,
-//! `.load-university <n>`, `.save <file>`, `.load <file>`, `.help`,
-//! `.quit`. Anything else is evaluated as a calculus query.
+//! `:analyze <query>` (execute with per-node instrumentation and render
+//! the annotated plan), `.load-university <n>`, `.save <file>`,
+//! `.load <file>`, `.help`, `.quit`. Anything else is evaluated as a
+//! calculus query.
 
 use gq_core::{QueryEngine, Strategy};
 use gq_storage::{Database, Schema, Tuple, Value};
@@ -72,7 +74,14 @@ impl Repl {
             let (name, values) = parse_signature(rest)?;
             let tuple: Tuple = values.into_iter().map(parse_value).collect();
             let fresh = self.engine.db_mut().insert(&name, tuple)?;
-            println!("{}", if fresh { "inserted" } else { "duplicate (ignored)" });
+            println!(
+                "{}",
+                if fresh {
+                    "inserted"
+                } else {
+                    "duplicate (ignored)"
+                }
+            );
         } else if let Some(rest) = line.strip_prefix(".view ") {
             let rest = rest.trim();
             let Some((name, query)) = rest.split_once(' ') else {
@@ -106,6 +115,18 @@ impl Repl {
             println!("strategy: {}", self.strategy.name());
         } else if let Some(rest) = line.strip_prefix(".explain ") {
             println!("{}", self.engine.explain(rest)?);
+        } else if let Some(rest) = line
+            .strip_prefix(":analyze ")
+            .or_else(|| line.strip_prefix(".analyze "))
+        {
+            println!(
+                "{}",
+                self.engine.explain_analyze_with_options(
+                    rest.trim(),
+                    self.strategy,
+                    Default::default()
+                )?
+            );
         } else if let Some(rest) = line.strip_prefix(".load-university") {
             let n: usize = rest.trim().parse().unwrap_or(100);
             self.engine = QueryEngine::new(university(&UniversityScale::of_size(n)));
@@ -124,6 +145,7 @@ impl Repl {
                  .relations                list relations\n\
                  .strategy s               improved | classical | nested-loop\n\
                  .explain <query>          show both processing phases\n\
+                 :analyze <query>          execute + annotated plan (EXPLAIN ANALYZE)\n\
                  .load-university <n>      load a generated database\n\
                  .quit                     exit\n\
                  anything else             evaluate as a calculus query"

@@ -25,7 +25,10 @@ fn c1_each_relation_scanned_once() {
         // (student ⊼[] π(σ lecture)) — the vacuous-divisor guard re-scans
         // student and lecture, so 5 scans for 3 relations. The extra scans
         // are a constant of the plan shape, not data-dependent.
-        ("student(x) & (forall y. lecture(y,\"d0\") -> attends(x,y))", 5),
+        (
+            "student(x) & (forall y. lecture(y,\"d0\") -> attends(x,y))",
+            5,
+        ),
         // student + t/u-style disjunctive filter: 3 relations, 3 scans
         ("student(x) & (skill(x,\"db\") | speaks(x,\"lang1\"))", 3),
     ];
@@ -54,8 +57,13 @@ fn c2_no_cartesian_product() {
     ];
     for text in queries {
         let canonical = canonicalize(&parse(text).unwrap()).unwrap();
-        let (_, improved) = ImprovedTranslator::new(e.db()).translate_open(&canonical).unwrap();
-        assert!(!improved.uses_product(), "improved plan for `{text}`: {improved}");
+        let (_, improved) = ImprovedTranslator::new(e.db())
+            .translate_open(&canonical)
+            .unwrap();
+        assert!(
+            !improved.uses_product(),
+            "improved plan for `{text}`: {improved}"
+        );
     }
     // Classical plans: the product of all variable ranges appears as soon
     // as the query has more than one variable.
@@ -64,9 +72,13 @@ fn c2_no_cartesian_product() {
         "student(x) & (forall y. lecture(y,\"d0\") -> attends(x,y))",
         "exists y. attends(x,y) & (exists d. lecture(y,d) & !enrolled(x,d))",
     ] {
-        let (_, classical) =
-            ClassicalTranslator::new(e.db()).translate_open(&parse(text).unwrap()).unwrap();
-        assert!(classical.uses_product(), "classical plan for `{text}` should product");
+        let (_, classical) = ClassicalTranslator::new(e.db())
+            .translate_open(&parse(text).unwrap())
+            .unwrap();
+        assert!(
+            classical.uses_product(),
+            "classical plan for `{text}` should product"
+        );
     }
 }
 
@@ -83,14 +95,17 @@ fn c3_division_only_in_case5() {
     ];
     for text in no_division {
         let canonical = canonicalize(&parse(text).unwrap()).unwrap();
-        let (_, plan) = ImprovedTranslator::new(e.db()).translate_open(&canonical).unwrap();
+        let (_, plan) = ImprovedTranslator::new(e.db())
+            .translate_open(&canonical)
+            .unwrap();
         assert!(!plan.uses_division(), "`{text}`: {plan}");
     }
-    let canonical = canonicalize(
-        &parse("student(x) & (forall y. lecture(y,\"d0\") -> attends(x,y))").unwrap(),
-    )
-    .unwrap();
-    let (_, plan) = ImprovedTranslator::new(e.db()).translate_open(&canonical).unwrap();
+    let canonical =
+        canonicalize(&parse("student(x) & (forall y. lecture(y,\"d0\") -> attends(x,y))").unwrap())
+            .unwrap();
+    let (_, plan) = ImprovedTranslator::new(e.db())
+        .translate_open(&canonical)
+        .unwrap();
     assert!(plan.uses_division(), "case 5 must divide: {plan}");
 }
 
@@ -150,10 +165,16 @@ fn improved_reads_fewer_tuples_than_classical() {
 fn constraints_on_university() {
     let e = engine(60);
     let mut cs = ConstraintSet::new();
-    cs.add("students-enrolled", "forall x. student(x) -> exists d. enrolled(x,d)")
-        .unwrap();
-    cs.add("profs-members", "forall x. prof(x) -> exists d. member(x,d)")
-        .unwrap();
+    cs.add(
+        "students-enrolled",
+        "forall x. student(x) -> exists d. enrolled(x,d)",
+    )
+    .unwrap();
+    cs.add(
+        "profs-members",
+        "forall x. prof(x) -> exists d. member(x,d)",
+    )
+    .unwrap();
     cs.add(
         "attendance-valid",
         "forall s,l. attends(s,l) -> exists d. lecture(l,d)",

@@ -1,0 +1,208 @@
+//! Cross-strategy observability integration tests.
+//!
+//! Two properties of EXPLAIN ANALYZE, checked through the public engine
+//! API on the paper's university workload:
+//!
+//! * **conservation** — the per-node (exclusive) rows/comparisons/probes/
+//!   reads of the annotated plan tree sum exactly to the query-level
+//!   [`ExecStats`], for every strategy;
+//! * **shape** — on a Fig. 2-style query with universal quantification,
+//!   the improved strategy's per-operator profile contains neither a
+//!   division nor a cartesian product, while the classical strategy's
+//!   contains both (claims C2/C3, now visible in the observability
+//!   output rather than only in plan inspection).
+
+use gq_core::{EngineOptions, QueryEngine, Strategy};
+use gq_obs::PlanNodeTrace;
+use gq_workload::{university, UniversityScale};
+
+fn engine() -> QueryEngine {
+    QueryEngine::new(university(&UniversityScale::of_size(60)))
+}
+
+/// Paper-derived queries spanning open/closed, negation, universal
+/// quantification, and disjunctive filters.
+const QUERIES: &[&str] = &[
+    "member(x,z) & !skill(x,\"db\")",
+    "student(x) & !(exists y. attends(x,y) & !lecture(y,\"d0\"))",
+    "student(x) & (forall y. lecture(y,\"d0\") -> attends(x,y))",
+    "student(x) & (skill(x,\"db\") | speaks(x,\"lang1\") | makes(x,\"PhD\"))",
+    "exists x. student(x) & (forall y. lecture(y,\"d0\") -> attends(x,y))",
+];
+
+#[test]
+fn node_totals_sum_to_query_stats_across_strategies() {
+    let e = engine();
+    for query in QUERIES {
+        for strategy in Strategy::ALL {
+            let (result, trace) = e
+                .analyze_with_options(query, strategy, EngineOptions::default())
+                .unwrap();
+            let plan = trace.plan.as_ref().expect("annotated plan attached");
+            let totals = plan.totals();
+            let tag = format!("`{query}` under {}", strategy.name());
+            assert_eq!(
+                totals.comparisons as usize,
+                result.stats.comparisons,
+                "comparisons conservation for {tag}\n{}",
+                plan.render(totals.elapsed_ns)
+            );
+            assert_eq!(
+                totals.probes as usize, result.stats.probes,
+                "probes conservation for {tag}"
+            );
+            assert_eq!(
+                totals.base_reads as usize, result.stats.base_tuples_read,
+                "base-read conservation for {tag}"
+            );
+            assert_eq!(
+                totals.memo_hits as usize, result.stats.memo_hits,
+                "memo-hit conservation for {tag}"
+            );
+        }
+    }
+}
+
+#[test]
+fn node_totals_sum_under_options() {
+    let e = engine();
+    let options = EngineOptions {
+        optimize: true,
+        share_subplans: true,
+        use_base_indexes: true,
+        ..EngineOptions::default()
+    };
+    for query in QUERIES {
+        for strategy in [Strategy::Improved, Strategy::Classical] {
+            // Warm the index cache, then measure the instrumented run.
+            e.query_with_options(query, strategy, options).unwrap();
+            let (result, trace) = e.analyze_with_options(query, strategy, options).unwrap();
+            let totals = trace.plan.as_ref().unwrap().totals();
+            let tag = format!("`{query}` under {} with {options:?}", strategy.name());
+            assert_eq!(
+                totals.comparisons as usize, result.stats.comparisons,
+                "comparisons conservation for {tag}"
+            );
+            assert_eq!(
+                totals.probes as usize, result.stats.probes,
+                "probes conservation for {tag}"
+            );
+            assert_eq!(
+                totals.base_reads as usize, result.stats.base_tuples_read,
+                "base-read conservation for {tag}"
+            );
+        }
+    }
+}
+
+/// Collect every operator label of the annotated tree.
+fn labels(plan: &PlanNodeTrace, out: &mut Vec<String>) {
+    out.push(plan.label.clone());
+    for c in &plan.children {
+        labels(c, out);
+    }
+}
+
+#[test]
+fn improved_profile_has_no_division_or_product_where_classical_does() {
+    let e = engine();
+    // Fig. 2-style: students attending only d0 lectures (Proposition 4
+    // case 4 — the improved translation uses a complement-join; the
+    // classical translation needs prenexing into ∀ (division) over a
+    // cartesian product of ranges).
+    let query = "student(x) & !(exists y. attends(x,y) & !lecture(y,\"d0\"))";
+
+    let (_, improved) = e
+        .analyze_with_options(query, Strategy::Improved, EngineOptions::default())
+        .unwrap();
+    let mut improved_ops = Vec::new();
+    labels(improved.plan.as_ref().unwrap(), &mut improved_ops);
+    assert!(
+        !improved_ops.iter().any(|l| l.contains("division")),
+        "improved profile must not contain a division: {improved_ops:?}"
+    );
+    assert!(
+        !improved_ops.iter().any(|l| l.contains("product")),
+        "improved profile must not contain a product: {improved_ops:?}"
+    );
+    assert!(
+        improved
+            .facts
+            .iter()
+            .any(|(k, v)| k == "uses_division" && v == &gq_obs::Json::Bool(false)),
+        "facts: {:?}",
+        improved.facts
+    );
+
+    let (_, classical) = e
+        .analyze_with_options(query, Strategy::Classical, EngineOptions::default())
+        .unwrap();
+    let mut classical_ops = Vec::new();
+    labels(classical.plan.as_ref().unwrap(), &mut classical_ops);
+    assert!(
+        classical_ops.iter().any(|l| l.contains("division")),
+        "classical profile should contain a division: {classical_ops:?}"
+    );
+    assert!(
+        classical_ops.iter().any(|l| l.contains("product")),
+        "classical profile should contain a product: {classical_ops:?}"
+    );
+}
+
+#[test]
+fn explain_analyze_renders_annotated_tree() {
+    let e = engine();
+    let out = e.explain_analyze("member(x,z) & !skill(x,\"db\")").unwrap();
+    for needle in [
+        "== phases ==",
+        "evaluate",
+        "== plan (actual) ==",
+        "rows=",
+        "cmp=",
+        "%)",
+    ] {
+        assert!(out.contains(needle), "missing {needle:?} in:\n{out}");
+    }
+}
+
+#[test]
+fn nested_loop_trace_reports_iterations() {
+    let e = engine();
+    let (_, trace) = e
+        .analyze_with_options(
+            "student(x) & !(exists y. attends(x,y) & !lecture(y,\"d0\"))",
+            Strategy::NestedLoop,
+            EngineOptions::default(),
+        )
+        .unwrap();
+    let plan = trace.plan.as_ref().unwrap();
+    assert_eq!(plan.label, "fig1 interpreter");
+    assert!(!plan.children.is_empty(), "quantifier loops recorded");
+    let mut ls = Vec::new();
+    labels(plan, &mut ls);
+    assert!(
+        ls.iter().any(|l| l.starts_with("loop ")),
+        "loop frames labeled by their producer atom: {ls:?}"
+    );
+    fn total_iterations(p: &PlanNodeTrace) -> u64 {
+        p.iterations + p.children.iter().map(total_iterations).sum::<u64>()
+    }
+    assert!(total_iterations(plan) > 0);
+}
+
+#[test]
+fn metrics_registry_counts_queries_when_enabled() {
+    let e = engine();
+    e.query("student(x)").unwrap();
+    assert!(
+        e.metrics().snapshot().counters.is_empty(),
+        "disabled by default"
+    );
+    e.metrics().enable();
+    e.query("student(x)").unwrap();
+    e.query_with("student(x)", Strategy::NestedLoop).unwrap();
+    let snap = e.metrics().snapshot();
+    assert_eq!(snap.counters["query.count.improved"], 1);
+    assert_eq!(snap.counters["query.count.nested-loop"], 1);
+    assert_eq!(snap.histograms["query.latency.improved"].count(), 1);
+}

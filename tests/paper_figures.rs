@@ -17,7 +17,8 @@ fn fig2_engine() -> QueryEngine {
         ("t", vec!["a", "b", "e"]),
         ("u", vec!["a", "c", "f"]),
     ] {
-        db.create_relation(name, Schema::new(vec!["v"]).unwrap()).unwrap();
+        db.create_relation(name, Schema::new(vec!["v"]).unwrap())
+            .unwrap();
         for v in vals {
             db.insert(name, tuple![v]).unwrap();
         }
@@ -103,7 +104,9 @@ fn fig4_q2_negated_disjunct() {
 #[test]
 fn fig3_q1_improved_plan_shape() {
     let e = fig2_engine();
-    let r = e.query_with("p(x) & (t(x) | u(x))", Strategy::Improved).unwrap();
+    let r = e
+        .query_with("p(x) & (t(x) | u(x))", Strategy::Improved)
+        .unwrap();
     // p scanned once (4 tuples), t and u each materialized once (3+3+noise)
     assert_eq!(r.stats.base_scans, 3, "each relation scanned exactly once");
     assert_eq!(r.stats.base_tuples_read, 10);
@@ -114,7 +117,9 @@ fn fig3_q1_improved_plan_shape() {
 #[test]
 fn fig3_q1_probe_gating() {
     let e = fig2_engine();
-    let r = e.query_with("p(x) & (t(x) | u(x))", Strategy::Improved).unwrap();
+    let r = e
+        .query_with("p(x) & (t(x) | u(x))", Strategy::Improved)
+        .unwrap();
     assert_eq!(r.stats.probes, 6, "stats: {}", r.stats);
 }
 
@@ -123,6 +128,8 @@ fn fig3_q1_probe_gating() {
 #[test]
 fn fig4_q2_probe_gating() {
     let e = fig2_engine();
-    let r = e.query_with("p(x) & (!t(x) | u(x))", Strategy::Improved).unwrap();
+    let r = e
+        .query_with("p(x) & (!t(x) | u(x))", Strategy::Improved)
+        .unwrap();
     assert_eq!(r.stats.probes, 6, "stats: {}", r.stats);
 }

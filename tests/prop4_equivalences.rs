@@ -51,12 +51,10 @@ fn division_appears_exactly_in_case5() {
     let db = generic(25, 120, 1);
     for (label, text, may_divide) in CASES {
         let canonical = canonicalize(&parse(text).unwrap()).unwrap();
-        let (_, plan) = ImprovedTranslator::new(&db).translate_open(&canonical).unwrap();
-        assert_eq!(
-            plan.uses_division(),
-            *may_divide,
-            "{label}: {plan}"
-        );
+        let (_, plan) = ImprovedTranslator::new(&db)
+            .translate_open(&canonical)
+            .unwrap();
+        assert_eq!(plan.uses_division(), *may_divide, "{label}: {plan}");
         assert!(!plan.uses_product(), "{label}: {plan}");
     }
 }
