@@ -10,12 +10,14 @@
 //! claims (relations searched once, no unnecessary tuple accesses, no
 //! cartesian blow-up) can be checked by tests and reported by benches.
 
+use crate::parallel::{eval_parallel, ExecConfig};
 use crate::profile::PlanProfiler;
 use crate::{AlgebraError, AlgebraExpr, ExecStats, IndexCache, Operand, Predicate};
 use gq_storage::{Database, Relation, Tuple, Value};
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A boxed tuple stream.
@@ -181,20 +183,26 @@ fn check_on(
 
 /// The plan evaluator: holds the database and a shared stats accumulator.
 pub struct Evaluator<'db> {
-    db: &'db Database,
-    stats: Rc<RefCell<ExecStats>>,
+    pub(crate) db: &'db Database,
+    pub(crate) stats: Rc<RefCell<ExecStats>>,
     /// Shared-subplan cache (§2.2: "answers to common subexpressions …
     /// can be shared procedurally"): materialized results keyed by a
-    /// structural fingerprint. `None` disables sharing.
-    memo: Option<RefCell<HashMap<String, Rc<Vec<Tuple>>>>>,
+    /// structural fingerprint. `None` disables sharing. Entries are
+    /// `Arc`s so the parallel kernels can hand materialized build sides
+    /// to worker threads without copying.
+    pub(crate) memo: Option<RefCell<HashMap<String, Arc<Vec<Tuple>>>>>,
     /// Cross-query base-relation index cache (probe side of join-family
     /// operators whose build side is a plain relation scan).
-    index_cache: Option<&'db IndexCache>,
+    pub(crate) index_cache: Option<&'db IndexCache>,
     /// Physical algorithm for the full equi-join.
-    join_algorithm: JoinAlgorithm,
+    pub(crate) join_algorithm: JoinAlgorithm,
     /// Per-node runtime attribution (EXPLAIN ANALYZE). `None` — the
     /// common case — keeps the hot path free of snapshots and timers.
-    profiler: Option<Rc<PlanProfiler>>,
+    pub(crate) profiler: Option<Rc<PlanProfiler>>,
+    /// Morsel-driven execution configuration; `threads == 1` (the
+    /// default for a bare `Evaluator`) is the bit-identical legacy
+    /// streaming path.
+    pub(crate) exec: ExecConfig,
 }
 
 impl<'db> Evaluator<'db> {
@@ -207,6 +215,7 @@ impl<'db> Evaluator<'db> {
             index_cache: None,
             join_algorithm: JoinAlgorithm::default(),
             profiler: None,
+            exec: ExecConfig::sequential(),
         }
     }
 
@@ -214,6 +223,26 @@ impl<'db> Evaluator<'db> {
     pub fn with_join_algorithm(mut self, algorithm: JoinAlgorithm) -> Self {
         self.join_algorithm = algorithm;
         self
+    }
+
+    /// Configure morsel-driven parallel execution (see [`ExecConfig`]).
+    ///
+    /// With `threads > 1`, [`Evaluator::eval`] runs the plan through the
+    /// batch executor: operators exchange morsels, and the join family
+    /// builds hash-partitioned tables and probes them on a scoped worker
+    /// pool. `threads == 1` keeps the legacy tuple-at-a-time streaming
+    /// path, bit-for-bit. The short-circuiting entry points
+    /// ([`Evaluator::is_nonempty`], [`Evaluator::eval_limit`]) always
+    /// stream — their whole point is to *not* materialize the probe side,
+    /// which a batch executor would.
+    pub fn with_exec_config(mut self, exec: ExecConfig) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// The current execution configuration.
+    pub fn exec_config(&self) -> ExecConfig {
+        self.exec
     }
 
     /// Attach a per-node profiler (see [`PlanProfiler`]): every stream
@@ -249,6 +278,7 @@ impl<'db> Evaluator<'db> {
             index_cache: None,
             join_algorithm: JoinAlgorithm::default(),
             profiler: None,
+            exec: ExecConfig::sequential(),
         }
     }
 
@@ -263,8 +293,15 @@ impl<'db> Evaluator<'db> {
     }
 
     /// Evaluate to a materialized relation.
+    ///
+    /// With a parallel [`ExecConfig`] the plan runs through the
+    /// morsel-driven batch executor (`crate::parallel`); otherwise the
+    /// legacy pull-based stream is drained.
     pub fn eval(&self, e: &AlgebraExpr) -> Result<Relation, AlgebraError> {
         let arity = arity_of(e, self.db)?;
+        if self.exec.is_parallel() {
+            return eval_parallel(self, e, arity);
+        }
         let mut out = Relation::intermediate(arity);
         for t in self.stream(e)? {
             out.insert(t)?;
@@ -295,8 +332,10 @@ impl<'db> Evaluator<'db> {
 
     /// Materialize a sub-expression (build sides, division inputs),
     /// recording the intermediate size. With sharing enabled, repeated
-    /// subplans are answered from the cache.
-    fn materialize(&self, e: &AlgebraExpr) -> Result<Vec<Tuple>, AlgebraError> {
+    /// subplans are answered from the cache. The result is an `Arc` so a
+    /// memo hit (and a hand-off to parallel worker threads) costs a
+    /// refcount bump, not a deep copy.
+    pub(crate) fn materialize(&self, e: &AlgebraExpr) -> Result<Arc<Vec<Tuple>>, AlgebraError> {
         let key = match &self.memo {
             Some(memo) if !contains_literal(e) => {
                 let key = e.to_string();
@@ -308,16 +347,16 @@ impl<'db> Evaluator<'db> {
                     if let Some(p) = &self.profiler {
                         p.annotate(e, "memo-hit");
                     }
-                    return Ok(hit.as_ref().clone());
+                    return Ok(Arc::clone(hit));
                 }
                 Some(key)
             }
             _ => None,
         };
-        let tuples: Vec<Tuple> = self.stream(e)?.collect();
+        let tuples: Arc<Vec<Tuple>> = Arc::new(self.stream(e)?.collect());
         self.stats.borrow_mut().record_intermediate(tuples.len());
         if let (Some(memo), Some(key)) = (&self.memo, key) {
-            memo.borrow_mut().insert(key, Rc::new(tuples.clone()));
+            memo.borrow_mut().insert(key, Arc::clone(&tuples));
         }
         Ok(tuples)
     }
@@ -397,7 +436,7 @@ impl<'db> Evaluator<'db> {
                 let tuples = self.materialize(input)?;
                 let mut counts: HashMap<Tuple, i64> = HashMap::new();
                 let mut order: Vec<Tuple> = Vec::new();
-                for t in &tuples {
+                for t in tuples.iter() {
                     let key = t.project(group);
                     let entry = counts.entry(key.clone()).or_insert_with(|| {
                         order.push(key);
@@ -445,10 +484,11 @@ impl<'db> Evaluator<'db> {
                         .map_err(|_| AlgebraError::UnknownRelation(name.clone()))?;
                     let left = self.stream(left)?;
                     let left_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+                    let mut scratch: Vec<Value> = Vec::new();
                     return Ok(Box::new(left.flat_map(move |l| {
                         let mut s = stats.borrow_mut();
                         s.probes += 1;
-                        let matches = idx.probe(&l, &left_cols);
+                        let matches = idx.probe_with(&l, &left_cols, &mut scratch);
                         s.comparisons += matches.len().max(1);
                         drop(s);
                         matches
@@ -462,11 +502,15 @@ impl<'db> Evaluator<'db> {
                 let left = self.stream(left)?;
                 let stats = self.stats.clone();
                 let left_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+                let mut scratch: Vec<Value> = Vec::new();
                 Ok(Box::new(left.flat_map(move |l| {
-                    let key = key_of(&l, &left_cols);
+                    fill_key(&mut scratch, &l, &left_cols);
                     let mut s = stats.borrow_mut();
                     s.probes += 1;
-                    let matches = index.get(&key).map(Vec::as_slice).unwrap_or(&[]);
+                    let matches = index
+                        .get(scratch.as_slice())
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[]);
                     s.comparisons += matches.len().max(1);
                     drop(s);
                     matches
@@ -480,11 +524,13 @@ impl<'db> Evaluator<'db> {
                 let left = self.stream(left)?;
                 let stats = self.stats.clone();
                 let left_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+                let mut scratch: Vec<Value> = Vec::new();
                 Ok(Box::new(left.filter(move |l| {
                     let mut s = stats.borrow_mut();
                     s.probes += 1;
                     s.comparisons += 1;
-                    probe.contains(l, &left_cols)
+                    drop(s);
+                    probe.contains(l, &left_cols, &mut scratch)
                 })))
             }
             AlgebraExpr::ComplementJoin { left, right, on } => {
@@ -492,11 +538,13 @@ impl<'db> Evaluator<'db> {
                 let left = self.stream(left)?;
                 let stats = self.stats.clone();
                 let left_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+                let mut scratch: Vec<Value> = Vec::new();
                 Ok(Box::new(left.filter(move |l| {
                     let mut s = stats.borrow_mut();
                     s.probes += 1;
                     s.comparisons += 1;
-                    !probe.contains(l, &left_cols)
+                    drop(s);
+                    !probe.contains(l, &left_cols, &mut scratch)
                 })))
             }
             AlgebraExpr::Division { left, right, on } => {
@@ -513,7 +561,7 @@ impl<'db> Evaluator<'db> {
             }
             AlgebraExpr::Difference { left, right } => {
                 let right_tuples = self.materialize(right)?;
-                let keys: HashSet<Tuple> = right_tuples.into_iter().collect();
+                let keys: HashSet<Tuple> = right_tuples.iter().cloned().collect();
                 let left = self.stream(left)?;
                 let stats = self.stats.clone();
                 Ok(Box::new(left.filter(move |t| {
@@ -534,11 +582,15 @@ impl<'db> Evaluator<'db> {
                     Some(a) => a,
                     None => arity_of(right, self.db)?,
                 };
+                let mut scratch: Vec<Value> = Vec::new();
                 Ok(Box::new(left.flat_map(move |l| {
-                    let key = key_of(&l, &left_cols);
+                    fill_key(&mut scratch, &l, &left_cols);
                     let mut s = stats.borrow_mut();
                     s.probes += 1;
-                    let matches = index.get(&key).map(Vec::as_slice).unwrap_or(&[]);
+                    let matches = index
+                        .get(scratch.as_slice())
+                        .map(Vec::as_slice)
+                        .unwrap_or(&[]);
                     s.comparisons += matches.len().max(1);
                     drop(s);
                     if matches.is_empty() {
@@ -563,12 +615,14 @@ impl<'db> Evaluator<'db> {
                 let stats = self.stats.clone();
                 let left_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
                 let constraint = constraint.clone();
+                let mut scratch: Vec<Value> = Vec::new();
                 Ok(Box::new(left.map(move |l| {
                     let marker = if constraint.satisfied_by(&l) {
                         let mut s = stats.borrow_mut();
                         s.probes += 1;
                         s.comparisons += 1;
-                        if probe.contains(&l, &left_cols) {
+                        drop(s);
+                        if probe.contains(&l, &left_cols, &mut scratch) {
                             Value::Matched
                         } else {
                             Value::Null
@@ -587,7 +641,7 @@ impl<'db> Evaluator<'db> {
     /// semi/complement/constrained-outer join: a cached [`HashIndex`] when
     /// the right side is a base relation scan and a cache is attached, a
     /// freshly materialized key set otherwise.
-    fn build_probe(
+    pub(crate) fn build_probe(
         &self,
         right: &AlgebraExpr,
         on: &[(usize, usize)],
@@ -616,7 +670,7 @@ impl<'db> Evaluator<'db> {
     /// Classical sort-merge equi-join: materialize and sort both inputs on
     /// the join key, sweep both runs in lockstep, emit the cross product of
     /// each matching key group.
-    fn sort_merge_join(
+    pub(crate) fn sort_merge_join(
         &self,
         left: &AlgebraExpr,
         right: &AlgebraExpr,
@@ -624,8 +678,8 @@ impl<'db> Evaluator<'db> {
     ) -> Result<TupleIter<'_>, AlgebraError> {
         let left_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
         let right_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
-        let mut lt = self.materialize(left)?;
-        let mut rt = self.materialize(right)?;
+        let mut lt = unshare(self.materialize(left)?);
+        let mut rt = unshare(self.materialize(right)?);
         lt.sort_by_key(|t| key_of(t, &left_cols));
         rt.sort_by_key(|t| key_of(t, &right_cols));
         // Charge the comparisons of both sort passes (n log n each).
@@ -678,22 +732,35 @@ impl<'db> Evaluator<'db> {
         on: &[(usize, usize)],
     ) -> Result<Vec<Tuple>, AlgebraError> {
         let left_arity = arity_of(left, self.db)?;
+        let right_tuples = self.materialize(right)?;
+        let left_tuples = self.materialize(left)?;
+        Ok(self.divide(&left_tuples, &right_tuples, left_arity, on))
+    }
+
+    /// The grouping half of division, over already-materialized inputs
+    /// (shared with the parallel executor, which materializes the inputs
+    /// through its own kernels first).
+    pub(crate) fn divide(
+        &self,
+        left_tuples: &[Tuple],
+        right_tuples: &[Tuple],
+        left_arity: usize,
+        on: &[(usize, usize)],
+    ) -> Vec<Tuple> {
         let match_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
         let right_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
         let kept_cols: Vec<usize> = (0..left_arity)
             .filter(|c| !match_cols.contains(c))
             .collect();
 
-        let right_tuples = self.materialize(right)?;
         let divisor: HashSet<Vec<Value>> = right_tuples
             .iter()
             .map(|t| key_of(t, &right_cols))
             .collect();
 
-        let left_tuples = self.materialize(left)?;
         let mut groups: HashMap<Tuple, HashSet<Vec<Value>>> = HashMap::new();
         let mut order: Vec<Tuple> = Vec::new();
-        for t in &left_tuples {
+        for t in left_tuples {
             let key = t.project(&kept_cols);
             let val = key_of(t, &match_cols);
             let entry = groups.entry(key.clone()).or_insert_with(|| {
@@ -711,7 +778,7 @@ impl<'db> Evaluator<'db> {
                 out.push(key);
             }
         }
-        Ok(out)
+        out
     }
 }
 
@@ -740,33 +807,58 @@ impl Iterator for InstrumentedIter<'_> {
 }
 
 /// The probe structure of a join-family build side.
-enum ProbeSide {
+pub(crate) enum ProbeSide {
     /// Freshly materialized key set.
     Keys(HashSet<Vec<Value>>),
-    /// A cached base-relation index.
-    Index(Rc<gq_storage::HashIndex>),
+    /// A cached base-relation index (an `Arc` so parallel probe kernels
+    /// can share it across worker threads).
+    Index(Arc<gq_storage::HashIndex>),
 }
 
 impl ProbeSide {
-    fn contains(&self, tuple: &Tuple, probe_cols: &[usize]) -> bool {
+    /// Membership test with a caller-supplied scratch key buffer, so tight
+    /// probe loops perform no per-tuple allocation (the buffer is refilled
+    /// each call and the set lookup borrows it as a slice).
+    pub(crate) fn contains(
+        &self,
+        tuple: &Tuple,
+        probe_cols: &[usize],
+        scratch: &mut Vec<Value>,
+    ) -> bool {
         match self {
-            ProbeSide::Keys(keys) => keys.contains(&key_of(tuple, probe_cols)),
-            ProbeSide::Index(idx) => idx.contains_key_of(tuple, probe_cols),
+            ProbeSide::Keys(keys) => {
+                fill_key(scratch, tuple, probe_cols);
+                keys.contains(scratch.as_slice())
+            }
+            ProbeSide::Index(idx) => idx.contains_key_with(tuple, probe_cols, scratch),
         }
     }
 }
 
 /// Does the plan contain an inline literal relation (whose rendering is
 /// not a reliable cache identity)?
-fn contains_literal(e: &AlgebraExpr) -> bool {
+pub(crate) fn contains_literal(e: &AlgebraExpr) -> bool {
     matches!(e, AlgebraExpr::Literal(_)) || e.children().iter().any(|c| contains_literal(c))
 }
 
-fn key_of(t: &Tuple, cols: &[usize]) -> Vec<Value> {
+pub(crate) fn key_of(t: &Tuple, cols: &[usize]) -> Vec<Value> {
     cols.iter().map(|&c| t[c].clone()).collect()
 }
 
-fn build_index(
+/// Refill `scratch` with the key of `t` at `cols` — the allocation-free
+/// sibling of [`key_of`] for per-tuple probe loops.
+pub(crate) fn fill_key(scratch: &mut Vec<Value>, t: &Tuple, cols: &[usize]) {
+    scratch.clear();
+    scratch.extend(cols.iter().map(|&c| t[c].clone()));
+}
+
+/// Take sole ownership of a materialized result: free when nothing else
+/// (memo, another consumer) holds the `Arc`, a deep copy otherwise.
+pub(crate) fn unshare(tuples: Arc<Vec<Tuple>>) -> Vec<Tuple> {
+    Arc::try_unwrap(tuples).unwrap_or_else(|shared| shared.as_ref().clone())
+}
+
+pub(crate) fn build_index(
     tuples: &[Tuple],
     cols: impl Iterator<Item = usize>,
 ) -> HashMap<Vec<Value>, Vec<usize>> {

@@ -379,6 +379,49 @@ fn eval_limit_stops_early() {
     assert_eq!(ev.stats().base_tuples_read, 2);
 }
 
+/// LIMIT 1 over a join with a large probe side must read strictly fewer
+/// probe tuples than a full evaluation: the build side is materialized
+/// (any hash join must), but the probe side streams and stops at the
+/// first result. This holds regardless of the execution configuration —
+/// `eval_limit` always takes the streaming path, because a batch
+/// executor would defeat its purpose.
+#[test]
+fn eval_limit_reads_fewer_probe_tuples_than_full_scan() {
+    let mut db = Database::new();
+    db.create_relation("big", Schema::anonymous(1)).unwrap();
+    db.create_relation("small", Schema::anonymous(1)).unwrap();
+    for i in 0..10_000i64 {
+        db.insert("big", tuple![i]).unwrap();
+    }
+    db.insert("small", tuple![0]).unwrap();
+    // big ⋈ small: every probe of `big` except (at worst) the first
+    // misses; LIMIT 1 stops at the first hit.
+    let e = AlgebraExpr::relation("big").join(AlgebraExpr::relation("small"), vec![(0, 0)]);
+
+    let full = Evaluator::new(&db);
+    full.eval(&e).unwrap();
+    let full_reads = full.stats().base_tuples_read;
+
+    for exec in [
+        crate::ExecConfig::sequential(),
+        crate::ExecConfig::with_threads(8),
+    ] {
+        let limited = Evaluator::new(&db).with_exec_config(exec);
+        let r = limited.eval_limit(&e, 1).unwrap();
+        assert_eq!(r.len(), 1);
+        let s = limited.stats();
+        assert!(
+            s.base_tuples_read < full_reads,
+            "limit read {} tuples, full scan read {full_reads}",
+            s.base_tuples_read
+        );
+        // build side (1) + a single probe-side tuple
+        assert_eq!(s.base_tuples_read, 2);
+        assert_eq!(s.probes, 1);
+        assert_eq!(s.morsels, 0, "eval_limit must never dispatch morsels");
+    }
+}
+
 #[test]
 fn arity_validation_errors() {
     let db = fig2_db();

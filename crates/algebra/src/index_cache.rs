@@ -6,11 +6,15 @@
 //! (typically the engine), shared by every [`Evaluator`](crate::Evaluator)
 //! created with [`Evaluator::with_index_cache`](crate::Evaluator), and
 //! must be [cleared](IndexCache::clear) whenever the database is mutated.
+//! Indexes are handed out as `Arc`s so the morsel-driven parallel kernels
+//! (see [`ExecConfig`](crate::ExecConfig)) can probe them from worker
+//! threads; the cache itself is only ever touched by the coordinating
+//! thread, between kernels.
 
 use gq_storage::{Database, HashIndex};
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Cache key: relation name + build columns.
 type Key = (String, Vec<usize>);
@@ -18,7 +22,7 @@ type Key = (String, Vec<usize>);
 /// A registry of base-relation hash indexes.
 #[derive(Debug, Default)]
 pub struct IndexCache {
-    inner: RefCell<HashMap<Key, Rc<HashIndex>>>,
+    inner: RefCell<HashMap<Key, Arc<HashIndex>>>,
 }
 
 impl IndexCache {
@@ -35,14 +39,14 @@ impl IndexCache {
         relation: &str,
         cols: &[usize],
         on_build: impl FnOnce(usize),
-    ) -> Result<Rc<HashIndex>, gq_storage::StorageError> {
+    ) -> Result<Arc<HashIndex>, gq_storage::StorageError> {
         let key = (relation.to_string(), cols.to_vec());
         if let Some(idx) = self.inner.borrow().get(&key) {
             return Ok(idx.clone());
         }
         let rel = db.relation(relation)?;
         rel.validate_positions(cols)?;
-        let idx = Rc::new(HashIndex::build(rel, cols));
+        let idx = Arc::new(HashIndex::build(rel, cols));
         on_build(rel.len());
         self.inner.borrow_mut().insert(key, idx.clone());
         Ok(idx)
@@ -84,7 +88,7 @@ mod tests {
         let mut builds = 0;
         let a = cache.get_or_build(&db, "r", &[0], |_| builds += 1).unwrap();
         let b = cache.get_or_build(&db, "r", &[0], |_| builds += 1).unwrap();
-        assert!(Rc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(builds, 1);
         // different columns → different index
         cache.get_or_build(&db, "r", &[1], |_| builds += 1).unwrap();

@@ -25,6 +25,7 @@ mod eval;
 mod expr;
 mod index_cache;
 mod optimize;
+mod parallel;
 mod profile;
 mod stats;
 
@@ -42,5 +43,6 @@ pub use eval::{arity_of, eval_predicate, Evaluator, JoinAlgorithm, TupleIter};
 pub use expr::{AlgebraExpr, Constraint, JoinOn, Operand, Predicate};
 pub use index_cache::IndexCache;
 pub use optimize::optimize;
+pub use parallel::{ExecConfig, DEFAULT_MORSEL_SIZE};
 pub use profile::PlanProfiler;
-pub use stats::ExecStats;
+pub use stats::{ExecStats, WorkerStats};

@@ -1,0 +1,779 @@
+//! Morsel-driven parallel batch execution.
+//!
+//! The pull-based evaluator of [`crate::eval`] is single-threaded by
+//! construction: operators exchange tuples one at a time through boxed
+//! iterators. This module provides the alternative batch executor behind
+//! [`Evaluator::eval`](crate::Evaluator::eval): operators exchange
+//! *morsels* — fixed-size tuple batches (default 1024) — and the
+//! join-family operators run their build and probe phases on a scoped
+//! worker pool (`std::thread::scope`; no external runtime).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Exactness.** The paper's claims are *operation counts*, so the
+//!    batch executor charges [`ExecStats`] identically to the sequential
+//!    evaluator — same counters, same amounts, per operator. Workers
+//!    accumulate into private [`WorkerStats`] and the kernel folds them
+//!    into the shared accumulator at the barrier that ends each phase;
+//!    every counter is a per-tuple sum (or max), so the totals are
+//!    independent of how morsels were dealt to workers. The only counter
+//!    allowed to differ from the sequential path is `morsels` itself.
+//! 2. **Determinism.** Kernels are order-preserving: morsel outputs are
+//!    reassembled in morsel order, partitioned index buckets keep row ids
+//!    ascending, and the stateful operators (dedup, grouping, division)
+//!    run on the coordinating thread. The result relation is therefore
+//!    bit-identical — same tuples in the same insertion order — across
+//!    thread counts, and identical to the sequential evaluator's.
+//! 3. **Short-circuits stay sequential.** `is_nonempty`, `eval_limit` and
+//!    the closed-query connectives exist to *avoid* materializing; a
+//!    batch executor cannot help them, so they always take the streaming
+//!    path regardless of configuration (§3.2 of the paper).
+//!
+//! Hash builds are partitioned: phase 1 extracts keys morsel-parallel and
+//! routes each to `hash(key) % nparts`; phase 2 builds every partition's
+//! table on its own thread — no locks, no concurrent map.
+
+use crate::eval::{
+    arity_of, contains_literal, eval_predicate, fill_key, key_of, Evaluator, JoinAlgorithm,
+};
+use crate::{AlgebraError, AlgebraExpr, WorkerStats};
+use gq_storage::{HashIndex, Tuple, Value};
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::num::NonZeroUsize;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+/// Default number of tuples per morsel.
+pub const DEFAULT_MORSEL_SIZE: usize = 1024;
+
+/// Execution configuration: worker count and morsel size.
+///
+/// `threads == 1` selects the legacy tuple-at-a-time streaming path,
+/// bit-for-bit; `threads > 1` routes [`Evaluator::eval`] through the
+/// morsel-driven batch executor. The default asks the OS for the
+/// available parallelism, so a single-core host transparently gets the
+/// sequential path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Worker threads for parallel kernels (≥ 1).
+    pub threads: usize,
+    /// Tuples per morsel (≥ 1).
+    pub morsel_size: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            threads: thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+            morsel_size: DEFAULT_MORSEL_SIZE,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// The single-threaded streaming configuration.
+    pub fn sequential() -> Self {
+        ExecConfig {
+            threads: 1,
+            morsel_size: DEFAULT_MORSEL_SIZE,
+        }
+    }
+
+    /// A configuration with an explicit worker count.
+    pub fn with_threads(threads: usize) -> Self {
+        ExecConfig {
+            threads: threads.max(1),
+            morsel_size: DEFAULT_MORSEL_SIZE,
+        }
+    }
+
+    /// Override the morsel size.
+    pub fn with_morsel_size(mut self, morsel_size: usize) -> Self {
+        self.morsel_size = morsel_size.max(1);
+        self
+    }
+
+    /// Does this configuration use the batch executor?
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
+    }
+}
+
+/// Evaluate `e` through the batch executor (entered from
+/// [`Evaluator::eval`] when the configuration is parallel).
+pub(crate) fn eval_parallel(
+    ev: &Evaluator<'_>,
+    e: &AlgebraExpr,
+    arity: usize,
+) -> Result<gq_storage::Relation, AlgebraError> {
+    let exec = ParallelExec {
+        ev,
+        threads: ev.exec.threads.max(1),
+        morsel_size: ev.exec.morsel_size.max(1),
+    };
+    let tuples = exec.node(e)?;
+    let mut out = gq_storage::Relation::intermediate(arity);
+    for t in tuples {
+        out.insert(t)?;
+    }
+    ev.stats.borrow_mut().tuples_emitted += out.len();
+    Ok(out)
+}
+
+/// The batch executor: a thin coordinator around an [`Evaluator`], owning
+/// the worker-pool kernels. Recursion happens on the coordinating thread;
+/// only the per-morsel closures run on workers, and those never touch the
+/// evaluator's `Rc`/`RefCell` state (the compiler enforces it — neither
+/// is `Sync`).
+struct ParallelExec<'a, 'db> {
+    ev: &'a Evaluator<'db>,
+    threads: usize,
+    morsel_size: usize,
+}
+
+/// A hash-partitioned row-id index (the batch executor's analogue of the
+/// sequential evaluator's single `HashMap` build side). Bucket row ids
+/// are ascending, like a sequential scan-order build, so probe results
+/// enumerate matches in the same order.
+struct PartIndex {
+    parts: Vec<HashMap<Vec<Value>, Vec<usize>>>,
+}
+
+impl PartIndex {
+    fn get(&self, key: &[Value]) -> &[usize] {
+        self.parts[partition_of(key, self.parts.len())]
+            .get(key)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+/// The probe structure of a parallel join-family build side.
+enum ParProbe {
+    /// Hash-partitioned key sets (one per partition).
+    Parts(Vec<HashSet<Vec<Value>>>),
+    /// A cached base-relation index, shared with workers via `Arc`.
+    Index(Arc<HashIndex>),
+}
+
+impl ParProbe {
+    fn contains(&self, t: &Tuple, cols: &[usize], scratch: &mut Vec<Value>) -> bool {
+        match self {
+            ParProbe::Parts(parts) => {
+                fill_key(scratch, t, cols);
+                parts[partition_of(scratch, parts.len())].contains(scratch.as_slice())
+            }
+            ParProbe::Index(idx) => idx.contains_key_with(t, cols, scratch),
+        }
+    }
+}
+
+/// Route a key to a partition. `DefaultHasher::new()` is deterministic
+/// within a build, and correctness does not depend on the routing anyway:
+/// probes apply the same function, and partition contents are
+/// assignment-invariant.
+fn partition_of(key: &[Value], nparts: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % nparts
+}
+
+impl<'db> ParallelExec<'_, 'db> {
+    /// Evaluate one plan node to a materialized tuple vector, bracketing
+    /// it for the profiler exactly like the sequential `stream` wrapper:
+    /// the recorded delta is *inclusive* (children evaluate inside the
+    /// parent's window) and the profiler subtracts children out at trace
+    /// extraction, so the PR-1 conservation invariants hold unchanged.
+    fn node(&self, e: &AlgebraExpr) -> Result<Vec<Tuple>, AlgebraError> {
+        let profiler = match &self.ev.profiler {
+            Some(p) if p.tracks(e) => Rc::clone(p),
+            _ => return self.node_inner(e),
+        };
+        let before = self.ev.stats.borrow().clone();
+        let start = Instant::now();
+        let out = self.node_inner(e);
+        let ns = start.elapsed().as_nanos() as u64;
+        let delta = self.ev.stats.borrow().diff(&before);
+        let rows = out.as_ref().map(|v| v.len() as u64).unwrap_or(0);
+        profiler.record(e, &delta, ns, rows);
+        out
+    }
+
+    /// Operator dispatch. Every arm charges [`ExecStats`] exactly as the
+    /// sequential `stream_inner` would for a full drain of the same node.
+    fn node_inner(&self, e: &AlgebraExpr) -> Result<Vec<Tuple>, AlgebraError> {
+        self.ev.stats.borrow_mut().operators_evaluated += 1;
+        match e {
+            AlgebraExpr::Relation(name) => {
+                let rel = self
+                    .ev
+                    .db
+                    .relation(name)
+                    .map_err(|_| AlgebraError::UnknownRelation(name.clone()))?;
+                let mut s = self.ev.stats.borrow_mut();
+                s.base_scans += 1;
+                s.base_tuples_read += rel.len();
+                Ok(rel.iter().cloned().collect())
+            }
+            AlgebraExpr::Literal(r) => {
+                let mut s = self.ev.stats.borrow_mut();
+                s.base_scans += 1;
+                s.base_tuples_read += r.len();
+                Ok(r.iter().cloned().collect())
+            }
+            AlgebraExpr::Select { input, predicate } => {
+                let input = self.node(input)?;
+                let filtered = self.par_chunks(&input, |ws, _mi, chunk| {
+                    chunk
+                        .iter()
+                        .filter(|t| eval_predicate(predicate, t, &mut ws.stats))
+                        .cloned()
+                        .collect::<Vec<_>>()
+                });
+                Ok(flatten(filtered))
+            }
+            AlgebraExpr::Project { input, positions } => {
+                let input = self.node(input)?;
+                let mut seen: HashSet<Tuple> = HashSet::new();
+                Ok(input
+                    .iter()
+                    .filter_map(|t| {
+                        let p = t.project(positions);
+                        seen.insert(p.clone()).then_some(p)
+                    })
+                    .collect())
+            }
+            AlgebraExpr::GroupCount { input, group } => {
+                let tuples = self.materialize(input)?;
+                let mut counts: HashMap<Tuple, i64> = HashMap::new();
+                let mut order: Vec<Tuple> = Vec::new();
+                for t in tuples.iter() {
+                    let key = t.project(group);
+                    let entry = counts.entry(key.clone()).or_insert_with(|| {
+                        order.push(key);
+                        0
+                    });
+                    *entry += 1;
+                    self.ev.stats.borrow_mut().comparisons += 1;
+                }
+                Ok(order
+                    .into_iter()
+                    .map(|k| {
+                        let n = counts[&k];
+                        k.extended_with(Value::Int(n))
+                    })
+                    .collect())
+            }
+            AlgebraExpr::Product { left, right } => {
+                let right_tuples = self.materialize(right)?;
+                let left = self.node(left)?;
+                let out = self.par_chunks(&left, |ws, _mi, chunk| {
+                    let mut out = Vec::with_capacity(chunk.len() * right_tuples.len());
+                    for l in chunk {
+                        ws.stats.comparisons += right_tuples.len();
+                        out.extend(right_tuples.iter().map(|r| l.concat(r)));
+                    }
+                    out
+                });
+                Ok(flatten(out))
+            }
+            AlgebraExpr::Join { left, right, on } => {
+                if self.ev.join_algorithm == JoinAlgorithm::SortMerge {
+                    // Sort-merge is the sequential ablation baseline; it
+                    // is not morsel-ized (the paper's join family is
+                    // hash-based). Delegate, charging identically.
+                    return Ok(self.ev.sort_merge_join(left, right, on)?.collect());
+                }
+                let left_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+                // Cached-index fast path: probe the persistent index in
+                // parallel; the right subtree is not evaluated at all.
+                if let (Some(cache), AlgebraExpr::Relation(name)) = (self.ev.index_cache, &**right)
+                {
+                    if let Some(p) = &self.ev.profiler {
+                        p.annotate(right, "cached-index");
+                    }
+                    let right_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+                    let stats = self.ev.stats.clone();
+                    let idx = cache
+                        .get_or_build(self.ev.db, name, &right_cols, |len| {
+                            let mut s = stats.borrow_mut();
+                            s.base_scans += 1;
+                            s.base_tuples_read += len;
+                        })
+                        .map_err(AlgebraError::Storage)?;
+                    let rel = self
+                        .ev
+                        .db
+                        .relation(name)
+                        .map_err(|_| AlgebraError::UnknownRelation(name.clone()))?;
+                    let left = self.node(left)?;
+                    let out = self.par_chunks(&left, |ws, _mi, chunk| {
+                        let mut scratch: Vec<Value> = Vec::new();
+                        let mut out = Vec::new();
+                        for l in chunk {
+                            ws.stats.probes += 1;
+                            let matches = idx.probe_with(l, &left_cols, &mut scratch);
+                            ws.stats.comparisons += matches.len().max(1);
+                            out.extend(matches.iter().map(|&rid| l.concat(&rel.tuples()[rid])));
+                        }
+                        out
+                    });
+                    return Ok(flatten(out));
+                }
+                let right_tuples = self.materialize(right)?;
+                let index =
+                    self.build_part_index(&right_tuples, on.iter().map(|&(_, r)| r).collect());
+                let left = self.node(left)?;
+                let out = self.par_chunks(&left, |ws, _mi, chunk| {
+                    let mut scratch: Vec<Value> = Vec::new();
+                    let mut out = Vec::new();
+                    for l in chunk {
+                        fill_key(&mut scratch, l, &left_cols);
+                        ws.stats.probes += 1;
+                        let matches = index.get(&scratch);
+                        ws.stats.comparisons += matches.len().max(1);
+                        out.extend(matches.iter().map(|&rid| l.concat(&right_tuples[rid])));
+                    }
+                    out
+                });
+                Ok(flatten(out))
+            }
+            AlgebraExpr::SemiJoin { left, right, on } => {
+                let probe = self.build_probe(right, on)?;
+                let left = self.node(left)?;
+                let left_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+                let out = self.par_chunks(&left, |ws, _mi, chunk| {
+                    let mut scratch: Vec<Value> = Vec::new();
+                    chunk
+                        .iter()
+                        .filter(|l| {
+                            ws.stats.probes += 1;
+                            ws.stats.comparisons += 1;
+                            probe.contains(l, &left_cols, &mut scratch)
+                        })
+                        .cloned()
+                        .collect::<Vec<_>>()
+                });
+                Ok(flatten(out))
+            }
+            AlgebraExpr::ComplementJoin { left, right, on } => {
+                let probe = self.build_probe(right, on)?;
+                let left = self.node(left)?;
+                let left_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+                let out = self.par_chunks(&left, |ws, _mi, chunk| {
+                    let mut scratch: Vec<Value> = Vec::new();
+                    chunk
+                        .iter()
+                        .filter(|l| {
+                            ws.stats.probes += 1;
+                            ws.stats.comparisons += 1;
+                            !probe.contains(l, &left_cols, &mut scratch)
+                        })
+                        .cloned()
+                        .collect::<Vec<_>>()
+                });
+                Ok(flatten(out))
+            }
+            AlgebraExpr::Division { left, right, on } => {
+                // Inputs materialize through the parallel kernels; the
+                // grouping sweep itself is inherently sequential and
+                // shares the evaluator's implementation (and charging).
+                let left_arity = arity_of(left, self.ev.db)?;
+                let right_tuples = self.materialize(right)?;
+                let left_tuples = self.materialize(left)?;
+                Ok(self.ev.divide(&left_tuples, &right_tuples, left_arity, on))
+            }
+            AlgebraExpr::Union { left, right } => {
+                let left = self.node(left)?;
+                let right = self.node(right)?;
+                let mut seen: HashSet<Tuple> = HashSet::new();
+                Ok(left
+                    .into_iter()
+                    .chain(right)
+                    .filter(|t| seen.insert(t.clone()))
+                    .collect())
+            }
+            AlgebraExpr::Difference { left, right } => {
+                let right_tuples = self.materialize(right)?;
+                let keys: HashSet<Tuple> = right_tuples.iter().cloned().collect();
+                let left = self.node(left)?;
+                let out = self.par_chunks(&left, |ws, _mi, chunk| {
+                    chunk
+                        .iter()
+                        .filter(|t| {
+                            ws.stats.comparisons += 1;
+                            !keys.contains(*t)
+                        })
+                        .cloned()
+                        .collect::<Vec<_>>()
+                });
+                Ok(flatten(out))
+            }
+            AlgebraExpr::LeftOuterJoin { left, right, on } => {
+                let right_tuples = self.materialize(right)?;
+                let pad_arity = match right_tuples.first().map(Tuple::arity) {
+                    Some(a) => a,
+                    None => arity_of(right, self.ev.db)?,
+                };
+                let index =
+                    self.build_part_index(&right_tuples, on.iter().map(|&(_, r)| r).collect());
+                let left = self.node(left)?;
+                let left_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+                let out = self.par_chunks(&left, |ws, _mi, chunk| {
+                    let mut scratch: Vec<Value> = Vec::new();
+                    let mut out = Vec::new();
+                    for l in chunk {
+                        fill_key(&mut scratch, l, &left_cols);
+                        ws.stats.probes += 1;
+                        let matches = index.get(&scratch);
+                        ws.stats.comparisons += matches.len().max(1);
+                        if matches.is_empty() {
+                            let nulls = Tuple::new(vec![Value::Null; pad_arity]);
+                            out.push(l.concat(&nulls));
+                        } else {
+                            out.extend(matches.iter().map(|&rid| l.concat(&right_tuples[rid])));
+                        }
+                    }
+                    out
+                });
+                Ok(flatten(out))
+            }
+            AlgebraExpr::ConstrainedOuterJoin {
+                left,
+                right,
+                on,
+                constraint,
+            } => {
+                let probe = self.build_probe(right, on)?;
+                let left = self.node(left)?;
+                let left_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
+                let out = self.par_chunks(&left, |ws, _mi, chunk| {
+                    let mut scratch: Vec<Value> = Vec::new();
+                    chunk
+                        .iter()
+                        .map(|l| {
+                            let marker = if constraint.satisfied_by(l) {
+                                ws.stats.probes += 1;
+                                ws.stats.comparisons += 1;
+                                if probe.contains(l, &left_cols, &mut scratch) {
+                                    Value::Matched
+                                } else {
+                                    Value::Null
+                                }
+                            } else {
+                                // Definition 7, third set: no probe.
+                                Value::Null
+                            };
+                            l.extended_with(marker)
+                        })
+                        .collect::<Vec<_>>()
+                });
+                Ok(flatten(out))
+            }
+        }
+    }
+
+    /// Materialize a sub-expression through the parallel kernels,
+    /// mirroring the sequential `Evaluator::materialize` memo discipline
+    /// (same keys, same hit charging, same annotations).
+    fn materialize(&self, e: &AlgebraExpr) -> Result<Arc<Vec<Tuple>>, AlgebraError> {
+        let key = match &self.ev.memo {
+            Some(memo) if !contains_literal(e) => {
+                let key = e.to_string();
+                if let Some(hit) = memo.borrow().get(&key) {
+                    self.ev.stats.borrow_mut().memo_hits += 1;
+                    if let Some(p) = &self.ev.profiler {
+                        p.annotate(e, "memo-hit");
+                    }
+                    return Ok(Arc::clone(hit));
+                }
+                Some(key)
+            }
+            _ => None,
+        };
+        let tuples = Arc::new(self.node(e)?);
+        self.ev.stats.borrow_mut().record_intermediate(tuples.len());
+        if let (Some(memo), Some(key)) = (&self.ev.memo, key) {
+            memo.borrow_mut().insert(key, Arc::clone(&tuples));
+        }
+        Ok(tuples)
+    }
+
+    /// Build the probe side of a semi/complement/marker join: the cached
+    /// base-relation index when available (right subtree not evaluated),
+    /// hash-partitioned key sets otherwise.
+    fn build_probe(
+        &self,
+        right: &AlgebraExpr,
+        on: &[(usize, usize)],
+    ) -> Result<ParProbe, AlgebraError> {
+        let right_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
+        if let (Some(cache), AlgebraExpr::Relation(name)) = (self.ev.index_cache, right) {
+            if let Some(p) = &self.ev.profiler {
+                p.annotate(right, "cached-index");
+            }
+            let stats = self.ev.stats.clone();
+            let idx = cache
+                .get_or_build(self.ev.db, name, &right_cols, |len| {
+                    let mut s = stats.borrow_mut();
+                    s.base_scans += 1;
+                    s.base_tuples_read += len;
+                })
+                .map_err(AlgebraError::Storage)?;
+            return Ok(ParProbe::Index(idx));
+        }
+        let tuples = self.materialize(right)?;
+        Ok(ParProbe::Parts(self.build_part_keys(&tuples, &right_cols)))
+    }
+
+    /// Two-phase partitioned build of a row-id index: morsel-parallel key
+    /// extraction routed to partitions, then one thread per partition
+    /// building its hash table. Fragments are concatenated in morsel
+    /// order, so every bucket's row ids are ascending — matching a
+    /// sequential scan-order build.
+    fn build_part_index(&self, tuples: &[Tuple], cols: Vec<usize>) -> PartIndex {
+        let nparts = self.threads;
+        let morsel = self.morsel_size;
+        let frags = self.par_chunks(tuples, |_ws, mi, chunk| {
+            let mut parts: Vec<Vec<(Vec<Value>, usize)>> = vec![Vec::new(); nparts];
+            let base = mi * morsel;
+            for (i, t) in chunk.iter().enumerate() {
+                let key = key_of(t, &cols);
+                let p = partition_of(&key, nparts);
+                parts[p].push((key, base + i));
+            }
+            parts
+        });
+        let mut by_part: Vec<Vec<(Vec<Value>, usize)>> = vec![Vec::new(); nparts];
+        for frag in frags {
+            for (p, mut entries) in frag.into_iter().enumerate() {
+                by_part[p].append(&mut entries);
+            }
+        }
+        let mut parts: Vec<HashMap<Vec<Value>, Vec<usize>>> = Vec::with_capacity(nparts);
+        thread::scope(|s| {
+            let handles: Vec<_> = by_part
+                .into_iter()
+                .map(|entries| {
+                    s.spawn(move || {
+                        let mut m: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+                        for (key, rid) in entries {
+                            m.entry(key).or_default().push(rid);
+                        }
+                        m
+                    })
+                })
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("partition build worker panicked"));
+            }
+        });
+        PartIndex { parts }
+    }
+
+    /// Two-phase partitioned build of key *sets* (the probe side of semi,
+    /// complement and marker joins).
+    fn build_part_keys(&self, tuples: &[Tuple], cols: &[usize]) -> Vec<HashSet<Vec<Value>>> {
+        let nparts = self.threads;
+        let frags = self.par_chunks(tuples, |_ws, _mi, chunk| {
+            let mut parts: Vec<Vec<Vec<Value>>> = vec![Vec::new(); nparts];
+            for t in chunk {
+                let key = key_of(t, cols);
+                let p = partition_of(&key, nparts);
+                parts[p].push(key);
+            }
+            parts
+        });
+        let mut by_part: Vec<Vec<Vec<Value>>> = vec![Vec::new(); nparts];
+        for frag in frags {
+            for (p, mut keys) in frag.into_iter().enumerate() {
+                by_part[p].append(&mut keys);
+            }
+        }
+        let mut parts: Vec<HashSet<Vec<Value>>> = Vec::with_capacity(nparts);
+        thread::scope(|s| {
+            let handles: Vec<_> = by_part
+                .into_iter()
+                .map(|keys| s.spawn(move || keys.into_iter().collect::<HashSet<_>>()))
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("partition build worker panicked"));
+            }
+        });
+        parts
+    }
+
+    /// The morsel dispatcher. Splits `input` into morsels, deals them to
+    /// a scoped worker pool via an atomic cursor (work stealing at morsel
+    /// granularity), and returns the per-morsel results *in morsel
+    /// order*. Each worker charges into a private [`WorkerStats`]; all of
+    /// them are folded into the shared accumulator at the barrier, so the
+    /// merged totals are distribution-independent. Falls back to an
+    /// inline loop when one worker (or one morsel) makes a pool
+    /// pointless.
+    fn par_chunks<R, F>(&self, input: &[Tuple], f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut WorkerStats, usize, &[Tuple]) -> R + Sync,
+    {
+        let morsel = self.morsel_size;
+        let nmorsels = input.len().div_ceil(morsel);
+        let workers = self.threads.min(nmorsels);
+        if workers <= 1 {
+            let mut ws = WorkerStats::new(0);
+            let mut out = Vec::with_capacity(nmorsels);
+            for (mi, chunk) in input.chunks(morsel).enumerate() {
+                ws.morsels += 1;
+                out.push(f(&mut ws, mi, chunk));
+            }
+            ws.merge_into(&mut self.ev.stats.borrow_mut());
+            return out;
+        }
+        let next = AtomicUsize::new(0);
+        let mut results: Vec<(usize, R)> = Vec::with_capacity(nmorsels);
+        let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(workers);
+        thread::scope(|s| {
+            let next = &next;
+            let f = &f;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    s.spawn(move || {
+                        let mut ws = WorkerStats::new(w);
+                        let mut out: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let mi = next.fetch_add(1, Ordering::Relaxed);
+                            if mi >= nmorsels {
+                                break;
+                            }
+                            let start = mi * morsel;
+                            let end = (start + morsel).min(input.len());
+                            ws.morsels += 1;
+                            out.push((mi, f(&mut ws, mi, &input[start..end])));
+                        }
+                        (out, ws)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (out, ws) = h.join().expect("morsel worker panicked");
+                results.extend(out);
+                worker_stats.push(ws);
+            }
+        });
+        // Barrier: fold worker counters into the shared accumulator and
+        // reassemble outputs in morsel order.
+        {
+            let mut shared = self.ev.stats.borrow_mut();
+            for ws in &worker_stats {
+                ws.merge_into(&mut shared);
+            }
+        }
+        results.sort_unstable_by_key(|&(mi, _)| mi);
+        results.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+/// Concatenate per-morsel outputs (already in morsel order).
+fn flatten(chunks: Vec<Vec<Tuple>>) -> Vec<Tuple> {
+    let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Evaluator;
+    use gq_storage::{tuple, Database, Schema};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_relation("member", Schema::anonymous(2)).unwrap();
+        db.create_relation("skill", Schema::anonymous(2)).unwrap();
+        for i in 0..500i64 {
+            db.insert("member", tuple![i, i % 7]).unwrap();
+            if i % 3 == 0 {
+                db.insert("skill", tuple![i, i % 5]).unwrap();
+            }
+        }
+        db
+    }
+
+    fn join_plan() -> AlgebraExpr {
+        AlgebraExpr::Join {
+            left: Box::new(AlgebraExpr::Relation("member".into())),
+            right: Box::new(AlgebraExpr::Relation("skill".into())),
+            on: vec![(0, 0)],
+        }
+    }
+
+    fn complement_plan() -> AlgebraExpr {
+        AlgebraExpr::ComplementJoin {
+            left: Box::new(AlgebraExpr::Relation("member".into())),
+            right: Box::new(AlgebraExpr::Relation("skill".into())),
+            on: vec![(0, 0)],
+        }
+    }
+
+    /// Results and stats (minus the dispatch counter) must be identical
+    /// across thread counts — and the row *order* too, thanks to ordered
+    /// morsel reassembly.
+    #[test]
+    fn kernels_match_sequential_exactly() {
+        let db = db();
+        for plan in [join_plan(), complement_plan()] {
+            let seq = Evaluator::new(&db);
+            let expected = seq.eval(&plan).unwrap();
+            for threads in [2, 4] {
+                let par = Evaluator::new(&db)
+                    .with_exec_config(ExecConfig::with_threads(threads).with_morsel_size(64));
+                let got = par.eval(&plan).unwrap();
+                assert_eq!(got.tuples(), expected.tuples(), "row order differs");
+                assert_eq!(
+                    par.stats().without_dispatch_counters(),
+                    seq.stats().without_dispatch_counters(),
+                    "stats differ at {threads} threads"
+                );
+                assert!(par.stats().morsels > 0, "parallel path not taken");
+            }
+        }
+    }
+
+    #[test]
+    fn default_config_matches_host() {
+        let c = ExecConfig::default();
+        assert!(c.threads >= 1);
+        assert_eq!(c.morsel_size, DEFAULT_MORSEL_SIZE);
+        assert!(!ExecConfig::sequential().is_parallel());
+        assert!(ExecConfig::with_threads(8).is_parallel());
+        // Degenerate inputs are clamped, not honored.
+        assert_eq!(ExecConfig::with_threads(0).threads, 1);
+        assert_eq!(
+            ExecConfig::with_threads(2).with_morsel_size(0).morsel_size,
+            1
+        );
+    }
+
+    #[test]
+    fn single_morsel_input_falls_back_inline() {
+        let db = db();
+        let par = Evaluator::new(&db)
+            .with_exec_config(ExecConfig::with_threads(4).with_morsel_size(100_000));
+        let got = par.eval(&join_plan()).unwrap();
+        let seq = Evaluator::new(&db);
+        let expected = seq.eval(&join_plan()).unwrap();
+        assert_eq!(got.tuples(), expected.tuples());
+        assert_eq!(
+            par.stats().without_dispatch_counters(),
+            seq.stats().without_dispatch_counters()
+        );
+    }
+}

@@ -189,6 +189,7 @@ fn clamp(child: &ExecStats, parent: &ExecStats) -> ExecStats {
         max_intermediate: 0,
         operators_evaluated: child.operators_evaluated.min(parent.operators_evaluated),
         memo_hits: child.memo_hits.min(parent.memo_hits),
+        morsels: child.morsels.min(parent.morsels),
     }
 }
 

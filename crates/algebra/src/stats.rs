@@ -32,6 +32,11 @@ pub struct ExecStats {
     /// Materializations answered from the shared-subplan cache
     /// (see `Evaluator::with_sharing`).
     pub memo_hits: usize,
+    /// Morsels dispatched to parallel kernels (zero on the sequential
+    /// path). Unlike every other counter this one depends on the
+    /// execution *configuration* (morsel size), not on the plan, so
+    /// determinism checks across thread counts compare it separately.
+    pub morsels: usize,
 }
 
 impl ExecStats {
@@ -68,6 +73,7 @@ impl ExecStats {
             },
             operators_evaluated: self.operators_evaluated - earlier.operators_evaluated,
             memo_hits: self.memo_hits - earlier.memo_hits,
+            morsels: self.morsels - earlier.morsels,
         }
     }
 
@@ -82,6 +88,55 @@ impl ExecStats {
         self.max_intermediate = self.max_intermediate.max(other.max_intermediate);
         self.operators_evaluated += other.operators_evaluated;
         self.memo_hits += other.memo_hits;
+        self.morsels += other.morsels;
+    }
+
+    /// This record with the configuration-dependent counters zeroed —
+    /// what determinism tests compare across thread counts (the morsel
+    /// counter legitimately differs between the sequential path and the
+    /// morsel-driven one).
+    pub fn without_dispatch_counters(&self) -> ExecStats {
+        ExecStats {
+            morsels: 0,
+            ..self.clone()
+        }
+    }
+}
+
+/// Per-worker statistics accumulated by a parallel kernel between two
+/// barrier points.
+///
+/// Workers never touch the evaluator's shared [`ExecStats`] accumulator —
+/// each owns a `WorkerStats`, charges into it lock-free, and the kernel
+/// merges all of them into the shared accumulator at the barrier that ends
+/// the phase. Because every counter is a sum over tuples (or a max, for
+/// the high-water mark), the merged totals are independent of how tuples
+/// were distributed across workers — which is exactly what the
+/// cross-thread-count determinism tests assert.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerStats {
+    /// Worker index within the pool (0-based).
+    pub worker: usize,
+    /// Morsels this worker processed in the phase.
+    pub morsels: usize,
+    /// Counters accumulated by this worker alone.
+    pub stats: ExecStats,
+}
+
+impl WorkerStats {
+    /// Fresh stats for worker `worker`.
+    pub fn new(worker: usize) -> Self {
+        WorkerStats {
+            worker,
+            ..WorkerStats::default()
+        }
+    }
+
+    /// Fold this worker's counters into the shared accumulator (called at
+    /// a barrier, on the coordinating thread).
+    pub fn merge_into(&self, shared: &mut ExecStats) {
+        shared.merge(&self.stats);
+        shared.morsels += self.morsels;
     }
 }
 
@@ -89,7 +144,7 @@ impl fmt::Display for ExecStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "scans={} base_reads={} probes={} comparisons={} emitted={} intermediates={} max_intermediate={} operators={} memo_hits={}",
+            "scans={} base_reads={} probes={} comparisons={} emitted={} intermediates={} max_intermediate={} operators={} memo_hits={} morsels={}",
             self.base_scans,
             self.base_tuples_read,
             self.probes,
@@ -98,7 +153,8 @@ impl fmt::Display for ExecStats {
             self.intermediate_tuples,
             self.max_intermediate,
             self.operators_evaluated,
-            self.memo_hits
+            self.memo_hits,
+            self.morsels
         )
     }
 }
@@ -161,6 +217,7 @@ mod tests {
             max_intermediate: 4,
             operators_evaluated: 2,
             memo_hits: 0,
+            morsels: 0,
         };
         let mut later = earlier.clone();
         later.base_tuples_read += 7;
@@ -189,6 +246,28 @@ mod tests {
             ..earlier.clone()
         };
         assert_eq!(later.diff(&earlier).max_intermediate, 9);
+    }
+
+    #[test]
+    fn worker_stats_merge_at_barrier() {
+        let mut shared = ExecStats::new();
+        let mut w0 = WorkerStats::new(0);
+        w0.stats.probes = 5;
+        w0.stats.comparisons = 7;
+        w0.morsels = 2;
+        let mut w1 = WorkerStats::new(1);
+        w1.stats.probes = 3;
+        w1.stats.max_intermediate = 4;
+        w1.morsels = 1;
+        w0.merge_into(&mut shared);
+        w1.merge_into(&mut shared);
+        assert_eq!(shared.probes, 8);
+        assert_eq!(shared.comparisons, 7);
+        assert_eq!(shared.max_intermediate, 4);
+        assert_eq!(shared.morsels, 3);
+        // dispatch counters are excluded from determinism comparisons
+        assert_eq!(shared.without_dispatch_counters().morsels, 0);
+        assert_eq!(shared.without_dispatch_counters().probes, 8);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The query engine: parse → normalize → translate → evaluate.
 
 use crate::EngineError;
-use gq_algebra::{Evaluator, ExecStats, PlanProfiler};
+use gq_algebra::{Evaluator, ExecConfig, ExecStats, PlanProfiler};
 use gq_calculus::{parse, Formula, Var};
 use gq_obs::{QueryTrace, Registry, SpanGuard, TraceBuilder};
 use gq_pipeline::{LoopProfiler, PipelineEvaluator};
@@ -103,17 +103,37 @@ pub struct QueryEngine {
     index_cache: gq_algebra::IndexCache,
     views: crate::views::ViewRegistry,
     metrics: Registry,
+    exec: ExecConfig,
 }
 
 impl QueryEngine {
-    /// Wrap a database.
+    /// Wrap a database. Execution defaults to [`ExecConfig::default`]:
+    /// morsel-driven parallel kernels sized to the host's available
+    /// parallelism (a single-core host gets the sequential path).
     pub fn new(db: Database) -> Self {
         QueryEngine {
             db,
             index_cache: gq_algebra::IndexCache::new(),
             views: crate::views::ViewRegistry::new(),
             metrics: Registry::new(),
+            exec: ExecConfig::default(),
         }
+    }
+
+    /// Builder-style [`ExecConfig`] override (thread count, morsel size).
+    pub fn with_exec_config(mut self, exec: ExecConfig) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Change the execution configuration in place (REPL `.threads`).
+    pub fn set_exec_config(&mut self, exec: ExecConfig) {
+        self.exec = exec;
+    }
+
+    /// The current execution configuration.
+    pub fn exec_config(&self) -> ExecConfig {
+        self.exec
     }
 
     /// The engine-lifetime metrics registry: per-strategy query counts and
@@ -311,6 +331,7 @@ impl QueryEngine {
             } else {
                 Evaluator::new(&self.db)
             };
+            let ev = ev.with_exec_config(self.exec);
             if options.use_base_indexes {
                 ev.with_index_cache(&self.index_cache)
             } else {

@@ -54,4 +54,5 @@ mod views;
 pub use constraints::{Constraint, ConstraintReport, ConstraintSet};
 pub use engine::{EngineOptions, QueryEngine, QueryResult, Strategy};
 pub use error::EngineError;
+pub use gq_algebra::ExecConfig;
 pub use views::{View, ViewError, ViewRegistry};

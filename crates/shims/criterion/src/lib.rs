@@ -53,9 +53,23 @@ pub struct Bencher {
     result: Option<(Duration, Duration, Duration)>,
 }
 
+/// Is smoke mode on? With `GQ_BENCH_SMOKE` set (CI), every benchmark
+/// runs its routine exactly once — enough to prove the bench compiles and
+/// executes, without paying for measurement.
+fn smoke() -> bool {
+    std::env::var_os("GQ_BENCH_SMOKE").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
 impl Bencher {
     /// Time `routine`, batching iterations so one sample is measurable.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if smoke() {
+            let t0 = Instant::now();
+            black_box(routine());
+            let once = t0.elapsed();
+            self.result = Some((once, once, once));
+            return;
+        }
         // Warm up and size the batch: aim for ≥1ms per sample.
         let t0 = Instant::now();
         black_box(routine());

@@ -113,6 +113,32 @@ impl Repl {
                 other => return Err(format!("unknown strategy `{other}`").into()),
             };
             println!("strategy: {}", self.strategy.name());
+        } else if let Some(rest) = line.strip_prefix(".threads ") {
+            let n: usize = rest
+                .trim()
+                .parse()
+                .map_err(|_| format!("usage: .threads <n> (got `{}`)", rest.trim()))?;
+            let exec = gq_core::ExecConfig::with_threads(n)
+                .with_morsel_size(self.engine.exec_config().morsel_size);
+            self.engine.set_exec_config(exec);
+            println!(
+                "exec: {} thread{} (morsel size {})",
+                exec.threads,
+                if exec.threads == 1 { "" } else { "s" },
+                exec.morsel_size
+            );
+        } else if let Some(rest) = line.strip_prefix(".morsel ") {
+            let n: usize = rest
+                .trim()
+                .parse()
+                .map_err(|_| format!("usage: .morsel <n> (got `{}`)", rest.trim()))?;
+            let mut exec = self.engine.exec_config();
+            exec = gq_core::ExecConfig::with_threads(exec.threads).with_morsel_size(n);
+            self.engine.set_exec_config(exec);
+            println!(
+                "exec: morsel size {} ({} threads)",
+                exec.morsel_size, exec.threads
+            );
         } else if let Some(rest) = line.strip_prefix(".explain ") {
             println!("{}", self.engine.explain(rest)?);
         } else if let Some(rest) = line
@@ -144,6 +170,8 @@ impl Repl {
                  .insert name(value, …)    insert a tuple (strings quoted, ints bare)\n\
                  .relations                list relations\n\
                  .strategy s               improved | classical | nested-loop\n\
+                 .threads n                worker threads (1 = sequential)\n\
+                 .morsel n                 tuples per morsel (default 1024)\n\
                  .explain <query>          show both processing phases\n\
                  :analyze <query>          execute + annotated plan (EXPLAIN ANALYZE)\n\
                  .load-university <n>      load a generated database\n\
