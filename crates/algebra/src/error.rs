@@ -27,6 +27,9 @@ pub enum AlgebraError {
     },
     /// Underlying storage error.
     Storage(gq_storage::StorageError),
+    /// The resource governor interrupted evaluation (cancellation,
+    /// deadline, a tuple/memory budget, or a contained worker panic).
+    Governor(gq_governor::GovernorError),
 }
 
 impl fmt::Display for AlgebraError {
@@ -45,6 +48,7 @@ impl fmt::Display for AlgebraError {
                 "{op}: position {position} out of range for arity {arity}"
             ),
             AlgebraError::Storage(e) => write!(f, "storage error: {e}"),
+            AlgebraError::Governor(e) => write!(f, "{e}"),
         }
     }
 }
@@ -61,5 +65,11 @@ impl std::error::Error for AlgebraError {
 impl From<gq_storage::StorageError> for AlgebraError {
     fn from(e: gq_storage::StorageError) -> Self {
         AlgebraError::Storage(e)
+    }
+}
+
+impl From<gq_governor::GovernorError> for AlgebraError {
+    fn from(e: gq_governor::GovernorError) -> Self {
+        AlgebraError::Governor(e)
     }
 }

@@ -13,6 +13,7 @@
 use crate::parallel::{eval_parallel, ExecConfig};
 use crate::profile::PlanProfiler;
 use crate::{AlgebraError, AlgebraExpr, ExecStats, IndexCache, Operand, Predicate};
+use gq_governor::Governor;
 use gq_storage::{Database, Relation, Tuple, Value};
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
@@ -203,6 +204,10 @@ pub struct Evaluator<'db> {
     /// default for a bare `Evaluator`) is the bit-identical legacy
     /// streaming path.
     pub(crate) exec: ExecConfig,
+    /// Resource governor: cancellation, deadline and tuple/memory budgets,
+    /// polled cooperatively at drain-loop and morsel boundaries. `None`
+    /// (the default) keeps the hot paths check-free.
+    pub(crate) governor: Option<Governor>,
 }
 
 impl<'db> Evaluator<'db> {
@@ -216,12 +221,24 @@ impl<'db> Evaluator<'db> {
             join_algorithm: JoinAlgorithm::default(),
             profiler: None,
             exec: ExecConfig::sequential(),
+            governor: None,
         }
     }
 
     /// Select the physical equi-join algorithm.
     pub fn with_join_algorithm(mut self, algorithm: JoinAlgorithm) -> Self {
         self.join_algorithm = algorithm;
+        self
+    }
+
+    /// Attach a resource governor. Sequential drains check cancellation
+    /// and the deadline every [`ExecConfig::morsel_size`] tuples and the
+    /// output/intermediate budgets per emitted/materialized tuple;
+    /// parallel workers poll cancellation between morsels, and budget
+    /// limits are enforced only at coordinator points so trip behaviour
+    /// is identical across thread counts.
+    pub fn with_governor(mut self, governor: Governor) -> Self {
+        self.governor = Some(governor);
         self
     }
 
@@ -279,6 +296,7 @@ impl<'db> Evaluator<'db> {
             join_algorithm: JoinAlgorithm::default(),
             profiler: None,
             exec: ExecConfig::sequential(),
+            governor: None,
         }
     }
 
@@ -299,11 +317,22 @@ impl<'db> Evaluator<'db> {
     /// legacy pull-based stream is drained.
     pub fn eval(&self, e: &AlgebraExpr) -> Result<Relation, AlgebraError> {
         let arity = arity_of(e, self.db)?;
+        self.check_governor()?;
         if self.exec.is_parallel() {
             return eval_parallel(self, e, arity);
         }
         let mut out = Relation::intermediate(arity);
         for t in self.stream(e)? {
+            // Budget limits trip per emitted tuple; cancellation/deadline
+            // every morsel-size tuples — the same cadence as the parallel
+            // executor's morsel boundaries, so "one check interval" means
+            // the same thing on both paths.
+            if let Some(g) = &self.governor {
+                g.check_output("evaluate", out.len() as u64 + 1)?;
+                if (out.len() + 1).is_multiple_of(self.exec.morsel_size) {
+                    g.check("evaluate")?;
+                }
+            }
             out.insert(t)?;
         }
         self.stats.borrow_mut().tuples_emitted += out.len();
@@ -313,8 +342,14 @@ impl<'db> Evaluator<'db> {
     /// Evaluate, stopping after at most `limit` result tuples.
     pub fn eval_limit(&self, e: &AlgebraExpr, limit: usize) -> Result<Relation, AlgebraError> {
         let arity = arity_of(e, self.db)?;
+        self.check_governor()?;
         let mut out = Relation::intermediate(arity);
         for t in self.stream(e)? {
+            if let Some(g) = &self.governor {
+                if (out.len() + 1).is_multiple_of(self.exec.morsel_size) {
+                    g.check("evaluate")?;
+                }
+            }
             out.insert(t)?;
             if out.len() >= limit {
                 break;
@@ -327,7 +362,16 @@ impl<'db> Evaluator<'db> {
     /// The non-emptiness test of §3.2: pull a single tuple and stop.
     pub fn is_nonempty(&self, e: &AlgebraExpr) -> Result<bool, AlgebraError> {
         arity_of(e, self.db)?;
+        self.check_governor()?;
         Ok(self.stream(e)?.next().is_some())
+    }
+
+    /// Poll the governor (cancellation / deadline), if one is attached.
+    pub(crate) fn check_governor(&self) -> Result<(), AlgebraError> {
+        if let Some(g) = &self.governor {
+            g.check("evaluate")?;
+        }
+        Ok(())
     }
 
     /// Materialize a sub-expression (build sides, division inputs),
@@ -353,7 +397,24 @@ impl<'db> Evaluator<'db> {
             }
             _ => None,
         };
-        let tuples: Arc<Vec<Tuple>> = Arc::new(self.stream(e)?.collect());
+        let tuples: Arc<Vec<Tuple>> = if let Some(g) = self.governor.clone() {
+            // Governed collect: poll cancellation every morsel-size tuples
+            // and charge the intermediate-size budgets as the build side
+            // grows — build sides are where a runaway query actually
+            // accumulates memory, not the output relation.
+            let mut v: Vec<Tuple> = Vec::new();
+            for t in self.stream(e)? {
+                let bytes = gq_governor::estimate_tuple_bytes(t.arity());
+                g.charge_intermediate("evaluate", 1, bytes)?;
+                v.push(t);
+                if v.len().is_multiple_of(self.exec.morsel_size) {
+                    g.check("evaluate")?;
+                }
+            }
+            Arc::new(v)
+        } else {
+            Arc::new(self.stream(e)?.collect())
+        };
         self.stats.borrow_mut().record_intermediate(tuples.len());
         if let (Some(memo), Some(key)) = (&self.memo, key) {
             memo.borrow_mut().insert(key, Arc::clone(&tuples));
@@ -396,6 +457,10 @@ impl<'db> Evaluator<'db> {
         self.stats.borrow_mut().operators_evaluated += 1;
         match e {
             AlgebraExpr::Relation(name) => {
+                #[cfg(feature = "chaos")]
+                if let Some(msg) = gq_chaos::fail_scan(name) {
+                    return Err(AlgebraError::Storage(gq_storage::StorageError::Io(msg)));
+                }
                 let rel = self
                     .db
                     .relation(name)

@@ -479,6 +479,22 @@ impl AlgebraExpr {
         }
     }
 
+    /// Depth of the operator tree (1 for a leaf). Iterative so that even
+    /// a pathologically deep plan — the thing the governor's
+    /// `max_plan_depth` limit exists to reject — can be measured without
+    /// recursing as deep as the plan itself.
+    pub fn depth(&self) -> usize {
+        let mut max = 0usize;
+        let mut stack: Vec<(&AlgebraExpr, usize)> = vec![(self, 1)];
+        while let Some((node, d)) = stack.pop() {
+            max = max.max(d);
+            for c in node.children() {
+                stack.push((c, d + 1));
+            }
+        }
+        max
+    }
+
     /// Number of operator nodes.
     pub fn node_count(&self) -> usize {
         1 + self

@@ -44,6 +44,10 @@ impl IndexCache {
         if let Some(idx) = self.inner.borrow().get(&key) {
             return Ok(idx.clone());
         }
+        #[cfg(feature = "chaos")]
+        if let Some(msg) = gq_chaos::fail_index_build(relation) {
+            return Err(gq_storage::StorageError::Io(msg));
+        }
         let rel = db.relation(relation)?;
         rel.validate_positions(cols)?;
         let idx = Arc::new(HashIndex::build(rel, cols));

@@ -37,12 +37,14 @@ use crate::eval::{
     arity_of, contains_literal, eval_predicate, fill_key, key_of, Evaluator, JoinAlgorithm,
 };
 use crate::{AlgebraError, AlgebraExpr, WorkerStats};
+use gq_governor::GovernorError;
 use gq_storage::{HashIndex, Tuple, Value};
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
@@ -120,10 +122,50 @@ pub(crate) fn eval_parallel(
     let tuples = exec.node(e)?;
     let mut out = gq_storage::Relation::intermediate(arity);
     for t in tuples {
+        // Output-budget enforcement happens here, on the coordinating
+        // thread over the fully reassembled (morsel-ordered) result — so
+        // the trip point is identical at any thread count, and identical
+        // to the sequential drain's.
+        if let Some(g) = &ev.governor {
+            g.check_output("evaluate", out.len() as u64 + 1)?;
+        }
         out.insert(t)?;
     }
     ev.stats.borrow_mut().tuples_emitted += out.len();
     Ok(out)
+}
+
+/// Deterministic fault-injection hooks at a morsel boundary: an injected
+/// per-morsel delay, then possibly a forced worker panic (exercising the
+/// containment path). Compiled to nothing without the `chaos` feature.
+#[cfg(feature = "chaos")]
+fn chaos_morsel_hooks(mi: usize) {
+    if let Some(d) = gq_chaos::morsel_delay(mi as u64) {
+        thread::sleep(d);
+    }
+    gq_chaos::maybe_panic_worker(mi as u64);
+}
+
+#[cfg(not(feature = "chaos"))]
+fn chaos_morsel_hooks(_mi: usize) {}
+
+/// Render a caught panic payload as the message of a
+/// [`GovernorError::WorkerPanic`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+fn worker_panic(message: String) -> AlgebraError {
+    AlgebraError::Governor(GovernorError::WorkerPanic {
+        phase: "evaluate",
+        message,
+    })
 }
 
 /// The batch executor: a thin coordinator around an [`Evaluator`], owning
@@ -208,9 +250,14 @@ impl<'db> ParallelExec<'_, 'db> {
     /// Operator dispatch. Every arm charges [`ExecStats`] exactly as the
     /// sequential `stream_inner` would for a full drain of the same node.
     fn node_inner(&self, e: &AlgebraExpr) -> Result<Vec<Tuple>, AlgebraError> {
+        self.ev.check_governor()?;
         self.ev.stats.borrow_mut().operators_evaluated += 1;
         match e {
             AlgebraExpr::Relation(name) => {
+                #[cfg(feature = "chaos")]
+                if let Some(msg) = gq_chaos::fail_scan(name) {
+                    return Err(AlgebraError::Storage(gq_storage::StorageError::Io(msg)));
+                }
                 let rel = self
                     .ev
                     .db
@@ -235,7 +282,7 @@ impl<'db> ParallelExec<'_, 'db> {
                         .filter(|t| eval_predicate(predicate, t, &mut ws.stats))
                         .cloned()
                         .collect::<Vec<_>>()
-                });
+                })?;
                 Ok(flatten(filtered))
             }
             AlgebraExpr::Project { input, positions } => {
@@ -280,7 +327,7 @@ impl<'db> ParallelExec<'_, 'db> {
                         out.extend(right_tuples.iter().map(|r| l.concat(r)));
                     }
                     out
-                });
+                })?;
                 Ok(flatten(out))
             }
             AlgebraExpr::Join { left, right, on } => {
@@ -323,12 +370,12 @@ impl<'db> ParallelExec<'_, 'db> {
                             out.extend(matches.iter().map(|&rid| l.concat(&rel.tuples()[rid])));
                         }
                         out
-                    });
+                    })?;
                     return Ok(flatten(out));
                 }
                 let right_tuples = self.materialize(right)?;
                 let index =
-                    self.build_part_index(&right_tuples, on.iter().map(|&(_, r)| r).collect());
+                    self.build_part_index(&right_tuples, on.iter().map(|&(_, r)| r).collect())?;
                 let left = self.node(left)?;
                 let out = self.par_chunks(&left, |ws, _mi, chunk| {
                     let mut scratch: Vec<Value> = Vec::new();
@@ -341,7 +388,7 @@ impl<'db> ParallelExec<'_, 'db> {
                         out.extend(matches.iter().map(|&rid| l.concat(&right_tuples[rid])));
                     }
                     out
-                });
+                })?;
                 Ok(flatten(out))
             }
             AlgebraExpr::SemiJoin { left, right, on } => {
@@ -359,7 +406,7 @@ impl<'db> ParallelExec<'_, 'db> {
                         })
                         .cloned()
                         .collect::<Vec<_>>()
-                });
+                })?;
                 Ok(flatten(out))
             }
             AlgebraExpr::ComplementJoin { left, right, on } => {
@@ -377,7 +424,7 @@ impl<'db> ParallelExec<'_, 'db> {
                         })
                         .cloned()
                         .collect::<Vec<_>>()
-                });
+                })?;
                 Ok(flatten(out))
             }
             AlgebraExpr::Division { left, right, on } => {
@@ -412,7 +459,7 @@ impl<'db> ParallelExec<'_, 'db> {
                         })
                         .cloned()
                         .collect::<Vec<_>>()
-                });
+                })?;
                 Ok(flatten(out))
             }
             AlgebraExpr::LeftOuterJoin { left, right, on } => {
@@ -422,7 +469,7 @@ impl<'db> ParallelExec<'_, 'db> {
                     None => arity_of(right, self.ev.db)?,
                 };
                 let index =
-                    self.build_part_index(&right_tuples, on.iter().map(|&(_, r)| r).collect());
+                    self.build_part_index(&right_tuples, on.iter().map(|&(_, r)| r).collect())?;
                 let left = self.node(left)?;
                 let left_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
                 let out = self.par_chunks(&left, |ws, _mi, chunk| {
@@ -441,7 +488,7 @@ impl<'db> ParallelExec<'_, 'db> {
                         }
                     }
                     out
-                });
+                })?;
                 Ok(flatten(out))
             }
             AlgebraExpr::ConstrainedOuterJoin {
@@ -473,7 +520,7 @@ impl<'db> ParallelExec<'_, 'db> {
                             l.extended_with(marker)
                         })
                         .collect::<Vec<_>>()
-                });
+                })?;
                 Ok(flatten(out))
             }
         }
@@ -529,7 +576,7 @@ impl<'db> ParallelExec<'_, 'db> {
             return Ok(ParProbe::Index(idx));
         }
         let tuples = self.materialize(right)?;
-        Ok(ParProbe::Parts(self.build_part_keys(&tuples, &right_cols)))
+        Ok(ParProbe::Parts(self.build_part_keys(&tuples, &right_cols)?))
     }
 
     /// Two-phase partitioned build of a row-id index: morsel-parallel key
@@ -537,7 +584,11 @@ impl<'db> ParallelExec<'_, 'db> {
     /// building its hash table. Fragments are concatenated in morsel
     /// order, so every bucket's row ids are ascending — matching a
     /// sequential scan-order build.
-    fn build_part_index(&self, tuples: &[Tuple], cols: Vec<usize>) -> PartIndex {
+    fn build_part_index(
+        &self,
+        tuples: &[Tuple],
+        cols: Vec<usize>,
+    ) -> Result<PartIndex, AlgebraError> {
         let nparts = self.threads;
         let morsel = self.morsel_size;
         let frags = self.par_chunks(tuples, |_ws, mi, chunk| {
@@ -549,7 +600,7 @@ impl<'db> ParallelExec<'_, 'db> {
                 parts[p].push((key, base + i));
             }
             parts
-        });
+        })?;
         let mut by_part: Vec<Vec<(Vec<Value>, usize)>> = vec![Vec::new(); nparts];
         for frag in frags {
             for (p, mut entries) in frag.into_iter().enumerate() {
@@ -557,6 +608,7 @@ impl<'db> ParallelExec<'_, 'db> {
             }
         }
         let mut parts: Vec<HashMap<Vec<Value>, Vec<usize>>> = Vec::with_capacity(nparts);
+        let mut panicked: Option<String> = None;
         thread::scope(|s| {
             let handles: Vec<_> = by_part
                 .into_iter()
@@ -571,15 +623,29 @@ impl<'db> ParallelExec<'_, 'db> {
                 })
                 .collect();
             for h in handles {
-                parts.push(h.join().expect("partition build worker panicked"));
+                match h.join() {
+                    Ok(m) => parts.push(m),
+                    Err(p) => {
+                        if panicked.is_none() {
+                            panicked = Some(panic_message(p));
+                        }
+                    }
+                }
             }
         });
-        PartIndex { parts }
+        match panicked {
+            Some(message) => Err(worker_panic(message)),
+            None => Ok(PartIndex { parts }),
+        }
     }
 
     /// Two-phase partitioned build of key *sets* (the probe side of semi,
     /// complement and marker joins).
-    fn build_part_keys(&self, tuples: &[Tuple], cols: &[usize]) -> Vec<HashSet<Vec<Value>>> {
+    fn build_part_keys(
+        &self,
+        tuples: &[Tuple],
+        cols: &[usize],
+    ) -> Result<Vec<HashSet<Vec<Value>>>, AlgebraError> {
         let nparts = self.threads;
         let frags = self.par_chunks(tuples, |_ws, _mi, chunk| {
             let mut parts: Vec<Vec<Vec<Value>>> = vec![Vec::new(); nparts];
@@ -589,7 +655,7 @@ impl<'db> ParallelExec<'_, 'db> {
                 parts[p].push(key);
             }
             parts
-        });
+        })?;
         let mut by_part: Vec<Vec<Vec<Value>>> = vec![Vec::new(); nparts];
         for frag in frags {
             for (p, mut keys) in frag.into_iter().enumerate() {
@@ -597,16 +663,27 @@ impl<'db> ParallelExec<'_, 'db> {
             }
         }
         let mut parts: Vec<HashSet<Vec<Value>>> = Vec::with_capacity(nparts);
+        let mut panicked: Option<String> = None;
         thread::scope(|s| {
             let handles: Vec<_> = by_part
                 .into_iter()
                 .map(|keys| s.spawn(move || keys.into_iter().collect::<HashSet<_>>()))
                 .collect();
             for h in handles {
-                parts.push(h.join().expect("partition build worker panicked"));
+                match h.join() {
+                    Ok(set) => parts.push(set),
+                    Err(p) => {
+                        if panicked.is_none() {
+                            panicked = Some(panic_message(p));
+                        }
+                    }
+                }
             }
         });
-        parts
+        match panicked {
+            Some(message) => Err(worker_panic(message)),
+            None => Ok(parts),
+        }
     }
 
     /// The morsel dispatcher. Splits `input` into morsels, deals them to
@@ -617,7 +694,15 @@ impl<'db> ParallelExec<'_, 'db> {
     /// merged totals are distribution-independent. Falls back to an
     /// inline loop when one worker (or one morsel) makes a pool
     /// pointless.
-    fn par_chunks<R, F>(&self, input: &[Tuple], f: F) -> Vec<R>
+    ///
+    /// Robustness: every morsel runs under `catch_unwind`, so a panic in
+    /// one worker raises an abort flag (stopping the other workers at
+    /// their next claim), drains cleanly through the scope join, and
+    /// surfaces as [`GovernorError::WorkerPanic`] — the engine stays
+    /// reusable. Workers also poll the governor's cancel flag / deadline
+    /// between morsels, so no query overruns its deadline by more than
+    /// one morsel's work.
+    fn par_chunks<R, F>(&self, input: &[Tuple], f: F) -> Result<Vec<R>, AlgebraError>
     where
         R: Send,
         F: Fn(&mut WorkerStats, usize, &[Tuple]) -> R + Sync,
@@ -625,28 +710,47 @@ impl<'db> ParallelExec<'_, 'db> {
         let morsel = self.morsel_size;
         let nmorsels = input.len().div_ceil(morsel);
         let workers = self.threads.min(nmorsels);
+        let governor = self.ev.governor.as_ref();
         if workers <= 1 {
             let mut ws = WorkerStats::new(0);
             let mut out = Vec::with_capacity(nmorsels);
             for (mi, chunk) in input.chunks(morsel).enumerate() {
+                if let Some(g) = governor {
+                    g.check("evaluate")?;
+                }
                 ws.morsels += 1;
-                out.push(f(&mut ws, mi, chunk));
+                match catch_unwind(AssertUnwindSafe(|| {
+                    chaos_morsel_hooks(mi);
+                    f(&mut ws, mi, chunk)
+                })) {
+                    Ok(r) => out.push(r),
+                    Err(p) => return Err(worker_panic(panic_message(p))),
+                }
             }
             ws.merge_into(&mut self.ev.stats.borrow_mut());
-            return out;
+            return Ok(out);
         }
         let next = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
         let mut results: Vec<(usize, R)> = Vec::with_capacity(nmorsels);
         let mut worker_stats: Vec<WorkerStats> = Vec::with_capacity(workers);
+        let mut first_panic: Option<String> = None;
         thread::scope(|s| {
             let next = &next;
+            let abort = &abort;
             let f = &f;
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     s.spawn(move || {
                         let mut ws = WorkerStats::new(w);
                         let mut out: Vec<(usize, R)> = Vec::new();
+                        let mut panicked: Option<String> = None;
                         loop {
+                            if abort.load(Ordering::Relaxed)
+                                || governor.is_some_and(|g| g.is_cancelled())
+                            {
+                                break;
+                            }
                             let mi = next.fetch_add(1, Ordering::Relaxed);
                             if mi >= nmorsels {
                                 break;
@@ -654,28 +758,59 @@ impl<'db> ParallelExec<'_, 'db> {
                             let start = mi * morsel;
                             let end = (start + morsel).min(input.len());
                             ws.morsels += 1;
-                            out.push((mi, f(&mut ws, mi, &input[start..end])));
+                            match catch_unwind(AssertUnwindSafe(|| {
+                                chaos_morsel_hooks(mi);
+                                f(&mut ws, mi, &input[start..end])
+                            })) {
+                                Ok(r) => out.push((mi, r)),
+                                Err(p) => {
+                                    panicked = Some(panic_message(p));
+                                    abort.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
                         }
-                        (out, ws)
+                        (out, ws, panicked)
                     })
                 })
                 .collect();
             for h in handles {
-                let (out, ws) = h.join().expect("morsel worker panicked");
-                results.extend(out);
-                worker_stats.push(ws);
+                match h.join() {
+                    Ok((out, ws, panicked)) => {
+                        results.extend(out);
+                        worker_stats.push(ws);
+                        if first_panic.is_none() {
+                            first_panic = panicked;
+                        }
+                    }
+                    // Unreachable in practice (worker bodies catch), but a
+                    // panic between catch sites must not poison the scope.
+                    Err(p) => {
+                        abort.store(true, Ordering::Relaxed);
+                        if first_panic.is_none() {
+                            first_panic = Some(panic_message(p));
+                        }
+                    }
+                }
             }
         });
         // Barrier: fold worker counters into the shared accumulator and
-        // reassemble outputs in morsel order.
+        // reassemble outputs in morsel order. Counters merge even on the
+        // error paths so partially-done work stays observable.
         {
             let mut shared = self.ev.stats.borrow_mut();
             for ws in &worker_stats {
                 ws.merge_into(&mut shared);
             }
         }
+        if let Some(message) = first_panic {
+            return Err(worker_panic(message));
+        }
+        if let Some(g) = governor {
+            g.check("evaluate")?;
+        }
         results.sort_unstable_by_key(|&(mi, _)| mi);
-        results.into_iter().map(|(_, r)| r).collect()
+        Ok(results.into_iter().map(|(_, r)| r).collect())
     }
 }
 

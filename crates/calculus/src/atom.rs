@@ -177,6 +177,7 @@ impl fmt::Display for Comparison {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -62,7 +62,9 @@ impl Formula {
     /// Left-associated conjunction of one or more formulas.
     pub fn and_all(fs: Vec<Formula>) -> Formula {
         let mut it = fs.into_iter();
-        let first = it.next().expect("and_all of no formulas");
+        let Some(first) = it.next() else {
+            unreachable!("and_all of no formulas")
+        };
         it.fold(first, Formula::and)
     }
 
@@ -74,7 +76,9 @@ impl Formula {
     /// Left-associated disjunction of one or more formulas.
     pub fn or_all(fs: Vec<Formula>) -> Formula {
         let mut it = fs.into_iter();
-        let first = it.next().expect("or_all of no formulas");
+        let Some(first) = it.next() else {
+            unreachable!("or_all of no formulas")
+        };
         it.fold(first, Formula::or)
     }
 
@@ -127,6 +131,23 @@ impl Formula {
     /// by the rewriting engine's progress accounting.
     pub fn size(&self) -> usize {
         1 + self.children().iter().map(|c| c.size()).sum::<usize>()
+    }
+
+    /// Nesting depth: 1 for a leaf, 1 + the deepest child otherwise.
+    /// Computed with an explicit stack so that programmatically built,
+    /// arbitrarily deep formulas cannot overflow the call stack — the
+    /// resource governor checks this value against
+    /// `QueryLimits::max_formula_depth`.
+    pub fn depth(&self) -> usize {
+        let mut max = 0usize;
+        let mut stack: Vec<(&Formula, usize)> = vec![(self, 1)];
+        while let Some((f, d)) = stack.pop() {
+            max = max.max(d);
+            for c in f.children() {
+                stack.push((c, d + 1));
+            }
+        }
+        max
     }
 
     /// Number of quantifier blocks (∃ or ∀).
@@ -202,6 +223,7 @@ impl fmt::Debug for Formula {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::Term;

@@ -16,6 +16,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 mod atom;
 mod formula;
@@ -26,6 +27,7 @@ mod printer;
 mod range;
 mod restricted;
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod roundtrip_tests;
 mod term;
 mod vars;
@@ -33,7 +35,7 @@ mod vars;
 pub use atom::{Atom, CompareOp, Comparison};
 pub use formula::Formula;
 pub use governing::Governing;
-pub use parser::{parse, ParseError};
+pub use parser::{parse, parse_with_max_depth, ParseError, DEFAULT_MAX_FORMULA_DEPTH};
 pub use polarity::Polarity;
 pub use range::{flatten_and, is_range_for, split_producer_filter, ProducerFilter};
 pub use restricted::{check_restricted_closed, check_restricted_open, RestrictionError};

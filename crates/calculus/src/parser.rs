@@ -46,6 +46,14 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Default cap on formula nesting depth for [`parse`]. Deep enough for
+/// any sane query, shallow enough that the recursive-descent parser can
+/// never overflow its stack — each nesting level costs several grammar
+/// frames, and the cap must hold even on 2 MiB test-thread stacks in
+/// debug builds. A pathological input like a 10k-deep `not(not(…))`
+/// chain returns a [`ParseError`] instead.
+pub const DEFAULT_MAX_FORMULA_DEPTH: usize = 200;
+
 /// Parse a formula from text.
 ///
 /// ```
@@ -60,8 +68,21 @@ impl std::error::Error for ParseError {}
 /// assert_eq!(g.free_vars().len(), 1);
 /// ```
 pub fn parse(input: &str) -> Result<Formula, ParseError> {
+    parse_with_max_depth(input, DEFAULT_MAX_FORMULA_DEPTH)
+}
+
+/// Parse with an explicit nesting-depth cap (see
+/// [`DEFAULT_MAX_FORMULA_DEPTH`]). Inputs nested deeper than `max_depth`
+/// levels are rejected with a [`ParseError`] at the point where the cap
+/// is exceeded.
+pub fn parse_with_max_depth(input: &str, max_depth: usize) -> Result<Formula, ParseError> {
     let tokens = lex(input)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+        max_depth,
+    };
     let f = p.formula()?;
     if p.pos < p.tokens.len() {
         return Err(p.err_here("unexpected trailing input"));
@@ -247,9 +268,29 @@ fn lex_int(chars: &[char]) -> (i64, usize) {
 struct Parser {
     tokens: Vec<(usize, Tok)>,
     pos: usize,
+    depth: usize,
+    max_depth: usize,
 }
 
 impl Parser {
+    /// Guard one level of grammar recursion. Every recursion cycle in the
+    /// grammar passes through [`Parser::formula`] or the `!`-chain in
+    /// [`Parser::unary`], both of which call this, so the parser's stack
+    /// usage is bounded by `max_depth` regardless of input.
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > self.max_depth {
+            return Err(self.err_here(&format!(
+                "formula nested deeper than {} levels",
+                self.max_depth
+            )));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
     fn peek(&self) -> Option<&Tok> {
         self.tokens.get(self.pos).map(|(_, t)| t)
     }
@@ -293,6 +334,13 @@ impl Parser {
     }
 
     fn formula(&mut self) -> Result<Formula, ParseError> {
+        self.enter()?;
+        let result = self.formula_unguarded();
+        self.leave();
+        result
+    }
+
+    fn formula_unguarded(&mut self) -> Result<Formula, ParseError> {
         let mut f = self.imp()?;
         while self.eat(&Tok::DArrow) {
             let g = self.imp()?;
@@ -333,7 +381,10 @@ impl Parser {
         match self.peek() {
             Some(Tok::Bang) => {
                 self.pos += 1;
-                Ok(Formula::not(self.unary()?))
+                self.enter()?;
+                let inner = self.unary();
+                self.leave();
+                Ok(Formula::not(inner?))
             }
             Some(Tok::Exists) | Some(Tok::Forall) => {
                 let is_exists = matches!(self.peek(), Some(Tok::Exists));
@@ -464,6 +515,7 @@ impl Parser {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -560,5 +612,46 @@ mod tests {
     fn empty_atom_argument_list() {
         let f = parse("flag()").unwrap();
         assert_eq!(f.to_string(), "flag()");
+    }
+
+    #[test]
+    fn deep_not_chain_errors_instead_of_overflowing() {
+        // 10k-deep not(not(…)) — must return a ParseError, not blow the
+        // stack.
+        let n = 10_000;
+        let mut text = String::new();
+        for _ in 0..n {
+            text.push_str("not(");
+        }
+        text.push_str("p(x)");
+        for _ in 0..n {
+            text.push(')');
+        }
+        let e = parse(&text).unwrap_err();
+        assert!(e.message.contains("nested deeper"), "got: {}", e.message);
+    }
+
+    #[test]
+    fn deep_bang_chain_without_parens_is_guarded_too() {
+        let mut text = "!".repeat(10_000);
+        text.push_str("p(x)");
+        let e = parse(&text).unwrap_err();
+        assert!(e.message.contains("nested deeper"), "got: {}", e.message);
+    }
+
+    #[test]
+    fn deep_paren_nesting_is_guarded() {
+        let mut text = "(".repeat(10_000);
+        text.push_str("p(x)");
+        text.push_str(&")".repeat(10_000));
+        assert!(parse(&text).is_err());
+    }
+
+    #[test]
+    fn custom_depth_cap_is_respected() {
+        assert!(parse_with_max_depth("not(not(p(x)))", 16).is_ok());
+        assert!(parse_with_max_depth("not(not(p(x)))", 2).is_err());
+        // Reasonable nesting stays well under the default cap.
+        assert!(parse("exists x. (p(x) & !(q(x) | r(x)))").is_ok());
     }
 }

@@ -103,6 +103,7 @@ impl fmt::Display for Formula {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::Term;

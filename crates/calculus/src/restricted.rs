@@ -166,6 +166,7 @@ fn check_quantifications(f: &Formula, outer: &BTreeSet<Var>) -> Result<(), Restr
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::Term;

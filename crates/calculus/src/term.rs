@@ -106,6 +106,7 @@ impl From<Var> for Term {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

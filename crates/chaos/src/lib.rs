@@ -1,0 +1,351 @@
+//! # gq-chaos — deterministic, seed-driven fault injection
+//!
+//! A process-global fault-injection registry for robustness testing.
+//! Production crates host *injection sites* behind their `chaos` cargo
+//! feature: scan errors, index-build failures, artificial per-morsel
+//! delays, forced worker panics, and persistence I/O errors. Whether a
+//! given site fires is a pure function of `(seed, site, occurrence)` — a
+//! splitmix64-style hash compared against the configured probability —
+//! so a run is reproducible from its seed alone and, for morsel-indexed
+//! sites, independent of thread scheduling.
+//!
+//! ```
+//! use gq_chaos::{ChaosConfig, Site};
+//!
+//! let _guard = gq_chaos::install(ChaosConfig::with_seed(42).scan_error(1.0));
+//! assert!(gq_chaos::fail_scan("student").is_some());
+//! drop(_guard); // uninstalls; sites stop firing
+//! assert!(gq_chaos::fail_scan("student").is_none());
+//! ```
+//!
+//! Injection decisions for counter-based sites (scans, index builds,
+//! persistence I/O) consume a per-site occurrence counter, so tests that
+//! care about exact sequences must serialize access to the registry
+//! (e.g. behind a `Mutex`) — the registry itself is process-global.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// An injection site in the production pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Site {
+    /// A base-relation scan in the evaluator.
+    Scan,
+    /// Building a hash index in the index cache.
+    IndexBuild,
+    /// An artificial delay at a morsel boundary.
+    MorselDelay,
+    /// A forced panic inside a parallel worker.
+    WorkerPanic,
+    /// A persistence-layer I/O operation (save/load).
+    PersistIo,
+}
+
+impl Site {
+    fn salt(self) -> u64 {
+        match self {
+            Site::Scan => 0x5343_414e,
+            Site::IndexBuild => 0x4958_4244,
+            Site::MorselDelay => 0x4d44_4c59,
+            Site::WorkerPanic => 0x5750_414e,
+            Site::PersistIo => 0x5053_494f,
+        }
+    }
+}
+
+/// Fault probabilities and parameters for one chaos session. All
+/// probabilities default to 0.0 (never fire).
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosConfig {
+    /// Seed for the deterministic decision hash.
+    pub seed: u64,
+    /// Probability a base-relation scan fails.
+    pub scan_error: f64,
+    /// Probability an index build fails.
+    pub index_build_error: f64,
+    /// Probability a persistence I/O operation fails.
+    pub persist_io_error: f64,
+    /// Probability a worker panics on a given morsel.
+    pub worker_panic: f64,
+    /// Probability a morsel boundary sleeps for [`ChaosConfig::morsel_delay`].
+    pub morsel_delay_prob: f64,
+    /// Sleep duration for a fired morsel delay.
+    pub morsel_delay: Duration,
+}
+
+impl ChaosConfig {
+    /// A config with the given seed and every probability at zero.
+    pub fn with_seed(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            scan_error: 0.0,
+            index_build_error: 0.0,
+            persist_io_error: 0.0,
+            worker_panic: 0.0,
+            morsel_delay_prob: 0.0,
+            morsel_delay: Duration::ZERO,
+        }
+    }
+
+    /// Set the scan-error probability.
+    pub fn scan_error(mut self, p: f64) -> Self {
+        self.scan_error = p;
+        self
+    }
+
+    /// Set the index-build failure probability.
+    pub fn index_build_error(mut self, p: f64) -> Self {
+        self.index_build_error = p;
+        self
+    }
+
+    /// Set the persistence I/O failure probability.
+    pub fn persist_io_error(mut self, p: f64) -> Self {
+        self.persist_io_error = p;
+        self
+    }
+
+    /// Set the worker-panic probability.
+    pub fn worker_panic(mut self, p: f64) -> Self {
+        self.worker_panic = p;
+        self
+    }
+
+    /// Set the per-morsel delay and its firing probability.
+    pub fn morsel_delay(mut self, delay: Duration, prob: f64) -> Self {
+        self.morsel_delay = delay;
+        self.morsel_delay_prob = prob;
+        self
+    }
+}
+
+struct State {
+    config: ChaosConfig,
+    // Per-site occurrence counters for sites without a natural index.
+    scan_count: AtomicU64,
+    index_count: AtomicU64,
+    persist_count: AtomicU64,
+}
+
+fn registry() -> &'static Mutex<Option<Arc<State>>> {
+    static REGISTRY: OnceLock<Mutex<Option<Arc<State>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(None))
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn current() -> Option<Arc<State>> {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return None;
+    }
+    registry().lock().ok().and_then(|g| g.clone())
+}
+
+/// Uninstalls the chaos configuration when dropped.
+#[must_use = "chaos uninstalls when the guard is dropped"]
+pub struct ChaosGuard(());
+
+impl Drop for ChaosGuard {
+    fn drop(&mut self) {
+        if let Ok(mut slot) = registry().lock() {
+            *slot = None;
+        }
+        ENABLED.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Install `config` process-wide, replacing any previous installation.
+/// Faults fire until the returned guard is dropped.
+pub fn install(config: ChaosConfig) -> ChaosGuard {
+    if let Ok(mut slot) = registry().lock() {
+        *slot = Some(Arc::new(State {
+            config,
+            scan_count: AtomicU64::new(0),
+            index_count: AtomicU64::new(0),
+            persist_count: AtomicU64::new(0),
+        }));
+    }
+    ENABLED.store(true, Ordering::Relaxed);
+    ChaosGuard(())
+}
+
+/// Is a chaos configuration currently installed?
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// splitmix64 finalizer — a strong 64-bit mix.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic decision: does occurrence `k` of `site` fire under
+/// probability `p`? Uses the top 53 bits of the mixed hash as a uniform
+/// draw in [0, 1).
+fn fires(seed: u64, site: Site, k: u64, p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    if p >= 1.0 {
+        return true;
+    }
+    let draw = (mix(seed ^ site.salt().wrapping_mul(0x6a09_e667_f3bc_c909) ^ k) >> 11) as f64
+        / (1u64 << 53) as f64;
+    draw < p
+}
+
+/// Should the next scan of `relation` fail? Returns the injected error
+/// message. Consumes one occurrence of the [`Site::Scan`] counter.
+pub fn fail_scan(relation: &str) -> Option<String> {
+    let st = current()?;
+    let k = st.scan_count.fetch_add(1, Ordering::Relaxed);
+    fires(st.config.seed, Site::Scan, k, st.config.scan_error)
+        .then(|| format!("chaos: injected scan error on `{relation}` (occurrence {k})"))
+}
+
+/// Should the next index build on `relation` fail? Returns the injected
+/// error message.
+pub fn fail_index_build(relation: &str) -> Option<String> {
+    let st = current()?;
+    let k = st.index_count.fetch_add(1, Ordering::Relaxed);
+    fires(
+        st.config.seed,
+        Site::IndexBuild,
+        k,
+        st.config.index_build_error,
+    )
+    .then(|| format!("chaos: injected index-build failure on `{relation}` (occurrence {k})"))
+}
+
+/// Should the next persistence I/O operation (`op` describes it) fail?
+/// Returns the injected error message.
+pub fn fail_persist_io(op: &str) -> Option<String> {
+    let st = current()?;
+    let k = st.persist_count.fetch_add(1, Ordering::Relaxed);
+    fires(
+        st.config.seed,
+        Site::PersistIo,
+        k,
+        st.config.persist_io_error,
+    )
+    .then(|| format!("chaos: injected I/O error during {op} (occurrence {k})"))
+}
+
+/// Should morsel `morsel` be delayed? Returns the sleep duration. Keyed
+/// on the morsel index (not a counter), so the decision is independent
+/// of which worker claims the morsel.
+pub fn morsel_delay(morsel: u64) -> Option<Duration> {
+    let st = current()?;
+    fires(
+        st.config.seed,
+        Site::MorselDelay,
+        morsel,
+        st.config.morsel_delay_prob,
+    )
+    .then_some(st.config.morsel_delay)
+}
+
+/// Panic if the worker processing `morsel` is chosen to fail. Keyed on
+/// the morsel index for scheduling independence. The panic is expected
+/// to be contained by the executor's `catch_unwind`.
+pub fn maybe_panic_worker(morsel: u64) {
+    if let Some(st) = current() {
+        if fires(
+            st.config.seed,
+            Site::WorkerPanic,
+            morsel,
+            st.config.worker_panic,
+        ) {
+            panic!("chaos: injected worker panic on morsel {morsel}");
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global; serialize tests touching it.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_by_default() {
+        let _l = lock();
+        assert!(!is_enabled());
+        assert!(fail_scan("r").is_none());
+        assert!(morsel_delay(0).is_none());
+    }
+
+    #[test]
+    fn guard_uninstalls() {
+        let _l = lock();
+        let g = install(ChaosConfig::with_seed(7).scan_error(1.0));
+        assert!(is_enabled());
+        assert!(fail_scan("r").is_some());
+        drop(g);
+        assert!(!is_enabled());
+        assert!(fail_scan("r").is_none());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_in_seed() {
+        let _l = lock();
+        let outcomes = |seed: u64| -> Vec<bool> {
+            let _g = install(ChaosConfig::with_seed(seed).scan_error(0.5));
+            (0..64).map(|_| fail_scan("r").is_some()).collect()
+        };
+        let a = outcomes(123);
+        let b = outcomes(123);
+        let c = outcomes(456);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds should differ somewhere");
+        assert!(a.iter().any(|&x| x) && a.iter().any(|&x| !x));
+    }
+
+    #[test]
+    fn morsel_sites_are_keyed_by_index() {
+        let _l = lock();
+        let _g = install(ChaosConfig::with_seed(9).morsel_delay(Duration::from_millis(1), 0.5));
+        let first: Vec<bool> = (0..32).map(|m| morsel_delay(m).is_some()).collect();
+        let second: Vec<bool> = (0..32).map(|m| morsel_delay(m).is_some()).collect();
+        assert_eq!(first, second, "same morsel index → same decision");
+    }
+
+    #[test]
+    fn probability_extremes() {
+        let _l = lock();
+        {
+            let _g = install(ChaosConfig::with_seed(1).worker_panic(0.0));
+            maybe_panic_worker(0); // must not panic
+        }
+        let _g = install(ChaosConfig::with_seed(1).persist_io_error(1.0));
+        for _ in 0..8 {
+            assert!(fail_persist_io("write").is_some());
+        }
+    }
+
+    #[test]
+    fn injected_panic_is_catchable() {
+        let _l = lock();
+        let _g = install(ChaosConfig::with_seed(3).worker_panic(1.0));
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = std::panic::catch_unwind(|| maybe_panic_worker(5));
+        std::panic::set_hook(prev);
+        assert!(r.is_err());
+    }
+}

@@ -133,6 +133,7 @@ fn violation_witnesses(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use gq_storage::{tuple, Database, Schema};

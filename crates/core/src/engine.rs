@@ -3,9 +3,10 @@
 use crate::EngineError;
 use gq_algebra::{Evaluator, ExecConfig, ExecStats, PlanProfiler};
 use gq_calculus::{parse, Formula, Var};
+use gq_governor::{CancelToken, Governor, QueryLimits, Resource};
 use gq_obs::{QueryTrace, Registry, SpanGuard, TraceBuilder};
 use gq_pipeline::{LoopProfiler, PipelineEvaluator};
-use gq_rewrite::{canonicalize, canonicalize_traced};
+use gq_rewrite::{canonicalize_governed, canonicalize_traced_governed};
 use gq_storage::{Database, Relation, Tuple};
 use gq_translate::{ClassicalTranslator, ImprovedTranslator, PlanShape};
 use std::rc::Rc;
@@ -104,6 +105,12 @@ pub struct QueryEngine {
     views: crate::views::ViewRegistry,
     metrics: Registry,
     exec: ExecConfig,
+    /// Per-query resource budgets (unlimited by default); snapshotted
+    /// into a fresh [`Governor`] at the start of every query.
+    limits: QueryLimits,
+    /// The shared cancel token handed to every query's governor. Stays
+    /// set after a cancellation until [`CancelToken::reset`] is called.
+    cancel: CancelToken,
 }
 
 impl QueryEngine {
@@ -117,7 +124,35 @@ impl QueryEngine {
             views: crate::views::ViewRegistry::new(),
             metrics: Registry::new(),
             exec: ExecConfig::default(),
+            limits: QueryLimits::UNLIMITED,
+            cancel: CancelToken::new(),
         }
+    }
+
+    /// Builder-style [`QueryLimits`] override: every subsequent query
+    /// runs under these budgets.
+    pub fn with_limits(mut self, limits: QueryLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Change the per-query limits in place (REPL `.timeout`/`.limits`).
+    pub fn set_limits(&mut self, limits: QueryLimits) {
+        self.limits = limits;
+    }
+
+    /// The current per-query limits.
+    pub fn limits(&self) -> QueryLimits {
+        self.limits
+    }
+
+    /// A handle to the engine's cancel token. Calling
+    /// [`CancelToken::cancel`] on it (e.g. from a signal-handler thread)
+    /// makes the in-flight query unwind with [`EngineError::Cancelled`]
+    /// at its next cooperative check point; the flag persists — failing
+    /// subsequent queries immediately — until [`CancelToken::reset`].
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
     }
 
     /// Builder-style [`ExecConfig`] override (thread count, morsel size).
@@ -177,7 +212,8 @@ impl QueryEngine {
         let dom = self.db.domain();
         let mut named = gq_storage::Relation::new("dom", gq_storage::Schema::anonymous(1));
         for t in dom.iter() {
-            named.insert(t.clone()).expect("unary user values");
+            // Domain tuples are unary by construction; insert cannot fail.
+            let _ = named.insert(t.clone());
         }
         self.db.replace_relation(named);
     }
@@ -292,8 +328,18 @@ impl QueryEngine {
                 &format!("query.latency.{}", strategy.name()),
                 start.elapsed(),
             );
-            if result.is_err() {
+            if let Err(e) = &result {
                 self.metrics.incr("query.errors", 1);
+                match e {
+                    EngineError::Cancelled { .. } => self.metrics.incr("governor.cancelled", 1),
+                    EngineError::ResourceExhausted { .. } => {
+                        self.metrics.incr("governor.exhausted", 1)
+                    }
+                    EngineError::WorkerPanic { .. } => {
+                        self.metrics.incr("governor.worker_panic", 1)
+                    }
+                    _ => {}
+                }
             }
         }
         result
@@ -324,6 +370,12 @@ impl QueryEngine {
             formula
         };
         drop(expand_span);
+        // Snapshot the limits into a per-query governor: the deadline
+        // starts now, and every downstream phase polls the same handle.
+        let governor = Governor::start(self.limits, self.cancel.clone());
+        // Depth guard on the fully view-expanded formula — expansion can
+        // deepen a query well past what the user typed.
+        governor.check_depth("parse", Resource::FormulaDepth, formula.depth() as u64)?;
         let closed = formula.is_closed();
         let make_eval = || {
             let ev = if options.share_subplans {
@@ -331,7 +383,9 @@ impl QueryEngine {
             } else {
                 Evaluator::new(&self.db)
             };
-            let ev = ev.with_exec_config(self.exec);
+            let ev = ev
+                .with_exec_config(self.exec)
+                .with_governor(governor.clone());
             if options.use_base_indexes {
                 ev.with_index_cache(&self.index_cache)
             } else {
@@ -354,8 +408,10 @@ impl QueryEngine {
         };
         match strategy {
             Strategy::Improved => {
-                let canonical = self.normalize(formula, tb)?;
-                let tr = ImprovedTranslator::new(&self.db).with_cost_ordering(options.optimize);
+                let canonical = self.normalize(formula, &governor, tb)?;
+                let tr = ImprovedTranslator::new(&self.db)
+                    .with_cost_ordering(options.optimize)
+                    .with_governor(governor.clone());
                 if closed {
                     let plan = {
                         let _span = span(tb, "translate");
@@ -365,6 +421,7 @@ impl QueryEngine {
                         let _span = span(tb, "optimize");
                         tune_bool(plan)
                     };
+                    check_bool_plan_depth(&governor, &plan)?;
                     if let Some(t) = tb {
                         PlanShape::of_roots(plan.algebra_exprs()).record_into(t);
                     }
@@ -394,6 +451,7 @@ impl QueryEngine {
                         let _span = span(tb, "optimize");
                         tune(plan)
                     };
+                    governor.check_depth("translate", Resource::PlanDepth, plan.depth() as u64)?;
                     if let Some(t) = tb {
                         PlanShape::of(&plan).record_into(t);
                     }
@@ -417,7 +475,7 @@ impl QueryEngine {
                 }
             }
             Strategy::Classical => {
-                let tr = ClassicalTranslator::new(&self.db);
+                let tr = ClassicalTranslator::new(&self.db).with_governor(governor.clone());
                 if closed {
                     let plan = {
                         let _span = span(tb, "translate");
@@ -427,6 +485,7 @@ impl QueryEngine {
                         let _span = span(tb, "optimize");
                         tune_bool(plan)
                     };
+                    check_bool_plan_depth(&governor, &plan)?;
                     if let Some(t) = tb {
                         PlanShape::of_roots(plan.algebra_exprs()).record_into(t);
                     }
@@ -456,6 +515,7 @@ impl QueryEngine {
                         let _span = span(tb, "optimize");
                         tune(plan)
                     };
+                    governor.check_depth("translate", Resource::PlanDepth, plan.depth() as u64)?;
                     if let Some(t) = tb {
                         PlanShape::of(&plan).record_into(t);
                     }
@@ -479,9 +539,9 @@ impl QueryEngine {
                 }
             }
             Strategy::NestedLoop => {
-                let canonical = self.normalize(formula, tb)?;
+                let canonical = self.normalize(formula, &governor, tb)?;
                 let profiler = tb.map(|_| Rc::new(LoopProfiler::new()));
-                let mut ev = PipelineEvaluator::new(&self.db);
+                let mut ev = PipelineEvaluator::new(&self.db).with_governor(governor.clone());
                 if let Some(p) = &profiler {
                     ev = ev.with_profiler(Rc::clone(p));
                 }
@@ -516,16 +576,19 @@ impl QueryEngine {
 
     /// Canonicalize under a `normalize` span; when tracing, record the
     /// per-rule application counts and the total step count as counters.
+    /// The governor is polled at every rewrite-rule application and a
+    /// `max_rewrite_steps` limit replaces the internal safety budget.
     fn normalize(
         &self,
         formula: &Formula,
+        governor: &Governor,
         tb: Option<&TraceBuilder>,
     ) -> Result<Formula, EngineError> {
         let _span = span(tb, "normalize");
         match tb {
-            None => Ok(canonicalize(formula)?),
+            None => Ok(canonicalize_governed(formula, governor)?),
             Some(t) => {
-                let (canonical, trace) = canonicalize_traced(formula)?;
+                let (canonical, trace) = canonicalize_traced_governed(formula, governor)?;
                 t.incr("rewrite.steps", trace.steps.len() as u64);
                 for (rule, n) in trace.rule_counts() {
                     t.incr(&format!("rewrite.rule.{rule}"), n as u64);
@@ -554,15 +617,29 @@ fn optimize_bool(plan: &gq_algebra::BoolExpr) -> gq_algebra::BoolExpr {
     }
 }
 
+/// Plan-depth guard over every algebra expression of a boolean plan.
+fn check_bool_plan_depth(g: &Governor, plan: &gq_algebra::BoolExpr) -> Result<(), EngineError> {
+    let depth = plan
+        .algebra_exprs()
+        .iter()
+        .map(|e| e.depth())
+        .max()
+        .unwrap_or(0);
+    g.check_depth("translate", Resource::PlanDepth, depth as u64)?;
+    Ok(())
+}
+
 fn nullary(truth: bool) -> Relation {
     let mut r = Relation::intermediate(0);
     if truth {
-        r.insert(Tuple::new(vec![])).expect("0-ary insert");
+        // Inserting the empty tuple into a 0-ary relation cannot fail.
+        let _ = r.insert(Tuple::new(vec![]));
     }
     r
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use gq_storage::{tuple, Schema};
@@ -633,6 +710,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod option_tests {
     use super::*;
     use gq_storage::{tuple, Schema};

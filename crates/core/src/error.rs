@@ -31,6 +31,45 @@ pub enum EngineError {
         /// Free variables found.
         free: Vec<String>,
     },
+    /// The query was cancelled — the engine's
+    /// [`CancelToken`](gq_governor::CancelToken) fired or the
+    /// [`QueryLimits`](gq_governor::QueryLimits) deadline passed.
+    Cancelled {
+        /// The pipeline phase (gq-obs span name) that observed it.
+        phase: &'static str,
+    },
+    /// A [`QueryLimits`](gq_governor::QueryLimits) budget was exceeded.
+    ResourceExhausted {
+        /// The pipeline phase that exceeded the budget.
+        phase: &'static str,
+        /// Which budget.
+        resource: gq_governor::Resource,
+        /// The configured limit.
+        limit: u64,
+        /// Usage observed when the budget tripped.
+        used: u64,
+    },
+    /// A parallel worker panicked; the panic was contained and the engine
+    /// remains usable.
+    WorkerPanic {
+        /// The pipeline phase the worker was serving.
+        phase: &'static str,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+}
+
+impl EngineError {
+    /// For governance failures (`Cancelled`, `ResourceExhausted`,
+    /// `WorkerPanic`): the pipeline phase the failure is attached to.
+    pub fn governor_phase(&self) -> Option<&'static str> {
+        match self {
+            EngineError::Cancelled { phase }
+            | EngineError::ResourceExhausted { phase, .. }
+            | EngineError::WorkerPanic { phase, .. } => Some(phase),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for EngineError {
@@ -52,6 +91,21 @@ impl fmt::Display for EngineError {
                 "constraint `{name}` must be closed; free variables: {}",
                 free.join(", ")
             ),
+            EngineError::Cancelled { phase } => {
+                write!(f, "query cancelled during {phase}")
+            }
+            EngineError::ResourceExhausted {
+                phase,
+                resource,
+                limit,
+                used,
+            } => write!(
+                f,
+                "resource budget exhausted during {phase}: {resource} used {used} > limit {limit}"
+            ),
+            EngineError::WorkerPanic { phase, message } => {
+                write!(f, "worker panicked during {phase} (contained): {message}")
+            }
         }
     }
 }
@@ -63,24 +117,60 @@ impl From<gq_calculus::ParseError> for EngineError {
         EngineError::Parse(e)
     }
 }
+// The phase-level `From` impls lift embedded governance failures to the
+// top-level variants, so callers match on `EngineError::Cancelled` (etc.)
+// regardless of which pipeline layer detected the condition.
+impl From<gq_governor::GovernorError> for EngineError {
+    fn from(e: gq_governor::GovernorError) -> Self {
+        match e {
+            gq_governor::GovernorError::Cancelled { phase } => EngineError::Cancelled { phase },
+            gq_governor::GovernorError::ResourceExhausted {
+                phase,
+                resource,
+                limit,
+                used,
+            } => EngineError::ResourceExhausted {
+                phase,
+                resource,
+                limit,
+                used,
+            },
+            gq_governor::GovernorError::WorkerPanic { phase, message } => {
+                EngineError::WorkerPanic { phase, message }
+            }
+        }
+    }
+}
 impl From<gq_rewrite::RewriteError> for EngineError {
     fn from(e: gq_rewrite::RewriteError) -> Self {
-        EngineError::Rewrite(e)
+        match e {
+            gq_rewrite::RewriteError::Governor(g) => g.into(),
+            other => EngineError::Rewrite(other),
+        }
     }
 }
 impl From<gq_translate::TranslateError> for EngineError {
     fn from(e: gq_translate::TranslateError) -> Self {
-        EngineError::Translate(e)
+        match e {
+            gq_translate::TranslateError::Governor(g) => g.into(),
+            other => EngineError::Translate(other),
+        }
     }
 }
 impl From<gq_algebra::AlgebraError> for EngineError {
     fn from(e: gq_algebra::AlgebraError) -> Self {
-        EngineError::Algebra(e)
+        match e {
+            gq_algebra::AlgebraError::Governor(g) => g.into(),
+            other => EngineError::Algebra(other),
+        }
     }
 }
 impl From<gq_pipeline::PipelineError> for EngineError {
     fn from(e: gq_pipeline::PipelineError) -> Self {
-        EngineError::Pipeline(e)
+        match e {
+            gq_pipeline::PipelineError::Governor(g) => g.into(),
+            other => EngineError::Pipeline(other),
+        }
     }
 }
 impl From<gq_storage::StorageError> for EngineError {

@@ -9,6 +9,9 @@ impl QueryEngine {
     /// Render the two-phase processing of a query: the canonical form with
     /// its rule-application trace (§2), the improved algebraic plan (§3),
     /// and the classical baseline plan for comparison.
+    // `write!` into a `String` is infallible, so the unwraps below can
+    // never fire; spelled as unwraps to keep the rendering code readable.
+    #[allow(clippy::unwrap_used)]
     pub fn explain(&self, text: &str) -> Result<String, EngineError> {
         use std::fmt::Write;
         let parsed = parse(text)?;
@@ -95,6 +98,7 @@ impl QueryEngine {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use gq_storage::{tuple, Database, Schema};

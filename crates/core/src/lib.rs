@@ -44,6 +44,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 mod constraints;
 mod engine;
@@ -55,4 +56,5 @@ pub use constraints::{Constraint, ConstraintReport, ConstraintSet};
 pub use engine::{EngineOptions, QueryEngine, QueryResult, Strategy};
 pub use error::EngineError;
 pub use gq_algebra::ExecConfig;
+pub use gq_governor::{CancelToken, GovernorError, QueryLimits, Resource};
 pub use views::{View, ViewError, ViewRegistry};

@@ -204,6 +204,7 @@ impl ViewRegistry {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use crate::{EngineError, QueryEngine, Strategy};
     use gq_storage::{tuple, Database, Schema};

@@ -27,6 +27,9 @@ pub enum PipelineError {
         /// Rendering of the subformula.
         context: String,
     },
+    /// The resource governor interrupted the nested-loop evaluation
+    /// (cancellation or deadline).
+    Governor(gq_governor::GovernorError),
 }
 
 impl fmt::Display for PipelineError {
@@ -47,8 +50,15 @@ impl fmt::Display for PipelineError {
             PipelineError::UnboundVariable { var, context } => {
                 write!(f, "variable `{var}` unbound in `{context}`")
             }
+            PipelineError::Governor(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for PipelineError {}
+
+impl From<gq_governor::GovernorError> for PipelineError {
+    fn from(e: gq_governor::GovernorError) -> Self {
+        PipelineError::Governor(e)
+    }
+}

@@ -41,6 +41,9 @@ pub struct PipelineEvaluator<'db> {
     /// Per-quantifier-loop attribution; `None` (the default) keeps the
     /// interpreter free of snapshots and timing syscalls.
     profiler: Option<Rc<LoopProfiler>>,
+    /// Resource governor: cancellation/deadline polled every
+    /// [`gq_governor::DEFAULT_CHECK_INTERVAL`] producer-scan tuples.
+    governor: Option<gq_governor::Governor>,
 }
 
 /// An open profiling window: stats snapshot + start time.
@@ -59,6 +62,7 @@ impl<'db> PipelineEvaluator<'db> {
             db,
             stats: RefCell::new(ExecStats::new()),
             profiler: None,
+            governor: None,
         }
     }
 
@@ -67,6 +71,15 @@ impl<'db> PipelineEvaluator<'db> {
     /// [`LoopProfiler`]).
     pub fn with_profiler(mut self, profiler: Rc<LoopProfiler>) -> Self {
         self.profiler = Some(profiler);
+        self
+    }
+
+    /// Attach a resource governor: the innermost producer-scan loops poll
+    /// cancellation and the deadline every
+    /// [`gq_governor::DEFAULT_CHECK_INTERVAL`] tuples examined, so even a
+    /// deeply nested loop program unwinds within one check interval.
+    pub fn with_governor(mut self, governor: gq_governor::Governor) -> Self {
+        self.governor = Some(governor);
         self
     }
 
@@ -299,7 +312,12 @@ impl<'db> PipelineEvaluator<'db> {
                         });
                     }
                     self.stats.borrow_mut().base_scans += 1;
-                    for t in rel.iter() {
+                    for (ti, t) in rel.iter().enumerate() {
+                        if let Some(g) = &self.governor {
+                            if ti % gq_governor::DEFAULT_CHECK_INTERVAL == 0 {
+                                g.check("evaluate")?;
+                            }
+                        }
                         self.stats.borrow_mut().base_tuples_read += 1;
                         if let Some((p, idx)) = &frame {
                             p.iteration(*idx);

@@ -17,6 +17,7 @@
 use crate::paths::{forall_parent_vars, get_at, outer_vars_at, replace_at, Path};
 use crate::rules::{try_apply, RuleCtx, RuleId, ALL_RULES};
 use gq_calculus::{Formula, Governing, NameGen, Var};
+use gq_governor::{Governor, GovernorError, Resource};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
@@ -36,6 +37,10 @@ pub enum RewriteError {
         /// Rendering of the formula when the budget ran out.
         formula: String,
     },
+    /// The resource governor interrupted normalization: the query was
+    /// cancelled, the deadline passed, or a caller-set
+    /// `max_rewrite_steps` budget ran out.
+    Governor(GovernorError),
 }
 
 impl fmt::Display for RewriteError {
@@ -45,11 +50,30 @@ impl fmt::Display for RewriteError {
                 f,
                 "rewriting exceeded {budget} steps (bug: the system is noetherian); at `{formula}`"
             ),
+            RewriteError::Governor(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for RewriteError {}
+
+impl From<GovernorError> for RewriteError {
+    fn from(e: GovernorError) -> Self {
+        RewriteError::Governor(e)
+    }
+}
+
+/// The error for a caller-set rewrite-step budget running out — unlike
+/// [`RewriteError::BudgetExceeded`] this is a property of the caller's
+/// [`gq_governor::QueryLimits`], not an implementation bug.
+fn steps_exhausted(limit: u64) -> RewriteError {
+    RewriteError::Governor(GovernorError::ResourceExhausted {
+        phase: "normalize",
+        resource: Resource::RewriteSteps,
+        limit,
+        used: limit + 1,
+    })
+}
 
 /// One recorded rule application.
 #[derive(Debug, Clone)]
@@ -163,15 +187,53 @@ fn applications(root: &Formula, gen: &mut NameGen, first_only: bool) -> Vec<Appl
     out
 }
 
+/// How a rewrite run is bounded: by the internal termination safety net
+/// or by a caller-set governor budget (which reports a different error).
+#[derive(Clone, Copy)]
+enum Budget {
+    Internal(usize),
+    Governed(u64),
+}
+
+impl Budget {
+    fn of(governor: Option<&Governor>) -> Budget {
+        match governor.and_then(|g| g.max_rewrite_steps()) {
+            Some(n) => Budget::Governed(n),
+            None => Budget::Internal(DEFAULT_BUDGET),
+        }
+    }
+
+    fn steps(self) -> usize {
+        match self {
+            Budget::Internal(n) => n,
+            Budget::Governed(n) => usize::try_from(n).unwrap_or(usize::MAX),
+        }
+    }
+
+    fn exceeded(self, formula: &Formula) -> RewriteError {
+        match self {
+            Budget::Internal(budget) => RewriteError::BudgetExceeded {
+                budget,
+                formula: formula.to_string(),
+            },
+            Budget::Governed(limit) => steps_exhausted(limit),
+        }
+    }
+}
+
 fn run(
     formula: &Formula,
-    budget: usize,
+    budget: Budget,
+    governor: Option<&Governor>,
     mut pick: impl FnMut(&[Application]) -> usize,
     mut trace: Option<&mut Trace>,
 ) -> Result<Formula, RewriteError> {
     let mut gen = NameGen::new();
     let mut current = formula.standardize_apart(&mut gen);
-    for _ in 0..budget {
+    for _ in 0..budget.steps() {
+        if let Some(g) = governor {
+            g.check("normalize")?;
+        }
         let apps = applications(&current, &mut gen, false);
         if apps.is_empty() {
             return Ok(current);
@@ -187,10 +249,7 @@ fn run(
         }
         current = replace_at(&current, &chosen.path, chosen.replacement.clone());
     }
-    Err(RewriteError::BudgetExceeded {
-        budget,
-        formula: current.to_string(),
-    })
+    Err(budget.exceeded(&current))
 }
 
 /// Canonicalize deterministically (priority order, first position).
@@ -211,10 +270,32 @@ pub fn canonicalize(formula: &Formula) -> Result<Formula, RewriteError> {
 
 /// Canonicalize deterministically with an explicit step budget.
 pub fn canonicalize_with_budget(formula: &Formula, budget: usize) -> Result<Formula, RewriteError> {
-    // Deterministic mode: only the first application is needed each step.
+    canonicalize_det(formula, Budget::Internal(budget), None)
+}
+
+/// Canonicalize deterministically under a resource governor: the cancel
+/// token / deadline is polled at every rule application, and a
+/// `max_rewrite_steps` limit (when set) replaces the internal safety-net
+/// budget, reporting `GovernorError::ResourceExhausted` on exhaustion.
+pub fn canonicalize_governed(
+    formula: &Formula,
+    governor: &Governor,
+) -> Result<Formula, RewriteError> {
+    canonicalize_det(formula, Budget::of(Some(governor)), Some(governor))
+}
+
+/// Deterministic mode: only the first application is needed each step.
+fn canonicalize_det(
+    formula: &Formula,
+    budget: Budget,
+    governor: Option<&Governor>,
+) -> Result<Formula, RewriteError> {
     let mut gen = NameGen::new();
     let mut current = formula.standardize_apart(&mut gen);
-    for _ in 0..budget {
+    for _ in 0..budget.steps() {
+        if let Some(g) = governor {
+            g.check("normalize")?;
+        }
         let apps = applications(&current, &mut gen, true);
         match apps.into_iter().next() {
             None => return Ok(current),
@@ -223,16 +304,35 @@ pub fn canonicalize_with_budget(formula: &Formula, budget: usize) -> Result<Form
             }
         }
     }
-    Err(RewriteError::BudgetExceeded {
-        budget,
-        formula: current.to_string(),
-    })
+    Err(budget.exceeded(&current))
 }
 
 /// Canonicalize, recording every rule application.
 pub fn canonicalize_traced(formula: &Formula) -> Result<(Formula, Trace), RewriteError> {
     let mut trace = Trace::default();
-    let result = run(formula, DEFAULT_BUDGET, |_| 0, Some(&mut trace))?;
+    let result = run(
+        formula,
+        Budget::Internal(DEFAULT_BUDGET),
+        None,
+        |_| 0,
+        Some(&mut trace),
+    )?;
+    Ok((result, trace))
+}
+
+/// Canonicalize under a resource governor, recording every application.
+pub fn canonicalize_traced_governed(
+    formula: &Formula,
+    governor: &Governor,
+) -> Result<(Formula, Trace), RewriteError> {
+    let mut trace = Trace::default();
+    let result = run(
+        formula,
+        Budget::of(Some(governor)),
+        Some(governor),
+        |_| 0,
+        Some(&mut trace),
+    )?;
     Ok((result, trace))
 }
 
@@ -242,7 +342,8 @@ pub fn canonicalize_random(formula: &Formula, seed: u64) -> Result<Formula, Rewr
     let mut rng = StdRng::seed_from_u64(seed);
     run(
         formula,
-        DEFAULT_BUDGET,
+        Budget::Internal(DEFAULT_BUDGET),
+        None,
         move |apps| rng.gen_range(0..apps.len()),
         None,
     )

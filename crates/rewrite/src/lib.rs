@@ -35,8 +35,9 @@ mod engine_tests;
 
 pub use domain::restrict_with_domain;
 pub use engine::{
-    canonicalize, canonicalize_random, canonicalize_traced, canonicalize_with_budget, is_canonical,
-    RewriteError, Trace, TraceStep, DEFAULT_BUDGET,
+    canonicalize, canonicalize_governed, canonicalize_random, canonicalize_traced,
+    canonicalize_traced_governed, canonicalize_with_budget, is_canonical, RewriteError, Trace,
+    TraceStep, DEFAULT_BUDGET,
 };
 pub use miniscope::{is_miniscope, miniscope_violation};
 pub use paths::{get_at, outer_vars_at, replace_at, Path};

@@ -32,6 +32,9 @@ pub enum StorageError {
         /// Arity of the relation.
         arity: usize,
     },
+    /// An I/O or decoding failure in the persistence layer (reported
+    /// after bounded retries).
+    Io(String),
 }
 
 impl fmt::Display for StorageError {
@@ -58,6 +61,7 @@ impl fmt::Display for StorageError {
                 f,
                 "attribute position {position} out of range for arity {arity}"
             ),
+            StorageError::Io(message) => write!(f, "persistence I/O error: {message}"),
         }
     }
 }
@@ -65,6 +69,7 @@ impl fmt::Display for StorageError {
 impl std::error::Error for StorageError {}
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

@@ -96,6 +96,7 @@ impl HashIndex {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::{tuple, Schema};

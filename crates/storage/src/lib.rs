@@ -15,6 +15,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 mod catalog;
 mod error;
@@ -28,7 +29,9 @@ mod value;
 pub use catalog::Database;
 pub use error::StorageError;
 pub use index::HashIndex;
-pub use persist::{from_text, load, save, to_text, PersistError};
+pub use persist::{
+    from_text, load, load_with_retry, save, save_with_retry, to_text, PersistError, RetryPolicy,
+};
 pub use relation::{unary, Relation};
 pub use schema::Schema;
 pub use tuple::Tuple;

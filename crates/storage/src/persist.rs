@@ -21,6 +21,78 @@
 
 use crate::{Database, Schema, StorageError, Tuple, Value};
 use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Bounded retry-with-backoff for persistence I/O. Transient I/O errors
+/// are retried up to `attempts` times with exponential backoff starting
+/// at `base_delay` (doubling per retry). Decoding errors are permanent
+/// and never retried. Tests use [`RetryPolicy::no_delay`] so retry
+/// behaviour stays deterministic and fast.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (must be ≥ 1).
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles on each further retry.
+    pub base_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_delay: Duration::from_millis(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A deterministic policy that retries without sleeping.
+    pub fn no_delay(attempts: u32) -> Self {
+        RetryPolicy {
+            attempts,
+            base_delay: Duration::ZERO,
+        }
+    }
+
+    fn backoff(&self, retry: u32) -> Duration {
+        self.base_delay * 2u32.saturating_pow(retry)
+    }
+
+    /// Run `op` under this policy. `describe` names the operation for the
+    /// error message.
+    fn run<T>(
+        &self,
+        describe: &str,
+        mut op: impl FnMut() -> std::io::Result<T>,
+    ) -> Result<T, StorageError> {
+        let attempts = self.attempts.max(1);
+        let mut last = None;
+        for retry in 0..attempts {
+            #[cfg(feature = "chaos")]
+            if let Some(msg) = gq_chaos::fail_persist_io(describe) {
+                last = Some(msg);
+                if retry + 1 < attempts && !self.base_delay.is_zero() {
+                    std::thread::sleep(self.backoff(retry));
+                }
+                continue;
+            }
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    last = Some(e.to_string());
+                    if retry + 1 < attempts && !self.base_delay.is_zero() {
+                        std::thread::sleep(self.backoff(retry));
+                    }
+                }
+            }
+        }
+        Err(StorageError::Io(format!(
+            "{describe} failed after {attempts} attempt{}: {}",
+            if attempts == 1 { "" } else { "s" },
+            last.unwrap_or_else(|| "unknown error".into()),
+        )))
+    }
+}
 
 /// Errors specific to the text format (wrapped with line numbers).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,10 +116,11 @@ pub fn to_text(db: &Database) -> String {
     let mut out = String::new();
     for rel in db.relations() {
         let attrs: Vec<&str> = rel.schema().attributes().collect();
-        writeln!(out, "relation {}({})", rel.name(), attrs.join(", ")).expect("string write");
+        // Writing into a String is infallible.
+        let _ = writeln!(out, "relation {}({})", rel.name(), attrs.join(", "));
         for t in rel.sorted_tuples() {
             let fields: Vec<String> = t.values().map(encode_value).collect();
-            writeln!(out, "{}", fields.join("|")).expect("string write");
+            let _ = writeln!(out, "{}", fields.join("|"));
         }
     }
     out
@@ -92,19 +165,39 @@ pub fn from_text(text: &str) -> Result<Database, PersistError> {
     Ok(db)
 }
 
-/// Save to a file.
-pub fn save(db: &Database, path: &std::path::Path) -> std::io::Result<()> {
-    std::fs::write(path, to_text(db))
+/// Save to a file under the default [`RetryPolicy`].
+pub fn save(db: &Database, path: &std::path::Path) -> Result<(), StorageError> {
+    save_with_retry(db, path, &RetryPolicy::default())
 }
 
-/// Load from a file.
-pub fn load(path: &std::path::Path) -> Result<Database, StorageError> {
-    let text = std::fs::read_to_string(path).map_err(|e| {
-        StorageError::UnknownRelation(format!("cannot read {}: {e}", path.display()))
-    })?;
-    from_text(&text).map_err(|e| {
-        StorageError::UnknownRelation(format!("malformed database file {}: {e}", path.display()))
+/// Save to a file, retrying transient I/O failures under `policy`.
+pub fn save_with_retry(
+    db: &Database,
+    path: &std::path::Path,
+    policy: &RetryPolicy,
+) -> Result<(), StorageError> {
+    let text = to_text(db);
+    policy.run(&format!("write {}", path.display()), || {
+        std::fs::write(path, &text)
     })
+}
+
+/// Load from a file under the default [`RetryPolicy`].
+pub fn load(path: &std::path::Path) -> Result<Database, StorageError> {
+    load_with_retry(path, &RetryPolicy::default())
+}
+
+/// Load from a file, retrying transient I/O failures under `policy`.
+/// Decode errors (a malformed file) are permanent and not retried.
+pub fn load_with_retry(
+    path: &std::path::Path,
+    policy: &RetryPolicy,
+) -> Result<Database, StorageError> {
+    let text = policy.run(&format!("read {}", path.display()), || {
+        std::fs::read_to_string(path)
+    })?;
+    from_text(&text)
+        .map_err(|e| StorageError::Io(format!("malformed database file {}: {e}", path.display())))
 }
 
 fn encode_value(v: &Value) -> String {
@@ -168,10 +261,12 @@ fn parse_tuple(line: &str, lineno: usize) -> Result<Tuple, PersistError> {
             Some('i') => {
                 let mut num = String::new();
                 if chars.peek() == Some(&'-') {
-                    num.push(chars.next().unwrap());
+                    num.push('-');
+                    chars.next();
                 }
-                while chars.peek().is_some_and(|c| c.is_ascii_digit()) {
-                    num.push(chars.next().unwrap());
+                while let Some(&c) = chars.peek().filter(|c| c.is_ascii_digit()) {
+                    num.push(c);
+                    chars.next();
                 }
                 let n: i64 = num
                     .parse()
@@ -215,6 +310,7 @@ fn parse_tuple(line: &str, lineno: usize) -> Result<Tuple, PersistError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::tuple;
@@ -291,5 +387,51 @@ mod tests {
         let back = load(&path).unwrap();
         assert!(dbs_equal(&db, &back));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_reports_io_error_after_retries() {
+        let path = std::env::temp_dir().join("gq_persist_test_does_not_exist.gq");
+        let err = load_with_retry(&path, &RetryPolicy::no_delay(3)).unwrap_err();
+        match err {
+            StorageError::Io(msg) => assert!(msg.contains("3 attempts"), "got: {msg}"),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_file_is_not_retried_as_io() {
+        let dir = std::env::temp_dir().join("gq_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.gq");
+        std::fs::write(&path, "i1\n").unwrap();
+        let err = load_with_retry(&path, &RetryPolicy::no_delay(2)).unwrap_err();
+        match err {
+            StorageError::Io(msg) => assert!(msg.contains("malformed"), "got: {msg}"),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn retry_policy_backoff_doubles() {
+        let p = RetryPolicy {
+            attempts: 4,
+            base_delay: Duration::from_millis(5),
+        };
+        assert_eq!(p.backoff(0), Duration::from_millis(5));
+        assert_eq!(p.backoff(1), Duration::from_millis(10));
+        assert_eq!(p.backoff(2), Duration::from_millis(20));
+        assert!(RetryPolicy::no_delay(2).base_delay.is_zero());
+    }
+
+    #[test]
+    fn save_errors_are_recoverable() {
+        // Writing into a directory path fails; the error must surface as
+        // StorageError::Io, not a panic.
+        let dir = std::env::temp_dir().join("gq_persist_test_dir_target");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = save_with_retry(&sample(), &dir, &RetryPolicy::no_delay(2)).unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)));
     }
 }

@@ -113,12 +113,11 @@ impl Relation {
     /// Remove a tuple. Returns whether it was present.
     pub fn remove(&mut self, t: &Tuple) -> bool {
         if self.seen.remove(t) {
-            let pos = self
-                .rows
-                .iter()
-                .position(|r| r == t)
-                .expect("seen implies stored");
-            self.rows.remove(pos);
+            // `seen` and `rows` always hold the same tuples, so the
+            // position lookup cannot miss.
+            if let Some(pos) = self.rows.iter().position(|r| r == t) {
+                self.rows.remove(pos);
+            }
             true
         } else {
             false
@@ -218,12 +217,15 @@ impl<'a> IntoIterator for &'a Relation {
 pub fn unary(values: impl IntoIterator<Item = Value>) -> Relation {
     let mut r = Relation::intermediate(1);
     for v in values {
-        r.insert(Tuple::new(vec![v])).expect("arity 1");
+        // Intermediate relations accept any value; a unary tuple cannot
+        // mismatch the arity, so the insert is infallible.
+        r.insert(Tuple::new(vec![v])).ok();
     }
     r
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::tuple;

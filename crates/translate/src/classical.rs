@@ -36,12 +36,27 @@ enum Quant {
 /// The classical (baseline) translator.
 pub struct ClassicalTranslator<'db> {
     db: &'db Database,
+    governor: Option<gq_governor::Governor>,
 }
 
 impl<'db> ClassicalTranslator<'db> {
     /// Create a translator resolving relation schemas against `db`.
     pub fn new(db: &'db Database) -> Self {
-        ClassicalTranslator { db }
+        ClassicalTranslator { db, governor: None }
+    }
+
+    /// Attach a resource governor: the cancel token / deadline is polled
+    /// at the reduction's per-variable and per-conjunct steps.
+    pub fn with_governor(mut self, governor: gq_governor::Governor) -> Self {
+        self.governor = Some(governor);
+        self
+    }
+
+    fn check_governor(&self) -> Result<(), TranslateError> {
+        if let Some(g) = &self.governor {
+            g.check("translate")?;
+        }
+        Ok(())
     }
 
     /// Translate an open query. Returns the answer variables in name order
@@ -80,6 +95,7 @@ impl<'db> ClassicalTranslator<'db> {
         // The cartesian product of every variable's range.
         let mut expr: Option<AlgebraExpr> = None;
         for v in &columns {
+            self.check_governor()?;
             let range = self.range_of(v, &matrix_dnf)?;
             expr = Some(match expr {
                 None => range,
@@ -102,6 +118,7 @@ impl<'db> ClassicalTranslator<'db> {
             .collect();
         let mut applied: Option<AlgebraExpr> = None;
         for conjunct in &matrix_dnf {
+            self.check_governor()?;
             let mut e = product.clone();
             for literal in conjunct {
                 e = self.apply_literal(e, literal, &positions)?;

@@ -28,6 +28,9 @@ pub enum TranslateError {
         /// Rendering of the subformula.
         subformula: String,
     },
+    /// The resource governor interrupted translation (cancellation,
+    /// deadline, or a depth budget).
+    Governor(gq_governor::GovernorError),
 }
 
 impl fmt::Display for TranslateError {
@@ -50,6 +53,7 @@ impl fmt::Display for TranslateError {
                 f,
                 "unsupported shape while translating {context}: `{subformula}`"
             ),
+            TranslateError::Governor(e) => write!(f, "{e}"),
         }
     }
 }
@@ -59,5 +63,11 @@ impl std::error::Error for TranslateError {}
 impl From<RestrictionError> for TranslateError {
     fn from(e: RestrictionError) -> Self {
         TranslateError::Unrestricted(e)
+    }
+}
+
+impl From<gq_governor::GovernorError> for TranslateError {
+    fn from(e: gq_governor::GovernorError) -> Self {
+        TranslateError::Governor(e)
     }
 }

@@ -83,6 +83,7 @@ pub struct ImprovedTranslator<'db> {
     db: &'db Database,
     division_mode: DivisionMode,
     cost_ordering: bool,
+    governor: Option<gq_governor::Governor>,
 }
 
 impl<'db> ImprovedTranslator<'db> {
@@ -92,7 +93,22 @@ impl<'db> ImprovedTranslator<'db> {
             db,
             division_mode: DivisionMode::default(),
             cost_ordering: false,
+            governor: None,
         }
+    }
+
+    /// Attach a resource governor: the cancel token / deadline is polled
+    /// at every translation recursion step.
+    pub fn with_governor(mut self, governor: gq_governor::Governor) -> Self {
+        self.governor = Some(governor);
+        self
+    }
+
+    fn check_governor(&self) -> Result<(), TranslateError> {
+        if let Some(g) = &self.governor {
+            g.check("translate")?;
+        }
+        Ok(())
     }
 
     /// Select how universal quantifications (case 5) are planned.
@@ -160,6 +176,7 @@ impl<'db> ImprovedTranslator<'db> {
 
     /// Translate a closed (yes/no) query to a boolean plan (§3.2).
     pub fn translate_closed(&self, f: &Formula) -> Result<BoolExpr, TranslateError> {
+        self.check_governor()?;
         match f {
             Formula::Not(g) => Ok(BoolExpr::not(self.translate_closed(g)?)),
             Formula::And(a, b) => Ok(BoolExpr::and(
@@ -222,6 +239,9 @@ impl<'db> ImprovedTranslator<'db> {
         filters: &[Formula],
         outer: &BTreeSet<Var>,
     ) -> Result<Option<Typed>, TranslateError> {
+        // Every translation recursion cycle passes through here, so this
+        // is the cooperative cancellation point for the translate phase.
+        self.check_governor()?;
         let mut translated: Vec<Typed> = Vec::with_capacity(producers.len());
         for p in producers {
             let vars: BTreeSet<Var> = p.free_vars().difference(outer).cloned().collect();

@@ -17,13 +17,16 @@
 //!
 //! Commands: `.relation name(attr, …)`, `.insert name(value, …)`,
 //! `.relations`, `.view name <query>`, `.views`,
-//! `.strategy improved|classical|nested-loop`, `.explain <query>`,
+//! `.strategy improved|classical|nested-loop`,
+//! `.timeout <ms|off>` (per-query deadline),
+//! `.limits [output|rows <n|off>]` (show / set resource budgets),
+//! `.explain <query>`,
 //! `:analyze <query>` (execute with per-node instrumentation and render
 //! the annotated plan), `.load-university <n>`, `.save <file>`,
 //! `.load <file>`, `.help`, `.quit`. Anything else is evaluated as a
 //! calculus query.
 
-use gq_core::{QueryEngine, Strategy};
+use gq_core::{QueryEngine, QueryLimits, Strategy};
 use gq_storage::{Database, Schema, Tuple, Value};
 use gq_workload::{university, UniversityScale};
 use std::io::{self, BufRead, Write};
@@ -139,6 +142,46 @@ impl Repl {
                 "exec: morsel size {} ({} threads)",
                 exec.morsel_size, exec.threads
             );
+        } else if let Some(rest) = line.strip_prefix(".timeout ") {
+            let rest = rest.trim();
+            let mut limits = self.engine.limits();
+            if rest == "off" {
+                limits.deadline = None;
+                println!("timeout: off");
+            } else {
+                let ms: u64 = rest
+                    .parse()
+                    .map_err(|_| format!("usage: .timeout <ms|off> (got `{rest}`)"))?;
+                limits.deadline = Some(std::time::Duration::from_millis(ms));
+                println!("timeout: {ms}ms per query");
+            }
+            self.engine.set_limits(limits);
+        } else if line == ".limits" {
+            print_limits(&self.engine.limits());
+        } else if let Some(rest) = line.strip_prefix(".limits ") {
+            let mut limits = self.engine.limits();
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            match parts.as_slice() {
+                [which, value] => {
+                    let parsed = if *value == "off" {
+                        None
+                    } else {
+                        Some(value.parse::<u64>().map_err(|_| {
+                            format!("usage: .limits <output|rows> <n|off> (got `{value}`)")
+                        })?)
+                    };
+                    match *which {
+                        "output" => limits.max_output_tuples = parsed,
+                        "rows" => limits.max_intermediate_tuples = parsed,
+                        other => {
+                            return Err(format!("unknown limit `{other}` (output | rows)").into())
+                        }
+                    }
+                    self.engine.set_limits(limits);
+                    print_limits(&self.engine.limits());
+                }
+                _ => return Err("usage: .limits [output|rows <n|off>]".into()),
+            }
         } else if let Some(rest) = line.strip_prefix(".explain ") {
             println!("{}", self.engine.explain(rest)?);
         } else if let Some(rest) = line
@@ -172,6 +215,8 @@ impl Repl {
                  .strategy s               improved | classical | nested-loop\n\
                  .threads n                worker threads (1 = sequential)\n\
                  .morsel n                 tuples per morsel (default 1024)\n\
+                 .timeout <ms|off>         per-query deadline\n\
+                 .limits [output|rows <n|off>]  show / set resource budgets\n\
                  .explain <query>          show both processing phases\n\
                  :analyze <query>          execute + annotated plan (EXPLAIN ANALYZE)\n\
                  .load-university <n>      load a generated database\n\
@@ -200,6 +245,23 @@ impl Repl {
         }
         Ok(())
     }
+}
+
+fn print_limits(l: &QueryLimits) {
+    fn show(v: Option<u64>) -> String {
+        v.map_or_else(|| "off".to_string(), |n| n.to_string())
+    }
+    println!(
+        "timeout: {}",
+        l.deadline
+            .map_or_else(|| "off".to_string(), |d| format!("{}ms", d.as_millis()))
+    );
+    println!("output tuples: {}", show(l.max_output_tuples));
+    println!("intermediate rows: {}", show(l.max_intermediate_tuples));
+    println!("intermediate bytes: {}", show(l.max_memory_bytes));
+    println!("rewrite steps: {}", show(l.max_rewrite_steps));
+    println!("formula depth: {}", show(l.max_formula_depth));
+    println!("plan depth: {}", show(l.max_plan_depth));
 }
 
 /// Parse `name(a, b, c)` into the name and the comma-separated parts.
