@@ -1,0 +1,120 @@
+//! Common-subexpression elimination over algebra plans.
+//!
+//! §2.2 of the paper observes that "answers to common subexpressions …
+//! can be shared procedurally". The memo of [`Evaluator::with_sharing`]
+//! already shares *materializations* (build sides that happen to repeat);
+//! this pass goes one step further and shares **any** repeated subplan, as
+//! a compile-time analysis: [`shared_subplans`] walks one or more plan
+//! roots, fingerprints every interior node by its canonical rendering
+//! (`Display`, the same identity the memo uses), and returns the set of
+//! fingerprints occurring at least twice. The evaluators consult that set
+//! at their coordinator entry points ([`Evaluator::stream`] /
+//! the parallel executor's node dispatch): the first occurrence of a
+//! shared subplan is evaluated once into an `Arc`-shared materialized
+//! operand, every later occurrence is answered from it — charging the new
+//! `cse_materialized` / `cse_reused` [`ExecStats`](crate::ExecStats)
+//! counters, which stay bit-identical across thread counts because the
+//! CSE cache only ever lives on the coordinating thread.
+//!
+//! Exclusions, both load-bearing:
+//!
+//! * **Leaves** (base-relation scans, literals) are never shared: caching
+//!   a scan would copy whole base relations into memory for no saved
+//!   work, and — worse — it would bypass the cached-index fast paths,
+//!   which pattern-match on a bare `Relation` build side *before*
+//!   materializing and therefore must keep seeing the leaf.
+//! * **Subtrees containing literal relations** are never shared: an
+//!   inline literal's rendering is not a reliable identity (the same
+//!   reason the memo excludes them).
+//!
+//! [`Evaluator::with_sharing`]: crate::Evaluator::with_sharing
+//! [`Evaluator::stream`]: crate::Evaluator::stream
+
+use crate::eval::contains_literal;
+use crate::AlgebraExpr;
+use std::collections::{HashMap, HashSet};
+
+/// Fingerprints of every interior subplan occurring two or more times
+/// across the given plan roots.
+///
+/// Multiple roots matter for closed queries: a `BoolExpr` holds one
+/// algebra plan per (non-)emptiness test, and a subplan repeated *across*
+/// tests is exactly as shareable as one repeated within a single plan.
+pub fn shared_subplans(roots: &[&AlgebraExpr]) -> HashSet<String> {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for root in roots {
+        count_subplans(root, &mut counts);
+    }
+    counts
+        .into_iter()
+        .filter_map(|(key, n)| (n >= 2).then_some(key))
+        .collect()
+}
+
+/// Would the CSE pass consider this node shareable at all (interior,
+/// literal-free)? Shared with the evaluators so their cache gates apply
+/// exactly the analysis' exclusions.
+pub(crate) fn is_shareable(e: &AlgebraExpr) -> bool {
+    !matches!(e, AlgebraExpr::Relation(_) | AlgebraExpr::Literal(_)) && !contains_literal(e)
+}
+
+fn count_subplans(e: &AlgebraExpr, counts: &mut HashMap<String, usize>) {
+    if is_shareable(e) {
+        *counts.entry(e.to_string()).or_insert(0) += 1;
+    }
+    for c in e.children() {
+        count_subplans(c, counts);
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::Predicate;
+    use gq_calculus::CompareOp;
+
+    fn sigma() -> AlgebraExpr {
+        AlgebraExpr::relation("skill").select(Predicate::col_const(1, CompareOp::Eq, "db"))
+    }
+
+    #[test]
+    fn repeated_subplan_is_detected() {
+        let plan = sigma().join(sigma(), vec![(0, 0)]);
+        let shared = shared_subplans(&[&plan]);
+        assert!(shared.contains(&sigma().to_string()));
+        // The join itself occurs once — not shared.
+        assert!(!shared.contains(&plan.to_string()));
+    }
+
+    #[test]
+    fn leaves_are_never_shared() {
+        let scan = AlgebraExpr::relation("skill");
+        let plan = scan.clone().join(scan.clone(), vec![(0, 0)]);
+        assert!(shared_subplans(&[&plan]).is_empty());
+    }
+
+    #[test]
+    fn literal_subtrees_are_never_shared() {
+        let lit = AlgebraExpr::Literal(gq_storage::Relation::intermediate(1))
+            .select(Predicate::col_const(0, CompareOp::Eq, 1));
+        let plan = lit.clone().union(lit);
+        assert!(shared_subplans(&[&plan]).is_empty());
+    }
+
+    #[test]
+    fn sharing_across_roots() {
+        let a = sigma().project(vec![0]);
+        let b = sigma().complement_join(AlgebraExpr::relation("member"), vec![(0, 0)]);
+        let shared = shared_subplans(&[&a, &b]);
+        assert!(shared.contains(&sigma().to_string()));
+    }
+
+    #[test]
+    fn unique_subplans_stay_unshared() {
+        let plan = AlgebraExpr::relation("a")
+            .select(Predicate::col_const(0, CompareOp::Eq, 1))
+            .join(AlgebraExpr::relation("b").project(vec![0]), vec![(0, 0)]);
+        assert!(shared_subplans(&[&plan]).is_empty());
+    }
+}

@@ -18,11 +18,21 @@ const EQ_SELECTIVITY: f64 = 0.1;
 const RANGE_SELECTIVITY: f64 = 0.4;
 /// Assumed number of distinct values per join column when unknown.
 const DISTINCT_GUESS: f64 = 10.0;
+/// Assumed cardinality of a relation missing from the catalog. Pessimistic
+/// on purpose: estimating unknowns at 0 made them look like the cheapest
+/// build side and silently mis-ordered producers — a missing relation
+/// should never beat a known one. Large but finite so downstream products
+/// and sums stay well-ordered (no `inf − inf`/`0 · inf` NaN poisoning).
+const UNKNOWN_CARDINALITY: f64 = 1e12;
 
-/// Estimated output cardinality of a plan. Unknown relations estimate to 0.
+/// Estimated output cardinality of a plan. Unknown relations estimate
+/// pessimistically to [`UNKNOWN_CARDINALITY`].
 pub fn estimate(e: &AlgebraExpr, db: &Database) -> f64 {
     match e {
-        AlgebraExpr::Relation(name) => db.relation(name).map(|r| r.len() as f64).unwrap_or(0.0),
+        AlgebraExpr::Relation(name) => db
+            .relation(name)
+            .map(|r| r.len() as f64)
+            .unwrap_or(UNKNOWN_CARDINALITY),
         AlgebraExpr::Literal(r) => r.len() as f64,
         AlgebraExpr::Select { input, predicate } => {
             estimate(input, db) * predicate_selectivity(predicate)
@@ -79,10 +89,12 @@ fn predicate_selectivity(p: &Predicate) -> f64 {
         }
         Predicate::Not(a) => 1.0 - predicate_selectivity(a),
         Predicate::True => 1.0,
+        Predicate::False => 0.0,
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use gq_calculus::CompareOp;
@@ -106,7 +118,37 @@ mod tests {
         let db = db();
         assert_eq!(estimate(&AlgebraExpr::relation("big"), &db), 100.0);
         assert_eq!(estimate(&AlgebraExpr::relation("small"), &db), 5.0);
-        assert_eq!(estimate(&AlgebraExpr::relation("ghost"), &db), 0.0);
+        assert_eq!(
+            estimate(&AlgebraExpr::relation("ghost"), &db),
+            UNKNOWN_CARDINALITY
+        );
+    }
+
+    #[test]
+    fn unknown_relations_are_pessimistic_and_finite() {
+        // Regression: unknown relations used to estimate to 0.0, making a
+        // *missing* relation look like the cheapest build side. Monotonicity:
+        // every known relation must estimate strictly below an unknown one,
+        // and the estimate must stay finite so composite estimates
+        // (products, sums, maxes) remain well-ordered.
+        let db = db();
+        let ghost = estimate(&AlgebraExpr::relation("ghost"), &db);
+        assert!(ghost.is_finite());
+        for name in ["big", "small"] {
+            assert!(estimate(&AlgebraExpr::relation(name), &db) < ghost);
+        }
+        // A join involving an unknown relation still orders above known
+        // base relations (pessimism survives composition)…
+        let j = AlgebraExpr::relation("big").join(AlgebraExpr::relation("ghost"), vec![(0, 0)]);
+        assert!(estimate(&j, &db) > estimate(&AlgebraExpr::relation("big"), &db));
+        assert!(estimate(&j, &db).is_finite());
+        // …and growing a known relation never flips its order w.r.t. the
+        // unknown (monotone in actual cardinality).
+        let mut db2 = db;
+        for i in 100..200 {
+            db2.insert("big", tuple![i, i]).unwrap();
+        }
+        assert!(estimate(&AlgebraExpr::relation("big"), &db2) < ghost);
     }
 
     #[test]

@@ -208,6 +208,22 @@ pub struct Evaluator<'db> {
     /// polled cooperatively at drain-loop and morsel boundaries. `None`
     /// (the default) keeps the hot paths check-free.
     pub(crate) governor: Option<Governor>,
+    /// Common-subexpression elimination state (see [`crate::cse`]):
+    /// the compile-time set of shared subplan fingerprints plus the
+    /// run-time cache of their materialized results. `None` (the default)
+    /// keeps every dispatch gate a single branch.
+    pub(crate) cse: Option<CseState>,
+}
+
+/// Run-time state of the CSE pass: which subplans the analysis marked
+/// shared, and the materialized operands produced so far. Lives on the
+/// coordinating thread only (a `RefCell`, like the memo), which is what
+/// keeps the CSE counters independent of the worker count.
+pub(crate) struct CseState {
+    /// Fingerprints (canonical `Display` renderings) of shared subplans.
+    pub(crate) shared: HashSet<String>,
+    /// Materialized operands, keyed by fingerprint.
+    pub(crate) cache: RefCell<HashMap<String, Arc<Vec<Tuple>>>>,
 }
 
 impl<'db> Evaluator<'db> {
@@ -222,6 +238,7 @@ impl<'db> Evaluator<'db> {
             profiler: None,
             exec: ExecConfig::sequential(),
             governor: None,
+            cse: None,
         }
     }
 
@@ -297,7 +314,25 @@ impl<'db> Evaluator<'db> {
             profiler: None,
             exec: ExecConfig::sequential(),
             governor: None,
+            cse: None,
         }
+    }
+
+    /// Enable common-subexpression elimination with the given set of
+    /// shared subplan fingerprints (from [`crate::cse::shared_subplans`],
+    /// computed once per prepared plan). Each shared subplan is evaluated
+    /// once into an `Arc`-shared materialized operand; later occurrences
+    /// are answered from it. Orthogonal to the memo of
+    /// [`Evaluator::with_sharing`] — the memo dedups *materializations
+    /// that happen*, CSE short-circuits whole subtree evaluations that
+    /// would otherwise re-run — and the two charge separate counters
+    /// (`memo_hits` vs `cse_materialized`/`cse_reused`).
+    pub fn with_cse(mut self, shared: HashSet<String>) -> Self {
+        self.cse = Some(CseState {
+            shared,
+            cache: RefCell::new(HashMap::new()),
+        });
+        self
     }
 
     /// Snapshot of the accumulated statistics.
@@ -380,6 +415,11 @@ impl<'db> Evaluator<'db> {
     /// memo hit (and a hand-off to parallel worker threads) costs a
     /// refcount bump, not a deep copy.
     pub(crate) fn materialize(&self, e: &AlgebraExpr) -> Result<Arc<Vec<Tuple>>, AlgebraError> {
+        // CSE gate first: a shared subplan is answered from (or evaluated
+        // into) the CSE cache, mirroring the memo's early return.
+        if let Some(shared) = self.cse_get(e)? {
+            return Ok(shared);
+        }
         let key = match &self.memo {
             Some(memo) if !contains_literal(e) => {
                 let key = e.to_string();
@@ -397,13 +437,24 @@ impl<'db> Evaluator<'db> {
             }
             _ => None,
         };
-        let tuples: Arc<Vec<Tuple>> = if let Some(g) = self.governor.clone() {
+        let tuples = self.collect_governed(e)?;
+        self.stats.borrow_mut().record_intermediate(tuples.len());
+        if let (Some(memo), Some(key)) = (&self.memo, key) {
+            memo.borrow_mut().insert(key, Arc::clone(&tuples));
+        }
+        Ok(tuples)
+    }
+
+    /// Drain a (CSE-exempt) stream of `e` to an owned vector, under the
+    /// governor's budgets when one is attached.
+    fn collect_governed(&self, e: &AlgebraExpr) -> Result<Arc<Vec<Tuple>>, AlgebraError> {
+        Ok(if let Some(g) = self.governor.clone() {
             // Governed collect: poll cancellation every morsel-size tuples
             // and charge the intermediate-size budgets as the build side
             // grows — build sides are where a runaway query actually
             // accumulates memory, not the output relation.
             let mut v: Vec<Tuple> = Vec::new();
-            for t in self.stream(e)? {
+            for t in self.stream_profiled(e)? {
                 let bytes = gq_governor::estimate_tuple_bytes(t.arity());
                 g.charge_intermediate("evaluate", 1, bytes)?;
                 v.push(t);
@@ -413,13 +464,41 @@ impl<'db> Evaluator<'db> {
             }
             Arc::new(v)
         } else {
-            Arc::new(self.stream(e)?.collect())
+            Arc::new(self.stream_profiled(e)?.collect())
+        })
+    }
+
+    /// The CSE gate: `None` when `e` is not a shared subplan (or CSE is
+    /// off), otherwise the materialized operand — answered from the cache
+    /// on the second and later occurrences, evaluated exactly once (as a
+    /// governed drain through the normal operator dispatch, so every
+    /// counter is charged as usual) on the first.
+    pub(crate) fn cse_get(&self, e: &AlgebraExpr) -> Result<Option<Arc<Vec<Tuple>>>, AlgebraError> {
+        let Some(cse) = &self.cse else {
+            return Ok(None);
         };
-        self.stats.borrow_mut().record_intermediate(tuples.len());
-        if let (Some(memo), Some(key)) = (&self.memo, key) {
-            memo.borrow_mut().insert(key, Arc::clone(&tuples));
+        if !crate::cse::is_shareable(e) {
+            return Ok(None);
         }
-        Ok(tuples)
+        let key = e.to_string();
+        if !cse.shared.contains(&key) {
+            return Ok(None);
+        }
+        if let Some(hit) = cse.cache.borrow().get(&key) {
+            self.stats.borrow_mut().cse_reused += 1;
+            if let Some(p) = &self.profiler {
+                p.annotate(e, "cse-reuse");
+            }
+            return Ok(Some(Arc::clone(hit)));
+        }
+        let tuples = self.collect_governed(e)?;
+        {
+            let mut s = self.stats.borrow_mut();
+            s.cse_materialized += 1;
+            s.record_intermediate(tuples.len());
+        }
+        cse.cache.borrow_mut().insert(key, Arc::clone(&tuples));
+        Ok(Some(tuples))
     }
 
     /// Build a tuple stream for an expression. Validation of column
@@ -434,6 +513,25 @@ impl<'db> Evaluator<'db> {
     /// extraction. Without a profiler this is a single `match None` branch
     /// on top of the raw stream: no clones, no `Instant::now()`.
     pub fn stream<'e>(&'e self, e: &'e AlgebraExpr) -> Result<TupleIter<'e>, AlgebraError> {
+        // CSE gate: a shared subplan streams from its Arc-shared
+        // materialized operand instead of re-running the subtree.
+        if let Some(shared) = self.cse_get(e)? {
+            let mut i = 0usize;
+            return Ok(Box::new(std::iter::from_fn(move || {
+                let t = shared.get(i)?.clone();
+                i += 1;
+                Some(t)
+            })));
+        }
+        self.stream_profiled(e)
+    }
+
+    /// [`Evaluator::stream`] without the CSE gate — the profiler wrapper
+    /// over the raw operator dispatch. The CSE first-materialization
+    /// drain enters here so the shared node itself is evaluated (and
+    /// profiled) normally while its *children* still stream through the
+    /// gated entry point (nested shared subplans keep working).
+    fn stream_profiled<'e>(&'e self, e: &'e AlgebraExpr) -> Result<TupleIter<'e>, AlgebraError> {
         let profiler = match &self.profiler {
             Some(p) if p.tracks(e) => Rc::clone(p),
             _ => return self.stream_inner(e),
@@ -958,6 +1056,7 @@ pub fn eval_predicate(p: &Predicate, t: &Tuple, stats: &mut ExecStats) -> bool {
         Predicate::Or(a, b) => eval_predicate(a, t, stats) || eval_predicate(b, t, stats),
         Predicate::Not(inner) => !eval_predicate(inner, t, stats),
         Predicate::True => true,
+        Predicate::False => false,
     }
 }
 

@@ -1,7 +1,7 @@
 //! Evaluator tests, including exact reproductions of the paper's
 //! Figures 2, 3 and 4 (§3.3).
 
-use crate::{AlgebraExpr, Constraint, Evaluator, Predicate};
+use crate::{shared_subplans, AlgebraExpr, Constraint, Evaluator, ExecConfig, Predicate};
 use gq_calculus::CompareOp;
 use gq_storage::{tuple, Database, Relation, Schema, Tuple, Value};
 
@@ -611,6 +611,92 @@ fn sharing_skips_literals() {
     let r = shared.eval(&plan).unwrap();
     assert_eq!(r.len(), 1);
     assert_eq!(shared.stats().memo_hits, 0);
+}
+
+/// A plan whose filtered `t` subplan occurs twice — once as a semi-join
+/// build side, once as a complement-join build side.
+fn cse_plan() -> AlgebraExpr {
+    let sub = AlgebraExpr::relation("t").select(Predicate::col_const(0, CompareOp::Ne, "e"));
+    AlgebraExpr::relation("p")
+        .semi_join(sub.clone(), vec![(0, 0)])
+        .union(AlgebraExpr::relation("p").complement_join(sub, vec![(0, 0)]))
+}
+
+/// CSE: a duplicated interior subplan is materialized exactly once and
+/// every later occurrence answered from the shared operand, without
+/// changing the result.
+#[test]
+fn cse_materializes_shared_subplan_once() {
+    let db = fig2_db();
+    let plan = cse_plan();
+    let plain = Evaluator::new(&db);
+    let a = plain.eval(&plan).unwrap();
+    let cse = Evaluator::new(&db).with_cse(shared_subplans(&[&plan]));
+    let b = cse.eval(&plan).unwrap();
+    assert!(a.set_eq(&b));
+    assert_eq!(cse.stats().cse_materialized, 1);
+    assert_eq!(cse.stats().cse_reused, 1);
+    // σ(t) ran once instead of twice: one fewer scan of t.
+    assert_eq!(plain.stats().base_scans, cse.stats().base_scans + 1);
+    assert_eq!(plain.stats().cse_materialized, 0);
+    assert_eq!(plain.stats().cse_reused, 0);
+}
+
+/// The CSE counters are plan-dependent, not schedule-dependent: results
+/// and stats (minus the morsel dispatch counter) are bit-identical at 1,
+/// 2 and 8 threads.
+#[test]
+fn cse_stats_identical_across_thread_counts() {
+    let db = fig2_db();
+    let plan = cse_plan();
+    let shared = shared_subplans(&[&plan]);
+    let seq = Evaluator::new(&db).with_cse(shared.clone());
+    let expected = seq.eval(&plan).unwrap();
+    assert_eq!(seq.stats().cse_materialized, 1);
+    for threads in [2, 8] {
+        let par = Evaluator::new(&db)
+            .with_exec_config(ExecConfig::with_threads(threads).with_morsel_size(2))
+            .with_cse(shared.clone());
+        let got = par.eval(&plan).unwrap();
+        assert_eq!(
+            got.tuples(),
+            expected.tuples(),
+            "rows differ at {threads} threads"
+        );
+        assert_eq!(
+            par.stats().without_dispatch_counters(),
+            seq.stats().without_dispatch_counters(),
+            "stats differ at {threads} threads"
+        );
+    }
+}
+
+/// With both the memo and CSE enabled, the CSE gate answers first on
+/// either occurrence, so the memo never double-counts shared subplans.
+#[test]
+fn cse_takes_precedence_over_memo() {
+    let db = fig2_db();
+    let plan = cse_plan();
+    let both = Evaluator::with_sharing(&db).with_cse(shared_subplans(&[&plan]));
+    let r = both.eval(&plan).unwrap();
+    assert!(Evaluator::new(&db).eval(&plan).unwrap().set_eq(&r));
+    assert_eq!(both.stats().cse_materialized, 1);
+    assert_eq!(both.stats().cse_reused, 1);
+    assert_eq!(both.stats().memo_hits, 0);
+}
+
+/// An empty shared set makes `with_cse` a no-op: identical results and
+/// identical stats to a plain evaluator.
+#[test]
+fn cse_with_empty_shared_set_is_inert() {
+    let db = fig2_db();
+    let plan = cse_plan();
+    let plain = Evaluator::new(&db);
+    let a = plain.eval(&plan).unwrap();
+    let inert = Evaluator::new(&db).with_cse(Default::default());
+    let b = inert.eval(&plan).unwrap();
+    assert!(a.set_eq(&b));
+    assert_eq!(plain.stats(), inert.stats());
 }
 
 /// γcount: grouped counting (the Quel-baseline aggregate).

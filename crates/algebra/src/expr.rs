@@ -64,6 +64,10 @@ pub enum Predicate {
     Not(Box<Predicate>),
     /// Always true.
     True,
+    /// Always false (the neutral element of disjunction — an empty
+    /// [`Predicate::or_all`] selects nothing, just as an empty
+    /// [`Predicate::and_all`] selects everything).
+    False,
 }
 
 impl Predicate {
@@ -92,11 +96,12 @@ impl Predicate {
             .unwrap_or(Predicate::True)
     }
 
-    /// Disjunction of a non-empty list.
+    /// Disjunction of a list (False for the empty list: no disjunct can
+    /// be satisfied, so the empty disjunction selects nothing).
     pub fn or_all(ps: Vec<Predicate>) -> Predicate {
         ps.into_iter()
             .reduce(|a, b| Predicate::Or(Box::new(a), Box::new(b)))
-            .expect("or_all of empty list")
+            .unwrap_or(Predicate::False)
     }
 
     /// Largest column index referenced, if any — used for arity validation.
@@ -116,7 +121,7 @@ impl Predicate {
             Predicate::IsNull(i) | Predicate::NotNull(i) => Some(*i),
             Predicate::And(a, b) | Predicate::Or(a, b) => a.max_col().max(b.max_col()),
             Predicate::Not(p) => p.max_col(),
-            Predicate::True => None,
+            Predicate::True | Predicate::False => None,
         }
     }
 }
@@ -131,6 +136,7 @@ impl fmt::Display for Predicate {
             Predicate::Or(a, b) => write!(f, "({a} ∨ {b})"),
             Predicate::Not(p) => write!(f, "¬{p}"),
             Predicate::True => write!(f, "true"),
+            Predicate::False => write!(f, "false"),
         }
     }
 }
@@ -556,7 +562,8 @@ impl AlgebraExpr {
     fn render_into(&self, out: &mut String, depth: usize) {
         use std::fmt::Write;
         let pad = "  ".repeat(depth);
-        writeln!(out, "{pad}{}", self.label()).expect("string write");
+        // Writing into a String is infallible.
+        let _ = writeln!(out, "{pad}{}", self.label());
         for c in self.children() {
             c.render_into(out, depth + 1);
         }
@@ -669,6 +676,7 @@ impl fmt::Display for AlgebraExpr {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -708,6 +716,22 @@ mod tests {
         assert_eq!(p.max_col(), Some(2));
         assert_eq!(p.to_string(), "(#0≠cs ∧ #2≠∅)");
         assert_eq!(Predicate::and_all(vec![]), Predicate::True);
+    }
+
+    #[test]
+    fn or_all_of_empty_list_is_false() {
+        // Regression: this used to panic. The empty disjunction is the
+        // neutral element of ∨, i.e. unsatisfiable.
+        let p = Predicate::or_all(vec![]);
+        assert_eq!(p, Predicate::False);
+        assert_eq!(p.max_col(), None);
+        assert_eq!(p.to_string(), "false");
+    }
+
+    #[test]
+    fn or_all_singleton_is_identity() {
+        let one = Predicate::col_const(0, CompareOp::Eq, "x");
+        assert_eq!(Predicate::or_all(vec![one.clone()]), one);
     }
 
     #[test]

@@ -73,6 +73,7 @@ impl IndexCache {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use gq_storage::{tuple, Schema};

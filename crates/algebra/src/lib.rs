@@ -17,8 +17,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 mod boolean;
+mod cse;
 mod error;
 mod estimate;
 mod eval;
@@ -30,13 +32,17 @@ mod profile;
 mod stats;
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod eval_tests;
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod outerjoin_laws;
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod prop3_tests;
 
 pub use boolean::BoolExpr;
+pub use cse::shared_subplans;
 pub use error::AlgebraError;
 pub use estimate::estimate;
 pub use eval::{arity_of, eval_predicate, Evaluator, JoinAlgorithm, TupleIter};

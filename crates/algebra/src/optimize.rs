@@ -322,7 +322,7 @@ fn predicate_cols(p: &Predicate) -> Vec<usize> {
             v
         }
         Predicate::Not(a) => predicate_cols(a),
-        Predicate::True => vec![],
+        Predicate::True | Predicate::False => vec![],
     }
 }
 
@@ -364,6 +364,7 @@ fn shift_predicate(p: &Predicate, offset: usize) -> Predicate {
         ),
         Predicate::Not(a) => Predicate::Not(Box::new(shift_predicate(a, offset))),
         Predicate::True => Predicate::True,
+        Predicate::False => Predicate::False,
     }
 }
 
@@ -394,6 +395,7 @@ fn remap_predicate(p: &Predicate, positions: &[usize]) -> Option<Predicate> {
         ),
         Predicate::Not(a) => Predicate::Not(Box::new(remap_predicate(a, positions)?)),
         Predicate::True => Predicate::True,
+        Predicate::False => Predicate::False,
     })
 }
 
@@ -421,6 +423,7 @@ fn static_arity(e: &AlgebraExpr) -> Option<usize> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::Evaluator;

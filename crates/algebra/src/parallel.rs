@@ -227,12 +227,54 @@ fn partition_of(key: &[Value], nparts: usize) -> usize {
 }
 
 impl<'db> ParallelExec<'_, 'db> {
-    /// Evaluate one plan node to a materialized tuple vector, bracketing
-    /// it for the profiler exactly like the sequential `stream` wrapper:
+    /// Evaluate one plan node to a materialized tuple vector. The CSE
+    /// gate runs first, on the coordinating thread — which is what keeps
+    /// the `cse_*` counters identical across worker counts.
+    fn node(&self, e: &AlgebraExpr) -> Result<Vec<Tuple>, AlgebraError> {
+        if let Some(shared) = self.cse_get(e)? {
+            return Ok(shared.as_ref().clone());
+        }
+        self.node_profiled(e)
+    }
+
+    /// The CSE gate of the batch executor, mirroring the sequential
+    /// `Evaluator::cse_get` exactly: reuse answers from the cache, the
+    /// first occurrence evaluates once through the parallel kernels and
+    /// charges the same counters at the same (coordinator) points.
+    fn cse_get(&self, e: &AlgebraExpr) -> Result<Option<Arc<Vec<Tuple>>>, AlgebraError> {
+        let Some(cse) = &self.ev.cse else {
+            return Ok(None);
+        };
+        if !crate::cse::is_shareable(e) {
+            return Ok(None);
+        }
+        let key = e.to_string();
+        if !cse.shared.contains(&key) {
+            return Ok(None);
+        }
+        if let Some(hit) = cse.cache.borrow().get(&key) {
+            self.ev.stats.borrow_mut().cse_reused += 1;
+            if let Some(p) = &self.ev.profiler {
+                p.annotate(e, "cse-reuse");
+            }
+            return Ok(Some(Arc::clone(hit)));
+        }
+        let tuples = Arc::new(self.node_profiled(e)?);
+        {
+            let mut s = self.ev.stats.borrow_mut();
+            s.cse_materialized += 1;
+            s.record_intermediate(tuples.len());
+        }
+        cse.cache.borrow_mut().insert(key, Arc::clone(&tuples));
+        Ok(Some(tuples))
+    }
+
+    /// `node` without the CSE gate, bracketing the evaluation
+    /// for the profiler exactly like the sequential `stream` wrapper:
     /// the recorded delta is *inclusive* (children evaluate inside the
     /// parent's window) and the profiler subtracts children out at trace
     /// extraction, so the PR-1 conservation invariants hold unchanged.
-    fn node(&self, e: &AlgebraExpr) -> Result<Vec<Tuple>, AlgebraError> {
+    fn node_profiled(&self, e: &AlgebraExpr) -> Result<Vec<Tuple>, AlgebraError> {
         let profiler = match &self.ev.profiler {
             Some(p) if p.tracks(e) => Rc::clone(p),
             _ => return self.node_inner(e),
@@ -530,6 +572,12 @@ impl<'db> ParallelExec<'_, 'db> {
     /// mirroring the sequential `Evaluator::materialize` memo discipline
     /// (same keys, same hit charging, same annotations).
     fn materialize(&self, e: &AlgebraExpr) -> Result<Arc<Vec<Tuple>>, AlgebraError> {
+        // CSE gate before the memo, in the same order as the sequential
+        // `Evaluator::materialize` — so when both caches are enabled the
+        // same one answers on either path.
+        if let Some(shared) = self.cse_get(e)? {
+            return Ok(shared);
+        }
         let key = match &self.ev.memo {
             Some(memo) if !contains_literal(e) => {
                 let key = e.to_string();
@@ -824,6 +872,7 @@ fn flatten(chunks: Vec<Vec<Tuple>>) -> Vec<Tuple> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use crate::Evaluator;

@@ -189,11 +189,14 @@ fn clamp(child: &ExecStats, parent: &ExecStats) -> ExecStats {
         max_intermediate: 0,
         operators_evaluated: child.operators_evaluated.min(parent.operators_evaluated),
         memo_hits: child.memo_hits.min(parent.memo_hits),
+        cse_materialized: child.cse_materialized.min(parent.cse_materialized),
+        cse_reused: child.cse_reused.min(parent.cse_reused),
         morsels: child.morsels.min(parent.morsels),
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 

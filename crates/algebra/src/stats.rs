@@ -32,6 +32,16 @@ pub struct ExecStats {
     /// Materializations answered from the shared-subplan cache
     /// (see `Evaluator::with_sharing`).
     pub memo_hits: usize,
+    /// Shared subplans materialized once by the common-subexpression
+    /// elimination pass (first occurrence; see `Evaluator::with_cse`).
+    /// Plan-dependent, not configuration-dependent: identical across
+    /// thread counts because the CSE cache is consulted only on the
+    /// coordinating thread.
+    pub cse_materialized: usize,
+    /// Subplan evaluations answered from the CSE cache (second and later
+    /// occurrences of a shared subplan). Plan-dependent, like
+    /// `cse_materialized`.
+    pub cse_reused: usize,
     /// Morsels dispatched to parallel kernels (zero on the sequential
     /// path). Unlike every other counter this one depends on the
     /// execution *configuration* (morsel size), not on the plan, so
@@ -73,6 +83,8 @@ impl ExecStats {
             },
             operators_evaluated: self.operators_evaluated - earlier.operators_evaluated,
             memo_hits: self.memo_hits - earlier.memo_hits,
+            cse_materialized: self.cse_materialized - earlier.cse_materialized,
+            cse_reused: self.cse_reused - earlier.cse_reused,
             morsels: self.morsels - earlier.morsels,
         }
     }
@@ -88,6 +100,8 @@ impl ExecStats {
         self.max_intermediate = self.max_intermediate.max(other.max_intermediate);
         self.operators_evaluated += other.operators_evaluated;
         self.memo_hits += other.memo_hits;
+        self.cse_materialized += other.cse_materialized;
+        self.cse_reused += other.cse_reused;
         self.morsels += other.morsels;
     }
 
@@ -144,7 +158,7 @@ impl fmt::Display for ExecStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "scans={} base_reads={} probes={} comparisons={} emitted={} intermediates={} max_intermediate={} operators={} memo_hits={} morsels={}",
+            "scans={} base_reads={} probes={} comparisons={} emitted={} intermediates={} max_intermediate={} operators={} memo_hits={} cse_materialized={} cse_reused={} morsels={}",
             self.base_scans,
             self.base_tuples_read,
             self.probes,
@@ -154,12 +168,15 @@ impl fmt::Display for ExecStats {
             self.max_intermediate,
             self.operators_evaluated,
             self.memo_hits,
+            self.cse_materialized,
+            self.cse_reused,
             self.morsels
         )
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
 
@@ -200,6 +217,8 @@ mod tests {
             "comparisons",
             "max_intermediate",
             "operators",
+            "cse_materialized",
+            "cse_reused",
         ] {
             assert!(s.contains(key));
         }
@@ -217,6 +236,8 @@ mod tests {
             max_intermediate: 4,
             operators_evaluated: 2,
             memo_hits: 0,
+            cse_materialized: 0,
+            cse_reused: 0,
             morsels: 0,
         };
         let mut later = earlier.clone();

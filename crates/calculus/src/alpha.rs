@@ -1,0 +1,123 @@
+//! Structural hashing of formulas modulo bound-variable renaming.
+//!
+//! The plan cache (gq-core) keys entries on the *meaning* of a query, not
+//! its spelling: `∃x p(x)` and `∃y p(y)` must share a cache entry, as must
+//! `∃x,y q(x,y)` and `∃y,x q(x,y)` (the paper's quantifier blocks are
+//! order-insensitive sets). Both reduce here to a single *alpha-canonical
+//! string* — the pretty-printed [`Formula::canonical_rename`] form, whose
+//! bound variables are numbered `#0, #1, …` in traversal order — plus a
+//! 64-bit FNV-1a hash of that string for cheap bucketing.
+//!
+//! The canonical *string* (not just the hash) is what cache lookups compare,
+//! so hash collisions can never alias two inequivalent queries to the same
+//! plan.
+
+use crate::Formula;
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The alpha-canonical rendering of a formula: bound variables renamed to
+/// `#0, #1, …` in traversal order (block order normalized by first
+/// occurrence in the body), free variables and constants kept verbatim.
+///
+/// Two formulas have equal canonical strings iff they are
+/// [alpha-equivalent](Formula::alpha_eq).
+pub fn alpha_canonical(f: &Formula) -> String {
+    f.canonical_rename().to_string()
+}
+
+/// A 64-bit structural hash of `f` modulo bound-variable renaming:
+/// FNV-1a over [`alpha_canonical`]. Alpha-equivalent formulas hash
+/// identically; inequivalent formulas collide only with FNV's usual
+/// (negligible, but nonzero) probability — callers needing exactness
+/// compare the canonical strings.
+pub fn alpha_hash(f: &Formula) -> u64 {
+    fnv1a(alpha_canonical(f).as_bytes())
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn p(s: &str) -> Formula {
+        parse(s).unwrap()
+    }
+
+    #[test]
+    fn renamed_bound_vars_share_a_key() {
+        let f = p("exists x. p(x)");
+        let g = p("exists y. p(y)");
+        assert_eq!(alpha_canonical(&f), alpha_canonical(&g));
+        assert_eq!(alpha_hash(&f), alpha_hash(&g));
+    }
+
+    #[test]
+    fn block_order_is_irrelevant() {
+        let f = p("exists x, y. q(x,y)");
+        let g = p("exists y, x. q(x,y)");
+        assert_eq!(alpha_canonical(&f), alpha_canonical(&g));
+    }
+
+    #[test]
+    fn free_variables_are_kept_verbatim() {
+        let f = p("p(x)");
+        let g = p("p(y)");
+        assert_ne!(alpha_canonical(&f), alpha_canonical(&g));
+    }
+
+    #[test]
+    fn quantifier_kind_distinguishes() {
+        let f = p("exists x. p(x)");
+        let g = p("forall x. p(x)");
+        assert_ne!(alpha_canonical(&f), alpha_canonical(&g));
+        assert_ne!(alpha_hash(&f), alpha_hash(&g));
+    }
+
+    #[test]
+    fn nested_rebinding_canonicalizes() {
+        // x is rebound in the inner block; renaming either binder is still
+        // the same query.
+        let f = p("exists x. (p(x) and exists x. q(x,x))");
+        let g = p("exists u. (p(u) and exists v. q(v,v))");
+        assert_eq!(alpha_canonical(&f), alpha_canonical(&g));
+    }
+
+    #[test]
+    fn constants_distinguish() {
+        let f = p("exists x. enrolled(x,\"cs\")");
+        let g = p("exists x. enrolled(x,\"math\")");
+        assert_ne!(alpha_canonical(&f), alpha_canonical(&g));
+    }
+
+    #[test]
+    fn hash_matches_canonical_equality_on_samples() {
+        let samples = [
+            "p(x)",
+            "exists x. p(x)",
+            "forall x. (p(x) -> q(x))",
+            "exists x, y. (q(x,y) and not r(y))",
+        ];
+        for a in &samples {
+            for b in &samples {
+                let (fa, fb) = (p(a), p(b));
+                if alpha_canonical(&fa) == alpha_canonical(&fb) {
+                    assert_eq!(alpha_hash(&fa), alpha_hash(&fb));
+                }
+            }
+        }
+    }
+}

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
+mod alpha;
 mod atom;
 mod formula;
 mod governing;
@@ -32,6 +33,7 @@ mod roundtrip_tests;
 mod term;
 mod vars;
 
+pub use alpha::{alpha_canonical, alpha_hash};
 pub use atom::{Atom, CompareOp, Comparison};
 pub use formula::Formula;
 pub use governing::Governing;

@@ -1,8 +1,10 @@
-//! The query engine: parse → normalize → translate → evaluate.
+//! The query engine: parse → normalize → translate → evaluate, with a
+//! prepared-query plan cache skipping the first three phases on repeats.
 
+use crate::plan_cache::{CompiledKind, CompiledPlan, PlanCache, PlanCacheStats, PlanKey};
 use crate::EngineError;
 use gq_algebra::{Evaluator, ExecConfig, ExecStats, PlanProfiler};
-use gq_calculus::{parse, Formula, Var};
+use gq_calculus::{alpha_canonical, parse, Formula, Var};
 use gq_governor::{CancelToken, Governor, QueryLimits, Resource};
 use gq_obs::{QueryTrace, Registry, SpanGuard, TraceBuilder};
 use gq_pipeline::{LoopProfiler, PipelineEvaluator};
@@ -10,10 +12,11 @@ use gq_rewrite::{canonicalize_governed, canonicalize_traced_governed};
 use gq_storage::{Database, Relation, Tuple};
 use gq_translate::{ClassicalTranslator, ImprovedTranslator, PlanShape};
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The evaluation strategy for a query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Strategy {
     /// The paper's method: canonical form + improved algebraic translation
     /// (complement-joins, constrained outer-joins, emptiness tests).
@@ -81,7 +84,7 @@ impl QueryResult {
 /// Evaluation options orthogonal to the [`Strategy`]: post-translation
 /// plan optimization and shared-subplan caching. Both apply to the
 /// algebraic strategies only (the nested-loop interpreter has no plans).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct EngineOptions {
     /// Apply the rule-based plan optimizer (selection/projection pushdown,
     /// product-to-join conversion) after translation.
@@ -96,6 +99,14 @@ pub struct EngineOptions {
     /// Probe persistent per-relation hash indexes (built lazily, cached
     /// across queries, invalidated by [`QueryEngine::db_mut`]).
     pub use_base_indexes: bool,
+    /// Common-subexpression elimination: fingerprint the compiled plan's
+    /// repeated interior subplans at compile time and evaluate each once
+    /// into an `Arc`-shared operand. Unlike `share_subplans` (which only
+    /// catches build sides that happen to materialize), this shares *any*
+    /// repeated subplan, streaming entry points included, and its
+    /// `cse_materialized`/`cse_reused` counters are bit-identical across
+    /// thread counts.
+    pub cse: bool,
 }
 
 /// The query engine over an in-memory database.
@@ -111,6 +122,42 @@ pub struct QueryEngine {
     /// The shared cancel token handed to every query's governor. Stays
     /// set after a cancellation until [`CancelToken::reset`] is called.
     cancel: CancelToken,
+    /// Compiled plans of prepared queries, keyed by α-canonical formula,
+    /// strategy, options, catalog epoch and view generation. Consulted
+    /// only by the prepared-query entry points ([`QueryEngine::prepare`] /
+    /// [`QueryEngine::execute`]); ad-hoc queries always compile fresh.
+    plan_cache: PlanCache,
+}
+
+/// A parsed query bound to a strategy and options, executable repeatedly
+/// via [`QueryEngine::execute`] through the engine's plan cache.
+///
+/// Holds no borrow of the engine, so the database can be mutated between
+/// executions — the catalog epoch in the cache key makes the next
+/// execution recompile against the new catalog automatically.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    text: String,
+    formula: Formula,
+    strategy: Strategy,
+    options: EngineOptions,
+}
+
+impl PreparedQuery {
+    /// The original query text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The strategy this query was prepared for.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The options this query was prepared with.
+    pub fn options(&self) -> EngineOptions {
+        self.options
+    }
 }
 
 impl QueryEngine {
@@ -126,7 +173,14 @@ impl QueryEngine {
             exec: ExecConfig::default(),
             limits: QueryLimits::UNLIMITED,
             cancel: CancelToken::new(),
+            plan_cache: PlanCache::default(),
         }
+    }
+
+    /// Builder-style plan-cache capacity override (entries, min 1).
+    pub fn with_plan_cache_capacity(mut self, capacity: usize) -> Self {
+        self.plan_cache = PlanCache::with_capacity(capacity);
+        self
     }
 
     /// Builder-style [`QueryLimits`] override: every subsequent query
@@ -321,6 +375,18 @@ impl QueryEngine {
     ) -> Result<QueryResult, EngineError> {
         let timer = self.metrics.is_enabled().then(Instant::now);
         let result = self.run_phases(formula, strategy, options, tb);
+        self.record_query_metrics(strategy, timer, &result);
+        result
+    }
+
+    /// Engine-lifetime counters/latency for one query outcome (no-op
+    /// unless metrics were enabled before the query started).
+    fn record_query_metrics(
+        &self,
+        strategy: Strategy,
+        timer: Option<Instant>,
+        result: &Result<QueryResult, EngineError>,
+    ) {
         if let Some(start) = timer {
             self.metrics
                 .incr(&format!("query.count.{}", strategy.name()), 1);
@@ -342,7 +408,6 @@ impl QueryEngine {
                 }
             }
         }
-        result
     }
 
     fn run_phases(
@@ -352,11 +417,27 @@ impl QueryEngine {
         options: EngineOptions,
         tb: Option<&TraceBuilder>,
     ) -> Result<QueryResult, EngineError> {
-        let expand_span = span(tb, "view-expand");
+        let formula = self.preprocess(formula, options, tb)?;
+        // Snapshot the limits into a per-query governor: the deadline
+        // starts now, and every downstream phase polls the same handle.
+        let governor = Governor::start(self.limits, self.cancel.clone());
+        // Depth guard on the fully view-expanded formula — expansion can
+        // deepen a query well past what the user typed.
+        governor.check_depth("parse", Resource::FormulaDepth, formula.depth() as u64)?;
+        let compiled = self.compile(&formula, strategy, options, &governor, tb)?;
+        self.execute_compiled(&compiled, options, &governor, tb)
+    }
+
+    /// Phase 0: view expansion and (optional) Domain Closure completion.
+    fn preprocess(
+        &self,
+        formula: &Formula,
+        options: EngineOptions,
+        tb: Option<&TraceBuilder>,
+    ) -> Result<Formula, EngineError> {
+        let _span = span(tb, "view-expand");
         let expanded = self.views.expand(formula)?;
-        let formula = &expanded;
-        let completed;
-        let formula = if options.domain_closure {
+        if options.domain_closure {
             if !self.db.has_relation("dom") {
                 return Err(EngineError::Storage(
                     gq_storage::StorageError::UnknownRelation(
@@ -364,34 +445,23 @@ impl QueryEngine {
                     ),
                 ));
             }
-            completed = gq_rewrite::restrict_with_domain(formula, "dom");
-            &completed
+            Ok(gq_rewrite::restrict_with_domain(&expanded, "dom"))
         } else {
-            formula
-        };
-        drop(expand_span);
-        // Snapshot the limits into a per-query governor: the deadline
-        // starts now, and every downstream phase polls the same handle.
-        let governor = Governor::start(self.limits, self.cancel.clone());
-        // Depth guard on the fully view-expanded formula — expansion can
-        // deepen a query well past what the user typed.
-        governor.check_depth("parse", Resource::FormulaDepth, formula.depth() as u64)?;
+            Ok(expanded)
+        }
+    }
+
+    /// Phases 1–3 — normalize, translate, optimize — producing the
+    /// cacheable compiled form. `formula` must already be preprocessed.
+    fn compile(
+        &self,
+        formula: &Formula,
+        strategy: Strategy,
+        options: EngineOptions,
+        governor: &Governor,
+        tb: Option<&TraceBuilder>,
+    ) -> Result<CompiledPlan, EngineError> {
         let closed = formula.is_closed();
-        let make_eval = || {
-            let ev = if options.share_subplans {
-                Evaluator::with_sharing(&self.db)
-            } else {
-                Evaluator::new(&self.db)
-            };
-            let ev = ev
-                .with_exec_config(self.exec)
-                .with_governor(governor.clone());
-            if options.use_base_indexes {
-                ev.with_index_cache(&self.index_cache)
-            } else {
-                ev
-            }
-        };
         let tune = |plan: gq_algebra::AlgebraExpr| {
             if options.optimize {
                 gq_algebra::optimize(&plan)
@@ -406,9 +476,9 @@ impl QueryEngine {
                 plan
             }
         };
-        match strategy {
+        let kind = match strategy {
             Strategy::Improved => {
-                let canonical = self.normalize(formula, &governor, tb)?;
+                let canonical = self.normalize(formula, governor, tb)?;
                 let tr = ImprovedTranslator::new(&self.db)
                     .with_cost_ordering(options.optimize)
                     .with_governor(governor.clone());
@@ -421,27 +491,7 @@ impl QueryEngine {
                         let _span = span(tb, "optimize");
                         tune_bool(plan)
                     };
-                    check_bool_plan_depth(&governor, &plan)?;
-                    if let Some(t) = tb {
-                        PlanShape::of_roots(plan.algebra_exprs()).record_into(t);
-                    }
-                    let profiler = tb.map(|_| Rc::new(PlanProfiler::new_bool(&plan)));
-                    let mut ev = make_eval();
-                    if let Some(p) = &profiler {
-                        ev = ev.with_profiler(Rc::clone(p));
-                    }
-                    let truth = {
-                        let _span = span(tb, "evaluate");
-                        plan.eval(&ev)?
-                    };
-                    if let (Some(t), Some(p)) = (tb, profiler) {
-                        t.set_plan(p.trace_bool(&plan));
-                    }
-                    Ok(QueryResult {
-                        vars: vec![],
-                        answers: nullary(truth),
-                        stats: ev.stats(),
-                    })
+                    CompiledKind::Boolean { plan }
                 } else {
                     let (vars, plan) = {
                         let _span = span(tb, "translate");
@@ -451,30 +501,12 @@ impl QueryEngine {
                         let _span = span(tb, "optimize");
                         tune(plan)
                     };
-                    governor.check_depth("translate", Resource::PlanDepth, plan.depth() as u64)?;
-                    if let Some(t) = tb {
-                        PlanShape::of(&plan).record_into(t);
-                    }
-                    let profiler = tb.map(|_| Rc::new(PlanProfiler::new(&plan)));
-                    let mut ev = make_eval();
-                    if let Some(p) = &profiler {
-                        ev = ev.with_profiler(Rc::clone(p));
-                    }
-                    let answers = {
-                        let _span = span(tb, "evaluate");
-                        ev.eval(&plan)?
-                    };
-                    if let (Some(t), Some(p)) = (tb, profiler) {
-                        t.set_plan(p.trace(&plan));
-                    }
-                    Ok(QueryResult {
-                        vars,
-                        answers,
-                        stats: ev.stats(),
-                    })
+                    CompiledKind::Algebra { vars, plan }
                 }
             }
             Strategy::Classical => {
+                // The classical translator runs on the *raw* query, as the
+                // classical methods do.
                 let tr = ClassicalTranslator::new(&self.db).with_governor(governor.clone());
                 if closed {
                     let plan = {
@@ -485,27 +517,7 @@ impl QueryEngine {
                         let _span = span(tb, "optimize");
                         tune_bool(plan)
                     };
-                    check_bool_plan_depth(&governor, &plan)?;
-                    if let Some(t) = tb {
-                        PlanShape::of_roots(plan.algebra_exprs()).record_into(t);
-                    }
-                    let profiler = tb.map(|_| Rc::new(PlanProfiler::new_bool(&plan)));
-                    let mut ev = make_eval();
-                    if let Some(p) = &profiler {
-                        ev = ev.with_profiler(Rc::clone(p));
-                    }
-                    let truth = {
-                        let _span = span(tb, "evaluate");
-                        plan.eval(&ev)?
-                    };
-                    if let (Some(t), Some(p)) = (tb, profiler) {
-                        t.set_plan(p.trace_bool(&plan));
-                    }
-                    Ok(QueryResult {
-                        vars: vec![],
-                        answers: nullary(truth),
-                        stats: ev.stats(),
-                    })
+                    CompiledKind::Boolean { plan }
                 } else {
                     let (vars, plan) = {
                         let _span = span(tb, "translate");
@@ -515,40 +527,119 @@ impl QueryEngine {
                         let _span = span(tb, "optimize");
                         tune(plan)
                     };
-                    governor.check_depth("translate", Resource::PlanDepth, plan.depth() as u64)?;
-                    if let Some(t) = tb {
-                        PlanShape::of(&plan).record_into(t);
-                    }
-                    let profiler = tb.map(|_| Rc::new(PlanProfiler::new(&plan)));
-                    let mut ev = make_eval();
-                    if let Some(p) = &profiler {
-                        ev = ev.with_profiler(Rc::clone(p));
-                    }
-                    let answers = {
-                        let _span = span(tb, "evaluate");
-                        ev.eval(&plan)?
-                    };
-                    if let (Some(t), Some(p)) = (tb, profiler) {
-                        t.set_plan(p.trace(&plan));
-                    }
-                    Ok(QueryResult {
-                        vars,
-                        answers,
-                        stats: ev.stats(),
-                    })
+                    CompiledKind::Algebra { vars, plan }
                 }
             }
             Strategy::NestedLoop => {
-                let canonical = self.normalize(formula, &governor, tb)?;
+                // No plan: the canonical formula (the rewrite's output,
+                // the expensive part) is the reusable compilation.
+                let canonical = self.normalize(formula, governor, tb)?;
+                CompiledKind::Loop { canonical }
+            }
+        };
+        // The CSE analysis is part of compilation: the shared-subplan set
+        // is a pure function of the plan, so cache hits reuse it too.
+        let cse_shared = if options.cse {
+            match &kind {
+                CompiledKind::Algebra { plan, .. } => gq_algebra::shared_subplans(&[plan]),
+                CompiledKind::Boolean { plan } => {
+                    gq_algebra::shared_subplans(&plan.algebra_exprs())
+                }
+                CompiledKind::Loop { .. } => Default::default(),
+            }
+        } else {
+            Default::default()
+        };
+        Ok(CompiledPlan { kind, cse_shared })
+    }
+
+    /// Phase 4: evaluate a compiled plan. Shared by the ad-hoc path (fresh
+    /// compile every time) and the prepared path (plan possibly from the
+    /// cache) — so cached and fresh executions are bit-identical.
+    fn execute_compiled(
+        &self,
+        compiled: &CompiledPlan,
+        options: EngineOptions,
+        governor: &Governor,
+        tb: Option<&TraceBuilder>,
+    ) -> Result<QueryResult, EngineError> {
+        let make_eval = || {
+            let ev = if options.share_subplans {
+                Evaluator::with_sharing(&self.db)
+            } else {
+                Evaluator::new(&self.db)
+            };
+            let ev = ev
+                .with_exec_config(self.exec)
+                .with_governor(governor.clone());
+            let ev = if options.use_base_indexes {
+                ev.with_index_cache(&self.index_cache)
+            } else {
+                ev
+            };
+            if options.cse {
+                ev.with_cse(compiled.cse_shared.clone())
+            } else {
+                ev
+            }
+        };
+        match &compiled.kind {
+            CompiledKind::Boolean { plan } => {
+                check_bool_plan_depth(governor, plan)?;
+                if let Some(t) = tb {
+                    PlanShape::of_roots(plan.algebra_exprs()).record_into(t);
+                }
+                let profiler = tb.map(|_| Rc::new(PlanProfiler::new_bool(plan)));
+                let mut ev = make_eval();
+                if let Some(p) = &profiler {
+                    ev = ev.with_profiler(Rc::clone(p));
+                }
+                let truth = {
+                    let _span = span(tb, "evaluate");
+                    plan.eval(&ev)?
+                };
+                if let (Some(t), Some(p)) = (tb, profiler) {
+                    t.set_plan(p.trace_bool(plan));
+                }
+                Ok(QueryResult {
+                    vars: vec![],
+                    answers: nullary(truth),
+                    stats: ev.stats(),
+                })
+            }
+            CompiledKind::Algebra { vars, plan } => {
+                governor.check_depth("translate", Resource::PlanDepth, plan.depth() as u64)?;
+                if let Some(t) = tb {
+                    PlanShape::of(plan).record_into(t);
+                }
+                let profiler = tb.map(|_| Rc::new(PlanProfiler::new(plan)));
+                let mut ev = make_eval();
+                if let Some(p) = &profiler {
+                    ev = ev.with_profiler(Rc::clone(p));
+                }
+                let answers = {
+                    let _span = span(tb, "evaluate");
+                    ev.eval(plan)?
+                };
+                if let (Some(t), Some(p)) = (tb, profiler) {
+                    t.set_plan(p.trace(plan));
+                }
+                Ok(QueryResult {
+                    vars: vars.clone(),
+                    answers,
+                    stats: ev.stats(),
+                })
+            }
+            CompiledKind::Loop { canonical } => {
                 let profiler = tb.map(|_| Rc::new(LoopProfiler::new()));
                 let mut ev = PipelineEvaluator::new(&self.db).with_governor(governor.clone());
                 if let Some(p) = &profiler {
                     ev = ev.with_profiler(Rc::clone(p));
                 }
-                let result = if closed {
+                let result = if canonical.is_closed() {
                     let truth = {
                         let _span = span(tb, "evaluate");
-                        ev.eval_closed(&canonical)?
+                        ev.eval_closed(canonical)?
                     };
                     QueryResult {
                         vars: vec![],
@@ -558,7 +649,7 @@ impl QueryEngine {
                 } else {
                     let (vars, answers) = {
                         let _span = span(tb, "evaluate");
-                        ev.eval_open(&canonical)?
+                        ev.eval_open(canonical)?
                     };
                     QueryResult {
                         vars,
@@ -572,6 +663,124 @@ impl QueryEngine {
                 Ok(result)
             }
         }
+    }
+
+    /// Prepare a query with the default (improved) strategy and options.
+    pub fn prepare(&self, text: &str) -> Result<PreparedQuery, EngineError> {
+        self.prepare_with(text, Strategy::Improved, EngineOptions::default())
+    }
+
+    /// Parse a query and warm the plan cache for it: the query compiles
+    /// now (normalize + translate + optimize), so every subsequent
+    /// [`QueryEngine::execute`] — until a catalog mutation — skips
+    /// straight to evaluation.
+    pub fn prepare_with(
+        &self,
+        text: &str,
+        strategy: Strategy,
+        options: EngineOptions,
+    ) -> Result<PreparedQuery, EngineError> {
+        let formula = parse(text)?;
+        let prepared = PreparedQuery {
+            text: text.to_string(),
+            formula,
+            strategy,
+            options,
+        };
+        let expanded = self.preprocess(&prepared.formula, options, None)?;
+        let governor = Governor::start(self.limits, self.cancel.clone());
+        governor.check_depth("parse", Resource::FormulaDepth, expanded.depth() as u64)?;
+        self.lookup_or_compile(&expanded, strategy, options, &governor, None)?;
+        Ok(prepared)
+    }
+
+    /// Execute a prepared query through the plan cache. A hit skips the
+    /// normalize/translate/optimize phases entirely; a miss (first
+    /// execution, or the catalog changed since) compiles and caches.
+    /// Results are bit-identical to [`QueryEngine::query_with_options`].
+    pub fn execute(&self, prepared: &PreparedQuery) -> Result<QueryResult, EngineError> {
+        let timer = self.metrics.is_enabled().then(Instant::now);
+        let result = self.execute_prepared(prepared, None);
+        self.record_query_metrics(prepared.strategy, timer, &result);
+        result
+    }
+
+    /// [`QueryEngine::execute`] with a full [`QueryTrace`]: on a cache hit
+    /// the trace shows *no* normalize/translate/optimize spans — the
+    /// observable proof that the cache skipped those phases.
+    pub fn analyze_prepared(
+        &self,
+        prepared: &PreparedQuery,
+    ) -> Result<(QueryResult, QueryTrace), EngineError> {
+        let tb = TraceBuilder::new();
+        let result = self.execute_prepared(prepared, Some(&tb))?;
+        Ok((result, tb.finish(&prepared.text, prepared.strategy.name())))
+    }
+
+    fn execute_prepared(
+        &self,
+        prepared: &PreparedQuery,
+        tb: Option<&TraceBuilder>,
+    ) -> Result<QueryResult, EngineError> {
+        let expanded = self.preprocess(&prepared.formula, prepared.options, tb)?;
+        let governor = Governor::start(self.limits, self.cancel.clone());
+        governor.check_depth("parse", Resource::FormulaDepth, expanded.depth() as u64)?;
+        let compiled = self.lookup_or_compile(
+            &expanded,
+            prepared.strategy,
+            prepared.options,
+            &governor,
+            tb,
+        )?;
+        self.execute_compiled(&compiled, prepared.options, &governor, tb)
+    }
+
+    /// The plan-cache gate: answer from the cache when every compilation
+    /// input matches (α-canonical formula, strategy, options, catalog
+    /// epoch, view generation), compile-and-insert otherwise. The insert
+    /// happens after a *successful* compile and before evaluation, so an
+    /// evaluation error never poisons the cached plan — and a failed
+    /// compile caches nothing.
+    fn lookup_or_compile(
+        &self,
+        expanded: &Formula,
+        strategy: Strategy,
+        options: EngineOptions,
+        governor: &Governor,
+        tb: Option<&TraceBuilder>,
+    ) -> Result<Arc<CompiledPlan>, EngineError> {
+        let key = PlanKey {
+            canonical: alpha_canonical(expanded),
+            strategy,
+            options,
+            epoch: self.db.epoch(),
+            views_generation: self.views.generation(),
+        };
+        if let Some(hit) = self.plan_cache.get(&key) {
+            self.metrics.incr("plan_cache.hit", 1);
+            return Ok(hit);
+        }
+        self.metrics.incr("plan_cache.miss", 1);
+        let compiled = Arc::new(self.compile(expanded, strategy, options, governor, tb)?);
+        // Account the cached plan's footprint against this query's
+        // budgets — a memory-limited workload cannot hide allocations in
+        // the plan cache.
+        governor.charge_intermediate("plan-cache", 0, compiled.approx_bytes())?;
+        let evicted = self.plan_cache.insert(key, Arc::clone(&compiled));
+        if evicted > 0 {
+            self.metrics.incr("plan_cache.evict", evicted);
+        }
+        Ok(compiled)
+    }
+
+    /// Plan-cache statistics (entries, bytes, hit/miss/eviction counts).
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// Drop every cached plan (REPL `.cache clear`).
+    pub fn clear_plan_cache(&self) {
+        self.plan_cache.clear()
     }
 
     /// Canonicalize under a `normalize` span; when tracing, record the
@@ -890,5 +1099,205 @@ mod option_tests {
         // The division plan materializes π(q) twice (divisor + vacuous
         // guard); with sharing the second is a cache hit.
         assert!(r.stats.memo_hits >= 1, "stats: {}", r.stats);
+    }
+
+    #[test]
+    fn cse_option_preserves_answers() {
+        let e = engine();
+        let options = EngineOptions {
+            cse: true,
+            ..EngineOptions::default()
+        };
+        for text in QUERIES {
+            let baseline = e.query(text).unwrap();
+            for strategy in [Strategy::Improved, Strategy::Classical] {
+                let r = e.query_with_options(text, strategy, options).unwrap();
+                assert!(
+                    baseline.answers.set_eq(&r.answers),
+                    "`{text}` with CSE under {}",
+                    strategy.name()
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod prepared_tests {
+    use super::*;
+    use gq_storage::{tuple, Schema};
+
+    fn engine() -> QueryEngine {
+        let mut db = Database::new();
+        db.create_relation("p", Schema::new(vec!["a"]).unwrap())
+            .unwrap();
+        db.create_relation("q", Schema::new(vec!["a"]).unwrap())
+            .unwrap();
+        db.create_relation("r", Schema::new(vec!["a", "b"]).unwrap())
+            .unwrap();
+        for v in 0..8 {
+            db.insert("p", tuple![v]).unwrap();
+            if v % 2 == 0 {
+                db.insert("q", tuple![v]).unwrap();
+            }
+            db.insert("r", tuple![v, (v * 3) % 8]).unwrap();
+        }
+        QueryEngine::new(db)
+    }
+
+    #[test]
+    fn prepared_matches_adhoc_and_hits_cache() {
+        let e = engine();
+        let text = "p(x) & (forall y. q(y) -> r(x,y))";
+        let adhoc = e.query(text).unwrap();
+        let prepared = e.prepare(text).unwrap();
+        // prepare() compiled once: one miss, no hits yet.
+        let s = e.plan_cache_stats();
+        assert_eq!((s.misses, s.hits, s.entries), (1, 0, 1));
+        for _ in 0..3 {
+            let r = e.execute(&prepared).unwrap();
+            assert!(adhoc.answers.set_eq(&r.answers));
+            assert_eq!(adhoc.vars, r.vars);
+        }
+        let s = e.plan_cache_stats();
+        assert_eq!((s.misses, s.hits), (1, 3), "every execute was a hit");
+    }
+
+    #[test]
+    fn cache_hit_skips_compilation_phases() {
+        let e = engine();
+        let prepared = e.prepare("p(x) & !q(x)").unwrap();
+        let (_, trace) = e.analyze_prepared(&prepared).unwrap();
+        let names: Vec<&str> = trace.spans.iter().map(|s| s.name.as_str()).collect();
+        // The hit goes straight to evaluation: no normalize / translate /
+        // optimize spans appear in the trace.
+        assert!(names.contains(&"evaluate"), "spans: {names:?}");
+        for phase in ["normalize", "translate", "optimize"] {
+            assert!(!names.contains(&phase), "{phase} ran on a hit: {names:?}");
+        }
+    }
+
+    #[test]
+    fn adhoc_queries_bypass_the_cache() {
+        let e = engine();
+        e.query("p(x) & !q(x)").unwrap();
+        e.query("p(x) & !q(x)").unwrap();
+        let s = e.plan_cache_stats();
+        assert_eq!((s.entries, s.hits, s.misses), (0, 0, 0));
+    }
+
+    #[test]
+    fn catalog_mutation_invalidates_cached_plans() {
+        let mut e = engine();
+        let prepared = e.prepare("p(x) & q(x)").unwrap();
+        let before = e.execute(&prepared).unwrap();
+        e.db_mut().insert("q", tuple![1]).unwrap(); // 1 was odd → not in q
+        let after = e.execute(&prepared).unwrap();
+        assert_eq!(after.len(), before.len() + 1, "stale plan served");
+        let s = e.plan_cache_stats();
+        // prepare + post-mutation execute each missed; the in-between
+        // execute hit.
+        assert_eq!((s.misses, s.hits), (2, 1), "stats: {s:?}");
+    }
+
+    #[test]
+    fn view_redefinition_invalidates_cached_plans() {
+        let mut e = engine();
+        e.define_view("evens", "q(v)").unwrap();
+        let prepared = e.prepare("p(x) & evens(x)").unwrap();
+        assert_eq!(e.execute(&prepared).unwrap().len(), 4);
+        // A *new* view definition bumps the registry generation; cached
+        // plans for unrelated queries must not survive either.
+        e.define_view("odds", "p(v) & !q(v)").unwrap();
+        assert_eq!(e.execute(&prepared).unwrap().len(), 4);
+        let s = e.plan_cache_stats();
+        assert_eq!((s.misses, s.hits), (2, 1), "stats: {s:?}");
+    }
+
+    #[test]
+    fn alpha_equivalent_queries_share_one_entry() {
+        let e = engine();
+        let a = e.prepare("p(x) & (exists y. r(x,y) & q(y))").unwrap();
+        let b = e.prepare("p(x) & (exists z. r(x,z) & q(z))").unwrap();
+        let s = e.plan_cache_stats();
+        assert_eq!((s.entries, s.misses, s.hits), (1, 1, 1), "stats: {s:?}");
+        assert!(e
+            .execute(&a)
+            .unwrap()
+            .answers
+            .set_eq(&e.execute(&b).unwrap().answers));
+    }
+
+    #[test]
+    fn strategies_and_options_partition_the_cache() {
+        let e = engine();
+        let text = "p(x) & !q(x)";
+        e.prepare_with(text, Strategy::Improved, EngineOptions::default())
+            .unwrap();
+        e.prepare_with(text, Strategy::Classical, EngineOptions::default())
+            .unwrap();
+        e.prepare_with(
+            text,
+            Strategy::Improved,
+            EngineOptions {
+                optimize: true,
+                ..EngineOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(e.plan_cache_stats().entries, 3);
+    }
+
+    #[test]
+    fn prepared_all_strategies_match_adhoc() {
+        let e = engine();
+        let text = "exists x. p(x) & !(exists y. r(x,y) & !q(y))";
+        for s in Strategy::ALL {
+            let adhoc = e.query_with(text, s).unwrap();
+            let prepared = e.prepare_with(text, s, EngineOptions::default()).unwrap();
+            // twice: once compiling (prepare warmed it), once from cache
+            for _ in 0..2 {
+                let r = e.execute(&prepared).unwrap();
+                assert_eq!(r.is_true(), adhoc.is_true(), "strategy {}", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_bound_is_respected() {
+        let e = engine().with_plan_cache_capacity(2);
+        for text in ["p(x)", "q(x)", "p(x) & q(x)"] {
+            e.prepare(text).unwrap();
+        }
+        let s = e.plan_cache_stats();
+        assert_eq!((s.entries, s.capacity, s.evictions), (2, 2, 1));
+    }
+
+    #[test]
+    fn prepared_with_cse_matches_and_still_hits() {
+        let e = engine();
+        let options = EngineOptions {
+            cse: true,
+            optimize: true,
+            ..EngineOptions::default()
+        };
+        let text = "p(x) & (forall y. q(y) -> r(x,y))";
+        let adhoc = e.query(text).unwrap();
+        let prepared = e.prepare_with(text, Strategy::Improved, options).unwrap();
+        let r1 = e.execute(&prepared).unwrap();
+        let r2 = e.execute(&prepared).unwrap();
+        assert!(adhoc.answers.set_eq(&r1.answers));
+        assert_eq!(r1.answers.sorted_tuples(), r2.answers.sorted_tuples());
+        assert_eq!(e.plan_cache_stats().hits, 2);
+    }
+
+    #[test]
+    fn failed_prepare_caches_nothing() {
+        let e = engine();
+        assert!(e.prepare("!p(x)").is_err()); // unrestricted
+        assert!(e.prepare("p(x").is_err()); // parse error
+        let s = e.plan_cache_stats();
+        assert_eq!(s.entries, 0, "failed compiles must not be cached");
     }
 }

@@ -50,11 +50,13 @@ mod constraints;
 mod engine;
 mod error;
 mod explain;
+mod plan_cache;
 mod views;
 
 pub use constraints::{Constraint, ConstraintReport, ConstraintSet};
-pub use engine::{EngineOptions, QueryEngine, QueryResult, Strategy};
+pub use engine::{EngineOptions, PreparedQuery, QueryEngine, QueryResult, Strategy};
 pub use error::EngineError;
 pub use gq_algebra::ExecConfig;
 pub use gq_governor::{CancelToken, GovernorError, QueryLimits, Resource};
+pub use plan_cache::{PlanCacheStats, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use views::{View, ViewError, ViewRegistry};

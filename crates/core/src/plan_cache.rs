@@ -1,0 +1,380 @@
+//! The prepared-query plan cache.
+//!
+//! Compiling a query — canonicalization's 14-rule rewrite plus the
+//! improved algebraic translation — costs far more than re-running a small
+//! plan, and parameterless prepared queries repeat verbatim in REPL and
+//! bench workloads. This module caches the *compiled* form keyed by
+//! everything the compilation depends on:
+//!
+//! * the **α-canonical rendering** of the (view-expanded) formula
+//!   ([`gq_calculus::alpha_canonical`]) — two queries differing only in
+//!   bound-variable names or quantifier-block order share one entry, and
+//!   the full rendering (not just its 64-bit hash) participates in
+//!   equality, so hash collisions can never alias two distinct queries;
+//! * the [`Strategy`] and every [`EngineOptions`] bit — each combination
+//!   compiles to a different plan;
+//! * the database **catalog epoch** ([`gq_storage::Database::epoch`]) and
+//!   the view registry's generation — every mutation bumps the epoch, so
+//!   entries compiled against a stale catalog can never be returned
+//!   (lookup misses) and are purged on the next insert.
+//!
+//! The cache is a bounded LRU guarded by a `Mutex`; hits, misses and
+//! evictions are tracked internally (always, for the REPL's `.cache`
+//! report) and mirrored into the engine's metrics registry as
+//! `plan_cache.{hit,miss,evict}` when metrics are enabled. Inserted plans
+//! charge their approximate footprint against the inserting query's
+//! resource governor, so a memory-budgeted workload cannot hide
+//! allocations in the cache.
+
+use crate::engine::{EngineOptions, Strategy};
+use gq_algebra::{AlgebraExpr, BoolExpr};
+use gq_calculus::{Formula, Var};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Everything a compilation depends on. Derived `Hash`/`Eq` include the
+/// full canonical rendering, making the key collision-free.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// α-canonical rendering of the view-expanded formula.
+    pub canonical: String,
+    /// Evaluation strategy the plan was compiled for.
+    pub strategy: Strategy,
+    /// Option bits the plan was compiled under.
+    pub options: EngineOptions,
+    /// Catalog epoch at compile time.
+    pub epoch: u64,
+    /// View-registry generation at compile time.
+    pub views_generation: u64,
+}
+
+/// The compiled form of one query, ready to execute without re-running
+/// normalize/translate/optimize.
+#[derive(Debug, Clone)]
+pub enum CompiledKind {
+    /// An open algebraic query: answer variables plus plan.
+    Algebra {
+        /// Answer variables in column order.
+        vars: Vec<Var>,
+        /// The (optimized) algebra plan.
+        plan: AlgebraExpr,
+    },
+    /// A closed algebraic query: a boolean plan over non-emptiness tests.
+    Boolean {
+        /// The (optimized) boolean plan.
+        plan: BoolExpr,
+    },
+    /// The nested-loop interpreter has no plan; the canonical formula
+    /// (the rewrite's output, the expensive part) is what's reusable.
+    Loop {
+        /// The canonicalized formula the interpreter walks.
+        canonical: Formula,
+    },
+}
+
+/// A cached compilation: the executable form plus the precomputed
+/// shared-subplan set for the CSE pass (empty unless
+/// [`EngineOptions::cse`] was set at compile time).
+#[derive(Debug)]
+pub struct CompiledPlan {
+    /// What to execute.
+    pub kind: CompiledKind,
+    /// Fingerprints of subplans occurring ≥2 times (CSE pass input).
+    pub cse_shared: std::collections::HashSet<String>,
+}
+
+impl CompiledPlan {
+    /// Approximate heap footprint, in bytes: the canonical renderings of
+    /// the plan trees scaled by a node-overhead factor. Exact accounting
+    /// would require walking every enum payload; the rendering length is
+    /// proportional to node count, which is what the budget protects.
+    pub fn approx_bytes(&self) -> u64 {
+        let rendered = match &self.kind {
+            CompiledKind::Algebra { plan, .. } => plan.to_string().len(),
+            CompiledKind::Boolean { plan } => plan
+                .algebra_exprs()
+                .iter()
+                .map(|e| e.to_string().len())
+                .sum(),
+            CompiledKind::Loop { canonical } => canonical.to_string().len(),
+        };
+        let shared: usize = self.cse_shared.iter().map(String::len).sum();
+        ((rendered + shared) * 8) as u64
+    }
+}
+
+/// Point-in-time cache statistics (REPL `.cache`, bench reports).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Live entries.
+    pub entries: usize,
+    /// Maximum entries before LRU eviction.
+    pub capacity: usize,
+    /// Approximate bytes held by live entries.
+    pub approx_bytes: u64,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required a fresh compile.
+    pub misses: u64,
+    /// Entries removed (LRU pressure or stale epoch).
+    pub evictions: u64,
+}
+
+impl PlanCacheStats {
+    /// Hit rate over all lookups (0.0 when none were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry {
+    plan: Arc<CompiledPlan>,
+    last_used: u64,
+    bytes: u64,
+}
+
+struct Inner {
+    map: HashMap<PlanKey, Entry>,
+    seq: u64,
+    bytes: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Bounded LRU cache of compiled plans. Interior-mutable so lookups work
+/// through the engine's `&self` query entry points.
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+/// Default entry bound: generous for a REPL session, small enough that a
+/// plan sweep cannot hold the whole workload's plans forever.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 128;
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::with_capacity(DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+}
+
+impl PlanCache {
+    /// An empty cache bounded to `capacity` entries (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        PlanCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                seq: 0,
+                bytes: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned mutex means a panic mid-insert on another thread; the
+        // map itself is never left half-updated by any path below, so
+        // recovering the guard is safe.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Look up a compiled plan. Counts a hit or miss; a hit refreshes the
+    /// entry's LRU position.
+    pub fn get(&self, key: &PlanKey) -> Option<Arc<CompiledPlan>> {
+        let mut inner = self.lock();
+        inner.seq += 1;
+        let seq = inner.seq;
+        match inner.map.get_mut(key) {
+            Some(e) => {
+                e.last_used = seq;
+                let plan = Arc::clone(&e.plan);
+                inner.hits += 1;
+                Some(plan)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly compiled plan. Purges entries from older catalog
+    /// epochs / view generations first (they can never hit again), then
+    /// evicts least-recently-used entries down to capacity. Returns the
+    /// number of entries removed (for the eviction metric).
+    pub fn insert(&self, key: PlanKey, plan: Arc<CompiledPlan>) -> u64 {
+        let bytes = plan.approx_bytes();
+        let mut inner = self.lock();
+        inner.seq += 1;
+        let seq = inner.seq;
+        let mut removed = 0u64;
+        // Stale purge: any entry keyed to a different epoch or view
+        // generation was compiled against a catalog that no longer exists.
+        let stale: Vec<PlanKey> = inner
+            .map
+            .keys()
+            .filter(|k| k.epoch != key.epoch || k.views_generation != key.views_generation)
+            .cloned()
+            .collect();
+        for k in stale {
+            if let Some(e) = inner.map.remove(&k) {
+                inner.bytes -= e.bytes;
+                removed += 1;
+            }
+        }
+        // LRU eviction down to capacity (the new entry counts).
+        while inner.map.len() >= self.capacity {
+            let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            if let Some(e) = inner.map.remove(&victim) {
+                inner.bytes -= e.bytes;
+                removed += 1;
+            }
+        }
+        inner.bytes += bytes;
+        inner.map.insert(
+            key,
+            Entry {
+                plan,
+                last_used: seq,
+                bytes,
+            },
+        );
+        inner.evictions += removed;
+        removed
+    }
+
+    /// Drop every entry (REPL `.cache clear`). Does not count as eviction.
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        inner.map.clear();
+        inner.bytes = 0;
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> PlanCacheStats {
+        let inner = self.lock();
+        PlanCacheStats {
+            entries: inner.map.len(),
+            capacity: self.capacity,
+            approx_bytes: inner.bytes,
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+        }
+    }
+
+    /// Live entry count.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Is the cache empty?
+    #[cfg(test)]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn key(canonical: &str, epoch: u64) -> PlanKey {
+        PlanKey {
+            canonical: canonical.to_string(),
+            strategy: Strategy::Improved,
+            options: EngineOptions::default(),
+            epoch,
+            views_generation: 0,
+        }
+    }
+
+    fn plan() -> Arc<CompiledPlan> {
+        Arc::new(CompiledPlan {
+            kind: CompiledKind::Algebra {
+                vars: vec![],
+                plan: AlgebraExpr::relation("p"),
+            },
+            cse_shared: Default::default(),
+        })
+    }
+
+    #[test]
+    fn hit_miss_and_stats() {
+        let c = PlanCache::with_capacity(4);
+        assert!(c.get(&key("q1", 0)).is_none());
+        c.insert(key("q1", 0), plan());
+        assert!(c.get(&key("q1", 0)).is_some());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert!(s.approx_bytes > 0);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epoch_mismatch_never_hits_and_purges_on_insert() {
+        let c = PlanCache::with_capacity(4);
+        c.insert(key("q1", 0), plan());
+        // Same query, newer epoch: miss.
+        assert!(c.get(&key("q1", 1)).is_none());
+        // Inserting at the new epoch purges the stale entry.
+        c.insert(key("q2", 1), plan());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let c = PlanCache::with_capacity(2);
+        c.insert(key("a", 0), plan());
+        c.insert(key("b", 0), plan());
+        assert!(c.get(&key("a", 0)).is_some()); // refresh a
+        c.insert(key("c", 0), plan()); // evicts b
+        assert!(c.get(&key("a", 0)).is_some());
+        assert!(c.get(&key("b", 0)).is_none());
+        assert!(c.get(&key("c", 0)).is_some());
+    }
+
+    #[test]
+    fn options_and_strategy_partition_the_key_space() {
+        let c = PlanCache::with_capacity(8);
+        c.insert(key("q", 0), plan());
+        let mut k2 = key("q", 0);
+        k2.strategy = Strategy::Classical;
+        assert!(c.get(&k2).is_none());
+        let mut k3 = key("q", 0);
+        k3.options.optimize = true;
+        assert!(c.get(&k3).is_none());
+    }
+
+    #[test]
+    fn clear_empties_without_counting_evictions() {
+        let c = PlanCache::with_capacity(4);
+        c.insert(key("a", 0), plan());
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.stats().approx_bytes, 0);
+    }
+}

@@ -17,6 +17,9 @@ use std::collections::BTreeMap;
 #[derive(Debug, Default)]
 pub struct ViewRegistry {
     views: BTreeMap<String, View>,
+    /// Monotone counter bumped by every definition — part of the plan
+    /// cache key, so cached plans never survive a view redefinition.
+    generation: u64,
 }
 
 /// One view: an open formula plus its answer variables (in name order —
@@ -103,7 +106,13 @@ impl ViewRegistry {
         // The body itself must be restricted (views are ranges).
         check_restricted_open(&body).map_err(gq_translate::TranslateError::from)?;
         self.views.insert(name.clone(), View { name, params, body });
+        self.generation += 1;
         Ok(())
+    }
+
+    /// Definition-counter: changes whenever the registry's contents do.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Registered views in name order.

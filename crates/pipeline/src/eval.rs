@@ -134,9 +134,11 @@ impl<'db> PipelineEvaluator<'db> {
         if free.is_empty() {
             // Degenerate: a closed query yields the 0-ary relation
             // ({()} for true, {} for false).
+            // Inserting the empty tuple into a fresh 0-ary relation cannot
+            // collide or mismatch arity, so the result is ignorable.
             let mut rel = Relation::intermediate(0);
             if self.eval_closed(f)? {
-                rel.insert(Tuple::new(vec![])).expect("0-ary");
+                let _ = rel.insert(Tuple::new(vec![]));
             }
             return Ok((free, rel));
         }
@@ -181,11 +183,21 @@ impl<'db> PipelineEvaluator<'db> {
                     return Ok(Flow::Continue);
                 }
             }
-            let tuple: Tuple = free
-                .iter()
-                .map(|v| env.get(v).expect("producer bound all").clone())
-                .collect();
-            let _ = out.insert(tuple);
+            // Every free variable is a produced target here (the split
+            // guarantees coverage); a gap would silently drop the binding,
+            // so report it as an evaluation error instead of panicking.
+            let mut tuple = Vec::with_capacity(free.len());
+            for v in free {
+                match env.get(v) {
+                    Some(val) => tuple.push(val.clone()),
+                    None => {
+                        return Err(PipelineError::Unrestricted(format!(
+                            "variable {v} not bound by its producers"
+                        )))
+                    }
+                }
+            }
+            let _ = out.insert(Tuple::new(tuple));
             Ok(Flow::Continue)
         })?;
         Ok(())

@@ -14,12 +14,14 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 mod error;
 mod eval;
 mod profile;
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod eval_tests;
 
 pub use error::PipelineError;

@@ -56,7 +56,9 @@ impl LoopProfiler {
     /// label; returns its index for [`LoopProfiler::exit`].
     pub(crate) fn enter(&self, label: &str) -> usize {
         let mut frames = self.frames.borrow_mut();
-        let parent = *self.stack.borrow().last().expect("root frame");
+        // The stack is seeded with the root frame in `new` and `exit`
+        // never pops the last element, so index 0 is a safe fallback.
+        let parent = self.stack.borrow().last().copied().unwrap_or(0);
         let existing = frames[parent]
             .children
             .iter()

@@ -7,15 +7,30 @@ use std::collections::BTreeMap;
 ///
 /// Relations are stored in a `BTreeMap` so iteration (EXPLAIN output, the
 /// `dom` view, dumps) is deterministic.
+///
+/// Every mutation (create/add/replace/insert/remove) bumps the catalog
+/// [`epoch`](Database::epoch). Consumers that cache anything derived from
+/// catalog contents — plans, indexes, estimates — key their entries on the
+/// epoch and treat a changed epoch as invalidation.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     relations: BTreeMap<String, Relation>,
+    /// Monotone mutation counter; see [`Database::epoch`].
+    epoch: u64,
 }
 
 impl Database {
     /// Create an empty database.
     pub fn new() -> Self {
         Database::default()
+    }
+
+    /// The catalog epoch: a counter bumped by every mutation. Two equal
+    /// epochs on the same `Database` value guarantee the catalog has not
+    /// changed in between, so anything derived from its contents (cached
+    /// plans, indexes) is still valid.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Register an empty relation with the given schema.
@@ -30,6 +45,7 @@ impl Database {
         }
         self.relations
             .insert(name.clone(), Relation::new(name, schema));
+        self.epoch += 1;
         Ok(())
     }
 
@@ -40,6 +56,7 @@ impl Database {
             return Err(StorageError::RelationExists(name));
         }
         self.relations.insert(name, relation);
+        self.epoch += 1;
         Ok(())
     }
 
@@ -47,24 +64,30 @@ impl Database {
     /// refreshing materialized views like the `dom` relation).
     pub fn replace_relation(&mut self, relation: Relation) {
         self.relations.insert(relation.name().to_string(), relation);
+        self.epoch += 1;
     }
 
     /// Insert a tuple into a named relation.
     pub fn insert(&mut self, relation: &str, t: Tuple) -> Result<bool, StorageError> {
-        self.relations
+        let inserted = self
+            .relations
             .get_mut(relation)
             .ok_or_else(|| StorageError::UnknownRelation(relation.to_string()))?
-            .insert(t)
+            .insert(t)?;
+        self.epoch += 1;
+        Ok(inserted)
     }
 
     /// Remove a tuple from a named relation. Returns whether it was
     /// present.
     pub fn remove(&mut self, relation: &str, t: &Tuple) -> Result<bool, StorageError> {
-        Ok(self
+        let removed = self
             .relations
             .get_mut(relation)
             .ok_or_else(|| StorageError::UnknownRelation(relation.to_string()))?
-            .remove(t))
+            .remove(t);
+        self.epoch += 1;
+        Ok(removed)
     }
 
     /// Look up a relation.
@@ -179,6 +202,50 @@ mod tests {
         let dom = db.domain();
         assert_eq!(dom.len(), 3); // a, b, 1
         assert!(dom.contains(&tuple![1]));
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_mutation() {
+        let mut db = Database::new();
+        assert_eq!(db.epoch(), 0);
+        db.create_relation("p", Schema::anonymous(1)).unwrap();
+        let after_create = db.epoch();
+        assert!(after_create > 0);
+        db.insert("p", tuple![1]).unwrap();
+        let after_insert = db.epoch();
+        assert!(after_insert > after_create);
+        db.remove("p", &tuple![1]).unwrap();
+        let after_remove = db.epoch();
+        assert!(after_remove > after_insert);
+        db.replace_relation(Relation::new("p", Schema::anonymous(1)));
+        let after_replace = db.epoch();
+        assert!(after_replace > after_remove);
+        db.add_relation(Relation::new("q", Schema::anonymous(1)))
+            .unwrap();
+        assert!(db.epoch() > after_replace);
+    }
+
+    #[test]
+    fn epoch_unchanged_on_failed_mutation() {
+        let mut db = Database::new();
+        db.create_relation("p", Schema::anonymous(1)).unwrap();
+        let before = db.epoch();
+        assert!(db.create_relation("p", Schema::anonymous(1)).is_err());
+        assert!(db.insert("ghost", tuple![1]).is_err());
+        assert!(db.remove("ghost", &tuple![1]).is_err());
+        assert_eq!(db.epoch(), before);
+    }
+
+    #[test]
+    fn epoch_unchanged_by_reads() {
+        let mut db = Database::new();
+        db.create_relation("p", Schema::anonymous(1)).unwrap();
+        db.insert("p", tuple![1]).unwrap();
+        let before = db.epoch();
+        let _ = db.relation("p");
+        let _ = db.domain();
+        let _ = db.total_tuples();
+        assert_eq!(db.epoch(), before);
     }
 
     #[test]

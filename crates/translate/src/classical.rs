@@ -104,9 +104,10 @@ impl<'db> ClassicalTranslator<'db> {
         }
         let product = expr.unwrap_or_else(|| {
             // No variables at all: a ground matrix over the 0-ary unit.
+            // Inserting the empty tuple into a fresh 0-ary relation cannot
+            // collide or mismatch arity, so the result is ignorable.
             let mut unit = gq_storage::Relation::intermediate(0);
-            unit.insert(gq_storage::Tuple::new(vec![]))
-                .expect("0-ary insert");
+            let _ = unit.insert(gq_storage::Tuple::new(vec![]));
             AlgebraExpr::Literal(unit)
         });
 

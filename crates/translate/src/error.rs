@@ -31,6 +31,17 @@ pub enum TranslateError {
     /// The resource governor interrupted translation (cancellation,
     /// deadline, or a depth budget).
     Governor(gq_governor::GovernorError),
+    /// An internal translator invariant did not hold — a translator bug,
+    /// surfaced as an error instead of a panic so a malformed plan can
+    /// never take the process down.
+    Internal(String),
+}
+
+impl TranslateError {
+    /// Shorthand for reporting a violated internal invariant.
+    pub(crate) fn internal(invariant: impl Into<String>) -> Self {
+        TranslateError::Internal(invariant.into())
+    }
 }
 
 impl fmt::Display for TranslateError {
@@ -54,6 +65,9 @@ impl fmt::Display for TranslateError {
                 "unsupported shape while translating {context}: `{subformula}`"
             ),
             TranslateError::Governor(e) => write!(f, "{e}"),
+            TranslateError::Internal(inv) => {
+                write!(f, "internal translator invariant violated: {inv}")
+            }
         }
     }
 }

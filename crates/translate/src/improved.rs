@@ -164,7 +164,7 @@ impl<'db> ImprovedTranslator<'db> {
             Some((lay, expr)) => {
                 let positions = lay
                     .positions_of(free.iter())
-                    .expect("producers cover free variables");
+                    .ok_or_else(|| TranslateError::internal("producers cover free variables"))?;
                 Ok((Layout::new(free.to_vec()), expr.project(positions)))
             }
             None => Err(TranslateError::Unsupported {
@@ -191,9 +191,17 @@ impl<'db> ImprovedTranslator<'db> {
                 let target: BTreeSet<Var> = vs.iter().cloned().collect();
                 let outer = BTreeSet::new();
                 let Some(pf) = split_producer_filter(body, &target, &outer) else {
-                    return Err(TranslateError::Unrestricted(
-                        gq_calculus::check_restricted_closed(f).expect_err("split failed"),
-                    ));
+                    // The split failing normally means the query is not
+                    // restricted; when the restriction check nevertheless
+                    // passes, report the unsupported shape instead of
+                    // panicking on the missing diagnostic.
+                    return Err(match gq_calculus::check_restricted_closed(f) {
+                        Err(e) => TranslateError::Unrestricted(e),
+                        Ok(()) => TranslateError::Unsupported {
+                            context: "closed query".into(),
+                            subformula: f.to_string(),
+                        },
+                    });
                 };
                 match self.translate_block(&pf.producers, &pf.filters, &outer)? {
                     Some((_, expr)) => Ok(BoolExpr::NonEmpty(expr)),
@@ -247,15 +255,17 @@ impl<'db> ImprovedTranslator<'db> {
             let vars: BTreeSet<Var> = p.free_vars().difference(outer).cloned().collect();
             translated.push(self.translate_range(p, &vars, outer)?);
         }
-        if translated.is_empty() {
-            return Ok(None);
-        }
         let mut acc = if self.cost_ordering && translated.len() > 1 {
-            self.join_by_cost(translated)
+            match self.join_by_cost(translated) {
+                Some(acc) => acc,
+                None => return Ok(None),
+            }
         } else {
             let mut it = translated.into_iter();
-            let first = it.next().expect("non-empty");
-            it.fold(first, join_natural)
+            match it.next() {
+                Some(first) => it.fold(first, join_natural),
+                None => return Ok(None),
+            }
         };
         for filt in filters {
             match self.apply_filter(acc, filt, outer)? {
@@ -270,18 +280,17 @@ impl<'db> ImprovedTranslator<'db> {
     /// smallest estimate, repeatedly join the smallest producer sharing a
     /// variable with the accumulated plan (falling back to the smallest
     /// remaining when none connects).
-    fn join_by_cost(&self, mut parts: Vec<Typed>) -> Typed {
+    fn join_by_cost(&self, mut parts: Vec<Typed>) -> Option<Typed> {
         let cost = |t: &Typed| gq_algebra::estimate(&t.1, self.db);
         let start = parts
             .iter()
             .enumerate()
             .min_by(|a, b| cost(a.1).total_cmp(&cost(b.1)))
-            .map(|(i, _)| i)
-            .expect("non-empty");
+            .map(|(i, _)| i)?;
         let mut acc = parts.swap_remove(start);
         while !parts.is_empty() {
             let connected = |t: &Typed| !acc.0.shared_pairs(&t.0).is_empty();
-            let next = parts
+            let Some(next) = parts
                 .iter()
                 .enumerate()
                 .filter(|(_, t)| connected(t))
@@ -294,11 +303,13 @@ impl<'db> ImprovedTranslator<'db> {
                         .min_by(|a, b| cost(a.1).total_cmp(&cost(b.1)))
                         .map(|(i, _)| i)
                 })
-                .expect("non-empty");
+            else {
+                break; // unreachable: `parts` is non-empty here
+            };
             let t = parts.swap_remove(next);
             acc = join_natural(acc, t);
         }
-        acc
+        Some(acc)
     }
 
     /// Translate a range formula (Definition 1) to an expression carrying
@@ -359,7 +370,7 @@ impl<'db> ImprovedTranslator<'db> {
                 }
                 let positions = lr
                     .positions_of(kept_unique.iter())
-                    .expect("columns of own layout");
+                    .ok_or_else(|| TranslateError::internal("columns of own layout"))?;
                 Ok((Layout::new(kept_unique), er.project(positions)))
             }
             _ => Err(TranslateError::Unsupported {
@@ -441,7 +452,7 @@ impl<'db> ImprovedTranslator<'db> {
             }
             _ => {
                 match self.translate_test(filter, &lay, outer)? {
-                    Some(test) => Ok(Some(apply_test((lay, expr), test, self.division_mode))),
+                    Some(test) => Ok(Some(apply_test((lay, expr), test, self.division_mode)?)),
                     None => {
                         // Correlated fallback (Proposition 4 case 2b and
                         // the correlated-∀ generalization of case 5).
@@ -526,7 +537,7 @@ impl<'db> ImprovedTranslator<'db> {
                         let cvars: Vec<Var> = vars.iter().cloned().collect();
                         let positions = blay
                             .positions_of(cvars.iter())
-                            .expect("block covers its vars");
+                            .ok_or_else(|| TranslateError::internal("block covers its vars"))?;
                         Ok(Some(Test::Membership {
                             cvars,
                             expr: bexpr.project(positions),
@@ -554,7 +565,9 @@ impl<'db> ImprovedTranslator<'db> {
                             return Ok(None); // case 2b: needs correlation
                         }
                         let cvars: Vec<Var> = cvars_set.into_iter().collect();
-                        let positions = blay.positions_of(cvars.iter()).expect("checked above");
+                        let positions = blay.positions_of(cvars.iter()).ok_or_else(|| {
+                            TranslateError::internal("layout covers the context vars it contains")
+                        })?;
                         Ok(Some(Test::Membership {
                             cvars,
                             expr: bexpr.project(positions),
@@ -586,7 +599,7 @@ impl<'db> ImprovedTranslator<'db> {
                 // Rows of the context satisfying ∃z̄ body: project back.
                 let positions = mlay
                     .positions_of(lay.columns().iter())
-                    .expect("context columns preserved");
+                    .ok_or_else(|| TranslateError::internal("context columns preserved"))?;
                 Ok(Some((lay, mexpr.project(positions))))
             }
             Formula::Not(inner) => match &**inner {
@@ -594,7 +607,7 @@ impl<'db> ImprovedTranslator<'db> {
                     // Division (Proposition 4 case 5) when sound.
                     let (lay, expr) = ctx;
                     if let Some(t) = self.try_division_negated(&lay, zs, body)? {
-                        return Ok(Some(apply_test((lay, expr), t, self.division_mode)));
+                        return Ok(Some(apply_test((lay, expr), t, self.division_mode)?));
                     }
                     let matched =
                         self.correlated_matches((lay.clone(), expr.clone()), zs, body, outer)?;
@@ -603,7 +616,7 @@ impl<'db> ImprovedTranslator<'db> {
                     };
                     let positions = mlay
                         .positions_of(lay.columns().iter())
-                        .expect("context columns preserved");
+                        .ok_or_else(|| TranslateError::internal("context columns preserved"))?;
                     let violators = mexpr.project(positions);
                     // E ⊼ (rows with a witness) on all columns.
                     let on: Vec<(usize, usize)> = (0..lay.arity()).map(|i| (i, i)).collect();
@@ -703,7 +716,7 @@ impl<'db> ImprovedTranslator<'db> {
         let aligned: Vec<Var> = cvars.iter().chain(zs.iter()).cloned().collect();
         let gpos = glay
             .positions_of(aligned.iter())
-            .expect("g carries C and z̄");
+            .ok_or_else(|| TranslateError::internal("g carries C and z̄"))?;
         Ok(Some(Test::Division {
             cvars,
             g_aligned: gexpr.project(gpos),
@@ -801,6 +814,13 @@ impl<'db> ImprovedTranslator<'db> {
                 Part::Pred(pred) => sigma.push(pred.clone()),
             }
         }
+        // σ is provably non-empty here: `flatten_or` returns at least one
+        // disjunct, and every disjunct either pushed a Part (each Part
+        // pushes exactly one predicate above) or returned early. Even so,
+        // `or_all` is now total — an empty disjunction is `false`, the
+        // correct selection for "no disjunct can hold".
+        debug_assert_eq!(sigma.len(), parts.len());
+        debug_assert!(!sigma.is_empty(), "a disjunctive filter has disjuncts");
         let filtered = chained.select(Predicate::or_all(sigma));
         let back: Vec<usize> = (0..p).collect();
         Ok(Some((lay, filtered.project(back))))
@@ -845,9 +865,9 @@ fn join_natural(a: Typed, b: Typed) -> Typed {
 }
 
 /// Apply a standalone test to a context.
-fn apply_test(ctx: Typed, test: Test, mode: DivisionMode) -> Typed {
+fn apply_test(ctx: Typed, test: Test, mode: DivisionMode) -> Result<Typed, TranslateError> {
     let (lay, expr) = ctx;
-    match test {
+    Ok(match test {
         Test::Membership {
             cvars,
             expr: test_expr,
@@ -855,7 +875,7 @@ fn apply_test(ctx: Typed, test: Test, mode: DivisionMode) -> Typed {
         } => {
             let lpos = lay
                 .positions_of(cvars.iter())
-                .expect("test vars available in context");
+                .ok_or_else(|| TranslateError::internal("test vars available in context"))?;
             let on: Vec<(usize, usize)> =
                 lpos.into_iter().enumerate().map(|(i, l)| (l, i)).collect();
             let joined = if positive {
@@ -873,7 +893,7 @@ fn apply_test(ctx: Typed, test: Test, mode: DivisionMode) -> Typed {
             let c = cvars.len();
             let lpos = lay
                 .positions_of(cvars.iter())
-                .expect("division vars available in context");
+                .ok_or_else(|| TranslateError::internal("division vars available in context"))?;
             let on: Vec<(usize, usize)> = lpos
                 .iter()
                 .copied()
@@ -906,7 +926,7 @@ fn apply_test(ctx: Typed, test: Test, mode: DivisionMode) -> Typed {
                 }
             }
         }
-    }
+    })
 }
 
 /// The arity of a divisor expression (z̄ column count). Derivable from the

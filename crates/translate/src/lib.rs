@@ -15,6 +15,7 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(clippy::unwrap_used, clippy::expect_used)]
 
 mod classical;
 mod error;
@@ -23,8 +24,10 @@ mod layout;
 mod shape;
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod equivalence_tests;
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod query_fuzz;
 
 pub use classical::ClassicalTranslator;

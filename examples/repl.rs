@@ -20,26 +20,31 @@
 //! `.strategy improved|classical|nested-loop`,
 //! `.timeout <ms|off>` (per-query deadline),
 //! `.limits [output|rows <n|off>]` (show / set resource budgets),
+//! `.prepare name <query>` / `.exec name` (prepared queries through the
+//! plan cache), `.prepared`, `.cache [clear]` (plan-cache statistics),
 //! `.explain <query>`,
 //! `:analyze <query>` (execute with per-node instrumentation and render
 //! the annotated plan), `.load-university <n>`, `.save <file>`,
 //! `.load <file>`, `.help`, `.quit`. Anything else is evaluated as a
 //! calculus query.
 
-use gq_core::{QueryEngine, QueryLimits, Strategy};
+use gq_core::{PreparedQuery, QueryEngine, QueryLimits, Strategy};
 use gq_storage::{Database, Schema, Tuple, Value};
 use gq_workload::{university, UniversityScale};
+use std::collections::BTreeMap;
 use std::io::{self, BufRead, Write};
 
 struct Repl {
     engine: QueryEngine,
     strategy: Strategy,
+    prepared: BTreeMap<String, PreparedQuery>,
 }
 
 fn main() {
     let mut repl = Repl {
         engine: QueryEngine::new(Database::new()),
         strategy: Strategy::Improved,
+        prepared: BTreeMap::new(),
     };
     println!("general-queries REPL — .help for commands");
     let stdin = io::stdin();
@@ -182,6 +187,58 @@ impl Repl {
                 }
                 _ => return Err("usage: .limits [output|rows <n|off>]".into()),
             }
+        } else if let Some(rest) = line.strip_prefix(".prepare ") {
+            let rest = rest.trim();
+            let Some((name, query)) = rest.split_once(' ') else {
+                return Err("usage: .prepare name <query>".into());
+            };
+            let p = self
+                .engine
+                .prepare_with(query.trim(), self.strategy, Default::default())?;
+            println!("prepared `{name}` ({})", p.strategy().name());
+            self.prepared.insert(name.to_string(), p);
+        } else if let Some(rest) = line.strip_prefix(".exec ") {
+            let name = rest.trim();
+            let Some(p) = self.prepared.get(name) else {
+                return Err(format!("no prepared query `{name}` (.prepare name <query>)").into());
+            };
+            let result = self.engine.execute(p)?;
+            if result.vars.is_empty() {
+                println!("{}", result.is_true());
+            } else {
+                for t in result.answers.sorted_tuples() {
+                    println!("{t}");
+                }
+            }
+            let s = self.engine.plan_cache_stats();
+            println!(
+                "{} answer{} ({}; plan cache: {} hits / {} misses)",
+                result.len(),
+                if result.len() == 1 { "" } else { "s" },
+                p.strategy().name(),
+                s.hits,
+                s.misses,
+            );
+        } else if line == ".prepared" {
+            for (name, p) in &self.prepared {
+                println!("{name} [{}] ≡ {}", p.strategy().name(), p.text());
+            }
+        } else if line == ".cache" {
+            let s = self.engine.plan_cache_stats();
+            println!(
+                "plan cache: {}/{} entries, ~{} bytes",
+                s.entries, s.capacity, s.approx_bytes
+            );
+            println!(
+                "hits: {}  misses: {}  evictions: {}  hit rate: {:.1}%",
+                s.hits,
+                s.misses,
+                s.evictions,
+                s.hit_rate() * 100.0
+            );
+        } else if line == ".cache clear" {
+            self.engine.clear_plan_cache();
+            println!("plan cache cleared");
         } else if let Some(rest) = line.strip_prefix(".explain ") {
             println!("{}", self.engine.explain(rest)?);
         } else if let Some(rest) = line
@@ -217,6 +274,10 @@ impl Repl {
                  .morsel n                 tuples per morsel (default 1024)\n\
                  .timeout <ms|off>         per-query deadline\n\
                  .limits [output|rows <n|off>]  show / set resource budgets\n\
+                 .prepare name <query>     compile once, cache the plan\n\
+                 .exec name                run a prepared query (cache hit)\n\
+                 .prepared                 list prepared queries\n\
+                 .cache [clear]            plan-cache statistics / reset\n\
                  .explain <query>          show both processing phases\n\
                  :analyze <query>          execute + annotated plan (EXPLAIN ANALYZE)\n\
                  .load-university <n>      load a generated database\n\
