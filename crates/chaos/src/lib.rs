@@ -44,6 +44,9 @@ pub enum Site {
     WorkerPanic,
     /// A persistence-layer I/O operation (save/load).
     PersistIo,
+    /// A durability-layer crash point (WAL append, fsync, checkpoint
+    /// rename, manifest swap).
+    CrashPoint,
 }
 
 impl Site {
@@ -54,8 +57,26 @@ impl Site {
             Site::MorselDelay => 0x4d44_4c59,
             Site::WorkerPanic => 0x5750_414e,
             Site::PersistIo => 0x5053_494f,
+            Site::CrashPoint => 0x4352_5348,
         }
     }
+}
+
+/// What the durability layer should do when a crash point fires.
+///
+/// A *clean* crash dies before the I/O operation touches the file — the
+/// previous state is intact. A *torn* crash dies halfway through a write
+/// — the file gains a partial record, exactly the state a power loss
+/// leaves behind on a real disk. Which of the two fires at a given crash
+/// point is a seed-keyed deterministic decision, so a crash-matrix sweep
+/// exercises both shapes reproducibly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashAction {
+    /// Die before performing the operation.
+    Clean,
+    /// For write sites: write a strict prefix of the bytes, then die.
+    /// Non-write sites treat this like [`CrashAction::Clean`].
+    Torn,
 }
 
 /// Fault probabilities and parameters for one chaos session. All
@@ -76,6 +97,14 @@ pub struct ChaosConfig {
     pub morsel_delay_prob: f64,
     /// Sleep duration for a fired morsel delay.
     pub morsel_delay: Duration,
+    /// Simulate a process crash at the k-th durability operation (0-based
+    /// WAL write/fsync/checkpoint/rename site, in execution order). After
+    /// the crash fires, *every* subsequent durability operation fails —
+    /// the process is dead until the registry is reinstalled ("reboot").
+    /// `None` (the default) never crashes but still counts operations,
+    /// which is how the crash-matrix harness discovers how many points
+    /// there are to sweep.
+    pub crash_at_durability_op: Option<u64>,
 }
 
 impl ChaosConfig {
@@ -89,6 +118,7 @@ impl ChaosConfig {
             worker_panic: 0.0,
             morsel_delay_prob: 0.0,
             morsel_delay: Duration::ZERO,
+            crash_at_durability_op: None,
         }
     }
 
@@ -122,6 +152,13 @@ impl ChaosConfig {
         self.morsel_delay_prob = prob;
         self
     }
+
+    /// Crash at the k-th durability operation (see
+    /// [`ChaosConfig::crash_at_durability_op`]).
+    pub fn crash_at_durability_op(mut self, k: u64) -> Self {
+        self.crash_at_durability_op = Some(k);
+        self
+    }
 }
 
 struct State {
@@ -130,6 +167,10 @@ struct State {
     scan_count: AtomicU64,
     index_count: AtomicU64,
     persist_count: AtomicU64,
+    durability_count: AtomicU64,
+    // Latched once the crash point fires: the simulated process is dead
+    // and every later durability operation fails until reinstall.
+    crashed: AtomicBool,
 }
 
 fn registry() -> &'static Mutex<Option<Arc<State>>> {
@@ -168,6 +209,8 @@ pub fn install(config: ChaosConfig) -> ChaosGuard {
             scan_count: AtomicU64::new(0),
             index_count: AtomicU64::new(0),
             persist_count: AtomicU64::new(0),
+            durability_count: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
         }));
     }
     ENABLED.store(true, Ordering::Relaxed);
@@ -237,6 +280,47 @@ pub fn fail_persist_io(op: &str) -> Option<String> {
         st.config.persist_io_error,
     )
     .then(|| format!("chaos: injected I/O error during {op} (occurrence {k})"))
+}
+
+/// Consult the crash plan at a durability operation (WAL append/fsync,
+/// checkpoint write/rename, manifest swap). Returns `None` to proceed
+/// normally. Returns `Some(action)` when this operation is the configured
+/// crash point — or when a crash already fired, in which case every
+/// subsequent operation gets [`CrashAction::Clean`] (the process is dead
+/// until the registry is reinstalled). Whether the firing crash is clean
+/// or torn is a seed-keyed deterministic decision.
+///
+/// Every call consumes one occurrence of the durability-operation
+/// counter (readable via [`durability_ops_observed`]), so a fault-free
+/// run with `crash_at_durability_op: None` enumerates the crash matrix.
+pub fn durability_crash() -> Option<CrashAction> {
+    let st = current()?;
+    if st.crashed.load(Ordering::Relaxed) {
+        return Some(CrashAction::Clean);
+    }
+    let k = st.durability_count.fetch_add(1, Ordering::Relaxed);
+    if st.config.crash_at_durability_op == Some(k) {
+        st.crashed.store(true, Ordering::Relaxed);
+        Some(if fires(st.config.seed, Site::CrashPoint, k, 0.5) {
+            CrashAction::Torn
+        } else {
+            CrashAction::Clean
+        })
+    } else {
+        None
+    }
+}
+
+/// Number of durability operations seen by the installed registry so far
+/// (0 when no registry is installed). A fault-free run of a workload with
+/// no crash point configured leaves the size of its crash matrix here.
+pub fn durability_ops_observed() -> u64 {
+    current().map_or(0, |st| st.durability_count.load(Ordering::Relaxed))
+}
+
+/// Has the configured crash point fired?
+pub fn durability_crashed() -> bool {
+    current().is_some_and(|st| st.crashed.load(Ordering::Relaxed))
 }
 
 /// Should morsel `morsel` be delayed? Returns the sleep duration. Keyed
@@ -336,6 +420,56 @@ mod tests {
         for _ in 0..8 {
             assert!(fail_persist_io("write").is_some());
         }
+    }
+
+    #[test]
+    fn crash_point_fires_once_then_stays_dead() {
+        let _l = lock();
+        let _g = install(ChaosConfig::with_seed(11).crash_at_durability_op(3));
+        for _ in 0..3 {
+            assert_eq!(durability_crash(), None);
+        }
+        assert!(!durability_crashed());
+        let action = durability_crash();
+        assert!(action.is_some(), "op 3 must crash");
+        assert!(durability_crashed());
+        // Dead process: every further op fails cleanly.
+        for _ in 0..4 {
+            assert_eq!(durability_crash(), Some(CrashAction::Clean));
+        }
+    }
+
+    #[test]
+    fn crash_action_is_seed_deterministic() {
+        let _l = lock();
+        let action_for = |seed: u64| {
+            let _g = install(ChaosConfig::with_seed(seed).crash_at_durability_op(0));
+            durability_crash()
+        };
+        assert_eq!(action_for(7), action_for(7));
+        // Over a spread of seeds both shapes must occur.
+        let shapes: Vec<Option<CrashAction>> = (0..32).map(action_for).collect();
+        assert!(shapes.contains(&Some(CrashAction::Clean)));
+        assert!(shapes.contains(&Some(CrashAction::Torn)));
+    }
+
+    #[test]
+    fn op_counter_enumerates_without_a_crash_plan() {
+        let _l = lock();
+        let _g = install(ChaosConfig::with_seed(5));
+        for _ in 0..17 {
+            assert_eq!(durability_crash(), None);
+        }
+        assert_eq!(durability_ops_observed(), 17);
+        assert!(!durability_crashed());
+    }
+
+    #[test]
+    fn crash_sites_inert_when_uninstalled() {
+        let _l = lock();
+        assert_eq!(durability_crash(), None);
+        assert_eq!(durability_ops_observed(), 0);
+        assert!(!durability_crashed());
     }
 
     #[test]

@@ -9,7 +9,10 @@ use gq_governor::{CancelToken, Governor, QueryLimits, Resource};
 use gq_obs::{QueryTrace, Registry, SpanGuard, TraceBuilder};
 use gq_pipeline::{LoopProfiler, PipelineEvaluator};
 use gq_rewrite::{canonicalize_governed, canonicalize_traced_governed};
-use gq_storage::{Database, Relation, Tuple};
+use gq_storage::{
+    CheckpointStats, Database, DurabilityStats, DurableDatabase, RecoveryStats, Relation, Schema,
+    StorageError, Tuple,
+};
 use gq_translate::{ClassicalTranslator, ImprovedTranslator, PlanShape};
 use std::rc::Rc;
 use std::sync::Arc;
@@ -109,9 +112,35 @@ pub struct EngineOptions {
     pub cse: bool,
 }
 
+/// The catalog behind a [`QueryEngine`]: either a plain in-memory
+/// [`Database`] or a [`DurableDatabase`] whose mutations are WAL-logged
+/// and crash-recoverable. Reads are identical either way; the engine's
+/// typed mutation methods route through the durable commit protocol when
+/// one is attached.
+enum Store {
+    Plain(Database),
+    Durable(Box<DurableDatabase>),
+}
+
+impl Store {
+    fn db(&self) -> &Database {
+        match self {
+            Store::Plain(db) => db,
+            Store::Durable(d) => d.db(),
+        }
+    }
+
+    fn db_mut(&mut self) -> &mut Database {
+        match self {
+            Store::Plain(db) => db,
+            Store::Durable(d) => d.db_mut_volatile(),
+        }
+    }
+}
+
 /// The query engine over an in-memory database.
 pub struct QueryEngine {
-    db: Database,
+    store: Store,
     index_cache: gq_algebra::IndexCache,
     views: crate::views::ViewRegistry,
     metrics: Registry,
@@ -165,8 +194,30 @@ impl QueryEngine {
     /// morsel-driven parallel kernels sized to the host's available
     /// parallelism (a single-core host gets the sequential path).
     pub fn new(db: Database) -> Self {
+        Self::with_store(Store::Plain(db))
+    }
+
+    /// Wrap an already-open [`DurableDatabase`]: every typed mutation
+    /// ([`QueryEngine::create_relation`], [`QueryEngine::insert`], …) is
+    /// WAL-logged and fsynced before it becomes visible.
+    pub fn from_durable(db: DurableDatabase) -> Self {
+        Self::with_store(Store::Durable(Box::new(db)))
+    }
+
+    /// Open (or initialize) a durable database directory and wrap it.
+    /// Recovery replays the WAL over the last good snapshot, truncating
+    /// any torn tail; the returned [`RecoveryStats`] says what happened.
+    /// The recovered catalog's epoch resumes past the WAL high-water
+    /// mark, so the (fresh) plan cache can never key a plan to an epoch
+    /// the pre-crash catalog already used.
+    pub fn open_durable(dir: &std::path::Path) -> Result<(Self, RecoveryStats), EngineError> {
+        let (db, recovery) = DurableDatabase::open(dir)?;
+        Ok((Self::from_durable(db), recovery))
+    }
+
+    fn with_store(store: Store) -> Self {
         QueryEngine {
-            db,
+            store,
             index_cache: gq_algebra::IndexCache::new(),
             views: crate::views::ViewRegistry::new(),
             metrics: Registry::new(),
@@ -247,14 +298,136 @@ impl QueryEngine {
 
     /// Borrow the database.
     pub fn db(&self) -> &Database {
-        &self.db
+        self.store.db()
     }
 
     /// Mutably borrow the database (inserts, new relations). Invalidates
     /// the base-relation index cache.
+    ///
+    /// On a durable engine this is a *volatile* escape hatch: changes
+    /// made through it are not WAL-logged and will not survive a crash.
+    /// Use the typed mutation methods ([`QueryEngine::create_relation`],
+    /// [`QueryEngine::insert`], [`QueryEngine::remove`]) for durable
+    /// changes.
     pub fn db_mut(&mut self) -> &mut Database {
         self.index_cache.clear();
-        &mut self.db
+        self.store.db_mut()
+    }
+
+    /// Is a [`DurableDatabase`] attached?
+    pub fn is_durable(&self) -> bool {
+        matches!(self.store, Store::Durable(_))
+    }
+
+    /// Durability counters of the attached durable database, if any.
+    pub fn durability_stats(&self) -> Option<DurabilityStats> {
+        match &self.store {
+            Store::Plain(_) => None,
+            Store::Durable(d) => Some(d.stats()),
+        }
+    }
+
+    /// Take an atomic checkpoint of the attached durable database: the
+    /// catalog snapshots to a new generation and the WAL restarts empty.
+    /// Errors when the engine is not durable.
+    pub fn checkpoint(&mut self) -> Result<CheckpointStats, EngineError> {
+        match &mut self.store {
+            Store::Plain(_) => Err(EngineError::Storage(StorageError::Io(
+                "no durable database attached (open one with open_durable)".into(),
+            ))),
+            Store::Durable(d) => {
+                let before = d.stats();
+                let out = d.checkpoint();
+                let after = d.stats();
+                self.record_durability(before, after);
+                Ok(out?)
+            }
+        }
+    }
+
+    /// Create a relation through the store — WAL-logged when durable.
+    /// Invalidates the base-relation index cache.
+    pub fn create_relation(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+    ) -> Result<(), EngineError> {
+        self.index_cache.clear();
+        match &mut self.store {
+            Store::Plain(db) => Ok(db.create_relation(name, schema)?),
+            Store::Durable(d) => {
+                let before = d.stats();
+                let out = d.create_relation(name, schema);
+                let after = d.stats();
+                self.record_durability(before, after);
+                Ok(out?)
+            }
+        }
+    }
+
+    /// Insert a tuple through the store — WAL-logged when durable.
+    /// Invalidates the base-relation index cache.
+    pub fn insert(&mut self, relation: &str, t: Tuple) -> Result<bool, EngineError> {
+        self.index_cache.clear();
+        match &mut self.store {
+            Store::Plain(db) => Ok(db.insert(relation, t)?),
+            Store::Durable(d) => {
+                let before = d.stats();
+                let out = d.insert(relation, t);
+                let after = d.stats();
+                self.record_durability(before, after);
+                Ok(out?)
+            }
+        }
+    }
+
+    /// Remove a tuple through the store — WAL-logged when durable.
+    /// Invalidates the base-relation index cache.
+    pub fn remove(&mut self, relation: &str, t: &Tuple) -> Result<bool, EngineError> {
+        self.index_cache.clear();
+        match &mut self.store {
+            Store::Plain(db) => Ok(db.remove(relation, t)?),
+            Store::Durable(d) => {
+                let before = d.stats();
+                let out = d.remove(relation, t);
+                let after = d.stats();
+                self.record_durability(before, after);
+                Ok(out?)
+            }
+        }
+    }
+
+    /// Mirror a durable-stats delta into `durability.*` metrics (no-op
+    /// unless the registry is enabled).
+    fn record_durability(&self, before: DurabilityStats, after: DurabilityStats) {
+        if !self.metrics.is_enabled() {
+            return;
+        }
+        let deltas = [
+            (
+                "durability.wal_appends",
+                before.wal_appends,
+                after.wal_appends,
+            ),
+            ("durability.wal_bytes", before.wal_bytes, after.wal_bytes),
+            ("durability.fsyncs", before.fsyncs, after.fsyncs),
+            (
+                "durability.checkpoints",
+                before.checkpoints,
+                after.checkpoints,
+            ),
+            ("durability.recoveries", before.recoveries, after.recoveries),
+            (
+                "durability.torn_tail_truncations",
+                before.torn_tail_truncations,
+                after.torn_tail_truncations,
+            ),
+        ];
+        for (name, b, a) in deltas {
+            if a > b {
+                self.metrics.incr(name, a - b);
+            }
+        }
     }
 
     /// (Re)materialize the `dom` view — the unary relation of every value
@@ -262,14 +435,31 @@ impl QueryEngine {
     /// updates; queries evaluated with
     /// [`EngineOptions::domain_closure`] use this relation as the implicit
     /// range of otherwise-unrestricted variables.
-    pub fn refresh_domain_view(&mut self) {
-        let dom = self.db.domain();
+    ///
+    /// On a durable engine the refreshed view is WAL-logged like any
+    /// other mutation (recovery must reproduce the exact catalog), so the
+    /// refresh can fail with an I/O error.
+    pub fn refresh_domain_view(&mut self) -> Result<(), EngineError> {
+        let dom = self.store.db().domain();
         let mut named = gq_storage::Relation::new("dom", gq_storage::Schema::anonymous(1));
         for t in dom.iter() {
             // Domain tuples are unary by construction; insert cannot fail.
             let _ = named.insert(t.clone());
         }
-        self.db.replace_relation(named);
+        self.index_cache.clear();
+        match &mut self.store {
+            Store::Plain(db) => {
+                db.replace_relation(named);
+                Ok(())
+            }
+            Store::Durable(d) => {
+                let before = d.stats();
+                let out = d.replace_relation(named);
+                let after = d.stats();
+                self.record_durability(before, after);
+                Ok(out?)
+            }
+        }
     }
 
     /// Parse and evaluate a query with the default (improved) strategy.
@@ -438,7 +628,7 @@ impl QueryEngine {
         let _span = span(tb, "view-expand");
         let expanded = self.views.expand(formula)?;
         if options.domain_closure {
-            if !self.db.has_relation("dom") {
+            if !self.store.db().has_relation("dom") {
                 return Err(EngineError::Storage(
                     gq_storage::StorageError::UnknownRelation(
                         "dom (call refresh_domain_view first)".into(),
@@ -479,7 +669,7 @@ impl QueryEngine {
         let kind = match strategy {
             Strategy::Improved => {
                 let canonical = self.normalize(formula, governor, tb)?;
-                let tr = ImprovedTranslator::new(&self.db)
+                let tr = ImprovedTranslator::new(self.store.db())
                     .with_cost_ordering(options.optimize)
                     .with_governor(governor.clone());
                 if closed {
@@ -507,7 +697,7 @@ impl QueryEngine {
             Strategy::Classical => {
                 // The classical translator runs on the *raw* query, as the
                 // classical methods do.
-                let tr = ClassicalTranslator::new(&self.db).with_governor(governor.clone());
+                let tr = ClassicalTranslator::new(self.store.db()).with_governor(governor.clone());
                 if closed {
                     let plan = {
                         let _span = span(tb, "translate");
@@ -565,9 +755,9 @@ impl QueryEngine {
     ) -> Result<QueryResult, EngineError> {
         let make_eval = || {
             let ev = if options.share_subplans {
-                Evaluator::with_sharing(&self.db)
+                Evaluator::with_sharing(self.store.db())
             } else {
-                Evaluator::new(&self.db)
+                Evaluator::new(self.store.db())
             };
             let ev = ev
                 .with_exec_config(self.exec)
@@ -632,7 +822,8 @@ impl QueryEngine {
             }
             CompiledKind::Loop { canonical } => {
                 let profiler = tb.map(|_| Rc::new(LoopProfiler::new()));
-                let mut ev = PipelineEvaluator::new(&self.db).with_governor(governor.clone());
+                let mut ev =
+                    PipelineEvaluator::new(self.store.db()).with_governor(governor.clone());
                 if let Some(p) = &profiler {
                     ev = ev.with_profiler(Rc::clone(p));
                 }
@@ -753,7 +944,7 @@ impl QueryEngine {
             canonical: alpha_canonical(expanded),
             strategy,
             options,
-            epoch: self.db.epoch(),
+            epoch: self.store.db().epoch(),
             views_generation: self.views.generation(),
         };
         if let Some(hit) = self.plan_cache.get(&key) {
@@ -1045,7 +1236,7 @@ mod option_tests {
     #[test]
     fn domain_closure_enables_negation_only_queries() {
         let mut e = engine();
-        e.refresh_domain_view();
+        e.refresh_domain_view().unwrap();
         let options = EngineOptions {
             domain_closure: true,
             ..EngineOptions::default()
@@ -1299,5 +1490,129 @@ mod prepared_tests {
         assert!(e.prepare("p(x").is_err()); // parse error
         let s = e.plan_cache_stats();
         assert_eq!(s.entries, 0, "failed compiles must not be cached");
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod durable_tests {
+    use super::*;
+    use gq_storage::{tuple, Schema};
+
+    fn fresh_dir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("gq_engine_durable_{name}"));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    #[test]
+    fn durable_engine_round_trips_through_reopen() {
+        let dir = fresh_dir("round_trip");
+        {
+            let (mut e, rec) = QueryEngine::open_durable(&dir).unwrap();
+            assert!(rec.created_fresh);
+            assert!(e.is_durable());
+            e.create_relation("p", Schema::new(vec!["a"]).unwrap())
+                .unwrap();
+            for v in [1, 2, 3] {
+                e.insert("p", tuple![v]).unwrap();
+            }
+            e.remove("p", &tuple![2]).unwrap();
+            assert_eq!(e.query("p(x)").unwrap().len(), 2);
+        }
+        let (e, rec) = QueryEngine::open_durable(&dir).unwrap();
+        assert!(!rec.created_fresh);
+        assert_eq!(rec.wal_records_replayed, 5);
+        assert_eq!(e.query("p(x)").unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn plain_engine_has_no_durability() {
+        let mut e = QueryEngine::new(Database::new());
+        assert!(!e.is_durable());
+        assert!(e.durability_stats().is_none());
+        assert!(e.checkpoint().is_err());
+    }
+
+    #[test]
+    fn durable_mutations_mirror_into_metrics() {
+        let dir = fresh_dir("metrics");
+        let (mut e, _) = QueryEngine::open_durable(&dir).unwrap();
+        e.metrics().enable();
+        e.create_relation("p", Schema::anonymous(1)).unwrap();
+        e.insert("p", tuple![1]).unwrap();
+        e.checkpoint().unwrap();
+        let snap = e.metrics().snapshot();
+        assert_eq!(snap.counters.get("durability.wal_appends"), Some(&2));
+        assert_eq!(snap.counters.get("durability.checkpoints"), Some(&1));
+        assert!(snap.counters.get("durability.fsyncs").copied().unwrap_or(0) >= 3);
+        assert!(
+            snap.counters
+                .get("durability.wal_bytes")
+                .copied()
+                .unwrap_or(0)
+                > 0
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovered_epoch_invalidates_prepared_plans() {
+        // A plan prepared before a crash must not be served against the
+        // recovered catalog if the catalog changed: the recovered epoch
+        // resumes past the WAL high-water mark, so the (epoch-keyed)
+        // cache key can never collide with a pre-crash entry.
+        let dir = fresh_dir("epoch_cache");
+        let epoch_before;
+        {
+            let (mut e, _) = QueryEngine::open_durable(&dir).unwrap();
+            e.create_relation("p", Schema::anonymous(1)).unwrap();
+            e.insert("p", tuple![1]).unwrap();
+            epoch_before = e.db().epoch();
+        }
+        let (mut e, rec) = QueryEngine::open_durable(&dir).unwrap();
+        assert_eq!(rec.recovered_epoch, epoch_before);
+        let prepared = e.prepare("p(x)").unwrap();
+        assert_eq!(e.execute(&prepared).unwrap().len(), 1);
+        e.insert("p", tuple![2]).unwrap();
+        assert!(e.db().epoch() > epoch_before);
+        assert_eq!(e.execute(&prepared).unwrap().len(), 2, "stale plan served");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_through_engine_preserves_queries() {
+        let dir = fresh_dir("checkpoint");
+        {
+            let (mut e, _) = QueryEngine::open_durable(&dir).unwrap();
+            e.create_relation("p", Schema::anonymous(1)).unwrap();
+            e.insert("p", tuple![1]).unwrap();
+            let ck = e.checkpoint().unwrap();
+            assert_eq!(ck.generation, 2);
+            e.insert("p", tuple![2]).unwrap();
+        }
+        let (e, rec) = QueryEngine::open_durable(&dir).unwrap();
+        assert_eq!(rec.generation, 2);
+        assert_eq!(rec.wal_records_replayed, 1);
+        assert_eq!(e.query("p(x)").unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_domain_closure_refresh_is_logged() {
+        let dir = fresh_dir("dom");
+        {
+            let (mut e, _) = QueryEngine::open_durable(&dir).unwrap();
+            e.create_relation("q", Schema::anonymous(1)).unwrap();
+            e.insert("q", tuple![1]).unwrap();
+            e.insert("q", tuple![2]).unwrap();
+            e.refresh_domain_view().unwrap();
+        }
+        let (e, _) = QueryEngine::open_durable(&dir).unwrap();
+        // The dom view survived the reopen via its WAL Replace record.
+        assert!(e.db().has_relation("dom"));
+        assert_eq!(e.db().relation("dom").unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

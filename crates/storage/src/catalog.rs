@@ -33,6 +33,13 @@ impl Database {
         self.epoch
     }
 
+    /// Restore a persisted epoch (text-format header, WAL replay). Only
+    /// the persistence and durability layers may rewind or fast-forward
+    /// the counter — everything else sees a strictly monotone epoch.
+    pub(crate) fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
     /// Register an empty relation with the given schema.
     pub fn create_relation(
         &mut self,

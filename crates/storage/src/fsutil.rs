@@ -1,0 +1,217 @@
+//! Crash-safe filesystem primitives shared by the persistence and
+//! durability layers: fsync-aware writes, atomic replace-by-rename, and
+//! (behind the `chaos` cargo feature) deterministic crash-point
+//! injection at every write/fsync/rename site.
+//!
+//! The crash model: a process can die *before* any I/O operation (clean
+//! crash — the file is untouched) or *halfway through a write* (torn
+//! crash — the file gains a strict prefix of the bytes, as a power loss
+//! leaves behind). `gq_chaos::durability_crash` decides deterministically
+//! from its seed whether and how a given site dies; once a crash fires,
+//! every later site fails too, simulating the dead process until the
+//! test "reboots" by reinstalling the registry.
+
+use crate::StorageError;
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of fsync calls issued by this crate's durability
+/// primitives — feeds the `durability.fsyncs` metric via before/after
+/// deltas, so observability costs nothing when nobody is reading it.
+static FSYNC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Total fsyncs (file + directory) issued so far by this process.
+pub fn fsyncs_issued() -> u64 {
+    FSYNC_COUNT.load(Ordering::Relaxed)
+}
+
+/// What the chaos plan ordered at a crash site.
+enum CrashOrder {
+    Proceed,
+    /// Write sites only: persist a strict prefix, then die. Only ever
+    /// constructed when the `chaos` feature is on.
+    #[cfg_attr(not(feature = "chaos"), allow(dead_code))]
+    Torn,
+}
+
+/// Consult the chaos crash plan at `site`. `Err` simulates a clean
+/// process death before the operation; `Ok(CrashOrder::Torn)` tells a
+/// write site to persist a prefix and then die. Zero overhead without
+/// the `chaos` feature.
+fn crash_point(site: &str) -> Result<CrashOrder, StorageError> {
+    #[cfg(feature = "chaos")]
+    match gq_chaos::durability_crash() {
+        Some(gq_chaos::CrashAction::Clean) => {
+            return Err(StorageError::Io(format!(
+                "chaos: simulated crash at {site}"
+            )))
+        }
+        Some(gq_chaos::CrashAction::Torn) => return Ok(CrashOrder::Torn),
+        None => {}
+    }
+    let _ = site;
+    Ok(CrashOrder::Proceed)
+}
+
+fn io_err(site: &str, path: &Path, e: std::io::Error) -> StorageError {
+    StorageError::Io(format!("{site} {}: {e}", path.display()))
+}
+
+/// Append `bytes` to an open file, honoring the crash plan: a torn crash
+/// persists `bytes[..len/2]` and then fails, leaving exactly the partial
+/// record a mid-write power loss would.
+pub(crate) fn write_all_crash(
+    file: &mut File,
+    bytes: &[u8],
+    site: &str,
+    path: &Path,
+) -> Result<(), StorageError> {
+    match crash_point(site)? {
+        CrashOrder::Proceed => file.write_all(bytes).map_err(|e| io_err(site, path, e)),
+        CrashOrder::Torn => {
+            let half = bytes.len() / 2;
+            let _ = file.write_all(&bytes[..half]);
+            let _ = file.sync_data();
+            Err(StorageError::Io(format!(
+                "chaos: simulated torn write at {site} ({half}/{} bytes)",
+                bytes.len()
+            )))
+        }
+    }
+}
+
+/// fsync a file's data (and metadata), honoring the crash plan.
+pub(crate) fn sync_crash(file: &File, site: &str, path: &Path) -> Result<(), StorageError> {
+    if let CrashOrder::Torn = crash_point(site)? {
+        // An fsync cannot tear; treat as a clean death.
+        return Err(StorageError::Io(format!(
+            "chaos: simulated crash at {site}"
+        )));
+    }
+    FSYNC_COUNT.fetch_add(1, Ordering::Relaxed);
+    file.sync_all().map_err(|e| io_err(site, path, e))
+}
+
+/// Rename, honoring the crash plan (renames are atomic on POSIX — they
+/// either happened or they didn't, so only clean crashes apply).
+pub(crate) fn rename_crash(from: &Path, to: &Path, site: &str) -> Result<(), StorageError> {
+    if !matches!(crash_point(site)?, CrashOrder::Proceed) {
+        return Err(StorageError::Io(format!(
+            "chaos: simulated crash at {site}"
+        )));
+    }
+    std::fs::rename(from, to).map_err(|e| io_err(site, to, e))
+}
+
+/// fsync the directory containing `path`, making a preceding rename or
+/// file creation durable. Honoring the crash plan.
+pub(crate) fn sync_parent_dir(path: &Path, site: &str) -> Result<(), StorageError> {
+    if !matches!(crash_point(site)?, CrashOrder::Proceed) {
+        return Err(StorageError::Io(format!(
+            "chaos: simulated crash at {site}"
+        )));
+    }
+    let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) else {
+        return Ok(());
+    };
+    let d = File::open(dir).map_err(|e| io_err(site, dir, e))?;
+    FSYNC_COUNT.fetch_add(1, Ordering::Relaxed);
+    d.sync_all().map_err(|e| io_err(site, dir, e))
+}
+
+/// Atomically replace `path` with `bytes`: write `path.tmp`, fsync it,
+/// rename over `path`, fsync the directory. A crash at any step leaves
+/// either the old file or the new one — never a torn mix. `site` prefixes
+/// the crash-point names (`<site>.write` / `.fsync` / `.rename` /
+/// `.dirsync`).
+pub(crate) fn atomic_write(path: &Path, bytes: &[u8], site: &str) -> Result<(), StorageError> {
+    let mut tmp_name = path.file_name().map(|n| n.to_os_string()).ok_or_else(|| {
+        StorageError::Io(format!("{site}: path {} has no file name", path.display()))
+    })?;
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let write_site = format!("{site}.write");
+    let result = (|| {
+        let mut f = File::create(&tmp).map_err(|e| io_err(&write_site, &tmp, e))?;
+        write_all_crash(&mut f, bytes, &write_site, &tmp)?;
+        sync_crash(&f, &format!("{site}.fsync"), &tmp)?;
+        drop(f);
+        rename_crash(&tmp, path, &format!("{site}.rename"))?;
+        sync_parent_dir(path, &format!("{site}.dirsync"))
+    })();
+    if result.is_err() {
+        // Best-effort cleanup; the temp file is garbage either way.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// [`atomic_write`] in `io::Result` form, without chaos crash sites — the
+/// variant [`RetryPolicy`](crate::RetryPolicy) needs so it can classify
+/// the raw [`std::io::ErrorKind`] (retry transient, fail fast on
+/// permanent). Used by plain-text persistence; the durability layer uses
+/// the crash-gated [`atomic_write`].
+pub(crate) fn atomic_write_io(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp_name = path.file_name().map(|n| n.to_os_string()).ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("path {} has no file name", path.display()),
+        )
+    })?;
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        FSYNC_COUNT.fetch_add(1, Ordering::Relaxed);
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)?;
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            FSYNC_COUNT.fetch_add(1, Ordering::Relaxed);
+            File::open(dir)?.sync_all()?;
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("gq_fsutil_{name}"));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn atomic_write_replaces_contents() {
+        let dir = tmp_dir("replace");
+        let path = dir.join("f.txt");
+        atomic_write(&path, b"first", "test").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second", "test").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        assert!(!path.with_file_name("f.txt.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_to_missing_dir_errors() {
+        let path = std::env::temp_dir()
+            .join("gq_fsutil_no_such_dir")
+            .join("f.txt");
+        assert!(matches!(
+            atomic_write(&path, b"x", "test"),
+            Err(StorageError::Io(_))
+        ));
+    }
+}

@@ -18,16 +18,23 @@
 #![deny(clippy::unwrap_used, clippy::expect_used)]
 
 mod catalog;
+mod crc;
+mod durable;
 mod error;
+mod fsutil;
 mod index;
 mod persist;
 mod relation;
 mod schema;
 mod tuple;
 mod value;
+pub mod wal;
 
 pub use catalog::Database;
+pub use crc::crc32;
+pub use durable::{CheckpointStats, DurabilityStats, DurableDatabase, RecoveryStats};
 pub use error::StorageError;
+pub use fsutil::fsyncs_issued;
 pub use index::HashIndex;
 pub use persist::{
     from_text, load, load_with_retry, save, save_with_retry, to_text, PersistError, RetryPolicy,

@@ -4,6 +4,7 @@
 //! be saved and reloaded without external dependencies:
 //!
 //! ```text
+//! # epoch 7
 //! # comment
 //! relation student(name)
 //! s"ann"
@@ -18,8 +19,19 @@
 //! `s"…"` for strings (with `\"`, `\\`, `\n`, `\|` escapes). Only user
 //! values are persisted — the internal `∅`/`⊥` markers never occur in user
 //! relations by construction.
+//!
+//! The `# epoch <n>` header persists the catalog epoch: a database
+//! reloaded from text resumes its epoch sequence instead of resetting to
+//! the replayed mutation count, so epoch-keyed caches (the plan cache)
+//! can never see a reloaded catalog collide with an epoch they already
+//! served. Files without the header (hand-written fixtures) still load;
+//! their epoch is the natural mutation count of the parse.
+//!
+//! Saves are *atomic*: the text is written to a temp file, fsynced, and
+//! renamed over the target, so a crash or full disk mid-save can destroy
+//! at worst the temp file — never the previous good database file.
 
-use crate::{Database, Schema, StorageError, Tuple, Value};
+use crate::{fsutil, Database, Schema, StorageError, Tuple, Value};
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -58,8 +70,28 @@ impl RetryPolicy {
         self.base_delay * 2u32.saturating_pow(retry)
     }
 
+    /// True for [`std::io::ErrorKind`]s that no amount of retrying will
+    /// fix: the file is missing, access is denied, the disk is full, the
+    /// filesystem is read-only, or the request itself is malformed.
+    /// Retrying these only delays the inevitable (and a full-disk retry
+    /// loop can actively make an incident worse).
+    fn is_permanent(kind: std::io::ErrorKind) -> bool {
+        use std::io::ErrorKind::*;
+        matches!(
+            kind,
+            NotFound
+                | PermissionDenied
+                | StorageFull
+                | ReadOnlyFilesystem
+                | Unsupported
+                | InvalidInput
+        )
+    }
+
     /// Run `op` under this policy. `describe` names the operation for the
-    /// error message.
+    /// error message. Transient I/O errors (interrupted syscalls, busy
+    /// resources, timeouts) are retried with backoff; *permanent* kinds —
+    /// see [`RetryPolicy::is_permanent`] — fail fast on the first attempt.
     fn run<T>(
         &self,
         describe: &str,
@@ -78,6 +110,12 @@ impl RetryPolicy {
             }
             match op() {
                 Ok(v) => return Ok(v),
+                Err(e) if Self::is_permanent(e.kind()) => {
+                    return Err(StorageError::Io(format!(
+                        "{describe} failed: {e} (permanent {:?}, not retried)",
+                        e.kind()
+                    )));
+                }
                 Err(e) => {
                     last = Some(e.to_string());
                     if retry + 1 < attempts && !self.base_delay.is_zero() {
@@ -111,9 +149,11 @@ impl std::fmt::Display for PersistError {
 
 impl std::error::Error for PersistError {}
 
-/// Serialize a database to the text format.
+/// Serialize a database to the text format, including the `# epoch <n>`
+/// header so a reload resumes the catalog's epoch sequence.
 pub fn to_text(db: &Database) -> String {
     let mut out = String::new();
+    let _ = writeln!(out, "# epoch {}", db.epoch());
     for rel in db.relations() {
         let attrs: Vec<&str> = rel.schema().attributes().collect();
         // Writing into a String is infallible.
@@ -127,13 +167,27 @@ pub fn to_text(db: &Database) -> String {
 }
 
 /// Parse a database from the text format.
+///
+/// If the text carries a `# epoch <n>` header the parsed database's epoch
+/// is set to `max(n, natural)` — where *natural* is the epoch the parse's
+/// own create/insert mutations produced — so a reload can never rewind
+/// the epoch below a value the original database already handed out.
 pub fn from_text(text: &str) -> Result<Database, PersistError> {
     let mut db = Database::new();
     let mut current: Option<String> = None;
+    let mut header_epoch: Option<u64> = None;
     for (i, raw) in text.lines().enumerate() {
         let lineno = i + 1;
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
+            if header_epoch.is_none() {
+                if let Some(n) = line
+                    .strip_prefix("# epoch ")
+                    .and_then(|rest| rest.trim().parse::<u64>().ok())
+                {
+                    header_epoch = Some(n);
+                }
+            }
             continue;
         }
         if let Some(rest) = line.strip_prefix("relation ") {
@@ -162,6 +216,10 @@ pub fn from_text(text: &str) -> Result<Database, PersistError> {
             })?;
         }
     }
+    if let Some(h) = header_epoch {
+        let natural = db.epoch();
+        db.set_epoch(h.max(natural));
+    }
     Ok(db)
 }
 
@@ -171,6 +229,10 @@ pub fn save(db: &Database, path: &std::path::Path) -> Result<(), StorageError> {
 }
 
 /// Save to a file, retrying transient I/O failures under `policy`.
+///
+/// The write is atomic: the text goes to `<path>.tmp`, is fsynced, and is
+/// renamed over `path` — a crash or ENOSPC mid-save never leaves a torn
+/// or truncated database file behind.
 pub fn save_with_retry(
     db: &Database,
     path: &std::path::Path,
@@ -178,7 +240,7 @@ pub fn save_with_retry(
 ) -> Result<(), StorageError> {
     let text = to_text(db);
     policy.run(&format!("write {}", path.display()), || {
-        std::fs::write(path, &text)
+        fsutil::atomic_write_io(path, text.as_bytes())
     })
 }
 
@@ -390,13 +452,134 @@ mod tests {
     }
 
     #[test]
-    fn missing_file_reports_io_error_after_retries() {
+    fn missing_file_fails_fast_without_retry() {
+        // NotFound is permanent: retrying a missing file cannot make it
+        // appear, so the policy must fail on the first attempt.
         let path = std::env::temp_dir().join("gq_persist_test_does_not_exist.gq");
         let err = load_with_retry(&path, &RetryPolicy::no_delay(3)).unwrap_err();
         match err {
-            StorageError::Io(msg) => assert!(msg.contains("3 attempts"), "got: {msg}"),
+            StorageError::Io(msg) => {
+                assert!(msg.contains("not retried"), "got: {msg}");
+                assert!(!msg.contains("attempts"), "got: {msg}");
+            }
             other => panic!("expected Io error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn permanent_kinds_classified() {
+        use std::io::ErrorKind::*;
+        for kind in [
+            NotFound,
+            PermissionDenied,
+            StorageFull,
+            ReadOnlyFilesystem,
+            Unsupported,
+            InvalidInput,
+        ] {
+            assert!(RetryPolicy::is_permanent(kind), "{kind:?}");
+        }
+        for kind in [Interrupted, TimedOut, WouldBlock, ResourceBusy, Other] {
+            assert!(!RetryPolicy::is_permanent(kind), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn transient_errors_still_retried() {
+        let mut calls = 0;
+        let out: Result<(), _> = RetryPolicy::no_delay(3).run("probe", || {
+            calls += 1;
+            Err(std::io::Error::new(std::io::ErrorKind::TimedOut, "flaky"))
+        });
+        assert_eq!(calls, 3);
+        let msg = match out.unwrap_err() {
+            StorageError::Io(m) => m,
+            other => panic!("expected Io, got {other:?}"),
+        };
+        assert!(msg.contains("3 attempts"), "got: {msg}");
+
+        let mut calls = 0;
+        let out: Result<(), _> = RetryPolicy::no_delay(3).run("probe", || {
+            calls += 1;
+            Err(std::io::Error::new(
+                std::io::ErrorKind::PermissionDenied,
+                "locked",
+            ))
+        });
+        assert_eq!(calls, 1, "permanent error must not be retried");
+        assert!(out.is_err());
+    }
+
+    #[test]
+    fn save_leaves_no_temp_file_and_replaces_atomically() {
+        let dir = std::env::temp_dir().join("gq_persist_test_atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.gq");
+        save(&sample(), &path).unwrap();
+        let first = std::fs::read_to_string(&path).unwrap();
+        let mut db2 = sample();
+        db2.insert("student", tuple!["carol"]).unwrap();
+        save(&db2, &path).unwrap();
+        let second = std::fs::read_to_string(&path).unwrap();
+        assert_ne!(first, second);
+        assert!(second.contains("carol"));
+        assert!(!dir.join("db.gq.tmp").exists(), "temp file left behind");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn epoch_header_round_trips() {
+        let db = sample();
+        let text = to_text(&db);
+        assert!(
+            text.starts_with(&format!("# epoch {}\n", db.epoch())),
+            "missing epoch header:\n{text}"
+        );
+        let back = from_text(&text).unwrap();
+        assert_eq!(back.epoch(), db.epoch());
+    }
+
+    #[test]
+    fn headerless_text_still_loads() {
+        // Hand-written fixtures have no epoch header; the natural parse
+        // epoch applies.
+        let db = from_text("relation p(a)\ni1\ni2\n").unwrap();
+        assert_eq!(db.relation("p").unwrap().len(), 2);
+        assert_eq!(db.epoch(), 3); // create + 2 inserts
+    }
+
+    #[test]
+    fn reload_never_reissues_a_seen_epoch() {
+        // Regression: removes don't appear in the text, so the replayed
+        // mutation count undercounts the original epoch. Without the
+        // header a reloaded database would re-issue epochs the original
+        // already handed out, and an (epoch, key)-keyed plan cache would
+        // serve stale plans for a different catalog state.
+        let mut db = Database::new();
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(db.epoch());
+        db.create_relation("p", Schema::anonymous(1)).unwrap();
+        seen.insert(db.epoch());
+        db.insert("p", tuple![1]).unwrap();
+        seen.insert(db.epoch());
+        db.insert("p", tuple![2]).unwrap();
+        seen.insert(db.epoch());
+        db.remove("p", &tuple![1]).unwrap();
+        seen.insert(db.epoch());
+
+        let dir = std::env::temp_dir().join("gq_persist_test_epoch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.gq");
+        save(&db, &path).unwrap();
+        let mut back = load(&path).unwrap();
+        assert_eq!(back.epoch(), db.epoch(), "reload must resume the epoch");
+        back.insert("p", tuple![3]).unwrap();
+        assert!(
+            !seen.contains(&back.epoch()),
+            "reloaded db re-issued epoch {}",
+            back.epoch()
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -433,5 +616,105 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let err = save_with_retry(&sample(), &dir, &RetryPolicy::no_delay(2)).unwrap_err();
         assert!(matches!(err, StorageError::Io(_)));
+    }
+}
+
+/// Property tests: `from_text(to_text(db))` reproduces `db` exactly —
+/// same relations, schemas, tuple sets, and epoch — across generated
+/// databases that lean on the format's hard cases: escape-heavy strings
+/// (`"`, `\`, `|`, newlines), empty relations, zero-arity-free schemas,
+/// and i64 extremes.
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Escape-heavy building blocks; generated strings concatenate a few.
+    const STR_POOL: &[&str] = &[
+        "",
+        "plain",
+        "a|b",
+        "\"",
+        "\\",
+        "|",
+        "\n",
+        "quote\"inside",
+        "back\\slash",
+        "line\nbreak",
+        "\\n",
+        "s\"tricky",
+        "ends with \\",
+        "|||",
+        "\"\\|\n",
+        "  padded  ",
+        "relation p(a)",
+        "# epoch 99",
+    ];
+
+    fn arb_value() -> BoxedStrategy<Value> {
+        prop_oneof![
+            any::<i64>().prop_map(Value::Int),
+            Just(Value::Int(i64::MIN)),
+            Just(Value::Int(i64::MAX)),
+            (0usize..STR_POOL.len()).prop_map(|i| Value::str(STR_POOL[i])),
+            prop::collection::vec(0usize..STR_POOL.len(), 0..4).prop_map(|parts| {
+                Value::str(parts.into_iter().map(|i| STR_POOL[i]).collect::<String>())
+            }),
+        ]
+    }
+
+    /// A generated database: up to 4 relations with arities 1..=3 and
+    /// 0..=6 rows each (0 rows ⇒ an empty relation survives the trip).
+    fn arb_db() -> BoxedStrategy<Database> {
+        let rel = (
+            0usize..4,  // name index
+            1usize..=3, // arity
+            prop::collection::vec(prop::collection::vec(arb_value(), 3), 0..6),
+        );
+        prop::collection::vec(rel, 0..4).prop_map(|rels| {
+            let mut db = Database::new();
+            for (name_ix, arity, rows) in rels {
+                let name = format!("rel{name_ix}");
+                if db.has_relation(&name) {
+                    continue;
+                }
+                let attrs: Vec<String> = (0..arity).map(|i| format!("a{i}")).collect();
+                db.create_relation(&name, Schema::new(attrs).unwrap())
+                    .unwrap();
+                for row in rows {
+                    let t = Tuple::new(row.into_iter().take(arity).collect());
+                    db.insert(&name, t).unwrap();
+                }
+            }
+            db
+        })
+    }
+
+    fn dbs_equal(a: &Database, b: &Database) -> bool {
+        let names_a: Vec<&str> = a.relation_names().collect();
+        let names_b: Vec<&str> = b.relation_names().collect();
+        names_a == names_b
+            && names_a.iter().all(|n| {
+                let ra = a.relation(n).unwrap();
+                let rb = b.relation(n).unwrap();
+                ra.set_eq(rb) && ra.schema() == rb.schema()
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+
+        #[test]
+        fn text_round_trip_is_identity(db in arb_db()) {
+            let text = to_text(&db);
+            let back = from_text(&text).unwrap_or_else(|e| {
+                panic!("reparse failed: {e}\n--- text ---\n{text}")
+            });
+            prop_assert!(dbs_equal(&db, &back), "round trip changed db:\n{}", text);
+            prop_assert_eq!(back.epoch(), db.epoch());
+            // Idempotence: a second trip emits byte-identical text.
+            prop_assert_eq!(to_text(&back), text);
+        }
     }
 }

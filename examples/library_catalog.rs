@@ -95,7 +95,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // --- Domain closure (§2.1) ------------------------------------------
-    engine.refresh_domain_view();
+    engine.refresh_domain_view()?;
     let options = EngineOptions {
         domain_closure: true,
         ..EngineOptions::default()

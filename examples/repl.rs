@@ -25,8 +25,11 @@
 //! `.explain <query>`,
 //! `:analyze <query>` (execute with per-node instrumentation and render
 //! the annotated plan), `.load-university <n>`, `.save <file>`,
-//! `.load <file>`, `.help`, `.quit`. Anything else is evaluated as a
-//! calculus query.
+//! `.load <file>`,
+//! `.open <dir>` (crash-safe durable database: WAL + checkpoints;
+//! mutations survive crashes), `.checkpoint` (atomic snapshot, WAL
+//! restarts empty), `.wal` (durability counters), `.help`, `.quit`.
+//! Anything else is evaluated as a calculus query.
 
 use gq_core::{PreparedQuery, QueryEngine, QueryLimits, Strategy};
 use gq_storage::{Database, Schema, Tuple, Value};
@@ -74,14 +77,13 @@ impl Repl {
     fn dispatch(&mut self, line: &str) -> Result<(), Box<dyn std::error::Error>> {
         if let Some(rest) = line.strip_prefix(".relation ") {
             let (name, attrs) = parse_signature(rest)?;
-            self.engine
-                .db_mut()
-                .create_relation(name, Schema::new(attrs)?)?;
+            // Routed through the engine so a durable store WAL-logs it.
+            self.engine.create_relation(name, Schema::new(attrs)?)?;
             println!("ok");
         } else if let Some(rest) = line.strip_prefix(".insert ") {
             let (name, values) = parse_signature(rest)?;
             let tuple: Tuple = values.into_iter().map(parse_value).collect();
-            let fresh = self.engine.db_mut().insert(&name, tuple)?;
+            let fresh = self.engine.insert(&name, tuple)?;
             println!(
                 "{}",
                 if fresh {
@@ -89,6 +91,42 @@ impl Repl {
                 } else {
                     "duplicate (ignored)"
                 }
+            );
+        } else if let Some(rest) = line.strip_prefix(".open ") {
+            let dir = std::path::PathBuf::from(rest.trim());
+            let (engine, recovery) = QueryEngine::open_durable(&dir)?;
+            self.engine = engine;
+            self.prepared.clear();
+            println!("{recovery}");
+            println!(
+                "durable database at {} ({} relations, {} tuples)",
+                dir.display(),
+                self.engine.db().relation_names().count(),
+                self.engine.db().total_tuples()
+            );
+        } else if line == ".checkpoint" {
+            let ck = self.engine.checkpoint()?;
+            println!(
+                "checkpoint: generation {}, {} bytes, {} WAL record{} folded in",
+                ck.generation,
+                ck.snapshot_bytes,
+                ck.wal_records_folded,
+                if ck.wal_records_folded == 1 { "" } else { "s" },
+            );
+        } else if line == ".wal" {
+            let Some(s) = self.engine.durability_stats() else {
+                return Err("no durable database attached (.open <dir>)".into());
+            };
+            println!(
+                "wal: {} append{} ({} bytes), {} since last checkpoint",
+                s.wal_appends,
+                if s.wal_appends == 1 { "" } else { "s" },
+                s.wal_bytes,
+                s.wal_records_since_checkpoint,
+            );
+            println!(
+                "fsyncs: {}  checkpoints: {}  recoveries: {}  torn tails truncated: {}",
+                s.fsyncs, s.checkpoints, s.recoveries, s.torn_tail_truncations
             );
         } else if let Some(rest) = line.strip_prefix(".view ") {
             let rest = rest.trim();
@@ -267,6 +305,9 @@ impl Repl {
                  .view name <query>        define a view (usable as an atom)\n\
                  .views                    list views\n\
                  .save <file> / .load <file>  persist / restore the database\n\
+                 .open <dir>               attach a crash-safe durable database (WAL + checkpoints)\n\
+                 .checkpoint               atomic snapshot; the WAL restarts empty\n\
+                 .wal                      durability counters (appends, fsyncs, recoveries)\n\
                  .insert name(value, …)    insert a tuple (strings quoted, ints bare)\n\
                  .relations                list relations\n\
                  .strategy s               improved | classical | nested-loop\n\
