@@ -37,7 +37,7 @@ use crate::eval::{
     arity_of, contains_literal, eval_predicate, fill_key, key_of, Evaluator, JoinAlgorithm,
 };
 use crate::{AlgebraError, AlgebraExpr, WorkerStats};
-use gq_governor::GovernorError;
+use gq_governor::{Governor, GovernorError};
 use gq_storage::{HashIndex, Tuple, Value};
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
@@ -161,11 +161,20 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-fn worker_panic(message: String) -> AlgebraError {
-    AlgebraError::Governor(GovernorError::WorkerPanic {
+/// Convert a contained worker panic into the structured error, routing
+/// it through the governor's trip hook (when one is attached) so the
+/// flight recorder sees the panic with the owning query's id — panics
+/// are caught out here at the coordinator, not inside the governor.
+fn worker_panic(governor: Option<&Governor>, message: String) -> AlgebraError {
+    let err = GovernorError::WorkerPanic {
         phase: "evaluate",
         message,
-    })
+    };
+    let err = match governor {
+        Some(g) => g.trip(err),
+        None => err,
+    };
+    AlgebraError::Governor(err)
 }
 
 /// The batch executor: a thin coordinator around an [`Evaluator`], owning
@@ -682,7 +691,7 @@ impl<'db> ParallelExec<'_, 'db> {
             }
         });
         match panicked {
-            Some(message) => Err(worker_panic(message)),
+            Some(message) => Err(worker_panic(self.ev.governor.as_ref(), message)),
             None => Ok(PartIndex { parts }),
         }
     }
@@ -729,7 +738,7 @@ impl<'db> ParallelExec<'_, 'db> {
             }
         });
         match panicked {
-            Some(message) => Err(worker_panic(message)),
+            Some(message) => Err(worker_panic(self.ev.governor.as_ref(), message)),
             None => Ok(parts),
         }
     }
@@ -772,7 +781,7 @@ impl<'db> ParallelExec<'_, 'db> {
                     f(&mut ws, mi, chunk)
                 })) {
                     Ok(r) => out.push(r),
-                    Err(p) => return Err(worker_panic(panic_message(p))),
+                    Err(p) => return Err(worker_panic(governor, panic_message(p))),
                 }
             }
             ws.merge_into(&mut self.ev.stats.borrow_mut());
@@ -852,7 +861,7 @@ impl<'db> ParallelExec<'_, 'db> {
             }
         }
         if let Some(message) = first_panic {
-            return Err(worker_panic(message));
+            return Err(worker_panic(governor, message));
         }
         if let Some(g) = governor {
             g.check("evaluate")?;

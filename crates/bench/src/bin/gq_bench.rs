@@ -1,0 +1,181 @@
+//! `gq-bench` — perf-regression tooling for the serving path.
+//!
+//! * `gq-bench micro [--samples N] [--out FILE]` — the flight-recorder
+//!   overhead microbench (producer/filter query, journal off vs on);
+//!   writes a schema-versioned, host-stamped `BENCH_micro.json`.
+//! * `gq-bench diff <baseline> <candidate> [--threshold R]` — compare two
+//!   `BENCH_*.json` dumps and exit **1** when any `_ns` timing regressed
+//!   past the threshold. The threshold defaults to 1.5×, can come from
+//!   `GQ_BENCH_DIFF_THRESHOLD`, and `GQ_BENCH_DIFF_WARN=1` turns failures
+//!   into warnings (CI smoke mode on shared runners). Exit **2** means
+//!   usage or I/O error, never a perf verdict.
+
+use gq_bench::diff::{diff, stamp, threshold_from, DiffReport};
+use gq_bench::flight_recorder_overhead;
+use gq_obs::Json;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  gq-bench micro [--samples N] [--out FILE]
+  gq-bench diff <baseline.json> <candidate.json> [--threshold R]
+
+env:
+  GQ_BENCH_SMOKE=1           fewer samples (CI smoke mode)
+  GQ_BENCH_DIFF_THRESHOLD=R  default diff threshold (CLI flag wins)
+  GQ_BENCH_DIFF_WARN=1       report regressions but exit 0";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("micro") => micro(&args[1..]),
+        Some("diff") => run_diff(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parse `--flag value` out of `args`, returning (value, positionals).
+fn take_flag(args: &[String], flag: &str) -> (Option<String>, Vec<String>) {
+    let mut value = None;
+    let mut rest = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == flag && i + 1 < args.len() {
+            value = Some(args[i + 1].clone());
+            i += 2;
+        } else {
+            rest.push(args[i].clone());
+            i += 1;
+        }
+    }
+    (value, rest)
+}
+
+fn micro(args: &[String]) -> ExitCode {
+    let (samples_arg, rest) = take_flag(args, "--samples");
+    let (out_arg, rest) = take_flag(&rest, "--out");
+    if !rest.is_empty() {
+        eprintln!("micro: unexpected argument '{}'\n{USAGE}", rest[0]);
+        return ExitCode::from(2);
+    }
+    let smoke = std::env::var("GQ_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let default_samples = if smoke { 5 } else { 25 };
+    let samples = match samples_arg {
+        None => default_samples,
+        Some(s) => match s.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("micro: --samples wants a positive integer, got '{s}'");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    // Smoke mode trims samples, never the workload: the dump must stay
+    // diff-comparable against a full-fidelity baseline.
+    let size = 200;
+    let o = flight_recorder_overhead(size, samples);
+    println!(
+        "flight recorder off: {} median  on: {} median  ({:.3}x, {} events/query)",
+        gq_obs::fmt_ns(o.off_median_ns),
+        gq_obs::fmt_ns(o.on_median_ns),
+        o.ratio(),
+        o.events_per_query,
+    );
+    let doc = stamp(
+        Json::obj()
+            .field("bench", "flight_recorder_overhead")
+            .field(
+                "workload",
+                format!("university(n={size}, completionist_rate=0.1)"),
+            )
+            .field("query", "producer-or (§2.3)")
+            .field("samples_per_point", samples)
+            .field(
+                "flight_recorder",
+                Json::obj()
+                    .field("journal_off_median_ns", o.off_median_ns)
+                    .field("journal_on_median_ns", o.on_median_ns)
+                    .field("overhead_ratio", format!("{:.3}", o.ratio()))
+                    .field("events_per_query", o.events_per_query),
+            ),
+    );
+    let path = out_arg.unwrap_or_else(|| "BENCH_micro.json".to_string());
+    match std::fs::write(&path, format!("{}\n", doc.pretty())) {
+        Ok(()) => {
+            eprintln!("wrote {path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_diff(args: &[String]) -> ExitCode {
+    let (threshold_arg, rest) = take_flag(args, "--threshold");
+    let threshold_cli = match threshold_arg {
+        None => None,
+        Some(s) => match s.parse::<f64>() {
+            Ok(t) if t.is_finite() && t > 1.0 => Some(t),
+            _ => {
+                eprintln!("diff: --threshold wants a ratio > 1.0, got '{s}'");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let [base_path, new_path] = rest.as_slice() else {
+        eprintln!("diff: expected exactly two files\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let load = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (base, new) = match (load(base_path), load(new_path)) {
+        (Ok(b), Ok(n)) => (b, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let threshold = threshold_from(threshold_cli);
+    let report = match diff(&base, &new, threshold) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    render(&report, base_path, new_path, threshold);
+    let warn_only = std::env::var("GQ_BENCH_DIFF_WARN").is_ok_and(|v| v == "1");
+    if report.passed() || warn_only {
+        if !report.passed() {
+            eprintln!("GQ_BENCH_DIFF_WARN=1: reporting only, exit 0");
+        }
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn render(report: &DiffReport, base_path: &str, new_path: &str, threshold: f64) {
+    println!(
+        "compared {} timings ({} below noise floor) from {base_path} -> {new_path}, threshold {threshold:.2}x",
+        report.compared, report.below_floor,
+    );
+    for miss in &report.missing {
+        println!("  missing in candidate: {miss}");
+    }
+    if report.regressions.is_empty() {
+        println!("  no regressions");
+    }
+    for r in &report.regressions {
+        println!("  REGRESSED {r}");
+    }
+    if let Some(best) = &report.best_improvement {
+        println!("  best improvement: {best}");
+    }
+}

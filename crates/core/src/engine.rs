@@ -5,8 +5,11 @@ use crate::plan_cache::{CompiledKind, CompiledPlan, PlanCache, PlanCacheStats, P
 use crate::EngineError;
 use gq_algebra::{Evaluator, ExecConfig, ExecStats, PlanProfiler};
 use gq_calculus::{alpha_canonical, parse, Formula, Var};
-use gq_governor::{CancelToken, Governor, QueryLimits, Resource};
-use gq_obs::{QueryTrace, Registry, SpanGuard, TraceBuilder};
+use gq_governor::{CancelToken, Governor, GovernorError, QueryLimits, Resource, TripHook};
+use gq_obs::{
+    EventData, EventKind, Journal, MetricsSnapshot, QueryTrace, Registry, SlowLog, SlowLogEntry,
+    SpanGuard, TraceBuilder,
+};
 use gq_pipeline::{LoopProfiler, PipelineEvaluator};
 use gq_rewrite::{canonicalize_governed, canonicalize_traced_governed};
 use gq_storage::{
@@ -156,7 +159,21 @@ pub struct QueryEngine {
     /// only by the prepared-query entry points ([`QueryEngine::prepare`] /
     /// [`QueryEngine::execute`]); ad-hoc queries always compile fresh.
     plan_cache: PlanCache,
+    /// The flight recorder: a bounded ring of lifecycle events (query
+    /// start/end, plan-cache hit/miss, governor trips, WAL/checkpoint
+    /// activity). Enabled at engine construction — "always on" — and
+    /// switchable off at runtime, at which point every record site is a
+    /// single relaxed load.
+    journal: Arc<Journal>,
+    /// The slow-query log: full traces + governor watermarks, retained
+    /// only for queries breaching its thresholds. Disarmed by default
+    /// (queries are then not traced at all).
+    slow_log: Arc<SlowLog>,
 }
+
+/// Window size (completed queries) for
+/// [`QueryEngine::metrics_snapshot`]'s rolling aggregates.
+const METRICS_WINDOW: usize = 128;
 
 /// A parsed query bound to a strategy and options, executable repeatedly
 /// via [`QueryEngine::execute`] through the engine's plan cache.
@@ -212,10 +229,26 @@ impl QueryEngine {
     /// the pre-crash catalog already used.
     pub fn open_durable(dir: &std::path::Path) -> Result<(Self, RecoveryStats), EngineError> {
         let (db, recovery) = DurableDatabase::open(dir)?;
-        Ok((Self::from_durable(db), recovery))
+        let engine = Self::from_durable(db);
+        engine.journal.record(|| {
+            EventData::new(EventKind::Recovery, 0, "durable").detail(format!(
+                "{} records replayed, generation {}, epoch {}{}",
+                recovery.wal_records_replayed,
+                recovery.generation,
+                recovery.recovered_epoch,
+                if recovery.torn_bytes > 0 {
+                    ", torn tail truncated"
+                } else {
+                    ""
+                }
+            ))
+        });
+        Ok((engine, recovery))
     }
 
     fn with_store(store: Store) -> Self {
+        let journal = Arc::new(Journal::default());
+        journal.enable();
         QueryEngine {
             store,
             index_cache: gq_algebra::IndexCache::new(),
@@ -225,6 +258,8 @@ impl QueryEngine {
             limits: QueryLimits::UNLIMITED,
             cancel: CancelToken::new(),
             plan_cache: PlanCache::default(),
+            journal,
+            slow_log: Arc::new(SlowLog::default()),
         }
     }
 
@@ -284,6 +319,35 @@ impl QueryEngine {
         &self.metrics
     }
 
+    /// A [`MetricsSnapshot`] joined with the flight recorder's rolling
+    /// window over the last 128-or-fewer completed queries (p50/p99
+    /// latency, plan-cache hit rate, governor trips). The window is
+    /// `None` when the journal has seen no completions.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.metrics.snapshot();
+        let window = self.journal.window_stats(METRICS_WINDOW);
+        if window.queries > 0 {
+            snap.window = Some(window);
+        }
+        snap
+    }
+
+    /// The flight recorder. Enabled from construction; disable it
+    /// ([`Journal::disable`]) to make every record site a single relaxed
+    /// atomic load. The `Arc` can be cloned for out-of-band readers
+    /// (REPL export, monitoring threads).
+    pub fn journal(&self) -> &Arc<Journal> {
+        &self.journal
+    }
+
+    /// The slow-query log. Disarmed by default; arm it with
+    /// [`SlowLog::set_latency_threshold`] /
+    /// [`SlowLog::set_tuple_threshold`] and breaching queries retain
+    /// their full [`QueryTrace`] plus governor watermarks.
+    pub fn slow_log(&self) -> &Arc<SlowLog> {
+        &self.slow_log
+    }
+
     /// Define a view: a named open query usable as an atom in later
     /// queries (Definition 1 allows views as ranges). The body's free
     /// variables, in name order, are the view's columns.
@@ -337,9 +401,15 @@ impl QueryEngine {
             ))),
             Store::Durable(d) => {
                 let before = d.stats();
+                self.journal.record(|| {
+                    EventData::new(EventKind::CheckpointBegin, 0, "durable").detail(format!(
+                        "{} WAL records since last checkpoint",
+                        before.wal_records_since_checkpoint
+                    ))
+                });
                 let out = d.checkpoint();
                 let after = d.stats();
-                self.record_durability(before, after);
+                self.record_durability("checkpoint", before, after);
                 Ok(out?)
             }
         }
@@ -359,7 +429,7 @@ impl QueryEngine {
                 let before = d.stats();
                 let out = d.create_relation(name, schema);
                 let after = d.stats();
-                self.record_durability(before, after);
+                self.record_durability("create-relation", before, after);
                 Ok(out?)
             }
         }
@@ -375,7 +445,7 @@ impl QueryEngine {
                 let before = d.stats();
                 let out = d.insert(relation, t);
                 let after = d.stats();
-                self.record_durability(before, after);
+                self.record_durability("insert", before, after);
                 Ok(out?)
             }
         }
@@ -391,15 +461,49 @@ impl QueryEngine {
                 let before = d.stats();
                 let out = d.remove(relation, t);
                 let after = d.stats();
-                self.record_durability(before, after);
+                self.record_durability("remove", before, after);
                 Ok(out?)
             }
         }
     }
 
-    /// Mirror a durable-stats delta into `durability.*` metrics (no-op
-    /// unless the registry is enabled).
-    fn record_durability(&self, before: DurabilityStats, after: DurabilityStats) {
+    /// Mirror a durable-stats delta into `durability.*` metrics and
+    /// journal the WAL/checkpoint activity it proves (append, fsync,
+    /// commit, checkpoint end). `op` names the mutation for the journal
+    /// detail. The delta approach keeps gq-storage free of any
+    /// observability dependency.
+    fn record_durability(&self, op: &'static str, before: DurabilityStats, after: DurabilityStats) {
+        if self.journal.is_enabled() {
+            if after.wal_appends > before.wal_appends {
+                self.journal.record(|| {
+                    EventData::new(EventKind::WalAppend, 0, "durable").detail(format!(
+                        "{op}: {} records, {} bytes",
+                        after.wal_appends - before.wal_appends,
+                        after.wal_bytes.saturating_sub(before.wal_bytes),
+                    ))
+                });
+            }
+            if after.fsyncs > before.fsyncs {
+                self.journal.record(|| {
+                    EventData::new(EventKind::WalFsync, 0, "durable")
+                        .detail(format!("{op}: {} fsyncs", after.fsyncs - before.fsyncs))
+                });
+            }
+            // A mutation whose WAL record hit the disk reached its commit
+            // point; checkpoints restart the WAL and are not commits.
+            if after.wal_appends > before.wal_appends && op != "checkpoint" {
+                self.journal
+                    .record(|| EventData::new(EventKind::WalCommit, 0, "durable").detail(op));
+            }
+            if after.checkpoints > before.checkpoints {
+                self.journal.record(|| {
+                    EventData::new(EventKind::CheckpointEnd, 0, "durable").detail(format!(
+                        "{} checkpoints",
+                        after.checkpoints - before.checkpoints
+                    ))
+                });
+            }
+        }
         if !self.metrics.is_enabled() {
             return;
         }
@@ -456,7 +560,7 @@ impl QueryEngine {
                 let before = d.stats();
                 let out = d.replace_relation(named);
                 let after = d.stats();
-                self.record_durability(before, after);
+                self.record_durability("replace-relation", before, after);
                 Ok(out?)
             }
         }
@@ -563,10 +667,113 @@ impl QueryEngine {
         options: EngineOptions,
         tb: Option<&TraceBuilder>,
     ) -> Result<QueryResult, EngineError> {
-        let timer = self.metrics.is_enabled().then(Instant::now);
-        let result = self.run_phases(formula, strategy, options, tb);
+        // The query id is always allocated (one relaxed fetch_add) so ids
+        // stay monotone across journal enable/disable flips.
+        let query_id = self.journal.next_query_id();
+        let timer =
+            (self.metrics.is_enabled() || self.journal.is_enabled() || self.slow_log.is_armed())
+                .then(Instant::now);
+        self.journal.record(|| {
+            EventData::new(EventKind::QueryStart, query_id, "parse")
+                .detail(format!("[{}] {formula}", strategy.name()))
+        });
+        let governor = self.start_governor(query_id);
+        // When the slow log is armed and the caller is not already
+        // tracing, trace on its behalf — the trace is kept only if the
+        // query breaches a threshold.
+        let slow_tb = (self.slow_log.is_armed() && tb.is_none()).then(TraceBuilder::new);
+        let result = self.run_phases(
+            formula,
+            strategy,
+            options,
+            slow_tb.as_ref().or(tb),
+            &governor,
+        );
+        self.finish_query(
+            query_id,
+            timer,
+            &governor,
+            slow_tb.map(|t| (t, strategy)),
+            || formula.to_string(),
+            &result,
+        );
         self.record_query_metrics(strategy, timer, &result);
         result
+    }
+
+    /// Snapshot the limits into a per-query governor whose trip hook
+    /// journals every budget trip / cancellation / contained worker panic
+    /// with this query's id and the phase that tripped — satellite
+    /// attribution for `EngineError::{Cancelled, ResourceExhausted,
+    /// WorkerPanic}`. No hook is installed while the journal is off.
+    fn start_governor(&self, query_id: u64) -> Governor {
+        let hook: Option<TripHook> = if self.journal.is_enabled() {
+            let journal = Arc::clone(&self.journal);
+            Some(Arc::new(move |e: &GovernorError| {
+                let kind = match e {
+                    GovernorError::Cancelled { .. } => EventKind::Cancelled,
+                    GovernorError::ResourceExhausted { .. } => EventKind::GovernorTrip,
+                    GovernorError::WorkerPanic { .. } => EventKind::WorkerPanic,
+                };
+                journal.record(|| EventData::new(kind, query_id, e.phase()).detail(e.to_string()));
+            }))
+        } else {
+            None
+        };
+        Governor::start_hooked(self.limits, self.cancel.clone(), hook)
+    }
+
+    /// Journal the query's end event and retain it in the slow log when
+    /// it breached an armed threshold. `query_text` is rendered lazily —
+    /// never on the fast path.
+    fn finish_query(
+        &self,
+        query_id: u64,
+        timer: Option<Instant>,
+        governor: &Governor,
+        slow_tb: Option<(TraceBuilder, Strategy)>,
+        query_text: impl FnOnce() -> String,
+        result: &Result<QueryResult, EngineError>,
+    ) {
+        let elapsed_ns = timer.map(|t| t.elapsed().as_nanos() as u64).unwrap_or(0);
+        if self.journal.is_enabled() {
+            match result {
+                Ok(r) => self.journal.record(|| {
+                    EventData::new(EventKind::QueryEnd, query_id, "evaluate")
+                        .detail(format!("{} answers", r.len()))
+                        .dur_ns(elapsed_ns)
+                }),
+                Err(e) => {
+                    let message = e.to_string();
+                    // Chaos faults surface as their own event kind so a
+                    // seed sweep shows *where* injections landed.
+                    if message.contains("chaos:") {
+                        self.journal.record(|| {
+                            EventData::new(EventKind::Chaos, query_id, "evaluate")
+                                .detail(message.clone())
+                        });
+                    }
+                    self.journal.record(|| {
+                        EventData::new(EventKind::QueryError, query_id, "evaluate")
+                            .detail(message)
+                            .dur_ns(elapsed_ns)
+                    });
+                }
+            }
+        }
+        if let Some((tb, strategy)) = slow_tb {
+            let peak_tuples = governor.intermediate_tuples();
+            if let Some(reason) = self.slow_log.breach(elapsed_ns, peak_tuples) {
+                self.slow_log.push(SlowLogEntry {
+                    query_id,
+                    trace: tb.finish(query_text(), strategy.name()),
+                    peak_intermediate_tuples: peak_tuples,
+                    peak_memory_bytes: governor.memory_bytes(),
+                    answers: result.as_ref().map(|r| r.len() as u64).unwrap_or(0),
+                    reason,
+                });
+            }
+        }
     }
 
     /// Engine-lifetime counters/latency for one query outcome (no-op
@@ -606,16 +813,14 @@ impl QueryEngine {
         strategy: Strategy,
         options: EngineOptions,
         tb: Option<&TraceBuilder>,
+        governor: &Governor,
     ) -> Result<QueryResult, EngineError> {
         let formula = self.preprocess(formula, options, tb)?;
-        // Snapshot the limits into a per-query governor: the deadline
-        // starts now, and every downstream phase polls the same handle.
-        let governor = Governor::start(self.limits, self.cancel.clone());
         // Depth guard on the fully view-expanded formula — expansion can
         // deepen a query well past what the user typed.
         governor.check_depth("parse", Resource::FormulaDepth, formula.depth() as u64)?;
-        let compiled = self.compile(&formula, strategy, options, &governor, tb)?;
-        self.execute_compiled(&compiled, options, &governor, tb)
+        let compiled = self.compile(&formula, strategy, options, governor, tb)?;
+        self.execute_compiled(&compiled, options, governor, tb)
     }
 
     /// Phase 0: view expansion and (optional) Domain Closure completion.
@@ -879,9 +1084,11 @@ impl QueryEngine {
             options,
         };
         let expanded = self.preprocess(&prepared.formula, options, None)?;
-        let governor = Governor::start(self.limits, self.cancel.clone());
+        // Preparation is not a query: journal events it produces
+        // (plan-cache miss, governor trips) carry query id 0.
+        let governor = self.start_governor(0);
         governor.check_depth("parse", Resource::FormulaDepth, expanded.depth() as u64)?;
-        self.lookup_or_compile(&expanded, strategy, options, &governor, None)?;
+        self.lookup_or_compile(&expanded, strategy, options, &governor, None, 0)?;
         Ok(prepared)
     }
 
@@ -913,17 +1120,40 @@ impl QueryEngine {
         prepared: &PreparedQuery,
         tb: Option<&TraceBuilder>,
     ) -> Result<QueryResult, EngineError> {
-        let expanded = self.preprocess(&prepared.formula, prepared.options, tb)?;
-        let governor = Governor::start(self.limits, self.cancel.clone());
-        governor.check_depth("parse", Resource::FormulaDepth, expanded.depth() as u64)?;
-        let compiled = self.lookup_or_compile(
-            &expanded,
-            prepared.strategy,
-            prepared.options,
+        let query_id = self.journal.next_query_id();
+        let timer = (self.journal.is_enabled() || self.slow_log.is_armed()).then(Instant::now);
+        self.journal.record(|| {
+            EventData::new(EventKind::QueryStart, query_id, "parse").detail(format!(
+                "[{}] {}",
+                prepared.strategy.name(),
+                prepared.text
+            ))
+        });
+        let governor = self.start_governor(query_id);
+        let slow_tb = (self.slow_log.is_armed() && tb.is_none()).then(TraceBuilder::new);
+        let trace = slow_tb.as_ref().or(tb);
+        let result = (|| {
+            let expanded = self.preprocess(&prepared.formula, prepared.options, trace)?;
+            governor.check_depth("parse", Resource::FormulaDepth, expanded.depth() as u64)?;
+            let compiled = self.lookup_or_compile(
+                &expanded,
+                prepared.strategy,
+                prepared.options,
+                &governor,
+                trace,
+                query_id,
+            )?;
+            self.execute_compiled(&compiled, prepared.options, &governor, trace)
+        })();
+        self.finish_query(
+            query_id,
+            timer,
             &governor,
-            tb,
-        )?;
-        self.execute_compiled(&compiled, prepared.options, &governor, tb)
+            slow_tb.map(|t| (t, prepared.strategy)),
+            || prepared.text.clone(),
+            &result,
+        );
+        result
     }
 
     /// The plan-cache gate: answer from the cache when every compilation
@@ -939,6 +1169,7 @@ impl QueryEngine {
         options: EngineOptions,
         governor: &Governor,
         tb: Option<&TraceBuilder>,
+        query_id: u64,
     ) -> Result<Arc<CompiledPlan>, EngineError> {
         let key = PlanKey {
             canonical: alpha_canonical(expanded),
@@ -949,9 +1180,17 @@ impl QueryEngine {
         };
         if let Some(hit) = self.plan_cache.get(&key) {
             self.metrics.incr("plan_cache.hit", 1);
+            self.journal.record(|| {
+                EventData::new(EventKind::PlanCacheHit, query_id, "plan-cache")
+                    .detail(key.canonical.clone())
+            });
             return Ok(hit);
         }
         self.metrics.incr("plan_cache.miss", 1);
+        self.journal.record(|| {
+            EventData::new(EventKind::PlanCacheMiss, query_id, "plan-cache")
+                .detail(key.canonical.clone())
+        });
         let compiled = Arc::new(self.compile(expanded, strategy, options, governor, tb)?);
         // Account the cached plan's footprint against this query's
         // budgets — a memory-limited workload cannot hide allocations in
@@ -960,6 +1199,10 @@ impl QueryEngine {
         let evicted = self.plan_cache.insert(key, Arc::clone(&compiled));
         if evicted > 0 {
             self.metrics.incr("plan_cache.evict", evicted);
+            self.journal.record(|| {
+                EventData::new(EventKind::PlanCacheEvict, query_id, "plan-cache")
+                    .detail(format!("{evicted} evicted"))
+            });
         }
         Ok(compiled)
     }

@@ -58,5 +58,6 @@ pub use engine::{EngineOptions, PreparedQuery, QueryEngine, QueryResult, Strateg
 pub use error::EngineError;
 pub use gq_algebra::ExecConfig;
 pub use gq_governor::{CancelToken, GovernorError, QueryLimits, Resource};
+pub use gq_obs::{Event, EventKind, Journal, MetricsSnapshot, SlowLog, SlowLogEntry, WindowStats};
 pub use plan_cache::{PlanCacheStats, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use views::{View, ViewError, ViewRegistry};

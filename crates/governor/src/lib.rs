@@ -259,12 +259,18 @@ impl fmt::Display for GovernorError {
 
 impl std::error::Error for GovernorError {}
 
+/// Observer invoked (synchronously, at the trip site) every time this
+/// governor constructs a [`GovernorError`] — the flight-recorder bridge.
+/// Keep it cheap and non-blocking; it runs on the query's thread.
+pub type TripHook = Arc<dyn Fn(&GovernorError) + Send + Sync>;
+
 struct Inner {
     limits: QueryLimits,
     cancel: CancelToken,
     deadline: Option<Instant>,
     intermediate_tuples: AtomicU64,
     memory_bytes: AtomicU64,
+    hook: Option<TripHook>,
 }
 
 /// A per-query governance handle: the limit snapshot, the shared cancel
@@ -280,6 +286,16 @@ impl Governor {
     /// Snapshot `limits` and start the clock: a relative
     /// [`QueryLimits::deadline`] becomes an absolute instant now.
     pub fn start(limits: QueryLimits, cancel: CancelToken) -> Self {
+        Governor::start_hooked(limits, cancel, None)
+    }
+
+    /// Like [`Governor::start`], with an optional [`TripHook`] fired at
+    /// every budget trip / cancellation / contained panic this governor
+    /// reports. The engine uses this to journal trips with the query id
+    /// and phase attached, so `EngineError::{Cancelled,
+    /// ResourceExhausted, WorkerPanic}` stay attributable after the
+    /// query is gone.
+    pub fn start_hooked(limits: QueryLimits, cancel: CancelToken, hook: Option<TripHook>) -> Self {
         let deadline = limits.deadline.map(|d| Instant::now() + d);
         Governor {
             inner: Arc::new(Inner {
@@ -288,8 +304,20 @@ impl Governor {
                 deadline,
                 intermediate_tuples: AtomicU64::new(0),
                 memory_bytes: AtomicU64::new(0),
+                hook,
             }),
         }
+    }
+
+    /// Route an error through the trip hook (if any) and return it.
+    /// Public so executors that construct [`GovernorError::WorkerPanic`]
+    /// themselves (panics are caught outside the governor) report
+    /// through the same channel.
+    pub fn trip(&self, err: GovernorError) -> GovernorError {
+        if let Some(hook) = &self.inner.hook {
+            hook(&err);
+        }
+        err
     }
 
     /// A governor with no limits and a private token — never trips unless
@@ -323,7 +351,7 @@ impl Governor {
     /// The cooperative check point: errors if cancelled or past deadline.
     pub fn check(&self, phase: &'static str) -> Result<(), GovernorError> {
         if self.is_cancelled() {
-            Err(GovernorError::Cancelled { phase })
+            Err(self.trip(GovernorError::Cancelled { phase }))
         } else {
             Ok(())
         }
@@ -335,12 +363,12 @@ impl Governor {
     pub fn check_output(&self, phase: &'static str, emitted: u64) -> Result<(), GovernorError> {
         if let Some(limit) = self.inner.limits.max_output_tuples {
             if emitted > limit {
-                return Err(GovernorError::ResourceExhausted {
+                return Err(self.trip(GovernorError::ResourceExhausted {
                     phase,
                     resource: Resource::OutputTuples,
                     limit,
                     used: emitted,
-                });
+                }));
             }
         }
         Ok(())
@@ -362,23 +390,23 @@ impl Governor {
             + tuples;
         if let Some(limit) = self.inner.limits.max_intermediate_tuples {
             if total_tuples > limit {
-                return Err(GovernorError::ResourceExhausted {
+                return Err(self.trip(GovernorError::ResourceExhausted {
                     phase,
                     resource: Resource::IntermediateTuples,
                     limit,
                     used: total_tuples,
-                });
+                }));
             }
         }
         let total_bytes = self.inner.memory_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
         if let Some(limit) = self.inner.limits.max_memory_bytes {
             if total_bytes > limit {
-                return Err(GovernorError::ResourceExhausted {
+                return Err(self.trip(GovernorError::ResourceExhausted {
                     phase,
                     resource: Resource::MemoryBytes,
                     limit,
                     used: total_bytes,
-                });
+                }));
             }
         }
         Ok(())
@@ -398,12 +426,12 @@ impl Governor {
         };
         if let Some(limit) = limit {
             if depth > limit {
-                return Err(GovernorError::ResourceExhausted {
+                return Err(self.trip(GovernorError::ResourceExhausted {
                     phase,
                     resource,
                     limit,
                     used: depth,
-                });
+                }));
             }
         }
         Ok(())
@@ -550,6 +578,31 @@ mod tests {
         assert!(g
             .check_depth("parse", Resource::FormulaDepth, u64::MAX)
             .is_ok());
+    }
+
+    #[test]
+    fn trip_hook_sees_every_trip_with_phase() {
+        use std::sync::Mutex;
+        let seen: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        let hook: TripHook = Arc::new(move |e: &GovernorError| {
+            sink.lock().unwrap().push(format!("{}:{e}", e.phase()));
+        });
+        let token = CancelToken::new();
+        let g = Governor::start_hooked(
+            QueryLimits::default().with_max_output_tuples(1),
+            token.clone(),
+            Some(hook),
+        );
+        assert!(g.check("parse").is_ok());
+        assert!(seen.lock().unwrap().is_empty(), "no trips, no hook calls");
+        let _ = g.check_output("evaluate", 2);
+        token.cancel();
+        let _ = g.check("normalize");
+        let trips = seen.lock().unwrap().clone();
+        assert_eq!(trips.len(), 2);
+        assert!(trips[0].starts_with("evaluate:"), "{trips:?}");
+        assert!(trips[1].starts_with("normalize:"), "{trips:?}");
     }
 
     #[test]

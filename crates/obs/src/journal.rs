@@ -1,0 +1,665 @@
+//! The flight recorder: an always-on, fixed-capacity ring-buffer journal
+//! of structured lifecycle events.
+//!
+//! Where [`crate::TraceBuilder`] gives an exact, deep trace of one query
+//! *when asked*, the journal is the inverse: a cheap, continuous record
+//! of what *every* query (and the subsystems serving it) did, with the
+//! oldest events overwritten once the ring fills. The write path is
+//! designed for the serving hot path:
+//!
+//! * **disabled** (the default), [`Journal::record`] is a single relaxed
+//!   atomic load — the event closure is never called, so no `String` is
+//!   built and nothing allocates (asserted via [`Journal::appends`]);
+//! * **enabled**, the event is built by the caller's closure and pushed
+//!   under a short mutex hold into a pre-bounded `VecDeque`; when the
+//!   ring is full the oldest event is dropped and counted in
+//!   [`Journal::dropped`], so memory is O(capacity) forever.
+//!
+//! Events carry a monotone sequence number, nanoseconds since the journal
+//! was created, a small per-thread id (assigned on first use, stable for
+//! the thread's lifetime), the query id they belong to (0 = none), an
+//! [`EventKind`], the pipeline phase, and a free-form detail string.
+//!
+//! The journal exports to Chrome `trace_event` JSON ([`Journal::
+//! to_chrome_trace`]) loadable in Perfetto / `chrome://tracing`, and
+//! aggregates a rolling window of recent query outcomes
+//! ([`Journal::window_stats`]) for the p50/p99/hit-rate block of
+//! [`crate::MetricsSnapshot`].
+
+use crate::json::Json;
+use crate::metrics::Histogram;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Default ring capacity: enough for a few thousand queries' lifecycle
+/// events without holding more than a few MB.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 4096;
+
+/// The kind of a journal event. Kinds are a closed enum (not strings) so
+/// the record path never hashes names and filters are cheap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EventKind {
+    /// A query began (detail: rendered query / strategy).
+    QueryStart,
+    /// A query finished successfully (detail: answer count).
+    QueryEnd,
+    /// A query finished with an error (detail: the error).
+    QueryError,
+    /// Prepared-plan cache served a compiled plan.
+    PlanCacheHit,
+    /// Prepared-plan cache had to compile.
+    PlanCacheMiss,
+    /// Prepared-plan cache evicted entries (detail: how many).
+    PlanCacheEvict,
+    /// A governor budget tripped (phase + resource in detail).
+    GovernorTrip,
+    /// A query was cancelled (token or deadline).
+    Cancelled,
+    /// A parallel worker panicked and was contained.
+    WorkerPanic,
+    /// WAL record(s) appended (detail: how many).
+    WalAppend,
+    /// WAL fsync(s) issued (detail: how many).
+    WalFsync,
+    /// A durable mutation reached its commit point.
+    WalCommit,
+    /// An atomic checkpoint started.
+    CheckpointBegin,
+    /// An atomic checkpoint finished (detail: generation).
+    CheckpointEnd,
+    /// A durable database was opened and recovered.
+    Recovery,
+    /// A deterministic chaos injection surfaced (detail: injected fault).
+    Chaos,
+}
+
+impl EventKind {
+    /// Stable lower-snake name (JSON, REPL listing).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::QueryStart => "query_start",
+            EventKind::QueryEnd => "query_end",
+            EventKind::QueryError => "query_error",
+            EventKind::PlanCacheHit => "plan_cache_hit",
+            EventKind::PlanCacheMiss => "plan_cache_miss",
+            EventKind::PlanCacheEvict => "plan_cache_evict",
+            EventKind::GovernorTrip => "governor_trip",
+            EventKind::Cancelled => "cancelled",
+            EventKind::WorkerPanic => "worker_panic",
+            EventKind::WalAppend => "wal_append",
+            EventKind::WalFsync => "wal_fsync",
+            EventKind::WalCommit => "wal_commit",
+            EventKind::CheckpointBegin => "checkpoint_begin",
+            EventKind::CheckpointEnd => "checkpoint_end",
+            EventKind::Recovery => "recovery",
+            EventKind::Chaos => "chaos",
+        }
+    }
+}
+
+impl std::fmt::Display for EventKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What a producer supplies to [`Journal::record`]; the journal stamps
+/// the sequence number, timestamp, and thread id itself.
+#[derive(Debug, Clone)]
+pub struct EventData {
+    /// What happened.
+    pub kind: EventKind,
+    /// The query this event belongs to (0 = not query-scoped).
+    pub query_id: u64,
+    /// Pipeline phase (gq-obs span names) or subsystem name.
+    pub phase: &'static str,
+    /// Free-form detail (error text, counts, strategy…).
+    pub detail: String,
+    /// Duration in nanoseconds for completion events (`query_end`,
+    /// `checkpoint_end`); 0 for instants.
+    pub dur_ns: u64,
+}
+
+impl EventData {
+    /// An event with empty detail and no duration.
+    pub fn new(kind: EventKind, query_id: u64, phase: &'static str) -> Self {
+        EventData {
+            kind,
+            query_id,
+            phase,
+            detail: String::new(),
+            dur_ns: 0,
+        }
+    }
+
+    /// Attach a detail string.
+    pub fn detail(mut self, detail: impl Into<String>) -> Self {
+        self.detail = detail.into();
+        self
+    }
+
+    /// Attach a duration (nanoseconds).
+    pub fn dur_ns(mut self, ns: u64) -> Self {
+        self.dur_ns = ns;
+        self
+    }
+}
+
+/// One recorded lifecycle event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Monotone sequence number (never reused, survives wraparound).
+    pub seq: u64,
+    /// Nanoseconds since the journal was created.
+    pub ts_ns: u64,
+    /// Small per-thread id (first-use order, stable per thread).
+    pub tid: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// The query this event belongs to (0 = not query-scoped).
+    pub query_id: u64,
+    /// Pipeline phase or subsystem.
+    pub phase: &'static str,
+    /// Free-form detail.
+    pub detail: String,
+    /// Duration in nanoseconds for completion events; 0 for instants.
+    pub dur_ns: u64,
+}
+
+impl Event {
+    /// Machine-readable rendering.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("seq", self.seq)
+            .field("ts_ns", self.ts_ns)
+            .field("tid", self.tid)
+            .field("kind", self.kind.name())
+            .field("query_id", self.query_id)
+            .field("phase", self.phase)
+            .field("detail", self.detail.clone())
+            .field("dur_ns", self.dur_ns)
+    }
+
+    /// One-line human rendering (REPL `:events`).
+    pub fn render(&self) -> String {
+        let mut line = format!(
+            "#{:<6} +{:<12} t{} q{:<5} {:<17} [{}]",
+            self.seq,
+            crate::trace::fmt_ns(self.ts_ns),
+            self.tid,
+            self.query_id,
+            self.kind.name(),
+            self.phase,
+        );
+        if self.dur_ns > 0 {
+            line.push_str(&format!(" {}", crate::trace::fmt_ns(self.dur_ns)));
+        }
+        if !self.detail.is_empty() {
+            line.push_str(&format!(" {}", self.detail));
+        }
+        line
+    }
+}
+
+/// Aggregates over the last N completed queries (see
+/// [`Journal::window_stats`]); surfaced through
+/// [`crate::MetricsSnapshot::window`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WindowStats {
+    /// Completed queries the window covers (≤ requested N).
+    pub queries: u64,
+    /// Of which ended in an error.
+    pub errors: u64,
+    /// p50 latency over the window, nanoseconds.
+    pub p50_ns: u64,
+    /// p99 latency over the window, nanoseconds.
+    pub p99_ns: u64,
+    /// Plan-cache hits attributed to the window's queries.
+    pub plan_cache_hits: u64,
+    /// Plan-cache misses attributed to the window's queries.
+    pub plan_cache_misses: u64,
+    /// Governor budget trips (incl. cancellations) in the window.
+    pub governor_trips: u64,
+    /// WAL commits in the window's query-id range.
+    pub wal_commits: u64,
+}
+
+impl WindowStats {
+    /// Plan-cache hit rate over the window (0.0 when no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.plan_cache_hits + self.plan_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.plan_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Machine-readable rendering.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("queries", self.queries)
+            .field("errors", self.errors)
+            .field("p50_ns", self.p50_ns)
+            .field("p99_ns", self.p99_ns)
+            .field("plan_cache_hits", self.plan_cache_hits)
+            .field("plan_cache_misses", self.plan_cache_misses)
+            .field("hit_rate", format!("{:.3}", self.hit_rate()))
+            .field("governor_trips", self.governor_trips)
+            .field("wal_commits", self.wal_commits)
+    }
+}
+
+struct Ring {
+    events: VecDeque<Event>,
+}
+
+/// The flight recorder. Cheaply shareable behind an `Arc`; every producer
+/// (engine, governor hook, parallel executor, durable-store mirror) holds
+/// a clone of that `Arc` and calls [`Journal::record`].
+pub struct Journal {
+    enabled: AtomicBool,
+    capacity: usize,
+    origin: Instant,
+    seq: AtomicU64,
+    query_ids: AtomicU64,
+    appends: AtomicU64,
+    dropped: AtomicU64,
+    ring: Mutex<Ring>,
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Journal::with_capacity(DEFAULT_JOURNAL_CAPACITY)
+    }
+}
+
+// Small per-thread ids for the trace export: assigned in first-use order,
+// process-wide (journals share the numbering — tids are about threads,
+// not journals).
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+fn current_tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+impl Journal {
+    /// A disabled journal bounded to `capacity` events (min 8).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(8);
+        Journal {
+            enabled: AtomicBool::new(false),
+            capacity,
+            origin: Instant::now(),
+            seq: AtomicU64::new(0),
+            query_ids: AtomicU64::new(0),
+            appends: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            ring: Mutex::new(Ring {
+                events: VecDeque::with_capacity(capacity.min(1024)),
+            }),
+        }
+    }
+
+    /// Start recording.
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Stop recording (already-captured events stay readable).
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Relaxed);
+    }
+
+    /// Is the recorder on?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Allocate the next query id (monotone from 1). Ids keep advancing
+    /// while the journal is disabled so enabling mid-session never
+    /// reuses an id.
+    pub fn next_query_id(&self) -> u64 {
+        self.query_ids.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Record an event. When the journal is disabled this is a single
+    /// relaxed load — `make` is **not** called, so the disabled hot path
+    /// neither formats nor allocates.
+    #[inline]
+    pub fn record(&self, make: impl FnOnce() -> EventData) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.push(make());
+    }
+
+    fn push(&self, data: EventData) {
+        let event = Event {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed) + 1,
+            ts_ns: self.origin.elapsed().as_nanos() as u64,
+            tid: current_tid(),
+            kind: data.kind,
+            query_id: data.query_id,
+            phase: data.phase,
+            detail: data.detail,
+            dur_ns: data.dur_ns,
+        };
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        let mut ring = self.lock();
+        if ring.events.len() >= self.capacity {
+            ring.events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.events.push_back(event);
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Ring> {
+        // The ring is never left inconsistent by a panicking writer (all
+        // mutations are single push/pop calls), so a poisoned lock is
+        // recoverable.
+        match self.ring.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Total events ever recorded (survives wraparound). Stays 0 while
+    /// disabled — the "no hot-path work" assertion hook.
+    pub fn appends(&self) -> u64 {
+        self.appends.load(Ordering::Relaxed)
+    }
+
+    /// Events overwritten by wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Live events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.lock().events.iter().cloned().collect()
+    }
+
+    /// The newest `n` events, oldest-of-the-tail first (REPL `:events n`).
+    pub fn tail(&self, n: usize) -> Vec<Event> {
+        let ring = self.lock();
+        let skip = ring.events.len().saturating_sub(n);
+        ring.events.iter().skip(skip).cloned().collect()
+    }
+
+    /// Number of live events in the ring.
+    pub fn len(&self) -> usize {
+        self.lock().events.len()
+    }
+
+    /// Is the ring empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every buffered event and zero the dropped counter. Sequence
+    /// numbers and query ids keep advancing (they are identities, not
+    /// storage).
+    pub fn clear(&self) {
+        let mut ring = self.lock();
+        ring.events.clear();
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+
+    /// Export the live events as Chrome `trace_event` JSON (the
+    /// `{"traceEvents": […]}` object form), loadable in Perfetto or
+    /// `chrome://tracing`.
+    ///
+    /// Query start/end pairs become `B`/`E` duration events so each query
+    /// renders as a slice on its thread's track; everything else becomes
+    /// a thread-scoped instant (`ph: "i"`). Timestamps are microseconds
+    /// with nanosecond fractions, and are bumped by 1 ns where needed so
+    /// they are **strictly** monotone per thread id — Perfetto rejects
+    /// out-of-order events within a track.
+    pub fn to_chrome_trace(&self) -> Json {
+        let events = self.events();
+        let mut last_ns: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        let mut out: Vec<Json> = Vec::with_capacity(events.len());
+        for e in &events {
+            let slot = last_ns.entry(e.tid).or_insert(0);
+            let ts_ns = if e.ts_ns > *slot { e.ts_ns } else { *slot + 1 };
+            *slot = ts_ns;
+            let (ph, name): (&str, String) = match e.kind {
+                EventKind::QueryStart => ("B", format!("query {}", e.query_id)),
+                EventKind::QueryEnd | EventKind::QueryError => {
+                    ("E", format!("query {}", e.query_id))
+                }
+                _ => ("i", e.kind.name().to_string()),
+            };
+            let mut j = Json::obj()
+                .field("name", name)
+                .field("cat", e.kind.name())
+                .field("ph", ph)
+                .field("ts", ts_ns as f64 / 1000.0)
+                .field("pid", 1u64)
+                .field("tid", e.tid);
+            if ph == "i" {
+                j = j.field("s", "t");
+            }
+            j = j.field(
+                "args",
+                Json::obj()
+                    .field("seq", e.seq)
+                    .field("query_id", e.query_id)
+                    .field("phase", e.phase)
+                    .field("detail", e.detail.clone()),
+            );
+            out.push(j);
+        }
+        Json::obj()
+            .field("traceEvents", out)
+            .field("displayTimeUnit", "ns")
+    }
+
+    /// Aggregate the journal's newest events into a rolling window over
+    /// the last `n` *completed* queries: latency quantiles from the
+    /// `query_end`/`query_error` events, hit/trip/commit counts from the
+    /// other events whose `query_id` falls in the window's id range
+    /// (non-query-scoped durability events are counted when they were
+    /// recorded after the window's first query started).
+    pub fn window_stats(&self, n: usize) -> WindowStats {
+        let events = self.events();
+        let ends: Vec<&Event> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::QueryEnd | EventKind::QueryError))
+            .collect();
+        let ends: Vec<&Event> = ends
+            .into_iter()
+            .rev()
+            .take(n.max(1))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        let mut stats = WindowStats::default();
+        let Some(first) = ends.first() else {
+            return stats;
+        };
+        let min_qid = ends.iter().map(|e| e.query_id).min().unwrap_or(0);
+        let window_start_seq = first.seq;
+        let mut hist = Histogram::new();
+        for e in &ends {
+            stats.queries += 1;
+            if e.kind == EventKind::QueryError {
+                stats.errors += 1;
+            }
+            hist.record(Duration::from_nanos(e.dur_ns));
+        }
+        stats.p50_ns = hist.quantile(0.5).as_nanos() as u64;
+        stats.p99_ns = hist.quantile(0.99).as_nanos() as u64;
+        for e in &events {
+            let in_window = if e.query_id > 0 {
+                e.query_id >= min_qid
+            } else {
+                e.seq >= window_start_seq
+            };
+            if !in_window {
+                continue;
+            }
+            match e.kind {
+                EventKind::PlanCacheHit => stats.plan_cache_hits += 1,
+                EventKind::PlanCacheMiss => stats.plan_cache_misses += 1,
+                EventKind::GovernorTrip | EventKind::Cancelled | EventKind::WorkerPanic => {
+                    stats.governor_trips += 1
+                }
+                EventKind::WalCommit => stats.wal_commits += 1,
+                _ => {}
+            }
+        }
+        stats
+    }
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("enabled", &self.is_enabled())
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("appends", &self.appends())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, qid: u64) -> EventData {
+        EventData::new(kind, qid, "evaluate")
+    }
+
+    #[test]
+    fn disabled_journal_records_nothing_and_calls_no_closure() {
+        let j = Journal::with_capacity(16);
+        let mut called = false;
+        j.record(|| {
+            called = true;
+            ev(EventKind::QueryStart, 1)
+        });
+        assert!(!called, "closure must not run while disabled");
+        assert_eq!(j.appends(), 0);
+        assert!(j.is_empty());
+    }
+
+    #[test]
+    fn wraparound_keeps_newest_and_counts_dropped() {
+        let j = Journal::with_capacity(8);
+        j.enable();
+        for i in 0..20u64 {
+            j.record(|| ev(EventKind::QueryStart, i).detail(format!("q{i}")));
+        }
+        assert_eq!(j.len(), 8);
+        assert_eq!(j.appends(), 20);
+        assert_eq!(j.dropped(), 12);
+        let events = j.events();
+        // Newest 8 survive, in order, with monotone seq.
+        assert_eq!(events.first().map(|e| e.query_id), Some(12));
+        assert_eq!(events.last().map(|e| e.query_id), Some(19));
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn tail_returns_newest_n() {
+        let j = Journal::with_capacity(32);
+        j.enable();
+        for i in 0..10u64 {
+            j.record(|| ev(EventKind::QueryStart, i));
+        }
+        let t = j.tail(3);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].query_id, 7);
+        assert_eq!(t[2].query_id, 9);
+        assert_eq!(j.tail(100).len(), 10);
+    }
+
+    #[test]
+    fn query_ids_are_monotone_even_while_disabled() {
+        let j = Journal::default();
+        let a = j.next_query_id();
+        j.enable();
+        let b = j.next_query_id();
+        j.disable();
+        let c = j.next_query_id();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn clear_resets_ring_not_identities() {
+        let j = Journal::with_capacity(8);
+        j.enable();
+        for i in 0..12u64 {
+            j.record(|| ev(EventKind::QueryStart, i));
+        }
+        let seq_before = j.events().last().map(|e| e.seq).unwrap_or(0);
+        j.clear();
+        assert!(j.is_empty());
+        assert_eq!(j.dropped(), 0);
+        j.record(|| ev(EventKind::QueryStart, 99));
+        assert!(j.events()[0].seq > seq_before, "seq keeps advancing");
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let j = Journal::default();
+        j.enable();
+        let q = j.next_query_id();
+        j.record(|| EventData::new(EventKind::QueryStart, q, "parse").detail("p(x)"));
+        j.record(|| EventData::new(EventKind::PlanCacheMiss, q, "plan-cache"));
+        j.record(|| EventData::new(EventKind::QueryEnd, q, "evaluate").dur_ns(1234));
+        let json = j.to_chrome_trace().to_string();
+        assert!(json.contains("\"traceEvents\""), "{json}");
+        assert!(json.contains("\"ph\": \"B\""), "{json}");
+        assert!(json.contains("\"ph\": \"E\""), "{json}");
+        assert!(json.contains("\"ph\": \"i\""), "{json}");
+    }
+
+    #[test]
+    fn window_stats_aggregate_last_n() {
+        let j = Journal::default();
+        j.enable();
+        for i in 1..=6u64 {
+            j.record(|| EventData::new(EventKind::QueryStart, i, "parse"));
+            j.record(|| EventData::new(EventKind::PlanCacheMiss, i, "plan-cache"));
+            if i % 2 == 0 {
+                j.record(|| EventData::new(EventKind::GovernorTrip, i, "evaluate"));
+                j.record(|| EventData::new(EventKind::QueryError, i, "evaluate").dur_ns(2_000));
+            } else {
+                j.record(|| EventData::new(EventKind::QueryEnd, i, "evaluate").dur_ns(1_000));
+            }
+        }
+        let w = j.window_stats(4);
+        assert_eq!(w.queries, 4);
+        assert_eq!(w.errors, 2);
+        assert_eq!(w.plan_cache_misses, 4);
+        assert_eq!(w.governor_trips, 2);
+        assert!(w.p50_ns >= 1_000 && w.p99_ns >= w.p50_ns);
+        // The full window covers everything.
+        let all = j.window_stats(100);
+        assert_eq!(all.queries, 6);
+        assert_eq!(all.errors, 3);
+    }
+
+    #[test]
+    fn window_stats_empty_journal() {
+        let j = Journal::default();
+        assert_eq!(j.window_stats(10), WindowStats::default());
+    }
+}

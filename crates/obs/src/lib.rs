@@ -12,18 +12,30 @@
 //! * [`Registry`] / [`MetricsSnapshot`] — engine-lifetime counters and
 //!   log₂-bucketed latency [`Histogram`]s behind an `AtomicBool`, so the
 //!   disabled path is one relaxed load and **no timing syscalls**;
-//! * [`Json`] — a hand-rolled JSON writer (the build is offline; no
-//!   serde), used by both snapshot kinds.
+//! * [`Journal`] — the flight recorder: an always-on fixed-capacity
+//!   ring buffer of lifecycle events (query start/end, plan-cache
+//!   hit/miss, governor trips, WAL/checkpoint activity, chaos
+//!   injections) with Chrome `trace_event` export and rolling-window
+//!   aggregation; disabled it costs one relaxed load per site;
+//! * [`SlowLog`] — bounded retention of full [`QueryTrace`]s + governor
+//!   watermarks for queries that breach latency/tuple thresholds;
+//! * [`Json`] — a hand-rolled JSON writer **and parser** (the build is
+//!   offline; no serde), used by both snapshot kinds and the bench
+//!   regression differ.
 //!
 //! Everything is std-only. Evaluators gate their instrumentation on
 //! `Option`s so tier-1 numbers are unaffected when observability is off.
 
+mod journal;
 mod json;
 mod metrics;
+mod slowlog;
 mod trace;
 
-pub use json::Json;
+pub use journal::{Event, EventData, EventKind, Journal, WindowStats, DEFAULT_JOURNAL_CAPACITY};
+pub use json::{Json, JsonError};
 pub use metrics::{Histogram, MetricsSnapshot, Registry, HISTOGRAM_BUCKETS};
+pub use slowlog::{SlowLog, SlowLogEntry, DEFAULT_SLOWLOG_CAPACITY};
 pub use trace::{
     fmt_ns, PlanNodeTrace, PlanTotals, QueryTrace, SpanGuard, SpanRecord, TraceBuilder,
 };

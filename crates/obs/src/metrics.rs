@@ -68,28 +68,32 @@ impl Histogram {
     }
 
     /// Upper bound of the bucket holding the q-quantile sample
-    /// (log₂ resolution: within a factor of two of the true quantile).
+    /// (log₂ resolution: within a factor of two of the true quantile),
+    /// clamped to the observed maximum so the estimate never exceeds a
+    /// latency that actually happened.
     pub fn quantile(&self, q: f64) -> Duration {
         if self.count == 0 {
             return Duration::ZERO;
         }
         let rank = ((self.count as f64) * q).ceil().max(1.0) as u64;
-        let mut seen = 0;
+        let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
+            seen = seen.saturating_add(n);
             if seen >= rank {
-                return Duration::from_nanos(1u64 << (i + 1).min(63));
+                let upper = 1u64 << (i + 1).min(63);
+                return Duration::from_nanos(upper.min(self.max_ns));
             }
         }
         self.max()
     }
 
-    /// Merge another histogram into this one.
+    /// Merge another histogram into this one (saturating: merging two
+    /// near-full histograms cannot wrap counts).
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.total_ns = self.total_ns.saturating_add(other.total_ns);
         self.max_ns = self.max_ns.max(other.max_ns);
     }
@@ -117,11 +121,16 @@ impl Histogram {
     }
 }
 
-/// A point-in-time copy of a [`Registry`]'s contents.
+/// A point-in-time copy of a [`Registry`]'s contents, optionally joined
+/// with a rolling window over the flight recorder's recent queries.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsSnapshot {
     pub counters: BTreeMap<String, u64>,
     pub histograms: BTreeMap<String, Histogram>,
+    /// Rolling-window aggregates (p50/p99 latency, hit rate, trip counts
+    /// over the last N queries) from [`crate::Journal::window_stats`];
+    /// `None` when no journal is attached or it has seen no queries.
+    pub window: Option<crate::journal::WindowStats>,
 }
 
 impl MetricsSnapshot {
@@ -135,9 +144,13 @@ impl MetricsSnapshot {
         for (k, h) in &self.histograms {
             histograms = histograms.field(k.clone(), h.to_json());
         }
-        Json::obj()
+        let mut out = Json::obj()
             .field("counters", counters)
-            .field("histograms", histograms)
+            .field("histograms", histograms);
+        if let Some(w) = &self.window {
+            out = out.field("window", w.to_json());
+        }
+        out
     }
 }
 
@@ -207,6 +220,7 @@ impl Registry {
         MetricsSnapshot {
             counters: inner.counters.clone(),
             histograms: inner.histograms.clone(),
+            window: None,
         }
     }
 
@@ -263,6 +277,59 @@ mod tests {
         b.record(Duration::from_nanos(1000));
         a.merge(&b);
         assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn quantile_never_exceeds_observed_max() {
+        // One 100 ns sample lands in the [64, 128) bucket; the naive
+        // bucket upper bound (128 ns) overstates the true max.
+        let mut h = Histogram::new();
+        h.record(Duration::from_nanos(100));
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert!(
+                h.quantile(q) <= h.max(),
+                "q={q}: {:?} > max {:?}",
+                h.quantile(q),
+                h.max()
+            );
+        }
+        assert_eq!(h.quantile(1.0), Duration::from_nanos(100));
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        assert_eq!(h.quantile(1.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn quantile_of_merged_histograms_clamps_to_joint_max() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(Duration::from_nanos(100));
+        b.record(Duration::from_nanos(90)); // same bucket, smaller max
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.quantile(0.99) <= Duration::from_nanos(100));
+        assert!(a.quantile(0.5) > Duration::ZERO);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_overflowing() {
+        let mut a = Histogram::new();
+        a.record(Duration::from_nanos(10));
+        // Self-merge doubles count/buckets each round: 1 → 2^63 after 63
+        // rounds; the 64th would overflow without saturation.
+        for _ in 0..63 {
+            let snapshot = a.clone();
+            a.merge(&snapshot);
+        }
+        assert_eq!(a.count(), 1u64 << 63);
+        let snapshot = a.clone();
+        a.merge(&snapshot); // would panic (debug) or wrap (release) unsaturated
+        assert_eq!(a.count(), u64::MAX);
+        assert!(a.quantile(0.5) <= a.max());
     }
 
     #[test]

@@ -1,0 +1,289 @@
+//! The slow-query log: deep detail, retained only for outliers.
+//!
+//! The flight recorder ([`crate::Journal`]) keeps a *shallow* record of
+//! every query; the slow log is its complement — when a query exceeds a
+//! configurable latency or intermediate-tuple threshold, its full
+//! [`QueryTrace`] (phase spans, counters, plan-shape facts, annotated
+//! plan tree) plus the governor's high-water marks are retained in a
+//! bounded insertion-ordered LRU for post-hoc `EXPLAIN`-grade
+//! inspection of queries nobody asked to profile.
+//!
+//! Thresholds are runtime-settable atomics, so the engine's per-query
+//! check ("is the slow log armed?") is two relaxed loads; while disarmed
+//! (the default) queries are not traced at all and the log costs
+//! nothing.
+
+use crate::trace::{fmt_ns, QueryTrace};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Default bound on retained entries.
+pub const DEFAULT_SLOWLOG_CAPACITY: usize = 64;
+
+/// Sentinel for "threshold disabled".
+const OFF: u64 = u64::MAX;
+
+/// One retained outlier: the query's full trace plus the governor's
+/// watermarks at completion.
+#[derive(Debug, Clone)]
+pub struct SlowLogEntry {
+    /// The flight-recorder query id (joins against journal events).
+    pub query_id: u64,
+    /// Full deep trace (spans, counters, facts, annotated plan).
+    pub trace: QueryTrace,
+    /// Governor high-water mark: peak live intermediate tuples.
+    pub peak_intermediate_tuples: u64,
+    /// Governor high-water mark: peak estimated intermediate bytes.
+    pub peak_memory_bytes: u64,
+    /// Answers returned (0 for errored queries).
+    pub answers: u64,
+    /// Which threshold(s) fired, e.g. `"latency"` or `"latency+tuples"`.
+    pub reason: &'static str,
+}
+
+impl SlowLogEntry {
+    /// One-line summary (REPL `:slowlog` listing).
+    pub fn summary(&self) -> String {
+        format!(
+            "q{:<5} {:>10}  tuples={:<8} bytes={:<10} answers={:<6} [{}] {}",
+            self.query_id,
+            fmt_ns(self.trace.total_ns),
+            self.peak_intermediate_tuples,
+            self.peak_memory_bytes,
+            self.answers,
+            self.reason,
+            truncate(&self.trace.query, 60),
+        )
+    }
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_string()
+    } else {
+        let head: String = s.chars().take(max.saturating_sub(1)).collect();
+        format!("{head}…")
+    }
+}
+
+/// Bounded retention of slow-query evidence. Shareable behind an `Arc`.
+pub struct SlowLog {
+    /// Latency threshold in ns; `OFF` disables.
+    latency_ns: AtomicU64,
+    /// Peak-intermediate-tuple threshold; `OFF` disables.
+    tuples: AtomicU64,
+    capacity: usize,
+    entries: Mutex<VecDeque<SlowLogEntry>>,
+    recorded: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl Default for SlowLog {
+    fn default() -> Self {
+        SlowLog::with_capacity(DEFAULT_SLOWLOG_CAPACITY)
+    }
+}
+
+impl SlowLog {
+    /// A disarmed slow log bounded to `capacity` entries (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        SlowLog {
+            latency_ns: AtomicU64::new(OFF),
+            tuples: AtomicU64::new(OFF),
+            capacity: capacity.max(1),
+            entries: Mutex::new(VecDeque::new()),
+            recorded: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        }
+    }
+
+    /// Arm/disarm the latency threshold.
+    pub fn set_latency_threshold(&self, t: Option<Duration>) {
+        let ns = t
+            .map(|d| (d.as_nanos().min(OFF as u128 - 1)) as u64)
+            .unwrap_or(OFF);
+        self.latency_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Arm/disarm the peak-intermediate-tuples threshold.
+    pub fn set_tuple_threshold(&self, t: Option<u64>) {
+        self.tuples
+            .store(t.map(|n| n.min(OFF - 1)).unwrap_or(OFF), Ordering::Relaxed);
+    }
+
+    /// Current latency threshold, if armed.
+    pub fn latency_threshold(&self) -> Option<Duration> {
+        match self.latency_ns.load(Ordering::Relaxed) {
+            OFF => None,
+            ns => Some(Duration::from_nanos(ns)),
+        }
+    }
+
+    /// Current tuple threshold, if armed.
+    pub fn tuple_threshold(&self) -> Option<u64> {
+        match self.tuples.load(Ordering::Relaxed) {
+            OFF => None,
+            n => Some(n),
+        }
+    }
+
+    /// Is any threshold armed? (The engine only traces queries — and
+    /// pays tracing's overhead — while this is true.)
+    pub fn is_armed(&self) -> bool {
+        self.latency_ns.load(Ordering::Relaxed) != OFF || self.tuples.load(Ordering::Relaxed) != OFF
+    }
+
+    /// Which thresholds does a completed query trip? `None` = fast enough.
+    pub fn breach(&self, total_ns: u64, peak_tuples: u64) -> Option<&'static str> {
+        let slow = total_ns >= self.latency_ns.load(Ordering::Relaxed);
+        let fat = peak_tuples >= self.tuples.load(Ordering::Relaxed);
+        match (slow, fat) {
+            (true, true) => Some("latency+tuples"),
+            (true, false) => Some("latency"),
+            (false, true) => Some("tuples"),
+            (false, false) => None,
+        }
+    }
+
+    /// Retain an outlier, evicting the oldest entry when full.
+    pub fn push(&self, entry: SlowLogEntry) {
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.lock();
+        if entries.len() >= self.capacity {
+            entries.pop_front();
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        entries.push_back(entry);
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<SlowLogEntry>> {
+        match self.entries.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Retained entries, oldest first.
+    pub fn entries(&self) -> Vec<SlowLogEntry> {
+        self.lock().iter().cloned().collect()
+    }
+
+    /// The entry for a specific query id, if still retained.
+    pub fn get(&self, query_id: u64) -> Option<SlowLogEntry> {
+        self.lock().iter().find(|e| e.query_id == query_id).cloned()
+    }
+
+    /// Retained entry count.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Outliers ever retained (survives eviction).
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by the capacity bound.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Drop all retained entries (thresholds stay armed).
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+}
+
+impl std::fmt::Debug for SlowLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlowLog")
+            .field("armed", &self.is_armed())
+            .field("latency", &self.latency_threshold())
+            .field("tuples", &self.tuple_threshold())
+            .field("len", &self.len())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceBuilder;
+
+    fn entry(qid: u64, total_ns: u64) -> SlowLogEntry {
+        let mut trace = TraceBuilder::new().finish(format!("q{qid}"), "improved");
+        trace.total_ns = total_ns;
+        SlowLogEntry {
+            query_id: qid,
+            trace,
+            peak_intermediate_tuples: 10,
+            peak_memory_bytes: 400,
+            answers: 3,
+            reason: "latency",
+        }
+    }
+
+    #[test]
+    fn disarmed_by_default() {
+        let log = SlowLog::default();
+        assert!(!log.is_armed());
+        assert_eq!(log.breach(u64::MAX - 1, u64::MAX - 1), None);
+    }
+
+    #[test]
+    fn breach_reasons() {
+        let log = SlowLog::default();
+        log.set_latency_threshold(Some(Duration::from_millis(1)));
+        assert!(log.is_armed());
+        assert_eq!(log.breach(2_000_000, 0), Some("latency"));
+        assert_eq!(log.breach(10, 0), None);
+        log.set_tuple_threshold(Some(100));
+        assert_eq!(log.breach(2_000_000, 500), Some("latency+tuples"));
+        assert_eq!(log.breach(10, 500), Some("tuples"));
+        log.set_latency_threshold(None);
+        log.set_tuple_threshold(None);
+        assert!(!log.is_armed());
+    }
+
+    #[test]
+    fn bounded_retention_evicts_oldest() {
+        let log = SlowLog::with_capacity(3);
+        for qid in 1..=5u64 {
+            log.push(entry(qid, 1_000 * qid));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.recorded(), 5);
+        assert_eq!(log.evicted(), 2);
+        let ids: Vec<u64> = log.entries().iter().map(|e| e.query_id).collect();
+        assert_eq!(ids, vec![3, 4, 5]);
+        assert!(log.get(1).is_none());
+        assert!(log.get(4).is_some());
+    }
+
+    #[test]
+    fn clear_keeps_thresholds() {
+        let log = SlowLog::default();
+        log.set_latency_threshold(Some(Duration::from_micros(5)));
+        log.push(entry(1, 10_000));
+        log.clear();
+        assert!(log.is_empty());
+        assert!(log.is_armed());
+    }
+
+    #[test]
+    fn summary_mentions_reason_and_query() {
+        let e = entry(7, 2_000_000);
+        let s = e.summary();
+        assert!(s.contains("q7"), "{s}");
+        assert!(s.contains("[latency]"), "{s}");
+        assert!(s.contains("2.00ms"), "{s}");
+    }
+}

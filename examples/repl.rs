@@ -24,7 +24,11 @@
 //! plan cache), `.prepared`, `.cache [clear]` (plan-cache statistics),
 //! `.explain <query>`,
 //! `:analyze <query>` (execute with per-node instrumentation and render
-//! the annotated plan), `.load-university <n>`, `.save <file>`,
+//! the annotated plan),
+//! `:events [n|clear|on|off]` (the flight recorder's recent events),
+//! `:slowlog [clear|latency <ms|off>|tuples <n|off>]` (slow-query log),
+//! `:export-trace <file>` (Chrome trace_event JSON for Perfetto),
+//! `.load-university <n>`, `.save <file>`,
 //! `.load <file>`,
 //! `.open <dir>` (crash-safe durable database: WAL + checkpoints;
 //! mutations survive crashes), `.checkpoint` (atomic snapshot, WAL
@@ -291,6 +295,110 @@ impl Repl {
                     Default::default()
                 )?
             );
+        } else if line == ":events" || line.starts_with(":events ") {
+            let arg = line[":events".len()..].trim();
+            let j = self.engine.journal();
+            match arg {
+                "" => {
+                    for ev in j.tail(20) {
+                        println!("{}", ev.render());
+                    }
+                }
+                "clear" => {
+                    j.clear();
+                    println!("journal cleared");
+                }
+                "on" => {
+                    j.enable();
+                    println!("journal: recording");
+                }
+                "off" => {
+                    j.disable();
+                    println!("journal: off (queries leave no events)");
+                }
+                n => {
+                    let n: usize = n
+                        .parse()
+                        .map_err(|_| format!("usage: :events [n|clear|on|off] (got `{n}`)"))?;
+                    for ev in j.tail(n) {
+                        println!("{}", ev.render());
+                    }
+                }
+            }
+            println!(
+                "journal: {} event{} held (capacity {}), {} recorded, {} dropped{}",
+                j.len(),
+                if j.len() == 1 { "" } else { "s" },
+                j.capacity(),
+                j.appends(),
+                j.dropped(),
+                if j.is_enabled() {
+                    ""
+                } else {
+                    " — RECORDING OFF"
+                },
+            );
+        } else if line == ":slowlog" || line.starts_with(":slowlog ") {
+            let arg = line[":slowlog".len()..].trim();
+            let sl = self.engine.slow_log();
+            let parse_off = |v: &str| -> Result<Option<u64>, String> {
+                if v == "off" {
+                    Ok(None)
+                } else {
+                    v.parse().map(Some).map_err(|_| format!("got `{v}`"))
+                }
+            };
+            match arg.split_whitespace().collect::<Vec<_>>().as_slice() {
+                [] => {
+                    for e in sl.entries() {
+                        println!("{}", e.summary());
+                    }
+                }
+                ["clear"] => {
+                    sl.clear();
+                    println!("slow-query log cleared");
+                }
+                ["latency", v] => {
+                    let ms =
+                        parse_off(v).map_err(|e| format!(":slowlog latency <ms|off> ({e})"))?;
+                    sl.set_latency_threshold(ms.map(std::time::Duration::from_millis));
+                }
+                ["tuples", v] => {
+                    let n = parse_off(v).map_err(|e| format!(":slowlog tuples <n|off> ({e})"))?;
+                    sl.set_tuple_threshold(n);
+                }
+                _ => {
+                    return Err(
+                        "usage: :slowlog [clear | latency <ms|off> | tuples <n|off>]".into(),
+                    )
+                }
+            }
+            let show_ms = |t: Option<std::time::Duration>| {
+                t.map_or_else(|| "off".to_string(), |d| format!("{}ms", d.as_millis()))
+            };
+            let show_n = |t: Option<u64>| t.map_or_else(|| "off".to_string(), |n| n.to_string());
+            println!(
+                "slow log: {} entr{} held, {} recorded, {} evicted — latency > {}, tuples > {}",
+                sl.len(),
+                if sl.len() == 1 { "y" } else { "ies" },
+                sl.recorded(),
+                sl.evicted(),
+                show_ms(sl.latency_threshold()),
+                show_n(sl.tuple_threshold()),
+            );
+        } else if let Some(rest) = line.strip_prefix(":export-trace ") {
+            let path = rest.trim();
+            if path.is_empty() {
+                return Err("usage: :export-trace <file.json>".into());
+            }
+            let j = self.engine.journal();
+            let n = j.len();
+            std::fs::write(path, format!("{}\n", j.to_chrome_trace().pretty()))?;
+            println!(
+                "wrote {n} event{} to {path} — open in Perfetto (ui.perfetto.dev) \
+                 or chrome://tracing",
+                if n == 1 { "" } else { "s" },
+            );
         } else if let Some(rest) = line.strip_prefix(".load-university") {
             let n: usize = rest.trim().parse().unwrap_or(100);
             self.engine = QueryEngine::new(university(&UniversityScale::of_size(n)));
@@ -321,6 +429,14 @@ impl Repl {
                  .cache [clear]            plan-cache statistics / reset\n\
                  .explain <query>          show both processing phases\n\
                  :analyze <query>          execute + annotated plan (EXPLAIN ANALYZE)\n\
+                 :events [n|clear|on|off]  flight recorder: last n events (default 20),\n\
+                                           clear the ring, or toggle recording\n\
+                 :slowlog                  slow-query log entries + thresholds\n\
+                 :slowlog clear            drop retained slow queries\n\
+                 :slowlog latency <ms|off> arm/disarm the latency threshold\n\
+                 :slowlog tuples <n|off>   arm/disarm the peak-tuples threshold\n\
+                 :export-trace <file>      dump the journal as Chrome trace_event JSON\n\
+                                           (load in Perfetto / chrome://tracing)\n\
                  .load-university <n>      load a generated database\n\
                  .quit                     exit\n\
                  anything else             evaluate as a calculus query"
