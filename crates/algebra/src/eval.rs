@@ -15,11 +15,99 @@ use crate::profile::PlanProfiler;
 use crate::{AlgebraError, AlgebraExpr, ExecStats, IndexCache, Operand, Predicate};
 use gq_governor::Governor;
 use gq_storage::{Database, Relation, Tuple, Value};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// A pipeline lifecycle signal, delivered synchronously on the
+/// coordinating thread to the hook installed with
+/// [`Evaluator::with_pipeline_hook`] (the engine bridges these into the
+/// flight recorder). Pipeline ids are allocated in structural plan order
+/// by the coordinator, so the event sequence for a given plan is
+/// deterministic and identical across worker-thread counts.
+#[derive(Debug, Clone, Copy)]
+pub enum PipelineEvent {
+    /// A pipeline began executing (id 0 is the root output pipeline;
+    /// breaker build sides get fresh ids as they materialize).
+    Start {
+        /// Coordinator-assigned pipeline id.
+        id: u64,
+    },
+    /// A pipeline completed at its breaker (or the root sink), having
+    /// materialized `tuples` tuples. `kind` names the breaker
+    /// (`join-build`, `probe-build`, `output`, … or `aborted` when the
+    /// pipeline unwound with an error).
+    Break {
+        /// Coordinator-assigned pipeline id.
+        id: u64,
+        /// Breaker kind.
+        kind: &'static str,
+        /// Tuples materialized by the pipeline.
+        tuples: u64,
+    },
+}
+
+/// Observer for [`PipelineEvent`]s. Runs on the query's coordinating
+/// thread; keep it cheap.
+pub type PipelineHook = Rc<dyn Fn(&PipelineEvent)>;
+
+/// A completed pipeline break recorded by the evaluator — the substrate
+/// of the `:analyze` pipeline annotation. `live_*` snapshot the live
+/// intermediate watermark *after* this breaker's build was charged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineBreak {
+    /// Coordinator-assigned pipeline id (0 = root output pipeline).
+    pub id: u64,
+    /// Breaker kind (`join-build`, `output`, `aborted`, …).
+    pub kind: &'static str,
+    /// Tuples materialized by the pipeline.
+    pub tuples: u64,
+    /// Live intermediate tuples at the break.
+    pub live_tuples: u64,
+    /// Estimated live intermediate bytes at the break.
+    pub live_bytes: u64,
+}
+
+/// Coordinator-side counters of *currently live* intermediate tuples and
+/// estimated bytes. Charged when a breaker build side materializes,
+/// released when the owning buffer is logically freed (see
+/// [`LiveGuard`]); the running maximum feeds the
+/// `peak_intermediate_tuples` / `peak_intermediate_bytes` watermarks.
+#[derive(Default)]
+pub(crate) struct LiveCell {
+    tuples: Cell<usize>,
+    bytes: Cell<usize>,
+}
+
+/// RAII release of a live-intermediate charge: dropping the guard
+/// subtracts the buffer from the live counters and returns its bytes to
+/// the governor's live memory budget. Guards are parked in the
+/// evaluator's stash and dropped at the next public entry point (or when
+/// the evaluator is dropped at query end) — build sides live until their
+/// consuming pipeline finishes anyway, so releasing at entry boundaries
+/// keeps the watermark deterministic without per-stream bookkeeping.
+pub(crate) struct LiveGuard {
+    live: Rc<LiveCell>,
+    governor: Option<Governor>,
+    tuples: usize,
+    bytes: usize,
+}
+
+impl Drop for LiveGuard {
+    fn drop(&mut self) {
+        self.live
+            .tuples
+            .set(self.live.tuples.get().saturating_sub(self.tuples));
+        self.live
+            .bytes
+            .set(self.live.bytes.get().saturating_sub(self.bytes));
+        if let Some(g) = &self.governor {
+            g.release_memory(self.bytes as u64);
+        }
+    }
+}
 
 /// A boxed tuple stream.
 pub type TupleIter<'e> = Box<dyn Iterator<Item = Tuple> + 'e>;
@@ -213,6 +301,19 @@ pub struct Evaluator<'db> {
     /// run-time cache of their materialized results. `None` (the default)
     /// keeps every dispatch gate a single branch.
     pub(crate) cse: Option<CseState>,
+    /// Live intermediate tuple/byte counters (coordinator-side), feeding
+    /// the `peak_intermediate_*` watermarks.
+    pub(crate) live: Rc<LiveCell>,
+    /// Parked [`LiveGuard`]s for buffers materialized during the current
+    /// evaluation; cleared (releasing the charges) at the next public
+    /// entry point or on drop.
+    pub(crate) live_stash: RefCell<Vec<LiveGuard>>,
+    /// Next pipeline id (coordinator-assigned, structural order).
+    pub(crate) pipeline_next: Cell<u64>,
+    /// Pipeline breaks recorded this evaluation (`:analyze` substrate).
+    pub(crate) breaks: RefCell<Vec<PipelineBreak>>,
+    /// Optional observer for pipeline lifecycle events.
+    pub(crate) pipeline_hook: Option<PipelineHook>,
 }
 
 /// Run-time state of the CSE pass: which subplans the analysis marked
@@ -239,6 +340,11 @@ impl<'db> Evaluator<'db> {
             exec: ExecConfig::sequential(),
             governor: None,
             cse: None,
+            live: Rc::new(LiveCell::default()),
+            live_stash: RefCell::new(Vec::new()),
+            pipeline_next: Cell::new(0),
+            breaks: RefCell::new(Vec::new()),
+            pipeline_hook: None,
         }
     }
 
@@ -315,6 +421,11 @@ impl<'db> Evaluator<'db> {
             exec: ExecConfig::sequential(),
             governor: None,
             cse: None,
+            live: Rc::new(LiveCell::default()),
+            live_stash: RefCell::new(Vec::new()),
+            pipeline_next: Cell::new(0),
+            breaks: RefCell::new(Vec::new()),
+            pipeline_hook: None,
         }
     }
 
@@ -335,6 +446,83 @@ impl<'db> Evaluator<'db> {
         self
     }
 
+    /// Install an observer for pipeline lifecycle events (see
+    /// [`PipelineEvent`]). The engine uses this to bridge pipeline
+    /// starts/breaks into the flight recorder; the hook runs on the
+    /// coordinating thread only.
+    pub fn with_pipeline_hook(mut self, hook: PipelineHook) -> Self {
+        self.pipeline_hook = Some(hook);
+        self
+    }
+
+    /// The pipeline breaks recorded so far (structural order). Populated
+    /// by every evaluation path that materializes breaker build sides —
+    /// including the profiled sequential path `:analyze` uses.
+    pub fn pipeline_breaks(&self) -> Vec<PipelineBreak> {
+        self.breaks.borrow().clone()
+    }
+
+    /// Charge `tuples`/`bytes` to the live intermediate counters and
+    /// fold the new totals into the peak watermarks.
+    pub(crate) fn charge_live(&self, tuples: usize, bytes: usize) {
+        self.live.tuples.set(self.live.tuples.get() + tuples);
+        self.live.bytes.set(self.live.bytes.get() + bytes);
+        let mut s = self.stats.borrow_mut();
+        s.peak_intermediate_tuples = s.peak_intermediate_tuples.max(self.live.tuples.get());
+        s.peak_intermediate_bytes = s.peak_intermediate_bytes.max(self.live.bytes.get());
+    }
+
+    /// Release a live charge made with [`Evaluator::charge_live`] (used
+    /// by scoped accounting in the legacy parallel executor; guard-based
+    /// releases go through [`LiveGuard`]).
+    pub(crate) fn release_live(&self, tuples: usize, bytes: usize) {
+        self.live
+            .tuples
+            .set(self.live.tuples.get().saturating_sub(tuples));
+        self.live
+            .bytes
+            .set(self.live.bytes.get().saturating_sub(bytes));
+    }
+
+    /// Allocate the next pipeline id and emit its start event.
+    pub(crate) fn begin_pipeline(&self) -> u64 {
+        let id = self.pipeline_next.get();
+        self.pipeline_next.set(id + 1);
+        if let Some(h) = &self.pipeline_hook {
+            h(&PipelineEvent::Start { id });
+        }
+        id
+    }
+
+    /// Record a pipeline break (with a live-watermark snapshot) and emit
+    /// its event. Every `begin_pipeline` is paired with exactly one
+    /// `end_pipeline` — error unwinds end with kind `"aborted"` — so
+    /// downstream span exports stay balanced.
+    pub(crate) fn end_pipeline(&self, id: u64, kind: &'static str, tuples: usize) {
+        self.breaks.borrow_mut().push(PipelineBreak {
+            id,
+            kind,
+            tuples: tuples as u64,
+            live_tuples: self.live.tuples.get() as u64,
+            live_bytes: self.live.bytes.get() as u64,
+        });
+        if let Some(h) = &self.pipeline_hook {
+            h(&PipelineEvent::Break {
+                id,
+                kind,
+                tuples: tuples as u64,
+            });
+        }
+    }
+
+    /// Drop the live guards parked by a previous evaluation, releasing
+    /// their live/governor charges. Called at every public entry point so
+    /// buffers from the prior pass (boolean-connective probe, earlier
+    /// query on a reused evaluator) stop counting against the watermark.
+    fn clear_live_stash(&self) {
+        self.live_stash.borrow_mut().clear();
+    }
+
     /// Snapshot of the accumulated statistics.
     pub fn stats(&self) -> ExecStats {
         self.stats.borrow().clone()
@@ -347,15 +535,39 @@ impl<'db> Evaluator<'db> {
 
     /// Evaluate to a materialized relation.
     ///
-    /// With a parallel [`ExecConfig`] the plan runs through the
-    /// morsel-driven batch executor (`crate::parallel`); otherwise the
-    /// legacy pull-based stream is drained.
+    /// Dispatch: with streaming enabled (the [`ExecConfig`] default) and
+    /// no profiler attached, parallel configs run through the push-based
+    /// pipeline executor (`crate::push`); `threads == 1` keeps the
+    /// bit-identical sequential pull drain. With streaming disabled the
+    /// plan runs through the legacy materializing batch executor
+    /// (`crate::parallel`) at any thread count — the node-per-`Vec`
+    /// baseline the peak watermarks are measured against. A profiled
+    /// parallel run also uses the legacy executor (its kernels are what
+    /// the per-node attribution understands).
     pub fn eval(&self, e: &AlgebraExpr) -> Result<Relation, AlgebraError> {
         let arity = arity_of(e, self.db)?;
         self.check_governor()?;
+        self.clear_live_stash();
         if self.exec.is_parallel() {
+            if self.exec.streaming && self.profiler.is_none() {
+                return crate::push::eval_push(self, e, arity);
+            }
             return eval_parallel(self, e, arity);
         }
+        if !self.exec.streaming {
+            return eval_parallel(self, e, arity);
+        }
+        let root = self.begin_pipeline();
+        let result = self.drain_stream(e, arity);
+        match &result {
+            Ok(out) => self.end_pipeline(root, "output", out.len()),
+            Err(_) => self.end_pipeline(root, "aborted", 0),
+        }
+        result
+    }
+
+    /// The sequential pull drain behind [`Evaluator::eval`].
+    fn drain_stream(&self, e: &AlgebraExpr, arity: usize) -> Result<Relation, AlgebraError> {
         let mut out = Relation::intermediate(arity);
         for t in self.stream(e)? {
             // Budget limits trip per emitted tuple; cancellation/deadline
@@ -378,6 +590,7 @@ impl<'db> Evaluator<'db> {
     pub fn eval_limit(&self, e: &AlgebraExpr, limit: usize) -> Result<Relation, AlgebraError> {
         let arity = arity_of(e, self.db)?;
         self.check_governor()?;
+        self.clear_live_stash();
         let mut out = Relation::intermediate(arity);
         for t in self.stream(e)? {
             if let Some(g) = &self.governor {
@@ -398,6 +611,7 @@ impl<'db> Evaluator<'db> {
     pub fn is_nonempty(&self, e: &AlgebraExpr) -> Result<bool, AlgebraError> {
         arity_of(e, self.db)?;
         self.check_governor()?;
+        self.clear_live_stash();
         Ok(self.stream(e)?.next().is_some())
     }
 
@@ -414,7 +628,18 @@ impl<'db> Evaluator<'db> {
     /// subplans are answered from the cache. The result is an `Arc` so a
     /// memo hit (and a hand-off to parallel worker threads) costs a
     /// refcount bump, not a deep copy.
-    pub(crate) fn materialize(&self, e: &AlgebraExpr) -> Result<Arc<Vec<Tuple>>, AlgebraError> {
+    ///
+    /// `kind` names the pipeline breaker this buffer feeds (`join-build`,
+    /// `probe-build`, …). A *fresh* collection is a pipeline of its own:
+    /// it emits paired start/break events, charges the live intermediate
+    /// watermark, and parks a [`LiveGuard`] so the charge is released at
+    /// the next entry point. Memo and CSE hits charge and emit nothing —
+    /// the buffer is already live.
+    pub(crate) fn materialize(
+        &self,
+        e: &AlgebraExpr,
+        kind: &'static str,
+    ) -> Result<Arc<Vec<Tuple>>, AlgebraError> {
         // CSE gate first: a shared subplan is answered from (or evaluated
         // into) the CSE cache, mirroring the memo's early return.
         if let Some(shared) = self.cse_get(e)? {
@@ -437,12 +662,38 @@ impl<'db> Evaluator<'db> {
             }
             _ => None,
         };
-        let tuples = self.collect_governed(e)?;
+        let id = self.begin_pipeline();
+        let tuples = match self.collect_governed(e) {
+            Ok(tuples) => tuples,
+            Err(err) => {
+                self.end_pipeline(id, "aborted", 0);
+                return Err(err);
+            }
+        };
+        self.stash_live(&tuples);
+        self.end_pipeline(id, kind, tuples.len());
         self.stats.borrow_mut().record_intermediate(tuples.len());
         if let (Some(memo), Some(key)) = (&self.memo, key) {
             memo.borrow_mut().insert(key, Arc::clone(&tuples));
         }
         Ok(tuples)
+    }
+
+    /// Charge a freshly materialized buffer to the live watermark and
+    /// park the releasing guard. The byte figure mirrors the governor's
+    /// per-tuple `estimate_tuple_bytes` charge exactly (tuples of one
+    /// buffer share an arity), so the guard's governor release balances
+    /// what `collect_governed` charged.
+    fn stash_live(&self, tuples: &Arc<Vec<Tuple>>) {
+        let arity = tuples.first().map(Tuple::arity).unwrap_or(0);
+        let bytes = tuples.len() * gq_governor::estimate_tuple_bytes(arity) as usize;
+        self.charge_live(tuples.len(), bytes);
+        self.live_stash.borrow_mut().push(LiveGuard {
+            live: Rc::clone(&self.live),
+            governor: self.governor.clone(),
+            tuples: tuples.len(),
+            bytes,
+        });
     }
 
     /// Drain a (CSE-exempt) stream of `e` to an owned vector, under the
@@ -491,7 +742,16 @@ impl<'db> Evaluator<'db> {
             }
             return Ok(Some(Arc::clone(hit)));
         }
-        let tuples = self.collect_governed(e)?;
+        let id = self.begin_pipeline();
+        let tuples = match self.collect_governed(e) {
+            Ok(tuples) => tuples,
+            Err(err) => {
+                self.end_pipeline(id, "aborted", 0);
+                return Err(err);
+            }
+        };
+        self.stash_live(&tuples);
+        self.end_pipeline(id, "cse-share", tuples.len());
         {
             let mut s = self.stats.borrow_mut();
             s.cse_materialized += 1;
@@ -596,7 +856,7 @@ impl<'db> Evaluator<'db> {
                 })))
             }
             AlgebraExpr::GroupCount { input, group } => {
-                let tuples = self.materialize(input)?;
+                let tuples = self.materialize(input, "group-input")?;
                 let mut counts: HashMap<Tuple, i64> = HashMap::new();
                 let mut order: Vec<Tuple> = Vec::new();
                 for t in tuples.iter() {
@@ -614,7 +874,7 @@ impl<'db> Evaluator<'db> {
                 })))
             }
             AlgebraExpr::Product { left, right } => {
-                let right_tuples = self.materialize(right)?;
+                let right_tuples = self.materialize(right, "product-build")?;
                 let left = self.stream(left)?;
                 let stats = self.stats.clone();
                 Ok(Box::new(left.flat_map(move |l| {
@@ -660,7 +920,7 @@ impl<'db> Evaluator<'db> {
                             .collect::<Vec<_>>()
                     })));
                 }
-                let right_tuples = self.materialize(right)?;
+                let right_tuples = self.materialize(right, "join-build")?;
                 let index = build_index(&right_tuples, on.iter().map(|&(_, r)| r));
                 let left = self.stream(left)?;
                 let stats = self.stats.clone();
@@ -723,7 +983,7 @@ impl<'db> Evaluator<'db> {
                 ))
             }
             AlgebraExpr::Difference { left, right } => {
-                let right_tuples = self.materialize(right)?;
+                let right_tuples = self.materialize(right, "difference-build")?;
                 let keys: HashSet<Tuple> = right_tuples.iter().cloned().collect();
                 let left = self.stream(left)?;
                 let stats = self.stats.clone();
@@ -733,7 +993,7 @@ impl<'db> Evaluator<'db> {
                 })))
             }
             AlgebraExpr::LeftOuterJoin { left, right, on } => {
-                let right_tuples = self.materialize(right)?;
+                let right_tuples = self.materialize(right, "outer-build")?;
                 let right_arity = right_tuples.first().map(Tuple::arity);
                 let index = build_index(&right_tuples, on.iter().map(|&(_, r)| r));
                 let left = self.stream(left)?;
@@ -824,7 +1084,7 @@ impl<'db> Evaluator<'db> {
                 .map_err(AlgebraError::Storage)?;
             return Ok(ProbeSide::Index(idx));
         }
-        let tuples = self.materialize(right)?;
+        let tuples = self.materialize(right, "probe-build")?;
         Ok(ProbeSide::Keys(
             tuples.iter().map(|t| key_of(t, &right_cols)).collect(),
         ))
@@ -841,8 +1101,8 @@ impl<'db> Evaluator<'db> {
     ) -> Result<TupleIter<'_>, AlgebraError> {
         let left_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
         let right_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
-        let mut lt = unshare(self.materialize(left)?);
-        let mut rt = unshare(self.materialize(right)?);
+        let mut lt = unshare(self.materialize(left, "sort-input")?);
+        let mut rt = unshare(self.materialize(right, "sort-input")?);
         lt.sort_by_key(|t| key_of(t, &left_cols));
         rt.sort_by_key(|t| key_of(t, &right_cols));
         // Charge the comparisons of both sort passes (n log n each).
@@ -895,8 +1155,8 @@ impl<'db> Evaluator<'db> {
         on: &[(usize, usize)],
     ) -> Result<Vec<Tuple>, AlgebraError> {
         let left_arity = arity_of(left, self.db)?;
-        let right_tuples = self.materialize(right)?;
-        let left_tuples = self.materialize(left)?;
+        let right_tuples = self.materialize(right, "division-divisor")?;
+        let left_tuples = self.materialize(left, "division-dividend")?;
         Ok(self.divide(&left_tuples, &right_tuples, left_arity, on))
     }
 

@@ -29,6 +29,7 @@ mod index_cache;
 mod optimize;
 mod parallel;
 mod profile;
+mod push;
 mod stats;
 
 #[cfg(test)]
@@ -45,7 +46,10 @@ pub use boolean::BoolExpr;
 pub use cse::shared_subplans;
 pub use error::AlgebraError;
 pub use estimate::estimate;
-pub use eval::{arity_of, eval_predicate, Evaluator, JoinAlgorithm, TupleIter};
+pub use eval::{
+    arity_of, eval_predicate, Evaluator, JoinAlgorithm, PipelineBreak, PipelineEvent, PipelineHook,
+    TupleIter,
+};
 pub use expr::{AlgebraExpr, Constraint, JoinOn, Operand, Predicate};
 pub use index_cache::IndexCache;
 pub use optimize::optimize;

@@ -52,19 +52,27 @@ use std::time::Instant;
 /// Default number of tuples per morsel.
 pub const DEFAULT_MORSEL_SIZE: usize = 1024;
 
-/// Execution configuration: worker count and morsel size.
+/// Execution configuration: worker count, morsel size, and execution
+/// strategy.
 ///
-/// `threads == 1` selects the legacy tuple-at-a-time streaming path,
-/// bit-for-bit; `threads > 1` routes [`Evaluator::eval`] through the
-/// morsel-driven batch executor. The default asks the OS for the
-/// available parallelism, so a single-core host transparently gets the
-/// sequential path.
+/// With `streaming` (the default), `threads == 1` selects the
+/// tuple-at-a-time pull path, bit-for-bit, and `threads > 1` routes
+/// [`Evaluator::eval`] through the push-based pipeline executor
+/// (`crate::push`), which materializes only at pipeline breakers. With
+/// `streaming` off, every thread count runs the legacy materializing
+/// batch executor of this module — the node-per-`Vec` baseline that the
+/// peak-watermark comparisons are measured against. The default asks the
+/// OS for the available parallelism, so a single-core host transparently
+/// gets the sequential path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecConfig {
     /// Worker threads for parallel kernels (≥ 1).
     pub threads: usize,
     /// Tuples per morsel (≥ 1).
     pub morsel_size: usize,
+    /// Stream pipelines, materializing only at breakers (default). `false`
+    /// selects the legacy materializing executor at every thread count.
+    pub streaming: bool,
 }
 
 impl Default for ExecConfig {
@@ -74,6 +82,7 @@ impl Default for ExecConfig {
                 .map(NonZeroUsize::get)
                 .unwrap_or(1),
             morsel_size: DEFAULT_MORSEL_SIZE,
+            streaming: true,
         }
     }
 }
@@ -84,6 +93,7 @@ impl ExecConfig {
         ExecConfig {
             threads: 1,
             morsel_size: DEFAULT_MORSEL_SIZE,
+            streaming: true,
         }
     }
 
@@ -92,6 +102,7 @@ impl ExecConfig {
         ExecConfig {
             threads: threads.max(1),
             morsel_size: DEFAULT_MORSEL_SIZE,
+            streaming: true,
         }
     }
 
@@ -101,7 +112,14 @@ impl ExecConfig {
         self
     }
 
-    /// Does this configuration use the batch executor?
+    /// Select between the streaming pipeline executor (`true`, default)
+    /// and the legacy materializing batch executor (`false`).
+    pub fn with_streaming(mut self, streaming: bool) -> Self {
+        self.streaming = streaming;
+        self
+    }
+
+    /// Does this configuration use a multi-threaded executor?
     pub fn is_parallel(&self) -> bool {
         self.threads > 1
     }
@@ -139,7 +157,7 @@ pub(crate) fn eval_parallel(
 /// per-morsel delay, then possibly a forced worker panic (exercising the
 /// containment path). Compiled to nothing without the `chaos` feature.
 #[cfg(feature = "chaos")]
-fn chaos_morsel_hooks(mi: usize) {
+pub(crate) fn chaos_morsel_hooks(mi: usize) {
     if let Some(d) = gq_chaos::morsel_delay(mi as u64) {
         thread::sleep(d);
     }
@@ -147,11 +165,11 @@ fn chaos_morsel_hooks(mi: usize) {
 }
 
 #[cfg(not(feature = "chaos"))]
-fn chaos_morsel_hooks(_mi: usize) {}
+pub(crate) fn chaos_morsel_hooks(_mi: usize) {}
 
 /// Render a caught panic payload as the message of a
 /// [`GovernorError::WorkerPanic`].
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -165,7 +183,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// it through the governor's trip hook (when one is attached) so the
 /// flight recorder sees the panic with the owning query's id — panics
 /// are caught out here at the coordinator, not inside the governor.
-fn worker_panic(governor: Option<&Governor>, message: String) -> AlgebraError {
+pub(crate) fn worker_panic(governor: Option<&Governor>, message: String) -> AlgebraError {
     let err = GovernorError::WorkerPanic {
         phase: "evaluate",
         message,
@@ -181,23 +199,25 @@ fn worker_panic(governor: Option<&Governor>, message: String) -> AlgebraError {
 /// the worker-pool kernels. Recursion happens on the coordinating thread;
 /// only the per-morsel closures run on workers, and those never touch the
 /// evaluator's `Rc`/`RefCell` state (the compiler enforces it — neither
-/// is `Sync`).
-struct ParallelExec<'a, 'db> {
-    ev: &'a Evaluator<'db>,
-    threads: usize,
-    morsel_size: usize,
+/// is `Sync`). The push executor (`crate::push`) constructs one of these
+/// too, purely to reuse the partitioned build kernels for its breaker
+/// build sides.
+pub(crate) struct ParallelExec<'a, 'db> {
+    pub(crate) ev: &'a Evaluator<'db>,
+    pub(crate) threads: usize,
+    pub(crate) morsel_size: usize,
 }
 
 /// A hash-partitioned row-id index (the batch executor's analogue of the
 /// sequential evaluator's single `HashMap` build side). Bucket row ids
 /// are ascending, like a sequential scan-order build, so probe results
 /// enumerate matches in the same order.
-struct PartIndex {
+pub(crate) struct PartIndex {
     parts: Vec<HashMap<Vec<Value>, Vec<usize>>>,
 }
 
 impl PartIndex {
-    fn get(&self, key: &[Value]) -> &[usize] {
+    pub(crate) fn get(&self, key: &[Value]) -> &[usize] {
         self.parts[partition_of(key, self.parts.len())]
             .get(key)
             .map(Vec::as_slice)
@@ -206,7 +226,7 @@ impl PartIndex {
 }
 
 /// The probe structure of a parallel join-family build side.
-enum ParProbe {
+pub(crate) enum ParProbe {
     /// Hash-partitioned key sets (one per partition).
     Parts(Vec<HashSet<Vec<Value>>>),
     /// A cached base-relation index, shared with workers via `Arc`.
@@ -214,7 +234,7 @@ enum ParProbe {
 }
 
 impl ParProbe {
-    fn contains(&self, t: &Tuple, cols: &[usize], scratch: &mut Vec<Value>) -> bool {
+    pub(crate) fn contains(&self, t: &Tuple, cols: &[usize], scratch: &mut Vec<Value>) -> bool {
         match self {
             ParProbe::Parts(parts) => {
                 fill_key(scratch, t, cols);
@@ -233,6 +253,48 @@ fn partition_of(key: &[Value], nparts: usize) -> usize {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     key.hash(&mut h);
     (h.finish() as usize) % nparts
+}
+
+/// Scoped live-intermediate accounting for the legacy materializing
+/// executor: each operator arm charges the buffers it holds (child
+/// inputs, build sides) to the evaluator's live counters on receipt and
+/// releases them when the arm's scope ends, so the `peak_intermediate_*`
+/// watermarks measure the true live set of the node-per-`Vec` baseline —
+/// the figure the streaming executor's peaks are compared against. All
+/// charges happen on the coordinating thread in structural plan order,
+/// so the watermarks are identical across worker counts. Stats-only: the
+/// governor's live memory budget is charged by `materialize` alone,
+/// identically on both execution strategies.
+struct LiveScope<'a, 'db> {
+    ev: &'a Evaluator<'db>,
+    tuples: usize,
+    bytes: usize,
+}
+
+impl<'a, 'db> LiveScope<'a, 'db> {
+    fn new(ev: &'a Evaluator<'db>) -> Self {
+        LiveScope {
+            ev,
+            tuples: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Charge a held buffer against the live watermark for the lifetime
+    /// of this scope.
+    fn charge(&mut self, tuples: &[Tuple]) {
+        let arity = tuples.first().map(Tuple::arity).unwrap_or(0);
+        let bytes = tuples.len() * gq_governor::estimate_tuple_bytes(arity) as usize;
+        self.ev.charge_live(tuples.len(), bytes);
+        self.tuples += tuples.len();
+        self.bytes += bytes;
+    }
+}
+
+impl Drop for LiveScope<'_, '_> {
+    fn drop(&mut self) {
+        self.ev.release_live(self.tuples, self.bytes);
+    }
 }
 
 impl<'db> ParallelExec<'_, 'db> {
@@ -327,6 +389,8 @@ impl<'db> ParallelExec<'_, 'db> {
             }
             AlgebraExpr::Select { input, predicate } => {
                 let input = self.node(input)?;
+                let mut scope = LiveScope::new(self.ev);
+                scope.charge(&input);
                 let filtered = self.par_chunks(&input, |ws, _mi, chunk| {
                     chunk
                         .iter()
@@ -338,6 +402,8 @@ impl<'db> ParallelExec<'_, 'db> {
             }
             AlgebraExpr::Project { input, positions } => {
                 let input = self.node(input)?;
+                let mut scope = LiveScope::new(self.ev);
+                scope.charge(&input);
                 let mut seen: HashSet<Tuple> = HashSet::new();
                 Ok(input
                     .iter()
@@ -349,6 +415,8 @@ impl<'db> ParallelExec<'_, 'db> {
             }
             AlgebraExpr::GroupCount { input, group } => {
                 let tuples = self.materialize(input)?;
+                let mut scope = LiveScope::new(self.ev);
+                scope.charge(&tuples);
                 let mut counts: HashMap<Tuple, i64> = HashMap::new();
                 let mut order: Vec<Tuple> = Vec::new();
                 for t in tuples.iter() {
@@ -371,6 +439,9 @@ impl<'db> ParallelExec<'_, 'db> {
             AlgebraExpr::Product { left, right } => {
                 let right_tuples = self.materialize(right)?;
                 let left = self.node(left)?;
+                let mut scope = LiveScope::new(self.ev);
+                scope.charge(&right_tuples);
+                scope.charge(&left);
                 let out = self.par_chunks(&left, |ws, _mi, chunk| {
                     let mut out = Vec::with_capacity(chunk.len() * right_tuples.len());
                     for l in chunk {
@@ -411,6 +482,8 @@ impl<'db> ParallelExec<'_, 'db> {
                         .relation(name)
                         .map_err(|_| AlgebraError::UnknownRelation(name.clone()))?;
                     let left = self.node(left)?;
+                    let mut scope = LiveScope::new(self.ev);
+                    scope.charge(&left);
                     let out = self.par_chunks(&left, |ws, _mi, chunk| {
                         let mut scratch: Vec<Value> = Vec::new();
                         let mut out = Vec::new();
@@ -428,6 +501,9 @@ impl<'db> ParallelExec<'_, 'db> {
                 let index =
                     self.build_part_index(&right_tuples, on.iter().map(|&(_, r)| r).collect())?;
                 let left = self.node(left)?;
+                let mut scope = LiveScope::new(self.ev);
+                scope.charge(&right_tuples);
+                scope.charge(&left);
                 let out = self.par_chunks(&left, |ws, _mi, chunk| {
                     let mut scratch: Vec<Value> = Vec::new();
                     let mut out = Vec::new();
@@ -443,8 +519,10 @@ impl<'db> ParallelExec<'_, 'db> {
                 Ok(flatten(out))
             }
             AlgebraExpr::SemiJoin { left, right, on } => {
-                let probe = self.build_probe(right, on)?;
+                let mut scope = LiveScope::new(self.ev);
+                let probe = self.build_probe(right, on, &mut scope)?;
                 let left = self.node(left)?;
+                scope.charge(&left);
                 let left_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
                 let out = self.par_chunks(&left, |ws, _mi, chunk| {
                     let mut scratch: Vec<Value> = Vec::new();
@@ -461,8 +539,10 @@ impl<'db> ParallelExec<'_, 'db> {
                 Ok(flatten(out))
             }
             AlgebraExpr::ComplementJoin { left, right, on } => {
-                let probe = self.build_probe(right, on)?;
+                let mut scope = LiveScope::new(self.ev);
+                let probe = self.build_probe(right, on, &mut scope)?;
                 let left = self.node(left)?;
+                scope.charge(&left);
                 let left_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
                 let out = self.par_chunks(&left, |ws, _mi, chunk| {
                     let mut scratch: Vec<Value> = Vec::new();
@@ -485,11 +565,17 @@ impl<'db> ParallelExec<'_, 'db> {
                 let left_arity = arity_of(left, self.ev.db)?;
                 let right_tuples = self.materialize(right)?;
                 let left_tuples = self.materialize(left)?;
+                let mut scope = LiveScope::new(self.ev);
+                scope.charge(&right_tuples);
+                scope.charge(&left_tuples);
                 Ok(self.ev.divide(&left_tuples, &right_tuples, left_arity, on))
             }
             AlgebraExpr::Union { left, right } => {
                 let left = self.node(left)?;
+                let mut scope = LiveScope::new(self.ev);
+                scope.charge(&left);
                 let right = self.node(right)?;
+                scope.charge(&right);
                 let mut seen: HashSet<Tuple> = HashSet::new();
                 Ok(left
                     .into_iter()
@@ -501,6 +587,9 @@ impl<'db> ParallelExec<'_, 'db> {
                 let right_tuples = self.materialize(right)?;
                 let keys: HashSet<Tuple> = right_tuples.iter().cloned().collect();
                 let left = self.node(left)?;
+                let mut scope = LiveScope::new(self.ev);
+                scope.charge(&right_tuples);
+                scope.charge(&left);
                 let out = self.par_chunks(&left, |ws, _mi, chunk| {
                     chunk
                         .iter()
@@ -522,6 +611,9 @@ impl<'db> ParallelExec<'_, 'db> {
                 let index =
                     self.build_part_index(&right_tuples, on.iter().map(|&(_, r)| r).collect())?;
                 let left = self.node(left)?;
+                let mut scope = LiveScope::new(self.ev);
+                scope.charge(&right_tuples);
+                scope.charge(&left);
                 let left_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
                 let out = self.par_chunks(&left, |ws, _mi, chunk| {
                     let mut scratch: Vec<Value> = Vec::new();
@@ -548,8 +640,10 @@ impl<'db> ParallelExec<'_, 'db> {
                 on,
                 constraint,
             } => {
-                let probe = self.build_probe(right, on)?;
+                let mut scope = LiveScope::new(self.ev);
+                let probe = self.build_probe(right, on, &mut scope)?;
                 let left = self.node(left)?;
+                scope.charge(&left);
                 let left_cols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
                 let out = self.par_chunks(&left, |ws, _mi, chunk| {
                     let mut scratch: Vec<Value> = Vec::new();
@@ -611,11 +705,13 @@ impl<'db> ParallelExec<'_, 'db> {
 
     /// Build the probe side of a semi/complement/marker join: the cached
     /// base-relation index when available (right subtree not evaluated),
-    /// hash-partitioned key sets otherwise.
+    /// hash-partitioned key sets otherwise. A freshly materialized build
+    /// side is charged to the caller's live scope.
     fn build_probe(
         &self,
         right: &AlgebraExpr,
         on: &[(usize, usize)],
+        scope: &mut LiveScope<'_, 'db>,
     ) -> Result<ParProbe, AlgebraError> {
         let right_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
         if let (Some(cache), AlgebraExpr::Relation(name)) = (self.ev.index_cache, right) {
@@ -633,6 +729,7 @@ impl<'db> ParallelExec<'_, 'db> {
             return Ok(ParProbe::Index(idx));
         }
         let tuples = self.materialize(right)?;
+        scope.charge(&tuples);
         Ok(ParProbe::Parts(self.build_part_keys(&tuples, &right_cols)?))
     }
 
@@ -641,7 +738,7 @@ impl<'db> ParallelExec<'_, 'db> {
     /// building its hash table. Fragments are concatenated in morsel
     /// order, so every bucket's row ids are ascending — matching a
     /// sequential scan-order build.
-    fn build_part_index(
+    pub(crate) fn build_part_index(
         &self,
         tuples: &[Tuple],
         cols: Vec<usize>,
@@ -698,7 +795,7 @@ impl<'db> ParallelExec<'_, 'db> {
 
     /// Two-phase partitioned build of key *sets* (the probe side of semi,
     /// complement and marker joins).
-    fn build_part_keys(
+    pub(crate) fn build_part_keys(
         &self,
         tuples: &[Tuple],
         cols: &[usize],
@@ -916,9 +1013,9 @@ mod tests {
         }
     }
 
-    /// Results and stats (minus the dispatch counter) must be identical
-    /// across thread counts — and the row *order* too, thanks to ordered
-    /// morsel reassembly.
+    /// Results and stats (minus the dispatch counters) must be identical
+    /// across thread counts and both execution strategies — and the row
+    /// *order* too, thanks to ordered morsel reassembly.
     #[test]
     fn kernels_match_sequential_exactly() {
         let db = db();
@@ -926,18 +1023,45 @@ mod tests {
             let seq = Evaluator::new(&db);
             let expected = seq.eval(&plan).unwrap();
             for threads in [2, 4] {
-                let par = Evaluator::new(&db)
-                    .with_exec_config(ExecConfig::with_threads(threads).with_morsel_size(64));
-                let got = par.eval(&plan).unwrap();
-                assert_eq!(got.tuples(), expected.tuples(), "row order differs");
-                assert_eq!(
-                    par.stats().without_dispatch_counters(),
-                    seq.stats().without_dispatch_counters(),
-                    "stats differ at {threads} threads"
-                );
-                assert!(par.stats().morsels > 0, "parallel path not taken");
+                for streaming in [true, false] {
+                    let par = Evaluator::new(&db).with_exec_config(
+                        ExecConfig::with_threads(threads)
+                            .with_morsel_size(64)
+                            .with_streaming(streaming),
+                    );
+                    let got = par.eval(&plan).unwrap();
+                    assert_eq!(got.tuples(), expected.tuples(), "row order differs");
+                    assert_eq!(
+                        par.stats().without_dispatch_counters(),
+                        seq.stats().without_dispatch_counters(),
+                        "stats differ at {threads} threads (streaming={streaming})"
+                    );
+                    assert!(par.stats().morsels > 0, "parallel path not taken");
+                }
             }
         }
+    }
+
+    /// The legacy materializing executor also runs at one thread when
+    /// streaming is disabled (it is the peak-watermark baseline), and its
+    /// answers match the pull drain there too.
+    #[test]
+    fn materializing_baseline_runs_single_threaded() {
+        let db = db();
+        let seq = Evaluator::new(&db);
+        let expected = seq.eval(&join_plan()).unwrap();
+        let legacy =
+            Evaluator::new(&db).with_exec_config(ExecConfig::sequential().with_streaming(false));
+        let got = legacy.eval(&join_plan()).unwrap();
+        assert_eq!(got.tuples(), expected.tuples());
+        assert_eq!(
+            legacy.stats().without_dispatch_counters(),
+            seq.stats().without_dispatch_counters()
+        );
+        assert!(
+            legacy.stats().peak_intermediate_tuples > 0,
+            "baseline live accounting not charged"
+        );
     }
 
     #[test]
@@ -945,6 +1069,10 @@ mod tests {
         let c = ExecConfig::default();
         assert!(c.threads >= 1);
         assert_eq!(c.morsel_size, DEFAULT_MORSEL_SIZE);
+        assert!(c.streaming, "streaming is the default strategy");
+        assert!(ExecConfig::sequential().streaming);
+        assert!(ExecConfig::with_threads(8).streaming);
+        assert!(!ExecConfig::with_threads(2).with_streaming(false).streaming);
         assert!(!ExecConfig::sequential().is_parallel());
         assert!(ExecConfig::with_threads(8).is_parallel());
         // Degenerate inputs are clamped, not honored.
@@ -958,15 +1086,20 @@ mod tests {
     #[test]
     fn single_morsel_input_falls_back_inline() {
         let db = db();
-        let par = Evaluator::new(&db)
-            .with_exec_config(ExecConfig::with_threads(4).with_morsel_size(100_000));
-        let got = par.eval(&join_plan()).unwrap();
-        let seq = Evaluator::new(&db);
-        let expected = seq.eval(&join_plan()).unwrap();
-        assert_eq!(got.tuples(), expected.tuples());
-        assert_eq!(
-            par.stats().without_dispatch_counters(),
-            seq.stats().without_dispatch_counters()
-        );
+        for streaming in [true, false] {
+            let par = Evaluator::new(&db).with_exec_config(
+                ExecConfig::with_threads(4)
+                    .with_morsel_size(100_000)
+                    .with_streaming(streaming),
+            );
+            let got = par.eval(&join_plan()).unwrap();
+            let seq = Evaluator::new(&db);
+            let expected = seq.eval(&join_plan()).unwrap();
+            assert_eq!(got.tuples(), expected.tuples());
+            assert_eq!(
+                par.stats().without_dispatch_counters(),
+                seq.stats().without_dispatch_counters()
+            );
+        }
     }
 }

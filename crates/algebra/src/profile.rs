@@ -187,6 +187,8 @@ fn clamp(child: &ExecStats, parent: &ExecStats) -> ExecStats {
         tuples_emitted: child.tuples_emitted.min(parent.tuples_emitted),
         intermediate_tuples: child.intermediate_tuples.min(parent.intermediate_tuples),
         max_intermediate: 0,
+        peak_intermediate_tuples: 0,
+        peak_intermediate_bytes: 0,
         operators_evaluated: child.operators_evaluated.min(parent.operators_evaluated),
         memo_hits: child.memo_hits.min(parent.memo_hits),
         cse_materialized: child.cse_materialized.min(parent.cse_materialized),

@@ -27,6 +27,20 @@ pub struct ExecStats {
     pub intermediate_tuples: usize,
     /// Cardinality of the largest single intermediate result.
     pub max_intermediate: usize,
+    /// High-water mark of *simultaneously live* intermediate tuples: the
+    /// peak of (tuples materialized − tuples released) over the query.
+    /// A watermark, not a sum — merged with `max`, so it is bit-identical
+    /// across 1/2/8 worker threads (live charges happen only at
+    /// coordinator points, in structural plan order). It *does* depend on
+    /// the execution strategy: the streaming push executor only
+    /// materializes pipeline breakers, the materializing baseline charges
+    /// every operator output — that difference is the headline metric of
+    /// the E-STREAM bench, so cross-strategy determinism checks strip it
+    /// (see [`ExecStats::without_dispatch_counters`]).
+    pub peak_intermediate_tuples: usize,
+    /// Byte-estimate sibling of `peak_intermediate_tuples` (tuples ×
+    /// `gq_governor::estimate_tuple_bytes` at materialization arity).
+    pub peak_intermediate_bytes: usize,
     /// Number of operator evaluations.
     pub operators_evaluated: usize,
     /// Materializations answered from the shared-subplan cache
@@ -81,6 +95,20 @@ impl ExecStats {
             } else {
                 0
             },
+            peak_intermediate_tuples: if self.peak_intermediate_tuples
+                > earlier.peak_intermediate_tuples
+            {
+                self.peak_intermediate_tuples
+            } else {
+                0
+            },
+            peak_intermediate_bytes: if self.peak_intermediate_bytes
+                > earlier.peak_intermediate_bytes
+            {
+                self.peak_intermediate_bytes
+            } else {
+                0
+            },
             operators_evaluated: self.operators_evaluated - earlier.operators_evaluated,
             memo_hits: self.memo_hits - earlier.memo_hits,
             cse_materialized: self.cse_materialized - earlier.cse_materialized,
@@ -98,6 +126,12 @@ impl ExecStats {
         self.tuples_emitted += other.tuples_emitted;
         self.intermediate_tuples += other.intermediate_tuples;
         self.max_intermediate = self.max_intermediate.max(other.max_intermediate);
+        self.peak_intermediate_tuples = self
+            .peak_intermediate_tuples
+            .max(other.peak_intermediate_tuples);
+        self.peak_intermediate_bytes = self
+            .peak_intermediate_bytes
+            .max(other.peak_intermediate_bytes);
         self.operators_evaluated += other.operators_evaluated;
         self.memo_hits += other.memo_hits;
         self.cse_materialized += other.cse_materialized;
@@ -106,12 +140,17 @@ impl ExecStats {
     }
 
     /// This record with the configuration-dependent counters zeroed —
-    /// what determinism tests compare across thread counts (the morsel
-    /// counter legitimately differs between the sequential path and the
-    /// morsel-driven one).
+    /// what determinism tests compare across thread counts and execution
+    /// strategies (the morsel counter legitimately differs between the
+    /// sequential path and the morsel-driven one, and the peak watermarks
+    /// legitimately differ between the streaming and materializing
+    /// strategies — the peak *reduction* is the point). Cross-thread
+    /// identity of the peaks within one strategy is asserted separately.
     pub fn without_dispatch_counters(&self) -> ExecStats {
         ExecStats {
             morsels: 0,
+            peak_intermediate_tuples: 0,
+            peak_intermediate_bytes: 0,
             ..self.clone()
         }
     }
@@ -158,7 +197,7 @@ impl fmt::Display for ExecStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "scans={} base_reads={} probes={} comparisons={} emitted={} intermediates={} max_intermediate={} operators={} memo_hits={} cse_materialized={} cse_reused={} morsels={}",
+            "scans={} base_reads={} probes={} comparisons={} emitted={} intermediates={} max_intermediate={} peak_tuples={} peak_bytes={} operators={} memo_hits={} cse_materialized={} cse_reused={} morsels={}",
             self.base_scans,
             self.base_tuples_read,
             self.probes,
@@ -166,6 +205,8 @@ impl fmt::Display for ExecStats {
             self.tuples_emitted,
             self.intermediate_tuples,
             self.max_intermediate,
+            self.peak_intermediate_tuples,
+            self.peak_intermediate_bytes,
             self.operators_evaluated,
             self.memo_hits,
             self.cse_materialized,
@@ -216,6 +257,8 @@ mod tests {
             "probes",
             "comparisons",
             "max_intermediate",
+            "peak_tuples",
+            "peak_bytes",
             "operators",
             "cse_materialized",
             "cse_reused",
@@ -234,6 +277,8 @@ mod tests {
             tuples_emitted: 3,
             intermediate_tuples: 4,
             max_intermediate: 4,
+            peak_intermediate_tuples: 4,
+            peak_intermediate_bytes: 320,
             operators_evaluated: 2,
             memo_hits: 0,
             cse_materialized: 0,
@@ -254,6 +299,49 @@ mod tests {
         assert_eq!(d.operators_evaluated, 3);
         assert_eq!(d.memo_hits, 2);
         assert_eq!(d.max_intermediate, 0, "high-water mark did not move");
+        assert_eq!(d.peak_intermediate_tuples, 0, "watermark did not move");
+        assert_eq!(d.peak_intermediate_bytes, 0, "watermark did not move");
+    }
+
+    #[test]
+    fn peak_watermarks_merge_as_max_and_diff_when_grown() {
+        let mut a = ExecStats {
+            peak_intermediate_tuples: 10,
+            peak_intermediate_bytes: 800,
+            ..ExecStats::new()
+        };
+        let b = ExecStats {
+            peak_intermediate_tuples: 25,
+            peak_intermediate_bytes: 500,
+            ..ExecStats::new()
+        };
+        a.merge(&b);
+        assert_eq!(a.peak_intermediate_tuples, 25);
+        assert_eq!(a.peak_intermediate_bytes, 800);
+        let earlier = ExecStats {
+            peak_intermediate_tuples: 5,
+            peak_intermediate_bytes: 100,
+            ..ExecStats::new()
+        };
+        let d = a.diff(&earlier);
+        assert_eq!(d.peak_intermediate_tuples, 25);
+        assert_eq!(d.peak_intermediate_bytes, 800);
+    }
+
+    #[test]
+    fn without_dispatch_counters_strips_peaks() {
+        let s = ExecStats {
+            peak_intermediate_tuples: 7,
+            peak_intermediate_bytes: 560,
+            probes: 3,
+            morsels: 9,
+            ..ExecStats::new()
+        };
+        let stripped = s.without_dispatch_counters();
+        assert_eq!(stripped.peak_intermediate_tuples, 0);
+        assert_eq!(stripped.peak_intermediate_bytes, 0);
+        assert_eq!(stripped.morsels, 0);
+        assert_eq!(stripped.probes, 3);
     }
 
     #[test]

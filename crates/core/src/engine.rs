@@ -3,12 +3,12 @@
 
 use crate::plan_cache::{CompiledKind, CompiledPlan, PlanCache, PlanCacheStats, PlanKey};
 use crate::EngineError;
-use gq_algebra::{Evaluator, ExecConfig, ExecStats, PlanProfiler};
+use gq_algebra::{Evaluator, ExecConfig, ExecStats, PipelineEvent, PipelineHook, PlanProfiler};
 use gq_calculus::{alpha_canonical, parse, Formula, Var};
 use gq_governor::{CancelToken, Governor, GovernorError, QueryLimits, Resource, TripHook};
 use gq_obs::{
-    EventData, EventKind, Journal, MetricsSnapshot, QueryTrace, Registry, SlowLog, SlowLogEntry,
-    SpanGuard, TraceBuilder,
+    EventData, EventKind, Journal, MetricsSnapshot, PipelineSpan, QueryTrace, Registry, SlowLog,
+    SlowLogEntry, SpanGuard, TraceBuilder,
 };
 use gq_pipeline::{LoopProfiler, PipelineEvaluator};
 use gq_rewrite::{canonicalize_governed, canonicalize_traced_governed};
@@ -90,7 +90,7 @@ impl QueryResult {
 /// Evaluation options orthogonal to the [`Strategy`]: post-translation
 /// plan optimization and shared-subplan caching. Both apply to the
 /// algebraic strategies only (the nested-loop interpreter has no plans).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EngineOptions {
     /// Apply the rule-based plan optimizer (selection/projection pushdown,
     /// product-to-join conversion) after translation.
@@ -113,6 +113,27 @@ pub struct EngineOptions {
     /// `cse_materialized`/`cse_reused` counters are bit-identical across
     /// thread counts.
     pub cse: bool,
+    /// Stream batches through push-based pipelines, materializing only at
+    /// pipeline breakers (on by default). Off, every operator of a
+    /// parallel plan materializes its full output — the legacy executor,
+    /// kept as the peak-memory baseline (`gq-bench`'s E-STREAM table) and
+    /// an A/B switch (`.stream off` in the REPL). Answers, order, and
+    /// `ExecStats::without_dispatch_counters` are bit-identical either
+    /// way; only the peak intermediate watermarks differ.
+    pub streaming: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            optimize: false,
+            share_subplans: false,
+            domain_closure: false,
+            use_base_indexes: false,
+            cse: false,
+            streaming: true,
+        }
+    }
 }
 
 /// The catalog behind a [`QueryEngine`]: either a plain in-memory
@@ -688,6 +709,7 @@ impl QueryEngine {
             options,
             slow_tb.as_ref().or(tb),
             &governor,
+            query_id,
         );
         self.finish_query(
             query_id,
@@ -768,7 +790,7 @@ impl QueryEngine {
                     query_id,
                     trace: tb.finish(query_text(), strategy.name()),
                     peak_intermediate_tuples: peak_tuples,
-                    peak_memory_bytes: governor.memory_bytes(),
+                    peak_memory_bytes: governor.peak_memory_bytes(),
                     answers: result.as_ref().map(|r| r.len() as u64).unwrap_or(0),
                     reason,
                 });
@@ -814,13 +836,14 @@ impl QueryEngine {
         options: EngineOptions,
         tb: Option<&TraceBuilder>,
         governor: &Governor,
+        query_id: u64,
     ) -> Result<QueryResult, EngineError> {
         let formula = self.preprocess(formula, options, tb)?;
         // Depth guard on the fully view-expanded formula — expansion can
         // deepen a query well past what the user typed.
         governor.check_depth("parse", Resource::FormulaDepth, formula.depth() as u64)?;
         let compiled = self.compile(&formula, strategy, options, governor, tb)?;
-        self.execute_compiled(&compiled, options, governor, tb)
+        self.execute_compiled(&compiled, options, governor, tb, query_id)
     }
 
     /// Phase 0: view expansion and (optional) Domain Closure completion.
@@ -957,6 +980,7 @@ impl QueryEngine {
         options: EngineOptions,
         governor: &Governor,
         tb: Option<&TraceBuilder>,
+        query_id: u64,
     ) -> Result<QueryResult, EngineError> {
         let make_eval = || {
             let ev = if options.share_subplans {
@@ -965,15 +989,33 @@ impl QueryEngine {
                 Evaluator::new(self.store.db())
             };
             let ev = ev
-                .with_exec_config(self.exec)
+                .with_exec_config(self.exec.with_streaming(options.streaming))
                 .with_governor(governor.clone());
             let ev = if options.use_base_indexes {
                 ev.with_index_cache(&self.index_cache)
             } else {
                 ev
             };
-            if options.cse {
+            let ev = if options.cse {
                 ev.with_cse(compiled.cse_shared.clone())
+            } else {
+                ev
+            };
+            // Flight-record pipeline boundaries only while the journal is
+            // on; with no hook the evaluator's event path is a no-op.
+            if self.journal.is_enabled() {
+                let journal = Arc::clone(&self.journal);
+                let hook: PipelineHook = Rc::new(move |e: &PipelineEvent| match *e {
+                    PipelineEvent::Start { id } => journal.record(|| {
+                        EventData::new(EventKind::PipelineStart, query_id, "evaluate")
+                            .detail(format!("pipeline {id}"))
+                    }),
+                    PipelineEvent::Break { id, kind, tuples } => journal.record(|| {
+                        EventData::new(EventKind::PipelineBreak, query_id, "evaluate")
+                            .detail(format!("pipeline {id} {kind} tuples={tuples}"))
+                    }),
+                });
+                ev.with_pipeline_hook(hook)
             } else {
                 ev
             }
@@ -996,6 +1038,7 @@ impl QueryEngine {
                 if let (Some(t), Some(p)) = (tb, profiler) {
                     t.set_plan(p.trace_bool(plan));
                 }
+                attach_pipelines(tb, &ev);
                 Ok(QueryResult {
                     vars: vec![],
                     answers: nullary(truth),
@@ -1019,6 +1062,7 @@ impl QueryEngine {
                 if let (Some(t), Some(p)) = (tb, profiler) {
                     t.set_plan(p.trace(plan));
                 }
+                attach_pipelines(tb, &ev);
                 Ok(QueryResult {
                     vars: vars.clone(),
                     answers,
@@ -1143,7 +1187,7 @@ impl QueryEngine {
                 trace,
                 query_id,
             )?;
-            self.execute_compiled(&compiled, prepared.options, &governor, trace)
+            self.execute_compiled(&compiled, prepared.options, &governor, trace, query_id)
         })();
         self.finish_query(
             query_id,
@@ -1245,6 +1289,27 @@ impl QueryEngine {
 /// Open a span when tracing (no-op otherwise).
 fn span<'a>(tb: Option<&'a TraceBuilder>, name: &str) -> Option<SpanGuard<'a>> {
     tb.map(|t| t.span(name))
+}
+
+/// Attach the evaluator's pipeline-breaker record to an active trace, so
+/// `:analyze` can show where a streaming plan broke and what the live
+/// intermediate watermark was at each boundary.
+fn attach_pipelines(tb: Option<&TraceBuilder>, ev: &Evaluator<'_>) {
+    let Some(t) = tb else { return };
+    let spans: Vec<PipelineSpan> = ev
+        .pipeline_breaks()
+        .into_iter()
+        .map(|b| PipelineSpan {
+            id: b.id,
+            breaker: b.kind.to_string(),
+            tuples: b.tuples,
+            live_tuples: b.live_tuples,
+            live_bytes: b.live_bytes,
+        })
+        .collect();
+    if !spans.is_empty() {
+        t.set_pipelines(spans);
+    }
 }
 
 /// Optimize every algebra expression inside a boolean plan.

@@ -270,6 +270,7 @@ struct Inner {
     deadline: Option<Instant>,
     intermediate_tuples: AtomicU64,
     memory_bytes: AtomicU64,
+    peak_memory_bytes: AtomicU64,
     hook: Option<TripHook>,
 }
 
@@ -304,6 +305,7 @@ impl Governor {
                 deadline,
                 intermediate_tuples: AtomicU64::new(0),
                 memory_bytes: AtomicU64::new(0),
+                peak_memory_bytes: AtomicU64::new(0),
                 hook,
             }),
         }
@@ -375,8 +377,12 @@ impl Governor {
     }
 
     /// Charge a freshly materialized intermediate result against the
-    /// intermediate-tuple and memory budgets. Cumulative across the
-    /// query; call from coordinator points only.
+    /// intermediate-tuple and memory budgets. The tuple budget is
+    /// cumulative across the query; the memory budget is *live* — an
+    /// executor that frees a build side calls
+    /// [`Governor::release_memory`], so the budget tracks the watermark
+    /// of simultaneously held bytes rather than total allocation. Call
+    /// from coordinator points only.
     pub fn charge_intermediate(
         &self,
         phase: &'static str,
@@ -399,6 +405,9 @@ impl Governor {
             }
         }
         let total_bytes = self.inner.memory_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.inner
+            .peak_memory_bytes
+            .fetch_max(total_bytes, Ordering::Relaxed);
         if let Some(limit) = self.inner.limits.max_memory_bytes {
             if total_bytes > limit {
                 return Err(self.trip(GovernorError::ResourceExhausted {
@@ -442,14 +451,34 @@ impl Governor {
         self.inner.limits.max_rewrite_steps
     }
 
+    /// Release estimated bytes previously charged with
+    /// [`Governor::charge_intermediate`] — an intermediate buffer was
+    /// dropped, so the live figure shrinks (the peak watermark does not).
+    /// Saturating: an over-release clamps at zero rather than wrapping.
+    pub fn release_memory(&self, bytes: u64) {
+        let _ = self
+            .inner
+            .memory_bytes
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_sub(bytes))
+            });
+    }
+
     /// Intermediate tuples charged so far.
     pub fn intermediate_tuples(&self) -> u64 {
         self.inner.intermediate_tuples.load(Ordering::Relaxed)
     }
 
-    /// Estimated intermediate bytes charged so far.
+    /// Estimated intermediate bytes currently live (charged minus
+    /// released).
     pub fn memory_bytes(&self) -> u64 {
         self.inner.memory_bytes.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of live intermediate bytes over the query — the
+    /// figure the slow-query log records as the memory watermark.
+    pub fn peak_memory_bytes(&self) -> u64 {
+        self.inner.peak_memory_bytes.load(Ordering::Relaxed)
     }
 }
 
@@ -559,6 +588,25 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn release_makes_memory_budget_live_and_keeps_peak() {
+        let g = Governor::start(
+            QueryLimits::default().with_max_memory_bytes(200),
+            CancelToken::new(),
+        );
+        assert!(g.charge_intermediate("evaluate", 1, 150).is_ok());
+        g.release_memory(150);
+        assert_eq!(g.memory_bytes(), 0, "released bytes no longer live");
+        assert_eq!(g.peak_memory_bytes(), 150, "watermark survives release");
+        // A second build fits again because the first was released —
+        // live accounting, not cumulative.
+        assert!(g.charge_intermediate("evaluate", 1, 180).is_ok());
+        assert_eq!(g.peak_memory_bytes(), 180);
+        // Over-release saturates at zero instead of wrapping.
+        g.release_memory(u64::MAX);
+        assert_eq!(g.memory_bytes(), 0);
     }
 
     #[test]

@@ -74,6 +74,11 @@ pub enum EventKind {
     Recovery,
     /// A deterministic chaos injection surfaced (detail: injected fault).
     Chaos,
+    /// A streaming pipeline began (detail: `pipeline <id>`).
+    PipelineStart,
+    /// A pipeline reached its breaker (detail: `pipeline <id> <breaker
+    /// kind> tuples=<build size>`).
+    PipelineBreak,
 }
 
 impl EventKind {
@@ -96,6 +101,8 @@ impl EventKind {
             EventKind::CheckpointEnd => "checkpoint_end",
             EventKind::Recovery => "recovery",
             EventKind::Chaos => "chaos",
+            EventKind::PipelineStart => "pipeline_start",
+            EventKind::PipelineBreak => "pipeline_break",
         }
     }
 }
@@ -289,6 +296,18 @@ fn current_tid() -> u64 {
     TID.with(|t| *t)
 }
 
+/// Span name for pipeline B/E pairs: the `pipeline <id>` prefix of the
+/// event detail, so the start and its matching break share a name and
+/// Perfetto pairs them into one slice.
+fn pipeline_span_name(detail: &str) -> String {
+    let name: Vec<&str> = detail.split_whitespace().take(2).collect();
+    if name.is_empty() {
+        "pipeline".to_string()
+    } else {
+        name.join(" ")
+    }
+}
+
 impl Journal {
     /// A disabled journal bounded to `capacity` events (min 8).
     pub fn with_capacity(capacity: usize) -> Self {
@@ -440,6 +459,10 @@ impl Journal {
                 EventKind::QueryEnd | EventKind::QueryError => {
                     ("E", format!("query {}", e.query_id))
                 }
+                // Pipeline start/break pairs render as nested per-pipeline
+                // spans inside their query's slice.
+                EventKind::PipelineStart => ("B", pipeline_span_name(&e.detail)),
+                EventKind::PipelineBreak => ("E", pipeline_span_name(&e.detail)),
                 _ => ("i", e.kind.name().to_string()),
             };
             let mut j = Json::obj()
@@ -629,6 +652,29 @@ mod tests {
         assert!(json.contains("\"ph\": \"B\""), "{json}");
         assert!(json.contains("\"ph\": \"E\""), "{json}");
         assert!(json.contains("\"ph\": \"i\""), "{json}");
+    }
+
+    #[test]
+    fn pipeline_events_export_as_paired_spans() {
+        let j = Journal::default();
+        j.enable();
+        let q = j.next_query_id();
+        j.record(|| EventData::new(EventKind::QueryStart, q, "evaluate"));
+        j.record(|| EventData::new(EventKind::PipelineStart, q, "evaluate").detail("pipeline 1"));
+        j.record(|| {
+            EventData::new(EventKind::PipelineBreak, q, "evaluate")
+                .detail("pipeline 1 join-build tuples=42")
+        });
+        j.record(|| EventData::new(EventKind::QueryEnd, q, "evaluate").dur_ns(10));
+        let json = j.to_chrome_trace().to_string();
+        // The start and its break share the "pipeline 1" span name, so
+        // Perfetto pairs them into one nested slice.
+        assert_eq!(
+            json.matches("\"name\": \"pipeline 1\"").count(),
+            2,
+            "{json}"
+        );
+        assert!(json.contains("\"cat\": \"pipeline_break\""), "{json}");
     }
 
     #[test]

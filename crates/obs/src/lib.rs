@@ -37,5 +37,6 @@ pub use json::{Json, JsonError};
 pub use metrics::{Histogram, MetricsSnapshot, Registry, HISTOGRAM_BUCKETS};
 pub use slowlog::{SlowLog, SlowLogEntry, DEFAULT_SLOWLOG_CAPACITY};
 pub use trace::{
-    fmt_ns, PlanNodeTrace, PlanTotals, QueryTrace, SpanGuard, SpanRecord, TraceBuilder,
+    fmt_ns, PipelineSpan, PlanNodeTrace, PlanTotals, QueryTrace, SpanGuard, SpanRecord,
+    TraceBuilder,
 };

@@ -154,6 +154,38 @@ impl PlanNodeTrace {
     }
 }
 
+/// One pipeline of a streaming (push-based) execution: the chain of
+/// operators between two breakers, identified in coordinator order, with
+/// the breaker that ended it and the live-watermark snapshot at that
+/// point. Surfaced by `:analyze` next to the annotated plan tree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineSpan {
+    /// Pipeline id in structural (coordinator) order; 0 is the root
+    /// pipeline that feeds the result sink.
+    pub id: u64,
+    /// The breaker kind that terminated the pipeline (`output`,
+    /// `join-build`, `probe-build`, `cse-share`, …).
+    pub breaker: String,
+    /// Tuples the breaker materialized (result size for `output`).
+    pub tuples: u64,
+    /// Live intermediate tuples held when the breaker fired.
+    pub live_tuples: u64,
+    /// Live intermediate bytes held when the breaker fired.
+    pub live_bytes: u64,
+}
+
+impl PipelineSpan {
+    /// Machine-readable rendering.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("id", self.id)
+            .field("breaker", self.breaker.clone())
+            .field("tuples", self.tuples)
+            .field("live_tuples", self.live_tuples)
+            .field("live_bytes", self.live_bytes)
+    }
+}
+
 /// Format nanoseconds human-readably.
 pub fn fmt_ns(ns: u64) -> String {
     if ns >= 1_000_000_000 {
@@ -179,6 +211,9 @@ pub struct QueryTrace {
     pub facts: Vec<(String, Json)>,
     /// The annotated plan tree, when the strategy has one.
     pub plan: Option<PlanNodeTrace>,
+    /// Pipeline-breaker boundaries of a streaming execution (empty for
+    /// strategies without a pipeline decomposition).
+    pub pipelines: Vec<PipelineSpan>,
 }
 
 impl QueryTrace {
@@ -212,6 +247,15 @@ impl QueryTrace {
             .field("facts", facts);
         if let Some(plan) = &self.plan {
             j = j.field("plan", plan.to_json());
+        }
+        if !self.pipelines.is_empty() {
+            j = j.field(
+                "pipelines",
+                self.pipelines
+                    .iter()
+                    .map(|p| p.to_json())
+                    .collect::<Vec<_>>(),
+            );
         }
         j
     }
@@ -261,6 +305,16 @@ impl QueryTrace {
             let _ = writeln!(out, "\n== plan (actual) ==");
             out.push_str(&plan.render(plan.totals().elapsed_ns));
         }
+        if !self.pipelines.is_empty() {
+            let _ = writeln!(out, "\n== pipelines ==");
+            for p in &self.pipelines {
+                let _ = writeln!(
+                    out,
+                    "  #{:<3} {:<18} tuples={:<8} live_peak={} tuples / {} bytes",
+                    p.id, p.breaker, p.tuples, p.live_tuples, p.live_bytes
+                );
+            }
+        }
         out
     }
 }
@@ -277,6 +331,7 @@ pub struct TraceBuilder {
     counters: RefCell<BTreeMap<String, u64>>,
     facts: RefCell<Vec<(String, Json)>>,
     plan: RefCell<Option<PlanNodeTrace>>,
+    pipelines: RefCell<Vec<PipelineSpan>>,
 }
 
 impl Default for TraceBuilder {
@@ -294,6 +349,7 @@ impl TraceBuilder {
             counters: RefCell::new(BTreeMap::new()),
             facts: RefCell::new(Vec::new()),
             plan: RefCell::new(None),
+            pipelines: RefCell::new(Vec::new()),
         }
     }
 
@@ -338,6 +394,11 @@ impl TraceBuilder {
         *self.plan.borrow_mut() = Some(plan);
     }
 
+    /// Attach the pipeline-breaker boundaries of a streaming execution.
+    pub fn set_pipelines(&self, pipelines: Vec<PipelineSpan>) {
+        *self.pipelines.borrow_mut() = pipelines;
+    }
+
     /// Finish into an immutable trace.
     pub fn finish(self, query: impl Into<String>, strategy: impl Into<String>) -> QueryTrace {
         QueryTrace {
@@ -348,6 +409,7 @@ impl TraceBuilder {
             counters: self.counters.into_inner(),
             facts: self.facts.into_inner(),
             plan: self.plan.into_inner(),
+            pipelines: self.pipelines.into_inner(),
         }
     }
 }
@@ -420,6 +482,28 @@ mod tests {
         let s = root.render(2000);
         assert!(s.contains("rows=4"), "{s}");
         assert!(s.contains("50.0%"), "{s}");
+    }
+
+    #[test]
+    fn pipelines_render_only_when_present() {
+        let tb = TraceBuilder::new();
+        let without = tb.finish("q", "improved");
+        assert!(!without.render().contains("== pipelines =="));
+        let tb = TraceBuilder::new();
+        tb.set_pipelines(vec![PipelineSpan {
+            id: 1,
+            breaker: "join-build".into(),
+            tuples: 42,
+            live_tuples: 42,
+            live_bytes: 4800,
+        }]);
+        let with = tb.finish("q", "improved");
+        let text = with.render();
+        assert!(text.contains("== pipelines =="), "{text}");
+        assert!(text.contains("join-build"), "{text}");
+        let json = with.to_json().to_string();
+        assert!(json.contains("\"pipelines\""), "{json}");
+        assert!(json.contains("\"live_bytes\": 4800"), "{json}");
     }
 
     #[test]

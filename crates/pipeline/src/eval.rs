@@ -12,7 +12,12 @@
 //! "The algorithms of Fig. 1 process multiple quantifications with nested
 //! loop programs, the loop nesting reflecting the quantifier nesting. All
 //! operations are pipelined and performed one tuple at a time." This is the
-//! baseline the paper's algebraic method is measured against.
+//! baseline the paper's algebraic method is measured against. (The
+//! algebraic evaluator has since grown its own pipelining — push-based
+//! morsel batches that materialize only at breakers, DESIGN.md §14 — so
+//! the contest is no longer "pipelined loops vs full materialization"
+//! but loop nesting vs set-oriented batch kernels, which is the paper's
+//! actual claim.)
 //!
 //! Instrumentation conventions (deliberately *generous* to the baseline —
 //! see DESIGN.md): producer scans count one `base_tuples_read` per tuple

@@ -35,7 +35,7 @@
 //! restarts empty), `.wal` (durability counters), `.help`, `.quit`.
 //! Anything else is evaluated as a calculus query.
 
-use gq_core::{PreparedQuery, QueryEngine, QueryLimits, Strategy};
+use gq_core::{EngineOptions, PreparedQuery, QueryEngine, QueryLimits, Strategy};
 use gq_storage::{Database, Schema, Tuple, Value};
 use gq_workload::{university, UniversityScale};
 use std::collections::BTreeMap;
@@ -44,6 +44,8 @@ use std::io::{self, BufRead, Write};
 struct Repl {
     engine: QueryEngine,
     strategy: Strategy,
+    /// Streaming push-based execution (`.stream on|off`, default on).
+    streaming: bool,
     prepared: BTreeMap<String, PreparedQuery>,
 }
 
@@ -51,6 +53,7 @@ fn main() {
     let mut repl = Repl {
         engine: QueryEngine::new(Database::new()),
         strategy: Strategy::Improved,
+        streaming: true,
         prepared: BTreeMap::new(),
     };
     println!("general-queries REPL — .help for commands");
@@ -189,6 +192,20 @@ impl Repl {
                 "exec: morsel size {} ({} threads)",
                 exec.morsel_size, exec.threads
             );
+        } else if let Some(rest) = line.strip_prefix(".stream ") {
+            self.streaming = match rest.trim() {
+                "on" => true,
+                "off" => false,
+                other => return Err(format!("usage: .stream on|off (got `{other}`)").into()),
+            };
+            println!(
+                "streaming: {}",
+                if self.streaming {
+                    "on (push-based pipelines, breakers only materialize)"
+                } else {
+                    "off (legacy executor, every operator materializes)"
+                }
+            );
         } else if let Some(rest) = line.strip_prefix(".timeout ") {
             let rest = rest.trim();
             let mut limits = self.engine.limits();
@@ -236,7 +253,7 @@ impl Repl {
             };
             let p = self
                 .engine
-                .prepare_with(query.trim(), self.strategy, Default::default())?;
+                .prepare_with(query.trim(), self.strategy, self.options())?;
             println!("prepared `{name}` ({})", p.strategy().name());
             self.prepared.insert(name.to_string(), p);
         } else if let Some(rest) = line.strip_prefix(".exec ") {
@@ -292,7 +309,7 @@ impl Repl {
                 self.engine.explain_analyze_with_options(
                     rest.trim(),
                     self.strategy,
-                    Default::default()
+                    self.options()
                 )?
             );
         } else if line == ":events" || line.starts_with(":events ") {
@@ -421,6 +438,8 @@ impl Repl {
                  .strategy s               improved | classical | nested-loop\n\
                  .threads n                worker threads (1 = sequential)\n\
                  .morsel n                 tuples per morsel (default 1024)\n\
+                 .stream on|off            push-based streaming pipelines (default on;\n\
+                                           off = materialize every operator)\n\
                  .timeout <ms|off>         per-query deadline\n\
                  .limits [output|rows <n|off>]  show / set resource budgets\n\
                  .prepare name <query>     compile once, cache the plan\n\
@@ -444,7 +463,9 @@ impl Repl {
         } else if line.starts_with('.') {
             return Err(format!("unknown command `{line}` (.help)").into());
         } else {
-            let result = self.engine.query_with(line, self.strategy)?;
+            let result = self
+                .engine
+                .query_with_options(line, self.strategy, self.options())?;
             if result.vars.is_empty() {
                 println!("{}", result.is_true());
             } else {
@@ -462,6 +483,14 @@ impl Repl {
             }
         }
         Ok(())
+    }
+
+    /// Per-query options from the REPL's toggles.
+    fn options(&self) -> EngineOptions {
+        EngineOptions {
+            streaming: self.streaming,
+            ..Default::default()
+        }
     }
 }
 

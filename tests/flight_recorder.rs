@@ -94,9 +94,12 @@ fn disabling_the_journal_leaves_no_events_and_no_appends() {
     // gets id 6 — an enable/disable flip can never cause id reuse.
     e.journal().enable();
     e.query("student(x)").unwrap();
-    let tail = e.journal().tail(2);
-    assert_eq!(tail[0].kind, EventKind::QueryStart);
-    assert_eq!(tail[0].query_id, 6, "ids allocated even while off");
+    let events = e.journal().events();
+    let start = events
+        .iter()
+        .find(|ev| ev.kind == EventKind::QueryStart)
+        .expect("query start recorded after re-enable");
+    assert_eq!(start.query_id, 6, "ids allocated even while off");
 }
 
 /// Satellite: a budget-tripped query leaves a `governor_trip` event whose
@@ -254,7 +257,10 @@ fn chrome_trace_round_trips_with_monotone_timestamps() {
         match ph {
             "B" => {
                 begins += 1;
-                assert!(name.starts_with("query "), "span name: {name}");
+                assert!(
+                    name.starts_with("query ") || name.starts_with("pipeline"),
+                    "span name: {name}"
+                );
             }
             "E" => begins -= 1,
             "i" => assert_eq!(ev.get("s").and_then(Json::as_str), Some("t")),
