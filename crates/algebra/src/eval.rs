@@ -83,11 +83,15 @@ pub(crate) struct LiveCell {
 
 /// RAII release of a live-intermediate charge: dropping the guard
 /// subtracts the buffer from the live counters and returns its bytes to
-/// the governor's live memory budget. Guards are parked in the
-/// evaluator's stash and dropped at the next public entry point (or when
-/// the evaluator is dropped at query end) — build sides live until their
-/// consuming pipeline finishes anyway, so releasing at entry boundaries
-/// keeps the watermark deterministic without per-stream bookkeeping.
+/// the governor's live memory budget. On the sequential paths guards are
+/// parked in the evaluator's stash and dropped at the next public entry
+/// point (or when the evaluator is dropped at query end). The push
+/// coordinator instead holds guards itself, keyed by the chain depth of
+/// the probe op each build side feeds, and drops them the moment that op
+/// unwinds — so a union of semi-join chains peaks at its largest branch
+/// build, not the sum of all of them. All drops happen on the
+/// coordinating thread in structural plan order, which keeps the
+/// watermark deterministic across worker counts.
 pub(crate) struct LiveGuard {
     live: Rc<LiveCell>,
     governor: Option<Governor>,
@@ -536,25 +540,25 @@ impl<'db> Evaluator<'db> {
     /// Evaluate to a materialized relation.
     ///
     /// Dispatch: with streaming enabled (the [`ExecConfig`] default) and
-    /// no profiler attached, parallel configs run through the push-based
-    /// pipeline executor (`crate::push`); `threads == 1` keeps the
-    /// bit-identical sequential pull drain. With streaming disabled the
-    /// plan runs through the legacy materializing batch executor
-    /// (`crate::parallel`) at any thread count — the node-per-`Vec`
-    /// baseline the peak watermarks are measured against. A profiled
-    /// parallel run also uses the legacy executor (its kernels are what
-    /// the per-node attribution understands).
+    /// no profiler attached, every thread count runs through the
+    /// push-based pipeline executor (`crate::push`) — at `threads == 1`
+    /// its inline path reproduces the sequential drain bit for bit, and
+    /// routing it through the same coordinator keeps the scoped
+    /// build-side watermark releases thread-count-invariant. With
+    /// streaming disabled the plan runs through the legacy materializing
+    /// batch executor (`crate::parallel`) at any thread count — the
+    /// node-per-`Vec` baseline the peak watermarks are measured against.
+    /// A profiled run uses the legacy executor when parallel (its kernels
+    /// are what the per-node attribution understands) and the sequential
+    /// pull drain at `threads == 1`.
     pub fn eval(&self, e: &AlgebraExpr) -> Result<Relation, AlgebraError> {
         let arity = arity_of(e, self.db)?;
         self.check_governor()?;
         self.clear_live_stash();
-        if self.exec.is_parallel() {
-            if self.exec.streaming && self.profiler.is_none() {
-                return crate::push::eval_push(self, e, arity);
-            }
-            return eval_parallel(self, e, arity);
+        if self.exec.streaming && self.profiler.is_none() {
+            return crate::push::eval_push(self, e, arity);
         }
-        if !self.exec.streaming {
+        if self.exec.is_parallel() || !self.exec.streaming {
             return eval_parallel(self, e, arity);
         }
         let root = self.begin_pipeline();
@@ -640,10 +644,29 @@ impl<'db> Evaluator<'db> {
         e: &AlgebraExpr,
         kind: &'static str,
     ) -> Result<Arc<Vec<Tuple>>, AlgebraError> {
+        let (tuples, guard) = self.materialize_scoped(e, kind)?;
+        if let Some(g) = guard {
+            self.live_stash.borrow_mut().push(g);
+        }
+        Ok(tuples)
+    }
+
+    /// [`Evaluator::materialize`] with caller-scoped release: a fresh
+    /// (non-memo, non-CSE) buffer's [`LiveGuard`] is handed back instead
+    /// of parked, so the push coordinator can drop the charge the moment
+    /// the probe structure it fed unwinds (e.g. at a union branch
+    /// boundary) rather than at query end. Buffers retained by the memo
+    /// or CSE cache genuinely stay live for the whole query, so their
+    /// guards stay parked and `None` is returned.
+    pub(crate) fn materialize_scoped(
+        &self,
+        e: &AlgebraExpr,
+        kind: &'static str,
+    ) -> Result<(Arc<Vec<Tuple>>, Option<LiveGuard>), AlgebraError> {
         // CSE gate first: a shared subplan is answered from (or evaluated
         // into) the CSE cache, mirroring the memo's early return.
         if let Some(shared) = self.cse_get(e)? {
-            return Ok(shared);
+            return Ok((shared, None));
         }
         let key = match &self.memo {
             Some(memo) if !contains_literal(e) => {
@@ -656,7 +679,7 @@ impl<'db> Evaluator<'db> {
                     if let Some(p) = &self.profiler {
                         p.annotate(e, "memo-hit");
                     }
-                    return Ok(Arc::clone(hit));
+                    return Ok((Arc::clone(hit), None));
                 }
                 Some(key)
             }
@@ -670,30 +693,41 @@ impl<'db> Evaluator<'db> {
                 return Err(err);
             }
         };
-        self.stash_live(&tuples);
+        let guard = self.live_guard(&tuples);
         self.end_pipeline(id, kind, tuples.len());
         self.stats.borrow_mut().record_intermediate(tuples.len());
         if let (Some(memo), Some(key)) = (&self.memo, key) {
             memo.borrow_mut().insert(key, Arc::clone(&tuples));
+            // The memo keeps the buffer alive (and reusable) until query
+            // end, so the charge must outlive any single consumer scope.
+            self.live_stash.borrow_mut().push(guard);
+            return Ok((tuples, None));
         }
-        Ok(tuples)
+        Ok((tuples, Some(guard)))
     }
 
     /// Charge a freshly materialized buffer to the live watermark and
-    /// park the releasing guard. The byte figure mirrors the governor's
+    /// build its releasing guard. The byte figure mirrors the governor's
     /// per-tuple `estimate_tuple_bytes` charge exactly (tuples of one
     /// buffer share an arity), so the guard's governor release balances
     /// what `collect_governed` charged.
-    fn stash_live(&self, tuples: &Arc<Vec<Tuple>>) {
+    fn live_guard(&self, tuples: &Arc<Vec<Tuple>>) -> LiveGuard {
         let arity = tuples.first().map(Tuple::arity).unwrap_or(0);
         let bytes = tuples.len() * gq_governor::estimate_tuple_bytes(arity) as usize;
         self.charge_live(tuples.len(), bytes);
-        self.live_stash.borrow_mut().push(LiveGuard {
+        LiveGuard {
             live: Rc::clone(&self.live),
             governor: self.governor.clone(),
             tuples: tuples.len(),
             bytes,
-        });
+        }
+    }
+
+    /// Charge a freshly materialized buffer and park its guard until the
+    /// next public entry point (the sequential paths' release policy).
+    fn stash_live(&self, tuples: &Arc<Vec<Tuple>>) {
+        let guard = self.live_guard(tuples);
+        self.live_stash.borrow_mut().push(guard);
     }
 
     /// Drain a (CSE-exempt) stream of `e` to an owned vector, under the

@@ -3,26 +3,32 @@
 //! Join-family operators whose build side is a *base relation scan* can
 //! probe a persistent [`HashIndex`](gq_storage::HashIndex) instead of
 //! rebuilding a key set per query. The cache is owned by the caller
-//! (typically the engine), shared by every [`Evaluator`](crate::Evaluator)
-//! created with [`Evaluator::with_index_cache`](crate::Evaluator), and
-//! must be [cleared](IndexCache::clear) whenever the database is mutated.
+//! (typically the engine) and shared by every
+//! [`Evaluator`](crate::Evaluator) created with
+//! [`Evaluator::with_index_cache`](crate::Evaluator). Entries are keyed by
+//! the *catalog epoch* of the database they were built from, so concurrent
+//! readers pinned to different snapshots each resolve to an index that
+//! matches their own snapshot — a reader can never probe an index built
+//! from a newer (or older) catalog version. [`clear`](IndexCache::clear)
+//! after mutations bounds memory by discarding indexes for superseded
+//! epochs; it is no longer required for correctness.
+//!
 //! Indexes are handed out as `Arc`s so the morsel-driven parallel kernels
 //! (see [`ExecConfig`](crate::ExecConfig)) can probe them from worker
-//! threads; the cache itself is only ever touched by the coordinating
-//! thread, between kernels.
+//! threads, and the cache itself is a `Mutex` so sessions on different
+//! threads (e.g. `gq-server` connections) can share one engine.
 
 use gq_storage::{Database, HashIndex};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-/// Cache key: relation name + build columns.
-type Key = (String, Vec<usize>);
+/// Cache key: catalog epoch + relation name + build columns.
+type Key = (u64, String, Vec<usize>);
 
 /// A registry of base-relation hash indexes.
 #[derive(Debug, Default)]
 pub struct IndexCache {
-    inner: RefCell<HashMap<Key, Arc<HashIndex>>>,
+    inner: Mutex<HashMap<Key, Arc<HashIndex>>>,
 }
 
 impl IndexCache {
@@ -31,8 +37,14 @@ impl IndexCache {
         IndexCache::default()
     }
 
-    /// The index on `relation`'s `cols`, building (and recording the build
-    /// cost via `on_build`) only on first use.
+    /// Lock the map, recovering from a poisoned lock (a panicking query
+    /// thread must not wedge every other session's index lookups).
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<Key, Arc<HashIndex>>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The index on `relation`'s `cols` as of `db`'s epoch, building (and
+    /// recording the build cost via `on_build`) only on first use.
     pub fn get_or_build(
         &self,
         db: &Database,
@@ -40,8 +52,8 @@ impl IndexCache {
         cols: &[usize],
         on_build: impl FnOnce(usize),
     ) -> Result<Arc<HashIndex>, gq_storage::StorageError> {
-        let key = (relation.to_string(), cols.to_vec());
-        if let Some(idx) = self.inner.borrow().get(&key) {
+        let key = (db.epoch(), relation.to_string(), cols.to_vec());
+        if let Some(idx) = self.lock().get(&key) {
             return Ok(idx.clone());
         }
         #[cfg(feature = "chaos")]
@@ -52,23 +64,27 @@ impl IndexCache {
         rel.validate_positions(cols)?;
         let idx = Arc::new(HashIndex::build(rel, cols));
         on_build(rel.len());
-        self.inner.borrow_mut().insert(key, idx.clone());
+        // A racing builder may have inserted the same key meanwhile; either
+        // index is equivalent (same epoch ⇒ same relation contents), so the
+        // last write simply wins.
+        self.lock().insert(key, idx.clone());
         Ok(idx)
     }
 
     /// Number of cached indexes.
     pub fn len(&self) -> usize {
-        self.inner.borrow().len()
+        self.lock().len()
     }
 
     /// Is the cache empty?
     pub fn is_empty(&self) -> bool {
-        self.inner.borrow().is_empty()
+        self.lock().is_empty()
     }
 
-    /// Drop every cached index (call after any database mutation).
+    /// Drop every cached index (call after database mutations to bound
+    /// memory; epoch-keyed lookups stay correct either way).
     pub fn clear(&self) {
-        self.inner.borrow_mut().clear();
+        self.lock().clear();
     }
 }
 
@@ -115,5 +131,27 @@ mod tests {
     fn unknown_relation_errors() {
         let cache = IndexCache::new();
         assert!(cache.get_or_build(&db(), "ghost", &[0], |_| {}).is_err());
+    }
+
+    #[test]
+    fn epochs_key_distinct_indexes() {
+        let mut db = db();
+        let cache = IndexCache::new();
+        let old = cache.get_or_build(&db, "r", &[0], |_| {}).unwrap();
+        let snapshot = db.clone();
+        db.insert("r", tuple![3, 30]).unwrap();
+        // The mutated catalog resolves to a fresh index at its new epoch…
+        let new = cache.get_or_build(&db, "r", &[0], |_| {}).unwrap();
+        assert!(!Arc::ptr_eq(&old, &new));
+        // …while a reader pinned to the old snapshot still gets the old one.
+        let pinned = cache.get_or_build(&snapshot, "r", &[0], |_| {}).unwrap();
+        assert!(Arc::ptr_eq(&old, &pinned));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        fn assert_sync<T: Send + Sync>() {}
+        assert_sync::<IndexCache>();
     }
 }

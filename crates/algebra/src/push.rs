@@ -37,7 +37,7 @@
 //! morsel-size outputs and between morsels; workers only ever poll the
 //! cancel flag, so every budget trip happens at a coordinator point.
 
-use crate::eval::{arity_of, eval_predicate, fill_key, Evaluator, JoinAlgorithm};
+use crate::eval::{arity_of, eval_predicate, fill_key, Evaluator, JoinAlgorithm, LiveGuard};
 use crate::parallel::{
     chaos_morsel_hooks, panic_message, worker_panic, ParProbe, ParallelExec, PartIndex,
 };
@@ -61,6 +61,7 @@ pub(crate) fn eval_push(
         ev,
         threads: ev.exec.threads.max(1),
         morsel_size: ev.exec.morsel_size.max(1),
+        guards: RefCell::new(Vec::new()),
     };
     let root = ev.begin_pipeline();
     let mut sink = Sink {
@@ -86,6 +87,15 @@ struct PushExec<'a, 'db> {
     ev: &'a Evaluator<'db>,
     threads: usize,
     morsel_size: usize,
+    /// Build-side live guards held by the coordinator, each keyed by the
+    /// chain depth of the probe op its buffer feeds. When a union branch
+    /// unwinds its chain segment (`chain.truncate(mark)`), the guards at
+    /// or past the mark are dropped with it, releasing their watermark
+    /// and governor charges — the probe structures they paid for are
+    /// gone. Guards live only on the coordinator ([`LiveGuard`] holds an
+    /// `Rc` and must not cross into worker closures), and remaining ones
+    /// drop with the executor, before the caller's next entry point.
+    guards: RefCell<Vec<(usize, LiveGuard)>>,
 }
 
 /// A stateless, order-preserving operator appliable to a batch on any
@@ -179,6 +189,20 @@ impl<'db> PushExec<'_, 'db> {
         }
     }
 
+    /// Park a scoped build-side guard (if the materialization produced
+    /// one) keyed by the chain depth of the probe op it feeds.
+    fn hold_guard(&self, depth: usize, guard: Option<LiveGuard>) {
+        if let Some(g) = guard {
+            self.guards.borrow_mut().push((depth, g));
+        }
+    }
+
+    /// Drop the guards whose probe ops were unwound by
+    /// `chain.truncate(mark)`, releasing their live/governor charges.
+    fn release_guards(&self, mark: usize) {
+        self.guards.borrow_mut().retain(|entry| entry.0 < mark);
+    }
+
     /// Decompose `e`: streamable operators extend the fused chain and
     /// recurse into their pipeline child; breakers materialize their
     /// build side (sequentially, charging live watermarks and events)
@@ -234,8 +258,10 @@ impl<'db> PushExec<'_, 'db> {
             AlgebraExpr::GroupCount { input, group } => {
                 // Grouping is a full breaker: input materializes, the
                 // sweep runs on the coordinator (sequential logic and
-                // charging), and the grouped output becomes a source.
-                let tuples = self.ev.materialize(input, "group-input")?;
+                // charging), and the grouped output becomes a source. The
+                // scoped guard releases the input buffer when this arm
+                // (and the grouped pipeline it feeds) completes.
+                let (tuples, _guard) = self.ev.materialize_scoped(input, "group-input")?;
                 let mut counts: HashMap<Tuple, i64> = HashMap::new();
                 let mut order: Vec<Tuple> = Vec::new();
                 for t in tuples.iter() {
@@ -257,7 +283,8 @@ impl<'db> PushExec<'_, 'db> {
                 self.run_pipeline(&out, false, chain, sink)
             }
             AlgebraExpr::Product { left, right } => {
-                let right_tuples = self.ev.materialize(right, "product-build")?;
+                let (right_tuples, guard) = self.ev.materialize_scoped(right, "product-build")?;
+                self.hold_guard(chain.len(), guard);
                 chain.push(ChainOp::Work(WorkOp::Product(right_tuples)));
                 self.run_node(left, chain, sink)
             }
@@ -292,7 +319,8 @@ impl<'db> PushExec<'_, 'db> {
                     }));
                     return self.run_node(left, chain, sink);
                 }
-                let right_tuples = self.ev.materialize(right, "join-build")?;
+                let (right_tuples, guard) = self.ev.materialize_scoped(right, "join-build")?;
+                self.hold_guard(chain.len(), guard);
                 let index = self
                     .kernels()
                     .build_part_index(&right_tuples, on.iter().map(|&(_, r)| r).collect())?;
@@ -304,7 +332,8 @@ impl<'db> PushExec<'_, 'db> {
                 self.run_node(left, chain, sink)
             }
             AlgebraExpr::SemiJoin { left, right, on } => {
-                let probe = self.build_probe(right, on)?;
+                let (probe, guard) = self.build_probe(right, on)?;
+                self.hold_guard(chain.len(), guard);
                 chain.push(ChainOp::Work(WorkOp::SemiProbe {
                     probe,
                     left_cols: on.iter().map(|&(l, _)| l).collect(),
@@ -313,7 +342,8 @@ impl<'db> PushExec<'_, 'db> {
                 self.run_node(left, chain, sink)
             }
             AlgebraExpr::ComplementJoin { left, right, on } => {
-                let probe = self.build_probe(right, on)?;
+                let (probe, guard) = self.build_probe(right, on)?;
+                self.hold_guard(chain.len(), guard);
                 chain.push(ChainOp::Work(WorkOp::SemiProbe {
                     probe,
                     left_cols: on.iter().map(|&(l, _)| l).collect(),
@@ -326,8 +356,10 @@ impl<'db> PushExec<'_, 'db> {
                 // sequential arm); the grouping sweep shares the
                 // evaluator's implementation and charging.
                 let left_arity = arity_of(left, self.ev.db)?;
-                let right_tuples = self.ev.materialize(right, "division-divisor")?;
-                let left_tuples = self.ev.materialize(left, "division-dividend")?;
+                let (right_tuples, _rguard) =
+                    self.ev.materialize_scoped(right, "division-divisor")?;
+                let (left_tuples, _lguard) =
+                    self.ev.materialize_scoped(left, "division-dividend")?;
                 let out = self.ev.divide(&left_tuples, &right_tuples, left_arity, on);
                 self.run_pipeline(&out, false, chain, sink)
             }
@@ -339,18 +371,23 @@ impl<'db> PushExec<'_, 'db> {
                 let mark = chain.len();
                 self.run_node(left, chain, sink)?;
                 chain.truncate(mark);
+                self.release_guards(mark);
                 self.run_node(right, chain, sink)?;
                 chain.truncate(mark);
+                self.release_guards(mark);
                 Ok(())
             }
             AlgebraExpr::Difference { left, right } => {
-                let right_tuples = self.ev.materialize(right, "difference-build")?;
+                let (right_tuples, guard) =
+                    self.ev.materialize_scoped(right, "difference-build")?;
+                self.hold_guard(chain.len(), guard);
                 let keys: HashSet<Tuple> = right_tuples.iter().cloned().collect();
                 chain.push(ChainOp::Work(WorkOp::DiffFilter(keys)));
                 self.run_node(left, chain, sink)
             }
             AlgebraExpr::LeftOuterJoin { left, right, on } => {
-                let right_tuples = self.ev.materialize(right, "outer-build")?;
+                let (right_tuples, guard) = self.ev.materialize_scoped(right, "outer-build")?;
+                self.hold_guard(chain.len(), guard);
                 let pad_arity = match right_tuples.first().map(Tuple::arity) {
                     Some(a) => a,
                     None => arity_of(right, self.ev.db)?,
@@ -372,7 +409,8 @@ impl<'db> PushExec<'_, 'db> {
                 on,
                 constraint,
             } => {
-                let probe = self.build_probe(right, on)?;
+                let (probe, guard) = self.build_probe(right, on)?;
+                self.hold_guard(chain.len(), guard);
                 chain.push(ChainOp::Work(WorkOp::Marker {
                     probe,
                     left_cols: on.iter().map(|&(l, _)| l).collect(),
@@ -386,12 +424,15 @@ impl<'db> PushExec<'_, 'db> {
     /// Build the probe side of a semi/complement/marker join, mirroring
     /// the sequential `build_probe`: the cached base-relation index when
     /// available (right subtree not evaluated), otherwise a sequential
-    /// materialization followed by a partitioned key-set build.
+    /// materialization followed by a partitioned key-set build. The
+    /// returned guard (fresh materializations only) carries the build
+    /// side's watermark charge; the caller keys it to the probe op so it
+    /// releases when that op unwinds.
     fn build_probe(
         &self,
         right: &AlgebraExpr,
         on: &[(usize, usize)],
-    ) -> Result<ParProbe, AlgebraError> {
+    ) -> Result<(ParProbe, Option<LiveGuard>), AlgebraError> {
         let right_cols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
         if let (Some(cache), AlgebraExpr::Relation(name)) = (self.ev.index_cache, right) {
             let stats = self.ev.stats.clone();
@@ -402,11 +443,12 @@ impl<'db> PushExec<'_, 'db> {
                     s.base_tuples_read += len;
                 })
                 .map_err(AlgebraError::Storage)?;
-            return Ok(ParProbe::Index(idx));
+            return Ok((ParProbe::Index(idx), None));
         }
-        let tuples = self.ev.materialize(right, "probe-build")?;
-        Ok(ParProbe::Parts(
-            self.kernels().build_part_keys(&tuples, &right_cols)?,
+        let (tuples, guard) = self.ev.materialize_scoped(right, "probe-build")?;
+        Ok((
+            ParProbe::Parts(self.kernels().build_part_keys(&tuples, &right_cols)?),
+            guard,
         ))
     }
 

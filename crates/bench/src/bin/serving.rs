@@ -1,0 +1,180 @@
+//! E-SERVE: concurrent serving benchmark — QPS and tail latency through
+//! the TCP front-end under a mixed read/write client population, plus
+//! the admission shed rate when the gate is deliberately undersized.
+//!
+//! Dumps `BENCH_serving.json` for the warn-only CI diff (only `_ns`
+//! leaves are compared; QPS and shed counts are informational).
+//!
+//! Run with: `cargo run --release -p gq-bench --bin serving`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gq_bench::diff;
+use gq_core::QueryEngine;
+use gq_obs::Json;
+use gq_server::{AdmissionConfig, Client, Server, ServerConfig};
+use gq_storage::Database;
+use gq_workload::{university, UniversityScale};
+
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 150;
+
+fn main() {
+    let throughput = throughput_run();
+    let shed = shed_run();
+    let doc = Json::obj()
+        .field(
+            "workload",
+            format!(
+                "university(n=300), {CLIENTS} clients x {REQUESTS_PER_CLIENT} \
+                 requests (2/3 open join query, 1/6 closed quantified \
+                 query, 1/6 insert)"
+            ),
+        )
+        .field("throughput", throughput)
+        .field("admission", shed);
+    let doc = diff::stamp(doc);
+    let path = "BENCH_serving.json";
+    match std::fs::write(path, format!("{}\n", doc.pretty())) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
+/// Mixed workload against a generously-provisioned server: measure
+/// per-request wall latency at the client, aggregate QPS.
+fn throughput_run() -> Json {
+    let scale = UniversityScale::of_size(300);
+    let engine = Arc::new(QueryEngine::new(university(&scale)));
+    let server = Server::start(
+        engine,
+        ServerConfig {
+            workers: CLIENTS,
+            admission: AdmissionConfig {
+                max_sessions: CLIENTS * 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .expect("bind serving bench server");
+    let addr = server.local_addr();
+    let started = Instant::now();
+    let errors = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|client_id| {
+            let errors = Arc::clone(&errors);
+            std::thread::spawn(move || {
+                let mut lat = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                let mut c = Client::connect(addr).expect("connect");
+                for i in 0..REQUESTS_PER_CLIENT {
+                    let line = match i % 6 {
+                        0 => "exists l. lecture(l, \"d0\") & attends(\"s1\", l)".to_string(),
+                        1 => format!(".insert attends(\"bench-{client_id}-{i}\", \"l0\")"),
+                        _ => "student(x) & attends(x, \"l0\")".to_string(),
+                    };
+                    let t = Instant::now();
+                    match c.send(&line) {
+                        Ok(r) if r.ok => lat.push(t.elapsed().as_nanos() as u64),
+                        _ => {
+                            errors.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                let _ = c.send(".close");
+                lat
+            })
+        })
+        .collect();
+    let mut latencies: Vec<u64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().expect("client thread"))
+        .collect();
+    let wall = started.elapsed();
+    let mut server = server;
+    server.shutdown();
+    latencies.sort_unstable();
+    let total = latencies.len();
+    let qps = total as f64 / wall.as_secs_f64();
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let idx = ((total as f64 * p).ceil() as usize).saturating_sub(1);
+        latencies[idx.min(total - 1)]
+    };
+    println!(
+        "throughput: {total} ok requests in {:.2}s — {qps:.0} QPS, \
+         p50 {:.2}ms, p99 {:.2}ms, {} errors",
+        wall.as_secs_f64(),
+        pct(0.50) as f64 / 1e6,
+        pct(0.99) as f64 / 1e6,
+        errors.load(Ordering::Relaxed),
+    );
+    Json::obj()
+        .field("requests_ok", total as u64)
+        .field("errors", errors.load(Ordering::Relaxed))
+        .field("qps", format!("{qps:.1}"))
+        .field("p50_ns", pct(0.50))
+        .field("p99_ns", pct(0.99))
+        .field("wall_ns", wall.as_nanos() as u64)
+}
+
+/// Undersized gate: more clients than session slots, so a measurable
+/// fraction is shed with a structured overload instead of queueing.
+fn shed_run() -> Json {
+    let engine = Arc::new(QueryEngine::new(Database::new()));
+    let server = Server::start(
+        engine,
+        ServerConfig {
+            workers: 4,
+            admission: AdmissionConfig {
+                max_sessions: 2,
+                retry_after: Duration::from_millis(50),
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    )
+    .expect("bind shed-run server");
+    let addr = server.local_addr();
+    let attempts = 64usize;
+    let handles: Vec<_> = (0..attempts)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = match Client::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => return false,
+                };
+                // Hold the session briefly so concurrent connects contend.
+                let ok = matches!(c.send(".ping"), Ok(r) if r.ok);
+                if ok {
+                    std::thread::sleep(Duration::from_millis(5));
+                    let _ = c.send(".close");
+                }
+                ok
+            })
+        })
+        .collect();
+    let served = handles
+        .into_iter()
+        .map(|h| h.join().unwrap_or(false))
+        .filter(|&ok| ok)
+        .count();
+    let mut server = server;
+    server.shutdown();
+    let stats = server.stats();
+    let shed = stats.admission.shed_total() + stats.queue_shed;
+    let shed_rate = shed as f64 / attempts as f64;
+    println!(
+        "admission: {served}/{attempts} served, {shed} shed ({:.0}% shed rate)",
+        shed_rate * 100.0
+    );
+    Json::obj()
+        .field("attempts", attempts as u64)
+        .field("served", served as u64)
+        .field("shed", shed)
+        .field("shed_rate", format!("{shed_rate:.3}"))
+}

@@ -47,6 +47,13 @@ pub enum Site {
     /// A durability-layer crash point (WAL append, fsync, checkpoint
     /// rename, manifest swap).
     CrashPoint,
+    /// A server connection abruptly dropped mid-session.
+    ConnDrop,
+    /// A wire frame torn mid-write (a strict prefix is sent, then the
+    /// connection dies).
+    TornFrame,
+    /// A slow-loris writer: artificial delay between frame bytes.
+    SlowLoris,
 }
 
 impl Site {
@@ -58,6 +65,9 @@ impl Site {
             Site::WorkerPanic => 0x5750_414e,
             Site::PersistIo => 0x5053_494f,
             Site::CrashPoint => 0x4352_5348,
+            Site::ConnDrop => 0x4344_5250,
+            Site::TornFrame => 0x5446_524d,
+            Site::SlowLoris => 0x534c_4f57,
         }
     }
 }
@@ -97,6 +107,17 @@ pub struct ChaosConfig {
     pub morsel_delay_prob: f64,
     /// Sleep duration for a fired morsel delay.
     pub morsel_delay: Duration,
+    /// Probability a server connection is abruptly dropped mid-session
+    /// (keyed by connection index).
+    pub conn_drop: f64,
+    /// Probability a wire frame is torn mid-write (keyed by frame index).
+    pub torn_frame: f64,
+    /// Probability a connection writes slow-loris style, sleeping
+    /// [`ChaosConfig::slow_loris_delay`] between chunks (keyed by
+    /// connection index).
+    pub slow_loris_prob: f64,
+    /// Per-chunk delay for a fired slow-loris connection.
+    pub slow_loris_delay: Duration,
     /// Simulate a process crash at the k-th durability operation (0-based
     /// WAL write/fsync/checkpoint/rename site, in execution order). After
     /// the crash fires, *every* subsequent durability operation fails —
@@ -118,6 +139,10 @@ impl ChaosConfig {
             worker_panic: 0.0,
             morsel_delay_prob: 0.0,
             morsel_delay: Duration::ZERO,
+            conn_drop: 0.0,
+            torn_frame: 0.0,
+            slow_loris_prob: 0.0,
+            slow_loris_delay: Duration::ZERO,
             crash_at_durability_op: None,
         }
     }
@@ -150,6 +175,25 @@ impl ChaosConfig {
     pub fn morsel_delay(mut self, delay: Duration, prob: f64) -> Self {
         self.morsel_delay = delay;
         self.morsel_delay_prob = prob;
+        self
+    }
+
+    /// Set the connection-drop probability.
+    pub fn conn_drop(mut self, p: f64) -> Self {
+        self.conn_drop = p;
+        self
+    }
+
+    /// Set the torn-frame probability.
+    pub fn torn_frame(mut self, p: f64) -> Self {
+        self.torn_frame = p;
+        self
+    }
+
+    /// Set the slow-loris per-chunk delay and its firing probability.
+    pub fn slow_loris(mut self, delay: Duration, prob: f64) -> Self {
+        self.slow_loris_delay = delay;
+        self.slow_loris_prob = prob;
         self
     }
 
@@ -323,6 +367,32 @@ pub fn durability_crashed() -> bool {
     current().is_some_and(|st| st.crashed.load(Ordering::Relaxed))
 }
 
+/// Should connection `conn` be abruptly dropped? Keyed on the connection
+/// index (not a counter), so the decision is independent of accept order
+/// races and identical on every sweep of the same seed.
+pub fn drop_conn(conn: u64) -> bool {
+    current().is_some_and(|st| fires(st.config.seed, Site::ConnDrop, conn, st.config.conn_drop))
+}
+
+/// Should frame `frame` be torn mid-write (send a strict prefix, then
+/// die)? Keyed on the frame index.
+pub fn tear_frame(frame: u64) -> bool {
+    current().is_some_and(|st| fires(st.config.seed, Site::TornFrame, frame, st.config.torn_frame))
+}
+
+/// Should connection `conn` write slow-loris style? Returns the per-chunk
+/// delay. Keyed on the connection index.
+pub fn slow_loris(conn: u64) -> Option<Duration> {
+    let st = current()?;
+    fires(
+        st.config.seed,
+        Site::SlowLoris,
+        conn,
+        st.config.slow_loris_prob,
+    )
+    .then_some(st.config.slow_loris_delay)
+}
+
 /// Should morsel `morsel` be delayed? Returns the sleep duration. Keyed
 /// on the morsel index (not a counter), so the decision is independent
 /// of which worker claims the morsel.
@@ -470,6 +540,36 @@ mod tests {
         assert_eq!(durability_crash(), None);
         assert_eq!(durability_ops_observed(), 0);
         assert!(!durability_crashed());
+    }
+
+    #[test]
+    fn connection_sites_are_keyed_by_index() {
+        let _l = lock();
+        let _g = install(
+            ChaosConfig::with_seed(13)
+                .conn_drop(0.5)
+                .torn_frame(0.5)
+                .slow_loris(Duration::from_millis(2), 0.5),
+        );
+        let drops: Vec<bool> = (0..32).map(drop_conn).collect();
+        let tears: Vec<bool> = (0..32).map(tear_frame).collect();
+        let loris: Vec<bool> = (0..32).map(|c| slow_loris(c).is_some()).collect();
+        // Re-querying the same indexes gives the same answers: no hidden
+        // counters, so concurrent sessions can't perturb each other.
+        assert_eq!(drops, (0..32).map(drop_conn).collect::<Vec<_>>());
+        assert_eq!(tears, (0..32).map(tear_frame).collect::<Vec<_>>());
+        assert!(drops.iter().any(|&x| x) && drops.iter().any(|&x| !x));
+        assert!(tears.iter().any(|&x| x) && tears.iter().any(|&x| !x));
+        assert!(loris.iter().any(|&x| x) && loris.iter().any(|&x| !x));
+        assert_eq!(slow_loris(0).is_some(), loris[0]);
+    }
+
+    #[test]
+    fn connection_sites_inert_when_uninstalled() {
+        let _l = lock();
+        assert!(!drop_conn(0));
+        assert!(!tear_frame(0));
+        assert!(slow_loris(0).is_none());
     }
 
     #[test]

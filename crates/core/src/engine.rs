@@ -5,7 +5,9 @@ use crate::plan_cache::{CompiledKind, CompiledPlan, PlanCache, PlanCacheStats, P
 use crate::EngineError;
 use gq_algebra::{Evaluator, ExecConfig, ExecStats, PipelineEvent, PipelineHook, PlanProfiler};
 use gq_calculus::{alpha_canonical, parse, Formula, Var};
-use gq_governor::{CancelToken, Governor, GovernorError, QueryLimits, Resource, TripHook};
+use gq_governor::{
+    CancelToken, Governor, GovernorError, QueryLimits, Resource, SharedBudget, TripHook,
+};
 use gq_obs::{
     EventData, EventKind, Journal, MetricsSnapshot, PipelineSpan, QueryTrace, Registry, SlowLog,
     SlowLogEntry, SpanGuard, TraceBuilder,
@@ -18,7 +20,7 @@ use gq_storage::{
 };
 use gq_translate::{ClassicalTranslator, ImprovedTranslator, PlanShape};
 use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::time::Instant;
 
 /// The evaluation strategy for a query.
@@ -162,9 +164,70 @@ impl Store {
     }
 }
 
+/// An immutable, epoch-stamped view of the catalog, pinned at the start
+/// of a query. Cloning is one refcount bump; the snapshot stays fully
+/// readable (and internally consistent) while writers commit newer
+/// epochs through the engine. Dereferences to [`Database`].
+#[derive(Debug, Clone)]
+pub struct Snapshot(Arc<Database>);
+
+impl std::ops::Deref for Snapshot {
+    type Target = Database;
+
+    fn deref(&self) -> &Database {
+        &self.0
+    }
+}
+
+/// Exclusive mutable access to the catalog, returned by
+/// [`QueryEngine::db_mut`]. Dereferences to [`Database`]; when the guard
+/// drops, the mutated catalog is republished as the engine's read
+/// snapshot and superseded cached base-relation indexes are discarded.
+/// Readers keep their pinned snapshots — they never observe the
+/// mutation mid-flight.
+pub struct DbMut<'a> {
+    engine: &'a QueryEngine,
+    guard: MutexGuard<'a, Store>,
+}
+
+impl std::ops::Deref for DbMut<'_> {
+    type Target = Database;
+
+    fn deref(&self) -> &Database {
+        self.guard.db()
+    }
+}
+
+impl std::ops::DerefMut for DbMut<'_> {
+    fn deref_mut(&mut self) -> &mut Database {
+        self.guard.db_mut()
+    }
+}
+
+impl Drop for DbMut<'_> {
+    fn drop(&mut self) {
+        self.engine.publish(&self.guard);
+    }
+}
+
 /// The query engine over an in-memory database.
+///
+/// Internally split MVCC-style for concurrent serving (`gq-server`):
+/// writers serialize on a store lock and commit through the WAL when
+/// durable; each committed state is republished as an immutable,
+/// epoch-stamped [`Snapshot`] that readers pin once per query. The
+/// engine is `Send + Sync`, so sessions on different threads can share
+/// one `Arc<QueryEngine>` — reads never block reads, and a reader never
+/// observes a half-applied write.
 pub struct QueryEngine {
-    store: Store,
+    /// Writer side: the authoritative catalog (plus WAL when durable).
+    /// Every mutation serializes on this lock and holds it across the
+    /// durable commit point.
+    store: Mutex<Store>,
+    /// Reader side: the published snapshot — a cheap COW clone of the
+    /// catalog (relation payloads are shared `Arc`s), swapped in *after*
+    /// each committed mutation, never mutated in place.
+    snapshot: RwLock<Arc<Database>>,
     index_cache: gq_algebra::IndexCache,
     views: crate::views::ViewRegistry,
     metrics: Registry,
@@ -270,8 +333,10 @@ impl QueryEngine {
     fn with_store(store: Store) -> Self {
         let journal = Arc::new(Journal::default());
         journal.enable();
+        let snapshot = RwLock::new(Arc::new(store.db().clone()));
         QueryEngine {
-            store,
+            store: Mutex::new(store),
+            snapshot,
             index_cache: gq_algebra::IndexCache::new(),
             views: crate::views::ViewRegistry::new(),
             metrics: Registry::new(),
@@ -372,7 +437,7 @@ impl QueryEngine {
     /// Define a view: a named open query usable as an atom in later
     /// queries (Definition 1 allows views as ranges). The body's free
     /// variables, in name order, are the view's columns.
-    pub fn define_view(&mut self, name: impl Into<String>, text: &str) -> Result<(), EngineError> {
+    pub fn define_view(&self, name: impl Into<String>, text: &str) -> Result<(), EngineError> {
         self.views.define(name, text)
     }
 
@@ -381,32 +446,65 @@ impl QueryEngine {
         &self.views
     }
 
-    /// Borrow the database.
-    pub fn db(&self) -> &Database {
-        self.store.db()
+    /// Lock the writer side, recovering from poisoning (the store is
+    /// never left half-mutated by any path holding the lock: durable
+    /// mutations apply only after their WAL record is committed, and
+    /// plain mutations are single catalog calls).
+    fn store_lock(&self) -> MutexGuard<'_, Store> {
+        self.store.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Mutably borrow the database (inserts, new relations). Invalidates
-    /// the base-relation index cache.
+    /// Republish `store`'s current catalog as the read snapshot (a COW
+    /// clone — relation payloads are shared `Arc`s) and drop superseded
+    /// cached base-relation indexes. Called after every committed
+    /// mutation, while still holding the store lock, so snapshots are
+    /// published in commit order.
+    fn publish(&self, store: &Store) {
+        let snap = Arc::new(store.db().clone());
+        *self.snapshot.write().unwrap_or_else(|e| e.into_inner()) = snap;
+        self.index_cache.clear();
+    }
+
+    /// Pin the current committed snapshot: an immutable, epoch-stamped
+    /// view of the whole catalog. Every query runs against exactly one
+    /// snapshot; concurrent mutations only affect queries pinned later.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot(Arc::clone(
+            &self.snapshot.read().unwrap_or_else(|e| e.into_inner()),
+        ))
+    }
+
+    /// The current committed snapshot of the database (see
+    /// [`QueryEngine::snapshot`]; dereferences to [`Database`]).
+    pub fn db(&self) -> Snapshot {
+        self.snapshot()
+    }
+
+    /// Exclusive mutable access to the database (inserts, new
+    /// relations) through a guard that republishes the read snapshot on
+    /// drop. Invalidates the base-relation index cache.
     ///
     /// On a durable engine this is a *volatile* escape hatch: changes
     /// made through it are not WAL-logged and will not survive a crash.
     /// Use the typed mutation methods ([`QueryEngine::create_relation`],
     /// [`QueryEngine::insert`], [`QueryEngine::remove`]) for durable
     /// changes.
-    pub fn db_mut(&mut self) -> &mut Database {
-        self.index_cache.clear();
-        self.store.db_mut()
+    pub fn db_mut(&mut self) -> DbMut<'_> {
+        let engine: &QueryEngine = self;
+        DbMut {
+            engine,
+            guard: engine.store_lock(),
+        }
     }
 
     /// Is a [`DurableDatabase`] attached?
     pub fn is_durable(&self) -> bool {
-        matches!(self.store, Store::Durable(_))
+        matches!(&*self.store_lock(), Store::Durable(_))
     }
 
     /// Durability counters of the attached durable database, if any.
     pub fn durability_stats(&self) -> Option<DurabilityStats> {
-        match &self.store {
+        match &*self.store_lock() {
             Store::Plain(_) => None,
             Store::Durable(d) => Some(d.stats()),
         }
@@ -415,8 +513,8 @@ impl QueryEngine {
     /// Take an atomic checkpoint of the attached durable database: the
     /// catalog snapshots to a new generation and the WAL restarts empty.
     /// Errors when the engine is not durable.
-    pub fn checkpoint(&mut self) -> Result<CheckpointStats, EngineError> {
-        match &mut self.store {
+    pub fn checkpoint(&self) -> Result<CheckpointStats, EngineError> {
+        match &mut *self.store_lock() {
             Store::Plain(_) => Err(EngineError::Storage(StorageError::Io(
                 "no durable database attached (open one with open_durable)".into(),
             ))),
@@ -437,55 +535,73 @@ impl QueryEngine {
     }
 
     /// Create a relation through the store — WAL-logged when durable.
-    /// Invalidates the base-relation index cache.
+    /// On success the new catalog state is published for readers and the
+    /// base-relation index cache is invalidated; in-flight queries keep
+    /// their pinned snapshots.
     pub fn create_relation(
-        &mut self,
+        &self,
         name: impl Into<String>,
         schema: Schema,
     ) -> Result<(), EngineError> {
-        self.index_cache.clear();
-        match &mut self.store {
-            Store::Plain(db) => Ok(db.create_relation(name, schema)?),
+        let mut store = self.store_lock();
+        let out = match &mut *store {
+            Store::Plain(db) => db.create_relation(name, schema).map_err(EngineError::from),
             Store::Durable(d) => {
                 let before = d.stats();
                 let out = d.create_relation(name, schema);
                 let after = d.stats();
                 self.record_durability("create-relation", before, after);
-                Ok(out?)
+                out.map_err(EngineError::from)
             }
+        };
+        if out.is_ok() {
+            self.publish(&store);
         }
+        out
     }
 
-    /// Insert a tuple through the store — WAL-logged when durable.
-    /// Invalidates the base-relation index cache.
-    pub fn insert(&mut self, relation: &str, t: Tuple) -> Result<bool, EngineError> {
-        self.index_cache.clear();
-        match &mut self.store {
-            Store::Plain(db) => Ok(db.insert(relation, t)?),
+    /// Insert a tuple through the store — WAL-logged when durable. On
+    /// success the new catalog state is published for readers and the
+    /// base-relation index cache is invalidated; in-flight queries keep
+    /// their pinned snapshots.
+    pub fn insert(&self, relation: &str, t: Tuple) -> Result<bool, EngineError> {
+        let mut store = self.store_lock();
+        let out = match &mut *store {
+            Store::Plain(db) => db.insert(relation, t).map_err(EngineError::from),
             Store::Durable(d) => {
                 let before = d.stats();
                 let out = d.insert(relation, t);
                 let after = d.stats();
                 self.record_durability("insert", before, after);
-                Ok(out?)
+                out.map_err(EngineError::from)
             }
+        };
+        if out.is_ok() {
+            self.publish(&store);
         }
+        out
     }
 
-    /// Remove a tuple through the store — WAL-logged when durable.
-    /// Invalidates the base-relation index cache.
-    pub fn remove(&mut self, relation: &str, t: &Tuple) -> Result<bool, EngineError> {
-        self.index_cache.clear();
-        match &mut self.store {
-            Store::Plain(db) => Ok(db.remove(relation, t)?),
+    /// Remove a tuple through the store — WAL-logged when durable. On
+    /// success the new catalog state is published for readers and the
+    /// base-relation index cache is invalidated; in-flight queries keep
+    /// their pinned snapshots.
+    pub fn remove(&self, relation: &str, t: &Tuple) -> Result<bool, EngineError> {
+        let mut store = self.store_lock();
+        let out = match &mut *store {
+            Store::Plain(db) => db.remove(relation, t).map_err(EngineError::from),
             Store::Durable(d) => {
                 let before = d.stats();
                 let out = d.remove(relation, t);
                 let after = d.stats();
                 self.record_durability("remove", before, after);
-                Ok(out?)
+                out.map_err(EngineError::from)
             }
+        };
+        if out.is_ok() {
+            self.publish(&store);
         }
+        out
     }
 
     /// Mirror a durable-stats delta into `durability.*` metrics and
@@ -564,15 +680,17 @@ impl QueryEngine {
     /// On a durable engine the refreshed view is WAL-logged like any
     /// other mutation (recovery must reproduce the exact catalog), so the
     /// refresh can fail with an I/O error.
-    pub fn refresh_domain_view(&mut self) -> Result<(), EngineError> {
-        let dom = self.store.db().domain();
+    pub fn refresh_domain_view(&self) -> Result<(), EngineError> {
+        // Hold the store lock across compute + replace so a racing insert
+        // cannot slip between reading the domain and publishing `dom`.
+        let mut store = self.store_lock();
+        let dom = store.db().domain();
         let mut named = gq_storage::Relation::new("dom", gq_storage::Schema::anonymous(1));
         for t in dom.iter() {
             // Domain tuples are unary by construction; insert cannot fail.
             let _ = named.insert(t.clone());
         }
-        self.index_cache.clear();
-        match &mut self.store {
+        let out = match &mut *store {
             Store::Plain(db) => {
                 db.replace_relation(named);
                 Ok(())
@@ -582,9 +700,13 @@ impl QueryEngine {
                 let out = d.replace_relation(named);
                 let after = d.stats();
                 self.record_durability("replace-relation", before, after);
-                Ok(out?)
+                out.map_err(EngineError::from)
             }
+        };
+        if out.is_ok() {
+            self.publish(&store);
         }
+        out
     }
 
     /// Parse and evaluate a query with the default (improved) strategy.
@@ -688,6 +810,55 @@ impl QueryEngine {
         options: EngineOptions,
         tb: Option<&TraceBuilder>,
     ) -> Result<QueryResult, EngineError> {
+        self.run_session(
+            formula,
+            strategy,
+            options,
+            tb,
+            self.limits,
+            self.cancel.clone(),
+            None,
+        )
+    }
+
+    /// Parse and evaluate a query under *session-scoped* controls: its
+    /// own [`QueryLimits`], its own [`CancelToken`] (so one connection's
+    /// cancel or timeout never aborts another's query), and optionally a
+    /// process-wide [`SharedBudget`] that aggregates the query's live
+    /// intermediate bytes for admission control. This is the entry point
+    /// `gq-server` drives; the engine-level limits and cancel token are
+    /// bypassed entirely.
+    pub fn query_session(
+        &self,
+        text: &str,
+        strategy: Strategy,
+        options: EngineOptions,
+        limits: QueryLimits,
+        cancel: CancelToken,
+        shared: Option<SharedBudget>,
+    ) -> Result<QueryResult, EngineError> {
+        let formula = parse(text)?;
+        self.run_session(&formula, strategy, options, None, limits, cancel, shared)
+    }
+
+    /// The evaluation driver behind both the engine-default and the
+    /// per-session entry points: pins ONE snapshot, allocates the query
+    /// id, journals start/end, runs the phases under a fresh governor.
+    #[allow(clippy::too_many_arguments)]
+    fn run_session(
+        &self,
+        formula: &Formula,
+        strategy: Strategy,
+        options: EngineOptions,
+        tb: Option<&TraceBuilder>,
+        limits: QueryLimits,
+        cancel: CancelToken,
+        shared: Option<SharedBudget>,
+    ) -> Result<QueryResult, EngineError> {
+        // Pin the snapshot FIRST: every later phase (view expansion,
+        // translation, evaluation, plan-cache keying) sees this one
+        // committed catalog state, whatever writers do meanwhile.
+        let snap = self.snapshot();
         // The query id is always allocated (one relaxed fetch_add) so ids
         // stay monotone across journal enable/disable flips.
         let query_id = self.journal.next_query_id();
@@ -698,12 +869,13 @@ impl QueryEngine {
             EventData::new(EventKind::QueryStart, query_id, "parse")
                 .detail(format!("[{}] {formula}", strategy.name()))
         });
-        let governor = self.start_governor(query_id);
+        let governor = self.start_governor_with(query_id, limits, cancel, shared);
         // When the slow log is armed and the caller is not already
         // tracing, trace on its behalf — the trace is kept only if the
         // query breaches a threshold.
         let slow_tb = (self.slow_log.is_armed() && tb.is_none()).then(TraceBuilder::new);
         let result = self.run_phases(
+            &snap,
             formula,
             strategy,
             options,
@@ -729,6 +901,18 @@ impl QueryEngine {
     /// attribution for `EngineError::{Cancelled, ResourceExhausted,
     /// WorkerPanic}`. No hook is installed while the journal is off.
     fn start_governor(&self, query_id: u64) -> Governor {
+        self.start_governor_with(query_id, self.limits, self.cancel.clone(), None)
+    }
+
+    /// [`QueryEngine::start_governor`] with explicit per-session limits,
+    /// cancel token and optional shared admission budget.
+    fn start_governor_with(
+        &self,
+        query_id: u64,
+        limits: QueryLimits,
+        cancel: CancelToken,
+        shared: Option<SharedBudget>,
+    ) -> Governor {
         let hook: Option<TripHook> = if self.journal.is_enabled() {
             let journal = Arc::clone(&self.journal);
             Some(Arc::new(move |e: &GovernorError| {
@@ -742,7 +926,7 @@ impl QueryEngine {
         } else {
             None
         };
-        Governor::start_hooked(self.limits, self.cancel.clone(), hook)
+        Governor::start_shared(limits, cancel, hook, shared)
     }
 
     /// Journal the query's end event and retain it in the slow log when
@@ -829,8 +1013,10 @@ impl QueryEngine {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_phases(
         &self,
+        snap: &Snapshot,
         formula: &Formula,
         strategy: Strategy,
         options: EngineOptions,
@@ -838,17 +1024,18 @@ impl QueryEngine {
         governor: &Governor,
         query_id: u64,
     ) -> Result<QueryResult, EngineError> {
-        let formula = self.preprocess(formula, options, tb)?;
+        let formula = self.preprocess(snap, formula, options, tb)?;
         // Depth guard on the fully view-expanded formula — expansion can
         // deepen a query well past what the user typed.
         governor.check_depth("parse", Resource::FormulaDepth, formula.depth() as u64)?;
-        let compiled = self.compile(&formula, strategy, options, governor, tb)?;
-        self.execute_compiled(&compiled, options, governor, tb, query_id)
+        let compiled = self.compile(snap, &formula, strategy, options, governor, tb)?;
+        self.execute_compiled(snap, &compiled, options, governor, tb, query_id)
     }
 
     /// Phase 0: view expansion and (optional) Domain Closure completion.
     fn preprocess(
         &self,
+        snap: &Snapshot,
         formula: &Formula,
         options: EngineOptions,
         tb: Option<&TraceBuilder>,
@@ -856,7 +1043,7 @@ impl QueryEngine {
         let _span = span(tb, "view-expand");
         let expanded = self.views.expand(formula)?;
         if options.domain_closure {
-            if !self.store.db().has_relation("dom") {
+            if !snap.has_relation("dom") {
                 return Err(EngineError::Storage(
                     gq_storage::StorageError::UnknownRelation(
                         "dom (call refresh_domain_view first)".into(),
@@ -873,6 +1060,7 @@ impl QueryEngine {
     /// cacheable compiled form. `formula` must already be preprocessed.
     fn compile(
         &self,
+        snap: &Snapshot,
         formula: &Formula,
         strategy: Strategy,
         options: EngineOptions,
@@ -897,7 +1085,7 @@ impl QueryEngine {
         let kind = match strategy {
             Strategy::Improved => {
                 let canonical = self.normalize(formula, governor, tb)?;
-                let tr = ImprovedTranslator::new(self.store.db())
+                let tr = ImprovedTranslator::new(snap)
                     .with_cost_ordering(options.optimize)
                     .with_governor(governor.clone());
                 if closed {
@@ -925,7 +1113,7 @@ impl QueryEngine {
             Strategy::Classical => {
                 // The classical translator runs on the *raw* query, as the
                 // classical methods do.
-                let tr = ClassicalTranslator::new(self.store.db()).with_governor(governor.clone());
+                let tr = ClassicalTranslator::new(snap).with_governor(governor.clone());
                 if closed {
                     let plan = {
                         let _span = span(tb, "translate");
@@ -976,6 +1164,7 @@ impl QueryEngine {
     /// cache) — so cached and fresh executions are bit-identical.
     fn execute_compiled(
         &self,
+        snap: &Snapshot,
         compiled: &CompiledPlan,
         options: EngineOptions,
         governor: &Governor,
@@ -984,9 +1173,9 @@ impl QueryEngine {
     ) -> Result<QueryResult, EngineError> {
         let make_eval = || {
             let ev = if options.share_subplans {
-                Evaluator::with_sharing(self.store.db())
+                Evaluator::with_sharing(snap)
             } else {
-                Evaluator::new(self.store.db())
+                Evaluator::new(snap)
             };
             let ev = ev
                 .with_exec_config(self.exec.with_streaming(options.streaming))
@@ -1071,8 +1260,7 @@ impl QueryEngine {
             }
             CompiledKind::Loop { canonical } => {
                 let profiler = tb.map(|_| Rc::new(LoopProfiler::new()));
-                let mut ev =
-                    PipelineEvaluator::new(self.store.db()).with_governor(governor.clone());
+                let mut ev = PipelineEvaluator::new(snap).with_governor(governor.clone());
                 if let Some(p) = &profiler {
                     ev = ev.with_profiler(Rc::clone(p));
                 }
@@ -1127,12 +1315,13 @@ impl QueryEngine {
             strategy,
             options,
         };
-        let expanded = self.preprocess(&prepared.formula, options, None)?;
+        let snap = self.snapshot();
+        let expanded = self.preprocess(&snap, &prepared.formula, options, None)?;
         // Preparation is not a query: journal events it produces
         // (plan-cache miss, governor trips) carry query id 0.
         let governor = self.start_governor(0);
         governor.check_depth("parse", Resource::FormulaDepth, expanded.depth() as u64)?;
-        self.lookup_or_compile(&expanded, strategy, options, &governor, None, 0)?;
+        self.lookup_or_compile(&snap, &expanded, strategy, options, &governor, None, 0)?;
         Ok(prepared)
     }
 
@@ -1164,6 +1353,9 @@ impl QueryEngine {
         prepared: &PreparedQuery,
         tb: Option<&TraceBuilder>,
     ) -> Result<QueryResult, EngineError> {
+        // One snapshot for the whole execution: the cache lookup's epoch,
+        // a possible recompile, and evaluation all see the same catalog.
+        let snap = self.snapshot();
         let query_id = self.journal.next_query_id();
         let timer = (self.journal.is_enabled() || self.slow_log.is_armed()).then(Instant::now);
         self.journal.record(|| {
@@ -1177,9 +1369,10 @@ impl QueryEngine {
         let slow_tb = (self.slow_log.is_armed() && tb.is_none()).then(TraceBuilder::new);
         let trace = slow_tb.as_ref().or(tb);
         let result = (|| {
-            let expanded = self.preprocess(&prepared.formula, prepared.options, trace)?;
+            let expanded = self.preprocess(&snap, &prepared.formula, prepared.options, trace)?;
             governor.check_depth("parse", Resource::FormulaDepth, expanded.depth() as u64)?;
             let compiled = self.lookup_or_compile(
+                &snap,
                 &expanded,
                 prepared.strategy,
                 prepared.options,
@@ -1187,7 +1380,14 @@ impl QueryEngine {
                 trace,
                 query_id,
             )?;
-            self.execute_compiled(&compiled, prepared.options, &governor, trace, query_id)
+            self.execute_compiled(
+                &snap,
+                &compiled,
+                prepared.options,
+                &governor,
+                trace,
+                query_id,
+            )
         })();
         self.finish_query(
             query_id,
@@ -1206,8 +1406,10 @@ impl QueryEngine {
     /// happens after a *successful* compile and before evaluation, so an
     /// evaluation error never poisons the cached plan — and a failed
     /// compile caches nothing.
+    #[allow(clippy::too_many_arguments)]
     fn lookup_or_compile(
         &self,
+        snap: &Snapshot,
         expanded: &Formula,
         strategy: Strategy,
         options: EngineOptions,
@@ -1219,7 +1421,7 @@ impl QueryEngine {
             canonical: alpha_canonical(expanded),
             strategy,
             options,
-            epoch: self.store.db().epoch(),
+            epoch: snap.epoch(),
             views_generation: self.views.generation(),
         };
         if let Some(hit) = self.plan_cache.get(&key) {
@@ -1235,7 +1437,7 @@ impl QueryEngine {
             EventData::new(EventKind::PlanCacheMiss, query_id, "plan-cache")
                 .detail(key.canonical.clone())
         });
-        let compiled = Arc::new(self.compile(expanded, strategy, options, governor, tb)?);
+        let compiled = Arc::new(self.compile(snap, expanded, strategy, options, governor, tb)?);
         // Account the cached plan's footprint against this query's
         // budgets — a memory-limited workload cannot hide allocations in
         // the plan cache.
@@ -1415,6 +1617,83 @@ mod tests {
         e.db_mut().insert("p", tuple![4]).unwrap();
         assert_eq!(e.query("p(x)").unwrap().len(), 4);
     }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QueryEngine>();
+        assert_send_sync::<Snapshot>();
+    }
+
+    #[test]
+    fn pinned_snapshot_survives_later_mutations() {
+        let e = engine();
+        let snap = e.snapshot();
+        let epoch = snap.epoch();
+        e.insert("p", tuple![77]).unwrap();
+        // The pinned snapshot still shows the pre-mutation state…
+        assert_eq!(snap.epoch(), epoch);
+        assert!(!snap.relation("p").unwrap().contains(&tuple![77]));
+        // …while a fresh snapshot (and queries) see the new state.
+        let fresh = e.snapshot();
+        assert!(fresh.epoch() > epoch);
+        assert!(fresh.relation("p").unwrap().contains(&tuple![77]));
+        assert_eq!(e.query("p(x)").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn failed_mutation_publishes_nothing() {
+        let e = engine();
+        let epoch = e.snapshot().epoch();
+        assert!(e.insert("ghost", tuple![1]).is_err());
+        assert_eq!(e.snapshot().epoch(), epoch, "failed insert republished");
+    }
+
+    #[test]
+    fn typed_mutations_work_through_shared_references() {
+        let e = engine();
+        // &self mutations: usable through Arc<QueryEngine> (the server's
+        // sharing mode) without any external lock.
+        let shared = std::sync::Arc::new(e);
+        shared
+            .create_relation("s", Schema::new(vec!["a"]).unwrap())
+            .unwrap();
+        shared.insert("s", tuple![1]).unwrap();
+        shared.remove("s", &tuple![1]).unwrap();
+        shared
+            .define_view("v", "p(x) & (exists y. r(x,y))")
+            .unwrap();
+        assert_eq!(shared.query("v(x)").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn concurrent_readers_see_committed_epochs_only() {
+        use std::sync::Arc;
+        let e = Arc::new(engine());
+        std::thread::scope(|s| {
+            let readers: Vec<_> = (0..4)
+                .map(|_| {
+                    let e = Arc::clone(&e);
+                    s.spawn(move || {
+                        for _ in 0..50 {
+                            // p starts with 3 tuples; each committed insert
+                            // adds one. Any in-between count would mean a
+                            // torn read.
+                            let n = e.query("p(x)").unwrap().len();
+                            assert!((3..=13).contains(&n), "torn count {n}");
+                        }
+                    })
+                })
+                .collect();
+            for v in 100..110 {
+                e.insert("p", tuple![v]).unwrap();
+            }
+            for r in readers {
+                r.join().unwrap();
+            }
+        });
+        assert_eq!(e.query("p(x)").unwrap().len(), 13);
+    }
 }
 
 #[cfg(test)]
@@ -1543,7 +1822,7 @@ mod option_tests {
 
     #[test]
     fn domain_closure_enables_negation_only_queries() {
-        let mut e = engine();
+        let e = engine();
         e.refresh_domain_view().unwrap();
         let options = EngineOptions {
             domain_closure: true,
@@ -1702,7 +1981,7 @@ mod prepared_tests {
 
     #[test]
     fn view_redefinition_invalidates_cached_plans() {
-        let mut e = engine();
+        let e = engine();
         e.define_view("evens", "q(v)").unwrap();
         let prepared = e.prepare("p(x) & evens(x)").unwrap();
         assert_eq!(e.execute(&prepared).unwrap().len(), 4);
@@ -1817,7 +2096,7 @@ mod durable_tests {
     fn durable_engine_round_trips_through_reopen() {
         let dir = fresh_dir("round_trip");
         {
-            let (mut e, rec) = QueryEngine::open_durable(&dir).unwrap();
+            let (e, rec) = QueryEngine::open_durable(&dir).unwrap();
             assert!(rec.created_fresh);
             assert!(e.is_durable());
             e.create_relation("p", Schema::new(vec!["a"]).unwrap())
@@ -1837,7 +2116,7 @@ mod durable_tests {
 
     #[test]
     fn plain_engine_has_no_durability() {
-        let mut e = QueryEngine::new(Database::new());
+        let e = QueryEngine::new(Database::new());
         assert!(!e.is_durable());
         assert!(e.durability_stats().is_none());
         assert!(e.checkpoint().is_err());
@@ -1846,7 +2125,7 @@ mod durable_tests {
     #[test]
     fn durable_mutations_mirror_into_metrics() {
         let dir = fresh_dir("metrics");
-        let (mut e, _) = QueryEngine::open_durable(&dir).unwrap();
+        let (e, _) = QueryEngine::open_durable(&dir).unwrap();
         e.metrics().enable();
         e.create_relation("p", Schema::anonymous(1)).unwrap();
         e.insert("p", tuple![1]).unwrap();
@@ -1874,12 +2153,12 @@ mod durable_tests {
         let dir = fresh_dir("epoch_cache");
         let epoch_before;
         {
-            let (mut e, _) = QueryEngine::open_durable(&dir).unwrap();
+            let (e, _) = QueryEngine::open_durable(&dir).unwrap();
             e.create_relation("p", Schema::anonymous(1)).unwrap();
             e.insert("p", tuple![1]).unwrap();
             epoch_before = e.db().epoch();
         }
-        let (mut e, rec) = QueryEngine::open_durable(&dir).unwrap();
+        let (e, rec) = QueryEngine::open_durable(&dir).unwrap();
         assert_eq!(rec.recovered_epoch, epoch_before);
         let prepared = e.prepare("p(x)").unwrap();
         assert_eq!(e.execute(&prepared).unwrap().len(), 1);
@@ -1893,7 +2172,7 @@ mod durable_tests {
     fn checkpoint_through_engine_preserves_queries() {
         let dir = fresh_dir("checkpoint");
         {
-            let (mut e, _) = QueryEngine::open_durable(&dir).unwrap();
+            let (e, _) = QueryEngine::open_durable(&dir).unwrap();
             e.create_relation("p", Schema::anonymous(1)).unwrap();
             e.insert("p", tuple![1]).unwrap();
             let ck = e.checkpoint().unwrap();
@@ -1911,7 +2190,7 @@ mod durable_tests {
     fn durable_domain_closure_refresh_is_logged() {
         let dir = fresh_dir("dom");
         {
-            let (mut e, _) = QueryEngine::open_durable(&dir).unwrap();
+            let (e, _) = QueryEngine::open_durable(&dir).unwrap();
             e.create_relation("q", Schema::anonymous(1)).unwrap();
             e.insert("q", tuple![1]).unwrap();
             e.insert("q", tuple![2]).unwrap();

@@ -14,6 +14,8 @@ impl QueryEngine {
     #[allow(clippy::unwrap_used)]
     pub fn explain(&self, text: &str) -> Result<String, EngineError> {
         use std::fmt::Write;
+        // One pinned snapshot for the whole rendering, like a real query.
+        let snap = self.snapshot();
         let parsed = parse(text)?;
         let formula = self.views().expand(&parsed)?;
         let mut out = String::new();
@@ -42,7 +44,7 @@ impl QueryEngine {
         .unwrap();
 
         writeln!(out, "\n== phase 2: improved translation (§3) ==").unwrap();
-        let improved = ImprovedTranslator::new(self.db());
+        let improved = ImprovedTranslator::new(&snap);
         if canonical.is_closed() {
             match improved.translate_closed(&canonical) {
                 Ok(plan) => {
@@ -62,7 +64,7 @@ impl QueryEngine {
                     writeln!(
                         out,
                         "estimated cardinality: {:.0}",
-                        gq_algebra::estimate(&plan, self.db())
+                        gq_algebra::estimate(&plan, &snap)
                     )
                     .unwrap();
                     writeln!(out, "uses division: {}", plan.uses_division()).unwrap();
@@ -73,7 +75,7 @@ impl QueryEngine {
         }
 
         writeln!(out, "\n== baseline: classical translation [COD 72] ==").unwrap();
-        let classical = ClassicalTranslator::new(self.db());
+        let classical = ClassicalTranslator::new(&snap);
         if formula.is_closed() {
             match classical.translate_closed(&formula) {
                 Ok(plan) => {

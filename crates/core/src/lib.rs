@@ -54,10 +54,12 @@ mod plan_cache;
 mod views;
 
 pub use constraints::{Constraint, ConstraintReport, ConstraintSet};
-pub use engine::{EngineOptions, PreparedQuery, QueryEngine, QueryResult, Strategy};
+pub use engine::{
+    DbMut, EngineOptions, PreparedQuery, QueryEngine, QueryResult, Snapshot, Strategy,
+};
 pub use error::EngineError;
 pub use gq_algebra::ExecConfig;
-pub use gq_governor::{CancelToken, GovernorError, QueryLimits, Resource};
+pub use gq_governor::{CancelToken, GovernorError, QueryLimits, Resource, SharedBudget};
 pub use gq_obs::{Event, EventKind, Journal, MetricsSnapshot, SlowLog, SlowLogEntry, WindowStats};
 pub use plan_cache::{PlanCacheStats, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use views::{View, ViewError, ViewRegistry};

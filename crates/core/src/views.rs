@@ -12,14 +12,20 @@
 use crate::EngineError;
 use gq_calculus::{check_restricted_open, parse, Formula, NameGen, Term, Var};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 /// A registry of named views.
+///
+/// Internally synchronized: definitions take a write lock, expansion and
+/// lookups a read lock, so one registry can serve concurrent sessions
+/// (e.g. `gq-server` connections sharing an `Arc<QueryEngine>`).
 #[derive(Debug, Default)]
 pub struct ViewRegistry {
-    views: BTreeMap<String, View>,
+    views: RwLock<BTreeMap<String, View>>,
     /// Monotone counter bumped by every definition — part of the plan
     /// cache key, so cached plans never survive a view redefinition.
-    generation: u64,
+    generation: AtomicU64,
 }
 
 /// One view: an open formula plus its answer variables (in name order —
@@ -91,11 +97,18 @@ impl ViewRegistry {
         ViewRegistry::default()
     }
 
+    /// Read-lock the map, recovering from poisoning (a panicking session
+    /// must not wedge every other session's view expansion).
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<String, View>> {
+        self.views.read().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Define a view from query text. The body must be an open, restricted
     /// formula; its free variables (name order) become the view's columns.
-    pub fn define(&mut self, name: impl Into<String>, text: &str) -> Result<(), EngineError> {
+    pub fn define(&self, name: impl Into<String>, text: &str) -> Result<(), EngineError> {
         let name = name.into();
-        if self.views.contains_key(&name) {
+        let mut views = self.views.write().unwrap_or_else(|e| e.into_inner());
+        if views.contains_key(&name) {
             return Err(EngineError::View(ViewError::Duplicate(name)));
         }
         let body = parse(text)?;
@@ -105,43 +118,48 @@ impl ViewRegistry {
         }
         // The body itself must be restricted (views are ranges).
         check_restricted_open(&body).map_err(gq_translate::TranslateError::from)?;
-        self.views.insert(name.clone(), View { name, params, body });
-        self.generation += 1;
+        views.insert(name.clone(), View { name, params, body });
+        // Bumped under the write lock so generation and contents move
+        // together; Relaxed is enough since readers only compare values.
+        self.generation.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     /// Definition-counter: changes whenever the registry's contents do.
     pub fn generation(&self) -> u64 {
-        self.generation
+        self.generation.load(Ordering::Relaxed)
     }
 
-    /// Registered views in name order.
-    pub fn views(&self) -> impl Iterator<Item = &View> {
-        self.views.values()
+    /// Registered views in name order (snapshot copy).
+    pub fn views(&self) -> Vec<View> {
+        self.read().values().cloned().collect()
     }
 
     /// Is `name` a view?
     pub fn contains(&self, name: &str) -> bool {
-        self.views.contains_key(name)
+        self.read().contains_key(name)
     }
 
-    /// Expand every view atom in `f`, recursively.
+    /// Expand every view atom in `f`, recursively. The whole expansion
+    /// runs against one read-locked state of the registry, so a racing
+    /// `define` cannot produce a half-old, half-new expansion.
     pub fn expand(&self, f: &Formula) -> Result<Formula, ViewError> {
-        if self.views.is_empty() {
+        let views = self.read();
+        if views.is_empty() {
             return Ok(f.clone());
         }
         let mut gen = NameGen::new();
-        self.expand_depth(f, 0, &mut gen)
+        Self::expand_depth(&views, f, 0, &mut gen)
     }
 
     fn expand_depth(
-        &self,
+        views: &BTreeMap<String, View>,
         f: &Formula,
         depth: usize,
         gen: &mut NameGen,
     ) -> Result<Formula, ViewError> {
         match f {
-            Formula::Atom(a) => match self.views.get(&a.relation) {
+            Formula::Atom(a) => match views.get(&a.relation) {
                 None => Ok(f.clone()),
                 Some(view) => {
                     if depth >= MAX_DEPTH {
@@ -179,34 +197,34 @@ impl ViewRegistry {
                     // Equate repeated variables / apply constants happens
                     // naturally through substitution; recurse for nested
                     // views.
-                    self.expand_depth(&body, depth + 1, gen)
+                    Self::expand_depth(views, &body, depth + 1, gen)
                 }
             },
             Formula::Compare(_) => Ok(f.clone()),
-            Formula::Not(g) => Ok(Formula::not(self.expand_depth(g, depth, gen)?)),
+            Formula::Not(g) => Ok(Formula::not(Self::expand_depth(views, g, depth, gen)?)),
             Formula::And(a, b) => Ok(Formula::and(
-                self.expand_depth(a, depth, gen)?,
-                self.expand_depth(b, depth, gen)?,
+                Self::expand_depth(views, a, depth, gen)?,
+                Self::expand_depth(views, b, depth, gen)?,
             )),
             Formula::Or(a, b) => Ok(Formula::or(
-                self.expand_depth(a, depth, gen)?,
-                self.expand_depth(b, depth, gen)?,
+                Self::expand_depth(views, a, depth, gen)?,
+                Self::expand_depth(views, b, depth, gen)?,
             )),
             Formula::Implies(a, b) => Ok(Formula::implies(
-                self.expand_depth(a, depth, gen)?,
-                self.expand_depth(b, depth, gen)?,
+                Self::expand_depth(views, a, depth, gen)?,
+                Self::expand_depth(views, b, depth, gen)?,
             )),
             Formula::Iff(a, b) => Ok(Formula::iff(
-                self.expand_depth(a, depth, gen)?,
-                self.expand_depth(b, depth, gen)?,
+                Self::expand_depth(views, a, depth, gen)?,
+                Self::expand_depth(views, b, depth, gen)?,
             )),
             Formula::Exists(vs, g) => Ok(Formula::exists(
                 vs.clone(),
-                self.expand_depth(g, depth, gen)?,
+                Self::expand_depth(views, g, depth, gen)?,
             )),
             Formula::Forall(vs, g) => Ok(Formula::forall(
                 vs.clone(),
-                self.expand_depth(g, depth, gen)?,
+                Self::expand_depth(views, g, depth, gen)?,
             )),
         }
     }
@@ -240,7 +258,7 @@ mod tests {
 
     #[test]
     fn simple_view_as_range() {
-        let mut e = engine();
+        let e = engine();
         // columns in name order: l (lecture), s (student)
         e.define_view("cs_attendance", "attends(s,l) & lecture(l,\"cs\")")
             .unwrap();
@@ -253,7 +271,7 @@ mod tests {
 
     #[test]
     fn quantified_view_body() {
-        let mut e = engine();
+        let e = engine();
         // "busy student": attends at least two distinct lectures
         e.define_view(
             "busy",
@@ -269,7 +287,7 @@ mod tests {
 
     #[test]
     fn views_of_views() {
-        let mut e = engine();
+        let e = engine();
         e.define_view("cs_lecture", "lecture(l,\"cs\")").unwrap();
         e.define_view(
             "cs_completionist",
@@ -282,7 +300,7 @@ mod tests {
 
     #[test]
     fn views_agree_across_strategies() {
-        let mut e = engine();
+        let e = engine();
         e.define_view("cs_lecture", "lecture(l,\"cs\")").unwrap();
         let q = "student(x) & !(exists y. cs_lecture(y) & !attends(x,y))";
         let answers: Vec<_> = Strategy::ALL
@@ -296,7 +314,7 @@ mod tests {
 
     #[test]
     fn view_errors() {
-        let mut e = engine();
+        let e = engine();
         e.define_view("v", "student(x)").unwrap();
         // duplicate
         assert!(matches!(
@@ -317,7 +335,7 @@ mod tests {
 
     #[test]
     fn cyclic_views_detected() {
-        let mut e = engine();
+        let e = engine();
         // mutual recursion: a uses b (not yet defined → treated as base
         // relation), then b uses a → expansion cycles.
         e.define_view("a", "student(x) & b(x)").unwrap();
@@ -330,7 +348,7 @@ mod tests {
 
     #[test]
     fn view_with_repeated_argument() {
-        let mut e = engine();
+        let e = engine();
         e.define_view("pair", "attends(s,l)").unwrap();
         // pair(x,x): student whose name equals a lecture name — none.
         let r = e.query("student(x) & pair(x,x)").unwrap();

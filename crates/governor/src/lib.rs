@@ -264,6 +264,58 @@ impl std::error::Error for GovernorError {}
 /// Keep it cheap and non-blocking; it runs on the query's thread.
 pub type TripHook = Arc<dyn Fn(&GovernorError) + Send + Sync>;
 
+/// An aggregate live-bytes gauge shared by many governors — the figure an
+/// admission controller consults before letting another query in.
+///
+/// Every governor attached to the budget (via
+/// [`Governor::start_shared`]) mirrors its per-query live-memory
+/// accounting here: [`Governor::charge_intermediate`] adds,
+/// [`Governor::release_memory`] subtracts, and whatever a query still
+/// holds when its last governor handle drops is returned automatically —
+/// an aborted query can never leak charged bytes into the gauge.
+///
+/// Cloning is cheap; all clones observe the same counters.
+#[derive(Clone, Debug, Default)]
+pub struct SharedBudget(Arc<SharedBudgetInner>);
+
+#[derive(Debug, Default)]
+struct SharedBudgetInner {
+    live_bytes: AtomicU64,
+    peak_live_bytes: AtomicU64,
+}
+
+impl SharedBudget {
+    /// A fresh budget with zero live bytes.
+    pub fn new() -> Self {
+        SharedBudget::default()
+    }
+
+    /// Estimated intermediate bytes currently live across every attached
+    /// governor.
+    pub fn live_bytes(&self) -> u64 {
+        self.0.live_bytes.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`SharedBudget::live_bytes`] since creation.
+    pub fn peak_live_bytes(&self) -> u64 {
+        self.0.peak_live_bytes.load(Ordering::Relaxed)
+    }
+
+    fn charge(&self, bytes: u64) {
+        let total = self.0.live_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.0.peak_live_bytes.fetch_max(total, Ordering::Relaxed);
+    }
+
+    fn release(&self, bytes: u64) {
+        let _ = self
+            .0
+            .live_bytes
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_sub(bytes))
+            });
+    }
+}
+
 struct Inner {
     limits: QueryLimits,
     cancel: CancelToken,
@@ -272,6 +324,18 @@ struct Inner {
     memory_bytes: AtomicU64,
     peak_memory_bytes: AtomicU64,
     hook: Option<TripHook>,
+    shared: Option<SharedBudget>,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // Return whatever the query still holds to the aggregate gauge:
+        // entry points release eagerly, but an abort mid-pipeline (or a
+        // leaked buffer) must not pin admission-control headroom forever.
+        if let Some(shared) = &self.shared {
+            shared.release(*self.memory_bytes.get_mut());
+        }
+    }
 }
 
 /// A per-query governance handle: the limit snapshot, the shared cancel
@@ -297,6 +361,19 @@ impl Governor {
     /// ResourceExhausted, WorkerPanic}` stay attributable after the
     /// query is gone.
     pub fn start_hooked(limits: QueryLimits, cancel: CancelToken, hook: Option<TripHook>) -> Self {
+        Governor::start_shared(limits, cancel, hook, None)
+    }
+
+    /// Like [`Governor::start_hooked`], additionally attaching the
+    /// governor to a [`SharedBudget`]: every live-memory charge and
+    /// release is mirrored into the aggregate gauge, and the remainder is
+    /// returned when the query's last governor handle drops.
+    pub fn start_shared(
+        limits: QueryLimits,
+        cancel: CancelToken,
+        hook: Option<TripHook>,
+        shared: Option<SharedBudget>,
+    ) -> Self {
         let deadline = limits.deadline.map(|d| Instant::now() + d);
         Governor {
             inner: Arc::new(Inner {
@@ -307,6 +384,7 @@ impl Governor {
                 memory_bytes: AtomicU64::new(0),
                 peak_memory_bytes: AtomicU64::new(0),
                 hook,
+                shared,
             }),
         }
     }
@@ -408,6 +486,9 @@ impl Governor {
         self.inner
             .peak_memory_bytes
             .fetch_max(total_bytes, Ordering::Relaxed);
+        if let Some(shared) = &self.inner.shared {
+            shared.charge(bytes);
+        }
         if let Some(limit) = self.inner.limits.max_memory_bytes {
             if total_bytes > limit {
                 return Err(self.trip(GovernorError::ResourceExhausted {
@@ -456,12 +537,18 @@ impl Governor {
     /// dropped, so the live figure shrinks (the peak watermark does not).
     /// Saturating: an over-release clamps at zero rather than wrapping.
     pub fn release_memory(&self, bytes: u64) {
-        let _ = self
+        let prev = self
             .inner
             .memory_bytes
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
                 Some(cur.saturating_sub(bytes))
-            });
+            })
+            .unwrap_or(0);
+        if let Some(shared) = &self.inner.shared {
+            // Mirror only what was actually subtracted so an over-release
+            // clamped locally cannot drain other queries' shared charges.
+            shared.release(prev.min(bytes));
+        }
     }
 
     /// Intermediate tuples charged so far.
@@ -651,6 +738,61 @@ mod tests {
         assert_eq!(trips.len(), 2);
         assert!(trips[0].starts_with("evaluate:"), "{trips:?}");
         assert!(trips[1].starts_with("normalize:"), "{trips:?}");
+    }
+
+    #[test]
+    fn shared_budget_mirrors_charges_and_releases() {
+        let budget = SharedBudget::new();
+        let g1 = Governor::start_shared(
+            QueryLimits::UNLIMITED,
+            CancelToken::new(),
+            None,
+            Some(budget.clone()),
+        );
+        let g2 = Governor::start_shared(
+            QueryLimits::UNLIMITED,
+            CancelToken::new(),
+            None,
+            Some(budget.clone()),
+        );
+        g1.charge_intermediate("evaluate", 1, 100).unwrap();
+        g2.charge_intermediate("evaluate", 1, 50).unwrap();
+        assert_eq!(budget.live_bytes(), 150);
+        assert_eq!(budget.peak_live_bytes(), 150);
+        g1.release_memory(40);
+        assert_eq!(budget.live_bytes(), 110);
+        assert_eq!(budget.peak_live_bytes(), 150, "peak survives release");
+        // Over-release clamps to what g2 actually held — g1's remaining
+        // 60 bytes stay visible in the aggregate.
+        g2.release_memory(u64::MAX);
+        assert_eq!(budget.live_bytes(), 60);
+    }
+
+    #[test]
+    fn shared_budget_reclaims_remainder_on_governor_drop() {
+        let budget = SharedBudget::new();
+        let g = Governor::start_shared(
+            QueryLimits::UNLIMITED,
+            CancelToken::new(),
+            None,
+            Some(budget.clone()),
+        );
+        let clone = g.clone();
+        g.charge_intermediate("evaluate", 1, 500).unwrap();
+        drop(g);
+        assert_eq!(budget.live_bytes(), 500, "live while any handle is alive");
+        drop(clone);
+        assert_eq!(budget.live_bytes(), 0, "remainder returned on last drop");
+        assert_eq!(budget.peak_live_bytes(), 500);
+    }
+
+    #[test]
+    fn unattached_governor_leaves_shared_budget_alone() {
+        let budget = SharedBudget::new();
+        let g = Governor::unlimited();
+        g.charge_intermediate("evaluate", 1, 500).unwrap();
+        drop(g);
+        assert_eq!(budget.live_bytes(), 0);
     }
 
     #[test]

@@ -79,6 +79,18 @@ pub enum EventKind {
     /// A pipeline reached its breaker (detail: `pipeline <id> <breaker
     /// kind> tuples=<build size>`).
     PipelineBreak,
+    /// A server session was admitted and opened (detail: session id +
+    /// peer).
+    SessionOpen,
+    /// A server session closed (detail: session id + reason + frames
+    /// served).
+    SessionClose,
+    /// The admission controller let a connection in (detail: live
+    /// sessions / live bytes at admit time).
+    AdmissionAdmit,
+    /// The admission controller shed a connection (detail: which gate
+    /// tripped + retry-after hint).
+    AdmissionShed,
 }
 
 impl EventKind {
@@ -103,6 +115,10 @@ impl EventKind {
             EventKind::Chaos => "chaos",
             EventKind::PipelineStart => "pipeline_start",
             EventKind::PipelineBreak => "pipeline_break",
+            EventKind::SessionOpen => "session_open",
+            EventKind::SessionClose => "session_close",
+            EventKind::AdmissionAdmit => "admission_admit",
+            EventKind::AdmissionShed => "admission_shed",
         }
     }
 }

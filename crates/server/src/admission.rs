@@ -1,0 +1,317 @@
+//! Admission control: a global gate in front of the session pool.
+//!
+//! Two gates, checked in order at connection accept:
+//!
+//! 1. **Session gate** — a CAS loop over the live-session count against
+//!    `max_sessions`. Lock-free; the accept thread never blocks on a
+//!    mutex while hostile peers hammer the port.
+//! 2. **Memory gate** — aggregate live bytes across *all* running
+//!    queries (one [`SharedBudget`] threaded into every session's
+//!    governor) against `max_live_bytes`.
+//!
+//! A connection that fails either gate is **shed**: it receives a
+//! structured `overloaded` reply with a retry-after hint and is closed.
+//! Shedding is load-proportional work (one frame write), so the gate
+//! itself cannot be used to amplify load.
+//!
+//! Every decision is journaled (`admission_admit` / `admission_shed`)
+//! so the chaos suite and the serving bench can audit shed rates.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use gq_governor::SharedBudget;
+use gq_obs::{EventData, EventKind, Journal};
+
+/// Thresholds for the admission gate.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Maximum concurrently-open sessions.
+    pub max_sessions: usize,
+    /// Maximum aggregate live bytes across all running queries; `None`
+    /// disables the memory gate.
+    pub max_live_bytes: Option<u64>,
+    /// Retry hint handed to shed clients.
+    pub retry_after: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_sessions: 64,
+            max_live_bytes: None,
+            retry_after: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Why a connection was shed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Shed {
+    /// The session gate is full.
+    Sessions {
+        /// Sessions live at decision time.
+        active: usize,
+        /// The configured ceiling.
+        max: usize,
+    },
+    /// Aggregate live memory is over the watermark.
+    Memory {
+        /// Live bytes at decision time.
+        live: u64,
+        /// The configured ceiling.
+        max: u64,
+    },
+}
+
+impl std::fmt::Display for Shed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Shed::Sessions { active, max } => {
+                write!(f, "session limit reached ({active}/{max})")
+            }
+            Shed::Memory { live, max } => {
+                write!(f, "memory watermark exceeded ({live}/{max} live bytes)")
+            }
+        }
+    }
+}
+
+/// Monotone counters exposed through server stats.
+#[derive(Debug, Default)]
+pub struct AdmissionCounters {
+    admitted: AtomicU64,
+    shed_sessions: AtomicU64,
+    shed_memory: AtomicU64,
+}
+
+/// A point-in-time snapshot of [`AdmissionCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Connections admitted since start.
+    pub admitted: u64,
+    /// Connections shed at the session gate.
+    pub shed_sessions: u64,
+    /// Connections shed at the memory gate.
+    pub shed_memory: u64,
+    /// Sessions live right now.
+    pub active: usize,
+}
+
+impl AdmissionStats {
+    /// Total shed connections across both gates.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_sessions + self.shed_memory
+    }
+}
+
+/// The shared admission gate. Cheap to clone (`Arc` inside).
+#[derive(Clone)]
+pub struct Admission {
+    inner: Arc<AdmissionInner>,
+}
+
+struct AdmissionInner {
+    cfg: AdmissionConfig,
+    budget: SharedBudget,
+    active: AtomicUsize,
+    journal: Arc<Journal>,
+    counters: AdmissionCounters,
+}
+
+impl Admission {
+    /// Build a gate over `cfg`, journaling decisions to `journal`.
+    pub fn new(cfg: AdmissionConfig, journal: Arc<Journal>) -> Admission {
+        Admission {
+            inner: Arc::new(AdmissionInner {
+                cfg,
+                budget: SharedBudget::new(),
+                active: AtomicUsize::new(0),
+                journal,
+                counters: AdmissionCounters::default(),
+            }),
+        }
+    }
+
+    /// The aggregate memory budget every admitted session charges into.
+    pub fn budget(&self) -> SharedBudget {
+        self.inner.budget.clone()
+    }
+
+    /// The configured retry hint, in milliseconds.
+    pub fn retry_after_ms(&self) -> u64 {
+        self.inner.cfg.retry_after.as_millis() as u64
+    }
+
+    /// Decide admission for connection `conn`. On success the returned
+    /// [`Permit`] holds a session slot until dropped.
+    pub fn try_admit(&self, conn: u64) -> Result<Permit, Shed> {
+        let max = self.inner.cfg.max_sessions;
+        let mut active = self.inner.active.load(Ordering::Acquire);
+        loop {
+            if active >= max {
+                let shed = Shed::Sessions { active, max };
+                self.record_shed(conn, &shed);
+                return Err(shed);
+            }
+            match self.inner.active.compare_exchange_weak(
+                active,
+                active + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(current) => active = current,
+            }
+        }
+        if let Some(max_bytes) = self.inner.cfg.max_live_bytes {
+            let live = self.inner.budget.live_bytes();
+            if live > max_bytes {
+                // Roll back the slot we just took.
+                self.inner.active.fetch_sub(1, Ordering::AcqRel);
+                let shed = Shed::Memory {
+                    live,
+                    max: max_bytes,
+                };
+                self.record_shed(conn, &shed);
+                return Err(shed);
+            }
+        }
+        self.inner.counters.admitted.fetch_add(1, Ordering::Relaxed);
+        let inner = Arc::clone(&self.inner);
+        inner.journal.record(|| {
+            EventData::new(EventKind::AdmissionAdmit, conn, "serve").detail(format!(
+                "session {} admitted; active={} live_bytes={}",
+                conn,
+                active + 1,
+                inner.budget.live_bytes()
+            ))
+        });
+        Ok(Permit { inner })
+    }
+
+    /// Would a new request on an already-open session be over the
+    /// memory watermark right now? Used for per-request backpressure.
+    pub fn over_memory_watermark(&self) -> Option<(u64, u64)> {
+        let max = self.inner.cfg.max_live_bytes?;
+        let live = self.inner.budget.live_bytes();
+        (live > max).then_some((live, max))
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> AdmissionStats {
+        AdmissionStats {
+            admitted: self.inner.counters.admitted.load(Ordering::Relaxed),
+            shed_sessions: self.inner.counters.shed_sessions.load(Ordering::Relaxed),
+            shed_memory: self.inner.counters.shed_memory.load(Ordering::Relaxed),
+            active: self.inner.active.load(Ordering::Acquire),
+        }
+    }
+
+    fn record_shed(&self, conn: u64, shed: &Shed) {
+        let counter = match shed {
+            Shed::Sessions { .. } => &self.inner.counters.shed_sessions,
+            Shed::Memory { .. } => &self.inner.counters.shed_memory,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        let detail = format!("conn {conn} shed: {shed}");
+        self.inner
+            .journal
+            .record(|| EventData::new(EventKind::AdmissionShed, conn, "serve").detail(detail));
+    }
+}
+
+/// A held session slot; releases on drop even if the session panics.
+pub struct Permit {
+    inner: Arc<AdmissionInner>,
+}
+
+impl std::fmt::Debug for Permit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Permit")
+            .field("active", &self.inner.active.load(Ordering::Acquire))
+            .finish()
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.inner.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn gate(max_sessions: usize, max_live_bytes: Option<u64>) -> Admission {
+        Admission::new(
+            AdmissionConfig {
+                max_sessions,
+                max_live_bytes,
+                retry_after: Duration::from_millis(100),
+            },
+            Arc::new(Journal::default()),
+        )
+    }
+
+    #[test]
+    fn session_gate_sheds_at_capacity_and_releases_on_drop() {
+        let g = gate(2, None);
+        let p1 = g.try_admit(1).unwrap();
+        let _p2 = g.try_admit(2).unwrap();
+        match g.try_admit(3) {
+            Err(Shed::Sessions { active, max }) => {
+                assert_eq!(active, 2);
+                assert_eq!(max, 2);
+            }
+            other => panic!("expected session shed, got {other:?}"),
+        }
+        drop(p1);
+        let _p4 = g.try_admit(4).unwrap();
+        let s = g.stats();
+        assert_eq!(s.admitted, 3);
+        assert_eq!(s.shed_sessions, 1);
+        assert_eq!(s.active, 2);
+    }
+
+    #[test]
+    fn permit_released_even_when_holder_panics() {
+        let g = gate(1, None);
+        let g2 = g.clone();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _permit = g2.try_admit(1).unwrap();
+            panic!("session blew up");
+        }));
+        assert!(result.is_err());
+        assert_eq!(g.stats().active, 0);
+        assert!(g.try_admit(2).is_ok());
+    }
+
+    #[test]
+    fn memory_gate_rolls_back_session_slot() {
+        let g = gate(8, Some(0));
+        // Push the shared budget over the (zero) watermark.
+        let budget = g.budget();
+        let limits = gq_governor::QueryLimits::UNLIMITED;
+        let governor = gq_governor::Governor::start_shared(
+            limits,
+            gq_governor::CancelToken::new(),
+            None,
+            Some(budget),
+        );
+        governor.charge_intermediate("probe", 10, 64).unwrap();
+        match g.try_admit(1) {
+            Err(Shed::Memory { live, max }) => {
+                assert!(live > 0);
+                assert_eq!(max, 0);
+            }
+            other => panic!("expected memory shed, got {other:?}"),
+        }
+        // The slot taken during the failed admit must have been returned.
+        assert_eq!(g.stats().active, 0);
+        assert_eq!(g.stats().shed_memory, 1);
+    }
+}

@@ -1,0 +1,89 @@
+//! A small blocking client for the framed protocol.
+//!
+//! Used by the REPL's `.connect` mode, the serving bench, and the test
+//! suites. One request frame out, one reply frame back.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::frame::{self, FrameError, DEFAULT_MAX_FRAME_BYTES};
+use crate::protocol::Reply;
+
+/// Client-side failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Transport or framing failed.
+    Frame(FrameError),
+    /// The server closed the connection instead of replying.
+    ConnectionClosed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "{e}"),
+            ClientError::ConnectionClosed => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// A blocking connection to a [`crate::Server`].
+pub struct Client {
+    stream: TcpStream,
+    max_frame: usize,
+    timeout: Duration,
+}
+
+impl Client {
+    /// Connect with default timeouts (10s per reply, 1 MiB frames).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        Client::connect_with(addr, Duration::from_secs(10), DEFAULT_MAX_FRAME_BYTES)
+    }
+
+    /// Connect with an explicit per-reply timeout and frame cap.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+        max_frame: usize,
+    ) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(|e| {
+            ClientError::Frame(FrameError::Io {
+                kind: e.kind(),
+                detail: e.to_string(),
+            })
+        })?;
+        Ok(Client {
+            stream,
+            max_frame,
+            timeout,
+        })
+    }
+
+    /// Send one request line and wait for its reply.
+    pub fn send(&mut self, line: &str) -> Result<Reply, ClientError> {
+        frame::write_frame(&mut self.stream, line.as_bytes(), self.timeout)?;
+        self.recv()
+    }
+
+    /// Wait for one unsolicited reply frame (e.g. an admission shed
+    /// delivered before any request was sent).
+    pub fn recv(&mut self) -> Result<Reply, ClientError> {
+        match frame::read_frame(&mut self.stream, self.timeout, self.timeout, self.max_frame)? {
+            Some(payload) => Ok(Reply::parse(&payload)),
+            None => Err(ClientError::ConnectionClosed),
+        }
+    }
+
+    /// The underlying stream (tests use this to misbehave on purpose).
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+}

@@ -1,0 +1,359 @@
+//! Length-prefixed wire framing.
+//!
+//! Every message in either direction is one **frame**: a 4-byte
+//! big-endian payload length followed by exactly that many payload
+//! bytes. The format is deliberately minimal — no magic, no version
+//! byte, no checksum — because the hardening lives in the *decoder*:
+//!
+//! * a declared length past the negotiated maximum is rejected before a
+//!   single payload byte is read ([`FrameError::Oversized`]), so a
+//!   hostile 4-byte header cannot make the server allocate gigabytes;
+//! * a stream that ends mid-frame reports exactly how much arrived
+//!   ([`FrameError::Torn`]), with byte offsets, for the journal;
+//! * socket reads run under a **whole-frame deadline**, not a per-`read`
+//!   timeout, so a slow-loris peer dribbling one byte per timeout window
+//!   still gets cut off ([`FrameError::TimedOut`]).
+//!
+//! [`decode`] / [`decode_all`] are pure functions over byte slices —
+//! the property-fuzz suite drives them with arbitrary byte soup and
+//! asserts they never panic and never report success on garbage.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Bytes in the length prefix.
+pub const HEADER_LEN: usize = 4;
+
+/// Default cap on a single frame's payload (1 MiB).
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// A structured framing failure. Every variant carries enough context to
+/// journal the fault without looking at the wire again.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The header declared a payload larger than the negotiated maximum.
+    Oversized {
+        /// Length the peer declared.
+        declared: usize,
+        /// The maximum this endpoint accepts.
+        max: usize,
+    },
+    /// The stream ended mid-frame.
+    Torn {
+        /// Total bytes the frame needed (header + declared payload).
+        expected: usize,
+        /// Bytes that actually arrived before the stream ended.
+        got: usize,
+    },
+    /// The peer exceeded a read or write deadline.
+    TimedOut {
+        /// Which phase stalled: `"idle"` (between frames), `"frame"`
+        /// (mid-frame read), or `"write"`.
+        phase: &'static str,
+    },
+    /// Transport-level failure.
+    Io {
+        /// The `std::io` error kind.
+        kind: ErrorKind,
+        /// Rendered error detail.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized { declared, max } => {
+                write!(f, "oversized frame: declared {declared} bytes, max {max}")
+            }
+            FrameError::Torn { expected, got } => {
+                write!(f, "torn frame: got {got} of {expected} bytes")
+            }
+            FrameError::TimedOut { phase } => write!(f, "timed out ({phase})"),
+            FrameError::Io { kind, detail } => write!(f, "io error ({kind:?}): {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl FrameError {
+    fn io(e: &std::io::Error) -> FrameError {
+        FrameError::Io {
+            kind: e.kind(),
+            detail: e.to_string(),
+        }
+    }
+}
+
+/// Is this `read`/`write` error a timeout under either of the two kinds
+/// platforms report for expired socket timeouts?
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Encode one frame: header + payload.
+pub fn encode(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Outcome of an incremental [`decode`] over a growing buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decoded {
+    /// Not enough bytes yet; at least `need` more are required.
+    Incomplete {
+        /// Minimum additional bytes before progress is possible.
+        need: usize,
+    },
+    /// One complete frame.
+    Frame {
+        /// The payload bytes.
+        payload: Vec<u8>,
+        /// Total bytes consumed from the buffer (header + payload).
+        consumed: usize,
+    },
+}
+
+/// Decode the frame at the front of `buf`, accepting payloads up to
+/// `max` bytes. Pure and total: any byte soup yields `Incomplete`, a
+/// `Frame`, or a structured error — never a panic, never an allocation
+/// sized by attacker-controlled lengths beyond `max`.
+pub fn decode(buf: &[u8], max: usize) -> Result<Decoded, FrameError> {
+    if buf.len() < HEADER_LEN {
+        return Ok(Decoded::Incomplete {
+            need: HEADER_LEN - buf.len(),
+        });
+    }
+    let declared = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if declared > max {
+        return Err(FrameError::Oversized { declared, max });
+    }
+    let total = HEADER_LEN + declared;
+    if buf.len() < total {
+        return Ok(Decoded::Incomplete {
+            need: total - buf.len(),
+        });
+    }
+    Ok(Decoded::Frame {
+        payload: buf[HEADER_LEN..total].to_vec(),
+        consumed: total,
+    })
+}
+
+/// Decode a *closed* buffer into all its frames. A trailing partial
+/// frame is an error here (the stream has ended, nothing more is
+/// coming): [`FrameError::Torn`] with exact offsets.
+pub fn decode_all(buf: &[u8], max: usize) -> Result<Vec<Vec<u8>>, FrameError> {
+    let mut frames = Vec::new();
+    let mut at = 0usize;
+    while at < buf.len() {
+        match decode(&buf[at..], max)? {
+            Decoded::Frame { payload, consumed } => {
+                frames.push(payload);
+                at += consumed;
+            }
+            Decoded::Incomplete { need } => {
+                return Err(FrameError::Torn {
+                    expected: buf.len() - at + need,
+                    got: buf.len() - at,
+                });
+            }
+        }
+    }
+    Ok(frames)
+}
+
+/// Read one frame from `stream`.
+///
+/// The wait for the *first* header byte runs under `idle` (how long a
+/// quiescent session may sit between requests); everything after it runs
+/// under a single whole-frame deadline of `per_frame`. Returns
+/// `Ok(None)` on a clean close (EOF before any header byte).
+pub fn read_frame(
+    stream: &mut TcpStream,
+    idle: Duration,
+    per_frame: Duration,
+    max: usize,
+) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    set_read_timeout(stream, idle)?;
+    let first = loop {
+        match stream.read(&mut header[..1]) {
+            Ok(0) => return Ok(None),
+            Ok(_) => break 1usize,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => return Err(FrameError::TimedOut { phase: "idle" }),
+            Err(e) => return Err(FrameError::io(&e)),
+        }
+    };
+    let deadline = Instant::now() + per_frame;
+    read_exact_deadline(stream, &mut header[first..], deadline, HEADER_LEN, first)?;
+    let declared = u32::from_be_bytes(header) as usize;
+    if declared > max {
+        return Err(FrameError::Oversized { declared, max });
+    }
+    let mut payload = vec![0u8; declared];
+    read_exact_deadline(
+        stream,
+        &mut payload,
+        deadline,
+        HEADER_LEN + declared,
+        HEADER_LEN,
+    )?;
+    Ok(Some(payload))
+}
+
+/// Fill `buf` from `stream` before `deadline`, attributing shortfalls to
+/// a frame `expected` bytes long of which `done` already arrived.
+fn read_exact_deadline(
+    stream: &mut TcpStream,
+    mut buf: &mut [u8],
+    deadline: Instant,
+    expected: usize,
+    mut done: usize,
+) -> Result<(), FrameError> {
+    while !buf.is_empty() {
+        let Some(remaining) = deadline
+            .checked_duration_since(Instant::now())
+            .filter(|d| *d > Duration::ZERO)
+        else {
+            return Err(FrameError::TimedOut { phase: "frame" });
+        };
+        set_read_timeout(stream, remaining)?;
+        match stream.read(buf) {
+            Ok(0) => {
+                return Err(FrameError::Torn {
+                    expected,
+                    got: done,
+                })
+            }
+            Ok(n) => {
+                done += n;
+                buf = &mut buf[n..];
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => {} // deadline re-checked at loop top
+            Err(e) => return Err(FrameError::io(&e)),
+        }
+    }
+    Ok(())
+}
+
+/// Write one frame under `timeout`.
+pub fn write_frame(
+    stream: &mut TcpStream,
+    payload: &[u8],
+    timeout: Duration,
+) -> Result<(), FrameError> {
+    set_write_timeout(stream, timeout)?;
+    let bytes = encode(payload);
+    match stream.write_all(&bytes) {
+        Ok(()) => {}
+        Err(e) if is_timeout(&e) => return Err(FrameError::TimedOut { phase: "write" }),
+        Err(e) => return Err(FrameError::io(&e)),
+    }
+    match stream.flush() {
+        Ok(()) => Ok(()),
+        Err(e) if is_timeout(&e) => Err(FrameError::TimedOut { phase: "write" }),
+        Err(e) => Err(FrameError::io(&e)),
+    }
+}
+
+/// `Duration::ZERO` means "no timeout" to `std`, which would block
+/// forever; clamp to 1ms so a zero config stays a (tight) timeout.
+fn set_read_timeout(stream: &TcpStream, d: Duration) -> Result<(), FrameError> {
+    stream
+        .set_read_timeout(Some(d.max(Duration::from_millis(1))))
+        .map_err(|e| FrameError::io(&e))
+}
+
+fn set_write_timeout(stream: &TcpStream, d: Duration) -> Result<(), FrameError> {
+    stream
+        .set_write_timeout(Some(d.max(Duration::from_millis(1))))
+        .map_err(|e| FrameError::io(&e))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let bytes = encode(b"hello");
+        match decode(&bytes, DEFAULT_MAX_FRAME_BYTES).unwrap() {
+            Decoded::Frame { payload, consumed } => {
+                assert_eq!(payload, b"hello");
+                assert_eq!(consumed, HEADER_LEN + 5);
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_payload_is_a_valid_frame() {
+        let bytes = encode(b"");
+        assert_eq!(
+            decode(&bytes, 16).unwrap(),
+            Decoded::Frame {
+                payload: vec![],
+                consumed: HEADER_LEN
+            }
+        );
+    }
+
+    #[test]
+    fn oversized_header_rejected_before_payload() {
+        let mut bytes = (1_000_000u32).to_be_bytes().to_vec();
+        bytes.extend_from_slice(b"xx");
+        match decode(&bytes, 1024) {
+            Err(FrameError::Oversized { declared, max }) => {
+                assert_eq!(declared, 1_000_000);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incomplete_reports_exact_need() {
+        assert_eq!(decode(&[], 16).unwrap(), Decoded::Incomplete { need: 4 });
+        assert_eq!(
+            decode(&[0, 0], 16).unwrap(),
+            Decoded::Incomplete { need: 2 }
+        );
+        let mut partial = encode(b"abcdef");
+        partial.truncate(7); // header + 3 of 6 payload bytes
+        assert_eq!(
+            decode(&partial, 16).unwrap(),
+            Decoded::Incomplete { need: 3 }
+        );
+    }
+
+    #[test]
+    fn decode_all_reports_torn_tail_with_offsets() {
+        let mut bytes = encode(b"one");
+        let torn = encode(b"twotwo");
+        bytes.extend_from_slice(&torn[..torn.len() - 2]);
+        match decode_all(&bytes, 16) {
+            Err(FrameError::Torn { expected, got }) => {
+                assert_eq!(expected, HEADER_LEN + 6);
+                assert_eq!(got, HEADER_LEN + 4);
+            }
+            other => panic!("expected Torn, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_all_splits_back_to_back_frames() {
+        let mut bytes = encode(b"a");
+        bytes.extend_from_slice(&encode(b""));
+        bytes.extend_from_slice(&encode(b"bcd"));
+        let frames = decode_all(&bytes, 16).unwrap();
+        assert_eq!(frames, vec![b"a".to_vec(), vec![], b"bcd".to_vec()]);
+    }
+}

@@ -1,0 +1,435 @@
+//! The TCP front-end: accept loop, session thread pool, shutdown.
+//!
+//! Topology: one acceptor thread feeds a bounded `sync_channel` of
+//! pending connections; `workers` session threads drain it, each
+//! running one connection at a time through admission, the framed
+//! request loop, and teardown. The channel bound is the accept queue —
+//! when it is full the acceptor itself sheds inline with an
+//! `overloaded` frame, so a connection flood degrades to cheap,
+//! bounded work instead of unbounded thread or memory growth.
+//!
+//! Shutdown protocol (also documented in DESIGN.md §15):
+//! 1. set the `shutdown` flag,
+//! 2. cancel every registered session token (long queries stop at the
+//!    next governor check),
+//! 3. poke the listener with a loopback connect so `accept` returns,
+//! 4. drop the channel sender and join acceptor + workers.
+//!
+//! Under the `chaos` feature the session loop consults the process
+//! chaos configuration between frames: connections are dropped without
+//! farewell, replies are torn mid-frame, and reads are delayed — the
+//! test suite asserts the server survives all of it with sessions
+//! reaped and counters consistent.
+
+use std::collections::HashMap;
+#[cfg(feature = "chaos")]
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use gq_core::QueryEngine;
+use gq_governor::{CancelToken, QueryLimits};
+use gq_obs::{EventData, EventKind};
+
+use crate::admission::{Admission, AdmissionConfig, AdmissionStats};
+use crate::frame::{self, FrameError};
+use crate::protocol;
+use crate::session::{Outcome, SessionState};
+
+/// Server construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Session worker threads (each serves one connection at a time).
+    pub workers: usize,
+    /// Bounded accept queue between acceptor and workers.
+    pub accept_backlog: usize,
+    /// Per-frame payload cap.
+    pub max_frame_bytes: usize,
+    /// Whole-frame read deadline (anti slow-loris).
+    pub read_timeout: Duration,
+    /// Reply write deadline.
+    pub write_timeout: Duration,
+    /// How long an idle session may sit between requests.
+    pub idle_timeout: Duration,
+    /// Default per-session resource limits.
+    pub session_limits: QueryLimits,
+    /// Admission thresholds.
+    pub admission: AdmissionConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            accept_backlog: 16,
+            max_frame_bytes: frame::DEFAULT_MAX_FRAME_BYTES,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(30),
+            session_limits: QueryLimits::UNLIMITED,
+            admission: AdmissionConfig::default(),
+        }
+    }
+}
+
+/// Point-in-time server statistics.
+#[derive(Debug, Clone)]
+pub struct ServerStats {
+    /// Connections accepted off the wire (admitted or not).
+    pub accepted: u64,
+    /// Connections shed by the acceptor because the queue was full.
+    pub queue_shed: u64,
+    /// Sessions fully closed (reply path complete, permit released).
+    pub closed: u64,
+    /// Admission gate counters.
+    pub admission: AdmissionStats,
+}
+
+#[derive(Default)]
+struct ServerCounters {
+    accepted: AtomicU64,
+    queue_shed: AtomicU64,
+    closed: AtomicU64,
+}
+
+struct Shared {
+    engine: Arc<QueryEngine>,
+    cfg: ServerConfig,
+    admission: Admission,
+    shutdown: AtomicBool,
+    /// Live sessions' cancel tokens, for shutdown interruption.
+    sessions: Mutex<HashMap<u64, CancelToken>>,
+    counters: ServerCounters,
+}
+
+impl Shared {
+    fn sessions_lock(&self) -> std::sync::MutexGuard<'_, HashMap<u64, CancelToken>> {
+        self.sessions.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A running server. Dropping it shuts it down and joins all threads.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    sender: Option<SyncSender<(TcpStream, u64)>>,
+}
+
+impl Server {
+    /// Bind, spawn the acceptor and worker pool, and start serving.
+    pub fn start(engine: Arc<QueryEngine>, cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(
+            cfg.addr
+                .to_socket_addrs()?
+                .next()
+                .ok_or_else(|| std::io::Error::other("bind address resolved to nothing"))?,
+        )?;
+        let local_addr = listener.local_addr()?;
+        let admission = Admission::new(cfg.admission.clone(), Arc::clone(engine.journal()));
+        let shared = Arc::new(Shared {
+            engine,
+            cfg,
+            admission,
+            shutdown: AtomicBool::new(false),
+            sessions: Mutex::new(HashMap::new()),
+            counters: ServerCounters::default(),
+        });
+        let (tx, rx) = sync_channel::<(TcpStream, u64)>(shared.cfg.accept_backlog.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(shared.cfg.workers.max(1));
+        for _ in 0..shared.cfg.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&rx);
+            workers.push(std::thread::spawn(move || worker_loop(&shared, &rx)));
+        }
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let tx = tx.clone();
+            std::thread::spawn(move || accept_loop(&shared, &listener, &tx))
+        };
+        Ok(Server {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers,
+            sender: Some(tx),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            accepted: self.shared.counters.accepted.load(Ordering::Relaxed),
+            queue_shed: self.shared.counters.queue_shed.load(Ordering::Relaxed),
+            closed: self.shared.counters.closed.load(Ordering::Relaxed),
+            admission: self.shared.admission.stats(),
+        }
+    }
+
+    /// The engine this server fronts.
+    pub fn engine(&self) -> &Arc<QueryEngine> {
+        &self.shared.engine
+    }
+
+    /// Initiate and complete an orderly shutdown. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Interrupt in-flight queries.
+        for token in self.shared.sessions_lock().values() {
+            token.cancel();
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        drop(self.sender.take());
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener, tx: &SyncSender<(TcpStream, u64)>) {
+    let mut next_conn: u64 = 1;
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let conn = next_conn;
+        next_conn += 1;
+        shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+        match tx.try_send((stream, conn)) {
+            Ok(()) => {}
+            Err(TrySendError::Full((mut stream, conn))) => {
+                // Queue full: shed inline so the flood does cheap,
+                // bounded work. Best-effort write; the peer may be gone.
+                shared.counters.queue_shed.fetch_add(1, Ordering::Relaxed);
+                shared.engine.journal().record(|| {
+                    EventData::new(EventKind::AdmissionShed, conn, "serve")
+                        .detail(format!("conn {conn} shed: accept queue full"))
+                });
+                let payload =
+                    protocol::overloaded(shared.admission.retry_after_ms(), "accept queue full");
+                let _ = frame::write_frame(&mut stream, &payload, shared.cfg.write_timeout);
+            }
+            Err(TrySendError::Disconnected(_)) => return,
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<(TcpStream, u64)>>>) {
+    loop {
+        // Hold the receiver lock only for the dequeue, not the session.
+        let next = {
+            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv()
+        };
+        let Ok((stream, conn)) = next else { return };
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        serve_connection(shared, stream, conn);
+    }
+}
+
+/// Serve one connection end-to-end: admission, request loop, teardown.
+/// Never lets a session escape without releasing its permit and its
+/// registry entry, whatever the close reason.
+fn serve_connection(shared: &Shared, mut stream: TcpStream, conn: u64) {
+    let permit = match shared.admission.try_admit(conn) {
+        Ok(p) => p,
+        Err(shed) => {
+            let payload =
+                protocol::overloaded(shared.admission.retry_after_ms(), &shed.to_string());
+            let _ = frame::write_frame(&mut stream, &payload, shared.cfg.write_timeout);
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return;
+        }
+    };
+    let cancel = CancelToken::new();
+    shared.sessions_lock().insert(conn, cancel.clone());
+    shared.engine.journal().record(|| {
+        EventData::new(EventKind::SessionOpen, conn, "serve").detail(format!("session {conn} open"))
+    });
+    let mut state = SessionState::new(shared.cfg.session_limits, cancel, shared.admission.budget());
+    let mut frames: u64 = 0;
+    let reason = session_loop(shared, &mut stream, conn, &mut state, &mut frames);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    shared.sessions_lock().remove(&conn);
+    drop(permit);
+    shared.counters.closed.fetch_add(1, Ordering::Relaxed);
+    shared.engine.journal().record(|| {
+        EventData::new(EventKind::SessionClose, conn, "serve").detail(format!(
+            "session {conn} closed: {reason} after {frames} frames"
+        ))
+    });
+}
+
+/// The framed request loop. Returns a close reason for the journal.
+fn session_loop(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    #[cfg_attr(not(feature = "chaos"), allow(unused_variables))] conn: u64,
+    state: &mut SessionState,
+    frames: &mut u64,
+) -> &'static str {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return "shutdown";
+        }
+        #[cfg(feature = "chaos")]
+        {
+            if gq_chaos::drop_conn(conn) {
+                return "chaos drop";
+            }
+            if let Some(delay) = gq_chaos::slow_loris(conn) {
+                std::thread::sleep(delay);
+            }
+        }
+        let request = match frame::read_frame(
+            stream,
+            shared.cfg.idle_timeout,
+            shared.cfg.read_timeout,
+            shared.cfg.max_frame_bytes,
+        ) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return "client eof",
+            Err(e) => {
+                // Tell the peer what happened when the transport still
+                // works, then close. Oversized/torn/timeout are all
+                // protocol violations from our side of the contract.
+                let payload = protocol::err(protocol::code::PROTO, &e.to_string());
+                let _ = frame::write_frame(stream, &payload, shared.cfg.write_timeout);
+                return match e {
+                    FrameError::Oversized { .. } => "oversized frame",
+                    FrameError::Torn { .. } => "torn frame",
+                    FrameError::TimedOut { .. } => "timeout",
+                    FrameError::Io { .. } => "io error",
+                };
+            }
+        };
+        *frames += 1;
+        let outcome = state.dispatch(&shared.engine, &shared.admission, &request);
+        let (payload, close) = match outcome {
+            Outcome::Reply(p) => (p, false),
+            Outcome::Close(p) => (p, true),
+        };
+        #[cfg(feature = "chaos")]
+        {
+            if gq_chaos::tear_frame(*frames) {
+                // Write a deliberately truncated reply, then cut the
+                // connection: the client sees a torn frame.
+                let bytes = frame::encode(&payload);
+                let cut = bytes.len().saturating_sub(bytes.len() / 2).max(1);
+                let _ = stream.write_all(&bytes[..cut]);
+                let _ = stream.flush();
+                return "chaos torn reply";
+            }
+        }
+        if frame::write_frame(stream, &payload, shared.cfg.write_timeout).is_err() {
+            return "write failed";
+        }
+        if close {
+            return "client close";
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use gq_storage::Database;
+
+    fn server(cfg: ServerConfig) -> Server {
+        let engine = Arc::new(QueryEngine::new(Database::new()));
+        Server::start(engine, cfg).unwrap()
+    }
+
+    #[test]
+    fn serves_ping_and_query_over_tcp() {
+        let mut srv = server(ServerConfig::default());
+        let mut c = Client::connect(srv.local_addr()).unwrap();
+        let r = c.send(".ping").unwrap();
+        assert!(r.ok);
+        assert_eq!(r.body, "pong");
+        assert!(c.send(".relation edge(src, dst)").unwrap().ok);
+        assert!(c.send(".insert edge(1, 2)").unwrap().ok);
+        let r = c.send("edge(x, y)").unwrap();
+        assert!(r.ok, "{}", r.body);
+        assert!(r.body.contains("1 answer"), "{}", r.body);
+        let r = c.send(".close").unwrap();
+        assert!(r.ok);
+        drop(c);
+        srv.shutdown();
+        let stats = srv.stats();
+        assert_eq!(stats.accepted, 1);
+        assert_eq!(stats.closed, 1);
+        assert_eq!(stats.admission.active, 0);
+    }
+
+    #[test]
+    fn shutdown_with_no_traffic_joins_cleanly() {
+        let mut srv = server(ServerConfig::default());
+        srv.shutdown();
+        srv.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn session_gate_sheds_with_retry_hint() {
+        let cfg = ServerConfig {
+            admission: AdmissionConfig {
+                max_sessions: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut srv = server(cfg);
+        let mut held = Client::connect(srv.local_addr()).unwrap();
+        assert!(held.send(".ping").unwrap().ok);
+        // Second connection must be shed with a structured overload.
+        let mut c2 = Client::connect(srv.local_addr()).unwrap();
+        let r = c2.recv().unwrap();
+        assert!(!r.ok);
+        assert_eq!(r.code, "overloaded");
+        assert!(r.retry_after_ms.is_some());
+        drop(c2);
+        assert!(held.send(".close").unwrap().ok);
+        drop(held);
+        srv.shutdown();
+        assert!(srv.stats().admission.shed_sessions >= 1);
+    }
+}

@@ -197,6 +197,20 @@ impl Arbitrary for bool {
     }
 }
 
+impl Arbitrary for u8 {
+    fn arbitrary() -> BoxedStrategy<u8> {
+        BoxedStrategy::from_fn(|rng| match rng.0.gen_range(0u32..8) {
+            // Over-weight the values wire fuzzing cares about: zeros
+            // (short length prefixes), 0xff runs (huge lengths), and
+            // ASCII printables (frames that look like text).
+            0 => 0,
+            1 => 0xff,
+            2 => rng.0.gen_range(0x20u32..0x7f) as u8,
+            _ => rng.0.gen_range(0u32..256) as u8,
+        })
+    }
+}
+
 impl Arbitrary for i64 {
     fn arbitrary() -> BoxedStrategy<i64> {
         BoxedStrategy::from_fn(|rng| {

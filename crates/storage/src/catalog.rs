@@ -2,6 +2,7 @@
 
 use crate::{Relation, Schema, StorageError, Tuple};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// An in-memory database: a catalog of named user relations.
 ///
@@ -12,9 +13,17 @@ use std::collections::BTreeMap;
 /// [`epoch`](Database::epoch). Consumers that cache anything derived from
 /// catalog contents — plans, indexes, estimates — key their entries on the
 /// epoch and treat a changed epoch as invalidation.
+///
+/// Relation values are held behind `Arc`, making the catalog a
+/// copy-on-write structure: `Database::clone` is a map of refcount bumps,
+/// so a snapshot of the whole database costs O(relations), not O(tuples).
+/// Mutations go through [`Arc::make_mut`] and only deep-copy a relation
+/// when an older snapshot still holds the previous version. This is the
+/// substrate for MVCC snapshot isolation: readers keep an epoch-stamped
+/// clone while writers advance the live catalog.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
-    relations: BTreeMap<String, Relation>,
+    relations: BTreeMap<String, Arc<Relation>>,
     /// Monotone mutation counter; see [`Database::epoch`].
     epoch: u64,
 }
@@ -51,7 +60,7 @@ impl Database {
             return Err(StorageError::RelationExists(name));
         }
         self.relations
-            .insert(name.clone(), Relation::new(name, schema));
+            .insert(name.clone(), Arc::new(Relation::new(name, schema)));
         self.epoch += 1;
         Ok(())
     }
@@ -62,7 +71,7 @@ impl Database {
         if self.relations.contains_key(&name) {
             return Err(StorageError::RelationExists(name));
         }
-        self.relations.insert(name, relation);
+        self.relations.insert(name, Arc::new(relation));
         self.epoch += 1;
         Ok(())
     }
@@ -70,29 +79,34 @@ impl Database {
     /// Register or overwrite a relation under its own name (used for
     /// refreshing materialized views like the `dom` relation).
     pub fn replace_relation(&mut self, relation: Relation) {
-        self.relations.insert(relation.name().to_string(), relation);
+        self.relations
+            .insert(relation.name().to_string(), Arc::new(relation));
         self.epoch += 1;
     }
 
-    /// Insert a tuple into a named relation.
+    /// Insert a tuple into a named relation. Copy-on-write: if a snapshot
+    /// still references the relation's current version, it is deep-copied
+    /// first and the snapshot keeps the old version untouched.
     pub fn insert(&mut self, relation: &str, t: Tuple) -> Result<bool, StorageError> {
-        let inserted = self
-            .relations
-            .get_mut(relation)
-            .ok_or_else(|| StorageError::UnknownRelation(relation.to_string()))?
-            .insert(t)?;
+        let inserted = Arc::make_mut(
+            self.relations
+                .get_mut(relation)
+                .ok_or_else(|| StorageError::UnknownRelation(relation.to_string()))?,
+        )
+        .insert(t)?;
         self.epoch += 1;
         Ok(inserted)
     }
 
     /// Remove a tuple from a named relation. Returns whether it was
-    /// present.
+    /// present. Copy-on-write like [`Database::insert`].
     pub fn remove(&mut self, relation: &str, t: &Tuple) -> Result<bool, StorageError> {
-        let removed = self
-            .relations
-            .get_mut(relation)
-            .ok_or_else(|| StorageError::UnknownRelation(relation.to_string()))?
-            .remove(t);
+        let removed = Arc::make_mut(
+            self.relations
+                .get_mut(relation)
+                .ok_or_else(|| StorageError::UnknownRelation(relation.to_string()))?,
+        )
+        .remove(t);
         self.epoch += 1;
         Ok(removed)
     }
@@ -101,6 +115,17 @@ impl Database {
     pub fn relation(&self, name: &str) -> Result<&Relation, StorageError> {
         self.relations
             .get(name)
+            .map(Arc::as_ref)
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+    }
+
+    /// Look up a relation's shared handle. The `Arc` outlives this
+    /// `Database` value, so executors can pin a build side across worker
+    /// threads without copying tuples.
+    pub fn relation_arc(&self, name: &str) -> Result<Arc<Relation>, StorageError> {
+        self.relations
+            .get(name)
+            .cloned()
             .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
     }
 
@@ -111,7 +136,7 @@ impl Database {
 
     /// Iterate over all relations in name order.
     pub fn relations(&self) -> impl Iterator<Item = &Relation> {
-        self.relations.values()
+        self.relations.values().map(Arc::as_ref)
     }
 
     /// All relation names in order.
@@ -121,7 +146,7 @@ impl Database {
 
     /// Total number of stored tuples across all relations.
     pub fn total_tuples(&self) -> usize {
-        self.relations.values().map(Relation::len).sum()
+        self.relations.values().map(|r| r.len()).sum()
     }
 
     /// The *database domain* (Domain Closure Assumption, §2.1): the unary
@@ -253,6 +278,61 @@ mod tests {
         let _ = db.domain();
         let _ = db.total_tuples();
         assert_eq!(db.epoch(), before);
+    }
+
+    #[test]
+    fn snapshot_clone_is_isolated_from_later_mutations() {
+        let mut db = Database::new();
+        db.create_relation("p", Schema::anonymous(1)).unwrap();
+        db.insert("p", tuple![1]).unwrap();
+        let snap = db.clone();
+        let snap_epoch = snap.epoch();
+        db.insert("p", tuple![2]).unwrap();
+        db.remove("p", &tuple![1]).unwrap();
+        db.create_relation("q", Schema::anonymous(1)).unwrap();
+        // The snapshot still sees exactly the state at clone time.
+        assert_eq!(snap.epoch(), snap_epoch);
+        assert_eq!(snap.relation("p").unwrap().len(), 1);
+        assert!(snap.relation("p").unwrap().contains(&tuple![1]));
+        assert!(!snap.has_relation("q"));
+        // The live catalog moved on.
+        assert!(db.relation("p").unwrap().contains(&tuple![2]));
+        assert!(!db.relation("p").unwrap().contains(&tuple![1]));
+    }
+
+    #[test]
+    fn clone_shares_relation_storage_until_mutated() {
+        let mut db = Database::new();
+        db.create_relation("p", Schema::anonymous(1)).unwrap();
+        db.create_relation("q", Schema::anonymous(1)).unwrap();
+        db.insert("p", tuple![1]).unwrap();
+        let snap = db.clone();
+        // Unmutated relations share the same allocation across clones.
+        assert!(std::ptr::eq(
+            snap.relation("p").unwrap(),
+            db.relation("p").unwrap()
+        ));
+        db.insert("p", tuple![2]).unwrap();
+        // The mutated relation diverged; the untouched one still shares.
+        assert!(!std::ptr::eq(
+            snap.relation("p").unwrap(),
+            db.relation("p").unwrap()
+        ));
+        assert!(std::ptr::eq(
+            snap.relation("q").unwrap(),
+            db.relation("q").unwrap()
+        ));
+    }
+
+    #[test]
+    fn relation_arc_outlives_database() {
+        let mut db = Database::new();
+        db.create_relation("p", Schema::anonymous(1)).unwrap();
+        db.insert("p", tuple![7]).unwrap();
+        let arc = db.relation_arc("p").unwrap();
+        drop(db);
+        assert!(arc.contains(&tuple![7]));
+        assert!(Database::new().relation_arc("ghost").is_err());
     }
 
     #[test]

@@ -37,7 +37,8 @@ pub use error::StorageError;
 pub use fsutil::fsyncs_issued;
 pub use index::HashIndex;
 pub use persist::{
-    from_text, load, load_with_retry, save, save_with_retry, to_text, PersistError, RetryPolicy,
+    from_text, load, load_with_retry, save, save_with_retry, to_text, IoDomain, PersistError,
+    RetryPolicy,
 };
 pub use relation::{unary, Relation};
 pub use schema::Schema;

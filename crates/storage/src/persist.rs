@@ -35,6 +35,20 @@ use crate::{fsutil, Database, Schema, StorageError, Tuple, Value};
 use std::fmt::Write as _;
 use std::time::Duration;
 
+/// Which kind of I/O an operation performs, for per-domain retry
+/// classification. The same [`std::io::ErrorKind`] can mean opposite
+/// things on the two sides: `WouldBlock` from a regular file means a
+/// misconfigured (non-blocking) descriptor that no retry will fix, while
+/// `WouldBlock`/`TimedOut` from a socket are the normal vocabulary of
+/// read/write timeouts and congested peers — transient by design.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoDomain {
+    /// Filesystem I/O: snapshots, WAL segments, database text files.
+    Disk,
+    /// Socket I/O: server connections, client dials.
+    Network,
+}
+
 /// Bounded retry-with-backoff for persistence I/O. Transient I/O errors
 /// are retried up to `attempts` times with exponential backoff starting
 /// at `base_delay` (doubling per retry). Decoding errors are permanent
@@ -71,29 +85,62 @@ impl RetryPolicy {
     }
 
     /// True for [`std::io::ErrorKind`]s that no amount of retrying will
-    /// fix: the file is missing, access is denied, the disk is full, the
-    /// filesystem is read-only, or the request itself is malformed.
-    /// Retrying these only delays the inevitable (and a full-disk retry
-    /// loop can actively make an incident worse).
-    fn is_permanent(kind: std::io::ErrorKind) -> bool {
+    /// fix in the given domain. Retrying these only delays the inevitable
+    /// (and a full-disk retry loop can actively make an incident worse).
+    ///
+    /// Disk: the file is missing, access is denied, the disk is full, the
+    /// filesystem is read-only, the request is malformed — and
+    /// `WouldBlock`, which a blocking regular-file descriptor never
+    /// legitimately returns (it means a misconfigured fd, and retrying
+    /// spins forever). `TimedOut` stays transient (network filesystems).
+    ///
+    /// Network: malformed requests and local address/permission problems
+    /// fail fast; `WouldBlock`/`TimedOut` are the normal timeout
+    /// vocabulary of sockets, and peer-side failures (refused, reset,
+    /// aborted, broken pipe) are retriable — the peer may come back.
+    pub fn is_permanent(domain: IoDomain, kind: std::io::ErrorKind) -> bool {
         use std::io::ErrorKind::*;
-        matches!(
-            kind,
-            NotFound
-                | PermissionDenied
-                | StorageFull
-                | ReadOnlyFilesystem
-                | Unsupported
-                | InvalidInput
-        )
+        match domain {
+            IoDomain::Disk => matches!(
+                kind,
+                NotFound
+                    | PermissionDenied
+                    | StorageFull
+                    | ReadOnlyFilesystem
+                    | Unsupported
+                    | InvalidInput
+                    | WouldBlock
+            ),
+            IoDomain::Network => matches!(
+                kind,
+                NotFound
+                    | PermissionDenied
+                    | Unsupported
+                    | InvalidInput
+                    | AddrInUse
+                    | AddrNotAvailable
+            ),
+        }
+    }
+
+    /// Run `op` under this policy for [`IoDomain::Disk`]. See
+    /// [`RetryPolicy::run_io`].
+    fn run<T>(
+        &self,
+        describe: &str,
+        op: impl FnMut() -> std::io::Result<T>,
+    ) -> Result<T, StorageError> {
+        self.run_io(IoDomain::Disk, describe, op)
     }
 
     /// Run `op` under this policy. `describe` names the operation for the
     /// error message. Transient I/O errors (interrupted syscalls, busy
-    /// resources, timeouts) are retried with backoff; *permanent* kinds —
-    /// see [`RetryPolicy::is_permanent`] — fail fast on the first attempt.
-    fn run<T>(
+    /// resources, socket timeouts) are retried with backoff; *permanent*
+    /// kinds — classified per `domain`, see [`RetryPolicy::is_permanent`]
+    /// — fail fast on the first attempt.
+    pub fn run_io<T>(
         &self,
+        domain: IoDomain,
         describe: &str,
         mut op: impl FnMut() -> std::io::Result<T>,
     ) -> Result<T, StorageError> {
@@ -110,7 +157,7 @@ impl RetryPolicy {
             }
             match op() {
                 Ok(v) => return Ok(v),
-                Err(e) if Self::is_permanent(e.kind()) => {
+                Err(e) if Self::is_permanent(domain, e.kind()) => {
                     return Err(StorageError::Io(format!(
                         "{describe} failed: {e} (permanent {:?}, not retried)",
                         e.kind()
@@ -467,7 +514,7 @@ mod tests {
     }
 
     #[test]
-    fn permanent_kinds_classified() {
+    fn permanent_kinds_classified_per_domain() {
         use std::io::ErrorKind::*;
         for kind in [
             NotFound,
@@ -476,12 +523,82 @@ mod tests {
             ReadOnlyFilesystem,
             Unsupported,
             InvalidInput,
+            WouldBlock, // a blocking file fd never returns this; don't spin
         ] {
-            assert!(RetryPolicy::is_permanent(kind), "{kind:?}");
+            assert!(RetryPolicy::is_permanent(IoDomain::Disk, kind), "{kind:?}");
         }
-        for kind in [Interrupted, TimedOut, WouldBlock, ResourceBusy, Other] {
-            assert!(!RetryPolicy::is_permanent(kind), "{kind:?}");
+        for kind in [Interrupted, TimedOut, ResourceBusy, Other] {
+            assert!(!RetryPolicy::is_permanent(IoDomain::Disk, kind), "{kind:?}");
         }
+        // Sockets: timeouts and peer failures are the retry vocabulary…
+        for kind in [
+            WouldBlock,
+            TimedOut,
+            Interrupted,
+            ConnectionRefused,
+            ConnectionReset,
+            ConnectionAborted,
+            BrokenPipe,
+        ] {
+            assert!(
+                !RetryPolicy::is_permanent(IoDomain::Network, kind),
+                "{kind:?}"
+            );
+        }
+        // …while local misconfiguration fails fast.
+        for kind in [
+            NotFound,
+            PermissionDenied,
+            Unsupported,
+            InvalidInput,
+            AddrInUse,
+            AddrNotAvailable,
+        ] {
+            assert!(
+                RetryPolicy::is_permanent(IoDomain::Network, kind),
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn network_retries_fail_fast_on_permanent_errors() {
+        let mut calls = 0;
+        let out: Result<(), _> = RetryPolicy::no_delay(5).run_io(IoDomain::Network, "dial", || {
+            calls += 1;
+            Err(std::io::Error::new(
+                std::io::ErrorKind::AddrNotAvailable,
+                "no such address",
+            ))
+        });
+        assert_eq!(calls, 1, "permanent network error must not be retried");
+        let msg = match out.unwrap_err() {
+            StorageError::Io(m) => m,
+            other => panic!("expected Io, got {other:?}"),
+        };
+        assert!(msg.contains("not retried"), "got: {msg}");
+    }
+
+    #[test]
+    fn network_timeouts_are_retried_where_disk_would_block_is_not() {
+        // The same WouldBlock kind: transient on a socket, permanent on a
+        // file — the per-domain split this policy exists for.
+        let mut calls = 0;
+        let _: Result<(), _> = RetryPolicy::no_delay(3).run_io(IoDomain::Network, "recv", || {
+            calls += 1;
+            Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "slow"))
+        });
+        assert_eq!(calls, 3, "socket WouldBlock retries");
+
+        let mut calls = 0;
+        let _: Result<(), _> = RetryPolicy::no_delay(3).run_io(IoDomain::Disk, "read", || {
+            calls += 1;
+            Err(std::io::Error::new(
+                std::io::ErrorKind::WouldBlock,
+                "odd fd",
+            ))
+        });
+        assert_eq!(calls, 1, "file WouldBlock fails fast");
     }
 
     #[test]

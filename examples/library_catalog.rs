@@ -40,7 +40,7 @@ fn build() -> Result<QueryEngine, Box<dyn std::error::Error>> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut engine = build()?;
+    let engine = build()?;
 
     // --- Views (Definition 1 allows views as ranges) -------------------
     engine.define_view("scifi_book", "book(b, \"scifi\")")?;
@@ -111,7 +111,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Persistence ----------------------------------------------------
     let path = std::env::temp_dir().join("library_catalog.gq");
-    gq_storage::save(engine.db(), &path)?;
+    gq_storage::save(&engine.db(), &path)?;
     let reloaded = QueryEngine::new(gq_storage::load(&path)?);
     let check = reloaded.query("member(x) & (exists t. loan(x,t))")?;
     println!(

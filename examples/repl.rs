@@ -32,10 +32,14 @@
 //! `.load <file>`,
 //! `.open <dir>` (crash-safe durable database: WAL + checkpoints;
 //! mutations survive crashes), `.checkpoint` (atomic snapshot, WAL
-//! restarts empty), `.wal` (durability counters), `.help`, `.quit`.
+//! restarts empty), `.wal` (durability counters),
+//! `.connect host:port` / `.disconnect` (client mode: forward every
+//! line to a running `gq-server` over the framed TCP protocol),
+//! `.help`, `.quit`.
 //! Anything else is evaluated as a calculus query.
 
 use gq_core::{EngineOptions, PreparedQuery, QueryEngine, QueryLimits, Strategy};
+use gq_server::Client;
 use gq_storage::{Database, Schema, Tuple, Value};
 use gq_workload::{university, UniversityScale};
 use std::collections::BTreeMap;
@@ -47,6 +51,9 @@ struct Repl {
     /// Streaming push-based execution (`.stream on|off`, default on).
     streaming: bool,
     prepared: BTreeMap<String, PreparedQuery>,
+    /// Client mode: when connected, every line is forwarded to a remote
+    /// `gq-server` instead of the in-process engine.
+    remote: Option<Client>,
 }
 
 fn main() {
@@ -55,11 +62,19 @@ fn main() {
         strategy: Strategy::Improved,
         streaming: true,
         prepared: BTreeMap::new(),
+        remote: None,
     };
     println!("general-queries REPL — .help for commands");
     let stdin = io::stdin();
     loop {
-        print!("gq> ");
+        print!(
+            "{}",
+            if repl.remote.is_some() {
+                "gq(remote)> "
+            } else {
+                "gq> "
+            }
+        );
         io::stdout().flush().ok();
         let mut line = String::new();
         match stdin.lock().read_line(&mut line) {
@@ -82,6 +97,50 @@ fn main() {
 
 impl Repl {
     fn dispatch(&mut self, line: &str) -> Result<(), Box<dyn std::error::Error>> {
+        if let Some(rest) = line.strip_prefix(".connect ") {
+            let addr = rest.trim();
+            let mut client = Client::connect(addr)?;
+            let hello = client.send(".ping")?;
+            if !hello.ok {
+                return Err(format!("server refused: {}", hello.body).into());
+            }
+            println!("connected to {addr} — lines now run remotely (.disconnect to return)");
+            self.remote = Some(client);
+            return Ok(());
+        }
+        if line == ".disconnect" {
+            match self.remote.take() {
+                Some(mut client) => {
+                    let _ = client.send(".close");
+                    println!("disconnected — lines now run locally");
+                }
+                None => println!("not connected"),
+            }
+            return Ok(());
+        }
+        if let Some(client) = self.remote.as_mut() {
+            // Client mode: the server speaks the same command language,
+            // so forward the line verbatim and print the reply.
+            match client.send(line) {
+                Ok(reply) if reply.ok => {
+                    if !reply.body.is_empty() {
+                        println!("{}", reply.body);
+                    }
+                }
+                Ok(reply) => match reply.retry_after_ms {
+                    Some(ms) => println!(
+                        "server error [{}] (retry in {ms}ms): {}",
+                        reply.code, reply.body
+                    ),
+                    None => println!("server error [{}]: {}", reply.code, reply.body),
+                },
+                Err(e) => {
+                    self.remote = None;
+                    return Err(format!("connection lost ({e}) — back to local mode").into());
+                }
+            }
+            return Ok(());
+        }
         if let Some(rest) = line.strip_prefix(".relation ") {
             let (name, attrs) = parse_signature(rest)?;
             // Routed through the engine so a durable store WAL-logs it.
@@ -148,7 +207,7 @@ impl Repl {
                 println!("{}({}) ≡ {}", v.name, params.join(", "), v.body);
             }
         } else if let Some(rest) = line.strip_prefix(".save ") {
-            gq_storage::save(self.engine.db(), std::path::Path::new(rest.trim()))?;
+            gq_storage::save(&self.engine.db(), std::path::Path::new(rest.trim()))?;
             println!("saved");
         } else if let Some(rest) = line.strip_prefix(".load ") {
             let db = gq_storage::load(std::path::Path::new(rest.trim()))?;
@@ -457,6 +516,8 @@ impl Repl {
                  :export-trace <file>      dump the journal as Chrome trace_event JSON\n\
                                            (load in Perfetto / chrome://tracing)\n\
                  .load-university <n>      load a generated database\n\
+                 .connect host:port        client mode: forward lines to a gq-server\n\
+                 .disconnect               leave client mode\n\
                  .quit                     exit\n\
                  anything else             evaluate as a calculus query"
             );

@@ -145,7 +145,7 @@ fn answers_at(db: &Database, query: &str, threads: usize) -> Vec<String> {
 fn durable_engine_round_trips_across_reopen() {
     let dir = fresh_dir("engine_round_trip");
     {
-        let (mut e, rec) = QueryEngine::open_durable(&dir).unwrap();
+        let (e, rec) = QueryEngine::open_durable(&dir).unwrap();
         assert!(rec.created_fresh);
         assert!(e.is_durable());
         e.create_relation("p", Schema::new(vec!["a"]).unwrap())
@@ -175,7 +175,7 @@ fn durable_engine_round_trips_across_reopen() {
 fn checkpoint_folds_wal_and_recovers_from_snapshot() {
     let dir = fresh_dir("checkpoint_fold");
     {
-        let (mut e, _) = QueryEngine::open_durable(&dir).unwrap();
+        let (e, _) = QueryEngine::open_durable(&dir).unwrap();
         e.create_relation("p", Schema::new(vec!["a"]).unwrap())
             .unwrap();
         for v in 0..50i64 {

@@ -175,7 +175,7 @@ fn durable_lifecycle_emits_wal_checkpoint_and_recovery_events() {
     let dir = std::env::temp_dir().join("gq_flight_recorder_wal");
     let _ = std::fs::remove_dir_all(&dir);
     {
-        let (mut e, _) = QueryEngine::open_durable(&dir).unwrap();
+        let (e, _) = QueryEngine::open_durable(&dir).unwrap();
         let recovery: Vec<_> = e
             .journal()
             .events()

@@ -1,0 +1,155 @@
+//! Property-fuzz for the parsers that face hostile bytes: the wire
+//! framing decoder (`gq_server::frame`) and the observability JSON
+//! parser (`gq_obs::Json::parse`). Both must be *total* — arbitrary
+//! byte soup yields a structured error with offsets, never a panic and
+//! never an attacker-sized allocation.
+
+use gq_obs::Json;
+use gq_server::frame::{self, Decoded, FrameError};
+use proptest::prelude::*;
+
+const MAX: usize = 4096;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// decode() is total over arbitrary bytes and any max.
+    #[test]
+    fn frame_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512),
+                                 max in 0usize..8192) {
+        match frame::decode(&bytes, max) {
+            Ok(Decoded::Incomplete { need }) => prop_assert!(need > 0),
+            Ok(Decoded::Frame { payload, consumed }) => {
+                prop_assert!(payload.len() <= max);
+                prop_assert_eq!(consumed, frame::HEADER_LEN + payload.len());
+                prop_assert!(consumed <= bytes.len());
+            }
+            Err(FrameError::Oversized { declared, max: m }) => {
+                prop_assert!(declared > m);
+            }
+            Err(e) => prop_assert!(false, "unexpected error from pure decode: {e}"),
+        }
+    }
+
+    /// decode_all() is total; a torn tail reports exact offsets.
+    #[test]
+    fn frame_decode_all_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        match frame::decode_all(&bytes, MAX) {
+            Ok(frames) => {
+                let total: usize = frames.iter()
+                    .map(|f| frame::HEADER_LEN + f.len())
+                    .sum();
+                prop_assert_eq!(total, bytes.len(), "frames must tile the buffer");
+            }
+            Err(FrameError::Torn { expected, got }) => {
+                prop_assert!(got < expected);
+                prop_assert!(got <= bytes.len());
+            }
+            Err(FrameError::Oversized { declared, max }) => {
+                prop_assert!(declared > max);
+            }
+            Err(e) => prop_assert!(false, "unexpected error from decode_all: {e}"),
+        }
+    }
+
+    /// encode/decode round-trip: any payload within the cap survives.
+    #[test]
+    fn frame_roundtrip(payload in prop::collection::vec(any::<u8>(), 0..256)) {
+        let bytes = frame::encode(&payload);
+        match frame::decode(&bytes, 256) {
+            Ok(Decoded::Frame { payload: out, consumed }) => {
+                prop_assert_eq!(out, payload);
+                prop_assert_eq!(consumed, bytes.len());
+            }
+            other => prop_assert!(false, "roundtrip failed: {other:?}"),
+        }
+    }
+
+    /// Concatenated frames split back into the original payloads.
+    #[test]
+    fn frame_concat_splits(payloads in prop::collection::vec(
+        prop::collection::vec(any::<u8>(), 0..64), 0..8)) {
+        let mut bytes = Vec::new();
+        for p in &payloads {
+            bytes.extend_from_slice(&frame::encode(p));
+        }
+        let frames = frame::decode_all(&bytes, 64).expect("well-formed stream");
+        prop_assert_eq!(frames, payloads);
+    }
+
+    /// Truncating a well-formed stream anywhere inside a frame is
+    /// always reported as Incomplete/Torn, never as success.
+    #[test]
+    fn truncated_streams_never_parse_as_complete(
+        payload in prop::collection::vec(any::<u8>(), 1..64),
+        cut_seed in 0usize..4096) {
+        let bytes = frame::encode(&payload);
+        let cut = cut_seed % bytes.len();
+        if cut < bytes.len() {
+            match frame::decode(&bytes[..cut], 64) {
+                Ok(Decoded::Incomplete { need }) => {
+                    // Before the header is complete the decoder can only
+                    // ask for the rest of the header; after that it knows
+                    // the exact frame size.
+                    let expected = if cut < frame::HEADER_LEN {
+                        frame::HEADER_LEN
+                    } else {
+                        bytes.len()
+                    };
+                    prop_assert_eq!(cut + need, expected);
+                }
+                Ok(Decoded::Frame { .. }) => prop_assert!(false, "truncated frame parsed"),
+                Err(e) => prop_assert!(false, "truncation must be Incomplete: {e}"),
+            }
+        }
+    }
+
+    /// Json::parse is total over arbitrary (possibly invalid) UTF-8 and
+    /// failures always carry an in-bounds offset.
+    #[test]
+    fn json_parse_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let text = String::from_utf8_lossy(&bytes);
+        match Json::parse(&text) {
+            Ok(_) => {}
+            Err(e) => {
+                prop_assert!(e.offset <= text.len(),
+                    "offset {} out of bounds for input of {} bytes", e.offset, text.len());
+                prop_assert!(!e.message.is_empty());
+            }
+        }
+    }
+
+    /// Json::parse round-trips its own pretty-printer output for
+    /// documents built from arbitrary scalars.
+    #[test]
+    fn json_roundtrips_pretty_output(n in any::<i64>(),
+                                     s in "[a-zA-Z0-9 _.-]{0,24}") {
+        let doc = Json::obj()
+            .field("n", n)
+            .field("s", s)
+            .field("nested", Json::obj().field("flag", "true"));
+        let text = doc.pretty();
+        let parsed = Json::parse(&text);
+        prop_assert!(parsed.is_ok(), "failed to reparse {}: {:?}", text, parsed.err());
+    }
+
+    /// Structured JSON-ish byte soup: balanced-ish brackets, quotes and
+    /// escapes — the corner cases a uniform byte fuzz rarely reaches.
+    #[test]
+    fn json_parse_survives_bracket_soup(parts in prop::collection::vec(
+        prop_oneof![
+            Just("{".to_string()), Just("}".to_string()),
+            Just("[".to_string()), Just("]".to_string()),
+            Just("\"".to_string()), Just("\\".to_string()),
+            Just(":".to_string()), Just(",".to_string()),
+            Just("null".to_string()), Just("1e999".to_string()),
+            Just("-0.5".to_string()), Just("\u{1F980}".to_string()),
+            Just(" ".to_string()),
+        ], 0..48)) {
+        let text: String = parts.concat();
+        match Json::parse(&text) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(e.offset <= text.len()),
+        }
+    }
+}

@@ -81,7 +81,7 @@ fn prepared_equals_fresh_across_mutations_strategies_and_threads() {
                 .collect();
             let mut rng = StdRng::seed_from_u64(0xCA05E + threads as u64);
             for _step in 0..8 {
-                mutate(e.db_mut(), &mut rng);
+                mutate(&mut e.db_mut(), &mut rng);
                 for (text, p) in QUERIES.iter().zip(&prepared) {
                     let fresh = e.query_with_options(text, strategy, options).unwrap();
                     // Twice: the first recompiles (epoch moved), the

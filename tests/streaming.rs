@@ -200,6 +200,52 @@ fn streaming_slashes_peak_intermediates() {
     }
 }
 
+/// Scoped build-side release: a union of semi-join chains peaks at its
+/// largest branch build, not the sum of all of them. The push coordinator
+/// holds each probe buffer's watermark guard only while the probe op it
+/// feeds is on the chain, and a union branch unwinding its chain segment
+/// drops the guards with it — before that, the three probe buffers below
+/// (50 + 80 + 30 tuples) were all held to query end and the watermark
+/// read 160. Releases happen on the coordinator in structural plan
+/// order, so the pinned peak is identical at every thread count.
+#[test]
+fn union_of_semijoins_peaks_at_largest_branch_build() {
+    let mut db = Database::new();
+    db.create_relation("a", Schema::new(vec!["x"]).unwrap())
+        .unwrap();
+    for v in 0..100i64 {
+        db.insert("a", tuple![v]).unwrap();
+    }
+    for (name, n) in [("b1", 50i64), ("b2", 80), ("b3", 30)] {
+        db.create_relation(name, Schema::new(vec!["x"]).unwrap())
+            .unwrap();
+        for v in 0..n {
+            db.insert(name, tuple![v]).unwrap();
+        }
+    }
+    // The selects keep the probe sides off the base-index fast path, so
+    // every branch genuinely materializes a probe-build buffer.
+    let semi = |b: &str| {
+        AlgebraExpr::relation("a").semi_join(
+            AlgebraExpr::relation(b).select(Predicate::True),
+            vec![(0, 0)],
+        )
+    };
+    let expr = semi("b1").union(semi("b2")).union(semi("b3"));
+    for threads in thread_counts() {
+        let ev = Evaluator::new(&db)
+            .with_exec_config(ExecConfig::with_threads(threads).with_morsel_size(MORSEL));
+        let out = ev.eval(&expr).unwrap();
+        assert_eq!(out.len(), 80, "a-values present in b1 ∪ b2 ∪ b3");
+        assert_eq!(
+            ev.stats().peak_intermediate_tuples,
+            80,
+            "threads={threads}: peak must be the largest branch build alone, \
+             not the 160-tuple sum of all three"
+        );
+    }
+}
+
 /// `p(x)` for 0..n, `r(x, (x*7) % n)` for 0..n — producer-counter db for
 /// the termination tests.
 fn termination_db(n: i64) -> Database {
