@@ -21,6 +21,7 @@
 
 mod boolean;
 mod cse;
+mod delta;
 mod error;
 mod estimate;
 mod eval;
@@ -44,6 +45,10 @@ mod prop3_tests;
 
 pub use boolean::BoolExpr;
 pub use cse::shared_subplans;
+pub use delta::{
+    delta_database, delta_database_lazy, delta_plan, materialize_old, minus_name, old_name,
+    patch_extent, plus_name, referenced_old_names, rename_old, DeltaPlan,
+};
 pub use error::AlgebraError;
 pub use estimate::estimate;
 pub use eval::{

@@ -37,7 +37,10 @@ pub use alpha::{alpha_canonical, alpha_hash};
 pub use atom::{Atom, CompareOp, Comparison};
 pub use formula::Formula;
 pub use governing::Governing;
-pub use parser::{parse, parse_with_max_depth, ParseError, DEFAULT_MAX_FORMULA_DEPTH};
+pub use parser::{
+    parse, parse_program, parse_with_max_depth, ParseError, Program, RecursiveDef,
+    DEFAULT_MAX_FORMULA_DEPTH,
+};
 pub use polarity::Polarity;
 pub use range::{flatten_and, is_range_for, split_producer_filter, ProducerFilter};
 pub use restricted::{check_restricted_closed, check_restricted_open, RestrictionError};

@@ -71,6 +71,83 @@ pub fn parse(input: &str) -> Result<Formula, ParseError> {
     parse_with_max_depth(input, DEFAULT_MAX_FORMULA_DEPTH)
 }
 
+/// One recursive view definition from a `with recursive` program: the
+/// view's name, its declared parameter order (the column order of the
+/// materialized extent), and its defining body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecursiveDef {
+    /// View name.
+    pub name: String,
+    /// Declared parameters, in declaration order.
+    pub params: Vec<Var>,
+    /// The defining open formula (may mention `name` itself and the other
+    /// definitions of the same program).
+    pub body: Formula,
+}
+
+/// A parsed program: zero or more `with recursive` view definitions plus
+/// the query to evaluate against them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Recursive view definitions, in source order.
+    pub defs: Vec<RecursiveDef>,
+    /// The query formula following `in`.
+    pub query: Formula,
+}
+
+/// Parse a program with an optional `with recursive` prefix:
+///
+/// ```text
+/// program := "with" "recursive" def ("," def)* "in" formula
+///          | formula
+/// def     := ident "(" ident ("," ident)* ")" "as" "(" formula ")"
+/// ```
+///
+/// `with`, `recursive`, `as` and `in` are contextual keywords — they only
+/// carry meaning in these positions, so relations named `with` etc. keep
+/// working in plain formulas.
+///
+/// ```
+/// use gq_calculus::parse_program;
+///
+/// let p = parse_program(
+///     "with recursive tc(x,y) as (edge(x,y) | (exists z. edge(x,z) & tc(z,y))) in tc(a,b)",
+/// )
+/// .unwrap();
+/// assert_eq!(p.defs.len(), 1);
+/// assert_eq!(p.defs[0].name, "tc");
+/// ```
+pub fn parse_program(input: &str) -> Result<Program, ParseError> {
+    let tokens = lex(input)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+        max_depth: DEFAULT_MAX_FORMULA_DEPTH,
+    };
+    // Two-token lookahead: `with` starts a program only when followed by
+    // `recursive`, so a relation named `with` keeps parsing as a formula.
+    let starts_program = matches!(p.peek(), Some(Tok::Ident(s)) if s == "with")
+        && matches!(p.tokens.get(p.pos + 1), Some((_, Tok::Ident(s))) if s == "recursive");
+    let defs = if starts_program {
+        p.pos += 1; // `with`
+        p.expect_keyword("recursive")?;
+        let mut defs = vec![p.recursive_def()?];
+        while p.eat(&Tok::Comma) {
+            defs.push(p.recursive_def()?);
+        }
+        p.expect_keyword("in")?;
+        defs
+    } else {
+        Vec::new()
+    };
+    let query = p.formula()?;
+    if p.pos < p.tokens.len() {
+        return Err(p.err_here("unexpected trailing input"));
+    }
+    Ok(Program { defs, query })
+}
+
 /// Parse with an explicit nesting-depth cap (see
 /// [`DEFAULT_MAX_FORMULA_DEPTH`]). Inputs nested deeper than `max_depth`
 /// levels are rejected with a [`ParseError`] at the point where the cap
@@ -318,6 +395,56 @@ impl Parser {
         } else {
             Err(self.err_here(&format!("expected {what}")))
         }
+    }
+
+    /// Consume `word` if the next token is exactly that identifier
+    /// (contextual keyword — only meaningful where the program grammar
+    /// asks for it).
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == word) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, word: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(word) {
+            Ok(())
+        } else {
+            Err(self.err_here(&format!("expected `{word}`")))
+        }
+    }
+
+    /// One `name(params) as (body)` recursive-view definition.
+    fn recursive_def(&mut self) -> Result<RecursiveDef, ParseError> {
+        let name = match self.next() {
+            Some(Tok::Ident(n)) => n,
+            _ => return Err(self.err_here("expected a view name")),
+        };
+        self.expect(Tok::LParen, "`(` opening the parameter list")?;
+        let mut params = Vec::new();
+        loop {
+            match self.next() {
+                Some(Tok::Ident(p)) => {
+                    if p.starts_with("_v") {
+                        return Err(self.err_here("identifier prefix `_v` is reserved"));
+                    }
+                    params.push(Var::new(p));
+                }
+                _ => return Err(self.err_here("expected a parameter name")),
+            }
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(Tok::RParen, "`)` closing the parameter list")?;
+        self.expect_keyword("as")?;
+        self.expect(Tok::LParen, "`(` opening the view body")?;
+        let body = self.formula()?;
+        self.expect(Tok::RParen, "`)` closing the view body")?;
+        Ok(RecursiveDef { name, params, body })
     }
 
     fn err_here(&self, message: &str) -> ParseError {
@@ -645,6 +772,52 @@ mod tests {
         text.push_str("p(x)");
         text.push_str(&")".repeat(10_000));
         assert!(parse(&text).is_err());
+    }
+
+    #[test]
+    fn with_recursive_program_parses() {
+        let p = parse_program(
+            "with recursive tc(x,y) as (edge(x,y) | (exists z. edge(x,z) & tc(z,y))) in tc(a,b)",
+        )
+        .unwrap();
+        assert_eq!(p.defs.len(), 1);
+        assert_eq!(p.defs[0].name, "tc");
+        assert_eq!(p.defs[0].params.len(), 2);
+        assert_eq!(p.query.to_string(), "tc(a,b)");
+        // body mentions the view itself
+        assert!(p.defs[0].body.relation_names().contains(&"tc"));
+    }
+
+    #[test]
+    fn with_recursive_multiple_defs() {
+        let p = parse_program(
+            "with recursive a(x) as (base(x) | b(x)), b(x) as (other(x) | a(x)) in a(v)",
+        )
+        .unwrap();
+        assert_eq!(p.defs.len(), 2);
+        assert_eq!(p.defs[1].name, "b");
+    }
+
+    #[test]
+    fn plain_formula_is_a_program_without_defs() {
+        let p = parse_program("p(x) & q(x)").unwrap();
+        assert!(p.defs.is_empty());
+        assert_eq!(p.query.to_string(), "p(x) ∧ q(x)");
+    }
+
+    #[test]
+    fn with_as_relation_name_still_parses() {
+        // `with` only acts as a keyword when followed by `recursive`.
+        let p = parse_program("with(x) & q(x)").unwrap();
+        assert!(p.defs.is_empty());
+    }
+
+    #[test]
+    fn with_recursive_errors_have_positions() {
+        assert!(parse_program("with recursive tc(x,y) as edge(x,y) in tc(a,b)").is_err());
+        assert!(parse_program("with recursive tc as (edge(x,y)) in tc(a,b)").is_err());
+        assert!(parse_program("with recursive tc(x,y) as (edge(x,y)) tc(a,b)").is_err());
+        assert!(parse_program("with recursive tc(_v0) as (edge(_v0)) in tc(a)").is_err());
     }
 
     #[test]

@@ -54,6 +54,10 @@ pub enum Site {
     TornFrame,
     /// A slow-loris writer: artificial delay between frame bytes.
     SlowLoris,
+    /// Applying an incremental-view-maintenance delta to a materialized
+    /// extent. A fired fault forces the maintainer down its full-recompute
+    /// fallback path.
+    DeltaApply,
 }
 
 impl Site {
@@ -68,6 +72,7 @@ impl Site {
             Site::ConnDrop => 0x4344_5250,
             Site::TornFrame => 0x5446_524d,
             Site::SlowLoris => 0x534c_4f57,
+            Site::DeltaApply => 0x4456_4150,
         }
     }
 }
@@ -118,6 +123,9 @@ pub struct ChaosConfig {
     pub slow_loris_prob: f64,
     /// Per-chunk delay for a fired slow-loris connection.
     pub slow_loris_delay: Duration,
+    /// Probability an IVM delta-apply fails (forcing the maintainer's
+    /// recompute fallback).
+    pub delta_apply_error: f64,
     /// Simulate a process crash at the k-th durability operation (0-based
     /// WAL write/fsync/checkpoint/rename site, in execution order). After
     /// the crash fires, *every* subsequent durability operation fails —
@@ -143,6 +151,7 @@ impl ChaosConfig {
             torn_frame: 0.0,
             slow_loris_prob: 0.0,
             slow_loris_delay: Duration::ZERO,
+            delta_apply_error: 0.0,
             crash_at_durability_op: None,
         }
     }
@@ -197,6 +206,12 @@ impl ChaosConfig {
         self
     }
 
+    /// Set the IVM delta-apply failure probability.
+    pub fn delta_apply_error(mut self, p: f64) -> Self {
+        self.delta_apply_error = p;
+        self
+    }
+
     /// Crash at the k-th durability operation (see
     /// [`ChaosConfig::crash_at_durability_op`]).
     pub fn crash_at_durability_op(mut self, k: u64) -> Self {
@@ -211,6 +226,7 @@ struct State {
     scan_count: AtomicU64,
     index_count: AtomicU64,
     persist_count: AtomicU64,
+    delta_apply_count: AtomicU64,
     durability_count: AtomicU64,
     // Latched once the crash point fires: the simulated process is dead
     // and every later durability operation fails until reinstall.
@@ -253,6 +269,7 @@ pub fn install(config: ChaosConfig) -> ChaosGuard {
             scan_count: AtomicU64::new(0),
             index_count: AtomicU64::new(0),
             persist_count: AtomicU64::new(0),
+            delta_apply_count: AtomicU64::new(0),
             durability_count: AtomicU64::new(0),
             crashed: AtomicBool::new(false),
         }));
@@ -324,6 +341,23 @@ pub fn fail_persist_io(op: &str) -> Option<String> {
         st.config.persist_io_error,
     )
     .then(|| format!("chaos: injected I/O error during {op} (occurrence {k})"))
+}
+
+/// Should the next IVM delta-apply for `view` fail? Returns the injected
+/// error message. Consumes one occurrence of the [`Site::DeltaApply`]
+/// counter. The maintenance path treats a fired fault as an incremental
+/// failure and falls back to full recompute, so consistency must hold
+/// under any seed.
+pub fn fail_delta_apply(view: &str) -> Option<String> {
+    let st = current()?;
+    let k = st.delta_apply_count.fetch_add(1, Ordering::Relaxed);
+    fires(
+        st.config.seed,
+        Site::DeltaApply,
+        k,
+        st.config.delta_apply_error,
+    )
+    .then(|| format!("chaos: injected delta-apply failure on view `{view}` (occurrence {k})"))
 }
 
 /// Consult the crash plan at a durability operation (WAL append/fsync,

@@ -4,7 +4,7 @@
 use crate::plan_cache::{CompiledKind, CompiledPlan, PlanCache, PlanCacheStats, PlanKey};
 use crate::EngineError;
 use gq_algebra::{Evaluator, ExecConfig, ExecStats, PipelineEvent, PipelineHook, PlanProfiler};
-use gq_calculus::{alpha_canonical, parse, Formula, Var};
+use gq_calculus::{alpha_canonical, parse, parse_program, Formula, RecursiveDef, Var};
 use gq_governor::{
     CancelToken, Governor, GovernorError, QueryLimits, Resource, SharedBudget, TripHook,
 };
@@ -15,8 +15,8 @@ use gq_obs::{
 use gq_pipeline::{LoopProfiler, PipelineEvaluator};
 use gq_rewrite::{canonicalize_governed, canonicalize_traced_governed};
 use gq_storage::{
-    CheckpointStats, Database, DurabilityStats, DurableDatabase, RecoveryStats, Relation, Schema,
-    StorageError, Tuple,
+    CheckpointStats, Database, DurabilityStats, DurableDatabase, MutationDelta, RecoveryStats,
+    Relation, Schema, StorageError, Tuple,
 };
 use gq_translate::{ClassicalTranslator, ImprovedTranslator, PlanShape};
 use std::rc::Rc;
@@ -206,6 +206,9 @@ impl std::ops::DerefMut for DbMut<'_> {
 
 impl Drop for DbMut<'_> {
     fn drop(&mut self) {
+        // Raw catalog access captured no deltas — re-derive every
+        // materialized extent from scratch before republishing.
+        self.engine.recompute_matviews(&mut self.guard);
         self.engine.publish(&self.guard);
     }
 }
@@ -230,6 +233,10 @@ pub struct QueryEngine {
     snapshot: RwLock<Arc<Database>>,
     index_cache: gq_algebra::IndexCache,
     views: crate::views::ViewRegistry,
+    /// Materialized views (incl. recursive groups) in maintenance order;
+    /// extents live in the catalog under the view's own name and are
+    /// patched at every mutation commit, before the snapshot republish.
+    matviews: crate::ivm::MaterializedViews,
     metrics: Registry,
     exec: ExecConfig,
     /// Per-query resource budgets (unlimited by default); snapshotted
@@ -339,6 +346,7 @@ impl QueryEngine {
             snapshot,
             index_cache: gq_algebra::IndexCache::new(),
             views: crate::views::ViewRegistry::new(),
+            matviews: crate::ivm::MaterializedViews::default(),
             metrics: Registry::new(),
             exec: ExecConfig::default(),
             limits: QueryLimits::UNLIMITED,
@@ -436,14 +444,397 @@ impl QueryEngine {
 
     /// Define a view: a named open query usable as an atom in later
     /// queries (Definition 1 allows views as ranges). The body's free
-    /// variables, in name order, are the view's columns.
+    /// variables, in name order, are the view's columns. Every relation
+    /// the body references must already exist (as a catalog relation or
+    /// an earlier view) — unresolvable names fail here with
+    /// [`ViewError::UnknownRelation`](crate::views::ViewError), not at
+    /// first query.
     pub fn define_view(&self, name: impl Into<String>, text: &str) -> Result<(), EngineError> {
-        self.views.define(name, text)
+        let name = name.into();
+        if self.matviews.contains(&name) {
+            return Err(EngineError::View(crate::views::ViewError::Duplicate(name)));
+        }
+        self.views.define(name, text, &self.snapshot())
     }
 
     /// The registered views.
     pub fn views(&self) -> &crate::views::ViewRegistry {
         &self.views
+    }
+
+    /// Define a *materialized* view: like [`QueryEngine::define_view`],
+    /// but the answer set is evaluated once and stored as a catalog
+    /// relation under the view's name, then kept in sync incrementally —
+    /// every committed mutation routes its delta through the view's
+    /// delta plan and patches the stored extent before the snapshot
+    /// republish. Queries use it like any relation; its columns are the
+    /// body's free variables in name order.
+    ///
+    /// On a durable engine the extent is *volatile* (recomputed state,
+    /// not WAL-logged): after recovery, re-define the view.
+    pub fn define_materialized_view(
+        &self,
+        name: impl Into<String>,
+        text: &str,
+    ) -> Result<(), EngineError> {
+        self.define_materialized_view_with(name, text, crate::ivm::MaintenanceStrategy::Incremental)
+    }
+
+    /// [`QueryEngine::define_materialized_view`] with an explicit
+    /// maintenance strategy ([`MaintenanceStrategy::Recompute`]
+    /// re-evaluates the full plan after every relevant mutation — the
+    /// baseline the E-IVM bench compares against).
+    pub fn define_materialized_view_with(
+        &self,
+        name: impl Into<String>,
+        text: &str,
+        strategy: crate::ivm::MaintenanceStrategy,
+    ) -> Result<(), EngineError> {
+        let name = name.into();
+        let formula = parse(text)?;
+        let mut store = self.store_lock();
+        self.check_view_name_free(&name, store.db())?;
+        let (_, expanded) = self.views.expand_with_generation(&formula)?;
+        for referenced in expanded.relation_names() {
+            if !store.db().has_relation(referenced) {
+                return Err(EngineError::View(
+                    crate::views::ViewError::UnknownRelation {
+                        view: name,
+                        relation: referenced.to_string(),
+                    },
+                ));
+            }
+        }
+        if expanded.is_closed() {
+            return Err(EngineError::View(crate::views::ViewError::ClosedBody(name)));
+        }
+        let governor = self.start_governor(0);
+        let (vars, plan, mut extent) = {
+            let db = store.db();
+            let canonical = self.normalize(&expanded, &governor, None)?;
+            let tr = ImprovedTranslator::new(db).with_governor(governor.clone());
+            let (vars, plan) = tr.translate_open(&canonical)?;
+            let ev = Evaluator::new(db).with_governor(governor.clone());
+            let extent = ev.eval(&plan)?;
+            (vars, plan, extent)
+        };
+        extent.set_name(&name);
+        let tuples = extent.len();
+        store.db_mut().add_relation(extent)?;
+        let reads = crate::ivm::plan_reads(&plan);
+        self.journal.record(|| {
+            EventData::new(EventKind::IvmDefine, 0, "ivm").detail(format!(
+                "view `{name}` ({} columns, {} reads) materialized: {tuples} tuples, {}",
+                vars.len(),
+                reads.len(),
+                strategy.name(),
+            ))
+        });
+        self.matviews
+            .extend(vec![crate::ivm::Unit::Single(crate::ivm::MatView {
+                name,
+                vars,
+                plan,
+                reads,
+                strategy,
+            })]);
+        self.publish(&store);
+        Ok(())
+    }
+
+    /// Define a batch of (mutually) recursive materialized views — the
+    /// engine surface behind `with recursive`. The definitions are
+    /// stratified by SCC decomposition of their dependency graph;
+    /// recursion through negation, complement-join, a division's
+    /// divisor, an outer-join's padded side, or an aggregate is rejected
+    /// with [`ViewError::UnstratifiedRecursion`](crate::views::ViewError).
+    /// Each SCC's extents are computed by a semi-naive fixpoint whose
+    /// rounds are governor-checked against the engine's
+    /// [`QueryLimits`], so a runaway recursion trips cleanly with
+    /// [`EngineError::ResourceExhausted`] instead of hanging — and
+    /// nothing is registered.
+    pub fn define_recursive(&self, defs: &[RecursiveDef]) -> Result<(), EngineError> {
+        self.define_recursive_with(defs, crate::ivm::MaintenanceStrategy::Incremental)
+    }
+
+    /// [`QueryEngine::define_recursive`] with an explicit maintenance
+    /// strategy for the defined views.
+    pub fn define_recursive_with(
+        &self,
+        defs: &[RecursiveDef],
+        strategy: crate::ivm::MaintenanceStrategy,
+    ) -> Result<(), EngineError> {
+        use crate::views::ViewError;
+        if defs.is_empty() {
+            return Ok(());
+        }
+        let mut store = self.store_lock();
+        // Validate names and parameter lists before touching anything.
+        let mut seen = std::collections::BTreeSet::new();
+        for def in defs {
+            if !seen.insert(def.name.as_str()) {
+                return Err(EngineError::View(ViewError::Duplicate(def.name.clone())));
+            }
+            self.check_view_name_free(&def.name, store.db())?;
+            let mut params = std::collections::BTreeSet::new();
+            for p in &def.params {
+                if !params.insert(p.clone()) {
+                    return Err(EngineError::View(ViewError::BadRecursiveDef {
+                        view: def.name.clone(),
+                        detail: format!("duplicate parameter `{p}`"),
+                    }));
+                }
+            }
+            let free = def.body.free_vars();
+            if free != params {
+                return Err(EngineError::View(ViewError::BadRecursiveDef {
+                    view: def.name.clone(),
+                    detail: format!(
+                        "parameters ({}) must be exactly the body's free variables ({})",
+                        def.params
+                            .iter()
+                            .map(|v| v.name())
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                        free.iter().map(|v| v.name()).collect::<Vec<_>>().join(", "),
+                    ),
+                }));
+            }
+        }
+        // Compile against a working catalog that already has every
+        // member's (empty) extent registered, so bodies can reference
+        // each other; nothing is written back unless the whole batch
+        // succeeds.
+        let mut working = store.db().clone();
+        for def in defs {
+            working.add_relation(Relation::named_intermediate(&def.name, def.params.len()))?;
+        }
+        let governor = self.start_governor(0);
+        let mut compiled = Vec::with_capacity(defs.len());
+        for def in defs {
+            let (_, expanded) = self.views.expand_with_generation(&def.body)?;
+            for referenced in expanded.relation_names() {
+                if !working.has_relation(referenced) {
+                    return Err(EngineError::View(ViewError::UnknownRelation {
+                        view: def.name.clone(),
+                        relation: referenced.to_string(),
+                    }));
+                }
+            }
+            let canonical = self.normalize(&expanded, &governor, None)?;
+            let tr = ImprovedTranslator::new(&working).with_governor(governor.clone());
+            let (vars, plan) = tr.translate_open(&canonical)?;
+            // The extent's columns are the *declared* parameters, in
+            // order; reorder the plan's output (free vars in name order)
+            // to match.
+            let positions: Vec<usize> = def
+                .params
+                .iter()
+                .map(|p| {
+                    vars.iter().position(|v| v == p).ok_or_else(|| {
+                        EngineError::View(ViewError::BadRecursiveDef {
+                            view: def.name.clone(),
+                            detail: format!("parameter `{p}` unbound in the translated plan"),
+                        })
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            let identity =
+                positions.iter().enumerate().all(|(i, &p)| i == p) && positions.len() == vars.len();
+            let plan = if identity {
+                plan
+            } else {
+                plan.project(positions)
+            };
+            let reads = crate::ivm::plan_reads(&plan);
+            compiled.push(crate::ivm::MatView {
+                name: def.name.clone(),
+                vars: def.params.clone(),
+                plan,
+                reads,
+                strategy,
+            });
+        }
+        let units = crate::ivm::stratify(compiled).map_err(EngineError::View)?;
+        // Evaluate extents unit by unit in dependency order.
+        let mut on_round = self.ivm_round_hook();
+        for unit in &units {
+            match unit {
+                crate::ivm::Unit::Single(v) => {
+                    let mut fresh = {
+                        let ev = Evaluator::new(&working).with_governor(governor.clone());
+                        ev.eval(&v.plan)?
+                    };
+                    fresh.set_name(&v.name);
+                    working.replace_relation(fresh);
+                }
+                crate::ivm::Unit::Recursive(group) => {
+                    let mut rounds = 0u64;
+                    crate::ivm::fixpoint(
+                        &mut working,
+                        group,
+                        &governor,
+                        &mut on_round,
+                        &mut rounds,
+                    )?;
+                }
+            }
+        }
+        for unit in &units {
+            for m in unit.members() {
+                let tuples = working.relation(&m.name).map(Relation::len).unwrap_or(0);
+                let recursive = matches!(unit, crate::ivm::Unit::Recursive(_));
+                self.journal.record(|| {
+                    EventData::new(EventKind::IvmDefine, 0, "ivm").detail(format!(
+                        "view `{}` ({}) materialized: {tuples} tuples, {}",
+                        m.name,
+                        if recursive { "recursive" } else { "stratified" },
+                        m.strategy.name(),
+                    ))
+                });
+            }
+        }
+        *store.db_mut() = working;
+        self.matviews.extend(units);
+        self.publish(&store);
+        Ok(())
+    }
+
+    /// Parse and run a `with recursive` program: `with recursive
+    /// name(params) as (body), … in query`. The definitions are
+    /// registered as recursive materialized views (see
+    /// [`QueryEngine::define_recursive`] — already-defined names error
+    /// with `Duplicate`), then the trailing query runs normally. A plain
+    /// formula without a `with recursive` prelude is just evaluated.
+    pub fn query_program(&self, text: &str) -> Result<QueryResult, EngineError> {
+        self.query_program_with(text, Strategy::Improved, EngineOptions::default())
+    }
+
+    /// [`QueryEngine::query_program`] with an explicit strategy and
+    /// options for the trailing query (definitions always fixpoint under
+    /// the engine's limits).
+    pub fn query_program_with(
+        &self,
+        text: &str,
+        strategy: Strategy,
+        options: EngineOptions,
+    ) -> Result<QueryResult, EngineError> {
+        let program = parse_program(text)?;
+        if !program.defs.is_empty() {
+            self.define_recursive(&program.defs)?;
+        }
+        self.eval_formula_with_options(&program.query, strategy, options)
+    }
+
+    /// `(name, columns, strategy name, recursive?)` for every registered
+    /// materialized view, in maintenance order.
+    pub fn materialized_views(&self) -> Vec<(String, Vec<String>, &'static str, bool)> {
+        self.matviews
+            .describe()
+            .into_iter()
+            .map(|(name, cols, strategy, recursive)| (name, cols, strategy.name(), recursive))
+            .collect()
+    }
+
+    /// A name for a new view must collide with neither a catalog
+    /// relation nor a registered (plain or materialized) view.
+    fn check_view_name_free(&self, name: &str, db: &Database) -> Result<(), EngineError> {
+        if db.has_relation(name) || self.views.contains(name) || self.matviews.contains(name) {
+            return Err(EngineError::View(crate::views::ViewError::Duplicate(
+                name.to_string(),
+            )));
+        }
+        Ok(())
+    }
+
+    /// The `ivm.round` journal hook handed to fixpoint drivers.
+    fn ivm_round_hook(&self) -> impl FnMut(&str, u64, usize) + '_ {
+        move |group: &str, round: u64, fresh: usize| {
+            self.journal.record(|| {
+                EventData::new(EventKind::IvmRound, 0, "ivm")
+                    .detail(format!("group `{group}` round {round}: {fresh} new tuples"))
+            });
+        }
+    }
+
+    /// Route one committed mutation's deltas through every affected
+    /// materialized extent, in place, before the snapshot republish.
+    /// Works on a clone of the catalog and writes back only on success,
+    /// so readers always see base mutation + maintenance atomically.
+    /// Incremental failures (including injected chaos faults) fall back
+    /// to full recompute inside [`crate::ivm::maintain`]; an error here
+    /// means even the recompute failed — the base mutation stays
+    /// committed and the error surfaces to the caller.
+    fn maintain_after_mutation(
+        &self,
+        store: &mut Store,
+        deltas: Vec<MutationDelta>,
+    ) -> Result<(), EngineError> {
+        let units = self.matviews.units();
+        if units.is_empty() {
+            return Ok(());
+        }
+        let old = self.snapshot();
+        let mut working = store.db().clone();
+        let governor = self.start_governor(0);
+        let mut on_round = self.ivm_round_hook();
+        let outcomes =
+            crate::ivm::maintain(&mut working, &old, deltas, &units, &governor, &mut on_round)?;
+        if outcomes.is_empty() {
+            return Ok(());
+        }
+        *store.db_mut() = working;
+        for o in &outcomes {
+            self.journal.record(|| {
+                EventData::new(EventKind::IvmApply, 0, "ivm").detail(match &o.fallback {
+                    Some(err) => format!(
+                        "view `{}`: +{} −{} via {} (incremental failed: {err})",
+                        o.view, o.added, o.removed, o.mode
+                    ),
+                    None if o.rounds > 0 => format!(
+                        "view `{}`: +{} −{} via {} ({} rounds)",
+                        o.view, o.added, o.removed, o.mode, o.rounds
+                    ),
+                    None => format!(
+                        "view `{}`: +{} −{} via {}",
+                        o.view, o.added, o.removed, o.mode
+                    ),
+                })
+            });
+        }
+        Ok(())
+    }
+
+    /// Re-derive every materialized extent from scratch — used when the
+    /// catalog was mutated through [`QueryEngine::db_mut`], where no
+    /// deltas were captured. Errors are journaled, not propagated (this
+    /// runs from a guard drop).
+    fn recompute_matviews(&self, store: &mut Store) {
+        let units = self.matviews.units();
+        if units.is_empty() {
+            return;
+        }
+        let mut working = store.db().clone();
+        let mut on_round = self.ivm_round_hook();
+        match crate::ivm::recompute_all(&mut working, &units, &mut on_round) {
+            Ok(outcomes) => {
+                *store.db_mut() = working;
+                for o in &outcomes {
+                    self.journal.record(|| {
+                        EventData::new(EventKind::IvmApply, 0, "ivm").detail(format!(
+                            "view `{}`: +{} −{} via {} (db_mut)",
+                            o.view, o.added, o.removed, o.mode
+                        ))
+                    });
+                }
+            }
+            Err(e) => {
+                self.journal.record(|| {
+                    EventData::new(EventKind::IvmApply, 0, "ivm")
+                        .detail(format!("recompute after db_mut failed: {e}"))
+                });
+            }
+        }
     }
 
     /// Lock the writer side, recovering from poisoning (the store is
@@ -566,6 +957,13 @@ impl QueryEngine {
     /// their pinned snapshots.
     pub fn insert(&self, relation: &str, t: Tuple) -> Result<bool, EngineError> {
         let mut store = self.store_lock();
+        // Capture the tuple for view maintenance only when views exist —
+        // the clone is off the common path.
+        let captured = if self.matviews.is_empty() {
+            None
+        } else {
+            Some(t.clone())
+        };
         let out = match &mut *store {
             Store::Plain(db) => db.insert(relation, t).map_err(EngineError::from),
             Store::Durable(d) => {
@@ -577,7 +975,15 @@ impl QueryEngine {
             }
         };
         if out.is_ok() {
+            let maintenance = match captured {
+                Some(t) if matches!(out, Ok(true)) => self.maintain_after_mutation(
+                    &mut store,
+                    vec![MutationDelta::inserted_tuple(relation, t)],
+                ),
+                _ => Ok(()),
+            };
             self.publish(&store);
+            maintenance?;
         }
         out
     }
@@ -599,7 +1005,16 @@ impl QueryEngine {
             }
         };
         if out.is_ok() {
+            let maintenance = if matches!(out, Ok(true)) && !self.matviews.is_empty() {
+                self.maintain_after_mutation(
+                    &mut store,
+                    vec![MutationDelta::removed_tuple(relation, t.clone())],
+                )
+            } else {
+                Ok(())
+            };
             self.publish(&store);
+            maintenance?;
         }
         out
     }
@@ -690,6 +1105,15 @@ impl QueryEngine {
             // Domain tuples are unary by construction; insert cannot fail.
             let _ = named.insert(t.clone());
         }
+        // Capture the refresh as a delta for view maintenance: the exact
+        // symmetric difference against the previous `dom` extent.
+        let delta = if self.matviews.is_empty() {
+            None
+        } else {
+            let empty = gq_storage::Relation::new("dom", gq_storage::Schema::anonymous(1));
+            let old = store.db().relation("dom").unwrap_or(&empty);
+            Some(MutationDelta::replaced("dom", old, named.tuples()))
+        };
         let out = match &mut *store {
             Store::Plain(db) => {
                 db.replace_relation(named);
@@ -704,7 +1128,12 @@ impl QueryEngine {
             }
         };
         if out.is_ok() {
+            let maintenance = match delta {
+                Some(d) => self.maintain_after_mutation(&mut store, vec![d]),
+                None => Ok(()),
+            };
             self.publish(&store);
+            maintenance?;
         }
         out
     }
@@ -1024,7 +1453,7 @@ impl QueryEngine {
         governor: &Governor,
         query_id: u64,
     ) -> Result<QueryResult, EngineError> {
-        let formula = self.preprocess(snap, formula, options, tb)?;
+        let (_views_generation, formula) = self.preprocess(snap, formula, options, tb)?;
         // Depth guard on the fully view-expanded formula — expansion can
         // deepen a query well past what the user typed.
         governor.check_depth("parse", Resource::FormulaDepth, formula.depth() as u64)?;
@@ -1033,15 +1462,19 @@ impl QueryEngine {
     }
 
     /// Phase 0: view expansion and (optional) Domain Closure completion.
+    /// Returns the view-registry generation the expansion ran against
+    /// (observed under the registry's lock, so generation and expansion
+    /// are consistent — the prepared path keys its plan-cache entries on
+    /// exactly this value) alongside the expanded formula.
     fn preprocess(
         &self,
         snap: &Snapshot,
         formula: &Formula,
         options: EngineOptions,
         tb: Option<&TraceBuilder>,
-    ) -> Result<Formula, EngineError> {
+    ) -> Result<(u64, Formula), EngineError> {
         let _span = span(tb, "view-expand");
-        let expanded = self.views.expand(formula)?;
+        let (views_generation, expanded) = self.views.expand_with_generation(formula)?;
         if options.domain_closure {
             if !snap.has_relation("dom") {
                 return Err(EngineError::Storage(
@@ -1050,9 +1483,12 @@ impl QueryEngine {
                     ),
                 ));
             }
-            Ok(gq_rewrite::restrict_with_domain(&expanded, "dom"))
+            Ok((
+                views_generation,
+                gq_rewrite::restrict_with_domain(&expanded, "dom"),
+            ))
         } else {
-            Ok(expanded)
+            Ok((views_generation, expanded))
         }
     }
 
@@ -1316,12 +1752,22 @@ impl QueryEngine {
             options,
         };
         let snap = self.snapshot();
-        let expanded = self.preprocess(&snap, &prepared.formula, options, None)?;
+        let (views_generation, expanded) =
+            self.preprocess(&snap, &prepared.formula, options, None)?;
         // Preparation is not a query: journal events it produces
         // (plan-cache miss, governor trips) carry query id 0.
         let governor = self.start_governor(0);
         governor.check_depth("parse", Resource::FormulaDepth, expanded.depth() as u64)?;
-        self.lookup_or_compile(&snap, &expanded, strategy, options, &governor, None, 0)?;
+        self.lookup_or_compile(
+            &snap,
+            &expanded,
+            views_generation,
+            strategy,
+            options,
+            &governor,
+            None,
+            0,
+        )?;
         Ok(prepared)
     }
 
@@ -1369,11 +1815,13 @@ impl QueryEngine {
         let slow_tb = (self.slow_log.is_armed() && tb.is_none()).then(TraceBuilder::new);
         let trace = slow_tb.as_ref().or(tb);
         let result = (|| {
-            let expanded = self.preprocess(&snap, &prepared.formula, prepared.options, trace)?;
+            let (views_generation, expanded) =
+                self.preprocess(&snap, &prepared.formula, prepared.options, trace)?;
             governor.check_depth("parse", Resource::FormulaDepth, expanded.depth() as u64)?;
             let compiled = self.lookup_or_compile(
                 &snap,
                 &expanded,
+                views_generation,
                 prepared.strategy,
                 prepared.options,
                 &governor,
@@ -1401,28 +1849,50 @@ impl QueryEngine {
     }
 
     /// The plan-cache gate: answer from the cache when every compilation
-    /// input matches (α-canonical formula, strategy, options, catalog
-    /// epoch, view generation), compile-and-insert otherwise. The insert
-    /// happens after a *successful* compile and before evaluation, so an
-    /// evaluation error never poisons the cached plan — and a failed
-    /// compile caches nothing.
+    /// input matches (α-canonical formula, strategy, options, the version
+    /// stamps of the relations the formula reads, view generation),
+    /// compile-and-insert otherwise. The insert happens after a
+    /// *successful* compile and before evaluation, so an evaluation error
+    /// never poisons the cached plan — and a failed compile caches
+    /// nothing.
+    ///
+    /// Keying on per-relation versions instead of the global catalog
+    /// epoch means a mutation only invalidates the plans that read the
+    /// mutated relation; plans over untouched relations keep hitting.
+    /// `views_generation` must be the generation returned by
+    /// [`QueryEngine::preprocess`] — observed under the registry lock
+    /// *during* expansion, never re-read here, so a racing view
+    /// definition can't let a plan compiled against new views be cached
+    /// under the old generation.
     #[allow(clippy::too_many_arguments)]
     fn lookup_or_compile(
         &self,
         snap: &Snapshot,
         expanded: &Formula,
+        views_generation: u64,
         strategy: Strategy,
         options: EngineOptions,
         governor: &Governor,
         tb: Option<&TraceBuilder>,
         query_id: u64,
     ) -> Result<Arc<CompiledPlan>, EngineError> {
+        // Sorted, deduplicated (relation, version) stamps for every
+        // relation the expanded formula scans — including `dom` when
+        // domain closure spliced it in, and materialized-view extents
+        // (their versions bump when maintenance patches them).
+        let reads: Vec<(String, u64)> = expanded
+            .relation_names()
+            .into_iter()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .map(|n| (n.to_string(), snap.relation_version(n)))
+            .collect();
         let key = PlanKey {
             canonical: alpha_canonical(expanded),
             strategy,
             options,
-            epoch: snap.epoch(),
-            views_generation: self.views.generation(),
+            reads,
+            views_generation,
         };
         if let Some(hit) = self.plan_cache.get(&key) {
             self.metrics.incr("plan_cache.hit", 1);
@@ -1940,6 +2410,31 @@ mod prepared_tests {
         }
         let s = e.plan_cache_stats();
         assert_eq!((s.misses, s.hits), (1, 3), "every execute was a hit");
+    }
+
+    #[test]
+    fn unrelated_mutation_keeps_cached_plans_hot() {
+        let e = engine();
+        // The plan reads p and q only — r is not in its read set.
+        let prepared = e.prepare("p(x) & !q(x)").unwrap();
+        e.execute(&prepared).unwrap();
+        let s = e.plan_cache_stats();
+        assert_eq!((s.misses, s.hits), (1, 1));
+        // Mutating r must NOT invalidate the plan (the old global-epoch
+        // key evicted on any mutation anywhere — this pins the fix).
+        e.insert("r", tuple![100, 200]).unwrap();
+        e.execute(&prepared).unwrap();
+        let s = e.plan_cache_stats();
+        assert_eq!(
+            (s.misses, s.hits),
+            (1, 2),
+            "an insert into an unread relation evicted the plan"
+        );
+        // Mutating a relation the plan DOES read recompiles exactly once.
+        e.insert("q", tuple![7]).unwrap();
+        e.execute(&prepared).unwrap();
+        let s = e.plan_cache_stats();
+        assert_eq!((s.misses, s.hits), (2, 2));
     }
 
     #[test]

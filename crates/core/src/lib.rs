@@ -50,6 +50,7 @@ mod constraints;
 mod engine;
 mod error;
 mod explain;
+mod ivm;
 mod plan_cache;
 mod views;
 
@@ -59,7 +60,9 @@ pub use engine::{
 };
 pub use error::EngineError;
 pub use gq_algebra::ExecConfig;
+pub use gq_calculus::{parse_program, Program, RecursiveDef};
 pub use gq_governor::{CancelToken, GovernorError, QueryLimits, Resource, SharedBudget};
 pub use gq_obs::{Event, EventKind, Journal, MetricsSnapshot, SlowLog, SlowLogEntry, WindowStats};
+pub use ivm::MaintenanceStrategy;
 pub use plan_cache::{PlanCacheStats, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use views::{View, ViewError, ViewRegistry};

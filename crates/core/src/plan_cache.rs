@@ -13,10 +13,16 @@
 //!   equality, so hash collisions can never alias two distinct queries;
 //! * the [`Strategy`] and every [`EngineOptions`] bit — each combination
 //!   compiles to a different plan;
-//! * the database **catalog epoch** ([`gq_storage::Database::epoch`]) and
-//!   the view registry's generation — every mutation bumps the epoch, so
-//!   entries compiled against a stale catalog can never be returned
-//!   (lookup misses) and are purged on the next insert.
+//! * the **per-relation version stamps** of every relation the expanded
+//!   formula reads ([`gq_storage::Database::relation_version`]) and the
+//!   view registry's generation. A plan is invalidated only by mutations
+//!   to relations it actually reads: an insert into `q` leaves a cached
+//!   plan over `p` hot. (An earlier revision keyed on the *global*
+//!   catalog epoch, which every mutation bumps — so any insert anywhere
+//!   evicted every plan, defeating the cache for mixed workloads.)
+//!   Entries whose recorded versions conflict with a newly inserted key
+//!   can never hit again (versions are monotone) and are purged on
+//!   insert.
 //!
 //! The cache is a bounded LRU guarded by a `Mutex`; hits, misses and
 //! evictions are tracked internally (always, for the REPL's `.cache`
@@ -42,8 +48,11 @@ pub struct PlanKey {
     pub strategy: Strategy,
     /// Option bits the plan was compiled under.
     pub options: EngineOptions,
-    /// Catalog epoch at compile time.
-    pub epoch: u64,
+    /// Version stamp of every relation the expanded formula reads, in
+    /// sorted name order (deduplicated). Unknown relations stamp as 0.
+    /// Mutations to relations *not* listed here leave the key — and so
+    /// the cached plan — valid.
+    pub reads: Vec<(String, u64)>,
     /// View-registry generation at compile time.
     pub views_generation: u64,
 }
@@ -210,24 +219,44 @@ impl PlanCache {
         }
     }
 
-    /// Insert a freshly compiled plan. Purges entries from older catalog
-    /// epochs / view generations first (they can never hit again), then
-    /// evicts least-recently-used entries down to capacity. Returns the
-    /// number of entries removed (for the eviction metric).
+    /// Insert a freshly compiled plan. Purges entries whose recorded
+    /// relation versions or view generation conflict with the new key
+    /// first (versions are monotone, so a conflicting entry can never
+    /// hit again), then evicts least-recently-used entries down to
+    /// capacity. Returns the number of entries removed (for the eviction
+    /// metric).
     pub fn insert(&self, key: PlanKey, plan: Arc<CompiledPlan>) -> u64 {
         let bytes = plan.approx_bytes();
         let mut inner = self.lock();
         inner.seq += 1;
         let seq = inner.seq;
         let mut removed = 0u64;
-        // Stale purge: any entry keyed to a different epoch or view
-        // generation was compiled against a catalog that no longer exists.
-        let stale: Vec<PlanKey> = inner
-            .map
-            .keys()
-            .filter(|k| k.epoch != key.epoch || k.views_generation != key.views_generation)
-            .cloned()
-            .collect();
+        // Stale purge: an entry conflicts when it records a different
+        // version for a relation the new key also reads, or a different
+        // view generation. Entries over disjoint relations are untouched
+        // — that is the whole point of per-relation keying.
+        let conflicts = |k: &PlanKey| {
+            if k.views_generation != key.views_generation {
+                return true;
+            }
+            // Both lists are sorted by name; a merge walk finds clashes.
+            let (mut i, mut j) = (0, 0);
+            while i < k.reads.len() && j < key.reads.len() {
+                match k.reads[i].0.cmp(&key.reads[j].0) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        if k.reads[i].1 != key.reads[j].1 {
+                            return true;
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            false
+        };
+        let stale: Vec<PlanKey> = inner.map.keys().filter(|k| conflicts(k)).cloned().collect();
         for k in stale {
             if let Some(e) = inner.map.remove(&k) {
                 inner.bytes -= e.bytes;
@@ -300,14 +329,18 @@ impl PlanCache {
 mod tests {
     use super::*;
 
-    fn key(canonical: &str, epoch: u64) -> PlanKey {
+    fn key_reads(canonical: &str, reads: &[(&str, u64)]) -> PlanKey {
         PlanKey {
             canonical: canonical.to_string(),
             strategy: Strategy::Improved,
             options: EngineOptions::default(),
-            epoch,
+            reads: reads.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
             views_generation: 0,
         }
+    }
+
+    fn key(canonical: &str, version: u64) -> PlanKey {
+        key_reads(canonical, &[("p", version)])
     }
 
     fn plan() -> Arc<CompiledPlan> {
@@ -333,15 +366,32 @@ mod tests {
     }
 
     #[test]
-    fn epoch_mismatch_never_hits_and_purges_on_insert() {
+    fn version_mismatch_never_hits_and_purges_on_insert() {
         let c = PlanCache::with_capacity(4);
         c.insert(key("q1", 0), plan());
-        // Same query, newer epoch: miss.
+        // Same query, newer version of `p`: miss.
         assert!(c.get(&key("q1", 1)).is_none());
-        // Inserting at the new epoch purges the stale entry.
+        // Inserting a key that reads `p` at the new version purges the
+        // stale entry.
         c.insert(key("q2", 1), plan());
         assert_eq!(c.len(), 1);
         assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn disjoint_relations_do_not_purge_each_other() {
+        let c = PlanCache::with_capacity(4);
+        c.insert(key_reads("over_p", &[("p", 3)]), plan());
+        // A plan over `q` compiled after a q-mutation: `p`'s entry reads
+        // a disjoint relation set and must survive the insert.
+        c.insert(key_reads("over_q", &[("q", 9)]), plan());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 0);
+        assert!(c.get(&key_reads("over_p", &[("p", 3)])).is_some());
+        // But a shared relation at a conflicting version purges.
+        c.insert(key_reads("joined", &[("p", 5), ("q", 9)]), plan());
+        assert!(c.get(&key_reads("over_p", &[("p", 3)])).is_none());
+        assert!(c.get(&key_reads("over_q", &[("q", 9)])).is_some());
     }
 
     #[test]

@@ -11,8 +11,8 @@
 
 use crate::EngineError;
 use gq_calculus::{check_restricted_open, parse, Formula, NameGen, Term, Var};
+use gq_storage::Database;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
 /// A registry of named views.
@@ -20,12 +20,25 @@ use std::sync::RwLock;
 /// Internally synchronized: definitions take a write lock, expansion and
 /// lookups a read lock, so one registry can serve concurrent sessions
 /// (e.g. `gq-server` connections sharing an `Arc<QueryEngine>`).
+///
+/// The generation counter lives *inside* the same lock as the view map:
+/// a reader observing generation `g` is guaranteed to see exactly the
+/// map state that produced `g`. (An earlier revision kept the counter in
+/// a separate atomic, which let a racing `define` publish a new map
+/// before the counter moved — a prepared query could then cache a plan
+/// compiled against the new views under the old generation.)
 #[derive(Debug, Default)]
 pub struct ViewRegistry {
-    views: RwLock<BTreeMap<String, View>>,
+    inner: RwLock<Inner>,
+}
+
+/// Lock payload: the view map and the definition counter, moved together.
+#[derive(Debug, Default)]
+struct Inner {
+    views: BTreeMap<String, View>,
     /// Monotone counter bumped by every definition — part of the plan
     /// cache key, so cached plans never survive a view redefinition.
-    generation: AtomicU64,
+    generation: u64,
 }
 
 /// One view: an open formula plus its answer variables (in name order —
@@ -61,6 +74,33 @@ pub enum ViewError {
     Duplicate(String),
     /// A view body must be an open (answer-producing) formula.
     ClosedBody(String),
+    /// A view body referenced a name that is neither a catalog relation
+    /// nor a previously defined view. Caught eagerly at definition time,
+    /// not at first use.
+    UnknownRelation {
+        /// The view being defined.
+        view: String,
+        /// The unresolvable name its body references.
+        relation: String,
+    },
+    /// A recursive definition recurses through a non-monotone position
+    /// (negation, complement-join, a division's divisor, an outer-join's
+    /// padded side, or an aggregate) — the group cannot be stratified
+    /// and the semi-naive fixpoint would be unsound for it.
+    UnstratifiedRecursion {
+        /// The view whose plan breaks monotonicity.
+        view: String,
+        /// The group member read at a non-monotone position.
+        relation: String,
+    },
+    /// A `with recursive` definition is malformed (duplicate or reserved
+    /// names, parameter/body mismatch, …).
+    BadRecursiveDef {
+        /// The definition at fault.
+        view: String,
+        /// What is wrong with it.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ViewError {
@@ -82,6 +122,23 @@ impl std::fmt::Display for ViewError {
                     "view `{v}` must be an open formula (it has no free variables)"
                 )
             }
+            ViewError::UnknownRelation { view, relation } => {
+                write!(
+                    f,
+                    "view `{view}` references `{relation}`, which is neither a relation nor a view"
+                )
+            }
+            ViewError::UnstratifiedRecursion { view, relation } => {
+                write!(
+                    f,
+                    "recursive view `{view}` reads member `{relation}` at a non-monotone \
+                     position (negation, complement-join, divisor, outer-join padding, or \
+                     aggregate) — the group cannot be stratified"
+                )
+            }
+            ViewError::BadRecursiveDef { view, detail } => {
+                write!(f, "recursive definition `{view}`: {detail}")
+            }
         }
     }
 }
@@ -97,18 +154,29 @@ impl ViewRegistry {
         ViewRegistry::default()
     }
 
-    /// Read-lock the map, recovering from poisoning (a panicking session
-    /// must not wedge every other session's view expansion).
-    fn read(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<String, View>> {
-        self.views.read().unwrap_or_else(|e| e.into_inner())
+    /// Read-lock the registry, recovering from poisoning (a panicking
+    /// session must not wedge every other session's view expansion).
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Inner> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Define a view from query text. The body must be an open, restricted
     /// formula; its free variables (name order) become the view's columns.
-    pub fn define(&self, name: impl Into<String>, text: &str) -> Result<(), EngineError> {
+    /// Every relation the body references must already exist — as a
+    /// `catalog` relation or a previously defined view — so a typo'd or
+    /// forward reference fails *here* with
+    /// [`ViewError::UnknownRelation`], not at first query. (Eager
+    /// validation also makes definition cycles structurally impossible:
+    /// a view can only reference views defined before it.)
+    pub fn define(
+        &self,
+        name: impl Into<String>,
+        text: &str,
+        catalog: &Database,
+    ) -> Result<(), EngineError> {
         let name = name.into();
-        let mut views = self.views.write().unwrap_or_else(|e| e.into_inner());
-        if views.contains_key(&name) {
+        let mut inner = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        if inner.views.contains_key(&name) {
             return Err(EngineError::View(ViewError::Duplicate(name)));
         }
         let body = parse(text)?;
@@ -116,40 +184,69 @@ impl ViewRegistry {
         if params.is_empty() {
             return Err(EngineError::View(ViewError::ClosedBody(name)));
         }
+        for referenced in body.relation_names() {
+            if !catalog.has_relation(referenced) && !inner.views.contains_key(referenced) {
+                return Err(EngineError::View(ViewError::UnknownRelation {
+                    view: name,
+                    relation: referenced.to_string(),
+                }));
+            }
+        }
         // The body itself must be restricted (views are ranges).
         check_restricted_open(&body).map_err(gq_translate::TranslateError::from)?;
-        views.insert(name.clone(), View { name, params, body });
-        // Bumped under the write lock so generation and contents move
-        // together; Relaxed is enough since readers only compare values.
-        self.generation.fetch_add(1, Ordering::Relaxed);
+        inner
+            .views
+            .insert(name.clone(), View { name, params, body });
+        // Bumped under the same write lock that updated the map, so no
+        // reader can ever pair a new map with an old generation.
+        inner.generation += 1;
         Ok(())
     }
 
     /// Definition-counter: changes whenever the registry's contents do.
     pub fn generation(&self) -> u64 {
-        self.generation.load(Ordering::Relaxed)
+        self.read().generation
+    }
+
+    /// Generation and view count, read atomically under one lock — the
+    /// pair is always consistent: each definition adds exactly one view
+    /// and bumps the generation by one, so `generation == len` holds for
+    /// every observer.
+    pub fn snapshot_stats(&self) -> (u64, usize) {
+        let inner = self.read();
+        (inner.generation, inner.views.len())
     }
 
     /// Registered views in name order (snapshot copy).
     pub fn views(&self) -> Vec<View> {
-        self.read().values().cloned().collect()
+        self.read().views.values().cloned().collect()
     }
 
     /// Is `name` a view?
     pub fn contains(&self, name: &str) -> bool {
-        self.read().contains_key(name)
+        self.read().views.contains_key(name)
     }
 
     /// Expand every view atom in `f`, recursively. The whole expansion
     /// runs against one read-locked state of the registry, so a racing
     /// `define` cannot produce a half-old, half-new expansion.
     pub fn expand(&self, f: &Formula) -> Result<Formula, ViewError> {
-        let views = self.read();
-        if views.is_empty() {
-            return Ok(f.clone());
+        self.expand_with_generation(f).map(|(_, f)| f)
+    }
+
+    /// [`ViewRegistry::expand`] plus the generation the expansion ran
+    /// against, observed under the *same* read lock. Plan-cache keying
+    /// must use this generation — reading it separately would let a
+    /// racing `define` slip between expansion and keying, caching a plan
+    /// compiled against the new views under the old generation.
+    pub fn expand_with_generation(&self, f: &Formula) -> Result<(u64, Formula), ViewError> {
+        let inner = self.read();
+        if inner.views.is_empty() {
+            return Ok((inner.generation, f.clone()));
         }
         let mut gen = NameGen::new();
-        Self::expand_depth(&views, f, 0, &mut gen)
+        let expanded = Self::expand_depth(&inner.views, f, 0, &mut gen)?;
+        Ok((inner.generation, expanded))
     }
 
     fn expand_depth(
@@ -334,16 +431,76 @@ mod tests {
     }
 
     #[test]
-    fn cyclic_views_detected() {
+    fn unknown_relation_rejected_at_define_time() {
         let e = engine();
-        // mutual recursion: a uses b (not yet defined → treated as base
-        // relation), then b uses a → expansion cycles.
-        e.define_view("a", "student(x) & b(x)").unwrap();
-        e.define_view("b", "student(x) & a(x)").unwrap();
+        // forward reference: `b` is neither a relation nor a view yet, so
+        // the definition fails eagerly instead of at first query. (This
+        // also makes definition cycles structurally impossible — the old
+        // mutual-recursion trick `a` → `b` → `a` dies here.)
         assert!(matches!(
-            e.query("a(x)"),
-            Err(EngineError::View(super::ViewError::Cycle { .. }))
+            e.define_view("a", "student(x) & b(x)"),
+            Err(EngineError::View(super::ViewError::UnknownRelation { view, relation }))
+                if view == "a" && relation == "b"
         ));
+        // self-reference fails the same way: the name is not defined yet.
+        assert!(matches!(
+            e.define_view("r", "student(x) & r(x)"),
+            Err(EngineError::View(super::ViewError::UnknownRelation { .. }))
+        ));
+        // the failed attempts left nothing behind
+        assert_eq!(e.views().snapshot_stats(), (0, 0));
+        // a typo'd relation is caught with the offending name
+        assert!(matches!(
+            e.define_view("v", "studnet(x)"),
+            Err(EngineError::View(super::ViewError::UnknownRelation { relation, .. }))
+                if relation == "studnet"
+        ));
+    }
+
+    #[test]
+    fn generation_and_contents_move_together_under_racing_defines() {
+        use std::sync::Arc;
+        // A definer thread adds views one by one while reader threads
+        // repeatedly observe (generation, len) atomically. Each define
+        // adds exactly one view and bumps the generation by one, so every
+        // observation must satisfy generation == len — the torn-read bug
+        // (generation in a separate atomic) made this fail under race.
+        let e = Arc::new(engine());
+        let definer = {
+            let e = Arc::clone(&e);
+            std::thread::spawn(move || {
+                for i in 0..64 {
+                    e.define_view(format!("v{i}"), "student(x)").unwrap();
+                }
+            })
+        };
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let e = Arc::clone(&e);
+                std::thread::spawn(move || {
+                    let mut last = 0u64;
+                    while last < 64 {
+                        let (generation, len) = e.views().snapshot_stats();
+                        assert_eq!(
+                            generation, len as u64,
+                            "torn read: generation {generation} with {len} views"
+                        );
+                        // expansion under the same lock agrees with the pair
+                        let (g2, _) = e
+                            .views()
+                            .expand_with_generation(&gq_calculus::parse("student(x)").unwrap())
+                            .unwrap();
+                        assert!(g2 >= generation);
+                        last = generation;
+                    }
+                })
+            })
+            .collect();
+        definer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(e.views().snapshot_stats(), (64, 64));
     }
 
     #[test]

@@ -91,6 +91,16 @@ pub enum EventKind {
     /// The admission controller shed a connection (detail: which gate
     /// tripped + retry-after hint).
     AdmissionShed,
+    /// A materialized (possibly recursive) view was defined and its
+    /// initial extent computed (detail: view name + extent size).
+    IvmDefine,
+    /// Incremental maintenance patched a materialized extent at a
+    /// mutation commit (detail: view name + applied delta sizes, or the
+    /// recompute fallback reason).
+    IvmApply,
+    /// One semi-naive fixpoint round completed (detail: view group +
+    /// round number + new tuples discovered).
+    IvmRound,
 }
 
 impl EventKind {
@@ -119,6 +129,9 @@ impl EventKind {
             EventKind::SessionClose => "session_close",
             EventKind::AdmissionAdmit => "admission_admit",
             EventKind::AdmissionShed => "admission_shed",
+            EventKind::IvmDefine => "ivm.define",
+            EventKind::IvmApply => "ivm.apply",
+            EventKind::IvmRound => "ivm.round",
         }
     }
 }

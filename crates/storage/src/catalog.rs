@@ -26,6 +26,10 @@ pub struct Database {
     relations: BTreeMap<String, Arc<Relation>>,
     /// Monotone mutation counter; see [`Database::epoch`].
     epoch: u64,
+    /// Per-relation version stamps: the epoch of each relation's last
+    /// mutation. Lets caches invalidate on exactly the relations a plan
+    /// reads instead of on every catalog mutation.
+    versions: BTreeMap<String, u64>,
 }
 
 impl Database {
@@ -49,6 +53,16 @@ impl Database {
         self.epoch = epoch;
     }
 
+    /// The version stamp of one relation: the catalog epoch of its last
+    /// mutation (0 for relations the catalog does not know). Two equal
+    /// stamps for the same name guarantee that relation's extent has not
+    /// changed in between, even if unrelated relations have — the
+    /// fine-grained counterpart of [`Database::epoch`] for read-set-keyed
+    /// caches.
+    pub fn relation_version(&self, name: &str) -> u64 {
+        self.versions.get(name).copied().unwrap_or(0)
+    }
+
     /// Register an empty relation with the given schema.
     pub fn create_relation(
         &mut self,
@@ -60,28 +74,45 @@ impl Database {
             return Err(StorageError::RelationExists(name));
         }
         self.relations
-            .insert(name.clone(), Arc::new(Relation::new(name, schema)));
+            .insert(name.clone(), Arc::new(Relation::new(name.clone(), schema)));
         self.epoch += 1;
+        self.versions.insert(name, self.epoch);
         Ok(())
     }
 
     /// Register a pre-built relation under its own name.
     pub fn add_relation(&mut self, relation: Relation) -> Result<(), StorageError> {
+        self.add_relation_arc(Arc::new(relation))
+    }
+
+    /// Register a pre-built shared relation under its own name without
+    /// copying tuples — the catalog takes a refcount on the given handle.
+    /// This is how delta databases register `name@old` / `name@+` extents
+    /// in O(1) per relation.
+    pub fn add_relation_arc(&mut self, relation: Arc<Relation>) -> Result<(), StorageError> {
         let name = relation.name().to_string();
         if self.relations.contains_key(&name) {
             return Err(StorageError::RelationExists(name));
         }
-        self.relations.insert(name, Arc::new(relation));
+        self.relations.insert(name.clone(), relation);
         self.epoch += 1;
+        self.versions.insert(name, self.epoch);
         Ok(())
     }
 
     /// Register or overwrite a relation under its own name (used for
     /// refreshing materialized views like the `dom` relation).
     pub fn replace_relation(&mut self, relation: Relation) {
-        self.relations
-            .insert(relation.name().to_string(), Arc::new(relation));
+        self.replace_relation_arc(Arc::new(relation));
+    }
+
+    /// [`Database::replace_relation`] without copying tuples: the catalog
+    /// takes a refcount on the given handle.
+    pub fn replace_relation_arc(&mut self, relation: Arc<Relation>) {
+        let name = relation.name().to_string();
+        self.relations.insert(name.clone(), relation);
         self.epoch += 1;
+        self.versions.insert(name, self.epoch);
     }
 
     /// Insert a tuple into a named relation. Copy-on-write: if a snapshot
@@ -95,6 +126,7 @@ impl Database {
         )
         .insert(t)?;
         self.epoch += 1;
+        self.versions.insert(relation.to_string(), self.epoch);
         Ok(inserted)
     }
 
@@ -108,6 +140,7 @@ impl Database {
         )
         .remove(t);
         self.epoch += 1;
+        self.versions.insert(relation.to_string(), self.epoch);
         Ok(removed)
     }
 
@@ -333,6 +366,36 @@ mod tests {
         drop(db);
         assert!(arc.contains(&tuple![7]));
         assert!(Database::new().relation_arc("ghost").is_err());
+    }
+
+    #[test]
+    fn relation_versions_track_only_their_relation() {
+        let mut db = Database::new();
+        db.create_relation("p", Schema::anonymous(1)).unwrap();
+        db.create_relation("q", Schema::anonymous(1)).unwrap();
+        let p0 = db.relation_version("p");
+        let q0 = db.relation_version("q");
+        assert!(p0 > 0 && q0 > p0);
+        // Mutating q leaves p's stamp alone.
+        db.insert("q", tuple![1]).unwrap();
+        assert_eq!(db.relation_version("p"), p0);
+        assert!(db.relation_version("q") > q0);
+        // Mutating p bumps p's stamp to the new epoch.
+        db.insert("p", tuple![2]).unwrap();
+        assert_eq!(db.relation_version("p"), db.epoch());
+        // Unknown relations read as version 0.
+        assert_eq!(db.relation_version("ghost"), 0);
+    }
+
+    #[test]
+    fn add_relation_arc_shares_storage() {
+        let mut r = Relation::new("p", Schema::anonymous(1));
+        r.insert(tuple![1]).unwrap();
+        let arc = Arc::new(r);
+        let mut db = Database::new();
+        db.add_relation_arc(Arc::clone(&arc)).unwrap();
+        assert!(std::ptr::eq(db.relation("p").unwrap(), arc.as_ref()));
+        assert!(db.add_relation_arc(arc).is_err());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 mod catalog;
 mod crc;
+mod delta;
 mod durable;
 mod error;
 mod fsutil;
@@ -32,6 +33,7 @@ pub mod wal;
 
 pub use catalog::Database;
 pub use crc::crc32;
+pub use delta::MutationDelta;
 pub use durable::{CheckpointStats, DurabilityStats, DurableDatabase, RecoveryStats};
 pub use error::StorageError;
 pub use fsutil::fsyncs_issued;

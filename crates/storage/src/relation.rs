@@ -48,6 +48,19 @@ impl Relation {
         }
     }
 
+    /// Create an empty *named* intermediate relation: markers permitted
+    /// like [`Relation::intermediate`], but addressable through a catalog
+    /// (delta databases register `r@old` / `r@+` / `r@-` extents this way).
+    pub fn named_intermediate(name: impl Into<String>, arity: usize) -> Self {
+        Relation {
+            name: name.into(),
+            schema: Schema::anonymous(arity),
+            rows: Vec::new(),
+            seen: HashSet::new(),
+            allow_markers: true,
+        }
+    }
+
     /// Create a user relation and bulk-load tuples, failing on the first
     /// invalid tuple.
     pub fn with_tuples(
@@ -60,6 +73,12 @@ impl Relation {
             r.insert(t)?;
         }
         Ok(r)
+    }
+
+    /// Rename the relation (delta databases re-register a pre-mutation
+    /// extent under its synthetic `r@old` name).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
     }
 
     /// Relation name (empty for intermediates).

@@ -36,7 +36,9 @@
 //! `.connect host:port` / `.disconnect` (client mode: forward every
 //! line to a running `gq-server` over the framed TCP protocol),
 //! `.help`, `.quit`.
-//! Anything else is evaluated as a calculus query.
+//! Anything else is evaluated as a calculus query; a
+//! `with recursive name(params) as (body), … in query` program defines
+//! recursive materialized views and runs the trailing query.
 
 use gq_core::{EngineOptions, PreparedQuery, QueryEngine, QueryLimits, Strategy};
 use gq_server::Client;
@@ -524,9 +526,16 @@ impl Repl {
         } else if line.starts_with('.') {
             return Err(format!("unknown command `{line}` (.help)").into());
         } else {
-            let result = self
-                .engine
-                .query_with_options(line, self.strategy, self.options())?;
+            // A `with recursive` prelude routes through the program
+            // surface, which registers the definitions as recursive
+            // materialized views before running the trailing query.
+            let result = if line.starts_with("with recursive") {
+                self.engine
+                    .query_program_with(line, self.strategy, self.options())?
+            } else {
+                self.engine
+                    .query_with_options(line, self.strategy, self.options())?
+            };
             if result.vars.is_empty() {
                 println!("{}", result.is_true());
             } else {

@@ -1,0 +1,541 @@
+//! IVM suite: materialized views, incremental-vs-recompute equivalence,
+//! `with recursive` semi-naive fixpoint, stratification rejection,
+//! governor-bounded recursion, and (behind `--features chaos`)
+//! delta-apply fault injection.
+//!
+//! `GQ_TEST_THREADS` (CI sweeps 1/2/8) narrows the thread matrix to one
+//! count; unset, each test sweeps all three. Chaos tests additionally
+//! read `GQ_CHAOS_SEED`.
+
+use gq_core::{
+    EngineError, ExecConfig, MaintenanceStrategy, QueryEngine, QueryLimits, Resource, ViewError,
+};
+use gq_storage::{tuple, Database, Schema, Tuple};
+
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("GQ_TEST_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+    {
+        Some(n) => vec![n],
+        None => vec![1, 2, 8],
+    }
+}
+
+/// Unary `p`, unary `q`, binary `r` — empty; tests grow them.
+fn base_db() -> Database {
+    let mut db = Database::new();
+    db.create_relation("p", Schema::new(vec!["a"]).unwrap())
+        .unwrap();
+    db.create_relation("q", Schema::new(vec!["a"]).unwrap())
+        .unwrap();
+    db.create_relation("r", Schema::new(vec!["a", "b"]).unwrap())
+        .unwrap();
+    db
+}
+
+fn engine_with(threads: usize) -> QueryEngine {
+    QueryEngine::new(base_db()).with_exec_config(ExecConfig::with_threads(threads))
+}
+
+/// Sorted answer tuples of a query — the bit-identical comparison key.
+fn answers(e: &QueryEngine, q: &str) -> Vec<Tuple> {
+    let mut out = e.query(q).unwrap().answers.tuples().to_vec();
+    out.sort();
+    out
+}
+
+/// splitmix64 — deterministic mutation sequences without a rand crate.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> i64 {
+        (self.next() % n) as i64
+    }
+}
+
+#[test]
+fn materialized_view_tracks_inserts_and_removes() {
+    let e = engine_with(2);
+    for v in 0..20 {
+        e.insert("p", tuple![v]).unwrap();
+        if v % 2 == 0 {
+            e.insert("q", tuple![v]).unwrap();
+        }
+    }
+    e.define_materialized_view("oddp", "p(x) & !q(x)").unwrap();
+    assert_eq!(answers(&e, "oddp(x)"), answers(&e, "p(x) & !q(x)"));
+
+    // Inserts and removes on both sides of the complement-join.
+    e.insert("p", tuple![100]).unwrap();
+    e.insert("q", tuple![1]).unwrap(); // knocks 1 out of the view
+    e.remove("q", &tuple![2]).unwrap(); // brings 2 into the view
+    e.remove("p", &tuple![3]).unwrap();
+    assert_eq!(answers(&e, "oddp(x)"), answers(&e, "p(x) & !q(x)"));
+    assert!(answers(&e, "oddp(x)").contains(&tuple![2]));
+    assert!(!answers(&e, "oddp(x)").contains(&tuple![1]));
+}
+
+#[test]
+fn materialized_views_chain_downstream() {
+    let e = engine_with(2);
+    for v in 0..10 {
+        e.insert("p", tuple![v]).unwrap();
+        if v % 3 == 0 {
+            e.insert("q", tuple![v]).unwrap();
+        }
+        e.insert("r", tuple![v, v + 1]).unwrap();
+    }
+    e.define_materialized_view("live", "p(x) & !q(x)").unwrap();
+    // A view over a view's extent: upstream patches must reach it in the
+    // same maintenance pass.
+    e.define_materialized_view("liveedge", "live(x) & r(x,y)")
+        .unwrap();
+    let oracle = |e: &QueryEngine| answers(e, "p(x) & !q(x) & r(x,y)");
+    assert_eq!(answers(&e, "liveedge(x,y)"), oracle(&e));
+    e.insert("q", tuple![1]).unwrap();
+    e.remove("q", &tuple![0]).unwrap();
+    e.insert("r", tuple![0, 99]).unwrap();
+    e.insert("p", tuple![50]).unwrap();
+    e.insert("r", tuple![50, 51]).unwrap();
+    assert_eq!(answers(&e, "liveedge(x,y)"), oracle(&e));
+}
+
+#[test]
+fn duplicate_and_unknown_names_are_rejected() {
+    let e = engine_with(1);
+    e.define_materialized_view("mv", "p(x) & !q(x)").unwrap();
+    assert!(matches!(
+        e.define_materialized_view("mv", "p(x)"),
+        Err(EngineError::View(ViewError::Duplicate(_)))
+    ));
+    assert!(matches!(
+        e.define_view("mv", "p(x)"),
+        Err(EngineError::View(ViewError::Duplicate(_)))
+    ));
+    assert!(matches!(
+        e.define_materialized_view("mv2", "nosuch(x)"),
+        Err(EngineError::View(ViewError::UnknownRelation { .. }))
+    ));
+    assert_eq!(e.materialized_views().len(), 1);
+}
+
+/// The incremental-vs-recompute property: the same random mutation
+/// interleaving applied to an incrementally maintained engine, a
+/// recompute-maintained engine, and an unmaterialized oracle must leave
+/// all three with bit-identical answer sets — across thread counts and
+/// seeds, for view bodies exercising join, negation (complement-join),
+/// and disjunction delta rules.
+#[test]
+fn incremental_matches_recompute_under_random_interleavings() {
+    let bodies = [
+        ("j", "p(x) & r(x,y)"),
+        ("n", "p(x) & !q(x)"),
+        ("u", "p(x) | q(x)"),
+    ];
+    for threads in thread_counts() {
+        for seed in [7u64, 42, 1337] {
+            let inc = engine_with(threads);
+            let rec = engine_with(threads);
+            let oracle = engine_with(threads);
+            for (name, body) in bodies {
+                inc.define_materialized_view_with(name, body, MaintenanceStrategy::Incremental)
+                    .unwrap();
+                rec.define_materialized_view_with(name, body, MaintenanceStrategy::Recompute)
+                    .unwrap();
+            }
+            let mut rng = Rng(seed);
+            for step in 0..120 {
+                let v = rng.below(12);
+                let engines = [&inc, &rec, &oracle];
+                match rng.below(5) {
+                    0 => engines.iter().for_each(|e| {
+                        e.insert("p", tuple![v]).unwrap();
+                    }),
+                    1 => engines.iter().for_each(|e| {
+                        e.insert("q", tuple![v]).unwrap();
+                    }),
+                    2 => engines.iter().for_each(|e| {
+                        e.insert("r", tuple![v, (v * 5) % 12]).unwrap();
+                    }),
+                    3 => engines.iter().for_each(|e| {
+                        e.remove("p", &tuple![v]).unwrap();
+                    }),
+                    _ => engines.iter().for_each(|e| {
+                        e.remove("q", &tuple![v]).unwrap();
+                    }),
+                }
+                if step % 10 == 9 {
+                    for (name, body) in bodies {
+                        let view_q = if name == "j" {
+                            format!("{name}(x,y)")
+                        } else {
+                            format!("{name}(x)")
+                        };
+                        let want = answers(&oracle, body);
+                        let got_inc = answers(&inc, &view_q);
+                        let got_rec = answers(&rec, &view_q);
+                        assert_eq!(
+                            got_inc, want,
+                            "incremental diverged: threads={threads} seed={seed} \
+                             step={step} view={name}"
+                        );
+                        assert_eq!(
+                            got_rec, want,
+                            "recompute diverged: threads={threads} seed={seed} \
+                             step={step} view={name}"
+                        );
+                        // ExecStats invariant: both extents are plain base
+                        // scans of identical relations, so the dispatch-
+                        // independent counters agree exactly.
+                        let s1 = inc.query(&view_q).unwrap().stats;
+                        let s2 = rec.query(&view_q).unwrap().stats;
+                        assert_eq!(
+                            s1.without_dispatch_counters(),
+                            s2.without_dispatch_counters(),
+                            "extent-scan stats diverged: view={name}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Edge/path transitive closure: the `with recursive` surface builds the
+/// closure, then single edge inserts maintain it incrementally
+/// (semi-naive continuation) and edge removals force the recompute
+/// fallback — extents always match a freshly computed closure.
+#[test]
+fn transitive_closure_is_maintained_incrementally() {
+    let mut db = Database::new();
+    db.create_relation("edge", Schema::new(vec!["src", "dst"]).unwrap())
+        .unwrap();
+    let mut edges: Vec<(i64, i64)> = (0..8).map(|v| (v, v + 1)).collect();
+    for &(a, b) in &edges {
+        db.insert("edge", tuple![a, b]).unwrap();
+    }
+    let e = QueryEngine::new(db).with_exec_config(ExecConfig::with_threads(2));
+    let result = e
+        .query_program(
+            "with recursive path(x,y) as \
+             (edge(x,y) | (exists z. edge(x,z) & path(z,y))) in path(x,y)",
+        )
+        .unwrap();
+
+    let closure = |edges: &[(i64, i64)]| -> Vec<Tuple> {
+        let mut reach: std::collections::BTreeSet<(i64, i64)> = edges.iter().copied().collect();
+        loop {
+            let mut grew = false;
+            let snapshot: Vec<_> = reach.iter().copied().collect();
+            for &(a, b) in &snapshot {
+                for &(c, d) in &snapshot {
+                    if b == c && reach.insert((a, d)) {
+                        grew = true;
+                    }
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        reach.into_iter().map(|(a, b)| tuple![a, b]).collect()
+    };
+
+    let mut got = result.answers.tuples().to_vec();
+    got.sort();
+    assert_eq!(got, closure(&edges));
+
+    // Insert-only deltas ride the semi-naive continuation.
+    for (a, b) in [(3, 7), (9, 0), (8, 9)] {
+        e.insert("edge", tuple![a, b]).unwrap();
+        edges.push((a, b));
+        assert_eq!(
+            answers(&e, "path(x,y)"),
+            closure(&edges),
+            "after +({a},{b})"
+        );
+    }
+    // A removal reaches the recursive view → full fixpoint recompute.
+    e.remove("edge", &tuple![4, 5]).unwrap();
+    edges.retain(|&p| p != (4, 5));
+    assert_eq!(answers(&e, "path(x,y)"), closure(&edges), "after removal");
+
+    // The registry reports the group as recursive.
+    let described = e.materialized_views();
+    assert!(described.iter().any(|(n, cols, _, recursive)| {
+        n == "path" && cols == &["x".to_string(), "y".to_string()] && *recursive
+    }));
+    // Fixpoint rounds were journaled.
+    let events = e.journal().events();
+    assert!(events.iter().any(|ev| ev.kind.name() == "ivm.round"));
+    assert!(events.iter().any(|ev| ev.kind.name() == "ivm.apply"));
+}
+
+#[test]
+fn mutual_recursion_forms_one_group() {
+    let mut db = Database::new();
+    db.create_relation("edge", Schema::new(vec!["src", "dst"]).unwrap())
+        .unwrap();
+    for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 4)] {
+        db.insert("edge", tuple![a, b]).unwrap();
+    }
+    let e = QueryEngine::new(db);
+    // even(x,y): path of even length (incl. via odd+1), odd(x,y): odd
+    // length — classic mutual recursion, monotone.
+    e.query_program(
+        "with recursive \
+         odd(x,y) as (edge(x,y) | (exists z. edge(x,z) & even(z,y))), \
+         even(x,y) as (exists z. edge(x,z) & odd(z,y)) \
+         in odd(x,y)",
+    )
+    .unwrap();
+    let described = e.materialized_views();
+    assert!(described.iter().all(|(_, _, _, recursive)| *recursive));
+    assert_eq!(described.len(), 2);
+    // odd: pairs at odd distance along the chain 0→1→2→3→4.
+    let mut want = Vec::new();
+    for a in 0..5i64 {
+        for b in 0..5i64 {
+            if b > a && (b - a) % 2 == 1 {
+                want.push(tuple![a, b]);
+            }
+        }
+    }
+    assert_eq!(answers(&e, "odd(x,y)"), want);
+    // Maintenance reaches both members of the group.
+    e.insert("edge", tuple![4, 5]).unwrap();
+    assert!(answers(&e, "odd(x,y)").contains(&tuple![0, 5]));
+    assert!(answers(&e, "even(x,y)").contains(&tuple![1, 5]));
+}
+
+#[test]
+fn recursion_through_negation_is_rejected() {
+    let e = engine_with(1);
+    let err = e
+        .query_program("with recursive w(x) as (p(x) & !w(x)) in w(x)")
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            EngineError::View(ViewError::UnstratifiedRecursion { ref view, ref relation })
+                if view == "w" && relation == "w"
+        ),
+        "expected UnstratifiedRecursion, got {err:?}"
+    );
+    // Nothing half-registered: the name is free again and the engine is
+    // fully usable.
+    assert!(e.materialized_views().is_empty());
+    assert!(e.query("w(x)").is_err());
+    e.insert("p", tuple![1]).unwrap();
+    assert_eq!(e.query("p(x)").unwrap().len(), 1);
+}
+
+#[test]
+fn runaway_fixpoint_trips_governor_instead_of_hanging() {
+    let mut db = Database::new();
+    db.create_relation("edge", Schema::new(vec!["src", "dst"]).unwrap())
+        .unwrap();
+    for v in 0..120i64 {
+        db.insert("edge", tuple![v, v + 1]).unwrap();
+    }
+    let mut e = QueryEngine::new(db);
+    e.set_limits(QueryLimits::UNLIMITED.with_max_intermediate_tuples(500));
+    let err = e
+        .query_program(
+            "with recursive path(x,y) as \
+             (edge(x,y) | (exists z. edge(x,z) & path(z,y))) in path(x,y)",
+        )
+        .unwrap_err();
+    match err {
+        EngineError::ResourceExhausted { resource, .. } => {
+            assert_eq!(resource, Resource::IntermediateTuples)
+        }
+        other => panic!("expected ResourceExhausted, got {other:?}"),
+    }
+    // The failed definition left nothing behind; with the budget lifted
+    // the same program succeeds.
+    assert!(e.materialized_views().is_empty());
+    e.set_limits(QueryLimits::UNLIMITED);
+    let n = e
+        .query_program(
+            "with recursive path(x,y) as \
+             (edge(x,y) | (exists z. edge(x,z) & path(z,y))) in path(x,y)",
+        )
+        .unwrap()
+        .len();
+    assert_eq!(n, (121 * 120) / 2);
+}
+
+#[test]
+fn db_mut_recomputes_extents() {
+    let e = engine_with(1);
+    e.insert("p", tuple![1]).unwrap();
+    e.define_materialized_view("mv", "p(x) & !q(x)").unwrap();
+    assert_eq!(answers(&e, "mv(x)").len(), 1);
+    {
+        // Raw catalog access captures no deltas — the guard drop must
+        // re-derive the extent from scratch.
+        let mut e2 = e;
+        {
+            let mut db = e2.db_mut();
+            db.insert("p", tuple![2]).unwrap();
+            db.insert("q", tuple![1]).unwrap();
+        }
+        assert_eq!(answers(&e2, "mv(x)"), vec![tuple![2]]);
+    }
+}
+
+#[test]
+fn prepared_plans_refresh_when_extents_move() {
+    let e = engine_with(1);
+    e.insert("p", tuple![1]).unwrap();
+    e.define_materialized_view("mv", "p(x) & !q(x)").unwrap();
+    let prepared = e.prepare("mv(x)").unwrap();
+    assert_eq!(e.execute(&prepared).unwrap().len(), 1);
+    let warm = e.plan_cache_stats();
+    // Re-execute without mutations: still hot.
+    assert_eq!(e.execute(&prepared).unwrap().len(), 1);
+    assert_eq!(e.plan_cache_stats().hits, warm.hits + 1);
+    // A base insert patches the extent → its version stamp moves → the
+    // cached plan is stale and recompiles, observing the new extent.
+    e.insert("p", tuple![2]).unwrap();
+    assert_eq!(e.execute(&prepared).unwrap().len(), 2);
+    assert_eq!(e.plan_cache_stats().misses, warm.misses + 1);
+}
+
+#[test]
+fn durable_extents_are_volatile() {
+    let dir = std::env::temp_dir().join(format!(
+        "gq-ivm-durable-{}-{:x}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    {
+        let (e, _) = QueryEngine::open_durable(&dir).unwrap();
+        e.create_relation("p", Schema::new(vec!["a"]).unwrap())
+            .unwrap();
+        e.create_relation("q", Schema::new(vec!["a"]).unwrap())
+            .unwrap();
+        e.insert("p", tuple![1]).unwrap();
+        e.define_materialized_view("mv", "p(x) & !q(x)").unwrap();
+        // WAL-logged mutations drive maintenance of the volatile extent.
+        e.insert("p", tuple![2]).unwrap();
+        assert_eq!(answers(&e, "mv(x)").len(), 2);
+    }
+    {
+        // Extents are recomputed state, not WAL-logged: after recovery
+        // the base relations are back but the view must be re-defined.
+        let (e, _) = QueryEngine::open_durable(&dir).unwrap();
+        assert_eq!(e.query("p(x)").unwrap().len(), 2);
+        assert!(e.query("mv(x)").is_err());
+        e.define_materialized_view("mv", "p(x) & !q(x)").unwrap();
+        assert_eq!(answers(&e, "mv(x)").len(), 2);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[cfg(feature = "chaos")]
+mod chaos {
+    use super::*;
+    use gq_chaos::ChaosConfig;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    fn seed() -> u64 {
+        std::env::var("GQ_CHAOS_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(42)
+    }
+
+    /// The chaos registry is process-global: serialize every chaos test.
+    fn lock() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn delta_apply_fault_falls_back_to_recompute() {
+        let _l = lock();
+        let e = engine_with(2);
+        for v in 0..10 {
+            e.insert("p", tuple![v]).unwrap();
+            if v % 2 == 0 {
+                e.insert("q", tuple![v]).unwrap();
+            }
+        }
+        e.define_materialized_view("mv", "p(x) & !q(x)").unwrap();
+        // Every incremental step fails → every mutation takes the full
+        // recompute fallback; answers must stay exact and mutations must
+        // keep succeeding.
+        let _g = gq_chaos::install(ChaosConfig::with_seed(seed()).delta_apply_error(1.0));
+        e.insert("p", tuple![100]).unwrap();
+        e.insert("q", tuple![1]).unwrap();
+        e.remove("q", &tuple![0]).unwrap();
+        assert_eq!(answers(&e, "mv(x)"), answers(&e, "p(x) & !q(x)"));
+        let fallbacks = e
+            .journal()
+            .events()
+            .iter()
+            .filter(|ev| {
+                ev.kind.name() == "ivm.apply"
+                    && ev.detail.contains("incremental failed")
+                    && ev.detail.contains("chaos:")
+            })
+            .count();
+        assert!(
+            fallbacks >= 3,
+            "expected journaled fallbacks, saw {fallbacks}"
+        );
+        drop(_g);
+        // Fault source removed → incremental path resumes.
+        e.insert("p", tuple![101]).unwrap();
+        assert_eq!(answers(&e, "mv(x)"), answers(&e, "p(x) & !q(x)"));
+    }
+
+    #[test]
+    fn probabilistic_delta_faults_never_corrupt_extents() {
+        let _l = lock();
+        for threads in thread_counts() {
+            let e = engine_with(threads);
+            e.define_materialized_view("mv", "p(x) & !q(x)").unwrap();
+            e.define_materialized_view("mj", "p(x) & r(x,y)").unwrap();
+            let _g = gq_chaos::install(ChaosConfig::with_seed(seed()).delta_apply_error(0.3));
+            let mut rng = Rng(seed() ^ 0xd1f7);
+            for _ in 0..80 {
+                let v = rng.below(10);
+                match rng.below(4) {
+                    0 => {
+                        e.insert("p", tuple![v]).unwrap();
+                    }
+                    1 => {
+                        e.insert("q", tuple![v]).unwrap();
+                    }
+                    2 => {
+                        e.insert("r", tuple![v, v + 1]).unwrap();
+                    }
+                    _ => {
+                        e.remove("p", &tuple![v]).unwrap();
+                    }
+                }
+            }
+            drop(_g);
+            assert_eq!(answers(&e, "mv(x)"), answers(&e, "p(x) & !q(x)"));
+            assert_eq!(answers(&e, "mj(x,y)"), answers(&e, "p(x) & r(x,y)"));
+        }
+    }
+}
